@@ -1,0 +1,88 @@
+package hyperalloc
+
+import (
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/pricing"
+	"hyperalloc/internal/sim"
+)
+
+// Re-exports of the simulation vocabulary so library users (and the
+// examples) can drive guests, workloads, and the clock without reaching
+// into internal packages.
+
+// Byte sizes.
+const (
+	KiB = mem.KiB
+	MiB = mem.MiB
+	GiB = mem.GiB
+	TiB = mem.TiB
+)
+
+// Page geometry.
+const (
+	PageSize = mem.PageSize
+	HugeSize = mem.HugeSize
+)
+
+// Time aliases; sim.Duration is time.Duration, so the standard constants
+// (time.Second, ...) apply.
+type (
+	// Time is a virtual timestamp.
+	Time = sim.Time
+	// Duration is a virtual duration (= time.Duration).
+	Duration = sim.Duration
+	// Clock is the virtual clock.
+	Clock = sim.Clock
+	// Scheduler is the discrete-event scheduler.
+	Scheduler = sim.Scheduler
+	// RNG is the deterministic random-number generator.
+	RNG = sim.RNG
+)
+
+// Guest-side types.
+type (
+	// Guest is the simulated guest OS (zones, page cache, OOM handling).
+	Guest = guest.Guest
+	// Region is an allocated guest memory region.
+	Region = guest.Region
+	// PageCache is the guest's file page cache.
+	PageCache = guest.PageCache
+	// Zone is one guest memory zone.
+	Zone = guest.Zone
+)
+
+// Host-side types.
+type (
+	// CostModel holds the calibrated per-operation latencies.
+	CostModel = costmodel.Model
+	// HostPool tracks host memory across VMs.
+	HostPool = hostmem.Pool
+	// Meter charges virtual time and interference.
+	Meter = ledger.Meter
+	// ReservationPolicy selects LLFree's tree reservation policy.
+	ReservationPolicy = llfree.ReservationPolicy
+)
+
+// LLFree reservation policies (for the ablation benchmarks).
+const (
+	PerTypeReservation = llfree.PerType
+	PerCoreReservation = llfree.PerCore
+)
+
+// HumanBytes renders a byte count with a binary-prefix unit.
+func HumanBytes(b uint64) string { return mem.HumanBytes(b) }
+
+// Pricing re-exports (the Sec. 6 economics extension).
+type (
+	// PricingRate is a per-GiB-second memory price.
+	PricingRate = pricing.Rate
+	// CacheValue models what cached data is worth to the guest.
+	CacheValue = pricing.CacheValue
+	// PricingPolicy trims uneconomical page cache under price pressure.
+	PricingPolicy = pricing.Policy
+)

@@ -1,0 +1,242 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// target per experiment (DESIGN.md Sec. 3). They run reduced-size but
+// structurally identical versions of the cmd/ experiments; b.ReportMetric
+// exposes the figure's headline values so `go test -bench` output can be
+// compared directly against the paper.
+//
+// Virtual-time results (GiB/s etc.) are deterministic; ns/op measures the
+// simulator's real cost and is not a paper metric.
+package hyperalloc_test
+
+import (
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+// BenchmarkFig4Inflate regenerates Fig. 4 (reclamation speed). Reported
+// metrics are virtual GiB/s per candidate path.
+func BenchmarkFig4Inflate(b *testing.B) {
+	for _, spec := range workload.Fig4Candidates() {
+		spec := spec
+		b.Run(spec.Label(), func(b *testing.B) {
+			var last workload.InflateResult
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Inflate(spec, workload.InflateConfig{Reps: 1, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.Reclaim.Mean, "reclaim-GiB/s")
+			b.ReportMetric(last.ReclaimUntouched.Mean, "untouched-GiB/s")
+			b.ReportMetric(last.Return.Mean, "return-GiB/s")
+			b.ReportMetric(last.ReturnInstall.Mean, "ret+inst-GiB/s")
+		})
+	}
+}
+
+// BenchmarkFig5Stream regenerates the STREAM rows of Table 2 / Fig. 5 at
+// 12 threads.
+func BenchmarkFig5Stream(b *testing.B) {
+	specs := append([]workload.CandidateSpec{{Candidate: hyperalloc.CandidateBaseline}},
+		workload.PerfCandidates()...)
+	for _, spec := range specs {
+		spec := spec
+		b.Run(spec.Label(), func(b *testing.B) {
+			var p1 float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Stream(spec, workload.PerfConfig{Threads: 12, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p1 = r.P1
+			}
+			b.ReportMetric(p1, "p1-GB/s")
+		})
+	}
+}
+
+// BenchmarkFig6FTQ regenerates the FTQ rows of Table 2 / Fig. 6 at 12
+// threads.
+func BenchmarkFig6FTQ(b *testing.B) {
+	specs := append([]workload.CandidateSpec{{Candidate: hyperalloc.CandidateBaseline}},
+		workload.PerfCandidates()...)
+	for _, spec := range specs {
+		spec := spec
+		b.Run(spec.Label(), func(b *testing.B) {
+			var p1 float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.FTQ(spec, workload.PerfConfig{Threads: 12, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p1 = r.P1
+			}
+			b.ReportMetric(p1, "p1-e6work")
+		})
+	}
+}
+
+// BenchmarkFig7Compile regenerates Fig. 7 (clang build footprint under
+// automatic reclamation) at reduced build size.
+func BenchmarkFig7Compile(b *testing.B) {
+	for _, cand := range workload.ClangCandidates() {
+		cand := cand
+		b.Run(cand.Name, func(b *testing.B) {
+			var foot, minutes float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Clang(cand, workload.ClangConfig{Units: 450, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				foot, minutes = r.FootprintGiBMin, r.BuildTime.Minutes()
+			}
+			b.ReportMetric(foot, "GiB·min")
+			b.ReportMetric(minutes, "build-min")
+		})
+	}
+}
+
+// BenchmarkFig8InDepth regenerates the Fig. 8 in-depth pair with the
+// make-clean and drop-caches staircase.
+func BenchmarkFig8InDepth(b *testing.B) {
+	pair := []workload.ClangCandidate{
+		workload.ClangCandidates()[2], // virtio-balloon default
+		workload.ClangCandidates()[4], // HyperAlloc
+	}
+	for _, cand := range pair {
+		cand := cand
+		b.Run(cand.Name, func(b *testing.B) {
+			var clean, drop float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Clang(cand, workload.ClangConfig{Units: 450, Seed: uint64(i), InDepth: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				clean = float64(r.AfterCleanRSS) / (1 << 30)
+				drop = float64(r.AfterDropRSS) / (1 << 30)
+			}
+			b.ReportMetric(clean, "afterclean-GiB")
+			b.ReportMetric(drop, "afterdrop-GiB")
+		})
+	}
+}
+
+// BenchmarkFig9VFIO regenerates Fig. 9 (DMA-safe candidates under VFIO).
+func BenchmarkFig9VFIO(b *testing.B) {
+	cands := []workload.ClangCandidate{
+		{Name: "virtio-mem+VFIO", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateVirtioMem, AutoReclaim: true, VFIO: true}},
+		{Name: "HyperAlloc+VFIO", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true, VFIO: true}},
+	}
+	for _, cand := range cands {
+		cand := cand
+		b.Run(cand.Name, func(b *testing.B) {
+			var foot float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Clang(cand, workload.ClangConfig{Units: 450, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				foot = r.FootprintGiBMin
+			}
+			b.ReportMetric(foot, "GiB·min")
+		})
+	}
+}
+
+// BenchmarkFig10Blender regenerates Fig. 10 (repeated runs, idle
+// reclamation, cache-drop floor).
+func BenchmarkFig10Blender(b *testing.B) {
+	for _, cand := range workload.BlenderCandidates() {
+		cand := cand
+		b.Run(cand.Name, func(b *testing.B) {
+			var foot, drop float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.Blender(cand, workload.BlenderConfig{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				foot = r.FootprintGiBMin
+				drop = float64(r.AfterDropRSS) / (1 << 30)
+			}
+			b.ReportMetric(foot, "GiB·min")
+			b.ReportMetric(drop, "afterdrop-GiB")
+		})
+	}
+}
+
+// BenchmarkFig11MultiVM regenerates Fig. 11 (three VMs, offset peaks) at
+// reduced scale.
+func BenchmarkFig11MultiVM(b *testing.B) {
+	for _, cand := range workload.MultiVMCandidates() {
+		cand := cand
+		b.Run(cand.Name, func(b *testing.B) {
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				r, err := workload.MultiVM(cand, workload.MultiVMConfig{
+					Units: 400, Builds: 2,
+					Gap:    20 * 60 * sim.Second,
+					Offset: 15 * 60 * sim.Second,
+					Seed:   uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = float64(r.PeakBytes) / (1 << 30)
+			}
+			b.ReportMetric(peak, "peak-GiB")
+		})
+	}
+}
+
+// BenchmarkAblationReservation regenerates the A1/A2 ablation (per-type
+// vs per-core tree reservations, 8 vs 32 areas).
+func BenchmarkAblationReservation(b *testing.B) {
+	var results []workload.AblationResult
+	for i := 0; i < b.N; i++ {
+		r, err := workload.ReservationAblation(300, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		results = r
+	}
+	for _, r := range results {
+		b.Logf("%s: free-huge post-build %d, post-drop %d, footprint %.1f GiB·min",
+			r.Name, r.FreeHugeAfterBuild, r.FreeHugeAfterDrop, r.FootprintGiBMin)
+	}
+}
+
+// BenchmarkMicroInstall regenerates the A3 micro: install hypercall vs
+// EPT-fault populate (paper: ~6% slower).
+func BenchmarkMicroInstall(b *testing.B) {
+	var m workload.InstallMicro
+	for i := 0; i < b.N; i++ {
+		r, err := workload.MeasureInstallMicro(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m = r
+	}
+	b.ReportMetric(float64(m.InstallPerHuge.Nanoseconds()), "install-ns")
+	b.ReportMetric(float64(m.EPTFaultPerHuge.Nanoseconds()), "fault-ns")
+	b.ReportMetric(m.SlowdownPercent, "slowdown-%")
+}
+
+// BenchmarkMicroScan regenerates the A4 micro: the reclamation-state scan
+// cost per GiB (paper Sec. 3.3: 18 cache lines per GiB).
+func BenchmarkMicroScan(b *testing.B) {
+	var d sim.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := workload.ScanMicro(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d = r
+	}
+	b.ReportMetric(float64(d.Nanoseconds()), "scan-ns/GiB")
+}

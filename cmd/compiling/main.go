@@ -1,0 +1,157 @@
+// Command compiling regenerates Fig. 7 (clang-build memory footprint,
+// runtime, and QEMU CPU times under automatic reclamation), Fig. 8 (the
+// in-depth time series with `make clean` and a page-cache drop), and
+// Fig. 9 (the DMA-safe pair under VFIO) of the HyperAlloc paper.
+//
+// Usage:
+//
+//	compiling [-runs N] [-units N] [-extra] [-indepth] [-vfio] [-seed S] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hyperalloc"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "runs per candidate (paper: 6)")
+	units := flag.Int("units", 1800, "compile units per build")
+	extra := flag.Bool("extra", false, "add the virtio-balloon parameter sweep (Fig. 7 bold rows)")
+	indepth := flag.Bool("indepth", false, "run the Fig. 8 in-depth pair with clean/drop phases")
+	vfio := flag.Bool("vfio", false, "run the Fig. 9 DMA-safe pair (VFIO)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
+	flag.Parse()
+
+	switch {
+	case *indepth:
+		runInDepth(*units, *seed, *csvDir)
+	case *vfio:
+		runVFIO(*units, *runs, *seed)
+	default:
+		runFig7(*units, *runs, *extra, *seed)
+	}
+}
+
+func runFig7(units, runs int, extra bool, seed uint64) {
+	cands := workload.ClangCandidates()
+	if extra {
+		cands = append(cands, workload.BalloonSweep()...)
+	}
+	var rows [][]string
+	for _, cand := range cands {
+		var foot, rt, usr, sys []float64
+		var faults uint64
+		for rep := 0; rep < runs; rep++ {
+			r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed + uint64(rep)})
+			if err != nil {
+				log.Fatalf("%s: %v", cand.Name, err)
+			}
+			foot = append(foot, r.FootprintGiBMin)
+			rt = append(rt, r.BuildTime.Minutes())
+			usr = append(usr, r.UserCPU.Minutes())
+			sys = append(sys, r.SystemCPU.Seconds())
+			faults += r.EPTFaults
+		}
+		rows = append(rows, []string{
+			cand.Name,
+			metrics.MeanCI(foot, "GiB·min"),
+			metrics.MeanCI(rt, "min"),
+			metrics.MeanCI(usr, "min"),
+			metrics.MeanCI(sys, "s"),
+			fmt.Sprintf("%d", faults/uint64(runs)),
+		})
+		fmt.Fprintf(os.Stderr, "done: %s\n", cand.Name)
+	}
+	report.Table(os.Stdout, "Fig. 7 — clang compilation with automatic reclamation",
+		[]string{"candidate", "footprint", "runtime", "user CPU", "system CPU", "EPT faults"}, rows)
+	fmt.Println("\npaper: auto reclamation reduces the footprint by 24-45%; HyperAlloc lowest,")
+	fmt.Println("  then virtio-balloon configurations, then simulated virtio-mem; LLFree-based")
+	fmt.Println("  runs incur about half as many EPT faults; o=0 configurations trade runtime")
+	fmt.Println("  (+19%) for footprint.")
+}
+
+func runInDepth(units int, seed uint64, csvDir string) {
+	pair := []workload.ClangCandidate{
+		workload.ClangCandidates()[2], // virtio-balloon default
+		workload.ClangCandidates()[4], // HyperAlloc
+	}
+	var rows [][]string
+	var all []*metrics.Series
+	for _, cand := range pair {
+		r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed, InDepth: true})
+		if err != nil {
+			log.Fatalf("%s: %v", cand.Name, err)
+		}
+		rows = append(rows, []string{
+			cand.Name,
+			fmt.Sprintf("%.1f", r.FootprintGiBMin),
+			gib(r.FinalRSS), gib(r.FinalRSS - min64(r.FinalRSS, r.AfterCleanRSS)),
+			gib(r.AfterCleanRSS), gib(r.AfterDropRSS),
+		})
+		report.ASCIIPlot(os.Stdout,
+			fmt.Sprintf("Fig. 8 — %s (build, +200 s make clean, +200 s drop caches)", cand.Name),
+			76, r.RSS, r.Huge, r.Small, r.Cache)
+		all = append(all, r.RSS, r.Huge, r.Small, r.Cache)
+	}
+	report.Table(os.Stdout, "Fig. 8 — in-depth summary",
+		[]string{"candidate", "footprint [GiB·min]", "RSS end of build", "freed by clean", "after clean", "after drop"}, rows)
+	fmt.Println("\npaper: make clean lets HyperAlloc shrink the VM by 3.8 GiB vs 0.7 GiB for")
+	fmt.Println("  virtio-balloon; dropping the entire cache reaches 1.9 GiB vs 8 GiB.")
+	if csvDir != "" {
+		path := filepath.Join(csvDir, "fig8.csv")
+		if err := report.WriteCSV(path, all...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+func runVFIO(units, runs int, seed uint64) {
+	cands := []workload.ClangCandidate{
+		{Name: "virtio-mem+VFIO", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateVirtioMem, AutoReclaim: true, VFIO: true}},
+		{Name: "HyperAlloc+VFIO", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true, VFIO: true}},
+	}
+	var rows [][]string
+	var foots []float64
+	for _, cand := range cands {
+		var foot, rt []float64
+		for rep := 0; rep < runs; rep++ {
+			r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed + uint64(rep)})
+			if err != nil {
+				log.Fatalf("%s: %v", cand.Name, err)
+			}
+			foot = append(foot, r.FootprintGiBMin)
+			rt = append(rt, r.BuildTime.Minutes())
+		}
+		foots = append(foots, metrics.Mean(foot))
+		rows = append(rows, []string{cand.Name, metrics.MeanCI(foot, "GiB·min"), metrics.MeanCI(rt, "min")})
+	}
+	report.Table(os.Stdout, "Fig. 9 — clang compilation with VFIO-based DMA safety",
+		[]string{"candidate", "footprint", "runtime"}, rows)
+	if len(foots) == 2 && foots[1] > 0 {
+		fmt.Printf("\nvirtio-mem+VFIO footprint is %.1f%% higher than HyperAlloc+VFIO (paper: 39.8%%)\n",
+			(foots[0]/foots[1]-1)*100)
+	}
+	_ = sim.Second
+}
+
+func gib(b uint64) string { return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30)) }
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

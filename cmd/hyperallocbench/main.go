@@ -1,0 +1,133 @@
+// Command hyperallocbench is the umbrella benchmark runner: it regenerates
+// every table and figure of the HyperAlloc paper's evaluation plus the
+// repository's ablation benchmarks.
+//
+// Usage:
+//
+//	hyperallocbench -exp table1            # Table 1 (candidate properties)
+//	hyperallocbench -exp fig4 [-reps N]    # inflate microbenchmarks
+//	hyperallocbench -exp ablation          # reservation-policy / tree-size / install micro
+//	hyperallocbench -exp quick             # a fast pass over everything
+//
+// The per-figure commands (cmd/inflate, cmd/perfimpact, cmd/compiling,
+// cmd/blender, cmd/multivm) regenerate the individual figures with all
+// options.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "quick", "table1|fig4|ablation|quick")
+	reps := flag.Int("reps", 3, "repetitions for fig4")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	switch *exp {
+	case "table1":
+		table1(*seed)
+	case "fig4":
+		fig4(*reps, *seed)
+	case "ablation":
+		ablation(*seed)
+	case "quick":
+		table1(*seed)
+		fig4(1, *seed)
+		ablation(*seed)
+	default:
+		log.Fatalf("unknown -exp %q", *exp)
+	}
+}
+
+func table1(seed uint64) {
+	sys := hyperalloc.NewSystem(seed)
+	var rows [][]string
+	for _, cand := range hyperalloc.Candidates() {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name: "t1-" + string(cand), Candidate: cand, Memory: 4 * mem.GiB,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := vm.Mech.Properties()
+		rows = append(rows, []string{
+			vm.Mech.Name(),
+			mem.HumanBytes(p.Granularity),
+			mark(p.ManualLimit), mark(p.AutoMode), mark(p.DMASafe),
+		})
+	}
+	report.Table(os.Stdout, "Table 1 — evaluation candidates and their properties",
+		[]string{"name", "granularity", "manual limit", "auto mode", "DMA safety"}, rows)
+}
+
+func mark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func fig4(reps int, seed uint64) {
+	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Candidate, r.Reclaim.String(), r.ReclaimUntouched.String(),
+			r.Return.String(), r.ReturnInstall.String(),
+		})
+	}
+	report.Table(os.Stdout, "Fig. 4 — de/inflation speed",
+		[]string{"candidate", "reclaim", "reclaim untouched", "return", "return+install"}, rows)
+}
+
+func ablation(seed uint64) {
+	// A3: install hypercall vs EPT fault.
+	micro, err := workload.MeasureInstallMicro(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== Ablation A3 — install path ==\n")
+	fmt.Printf("  install hypercall: %v per huge frame\n", micro.InstallPerHuge)
+	fmt.Printf("  EPT-fault populate: %v per huge frame\n", micro.EPTFaultPerHuge)
+	fmt.Printf("  install slowdown: %.1f%% (paper Sec. 5.3: ~6%%)\n", micro.SlowdownPercent)
+
+	scan, err := workload.ScanMicro(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== Ablation A4 — reclamation-state scan ==\n")
+	fmt.Printf("  %v per GiB of guest memory (paper Sec. 3.3: 18 cache lines/GiB, 'tiny')\n", scan)
+
+	// A1/A2: reservation policy and tree size on the clang build.
+	fmt.Printf("\nrunning reservation-policy ablation (a few minutes of virtual build)...\n")
+	results, err := workload.ReservationAblation(900, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.FreeHugeAfterBuild),
+			fmt.Sprintf("%d", r.FreeHugeAfterDrop),
+			fmt.Sprintf("%.3f", r.FragmentationRatio),
+			fmt.Sprintf("%.1f GiB·min", r.FootprintGiBMin),
+		})
+	}
+	report.Table(os.Stdout, "Ablation A1/A2 — LLFree reservation policy & tree size (clang build)",
+		[]string{"configuration", "free huge post-build", "free huge post-drop", "huge/small ratio", "footprint"}, rows)
+	_ = sim.Second
+}

@@ -1,0 +1,89 @@
+// Command multivm regenerates Fig. 11 of the HyperAlloc paper: three
+// 16 GiB VMs compiling clang three times each, with peaks coinciding
+// (worst case) or offset by 40 minutes (best case). It reports the
+// accumulated footprint, the peak memory demand, and how many additional
+// VMs would fit in the 48 GiB provisioning.
+//
+// Usage:
+//
+//	multivm [-units N] [-builds N] [-gap MIN] [-offset MIN] [-seed S] [-csv DIR]
+//
+// The full paper-scale run (1800 units, 3 builds, 2 h gaps) simulates many
+// hours of virtual time; reduce -units/-gap for a quick look.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+func main() {
+	units := flag.Int("units", 1800, "compile units per build")
+	builds := flag.Int("builds", 3, "builds per VM")
+	gapMin := flag.Int("gap", 120, "gap between a VM's builds (minutes)")
+	offsetMin := flag.Int("offset", 40, "offset between VMs in the offset scenario (minutes)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
+	flag.Parse()
+
+	scenarios := []struct {
+		name   string
+		offset sim.Duration
+	}{
+		{"simultaneous (Fig. 11a)", 0},
+		{fmt.Sprintf("offset %d min (Fig. 11b)", *offsetMin), sim.Duration(*offsetMin) * 60 * sim.Second},
+	}
+	for _, sc := range scenarios {
+		var rows [][]string
+		for _, cand := range workload.MultiVMCandidates() {
+			r, err := workload.MultiVM(cand, workload.MultiVMConfig{
+				Units:  *units,
+				Builds: *builds,
+				Gap:    sim.Duration(*gapMin) * 60 * sim.Second,
+				Offset: sc.offset,
+				Seed:   *seed,
+			})
+			if err != nil {
+				log.Fatalf("%s: %v", cand.Name, err)
+			}
+			rows = append(rows, []string{
+				r.Candidate,
+				fmt.Sprintf("%.2f GiB", float64(r.PeakBytes)/(1<<30)),
+				fmt.Sprintf("%.1f GiB·min", r.FootprintGiBMin),
+				fmt.Sprintf("%d", r.ExtraVMs),
+			})
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, fmt.Sprintf("multivm-%s-%s.csv", sanitize(cand.Name), sanitize(sc.name)))
+				if err := report.WriteCSV(path, append(r.PerVM, r.Total)...); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "done: %s / %s\n", sc.name, cand.Name)
+		}
+		report.Table(os.Stdout, "Fig. 11 — three VMs, "+sc.name,
+			[]string{"candidate", "peak RSS", "footprint", "extra 16 GiB VMs fit"}, rows)
+	}
+	fmt.Println("\npaper: simultaneous peaks 40.8 GiB regardless of reclamation (footprint -9.1%")
+	fmt.Println("  balloon / -40% HyperAlloc); offset peaks drop to 35.98 GiB (balloon, 1 extra")
+	fmt.Println("  VM) and 28.11 GiB (HyperAlloc, 2 extra VMs) within the 48 GiB provisioning.")
+}
+
+func sanitize(s string) string {
+	out := []rune{}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,109 @@
+// Command perfimpact regenerates Fig. 5 (STREAM memory bandwidth), Fig. 6
+// (FTQ CPU work), and Table 2 (1st percentiles) of the HyperAlloc paper:
+// the guest-performance impact of shrinking a 20 GiB VM to 2 GiB at 20 s
+// and growing it back at 90 s.
+//
+// Usage:
+//
+//	perfimpact [-bench stream|ftq|both] [-threads 1,4,12] [-seed S] [-csv DIR] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hyperalloc"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "both", "stream, ftq, or both")
+	threadsFlag := flag.String("threads", "1,4,12", "comma-separated thread counts")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
+	plot := flag.Bool("plot", true, "render ASCII time-series plots")
+	flag.Parse()
+
+	var threads []int
+	for _, t := range strings.Split(*threadsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil {
+			log.Fatalf("bad -threads: %v", err)
+		}
+		threads = append(threads, n)
+	}
+
+	specs := append([]workload.CandidateSpec{{Candidate: hyperalloc.CandidateBaseline}},
+		workload.PerfCandidates()...)
+
+	run := func(name string, fn func(workload.CandidateSpec, workload.PerfConfig) (workload.PerfResult, error), unit string) {
+		headers := []string{"candidate"}
+		for _, t := range threads {
+			headers = append(headers, fmt.Sprintf("%dT p1 [%s]", t, unit))
+		}
+		var rows [][]string
+		bySeriesThreads := map[int][]*metrics.Series{}
+		for _, spec := range specs {
+			row := []string{spec.Label()}
+			for _, t := range threads {
+				res, err := fn(spec, workload.PerfConfig{Threads: t, Seed: *seed})
+				if err != nil {
+					log.Fatalf("%s %s/%dT: %v", name, spec.Label(), t, err)
+				}
+				row = append(row, fmt.Sprintf("%.1f", res.P1))
+				bySeriesThreads[t] = append(bySeriesThreads[t], res.Series)
+				if res.ShrinkErr != nil {
+					fmt.Fprintf(os.Stderr, "note: %s/%dT partial shrink: %v\n", spec.Label(), t, res.ShrinkErr)
+				}
+			}
+			rows = append(rows, row)
+		}
+		report.Table(os.Stdout, fmt.Sprintf("Table 2 — %s 1st percentiles", name), headers, rows)
+		if *plot {
+			for _, t := range threads {
+				report.ASCIIPlot(os.Stdout,
+					fmt.Sprintf("Fig. %s — %s over time, %d threads (shrink @20 s, grow @90 s)",
+						figNum(name), name, t),
+					76, bySeriesThreads[t]...)
+			}
+		}
+		if *csvDir != "" {
+			for _, t := range threads {
+				path := filepath.Join(*csvDir, fmt.Sprintf("%s-%dT.csv", name, t))
+				if err := report.WriteCSV(path, bySeriesThreads[t]...); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("wrote", path)
+			}
+		}
+	}
+
+	if *bench == "stream" || *bench == "both" {
+		run("stream", workload.Stream, "GB/s")
+		fmt.Println("\npaper Table 2 STREAM (1/4/12T): baseline 10.3/26.0/69.0; balloon 6.2/10.9/30.9;")
+		fmt.Println("  balloon-huge 10.1/25.5/67.8; virtio-mem 10.2/13.1/31.9; +VFIO 10.3/12.6/18.4;")
+		fmt.Println("  HyperAlloc 10.3/26.3/70.1; +VFIO 10.3/26.1/70.3")
+	}
+	if *bench == "ftq" || *bench == "both" {
+		run("ftq", workload.FTQ, "e6 work")
+		fmt.Println("\npaper Table 2 FTQ (1/4/12T): baseline 9.4/10.2/30.6; balloon 5.9/7.5/24.9;")
+		fmt.Println("  balloon-huge 9.5/10.1/30.1; virtio-mem 9.5/8.6/28.7; +VFIO 9.4/8.4/28.3;")
+		fmt.Println("  HyperAlloc 9.5/10.2/30.7; +VFIO 9.5/10.2/30.7")
+	}
+	_ = sim.Second
+}
+
+func figNum(bench string) string {
+	if bench == "stream" {
+		return "5"
+	}
+	return "6"
+}

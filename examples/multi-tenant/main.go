@@ -1,0 +1,42 @@
+// multi-tenant: the Sec. 5.6 packing story. Three 16 GiB VMs run builds
+// whose peaks are offset in time; with HyperAlloc the host's actual peak
+// demand drops far below the 48 GiB provisioning, leaving room for more
+// tenants on the same hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+func main() {
+	fmt.Println("Three 16 GiB VMs, build jobs offset by 20 min, 48 GiB provisioned.")
+	cfg := workload.MultiVMConfig{
+		Units:  500,
+		Builds: 2,
+		Gap:    25 * 60 * sim.Second,
+		Offset: 20 * 60 * sim.Second,
+		Seed:   11,
+	}
+	var rows [][]string
+	for _, cand := range workload.MultiVMCandidates() {
+		r, err := workload.MultiVM(cand, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			r.Candidate,
+			fmt.Sprintf("%.2f GiB", float64(r.PeakBytes)/(1<<30)),
+			fmt.Sprintf("%.1f GiB·min", r.FootprintGiBMin),
+			fmt.Sprintf("%d more 16 GiB VMs fit", r.ExtraVMs),
+		})
+	}
+	report.Table(log.Writer(), "host packing with offset peaks",
+		[]string{"reclamation", "peak demand", "footprint", "headroom"}, rows)
+	fmt.Println("\npaper Fig. 11b: peaks 40.74 -> 35.98 (balloon) -> 28.11 GiB (HyperAlloc);")
+	fmt.Println("free-page reporting fits one extra VM, HyperAlloc fits two.")
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a HyperAlloc VM, shrink its hard limit without a guest
+// transition, grow it back lazily, and watch the install-on-allocate path
+// bring memory back — the Sec. 3.1 walkthrough as runnable code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperalloc"
+)
+
+func main() {
+	sys := hyperalloc.NewSystem(42)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name:      "quickstart",
+		Candidate: hyperalloc.CandidateHyperAlloc,
+		Memory:    20 * hyperalloc.GiB,
+		CPUs:      12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := func(step string) {
+		fmt.Printf("%-38s limit=%-10s RSS=%-10s guest-free=%-10s t=%v\n",
+			step,
+			hyperalloc.HumanBytes(vm.Limit()),
+			hyperalloc.HumanBytes(vm.RSS()),
+			hyperalloc.HumanBytes(vm.Guest.FreeBytes()),
+			sys.Now())
+	}
+	status("boot (populate on first touch)")
+
+	// The guest touches most of its memory: the host populates it.
+	region, err := vm.Guest.AllocAnon(0, 18*hyperalloc.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status("guest wrote 18 GiB")
+	region.Free()
+	status("guest freed it (RSS unchanged!)")
+
+	// Hard-shrink to 2 GiB: the monitor marks free huge frames evicted +
+	// allocated directly in the shared LLFree state, unmaps them in
+	// aggregated madvise calls, and the guest never runs.
+	if err := vm.SetMemLimit(2 * hyperalloc.GiB); err != nil {
+		log.Fatal(err)
+	}
+	status("hard limit -> 2 GiB")
+	fmt.Printf("  %d hard reclaims, %d aggregated unmap syscalls\n",
+		vm.HyperAlloc.HardReclaims, vm.HyperAlloc.UnmapCalls)
+
+	// Grow back: frames return as soft-reclaimed; nothing is populated
+	// until the guest actually allocates.
+	if err := vm.SetMemLimit(20 * hyperalloc.GiB); err != nil {
+		log.Fatal(err)
+	}
+	status("hard limit -> 20 GiB (lazy)")
+
+	// Allocating evicted frames triggers install hypercalls that pin and
+	// map host memory before the allocation returns.
+	region2, err := vm.Guest.AllocAnon(0, 6*hyperalloc.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status("guest allocated 6 GiB again")
+	fmt.Printf("  %d install hypercalls brought the memory back\n", vm.HyperAlloc.Installs)
+	region2.Free()
+}

@@ -1,0 +1,91 @@
+// spot-pricing: the Sec. 6 economics extension. Memory is billed per
+// GiB·s and its price doubles during peak hours; the price-pressure
+// policy trims the page cache down to what still pays for itself and lets
+// HyperAlloc's reclamation hand the freed memory back to the host —
+// "actively shrinking the page cache instead of caching as much as
+// possible could make economic sense".
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hyperalloc"
+)
+
+func main() {
+	const hour = time.Hour
+
+	run := func(withPolicy bool) float64 {
+		sys := hyperalloc.NewSystem(21)
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Candidate:   hyperalloc.CandidateHyperAlloc,
+			Memory:      16 * hyperalloc.GiB,
+			AutoReclaim: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A file server: 10 GiB of cached data, modest anonymous memory.
+		if _, err := vm.Guest.AllocAnon(0, 2*hyperalloc.GiB); err != nil {
+			log.Fatal(err)
+		}
+		// The dataset is many files, so price-driven eviction can trim at
+		// file granularity instead of all-or-nothing.
+		for i := 0; i < 40; i++ {
+			if err := vm.Guest.Cache().Read(0, fmt.Sprintf("dataset/shard-%d", i), 256*hyperalloc.MiB); err != nil {
+				log.Fatal(err)
+			}
+		}
+		vm.StartAuto()
+
+		// Price: 1 unit/GiB·s off-peak, 6 units during hours 2..6.
+		priceFn := priceSchedule()
+		if withPolicy {
+			policy := vm.NewPricingPolicy(hyperalloc.CacheValue{
+				HitSavingsPerGiBSecond: 2.0, // caching is worth 2 units/GiB·s
+				FloorBytes:             2 * hyperalloc.GiB,
+			}, priceFn, 30*time.Second)
+			if err := policy.Start(sys.Sched); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Sample the RSS for 8 hours and integrate the bill.
+		var bill float64
+		last := sys.Now()
+		lastRSS := float64(vm.RSS())
+		for sys.Now() < hyperalloc.Time(8*hour) {
+			sys.RunUntil(sys.Now() + hyperalloc.Time(time.Minute))
+			dt := sys.Now().Sub(last).Seconds()
+			bill += lastRSS / float64(hyperalloc.GiB) * dt * priceFn(sys.Now()).PerGiBSecond
+			last, lastRSS = sys.Now(), float64(vm.RSS())
+		}
+		fmt.Printf("  policy=%-5v final RSS %-10s cache %-10s bill %.0f units\n",
+			withPolicy,
+			hyperalloc.HumanBytes(vm.RSS()),
+			hyperalloc.HumanBytes(vm.Guest.CacheBytes()),
+			bill)
+		return bill
+	}
+
+	fmt.Println("8 hours of a caching file server under spot-priced memory:")
+	without := run(false)
+	with := run(true)
+	fmt.Printf("\nthe price-pressure policy cut the memory bill by %.0f%%\n",
+		(1-with/without)*100)
+}
+
+func priceSchedule() func(hyperalloc.Time) hyperalloc.PricingRate {
+	const hour = time.Hour
+	base := hyperalloc.PricingRate{PerGiBSecond: 1}
+	peak := hyperalloc.PricingRate{PerGiBSecond: 6}
+	return func(now hyperalloc.Time) hyperalloc.PricingRate {
+		h := time.Duration(now)
+		if h >= 2*hour && h < 6*hour {
+			return peak
+		}
+		return base
+	}
+}

@@ -1,0 +1,3 @@
+module hyperalloc
+
+go 1.22

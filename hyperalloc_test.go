@@ -1,0 +1,575 @@
+package hyperalloc
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/iommu"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+func newVM(t testing.TB, opts Options) *VM {
+	t.Helper()
+	sys := NewSystem(7)
+	vm, err := sys.NewVM(opts)
+	if err != nil {
+		t.Fatalf("NewVM(%+v): %v", opts, err)
+	}
+	return vm
+}
+
+func TestNewVMDefaults(t *testing.T) {
+	vm := newVM(t, Options{})
+	if vm.Candidate != CandidateHyperAlloc {
+		t.Errorf("default candidate = %v", vm.Candidate)
+	}
+	if vm.Guest.TotalBytes() != 20*GiB {
+		t.Errorf("default memory = %s", HumanBytes(vm.Guest.TotalBytes()))
+	}
+	if vm.Guest.CPUs() != 12 {
+		t.Errorf("default CPUs = %d", vm.Guest.CPUs())
+	}
+	if got := len(vm.Guest.Zones()); got != 2 {
+		t.Errorf("zones = %d", got)
+	}
+	if vm.RSS() != 0 {
+		t.Errorf("fresh RSS = %s", HumanBytes(vm.RSS()))
+	}
+}
+
+func TestNewVMRejectsBadOptions(t *testing.T) {
+	sys := NewSystem(1)
+	if _, err := sys.NewVM(Options{Memory: GiB}); err == nil {
+		t.Error("tiny VM accepted")
+	}
+	if _, err := sys.NewVM(Options{Candidate: "nonesuch"}); err == nil {
+		t.Error("unknown candidate accepted")
+	}
+	if _, err := sys.NewVM(Options{Candidate: CandidateBalloon, VFIO: true}); err == nil {
+		t.Error("balloon+VFIO accepted without AllowUnsafeVFIO")
+	}
+}
+
+func TestTouchPopulates(t *testing.T) {
+	for _, cand := range []Candidate{CandidateHyperAlloc, CandidateBalloon} {
+		vm := newVM(t, Options{Candidate: cand, Memory: 4 * GiB})
+		r, err := vm.Guest.AllocAnon(0, 512*MiB)
+		if err != nil {
+			t.Fatalf("%s: %v", cand, err)
+		}
+		if rss := vm.RSS(); rss < 512*MiB {
+			t.Errorf("%s: RSS %s after touching 512 MiB", cand, HumanBytes(rss))
+		}
+		r.Free()
+		// Freeing guest memory does not shrink RSS by itself.
+		if rss := vm.RSS(); rss < 512*MiB {
+			t.Errorf("%s: RSS %s dropped on guest free without reclamation", cand, HumanBytes(rss))
+		}
+	}
+}
+
+func TestHyperAllocShrinkGrow(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateHyperAlloc})
+	// Touch most memory so the shrink has real unmap work.
+	r, err := vm.Guest.AllocAnon(0, 17*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	if err := vm.SetMemLimit(2 * GiB); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if got := vm.Limit(); got != 2*GiB {
+		t.Errorf("limit = %s", HumanBytes(got))
+	}
+	if rss := vm.RSS(); rss > 3*GiB {
+		t.Errorf("RSS after shrink = %s", HumanBytes(rss))
+	}
+	// The guest must still operate within the limit.
+	r2, err := vm.Guest.AllocAnon(0, GiB)
+	if err != nil {
+		t.Fatalf("guest alloc inside limit: %v", err)
+	}
+	r2.Free()
+	// But cannot exceed it.
+	if _, err := vm.Guest.AllocAnon(0, 4*GiB); !errors.Is(err, guest.ErrOOM) {
+		t.Errorf("alloc beyond hard limit: %v", err)
+	}
+	// Grow back: memory returns lazily (soft-reclaimed).
+	if err := vm.SetMemLimit(20 * GiB); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if got := vm.Limit(); got != 20*GiB {
+		t.Errorf("limit after grow = %s", HumanBytes(got))
+	}
+	if rss := vm.RSS(); rss > 3*GiB {
+		t.Errorf("RSS right after grow = %s (should stay low until install)", HumanBytes(rss))
+	}
+	r3, err := vm.Guest.AllocAnon(0, 10*GiB)
+	if err != nil {
+		t.Fatalf("alloc after grow: %v", err)
+	}
+	if rss := vm.RSS(); rss < 10*GiB {
+		t.Errorf("RSS after install = %s", HumanBytes(rss))
+	}
+	if vm.HyperAlloc.Installs == 0 {
+		t.Error("no install hypercalls despite allocating soft-reclaimed memory")
+	}
+	r3.Free()
+}
+
+func TestHyperAllocShrinkPurgesCaches(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateHyperAlloc, Memory: 8 * GiB})
+	// Fill 5 GiB of page cache; a shrink to 2 GiB must purge it.
+	if err := vm.Guest.Cache().Write(0, "big", 5*GiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetMemLimit(2 * GiB); err != nil {
+		t.Fatalf("shrink with full cache: %v", err)
+	}
+	if vm.HyperAlloc.CachePurges == 0 {
+		t.Error("shrink met the target without the expected cache purge")
+	}
+	if got := vm.Guest.Cache().Bytes(); got != 0 {
+		t.Errorf("cache after purge = %s", HumanBytes(got))
+	}
+}
+
+func TestHyperAllocShrinkInsufficient(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateHyperAlloc, Memory: 8 * GiB})
+	r, err := vm.Guest.AllocAnon(0, 6*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = vm.SetMemLimit(2 * GiB)
+	if err == nil {
+		t.Fatal("shrink below allocated memory succeeded")
+	}
+	// The limit reflects partial progress.
+	if vm.Limit() >= 8*GiB || vm.Limit() < 6*GiB {
+		t.Errorf("limit after partial shrink = %s", HumanBytes(vm.Limit()))
+	}
+	r.Free()
+}
+
+func TestBalloonShrinkGrow(t *testing.T) {
+	for _, cand := range []Candidate{CandidateBalloon, CandidateBalloonHuge} {
+		vm := newVM(t, Options{Candidate: cand, Memory: 8 * GiB, Prepared: true})
+		if err := vm.SetMemLimit(2 * GiB); err != nil {
+			t.Fatalf("%s shrink: %v", cand, err)
+		}
+		if rss := vm.RSS(); rss > 3*GiB {
+			t.Errorf("%s RSS after shrink = %s", cand, HumanBytes(rss))
+		}
+		if got := vm.Balloon.InflatedBytes(); got != 6*GiB {
+			t.Errorf("%s inflated = %s", cand, HumanBytes(got))
+		}
+		// Guest allocations beyond the limit OOM.
+		if _, err := vm.Guest.AllocAnon(0, 4*GiB); !errors.Is(err, guest.ErrOOM) {
+			t.Errorf("%s: alloc beyond limit: %v", cand, err)
+		}
+		if err := vm.SetMemLimit(8 * GiB); err != nil {
+			t.Fatalf("%s grow: %v", cand, err)
+		}
+		if got := vm.Balloon.InflatedBytes(); got != 0 {
+			t.Errorf("%s inflated after deflate = %s", cand, HumanBytes(got))
+		}
+		r, err := vm.Guest.AllocAnon(0, 5*GiB)
+		if err != nil {
+			t.Fatalf("%s alloc after grow: %v", cand, err)
+		}
+		r.Free()
+	}
+}
+
+func TestBalloonFreePageReporting(t *testing.T) {
+	vm := newVM(t, Options{
+		Candidate: CandidateBalloon, Memory: 8 * GiB,
+		AutoReclaim: true,
+	})
+	// Dirty then free most memory; reporting should shrink RSS.
+	r, err := vm.Guest.AllocAnon(0, 6*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	before := vm.RSS()
+	vm.StartAuto()
+	// Reporting is capacity-limited: c=32 blocks x 2 MiB per cycle per
+	// zone, one cycle every d=2 s, so reclaiming ~6 GiB needs a few
+	// minutes of virtual time.
+	vm.Sys.RunUntil(sim.Time(300 * sim.Second))
+	after := vm.RSS()
+	if vm.Balloon.Reports == 0 {
+		t.Fatal("no reporting cycles ran")
+	}
+	if after >= before {
+		t.Errorf("RSS did not drop: %s -> %s", HumanBytes(before), HumanBytes(after))
+	}
+	if after > 1*GiB {
+		t.Errorf("RSS after reporting = %s, want most of 6 GiB reclaimed", HumanBytes(after))
+	}
+	// Reported memory stays allocatable.
+	r2, err := vm.Guest.AllocAnon(0, 5*GiB)
+	if err != nil {
+		t.Fatalf("alloc over reported memory: %v", err)
+	}
+	r2.Free()
+}
+
+func TestHyperAllocAutoReclaim(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateHyperAlloc, Memory: 8 * GiB, AutoReclaim: true})
+	r, err := vm.Guest.AllocAnon(0, 6*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	vm.StartAuto()
+	vm.Sys.RunUntil(sim.Time(30 * sim.Second))
+	if vm.HyperAlloc.SoftReclaims == 0 {
+		t.Fatal("no soft reclaims")
+	}
+	if rss := vm.RSS(); rss > GiB {
+		t.Errorf("RSS after auto reclaim = %s", HumanBytes(rss))
+	}
+	// Memory stays allocatable; installs bring it back.
+	r2, err := vm.Guest.AllocAnon(0, 5*GiB)
+	if err != nil {
+		t.Fatalf("alloc after soft reclaim: %v", err)
+	}
+	if vm.HyperAlloc.Installs == 0 {
+		t.Error("no installs for soft-reclaimed memory")
+	}
+	r2.Free()
+}
+
+func TestVirtioMemShrinkGrow(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateVirtioMem, Memory: 8 * GiB})
+	// Scatter some long-lived data into the movable zone to force
+	// migrations during unplug.
+	r, err := vm.Guest.AllocAnon(0, GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetMemLimit(3 * GiB); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if vm.VirtioMem.Unplugs == 0 {
+		t.Fatal("no blocks unplugged")
+	}
+	if rss := vm.RSS(); rss > 4*GiB {
+		t.Errorf("RSS after unplug = %s", HumanBytes(rss))
+	}
+	// The region survived migration and can be freed.
+	r.Free()
+	if err := vm.SetMemLimit(8 * GiB); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	r2, err := vm.Guest.AllocAnon(0, 5*GiB)
+	if err != nil {
+		t.Fatalf("alloc after replug: %v", err)
+	}
+	r2.Free()
+}
+
+func TestVirtioMemMigratesUsedBlocks(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateVirtioMem, Memory: 8 * GiB})
+	r, err := vm.Guest.AllocAnon(0, 2*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetMemLimit(4 * GiB); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if vm.VirtioMem.MigratedBytes == 0 {
+		t.Error("unplug of used memory performed no migrations")
+	}
+	r.Free()
+}
+
+func TestVFIOPinsAtBoot(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateVirtioMem, Memory: 4 * GiB, VFIO: true})
+	if vm.IOMMU == nil {
+		t.Fatal("no IOMMU")
+	}
+	if got := vm.IOMMU.MappedBytes(); got != 4*GiB {
+		t.Errorf("pinned at boot = %s", HumanBytes(got))
+	}
+	if got := vm.RSS(); got != 4*GiB {
+		t.Errorf("RSS at boot = %s (VFIO prepopulates)", HumanBytes(got))
+	}
+}
+
+// TestDMASafety is the paper's central safety claim as a test matrix:
+// after a reclaim/return cycle, a device DMA into freshly allocated guest
+// memory must succeed for HyperAlloc and virtio-mem and fail for
+// free-page reporting.
+func TestDMASafety(t *testing.T) {
+	t.Run("HyperAlloc", func(t *testing.T) {
+		vm := newVM(t, Options{Candidate: CandidateHyperAlloc, Memory: 4 * GiB, VFIO: true})
+		r, err := vm.Guest.AllocAnon(0, 1*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Free()
+		if err := vm.SetMemLimit(3 * GiB); err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.SetMemLimit(4 * GiB); err != nil {
+			t.Fatal(err)
+		}
+		// Allocate previously reclaimed memory WITHOUT touching it, then
+		// DMA into it: install-on-allocate must have pinned it already.
+		r2, err := vm.Guest.AllocAnonUntouched(0, 1*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures := 0
+		r2.ForEach(func(z *Zone, pfn mem.PFN, order mem.Order) {
+			if err := vm.DeviceDMA(z.GFN(pfn), order.Frames()); err != nil {
+				failures++
+			}
+		})
+		if failures != 0 {
+			t.Errorf("HyperAlloc: %d DMA failures; paper claims DMA safety by design", failures)
+		}
+		r2.Free()
+	})
+
+	t.Run("virtio-mem", func(t *testing.T) {
+		vm := newVM(t, Options{Candidate: CandidateVirtioMem, Memory: 4 * GiB, VFIO: true})
+		if err := vm.SetMemLimit(3 * GiB); err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.SetMemLimit(4 * GiB); err != nil {
+			t.Fatal(err)
+		}
+		r, err := vm.Guest.AllocAnonUntouched(0, 1*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures := 0
+		r.ForEach(func(z *Zone, pfn mem.PFN, order mem.Order) {
+			if err := vm.DeviceDMA(z.GFN(pfn), order.Frames()); err != nil {
+				failures++
+			}
+		})
+		if failures != 0 {
+			t.Errorf("virtio-mem: %d DMA failures despite prepopulation", failures)
+		}
+		r.Free()
+	})
+
+	t.Run("virtio-balloon-unsafe", func(t *testing.T) {
+		vm := newVM(t, Options{
+			Candidate: CandidateBalloon, Memory: 4 * GiB,
+			VFIO: true, AllowUnsafeVFIO: true, AutoReclaim: true,
+		})
+		// Dirty and free memory, let free-page reporting discard it.
+		r, err := vm.Guest.AllocAnon(0, 2*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Free()
+		vm.StartAuto()
+		vm.Sys.RunUntil(sim.Time(60 * sim.Second))
+		if vm.Balloon.ReportedOps == 0 {
+			t.Fatal("no pages reported; test is vacuous")
+		}
+		// The guest hands freshly allocated (reported, never re-touched)
+		// frames to the device: the DMA must hit discarded pinned memory.
+		r2, err := vm.Guest.AllocAnonUntouched(0, 2*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		failures := 0
+		r2.ForEach(func(z *Zone, pfn mem.PFN, order mem.Order) {
+			if err := vm.DeviceDMA(z.GFN(pfn), order.Frames()); err != nil {
+				if !errors.Is(err, iommu.ErrDMAFault) {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				failures++
+			}
+		})
+		if failures == 0 {
+			t.Error("balloon+VFIO: every DMA succeeded; the known unsafety did not reproduce")
+		}
+		r2.Free()
+	})
+}
+
+func TestTable1Properties(t *testing.T) {
+	sys := NewSystem(3)
+	want := map[Candidate]struct {
+		gran uint64
+		auto bool
+		dma  bool
+	}{
+		CandidateBalloon:     {PageSize, true, false},
+		CandidateBalloonHuge: {HugeSize, true, false},
+		CandidateVirtioMem:   {HugeSize, false, true},
+		CandidateHyperAlloc:  {HugeSize, true, true},
+	}
+	for cand, w := range want {
+		vm, err := sys.NewVM(Options{Name: string(cand), Candidate: cand, Memory: 4 * GiB})
+		if err != nil {
+			t.Fatalf("%s: %v", cand, err)
+		}
+		p := vm.Mech.Properties()
+		if p.Granularity != w.gran || p.AutoMode != w.auto || p.DMASafe != w.dma || !p.ManualLimit {
+			t.Errorf("%s properties = %+v, want %+v", cand, p, w)
+		}
+	}
+}
+
+func TestMultiVMPoolAccounting(t *testing.T) {
+	sys := NewSystem(9)
+	var vms []*VM
+	for i := 0; i < 3; i++ {
+		vm, err := sys.NewVM(Options{
+			Name:      string(rune('a' + i)),
+			Candidate: CandidateHyperAlloc,
+			Memory:    4 * GiB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	for _, vm := range vms {
+		r, err := vm.Guest.AllocAnon(0, GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Free()
+	}
+	if total := sys.Pool.Total(); total < 3*GiB {
+		t.Errorf("pool total = %s", HumanBytes(total))
+	}
+	if peak := sys.Pool.Peak(); peak < sys.Pool.Total() {
+		t.Errorf("peak %s < total %s", HumanBytes(peak), HumanBytes(sys.Pool.Total()))
+	}
+	for _, vm := range vms {
+		if err := vm.SetMemLimit(3 * GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total := sys.Pool.Total(); total > 3*GiB {
+		t.Errorf("pool total after shrink = %s", HumanBytes(total))
+	}
+}
+
+func TestClockAdvancesWithWork(t *testing.T) {
+	vm := newVM(t, Options{Candidate: CandidateBalloon, Memory: 4 * GiB, Prepared: true})
+	t0 := vm.Sys.Now()
+	if err := vm.SetMemLimit(3 * GiB); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := vm.Sys.Now().Sub(t0)
+	if elapsed <= 0 {
+		t.Fatal("reclamation consumed no virtual time")
+	}
+	// 1 GiB at ~0.95 GiB/s should take on the order of a second.
+	if elapsed < 500*sim.Millisecond || elapsed > 2*sim.Second {
+		t.Errorf("virtio-balloon reclaimed 1 GiB in %v; expected ~1s", elapsed)
+	}
+}
+
+// TestGrowBeyondBootSize exercises the Sec. 6 extension: a VM provisioned
+// with MaxMemory boots at Memory and can grow beyond it.
+func TestGrowBeyondBootSize(t *testing.T) {
+	for _, cand := range []Candidate{CandidateHyperAlloc, CandidateVirtioMem, CandidateBalloon} {
+		sys := NewSystem(5)
+		vm, err := sys.NewVM(Options{
+			Candidate: cand,
+			Memory:    8 * GiB,
+			MaxMemory: 16 * GiB,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", cand, err)
+		}
+		if got := vm.Limit(); got != 8*GiB {
+			t.Fatalf("%s: boot limit = %s", cand, HumanBytes(got))
+		}
+		// The guest cannot use the headroom yet.
+		if _, err := vm.Guest.AllocAnon(0, 12*GiB); err == nil {
+			t.Fatalf("%s: allocated beyond the boot limit", cand)
+		}
+		// Grow past the boot size.
+		if err := vm.SetMemLimit(14 * GiB); err != nil {
+			t.Fatalf("%s grow: %v", cand, err)
+		}
+		r, err := vm.Guest.AllocAnon(0, 12*GiB)
+		if err != nil {
+			t.Fatalf("%s alloc after grow: %v", cand, err)
+		}
+		r.Free()
+		if err := vm.SetMemLimit(8 * GiB); err != nil {
+			t.Fatalf("%s shrink back: %v", cand, err)
+		}
+	}
+	// Baseline cannot use MaxMemory.
+	sys := NewSystem(5)
+	if _, err := sys.NewVM(Options{Candidate: CandidateBaseline, Memory: 4 * GiB, MaxMemory: 8 * GiB}); err == nil {
+		t.Error("baseline with MaxMemory accepted")
+	}
+}
+
+// TestOvercommitSwapFallback exercises the Sec. 6 host-swap extension:
+// two 8 GiB VMs on a 12 GiB host. Without reclamation the second VM's
+// growth forces host swapping; with HyperAlloc reclaiming the first VM's
+// idle memory first, the host never swaps.
+func TestOvercommitSwapFallback(t *testing.T) {
+	run := func(reclaimFirst bool) uint64 {
+		sys := NewSystemWithMemory(13, 12*GiB)
+		vm1, err := sys.NewVM(Options{Name: "vm1", Candidate: CandidateHyperAlloc, Memory: 8 * GiB, AutoReclaim: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm2, err := sys.NewVM(Options{Name: "vm2", Candidate: CandidateHyperAlloc, Memory: 8 * GiB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// vm1 had a burst and is now idle.
+		r, err := vm1.Guest.AllocAnon(0, 7*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Free()
+		if reclaimFirst {
+			vm1.HyperAlloc.AutoTick()
+		}
+		// vm2's burst overcommits the host unless vm1 was deflated.
+		r2, err := vm2.Guest.AllocAnon(0, 7*GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Free()
+		return sys.Pool.SwapOutBytes
+	}
+	withoutReclaim := run(false)
+	withReclaim := run(true)
+	if withoutReclaim < 1*GiB {
+		t.Errorf("overcommit without reclamation swapped only %s", HumanBytes(withoutReclaim))
+	}
+	if withReclaim != 0 {
+		t.Errorf("overcommit with reclamation swapped %s, want none", HumanBytes(withReclaim))
+	}
+	// The swap victim accounting is visible per VM.
+	sys := NewSystemWithMemory(13, 12*GiB)
+	vmA, _ := sys.NewVM(Options{Name: "a", Candidate: CandidateHyperAlloc, Memory: 8 * GiB})
+	vmB, _ := sys.NewVM(Options{Name: "b", Candidate: CandidateHyperAlloc, Memory: 8 * GiB})
+	ra, err := vmA.Guest.AllocAnon(0, 7*GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vmB.Guest.AllocAnon(0, 7*GiB); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Pool.Swapped("a") == 0 {
+		t.Error("the resident VM was not the swap victim")
+	}
+	ra.Free()
+}

@@ -1,0 +1,214 @@
+package balloon
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+func newBalloonVM(t testing.TB, bytes uint64, cfg Config) (*vmm.VM, *Mechanism) {
+	t.Helper()
+	b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(bytes), CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(2, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: bytes,
+		Alloc: guest.NewBuddyAdapter(b), Impl: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "balloon-test", Guest: g,
+		Meter:  ledger.NewMeter(sim.NewClock()),
+		Model:  costmodel.Default(),
+		Pool:   hostmem.NewPool(0),
+		Mapped: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(vm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, m
+}
+
+func TestNewRequiresBuddy(t *testing.T) {
+	g, err := guest.New(1, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: 64 * mem.MiB,
+		Alloc: &stubAlloc{}, Impl: &stubAlloc{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "x", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(vm, Config{}); err == nil {
+		t.Error("non-buddy guest accepted")
+	}
+}
+
+type stubAlloc struct{}
+
+func (s *stubAlloc) Alloc(int, mem.Order, mem.AllocType) (mem.PFN, error) {
+	return 0, errors.New("stub")
+}
+func (s *stubAlloc) Free(int, mem.PFN, mem.Order) error { return nil }
+func (s *stubAlloc) FreeFrames() uint64                 { return 0 }
+func (s *stubAlloc) UsedHugeBytes() uint64              { return 0 }
+func (s *stubAlloc) UsedBaseBytes() uint64              { return 0 }
+func (s *stubAlloc) Drain()                             {}
+func (s *stubAlloc) Name() string                       { return "stub" }
+
+func TestInflateDeflate(t *testing.T) {
+	vm, m := newBalloonVM(t, 128*mem.MiB, Config{})
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.Limit() != 64*mem.MiB || m.InflatedBytes() != 64*mem.MiB {
+		t.Errorf("limit %d inflated %d", m.Limit(), m.InflatedBytes())
+	}
+	if vm.RSS() != 64*mem.MiB {
+		t.Errorf("RSS = %d", vm.RSS())
+	}
+	// 64 MiB at 4 KiB = 16384 pages, one madvise each, batched kicks.
+	if m.Madvises != 16384 {
+		t.Errorf("madvises = %d", m.Madvises)
+	}
+	if m.Hypercalls != 16384/KickBatch {
+		t.Errorf("hypercalls = %d, want %d", m.Hypercalls, 16384/KickBatch)
+	}
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.InflatedBytes() != 0 || m.Limit() != 128*mem.MiB {
+		t.Errorf("after deflate: inflated %d limit %d", m.InflatedBytes(), m.Limit())
+	}
+	// Deflation does not repopulate: the host maps on later faults.
+	if vm.RSS() != 64*mem.MiB {
+		t.Errorf("RSS after deflate = %d", vm.RSS())
+	}
+	b := vm.Guest.Zones()[0].Impl.(*buddy.Alloc)
+	b.DrainPCP()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeBalloon(t *testing.T) {
+	vm, m := newBalloonVM(t, 128*mem.MiB, Config{Huge: true})
+	if m.Name() != "virtio-balloon-huge" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Properties().Granularity != mem.HugeSize {
+		t.Error("granularity")
+	}
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.Madvises != 32 { // 64 MiB / 2 MiB
+		t.Errorf("madvises = %d", m.Madvises)
+	}
+	if vm.RSS() != 64*mem.MiB {
+		t.Errorf("RSS = %d", vm.RSS())
+	}
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkUnderPressureEvictsCache(t *testing.T) {
+	vm, m := newBalloonVM(t, 128*mem.MiB, Config{})
+	if err := vm.Guest.Cache().Write(0, "data", 96*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shrink(32 * mem.MiB); err != nil {
+		t.Fatalf("shrink with full cache: %v", err)
+	}
+	if vm.Guest.Cache().Bytes() > 32*mem.MiB {
+		t.Errorf("cache = %d after inflation pressure", vm.Guest.Cache().Bytes())
+	}
+}
+
+func TestShrinkInsufficient(t *testing.T) {
+	vm, m := newBalloonVM(t, 128*mem.MiB, Config{})
+	r, err := vm.Guest.AllocAnon(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shrink(8 * mem.MiB); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("expected ErrInsufficient, got %v", err)
+	}
+	r.Free()
+}
+
+func TestFreePageReportingCycle(t *testing.T) {
+	vm, m := newBalloonVM(t, 128*mem.MiB, Config{
+		FreePageReporting: true,
+		ReportingOrder:    mem.HugeOrder,
+		ReportingCapacity: 8,
+	})
+	if d := m.AutoTick(); d != 2*sim.Second {
+		t.Errorf("delay = %v", d)
+	}
+	// Capacity 8 blocks per cycle; a fresh buddy hands out its largest
+	// blocks (order 10 = 4 MiB) first, like Linux's page_reporting_cycle.
+	if m.ReportedOps != 8 {
+		t.Errorf("reported = %d", m.ReportedOps)
+	}
+	if vm.RSS() != 128*mem.MiB-32*mem.MiB {
+		t.Errorf("RSS = %d", vm.RSS())
+	}
+	// Reported memory is still allocatable by the guest.
+	r, err := vm.Guest.AllocAnon(0, 120*mem.MiB)
+	if err != nil {
+		t.Fatalf("alloc over reported memory: %v", err)
+	}
+	r.Free()
+}
+
+func TestFreePageReportingOrderZero(t *testing.T) {
+	_, m := newBalloonVM(t, 64*mem.MiB, Config{
+		FreePageReporting: true,
+		ReportingOrder:    0,
+		ReportingCapacity: 16,
+	})
+	m.AutoTick()
+	if m.ReportedOps == 0 {
+		t.Error("order-0 reporting reported nothing")
+	}
+}
+
+func TestAutoTickDisabled(t *testing.T) {
+	_, m := newBalloonVM(t, 64*mem.MiB, Config{})
+	if d := m.AutoTick(); d != 0 {
+		t.Errorf("disabled reporting ticked: %v", d)
+	}
+}
+
+func TestDeflateStopsWhenEmpty(t *testing.T) {
+	_, m := newBalloonVM(t, 64*mem.MiB, Config{})
+	if err := m.Grow(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Limit() != 64*mem.MiB {
+		t.Errorf("limit grew beyond initial: %d", m.Limit())
+	}
+}

@@ -1,0 +1,71 @@
+package buddy
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func BenchmarkAllocFreeBase(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(0, 0, mem.Movable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(0, p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocFreeHuge(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20, DisablePCP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Alloc(0, mem.HugeOrder, mem.Huge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(0, p, mem.HugeOrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectReportable(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20, DisablePCP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := a.CollectReportable(mem.HugeOrder, 32); len(got) == 0 {
+			b.Fatal("nothing reportable")
+		}
+	}
+}
+
+func BenchmarkOfflineOnline(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 18, DisablePCP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		area := uint64(i) % a.Areas()
+		if err := a.OfflineArea(area); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.OnlineArea(area, mem.Movable); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

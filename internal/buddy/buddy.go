@@ -1,0 +1,388 @@
+// Package buddy implements a Linux-style binary buddy page-frame allocator:
+// per-order, per-migratetype free lists, per-CPU page caches for order-0
+// allocations, pageblock-granular migratetype stealing, and the
+// PageReported tracking used by virtio-balloon's free-page reporting.
+//
+// It is the baseline substrate of the evaluation: virtio-balloon and
+// virtio-mem guests run on it, and its fragmentation behaviour — lifetimes
+// of different allocation types mixed within 2 MiB pageblocks, free pages
+// parked in per-CPU caches — is what limits their reclaimable huge-page
+// supply in Figs. 7-10 of the paper.
+package buddy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hyperalloc/internal/mem"
+)
+
+// ErrOutOfMemory reports that no block of the requested order is free.
+var ErrOutOfMemory = errors.New("buddy: out of memory")
+
+// ErrBadState reports an invalid free (double free, bad alignment, ...).
+var ErrBadState = errors.New("buddy: invalid state")
+
+const (
+	maxOrder       = mem.MaxOrder // largest block: 2^10 frames = 4 MiB
+	pageblockOrder = mem.HugeOrder
+	numMT          = int(mem.NumAllocTypes)
+	// mtIsolate is the internal MIGRATE_ISOLATE migratetype: free blocks
+	// of isolated pageblocks are unreachable for allocation, so page
+	// migration away from a block being offlined cannot be undone by a
+	// racing allocation (virtio-mem unplug, Linux's start_isolate_page_range).
+	mtIsolate = numMT
+	numLists  = numMT + 1
+)
+
+// header bits (valid at a free block's head frame): the order, the list's
+// migratetype, and the free/reported flags. Recording the migratetype of
+// the list the block sits on makes removal exact even when the pageblock
+// migratetype changed after insertion.
+const (
+	hdrOrder    = 0x0f
+	hdrReported = 1 << 4 // meaningful with hdrFree set
+	hdrUsed     = 1 << 4 // meaningful with hdrFree clear: head of a used block
+	hdrFree     = 1 << 5
+	hdrMTShift  = 6
+)
+
+// Config parameterizes an allocator.
+type Config struct {
+	// Frames is the number of managed base frames.
+	Frames uint64
+	// CPUs is the number of per-CPU page caches (default 1).
+	CPUs int
+	// PCPBatch is the number of pages moved between the core and a
+	// per-CPU cache at once (default 32, Linux-like).
+	PCPBatch int
+	// PCPHigh is the high watermark of a per-CPU cache above which pages
+	// drain back to the core (default 6*PCPBatch).
+	PCPHigh int
+	// DisablePCP turns per-CPU caches off (allocations hit the core
+	// directly). Used by tests and by the cache-purge path.
+	DisablePCP bool
+}
+
+// Alloc is a buddy allocator instance. All methods are safe for concurrent
+// use; the core is guarded by a single zone lock like Linux's zone->lock.
+type Alloc struct {
+	mu     sync.Mutex
+	frames uint64
+	areas  uint64
+
+	// Intrusive doubly-linked free lists. Indices < frames are frames;
+	// indices >= frames are list sentinels (order*numMT + mt).
+	next []uint32
+	prev []uint32
+	hdr  []uint8 // per frame: free flag, reported flag, order (at head)
+
+	// freeCount[order][mt] tracks list lengths for stats and reporting.
+	freeCount [maxOrder + 1][numLists]uint64
+	freeTotal uint64 // allocatable free frames in the core lists (excl. pcp)
+	isolated  uint64 // free frames on isolate lists (not allocatable)
+
+	areaUsed    []uint16 // truly allocated frames per 2 MiB area
+	pageblockMT []uint8  // migratetype per pageblock (area)
+	offline     uint64   // frames removed by OfflineArea (virtio-mem)
+
+	pcps       []pcp
+	pcpBatch   int
+	pcpHigh    int
+	pcpDisable bool
+}
+
+// New creates an allocator with all frames free.
+func New(cfg Config) (*Alloc, error) {
+	if cfg.Frames == 0 {
+		return nil, fmt.Errorf("buddy: config with zero frames")
+	}
+	if cfg.Frames >= 1<<32-64 {
+		return nil, fmt.Errorf("buddy: too many frames: %d", cfg.Frames)
+	}
+	cpus := cfg.CPUs
+	if cpus <= 0 {
+		cpus = 1
+	}
+	batch := cfg.PCPBatch
+	if batch <= 0 {
+		batch = 32
+	}
+	high := cfg.PCPHigh
+	if high <= 0 {
+		high = 6 * batch
+	}
+	areas := (cfg.Frames + mem.FramesPerHuge - 1) / mem.FramesPerHuge
+	numSentinels := (maxOrder + 1) * numLists
+	a := &Alloc{
+		frames:      cfg.Frames,
+		areas:       areas,
+		next:        make([]uint32, cfg.Frames+uint64(numSentinels)),
+		prev:        make([]uint32, cfg.Frames+uint64(numSentinels)),
+		hdr:         make([]uint8, cfg.Frames),
+		areaUsed:    make([]uint16, areas),
+		pageblockMT: movableBlocks(areas),
+		pcps:        make([]pcp, cpus),
+		pcpBatch:    batch,
+		pcpHigh:     high,
+		pcpDisable:  cfg.DisablePCP,
+	}
+	for order := 0; order <= maxOrder; order++ {
+		for mt := 0; mt < numLists; mt++ {
+			s := a.sentinel(order, mt)
+			a.next[s] = uint32(s)
+			a.prev[s] = uint32(s)
+		}
+	}
+	// Seed the free lists with maximal aligned blocks; everything starts
+	// as Movable like fresh Linux memory.
+	pfn := uint64(0)
+	for pfn < cfg.Frames {
+		order := maxOrder
+		for order > 0 && (pfn&((1<<order)-1) != 0 || pfn+(1<<order) > cfg.Frames) {
+			order--
+		}
+		a.insert(pfn, order, int(mem.Movable))
+		pfn += 1 << order
+	}
+	return a, nil
+}
+
+// movableBlocks initializes every pageblock as Movable, like fresh Linux
+// memory onlined into a zone.
+func movableBlocks(areas uint64) []uint8 {
+	mts := make([]uint8, areas)
+	for i := range mts {
+		mts[i] = uint8(mem.Movable)
+	}
+	return mts
+}
+
+func (a *Alloc) sentinel(order, mt int) uint64 {
+	return a.frames + uint64(order*numLists+mt)
+}
+
+// insert links the block at the head of its free list and marks the header.
+// Caller holds the lock (or runs during init).
+func (a *Alloc) insert(pfn uint64, order, mt int) {
+	a.hdr[pfn] = hdrFree | uint8(order) | uint8(mt)<<hdrMTShift
+	s := uint32(a.sentinel(order, mt))
+	n := a.next[s]
+	a.next[s] = uint32(pfn)
+	a.prev[pfn] = s
+	a.next[pfn] = n
+	a.prev[n] = uint32(pfn)
+	a.freeCount[order][mt]++
+	if mt == mtIsolate {
+		a.isolated += 1 << order
+	} else {
+		a.freeTotal += 1 << order
+	}
+}
+
+// insertTail links the block at the tail (used by reported blocks so they
+// are allocated last, like Linux's PageReported handling).
+func (a *Alloc) insertTail(pfn uint64, order, mt int, reported bool) {
+	a.hdr[pfn] = hdrFree | uint8(order) | uint8(mt)<<hdrMTShift
+	if reported {
+		a.hdr[pfn] |= hdrReported
+	}
+	s := uint32(a.sentinel(order, mt))
+	p := a.prev[s]
+	a.prev[s] = uint32(pfn)
+	a.next[pfn] = s
+	a.prev[pfn] = p
+	a.next[p] = uint32(pfn)
+	a.freeCount[order][mt]++
+	if mt == mtIsolate {
+		a.isolated += 1 << order
+	} else {
+		a.freeTotal += 1 << order
+	}
+}
+
+// remove unlinks a free block from the list recorded in its header.
+// Caller holds the lock.
+func (a *Alloc) remove(pfn uint64, order, mt int) {
+	if got := int(a.hdr[pfn] >> hdrMTShift); got != mt {
+		mt = got // trust the header; pageblock MT may have changed since insert
+	}
+	n, p := a.next[pfn], a.prev[pfn]
+	a.next[p] = n
+	a.prev[n] = p
+	a.hdr[pfn] = 0
+	a.freeCount[order][mt]--
+	if mt == mtIsolate {
+		a.isolated -= 1 << order
+	} else {
+		a.freeTotal -= 1 << order
+	}
+}
+
+// Alloc allocates 2^order aligned frames of the given type. cpu selects
+// the per-CPU cache for order-0 allocations.
+func (a *Alloc) Alloc(cpu int, order mem.Order, typ mem.AllocType) (mem.PFN, error) {
+	if uint(order) > maxOrder {
+		return 0, fmt.Errorf("buddy: bad order %d", order)
+	}
+	mt := int(typ)
+	if order == 0 && !a.pcpDisable {
+		return a.pcpAlloc(cpu, mt)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	pfn, err := a.allocCore(int(order), mt)
+	if err != nil {
+		return 0, err
+	}
+	a.accountAlloc(pfn, int(order))
+	return mem.PFN(pfn), nil
+}
+
+// allocCore allocates from the free lists; lock held.
+func (a *Alloc) allocCore(order, mt int) (uint64, error) {
+	// Fast path: own migratetype, smallest sufficient order.
+	for o := order; o <= maxOrder; o++ {
+		s := a.sentinel(o, mt)
+		if head := a.next[s]; uint64(head) != s {
+			pfn := uint64(head)
+			a.remove(pfn, o, mt)
+			a.splitTo(pfn, o, order, mt)
+			return pfn, nil
+		}
+	}
+	// Fallback: steal from other migratetypes, largest block first. Like
+	// Linux's steal_suitable_fallback, a big-enough steal converts the
+	// whole containing pageblock to the new migratetype — with whatever
+	// pages of the old type are still allocated inside it. This is the
+	// mechanism that mixes lifetimes within pageblocks over time and
+	// starves huge-page coalescing (paper Sec. 2/5.5).
+	const stealOrderThreshold = 5
+	for o := maxOrder; o >= order; o-- {
+		for other := 0; other < numMT; other++ {
+			if other == mt {
+				continue
+			}
+			s := a.sentinel(o, other)
+			head := a.next[s]
+			if uint64(head) == s {
+				continue
+			}
+			pfn := uint64(head)
+			a.remove(pfn, o, other)
+			if o >= stealOrderThreshold {
+				// Claim the containing pageblock(s); their other occupants
+				// keep living there (lifetime mixing).
+				first := pfn / mem.FramesPerHuge
+				last := (pfn + (1 << o) - 1) / mem.FramesPerHuge
+				for area := first; area <= last && area < a.areas; area++ {
+					if int(a.pageblockMT[area]) != mtIsolate {
+						a.pageblockMT[area] = uint8(mt)
+					}
+				}
+				a.splitTo(pfn, o, order, mt)
+			} else {
+				// Small temporary steal: the block keeps its list's type.
+				a.splitTo(pfn, o, order, other)
+			}
+			return pfn, nil
+		}
+	}
+	return 0, ErrOutOfMemory
+}
+
+// splitTo splits a block of order `from` down to `to`, returning halves to
+// the free lists of mt; lock held.
+func (a *Alloc) splitTo(pfn uint64, from, to, mt int) {
+	for o := from; o > to; o-- {
+		half := pfn + (1 << (o - 1))
+		a.insert(half, o-1, mt)
+	}
+}
+
+// Free frees 2^order frames starting at pfn. The order must match the
+// allocation.
+func (a *Alloc) Free(cpu int, pfn mem.PFN, order mem.Order) error {
+	p := uint64(pfn)
+	if uint(order) > maxOrder || p+order.Frames() > a.frames || !pfn.AlignedTo(uint(order)) {
+		return fmt.Errorf("%w: free pfn %d order %d", ErrBadState, p, order)
+	}
+	if order == 0 && !a.pcpDisable {
+		return a.pcpFree(cpu, p)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hdr[p]&hdrFree != 0 {
+		return fmt.Errorf("%w: double free of pfn %d", ErrBadState, p)
+	}
+	if a.hdr[p] != hdrUsed|uint8(order) {
+		return fmt.Errorf("%w: pfn %d is not the head of an order-%d allocation", ErrBadState, p, order)
+	}
+	a.accountFree(p, int(order))
+	a.freeCore(p, int(order))
+	return nil
+}
+
+// freeCore merges the block with free buddies and inserts it; lock held.
+func (a *Alloc) freeCore(pfn uint64, order int) {
+	for order < maxOrder {
+		buddy := pfn ^ (1 << order)
+		if buddy+(1<<order) > a.frames {
+			break
+		}
+		if a.hdr[buddy]&hdrFree == 0 || int(a.hdr[buddy]&hdrOrder) != order {
+			break
+		}
+		if order >= pageblockOrder && a.mtOf(buddy) != a.mtOf(pfn) {
+			// Never merge across pageblocks of different migratetypes;
+			// isolated blocks must stay isolated.
+			break
+		}
+		a.remove(buddy, order, int(a.hdr[buddy]>>hdrMTShift))
+		if buddy < pfn {
+			pfn = buddy
+		}
+		order++
+	}
+	a.insert(pfn, order, a.mtOf(pfn))
+}
+
+// mtOf returns the migratetype of the pageblock containing pfn.
+func (a *Alloc) mtOf(pfn uint64) int {
+	return int(a.pageblockMT[pfn/mem.FramesPerHuge])
+}
+
+// accountAlloc/accountFree maintain the per-area usage counters that feed
+// the fragmentation metrics; lock held.
+func (a *Alloc) accountAlloc(pfn uint64, order int) {
+	a.hdr[pfn] = hdrUsed | uint8(order)
+	n := uint64(1) << order
+	for off := uint64(0); off < n; off += mem.FramesPerHuge {
+		area := (pfn + off) / mem.FramesPerHuge
+		cnt := n - off
+		if cnt > mem.FramesPerHuge {
+			cnt = mem.FramesPerHuge
+		}
+		a.areaUsed[area] += uint16(cnt)
+	}
+}
+
+func (a *Alloc) accountFree(pfn uint64, order int) {
+	a.hdr[pfn] = 0
+	n := uint64(1) << order
+	for off := uint64(0); off < n; off += mem.FramesPerHuge {
+		area := (pfn + off) / mem.FramesPerHuge
+		cnt := n - off
+		if cnt > mem.FramesPerHuge {
+			cnt = mem.FramesPerHuge
+		}
+		if a.areaUsed[area] < uint16(cnt) {
+			panic("buddy: area usage underflow")
+		}
+		a.areaUsed[area] -= uint16(cnt)
+	}
+}
+
+// Frames returns the number of managed frames.
+func (a *Alloc) Frames() uint64 { return a.frames }

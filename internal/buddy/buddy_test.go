@@ -1,0 +1,477 @@
+package buddy
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hyperalloc/internal/mem"
+)
+
+const testFrames = 32 * 1024 // 128 MiB, 64 areas
+
+func newAlloc(t testing.TB, frames uint64) *Alloc {
+	t.Helper()
+	a, err := New(Config{Frames: frames})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for zero frames")
+	}
+	if _, err := New(Config{Frames: 1 << 33}); err == nil {
+		t.Error("expected error for too many frames")
+	}
+}
+
+func TestAllFreeInitially(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	for order := mem.Order(0); order <= mem.MaxOrder; order++ {
+		pfn, err := a.Alloc(0, order, mem.Movable)
+		if err != nil {
+			t.Fatalf("order %d: %v", order, err)
+		}
+		if !pfn.AlignedTo(uint(order)) {
+			t.Errorf("order %d: misaligned %d", order, pfn)
+		}
+		if err := a.Free(0, pfn, order); err != nil {
+			t.Fatalf("free order %d: %v", order, err)
+		}
+	}
+	a.DrainPCP()
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	a, err := New(Config{Frames: 1024, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate all order-0 frames, free them all; the allocator must
+	// coalesce back to maximal blocks so a huge allocation succeeds.
+	var pfns []mem.PFN
+	for i := 0; i < 1024; i++ {
+		p, err := a.Alloc(0, 0, mem.Movable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns = append(pfns, p)
+	}
+	if _, err := a.Alloc(0, mem.HugeOrder, mem.Huge); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("huge alloc from exhausted buddy: %v", err)
+	}
+	for _, p := range pfns {
+		if err := a.Free(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Alloc(0, mem.HugeOrder, mem.Huge); err != nil {
+		t.Fatalf("huge alloc after coalescing: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a, err := New(Config{Frames: 1024, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Alloc(0, 3, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(0, p, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(0, p, 3); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := a.Free(0, mem.PFN(testFrames*2), 0); err == nil {
+		t.Error("out-of-range free not detected")
+	}
+	if err := a.Free(0, 1, 1); err == nil {
+		t.Error("misaligned free not detected")
+	}
+}
+
+func TestPCPCaching(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	p, err := a.Alloc(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After one allocation a whole batch was pulled into the pcp.
+	if got := a.PCPCached(); got == 0 {
+		t.Error("pcp empty after refill")
+	}
+	if err := a.Free(0, p, 0); err != nil {
+		t.Fatal(err)
+	}
+	// LIFO: the next allocation returns the page just freed.
+	p2, err := a.Alloc(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Errorf("pcp not LIFO: got %d, want %d", p2, p)
+	}
+	if err := a.Free(0, p2, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.DrainPCP()
+	if a.PCPCached() != 0 {
+		t.Error("DrainPCP left pages cached")
+	}
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCPHidesPagesFromReporting(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	p, err := a.Alloc(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := a.PCPCached()
+	if a.FreeCoreFrames()+cached+1 != testFrames {
+		t.Errorf("core %d + pcp %d + 1 != %d", a.FreeCoreFrames(), cached, testFrames)
+	}
+	_ = p
+}
+
+func TestMigratetypeStealingChangesPageblock(t *testing.T) {
+	a, err := New(Config{Frames: 2 * 512, DisablePCP: true}) // 2 pageblocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything starts Movable; an Unmovable allocation must steal a
+	// pageblock and convert it.
+	if _, err := a.Alloc(0, 0, mem.Unmovable); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for area := uint64(0); area < 2; area++ {
+		if a.pageblockMT[area] == uint8(mem.Unmovable) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no pageblock converted to unmovable after fallback")
+	}
+}
+
+func TestUsageMetrics(t *testing.T) {
+	a, err := New(Config{Frames: testFrames, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := a.Alloc(0, 0, mem.Movable)
+	if got := a.UsedBaseBytes(); got != mem.PageSize {
+		t.Errorf("UsedBaseBytes = %d", got)
+	}
+	if got := a.UsedHugeBytes(); got != mem.HugeSize {
+		t.Errorf("UsedHugeBytes = %d", got)
+	}
+	if got := a.FreeAreaCount(); got != testFrames/512-1 {
+		t.Errorf("FreeAreaCount = %d", got)
+	}
+	if err := a.Free(0, p1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.UsedBaseBytes(); got != 0 {
+		t.Errorf("UsedBaseBytes after free = %d", got)
+	}
+}
+
+func TestFreeHugeBlocks(t *testing.T) {
+	a, err := New(Config{Frames: 4 * 512, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreeHugeBlocks(); got != 4 {
+		t.Fatalf("FreeHugeBlocks = %d, want 4", got)
+	}
+	// One order-0 allocation splits a block and costs one huge unit.
+	if _, err := a.Alloc(0, 0, mem.Movable); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FreeHugeBlocks(); got != 3 {
+		t.Errorf("FreeHugeBlocks after order-0 alloc = %d, want 3", got)
+	}
+}
+
+func TestOfflineOnline(t *testing.T) {
+	a, err := New(Config{Frames: 4 * 512, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.OfflineArea(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.OfflineFrames() != 512 {
+		t.Errorf("OfflineFrames = %d", a.OfflineFrames())
+	}
+	if a.FreeFrames() != 3*512 {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Offlined frames must not be allocatable: exhaust and count.
+	n := 0
+	for {
+		if _, err := a.Alloc(0, 0, mem.Movable); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 3*512 {
+		t.Errorf("allocated %d frames with one area offline, want %d", n, 3*512)
+	}
+	// Online the area again; its frames come back.
+	if err := a.OnlineArea(1, mem.Movable); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != 512 {
+		t.Errorf("FreeFrames after online = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineBusyAreaFails(t *testing.T) {
+	a, err := New(Config{Frames: 2 * 512, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := a.Alloc(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.OfflineArea(p.HugeIndex()); err == nil {
+		t.Error("offlined an area with allocated frames")
+	}
+	if err := a.OfflineArea(99); err == nil {
+		t.Error("offlined an out-of-range area")
+	}
+}
+
+func TestReporting(t *testing.T) {
+	a, err := New(Config{Frames: 8 * 512, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := a.CollectReportable(mem.HugeOrder, 100)
+	if len(blocks) == 0 {
+		t.Fatal("no reportable blocks in a free allocator")
+	}
+	var frames uint64
+	for _, b := range blocks {
+		if b.Order < mem.HugeOrder {
+			t.Errorf("reported block below min order: %d", b.Order)
+		}
+		if !a.MarkReported(b.PFN, b.Order) {
+			t.Errorf("MarkReported(%d,%d) failed", b.PFN, b.Order)
+		}
+		frames += b.Order.Frames()
+	}
+	if frames != 8*512 {
+		t.Errorf("reportable frames = %d, want all", frames)
+	}
+	if got := a.ReportedFrames(); got != frames {
+		t.Errorf("ReportedFrames = %d", got)
+	}
+	// Everything is reported now; a second cycle finds nothing.
+	if again := a.CollectReportable(mem.HugeOrder, 100); len(again) != 0 {
+		t.Errorf("second cycle found %d blocks", len(again))
+	}
+	// Allocation clears the report flag.
+	p, err := a.Alloc(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	if got := a.ReportedFrames(); got >= frames {
+		t.Errorf("ReportedFrames = %d after allocation, want fewer than %d", got, frames)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkReportedRaceLost(t *testing.T) {
+	a, err := New(Config{Frames: 2 * 512, DisablePCP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := a.CollectReportable(mem.HugeOrder, 1)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	// The block gets allocated between collect and mark.
+	p, err := a.Alloc(0, mem.Order(blocks[0].Order), mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == blocks[0].PFN {
+		if a.MarkReported(blocks[0].PFN, blocks[0].Order) {
+			t.Error("MarkReported succeeded on an allocated block")
+		}
+	}
+}
+
+func TestConcurrentBuddy(t *testing.T) {
+	a, err := New(Config{Frames: testFrames, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var held []mem.PFN
+			for i := 0; i < 3000; i++ {
+				if len(held) > 16 {
+					p := held[len(held)-1]
+					held = held[:len(held)-1]
+					if err := a.Free(cpu, p, 0); err != nil {
+						t.Errorf("Free: %v", err)
+						return
+					}
+					continue
+				}
+				p, err := a.Alloc(cpu, 0, mem.Movable)
+				if err != nil {
+					continue
+				}
+				held = append(held, p)
+			}
+			for _, p := range held {
+				_ = a.Free(cpu, p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	a.DrainPCP()
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary alloc/free sequences keep the allocator consistent
+// and never hand out overlapping blocks.
+func TestPropertyBuddySequences(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a, err := New(Config{Frames: 8 * 512, DisablePCP: true})
+		if err != nil {
+			return false
+		}
+		type held struct {
+			pfn   mem.PFN
+			order mem.Order
+		}
+		var live []held
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				h := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := a.Free(0, h.pfn, h.order); err != nil {
+					return false
+				}
+				continue
+			}
+			order := mem.Order(op % (mem.MaxOrder + 1))
+			p, err := a.Alloc(0, order, mem.AllocType(op%3))
+			if err != nil {
+				continue
+			}
+			live = append(live, held{p, order})
+		}
+		used := make(map[uint64]bool)
+		for _, h := range live {
+			for i := uint64(0); i < h.order.Frames(); i++ {
+				if used[uint64(h.pfn)+i] {
+					return false
+				}
+				used[uint64(h.pfn)+i] = true
+			}
+		}
+		for _, h := range live {
+			if err := a.Free(0, h.pfn, h.order); err != nil {
+				return false
+			}
+		}
+		return a.FreeFrames() == 8*512 && a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: offline/online round trips preserve every frame.
+func TestPropertyOfflineRoundTrip(t *testing.T) {
+	f := func(picks []uint8) bool {
+		const areas = 16
+		a, err := New(Config{Frames: areas * 512, DisablePCP: true})
+		if err != nil {
+			return false
+		}
+		off := make(map[uint64]bool)
+		for _, p := range picks {
+			area := uint64(p) % areas
+			if off[area] {
+				if err := a.OnlineArea(area, mem.Movable); err != nil {
+					return false
+				}
+				delete(off, area)
+			} else {
+				if err := a.OfflineArea(area); err != nil {
+					return false
+				}
+				off[area] = true
+			}
+		}
+		for area := range off {
+			if err := a.OnlineArea(area, mem.Movable); err != nil {
+				return false
+			}
+		}
+		return a.FreeFrames() == areas*512 && a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

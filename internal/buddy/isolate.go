@@ -1,0 +1,100 @@
+package buddy
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Pageblock isolation for memory offlining (Linux MIGRATE_ISOLATE): an
+// isolated area's free blocks move to a hidden free list; allocations can
+// no longer be served from the area, and pages freed into it (by the
+// migration that evacuates it) land on the hidden list too.
+
+// IsolateArea marks the area MIGRATE_ISOLATE and moves its free blocks to
+// the isolate list. The per-CPU caches must be drained first (cached pages
+// of the area cannot be captured).
+func (a *Alloc) IsolateArea(area uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if area >= a.areas {
+		return fmt.Errorf("%w: isolate area %d out of range", ErrBadState, area)
+	}
+	start := area * mem.FramesPerHuge
+	end := start + mem.FramesPerHuge
+	if end > a.frames {
+		return fmt.Errorf("%w: isolate partial tail area %d", ErrBadState, area)
+	}
+	if int(a.pageblockMT[area]) == mtIsolate {
+		return fmt.Errorf("%w: area %d already isolated", ErrBadState, area)
+	}
+	if err := a.splitCovering(start); err != nil {
+		return err
+	}
+	a.pageblockMT[area] = uint8(mtIsolate)
+	// Re-home the area's free blocks onto the isolate list.
+	pfn := start
+	for pfn < end {
+		h := a.hdr[pfn]
+		if h&hdrFree != 0 {
+			order := int(h & hdrOrder)
+			a.remove(pfn, order, int(h>>hdrMTShift))
+			a.insert(pfn, order, mtIsolate)
+			pfn += 1 << order
+			continue
+		}
+		if h&hdrUsed != 0 {
+			pfn += uint64(1) << (h & hdrOrder)
+			continue
+		}
+		// Unaccounted frame: parked in a per-CPU cache. Undo and report.
+		a.pageblockMT[area] = uint8(mem.Movable)
+		a.rehomeIsolated(start, end, int(mem.Movable))
+		return fmt.Errorf("%w: frame %d of area %d is pcp-cached", ErrBadState, pfn, area)
+	}
+	return nil
+}
+
+// UnisolateArea reverts an isolation (offline aborted), returning the
+// area's free blocks to the given migratetype.
+func (a *Alloc) UnisolateArea(area uint64, typ mem.AllocType) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if area >= a.areas || int(a.pageblockMT[area]) != mtIsolate {
+		return fmt.Errorf("%w: unisolate area %d", ErrBadState, area)
+	}
+	a.pageblockMT[area] = uint8(typ)
+	start := area * mem.FramesPerHuge
+	a.rehomeIsolated(start, start+mem.FramesPerHuge, int(typ))
+	return nil
+}
+
+// rehomeIsolated moves the free blocks in [start, end) that sit on the
+// isolate list onto the lists of mt; lock held.
+func (a *Alloc) rehomeIsolated(start, end uint64, mt int) {
+	pfn := start
+	for pfn < end {
+		h := a.hdr[pfn]
+		if h&hdrFree != 0 {
+			order := int(h & hdrOrder)
+			if int(h>>hdrMTShift) == mtIsolate {
+				a.remove(pfn, order, mtIsolate)
+				a.insert(pfn, order, mt)
+			}
+			pfn += 1 << order
+			continue
+		}
+		pfn++
+	}
+}
+
+// IsolatedFrames returns the number of frames on isolate lists.
+func (a *Alloc) IsolatedFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for order := 0; order <= maxOrder; order++ {
+		n += a.freeCount[order][mtIsolate] << order
+	}
+	return n
+}

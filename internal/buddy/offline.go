@@ -1,0 +1,97 @@
+package buddy
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Memory offlining for virtio-mem: unplugging a 2 MiB block removes its
+// frames from the free lists so the guest cannot allocate them; plugging
+// puts them back. Offlining requires the area to be entirely free in the
+// core lists (the virtio-mem driver migrates used pages away and drains
+// per-CPU caches before offlining).
+
+// OfflineArea removes all 512 frames of the area from the allocator.
+// Returns ErrBadState if any frame is allocated or parked in a per-CPU
+// cache.
+func (a *Alloc) OfflineArea(area uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if area >= a.areas {
+		return fmt.Errorf("%w: offline area %d", ErrBadState, area)
+	}
+	if a.areaUsed[area] != 0 {
+		return fmt.Errorf("%w: offline area %d with %d used frames", ErrBadState, area, a.areaUsed[area])
+	}
+	start := area * mem.FramesPerHuge
+	end := start + mem.FramesPerHuge
+	if end > a.frames {
+		return fmt.Errorf("%w: offline partial tail area %d", ErrBadState, area)
+	}
+	// Split any covering block that extends beyond the area so the area is
+	// covered only by blocks of order <= 9.
+	if err := a.splitCovering(start); err != nil {
+		return err
+	}
+	// Verify every frame of the area is free before removing anything.
+	pfn := start
+	for pfn < end {
+		if a.hdr[pfn]&hdrFree == 0 {
+			return fmt.Errorf("%w: offline area %d: frame %d not in free lists (pcp-cached?)", ErrBadState, area, pfn)
+		}
+		pfn += 1 << (a.hdr[pfn] & hdrOrder)
+	}
+	pfn = start
+	for pfn < end {
+		order := int(a.hdr[pfn] & hdrOrder)
+		a.remove(pfn, order, a.mtOf(pfn))
+		pfn += 1 << order
+	}
+	a.offline += mem.FramesPerHuge
+	return nil
+}
+
+// OnlineArea returns a previously offlined area to the free lists as one
+// order-9 block of the given migratetype.
+func (a *Alloc) OnlineArea(area uint64, typ mem.AllocType) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if area >= a.areas || a.offline < mem.FramesPerHuge {
+		return fmt.Errorf("%w: online area %d", ErrBadState, area)
+	}
+	start := area * mem.FramesPerHuge
+	if a.hdr[start]&hdrFree != 0 {
+		return fmt.Errorf("%w: online area %d already free", ErrBadState, area)
+	}
+	a.pageblockMT[area] = uint8(typ)
+	a.offline -= mem.FramesPerHuge
+	a.freeCore(start, pageblockOrder)
+	return nil
+}
+
+// OfflineFrames returns the number of currently offlined frames.
+func (a *Alloc) OfflineFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.offline
+}
+
+// splitCovering splits free blocks larger than a pageblock that cover pfn
+// down to pageblock size; lock held.
+func (a *Alloc) splitCovering(pfn uint64) error {
+	for order := maxOrder; order > pageblockOrder; order-- {
+		head := pfn &^ ((1 << order) - 1)
+		if head+(1<<order) > a.frames {
+			continue
+		}
+		if a.hdr[head]&hdrFree != 0 && int(a.hdr[head]&hdrOrder) == order {
+			mt := a.mtOf(head)
+			a.remove(head, order, mt)
+			a.insert(head, order-1, mt)
+			a.insert(head+(1<<(order-1)), order-1, mt)
+			return a.splitCovering(pfn)
+		}
+	}
+	return nil
+}

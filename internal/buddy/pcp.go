@@ -1,0 +1,105 @@
+package buddy
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Per-CPU page caches for order-0 allocations. Like Linux's pcplists they
+// batch refills/drains against the zone lock and hand out recently freed
+// pages LIFO. Their side effects matter for the evaluation: cached pages
+// are invisible to free-page reporting and keep huge frames fragmented
+// (Sec. 2: "the respective frames have a much higher probability of being
+// allocated next").
+//
+// This simulation takes the zone lock for accounting even on cached
+// operations; the pcp lists reproduce the *placement* behaviour, not the
+// lock scalability.
+
+type pcp struct {
+	lists [numMT][]uint32
+}
+
+func (a *Alloc) pcpAlloc(cpu int, mt int) (mem.PFN, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := &a.pcps[cpu%len(a.pcps)]
+	if len(c.lists[mt]) == 0 {
+		// Refill a batch from the core. Pages parked here are neither free
+		// (for reporting) nor used (for footprint metrics).
+		for i := 0; i < a.pcpBatch; i++ {
+			pfn, err := a.allocCore(0, mt)
+			if err != nil {
+				break
+			}
+			c.lists[mt] = append(c.lists[mt], uint32(pfn))
+		}
+		if len(c.lists[mt]) == 0 {
+			return 0, ErrOutOfMemory
+		}
+	}
+	l := c.lists[mt]
+	pfn := uint64(l[len(l)-1])
+	c.lists[mt] = l[:len(l)-1]
+	a.accountAlloc(pfn, 0)
+	return mem.PFN(pfn), nil
+}
+
+func (a *Alloc) pcpFree(cpu int, pfn uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hdr[pfn] != hdrUsed {
+		return fmt.Errorf("%w: pfn %d is not an allocated base frame", ErrBadState, pfn)
+	}
+	a.accountFree(pfn, 0)
+	mt := a.mtOf(pfn)
+	if mt == mtIsolate {
+		// Freed into an isolated pageblock: straight to the isolate list,
+		// never into a per-CPU cache.
+		a.freeCore(pfn, 0)
+		return nil
+	}
+	c := &a.pcps[cpu%len(a.pcps)]
+	c.lists[mt] = append(c.lists[mt], uint32(pfn))
+	if len(c.lists[mt]) > a.pcpHigh {
+		// Drain a batch back to the core (oldest first).
+		drain := a.pcpBatch
+		for i := 0; i < drain && len(c.lists[mt]) > 0; i++ {
+			p := uint64(c.lists[mt][0])
+			c.lists[mt] = c.lists[mt][1:]
+			a.freeCore(p, 0)
+		}
+	}
+	return nil
+}
+
+// DrainPCP returns all per-CPU cached pages to the core free lists. The
+// guest does this under memory pressure and on the explicit cache purge
+// that precedes hard shrinking (Sec. 3.3).
+func (a *Alloc) DrainPCP() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.pcps {
+		c := &a.pcps[i]
+		for mt := 0; mt < numMT; mt++ {
+			for _, p := range c.lists[mt] {
+				a.freeCore(uint64(p), 0)
+			}
+			c.lists[mt] = nil
+		}
+	}
+}
+
+// PCPCached returns the number of pages currently parked in per-CPU caches.
+func (a *Alloc) PCPCached() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			n += uint64(len(a.pcps[i].lists[mt]))
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package buddy
+
+import "hyperalloc/internal/mem"
+
+// Free-page reporting support (virtio-balloon's automatic mode). The
+// balloon driver periodically walks the free lists for unreported blocks
+// of at least the reporting order, hands them to the hypervisor, and marks
+// them PageReported so they are not reported again. Reported blocks stay
+// logically free for the guest; the report flag is shed as soon as the
+// block is allocated, split, or merged.
+
+// FreeBlock describes one block in the free lists.
+type FreeBlock struct {
+	PFN   mem.PFN
+	Order mem.Order
+}
+
+// CollectReportable gathers up to max unreported free blocks of at least
+// minOrder, in decreasing order size like Linux's page_reporting_cycle.
+func (a *Alloc) CollectReportable(minOrder mem.Order, max int) []FreeBlock {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []FreeBlock
+	for order := maxOrder; order >= int(minOrder); order-- {
+		for mt := 0; mt < numMT; mt++ {
+			s := a.sentinel(order, mt)
+			for cur := a.next[s]; uint64(cur) != s; cur = a.next[cur] {
+				if a.hdr[cur]&hdrReported != 0 {
+					continue
+				}
+				out = append(out, FreeBlock{PFN: mem.PFN(cur), Order: mem.Order(order)})
+				if len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MarkReported flags the block as reported if it is still a free block of
+// exactly that order, and moves it to the list tail so it is allocated
+// last. Reports whether the mark was applied (false means the block was
+// allocated or coalesced meanwhile and the hypervisor must not discard it).
+func (a *Alloc) MarkReported(pfn mem.PFN, order mem.Order) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := uint64(pfn)
+	if p >= a.frames || a.hdr[p]&hdrFree == 0 || int(a.hdr[p]&hdrOrder) != int(order) {
+		return false
+	}
+	mt := a.mtOf(p)
+	a.remove(p, int(order), mt)
+	a.insertTail(p, int(order), mt, true)
+	return true
+}
+
+// ReportedFrames returns the number of frames in blocks currently marked
+// reported.
+func (a *Alloc) ReportedFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for order := 0; order <= maxOrder; order++ {
+		for mt := 0; mt < numLists; mt++ {
+			s := a.sentinel(order, mt)
+			for cur := a.next[s]; uint64(cur) != s; cur = a.next[cur] {
+				if a.hdr[cur]&hdrReported != 0 {
+					n += 1 << order
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package buddy
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// FreeFrames returns the number of frames the guest can still allocate:
+// core free lists plus per-CPU caches.
+func (a *Alloc) FreeFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.freeTotal
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			n += uint64(len(a.pcps[i].lists[mt]))
+		}
+	}
+	return n
+}
+
+// FreeCoreFrames returns the frames in the core free lists only — what
+// free-page reporting can see.
+func (a *Alloc) FreeCoreFrames() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.freeTotal
+}
+
+// FreeHugeBlocks returns the number of 2 MiB units available as free
+// blocks of order >= 9 — the supply visible to huge-page ballooning and
+// order-9 free-page reporting.
+func (a *Alloc) FreeHugeBlocks() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for order := pageblockOrder; order <= maxOrder; order++ {
+		for mt := 0; mt < numMT; mt++ {
+			n += a.freeCount[order][mt] << (order - pageblockOrder)
+		}
+	}
+	return n
+}
+
+// FreeAreaCount returns the number of 2 MiB areas with no allocated frame
+// at all (pages may still be scattered across lists and caches). This is
+// the upper bound any defragmentation could reach.
+func (a *Alloc) FreeAreaCount() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for _, used := range a.areaUsed {
+		if used == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedHugeBytes returns the bytes covered by 2 MiB areas that contain at
+// least one allocated frame (the "huge" series of Fig. 8).
+func (a *Alloc) UsedHugeBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n uint64
+	for _, used := range a.areaUsed {
+		if used > 0 {
+			n++
+		}
+	}
+	return n * mem.HugeSize
+}
+
+// UsedBaseBytes returns the bytes actually allocated (the "small" series
+// of Fig. 8).
+func (a *Alloc) UsedBaseBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var frames uint64
+	for _, used := range a.areaUsed {
+		frames += uint64(used)
+	}
+	return frames * mem.PageSize
+}
+
+// FragmentationRatio returns used-huge bytes over used-base bytes.
+func (a *Alloc) FragmentationRatio() float64 {
+	small := a.UsedBaseBytes()
+	if small == 0 {
+		return 1.0
+	}
+	return float64(a.UsedHugeBytes()) / float64(small)
+}
+
+// AreaUsed returns the number of allocated frames in the given area.
+func (a *Alloc) AreaUsed(area uint64) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if area >= a.areas {
+		return 0
+	}
+	return uint64(a.areaUsed[area])
+}
+
+// Areas returns the number of 2 MiB areas.
+func (a *Alloc) Areas() uint64 { return a.areas }
+
+// Validate checks that list bookkeeping, counters, and per-area usage are
+// consistent. Quiescence required.
+func (a *Alloc) Validate() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var listed uint64
+	for order := 0; order <= maxOrder; order++ {
+		for mt := 0; mt < numLists; mt++ {
+			s := a.sentinel(order, mt)
+			var count uint64
+			for cur := a.next[s]; uint64(cur) != s; cur = a.next[cur] {
+				if a.hdr[cur]&hdrFree == 0 || int(a.hdr[cur]&hdrOrder) != order {
+					return errf("block %d in list order %d has header %#x", cur, order, a.hdr[cur])
+				}
+				if uint64(cur)&((1<<order)-1) != 0 {
+					return errf("block %d misaligned for order %d", cur, order)
+				}
+				count++
+				listed += 1 << order
+			}
+			if count != a.freeCount[order][mt] {
+				return errf("freeCount[%d][%d]=%d, list has %d", order, mt, a.freeCount[order][mt], count)
+			}
+		}
+	}
+	if listed != a.freeTotal+a.isolated {
+		return errf("freeTotal=%d + isolated=%d, lists sum to %d", a.freeTotal, a.isolated, listed)
+	}
+	var pcpN uint64
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			pcpN += uint64(len(a.pcps[i].lists[mt]))
+		}
+	}
+	var used uint64
+	for _, u := range a.areaUsed {
+		used += uint64(u)
+	}
+	if listed+pcpN+used+a.offline != a.frames {
+		return errf("frames unaccounted: free %d + pcp %d + used %d + offline %d != %d",
+			listed, pcpN, used, a.offline, a.frames)
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("buddy: validate: "+format, args...)
+}

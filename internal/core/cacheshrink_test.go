@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func TestShrinkCacheFromOutside(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	for i := 0; i < 8; i++ {
+		if err := vm.Guest.Cache().Write(0, string(rune('a'+i)), 8*mem.MiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rssBefore := vm.RSS()
+	reclaimed := m.ShrinkCache(32 * mem.MiB)
+	if reclaimed == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	if vm.RSS() >= rssBefore {
+		t.Errorf("RSS did not drop: %d -> %d", rssBefore, vm.RSS())
+	}
+	if vm.Guest.CacheBytes() > 32*mem.MiB {
+		t.Errorf("cache = %d after external shrink", vm.Guest.CacheBytes())
+	}
+	if m.CacheShrinks != 1 {
+		t.Errorf("CacheShrinks = %d", m.CacheShrinks)
+	}
+	// Empty trim is a no-op.
+	vm.Guest.DropCaches()
+	m.AutoTick()
+	if got := m.ShrinkCache(mem.MiB); got != 0 {
+		t.Errorf("shrink of empty cache reclaimed %d", got)
+	}
+}
+
+func TestTargetFootprint(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Anonymous data the monitor must not touch + cache it may trim.
+	anon, err := vm.Guest.AllocAnon(0, 16*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := vm.Guest.Cache().Write(0, string(rune('a'+i)), 8*mem.MiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rss := m.TargetFootprint(24 * mem.MiB)
+	if rss > 34*mem.MiB { // some huge-frame granularity slack
+		t.Errorf("footprint after targeting 24 MiB = %d", rss)
+	}
+	// Anonymous memory survived.
+	if vm.Guest.UsedBaseBytes() < 16*mem.MiB {
+		t.Error("anonymous memory was harmed")
+	}
+	anon.Free()
+}
+
+func TestReclaimableEstimate(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if err := vm.Guest.Cache().Write(0, "f", 16*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	anon, err := vm.Guest.AllocAnon(0, 8*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.ReclaimableEstimate()
+	// Everything except the anon data (modulo huge-frame granularity).
+	want := 128*mem.MiB - 8*mem.MiB
+	if est < want-4*mem.MiB || est > want+4*mem.MiB {
+		t.Errorf("estimate = %d, want ~%d", est, want)
+	}
+	anon.Free()
+}

@@ -1,0 +1,442 @@
+// Package core implements HyperAlloc, the paper's contribution: VM memory
+// de/inflation through hypervisor-shared page-frame allocators (Sec. 3/4).
+//
+// The monitor holds a second handle ("cloned LLFree object") over each
+// guest zone's LLFree state and manipulates the guest-visible (A, E) flags
+// with single CAS transactions, while keeping its own authoritative
+// reclamation state R per huge frame:
+//
+//	R = Installed      — backed by host memory (M=1)
+//	R = SoftReclaimed  — unbacked, guest may allocate it (install on demand)
+//	R = HardReclaimed  — unbacked and removed from the guest allocator
+//
+// Hard reclamation implements the adaptable memory hard limit; soft
+// reclamation implements the automatic 5-second reclamation scan
+// (Sec. 3.3). Installs are synchronous hypercalls issued by the guest
+// allocator before an evicted frame is returned (install-on-allocate),
+// which is what makes HyperAlloc DMA-safe under device passthrough.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/virtioqueue"
+	"hyperalloc/internal/vmm"
+)
+
+// ReclaimState is the monitor's authoritative per-huge-frame state R.
+type ReclaimState uint8
+
+const (
+	// Installed: the frame is backed by host-physical memory.
+	Installed ReclaimState = iota
+	// SoftReclaimed: unbacked; the guest may allocate the frame, paying an
+	// install hypercall.
+	SoftReclaimed
+	// HardReclaimed: unbacked and marked allocated+evicted in the guest
+	// allocator; not available to the guest.
+	HardReclaimed
+)
+
+// String implements fmt.Stringer.
+func (r ReclaimState) String() string {
+	switch r {
+	case Installed:
+		return "I"
+	case SoftReclaimed:
+		return "S"
+	case HardReclaimed:
+		return "H"
+	default:
+		return fmt.Sprintf("R(%d)", uint8(r))
+	}
+}
+
+// ErrInsufficient reports that a hard shrink could not reclaim enough free
+// huge frames even after the guest cache purge.
+var ErrInsufficient = errors.New("core: not enough reclaimable memory")
+
+// DefaultAutoPeriod is the automatic-reclamation scan period (Sec. 3.3:
+// "Every 5 seconds, we scan the reclamation-state array").
+const DefaultAutoPeriod = 5 * sim.Second
+
+// installReq is the virtio descriptor of an install hypercall.
+type installReq struct {
+	zone  int
+	gArea uint64
+}
+
+// Mechanism is the HyperAlloc monitor component of one VM.
+type Mechanism struct {
+	vm *vmm.VM
+	// mu is the per-VM lock serializing reclaim/return/install (Sec. 3.2;
+	// per-frame locking is future work in the paper too).
+	mu    sync.Mutex
+	zones []*zoneState
+	limit uint64
+
+	// AutoPeriod is the soft-reclamation period (default 5 s; 0 disables).
+	AutoPeriod sim.Duration
+
+	queue *virtioqueue.Queue[installReq]
+
+	// Counters for the experiments.
+	HardReclaims uint64
+	SoftReclaims uint64
+	Returns      uint64
+	Installs     uint64
+	Scans        uint64
+	CachePurges  uint64
+	UnmapCalls   uint64
+	// GuestAnomalies counts shared-state corruptions by a non-conforming
+	// guest that the monitor repaired (Sec. 3.2).
+	GuestAnomalies uint64
+	// CacheShrinks counts hypervisor-initiated page-cache trims (Sec. 6).
+	CacheShrinks uint64
+}
+
+// zoneState is the monitor's view of one guest zone.
+type zoneState struct {
+	z *guest.Zone
+	// shared is the monitor's handle over the guest's allocator state.
+	shared *llfree.Alloc
+	r      []ReclaimState
+}
+
+// New attaches HyperAlloc to a VM whose zones run on LLFree. During boot
+// the guest communicates the allocator-state addresses over a virtio
+// queue (one hypercall per zone, Sec. 4.2); the monitor maps the state and
+// clones its LLFree view.
+func New(vm *vmm.VM) (*Mechanism, error) {
+	m := &Mechanism{
+		vm:         vm,
+		limit:      vm.InitialBytes,
+		AutoPeriod: DefaultAutoPeriod,
+	}
+	q, err := virtioqueue.New(64, m.handleInstalls)
+	if err != nil {
+		return nil, err
+	}
+	m.queue = q
+	for i, z := range vm.Guest.Zones() {
+		adapter, ok := z.Impl.(*guest.LLFreeAdapter)
+		if !ok {
+			return nil, fmt.Errorf("core: zone %v is not LLFree-backed", z.Kind)
+		}
+		zs := &zoneState{
+			z:      z,
+			shared: adapter.A.Share(),
+			r:      make([]ReclaimState, adapter.A.Areas()),
+		}
+		m.zones = append(m.zones, zs)
+		// Locate-state hypercall at boot.
+		vm.Meter.Work(ledger.Host, vm.Model.Hypercall)
+		zoneIdx := i
+		adapter.InstallHook = func(area uint64) {
+			// The allocation waits for the hypercall to terminate before
+			// returning the frame (Sec. 3.2): kick synchronously.
+			m.queue.PushAndKick(installReq{zone: zoneIdx, gArea: area}, 1)
+		}
+	}
+	if len(m.zones) == 0 {
+		return nil, fmt.Errorf("core: guest has no zones")
+	}
+	vm.SetMechanism(m)
+	return m, nil
+}
+
+// Name implements vmm.Mechanism.
+func (m *Mechanism) Name() string {
+	if m.vm.IOMMU != nil {
+		return "HyperAlloc+VFIO"
+	}
+	return "HyperAlloc"
+}
+
+// Properties implements vmm.Mechanism (Table 1 row).
+func (m *Mechanism) Properties() vmm.Properties {
+	return vmm.Properties{
+		Granularity: mem.HugeSize,
+		ManualLimit: true,
+		AutoMode:    true,
+		DMASafe:     true,
+	}
+}
+
+// Limit implements vmm.Mechanism.
+func (m *Mechanism) Limit() uint64 { return m.limit }
+
+// reclaimOrder returns zones in the order the monitor reclaims from them:
+// Normal zones first, then DMA32; the Movable kind does not occur in
+// HyperAlloc guests (Sec. 4.2).
+func (m *Mechanism) reclaimOrder() []*zoneState {
+	ordered := make([]*zoneState, 0, len(m.zones))
+	for _, kind := range []mem.ZoneKind{mem.ZoneNormal, mem.ZoneMovable, mem.ZoneDMA32} {
+		for _, zs := range m.zones {
+			if zs.z.Kind == kind {
+				ordered = append(ordered, zs)
+			}
+		}
+	}
+	return ordered
+}
+
+// Shrink implements vmm.Mechanism: hard reclamation down to target bytes.
+// Without enough free memory it instructs the guest to purge its caches
+// and retries once (Sec. 3.3).
+func (m *Mechanism) Shrink(target uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if target >= m.limit {
+		return nil
+	}
+	need := (m.limit - target) / mem.HugeSize
+	for attempt := 0; need > 0 && attempt < 2; attempt++ {
+		if attempt == 1 {
+			m.cachePurge()
+		}
+		for _, zs := range m.reclaimOrder() {
+			if need == 0 {
+				break
+			}
+			need -= m.reclaimZone(zs, need, HardReclaimed)
+		}
+	}
+	m.limit = target + need*mem.HugeSize
+	if need > 0 {
+		return fmt.Errorf("%w: %d huge frames short of %s", ErrInsufficient,
+			need, mem.HumanBytes(target))
+	}
+	return nil
+}
+
+// reclaimZone reclaims up to maxHuge free huge frames from one zone into
+// the given state (HardReclaimed for the hard limit, SoftReclaimed for
+// automatic reclamation). Returns the number reclaimed.
+//
+// Unmaps are aggregated: contiguous runs of host-mapped huge frames are
+// removed with a single madvise (Sec. 4.2 "aggregate huge frames during
+// reclamation and unmap them with a single syscall").
+func (m *Mechanism) reclaimZone(zs *zoneState, maxHuge uint64, to ReclaimState) uint64 {
+	model := m.vm.Model
+	var taken uint64
+	var run []uint64 // guest-physical areas pending unmap, ascending
+	flush := func() {
+		if len(run) > 0 {
+			m.unmapRun(run)
+			run = run[:0]
+		}
+	}
+	if to == HardReclaimed {
+		// Soft-reclaimed frames first: they are already unbacked, so the
+		// transition is a single CAS on the allocator state (this is what
+		// makes reclaiming untouched memory run at 4.92 TiB/s, Sec. 5.3).
+		for area := uint64(0); area < uint64(len(zs.r)) && taken < maxHuge; area++ {
+			if zs.r[area] != SoftReclaimed {
+				continue
+			}
+			if err := zs.shared.ReclaimHard(area); err != nil {
+				continue // the guest allocated it concurrently
+			}
+			zs.r[area] = HardReclaimed
+			m.HardReclaims++
+			m.vm.Meter.Work(ledger.Host, model.LLFreeReclaimHuge)
+			taken++
+		}
+		if taken >= maxHuge {
+			return taken
+		}
+	}
+	zs.shared.ScanFreeHuge(func(area uint64) bool {
+		var err error
+		if to == HardReclaimed {
+			err = zs.shared.ReclaimHard(area)
+		} else {
+			err = zs.shared.ReclaimSoft(area)
+		}
+		if err != nil {
+			return true // lost the race against a guest allocation; move on
+		}
+		if to == HardReclaimed {
+			m.HardReclaims++
+		} else {
+			m.SoftReclaims++
+		}
+		zs.r[area] = to
+		// State transition cost (CAS transactions on the shared arrays).
+		m.vm.Meter.Work(ledger.Host, model.LLFreeReclaimHuge)
+		gArea := vmm.ZoneArea(zs.z, area)
+		if m.vm.EPT.AreaMapped(gArea) > 0 {
+			if len(run) > 0 && run[len(run)-1]+1 != gArea {
+				flush()
+			}
+			run = append(run, gArea)
+		}
+		taken++
+		return taken < maxHuge
+	})
+	flush()
+	return taken
+}
+
+// unmapRun removes a contiguous run of mapped huge frames with one
+// madvise: one syscall + one TLB shootdown for the whole run, per-frame
+// EPT work, and per-frame IOMMU work under VFIO.
+func (m *Mechanism) unmapRun(run []uint64) {
+	model := m.vm.Model
+	meter := m.vm.Meter
+	m.UnmapCalls++
+	cost := model.Syscall + model.TLBInvalidation
+	for _, gArea := range run {
+		m.vm.DiscardArea(gArea)
+		cost += model.EPTUnmapHuge
+		if m.vm.IOMMU != nil {
+			if _, err := m.vm.IOMMU.UnmapHuge(gArea); err != nil {
+				panic("core: " + err.Error())
+			}
+			cost += model.IOMMUUnmapHuge + model.IOTLBFlush
+		}
+	}
+	meter.Work(ledger.Host, cost)
+	meter.Stall(ledger.StallCPU, model.StallPerUnmapSyscall)
+}
+
+// cachePurge instructs the guest to free its caches — the same memory
+// pressure virtio-balloon induces (Sec. 3.3).
+func (m *Mechanism) cachePurge() {
+	m.CachePurges++
+	dropped := m.vm.Guest.Cache().Bytes()
+	m.vm.Guest.Purge()
+	// Freeing the cache costs guest CPU time proportional to its size.
+	m.vm.Meter.Work(ledger.Guest, sim.DurationFor(dropped, 20.0))
+}
+
+// Grow implements vmm.Mechanism: return hard-reclaimed frames to the guest
+// as soft-reclaimed (A<-0, E stays 1), delaying actual allocation until
+// the guest triggers install.
+func (m *Mechanism) Grow(target uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if target > m.vm.InitialBytes {
+		// Growing beyond the initial allocation needs hotplug integration
+		// (Sec. 6); clamp like the prototype.
+		target = m.vm.InitialBytes
+	}
+	need := (target - m.limit + mem.HugeSize - 1) / mem.HugeSize
+	for _, zs := range m.reclaimOrder() {
+		for area := uint64(0); area < uint64(len(zs.r)) && need > 0; area++ {
+			if zs.r[area] != HardReclaimed {
+				continue
+			}
+			if err := zs.shared.ReturnHuge(area); err != nil {
+				// A non-conforming guest interfered with the shared flags
+				// (e.g. "freed" the reclaimed frame). The frame is unbacked
+				// either way: repair the hint from R and treat it as soft
+				// reclaimed — any allocation still has to install
+				// (Sec. 3.2: manipulated guest state cannot compromise the
+				// hypervisor).
+				zs.shared.SetEvicted(area)
+				m.GuestAnomalies++
+			}
+			zs.r[area] = SoftReclaimed
+			m.Returns++
+			m.vm.Meter.Work(ledger.Host, m.vm.Model.LLFreeReturnHuge)
+			need--
+			m.limit += mem.HugeSize
+		}
+	}
+	return nil
+}
+
+// handleInstalls is the device side of the install queue: provide host
+// memory, map it in all guest-accessible page tables, and update R.
+func (m *Mechanism) handleInstalls(reqs []installReq) {
+	for _, req := range reqs {
+		m.install(m.zones[req.zone], req.gArea)
+	}
+}
+
+// install backs one huge frame with host memory. Idempotent under the
+// per-VM lock: concurrent allocations in the same area may both request
+// it (Sec. 3.2).
+func (m *Mechanism) install(zs *zoneState, area uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	model := m.vm.Model
+	// The hypercall itself: guest -> QEMU -> kernel, two mode switches.
+	m.vm.Meter.Work(ledger.Guest, model.Hypercall)
+	if zs.r[area] == Installed {
+		zs.shared.ClearEvicted(area)
+		return
+	}
+	gArea := vmm.ZoneArea(zs.z, area)
+	newly := m.vm.PopulateArea(gArea)
+	// The install takes the longer path through the user-space monitor
+	// (wakeup + madvise) instead of KVM's in-kernel fault handler, making
+	// it ~6% slower end to end (Sec. 5.3 Return+Install).
+	cost := model.MonitorDispatch + model.Syscall + model.EPTMapHuge +
+		model.PopulateCost(newly*mem.PageSize)
+	if m.vm.IOMMU != nil {
+		if _, err := m.vm.IOMMU.MapHuge(gArea); err != nil {
+			panic("core: " + err.Error())
+		}
+		cost += model.PinHuge + model.IOMMUMapHuge
+	}
+	m.vm.Meter.Work(ledger.Host, cost)
+	m.vm.Meter.Bus(newly * mem.PageSize)
+	zs.r[area] = Installed
+	m.Installs++
+	zs.shared.ClearEvicted(area)
+}
+
+// AutoTick implements vmm.Mechanism: one soft-reclamation scan (Sec. 3.3).
+// The scan walks the reclamation-state array and the shared allocator
+// state (18 cache lines per GiB) and soft-reclaims free, installed huge
+// frames.
+func (m *Mechanism) AutoTick() sim.Duration {
+	if m.AutoPeriod <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Scans++
+	scanned := m.vm.Guest.TotalBytes()
+	m.vm.Meter.Work(ledger.Host,
+		sim.Duration(float64(m.vm.Model.LLFreeScanGiB)*float64(scanned)/float64(mem.GiB)))
+	for _, zs := range m.reclaimOrder() {
+		m.reclaimZone(zs, ^uint64(0), SoftReclaimed)
+	}
+	return m.AutoPeriod
+}
+
+// State returns the monitor's reclamation state of a guest-physical huge
+// frame (for tests and introspection).
+func (m *Mechanism) State(gArea uint64) (ReclaimState, error) {
+	for _, zs := range m.zones {
+		start := uint64(zs.z.Base) / mem.FramesPerHuge
+		if gArea >= start && gArea < start+uint64(len(zs.r)) {
+			return zs.r[gArea-start], nil
+		}
+	}
+	return 0, fmt.Errorf("core: area %d outside zones", gArea)
+}
+
+// ReclaimedBytes returns the bytes currently reclaimed (soft + hard).
+func (m *Mechanism) ReclaimedBytes() uint64 {
+	var n uint64
+	for _, zs := range m.zones {
+		for _, r := range zs.r {
+			if r != Installed {
+				n += mem.HugeSize
+			}
+		}
+	}
+	return n
+}

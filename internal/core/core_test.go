@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+// newHyperAllocVM wires a two-zone LLFree guest to a VM and attaches the
+// mechanism directly (without the facade).
+func newHyperAllocVM(t testing.TB, dma32, normal uint64, vfio bool) (*vmm.VM, *Mechanism) {
+	t.Helper()
+	mk := func(kind mem.ZoneKind, bytes uint64) guest.ZoneSpec {
+		a, err := llfree.New(llfree.Config{Frames: mem.BytesToFrames(bytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad := guest.NewLLFreeAdapter(a)
+		return guest.ZoneSpec{Kind: kind, Bytes: bytes, Alloc: ad, Impl: ad}
+	}
+	g, err := guest.New(4, mk(mem.ZoneDMA32, dma32), mk(mem.ZoneNormal, normal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := sim.NewClock()
+	vm, err := vmm.NewVM(vmm.Config{
+		Name:  "core-test",
+		Guest: g,
+		Meter: ledger.NewMeter(clock),
+		Model: costmodel.Default(),
+		Pool:  hostmem.NewPool(0),
+		VFIO:  vfio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, m
+}
+
+func TestNewRequiresLLFree(t *testing.T) {
+	g, err := guest.New(1, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: 64 * mem.MiB,
+		Alloc: &fakeAllocator{}, Impl: &fakeAllocator{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "x", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(vm); err == nil {
+		t.Error("non-LLFree guest accepted")
+	}
+}
+
+type fakeAllocator struct{}
+
+func (f *fakeAllocator) Alloc(int, mem.Order, mem.AllocType) (mem.PFN, error) {
+	return 0, errors.New("nope")
+}
+func (f *fakeAllocator) Free(int, mem.PFN, mem.Order) error { return nil }
+func (f *fakeAllocator) FreeFrames() uint64                 { return 0 }
+func (f *fakeAllocator) UsedHugeBytes() uint64              { return 0 }
+func (f *fakeAllocator) UsedBaseBytes() uint64              { return 0 }
+func (f *fakeAllocator) Drain()                             {}
+func (f *fakeAllocator) Name() string                       { return "fake" }
+
+func TestStateTransitions(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if got, _ := m.State(0); got != Installed {
+		t.Errorf("initial state %v", got)
+	}
+	// Hard shrink by 32 MiB: 16 huge frames go Installed -> Hard.
+	if err := m.Shrink(96 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	hard := 0
+	for a := uint64(0); a < 64; a++ {
+		if s, _ := m.State(a); s == HardReclaimed {
+			hard++
+		}
+	}
+	if hard != 16 {
+		t.Errorf("hard-reclaimed areas = %d", hard)
+	}
+	if m.ReclaimedBytes() != 32*mem.MiB {
+		t.Errorf("ReclaimedBytes = %d", m.ReclaimedBytes())
+	}
+	// Grow back: Hard -> Soft.
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 64; a++ {
+		if s, _ := m.State(a); s == HardReclaimed {
+			t.Fatalf("area %d still hard after grow", a)
+		}
+	}
+	// Install via guest allocation: Soft -> Installed.
+	r, err := vm.Guest.AllocAnon(0, 120*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Installs == 0 {
+		t.Error("no installs")
+	}
+	r.Free()
+	if _, err := m.State(1 << 20); err == nil {
+		t.Error("State out of range accepted")
+	}
+}
+
+func TestReclaimOrderNormalFirst(t *testing.T) {
+	_, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Shrink by exactly the Normal zone size: only Normal areas (the
+	// second zone, areas 32..63) should be reclaimed.
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 32; a++ {
+		if s, _ := m.State(a); s != Installed {
+			t.Fatalf("DMA32 area %d reclaimed before Normal exhausted", a)
+		}
+	}
+	for a := uint64(32); a < 64; a++ {
+		if s, _ := m.State(a); s != HardReclaimed {
+			t.Fatalf("Normal area %d not reclaimed", a)
+		}
+	}
+}
+
+func TestShrinkChargesPerPaper(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 192*mem.MiB, false)
+	// Untouched shrink: only LLFreeReclaimHuge per frame (388 ns => 4.92
+	// TiB/s).
+	t0 := vm.Meter.Clock().Now()
+	if err := m.Shrink(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := vm.Meter.Clock().Now().Sub(t0)
+	perHuge := elapsed / 64
+	if perHuge != vm.Model.LLFreeReclaimHuge {
+		t.Errorf("untouched reclaim cost %v per huge, want %v", perHuge, vm.Model.LLFreeReclaimHuge)
+	}
+	if m.UnmapCalls != 0 {
+		t.Errorf("untouched shrink issued %d unmaps", m.UnmapCalls)
+	}
+}
+
+func TestShrinkAggregatesUnmaps(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 192*mem.MiB, false)
+	// Touch everything so the shrink has to unmap; contiguous free runs
+	// should produce few aggregated madvise calls.
+	r, err := vm.Guest.AllocAnon(0, 240*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.HardReclaims != 96 {
+		t.Errorf("hard reclaims = %d", m.HardReclaims)
+	}
+	if m.UnmapCalls == 0 || m.UnmapCalls > 8 {
+		t.Errorf("unmap syscalls = %d, want few (aggregated)", m.UnmapCalls)
+	}
+	if vm.RSS() > 64*mem.MiB {
+		t.Errorf("RSS = %d after shrink", vm.RSS())
+	}
+}
+
+func TestGrowClampsToInitial(t *testing.T) {
+	_, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Grow(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	if m.Limit() != 128*mem.MiB {
+		t.Errorf("limit = %d, want clamped to initial", m.Limit())
+	}
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	zs := m.zones[1]
+	if err := zs.shared.ReclaimSoft(0); err != nil {
+		t.Fatal(err)
+	}
+	zs.r[0] = SoftReclaimed
+	vm.DiscardArea(vmm.ZoneArea(zs.z, 0))
+	m.install(zs, 0)
+	if m.Installs != 1 {
+		t.Fatalf("installs = %d", m.Installs)
+	}
+	rss := vm.RSS()
+	m.install(zs, 0) // concurrent duplicate request
+	if m.Installs != 1 {
+		t.Errorf("duplicate install counted: %d", m.Installs)
+	}
+	if vm.RSS() != rss {
+		t.Error("duplicate install changed RSS")
+	}
+}
+
+func TestAutoTickSoftReclaims(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	r, err := vm.Guest.AllocAnon(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	if d := m.AutoTick(); d != DefaultAutoPeriod {
+		t.Errorf("AutoTick delay = %v", d)
+	}
+	if m.SoftReclaims == 0 {
+		t.Error("no soft reclaims")
+	}
+	if vm.RSS() != 0 {
+		t.Errorf("RSS = %d after auto reclaim", vm.RSS())
+	}
+	// Guest memory is still fully allocatable.
+	r2, err := vm.Guest.AllocAnon(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatalf("alloc after soft reclaim: %v", err)
+	}
+	r2.Free()
+	// Disabled auto mode returns 0.
+	m.AutoPeriod = 0
+	if d := m.AutoTick(); d != 0 {
+		t.Errorf("disabled AutoTick = %v", d)
+	}
+}
+
+func TestVFIOInstallMapsIOMMU(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, true)
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// The reclaimed half must be unmapped from the IOMMU.
+	if vm.IOMMU.MappedBytes() != 64*mem.MiB {
+		t.Errorf("IOMMU mapped = %d after shrink", vm.IOMMU.MappedBytes())
+	}
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	r, err := vm.Guest.AllocAnonUntouched(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything allocated must be DMA-coherent without any CPU touch.
+	failures := 0
+	r.ForEach(func(z *guest.Zone, pfn mem.PFN, order mem.Order) {
+		if err := vm.IOMMU.DMA(z.GFN(pfn), order.Frames()); err != nil {
+			failures++
+		}
+	})
+	if failures != 0 {
+		t.Errorf("%d DMA failures after install", failures)
+	}
+	r.Free()
+}
+
+func TestNameAndProperties(t *testing.T) {
+	_, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if m.Name() != "HyperAlloc" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	p := m.Properties()
+	if !p.DMASafe || !p.AutoMode || !p.ManualLimit || p.Granularity != mem.HugeSize {
+		t.Errorf("properties %+v", p)
+	}
+	_, mv := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, true)
+	if mv.Name() != "HyperAlloc+VFIO" {
+		t.Errorf("VFIO name = %q", mv.Name())
+	}
+}
+
+func TestReclaimStateString(t *testing.T) {
+	if Installed.String() != "I" || SoftReclaimed.String() != "S" || HardReclaimed.String() != "H" {
+		t.Error("state strings")
+	}
+	if ReclaimState(9).String() != "R(9)" {
+		t.Error("unknown state string")
+	}
+}
+
+func TestShrinkInsufficientPartial(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	r, err := vm.Guest.AllocAnon(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Shrink(16 * mem.MiB)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("expected ErrInsufficient, got %v", err)
+	}
+	// Partial progress is reflected in the limit.
+	if m.Limit() >= 128*mem.MiB || m.Limit() < 100*mem.MiB {
+		t.Errorf("limit after partial shrink = %d", m.Limit())
+	}
+	if m.CachePurges == 0 {
+		t.Error("no cache purge attempted")
+	}
+	r.Free()
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"hyperalloc/internal/mem"
+)
+
+// Host-side introspection over the shared allocator state — the Sec. 6
+// extensions: the tree-index type field enables type-aware policies
+// ("better swapping strategies for VMs, as the tree index entries contain
+// the allocation type"), and the area-entry hotness bits expose victim
+// candidates for hypervisor-level swapping.
+
+// TypeStats summarizes one allocation type's trees across all zones.
+type TypeStats struct {
+	Trees      uint64
+	FreeFrames uint64
+	Capacity   uint64
+}
+
+// TypeInventory reads the per-type tree assignment from the shared tree
+// index: how many trees each allocation type has reserved or used and how
+// full they are. A swap or compaction policy can target movable trees and
+// avoid unmovable ones without any guest involvement.
+func (m *Mechanism) TypeInventory() map[mem.AllocType]TypeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[mem.AllocType]TypeStats, int(mem.NumAllocTypes))
+	for _, zs := range m.zones {
+		for tree := uint64(0); tree < zs.shared.Trees(); tree++ {
+			info := zs.shared.TreeInfo(tree)
+			if !info.HasType {
+				continue
+			}
+			st := out[info.Type]
+			st.Trees++
+			st.FreeFrames += info.Free
+			st.Capacity += info.Capacity
+			out[info.Type] = st
+		}
+	}
+	return out
+}
+
+// SwapCandidate is a data-filled huge frame the hypervisor could swap out,
+// ordered by guest-reported hotness.
+type SwapCandidate struct {
+	GArea   uint64
+	Hotness uint8
+}
+
+// SwapCandidates returns up to max data-filled huge frames in increasing
+// hotness order, coldest first — the objective victim list a
+// hypervisor-level swapper would consume. Only installed frames qualify
+// (reclaimed frames hold no data).
+func (m *Mechanism) SwapCandidates(max int) []SwapCandidate {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []SwapCandidate
+	for _, zs := range m.zones {
+		if len(out) >= max {
+			break
+		}
+		zsCopy := zs
+		zs.shared.ScanColdData(max-len(out), func(area uint64, hot uint8) bool {
+			if zsCopy.r[area] != Installed {
+				return true
+			}
+			out = append(out, SwapCandidate{
+				GArea:   uint64(zsCopy.z.Base)/mem.FramesPerHuge + area,
+				Hotness: hot,
+			})
+			return true
+		})
+	}
+	// ScanColdData yields per-zone hotness order; merge-sort across zones
+	// by hotness (stable, cheap for the small candidate lists involved).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Hotness < out[j-1].Hotness; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DumpState writes the shared allocator state of every zone in
+// human-readable form (see llfree.DumpState) together with the monitor's
+// R-state summary — the debugging view of the bilateral protocol.
+func (m *Mechanism) DumpState(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, zs := range m.zones {
+		var installed, soft, hard int
+		for _, r := range zs.r {
+			switch r {
+			case Installed:
+				installed++
+			case SoftReclaimed:
+				soft++
+			case HardReclaimed:
+				hard++
+			}
+		}
+		if _, err := fmt.Fprintf(w, "zone %s: R-states I=%d S=%d H=%d\n",
+			zs.z.Kind, installed, soft, hard); err != nil {
+			return err
+		}
+		if err := zs.shared.DumpState(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/mem"
+)
+
+func TestTypeInventory(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Allocate all three types so trees get typed.
+	anon, err := vm.Guest.AllocAnon(0, 8*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern, err := vm.Guest.AllocKernel(0, 64*mem.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := m.TypeInventory()
+	if inv[mem.Huge].Trees == 0 {
+		t.Error("no huge trees (THP allocations should have typed one)")
+	}
+	if inv[mem.Unmovable].Trees == 0 {
+		t.Error("no unmovable trees")
+	}
+	// Type separation: unmovable and huge trees are disjoint, so the sums
+	// never exceed the total tree count.
+	var typed uint64
+	for _, st := range inv {
+		typed += st.Trees
+		if st.Capacity == 0 {
+			t.Error("typed tree without capacity")
+		}
+	}
+	total := uint64(0)
+	for _, zs := range m.zones {
+		total += zs.shared.Trees()
+	}
+	if typed > total {
+		t.Errorf("typed trees %d > total %d", typed, total)
+	}
+	anon.Free()
+	kern.Free()
+}
+
+func TestSwapCandidatesColdestFirst(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Three data regions with guest-reported hotness.
+	var regions []*guest.Region
+	for i := 0; i < 3; i++ {
+		r, err := vm.Guest.AllocAnon(0, 2*mem.MiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	levels := []uint8{3, 0, 2}
+	for i, r := range regions {
+		i := i
+		r.ForEach(func(z *guest.Zone, pfn mem.PFN, _ mem.Order) {
+			ad := z.Impl.(*guest.LLFreeAdapter)
+			ad.A.SetHotness(pfn.HugeIndex(), levels[i])
+		})
+	}
+	cands := m.SwapCandidates(16)
+	if len(cands) < 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Hotness < cands[i-1].Hotness {
+			t.Fatalf("not coldest-first: %+v", cands)
+		}
+	}
+	if cands[0].Hotness != 0 {
+		t.Errorf("coldest candidate has hotness %d", cands[0].Hotness)
+	}
+	// Reclaimed frames are not swap candidates.
+	for _, r := range regions {
+		r.Free()
+	}
+	m.AutoTick() // soft-reclaims the now-free frames
+	for _, c := range m.SwapCandidates(16) {
+		if s, _ := m.State(c.GArea); s != Installed {
+			t.Errorf("reclaimed area %d offered for swap", c.GArea)
+		}
+	}
+}
+
+func TestDumpState(t *testing.T) {
+	_, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if err := m.Shrink(96 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := m.DumpState(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "zone Normal") || !strings.Contains(out, "zone DMA32") {
+		t.Errorf("dump missing zones:\n%s", out)
+	}
+	if !strings.Contains(out, "H=16") {
+		t.Errorf("dump missing R summary:\n%s", out)
+	}
+}

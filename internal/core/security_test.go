@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// Tests for Sec. 3.2 "Invalid Guest States": the shared (A, E) flags are
+// guest-writable, so a malicious or non-conforming guest can corrupt
+// them — without any safety or security impact on the hypervisor, whose
+// own reclamation state R is authoritative.
+
+// TestMaliciousEvictedHintIgnored: "HyperAlloc never makes decisions upon
+// E ... a maliciously manipulated E has no impact on the hypervisor."
+func TestMaliciousEvictedHintIgnored(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	if err := m.Shrink(96 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// The guest clears E on a hard-reclaimed frame (lying that it is
+	// backed) and sets E on an installed one (lying that it is not).
+	zs := m.zones[1]
+	var hardArea uint64 = 1 << 62
+	for a := uint64(0); a < uint64(len(zs.r)); a++ {
+		if zs.r[a] == HardReclaimed {
+			hardArea = a
+			break
+		}
+	}
+	if hardArea == 1<<62 {
+		t.Fatal("no hard-reclaimed area")
+	}
+	zs.shared.ClearEvicted(hardArea) // malicious E <- 0
+	// The monitor's state is untouched; growing later returns the frame
+	// based on R, not E.
+	if s, _ := m.State(vmm0(zs, hardArea)); s != HardReclaimed {
+		t.Errorf("R state followed the malicious E flag: %v", s)
+	}
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := m.State(vmm0(zs, hardArea)); s != SoftReclaimed {
+		t.Errorf("grow did not operate on R: %v", s)
+	}
+	// The host never backed the frame: RSS stays truthful.
+	if vm.RSS() != 0 {
+		t.Errorf("RSS = %d; host memory followed a guest flag", vm.RSS())
+	}
+}
+
+func vmm0(zs *zoneState, area uint64) uint64 {
+	return uint64(zs.z.Base)/mem.FramesPerHuge + area
+}
+
+// TestUncooperativeGuestResistsReclamation: "this allows a non-conforming
+// guest to resist memory reclamation (i.e., to not cooperate), it bears
+// no safety or security implications."
+func TestUncooperativeGuestResistsReclamation(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// The guest "allocates" everything (sets A on every huge frame) in
+	// every zone and never frees: reclamation finds nothing.
+	type heldFrame struct {
+		zone int
+		pfn  mem.PFN
+	}
+	var held []heldFrame
+	for zi, z := range vm.Guest.Zones() {
+		for {
+			f, err := z.Alloc.Alloc(0, mem.HugeOrder, mem.Huge)
+			if err != nil {
+				break
+			}
+			held = append(held, heldFrame{zi, f})
+		}
+	}
+	err := m.Shrink(64 * mem.MiB)
+	if err == nil {
+		t.Fatal("shrink succeeded against an uncooperative guest")
+	}
+	// No crash, no corruption; the host simply reports the failure (and
+	// would bill the guest for the extra memory).
+	if m.HardReclaims != 0 {
+		t.Errorf("reclaimed %d frames the guest held", m.HardReclaims)
+	}
+	for _, h := range held {
+		if err := vm.Guest.Zones()[h.zone].Alloc.Free(0, h.pfn, mem.HugeOrder); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGuestCannotUnreclaimMemory: the guest cannot free a hard-reclaimed
+// frame back to itself — the huge flag transition is guarded.
+func TestGuestCannotUnreclaimMemory(t *testing.T) {
+	vm, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Reclaim the whole Normal zone so the rogue frame is the only free
+	// one there.
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	zs := m.zones[1]
+	var hardArea uint64
+	for a := uint64(0); a < uint64(len(zs.r)); a++ {
+		if zs.r[a] == HardReclaimed {
+			hardArea = a
+			break
+		}
+	}
+	// A buggy/malicious guest "frees" the reclaimed frame. The allocator
+	// transition succeeds (the guest owns A), making the frame allocatable
+	// again — but it is still evicted, so any allocation triggers an
+	// install, and the host accounts it. No host state is corrupted.
+	if err := zs.z.Alloc.Free(0, mem.PFN(hardArea*mem.FramesPerHuge), mem.HugeOrder); err != nil {
+		t.Skipf("allocator rejected the rogue free: %v", err)
+	}
+	f, err := zs.z.Alloc.Alloc(0, mem.HugeOrder, mem.Huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// The install path ran: the host detected the allocation and backed
+	// the frame, keeping RSS consistent with reality.
+	if m.Installs == 0 {
+		t.Error("rogue reallocation did not go through install")
+	}
+	if vm.RSS() == 0 {
+		t.Error("host unaware of the guest's extra memory")
+	}
+}
+
+// TestSharedStateIsLockFree: guest allocations and host reclamation race
+// on the same words without locks; this is exercised heavily in
+// llfree's concurrency tests — here we just assert the monitor side
+// performs no blocking guest calls while holding its per-VM lock (the
+// lock is monitor-internal: a stuck guest cannot block reclamation).
+func TestSharedStateIsLockFree(t *testing.T) {
+	_, m := newHyperAllocVM(t, 64*mem.MiB, 64*mem.MiB, false)
+	// Reclamation of a fresh VM runs to completion without any guest
+	// cooperation at all (the guest never runs in this test).
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.HardReclaims != 32 {
+		t.Errorf("reclaims = %d", m.HardReclaims)
+	}
+}

@@ -1,0 +1,297 @@
+// Package costmodel defines the calibrated per-operation latencies that map
+// simulated hypervisor/guest operations to virtual time.
+//
+// The simulation executes every mechanism structurally (it really issues
+// one simulated madvise per 4 KiB page for virtio-balloon, one aggregated
+// madvise per run of huge frames for HyperAlloc, one plug/unplug request
+// per 2 MiB block for virtio-mem, ...). Virtual time is then the sum of
+// operation counts times the constants below. The constants are calibrated
+// so that the *composed* rates land on the numbers the paper reports for
+// its Xeon Gold 6252 testbed (Sec. 5.2/5.3); the relative behaviour — who
+// wins, by what factor, where the crossovers are — follows from the
+// operation counts, which the mechanisms produce themselves.
+//
+// Each constant documents its derivation. See DESIGN.md Sec. 5 for the
+// calibration targets.
+package costmodel
+
+import (
+	"time"
+
+	"hyperalloc/internal/mem"
+)
+
+// Model holds all per-operation latencies and bandwidths of the simulated
+// host. The zero value is not useful; use Default.
+type Model struct {
+	// --- Guest <-> monitor transitions -------------------------------
+
+	// Hypercall is one guest->host->guest transition via a virtio-queue
+	// kick handled by the monitor process (two mode switches:
+	// guest - QEMU - kernel, Sec. 4.2).
+	Hypercall time.Duration
+	// EPTFaultExit is the cost of a hardware EPT violation exit handled
+	// inside KVM (one mode switch; cheaper than a monitor hypercall).
+	EPTFaultExit time.Duration
+	// MonitorDispatch is the scheduling latency of waking the user-space
+	// monitor to handle a request (HyperAlloc installs pay this on top of
+	// the hypercall, making install-on-allocate ~6% slower than an
+	// in-kernel EPT fault on the full populate path, Sec. 5.3).
+	MonitorDispatch time.Duration
+
+	// --- Host syscalls ------------------------------------------------
+
+	// Syscall is the fixed cost of one host syscall issued by the monitor
+	// (madvise, VFIO ioctl, ...). Aggregating frames into a single call
+	// amortizes this (Sec. 4.2 "aggregate huge frames during reclamation").
+	Syscall time.Duration
+	// EPTUnmapBase is the per-4KiB-page cost of removing an EPT mapping
+	// (page-table walk + per-page bookkeeping).
+	EPTUnmapBase time.Duration
+	// EPTUnmapHuge is the per-2MiB cost of removing an EPT mapping.
+	EPTUnmapHuge time.Duration
+	// EPTMapHuge is the per-2MiB cost of installing an EPT mapping
+	// (excluding population of the backing memory).
+	EPTMapHuge time.Duration
+	// EPTMapBase is the per-4KiB cost of installing an EPT mapping.
+	EPTMapBase time.Duration
+	// TLBInvalidation is the cost of the TLB shootdown performed once per
+	// unmap syscall.
+	TLBInvalidation time.Duration
+
+	// --- IOMMU / VFIO --------------------------------------------------
+
+	// IOMMUMapHuge / IOMMUUnmapHuge are per-2MiB VFIO DMA map/unmap costs.
+	IOMMUMapHuge   time.Duration
+	IOMMUUnmapHuge time.Duration
+	// IOTLBFlush is the IOTLB invalidation issued per VFIO unmap call.
+	IOTLBFlush time.Duration
+	// PinHuge is the per-2MiB cost of pinning host memory for DMA.
+	PinHuge time.Duration
+
+	// --- Memory movement ----------------------------------------------
+
+	// PopulateGiBs is the host-side population bandwidth (allocate + zero
+	// host frames on first touch / MADV_POPULATE), in GiB/s.
+	PopulateGiBs float64
+	// TouchGiBs is the guest bandwidth for writing into already-mapped
+	// memory single-threaded (the paper's "our benchmark accesses mapped
+	// pages at 17 GiB/s").
+	TouchGiBs float64
+	// MigrateGiBs is the guest-side page-migration (memory compaction)
+	// copy bandwidth used by virtio-mem unplug of partially used blocks.
+	MigrateGiBs float64
+	// SwapGiBs is the host's swap-device bandwidth (NVMe-class) used when
+	// overcommitted guests force host-level swapping (Sec. 6).
+	SwapGiBs float64
+
+	// --- Allocator-side work -------------------------------------------
+
+	// BalloonAllocBase is the guest balloon driver's cost to allocate and
+	// enqueue one 4 KiB page (buddy alloc + ref tracking).
+	BalloonAllocBase time.Duration
+	// BalloonAllocHuge is the same for an order-9 allocation (more
+	// expensive: order-9 buddy allocations under fragmentation).
+	BalloonAllocHuge time.Duration
+	// BalloonFreeBase / BalloonFreeHuge are the guest driver costs to
+	// return one page to the buddy allocator when deflating.
+	BalloonFreeBase time.Duration
+	BalloonFreeHuge time.Duration
+	// HotplugBlock / HotunplugBlock are the guest memory hot(un)plug
+	// infrastructure costs per 2 MiB block (virtio-mem's main bottleneck,
+	// Sec. 5.3 "the main bottleneck in both cases appears to be the
+	// hot(un)plugging infrastructure").
+	HotplugBlock   time.Duration
+	HotunplugBlock time.Duration
+	// LLFreeReclaimHuge is HyperAlloc's monitor-side cost to hard/soft
+	// reclaim one untouched huge frame: a handful of CAS transactions on
+	// the shared allocator state plus reservation bookkeeping. Paper:
+	// 388 ns per untouched huge frame => 4.92 TiB/s.
+	LLFreeReclaimHuge time.Duration
+	// LLFreeReturnHuge is the monitor-side cost to return one huge frame
+	// (fewer state updates than reclaim). Paper: 229 ns => ~8.5 TiB/s.
+	LLFreeReturnHuge time.Duration
+	// LLFreeScanGiB is the monitor-side cost to scan the reclamation-state
+	// array and allocator state covering 1 GiB of guest memory (18 cache
+	// lines per GiB, Sec. 3.3).
+	LLFreeScanGiB time.Duration
+
+	// --- Interference stalls --------------------------------------------
+	//
+	// Guest-visible stalls charged per operation while a workload runs.
+	// These model mmu-lock contention and TLB shootdowns that stop all
+	// vCPUs, and are the source of the Fig. 5/6 troughs.
+
+	// StallPerUnmapSyscall is charged globally (all vCPUs) per unmap
+	// syscall: IPI-based TLB shootdown + mmu notifier invalidation.
+	StallPerUnmapSyscall time.Duration
+	// StallPerPrepopulateBlock is charged globally per prepopulated block
+	// while a VFIO VM grows (host page faults under mmap_lock).
+	StallPerPrepopulateBlock time.Duration
+	// StallPerMigratedFrame is charged globally per migrated base frame
+	// during virtio-mem unplug of used blocks (guest compaction holds
+	// zone locks and invalidates mappings).
+	StallPerMigratedFrame time.Duration
+	// StallPerBalloonFree is charged globally per page the balloon driver
+	// returns while deflating (zone-lock contention; the paper observes
+	// balloon slowdowns while growing at higher thread counts).
+	StallPerBalloonFree time.Duration
+
+	// --- Workload baselines ---------------------------------------------
+
+	// StreamBaselineGBs is the STREAM-copy bandwidth by thread count on
+	// the unresized baseline VM (Table 2).
+	StreamBaselineGBs map[int]float64
+	// FTQBaselineWork is the FTQ work units (in millions) per 2^28-cycle
+	// quantum by thread count on the baseline VM (Table 2).
+	FTQBaselineWork map[int]float64
+	// StreamCPUStallSens/StreamMemStallSens scale how strongly CPU stalls
+	// (TLB-shootdown IPIs) and memory-subsystem stalls (mmu-lock and zone
+	// lock contention) reduce STREAM bandwidth at a given thread count.
+	// Empirical, calibrated against Table 2; higher thread counts are more
+	// sensitive because the memory subsystem runs closer to saturation.
+	StreamCPUStallSens map[int]float64
+	StreamMemStallSens map[int]float64
+	// FTQCPUStallSens/FTQMemStallSens are the same for FTQ's pure CPU
+	// work: IPIs interrupt every core (amortized better with more
+	// threads), while memory stalls barely matter.
+	FTQCPUStallSens map[int]float64
+	FTQMemStallSens map[int]float64
+	// HostBusGBs is the host memory-bus capacity; mechanism bus traffic
+	// beyond the workload's share reduces STREAM bandwidth.
+	HostBusGBs float64
+	// NoiseFrac is the relative run-to-run noise applied to workload
+	// samples (the paper notes virtualization noise, Sec. 5.4).
+	NoiseFrac float64
+}
+
+// Default returns the model calibrated against the paper's testbed
+// (2x Intel Xeon Gold 6252, DDR4, Debian 12, QEMU/KVM 8.2.50).
+func Default() *Model {
+	return &Model{
+		// A virtio kick that reaches QEMU and returns: vmexit (~1 us) +
+		// monitor wakeup. HyperAlloc's install path pays this plus a
+		// syscall, making install ~6% slower than virtio-mem's in-kernel
+		// EPT fault on the full path (Sec. 5.3 Return+Install).
+		Hypercall:       1200 * time.Nanosecond,
+		EPTFaultExit:    900 * time.Nanosecond,
+		MonitorDispatch: 18 * time.Microsecond,
+
+		Syscall: 1800 * time.Nanosecond,
+
+		// Calibration: virtio-balloon reclaim = BalloonAllocBase +
+		// Hypercall/256 + Syscall + EPTUnmapBase ~= 4.0 us per 4 KiB page
+		// => 0.96 GiB/s (paper: 0.95 GiB/s).
+		EPTUnmapBase: 2000 * time.Nanosecond,
+		// Calibration: virtio-balloon-huge reclaim = BalloonAllocHuge +
+		// Hypercall/256 + Syscall + EPTUnmapHuge + TLBInvalidation
+		// ~= 15.1 us per 2 MiB => ~132 GiB/s (paper: 143x0.95 ~= 136).
+		EPTUnmapHuge: 5200 * time.Nanosecond,
+		EPTMapHuge:   9000 * time.Nanosecond,
+		EPTMapBase:   1000 * time.Nanosecond,
+		// One shootdown per unmap syscall; HyperAlloc amortizes it across
+		// an aggregated run of huge frames, balloon-huge pays it per page.
+		TLBInvalidation: 5600 * time.Nanosecond,
+
+		// Calibration: virtio-mem+VFIO unplug adds IOMMUUnmapHuge+IOTLBFlush
+		// = 30 us per block => 57.4+30 = 87.4 us => 22.4 GiB/s, a 52%
+		// slowdown over 34 GiB/s (paper: 52%). HyperAlloc+VFIO reclaim
+		// adds the same 30 us => ~35.9 us per huge frame => ~54 GiB/s,
+		// 6.3x slower than without VFIO (paper: 6.3x).
+		IOMMUMapHuge:   24000 * time.Nanosecond,
+		IOMMUUnmapHuge: 24000 * time.Nanosecond,
+		IOTLBFlush:     6000 * time.Nanosecond,
+		PinHuge:        10000 * time.Nanosecond,
+
+		// Calibration: return+install ~= install(populate-bound) + touch.
+		// 2 MiB/PopulateGiBs + 2 MiB/TouchGiBs + EPT map ~= 522 us
+		// => ~4.2 GiB/s for balloon-huge (cheap return, populate on EPT
+		// fault), ~4.15 GiB/s for HyperAlloc and virtio-mem (paper: 4.2
+		// and ~4.0).
+		PopulateGiBs: 6.0,
+		SwapGiBs:     1.5,
+		TouchGiBs:    17.0,
+		MigrateGiBs:  2.0,
+
+		BalloonAllocBase: 150 * time.Nanosecond,
+		BalloonAllocHuge: 2500 * time.Nanosecond,
+		// Calibration: balloon return = BalloonFreeBase per 4 KiB page
+		// ~= 1.66 us => 2.3 GiB/s (paper: 2.3 GiB/s); balloon-huge return
+		// = BalloonFreeHuge ~= 6.4 us => ~320 GiB/s (paper: 139x2.3).
+		BalloonFreeBase: 1660 * time.Nanosecond,
+		BalloonFreeHuge: 6400 * time.Nanosecond,
+
+		// Calibration: virtio-mem plug = HotplugBlock ~= 20.6 us
+		// => 102 GiB/s (paper: 102 GiB/s); unplug = HotunplugBlock +
+		// Syscall + EPTUnmapHuge + TLBInvalidation ~= 57.4 us
+		// => 34 GiB/s (paper: 34 GiB/s).
+		HotplugBlock:   20600 * time.Nanosecond,
+		HotunplugBlock: 44800 * time.Nanosecond,
+
+		// Paper Sec. 5.3: 388 ns reclaim-untouched, 229 ns return.
+		LLFreeReclaimHuge: 388 * time.Nanosecond,
+		LLFreeReturnHuge:  229 * time.Nanosecond,
+		// 18 cache lines per GiB (Sec. 3.3); with miss latency ~100 ns the
+		// scan is ~2 us/GiB — "a tiny cache load".
+		LLFreeScanGiB: 2 * time.Microsecond,
+
+		// Calibration: virtio-balloon shrink at 0.95 GiB/s issues ~249k
+		// unmap syscalls/s; a 1.8 us global stall each stops the VM for
+		// ~45% of the time => STREAM 12t trough ~31 GB/s (paper Tab. 2:
+		// 30.9), 1t ~6 GB/s (paper: 6.2).
+		StallPerUnmapSyscall: 1800 * time.Nanosecond,
+		// Calibration: virtio-mem+VFIO grows at ~4.7 GiB/s = ~2400
+		// blocks/s; 300 us global stall each => ~72% stolen => STREAM 12t
+		// trough ~19 GB/s (paper Tab. 2: 18.4).
+		StallPerPrepopulateBlock: 270 * time.Microsecond,
+		// Calibration: unplug of used blocks migrates frames; ~1.1 us
+		// global stall per migrated 4 KiB frame yields the ~10 s window
+		// with lows ~32 GB/s at 12 threads (paper: 31.9).
+		StallPerMigratedFrame: 1100 * time.Nanosecond,
+		StallPerBalloonFree:   150 * time.Nanosecond,
+
+		StreamBaselineGBs: map[int]float64{1: 10.3, 4: 26.0, 12: 69.0},
+		FTQBaselineWork:   map[int]float64{1: 9.4, 4: 10.2, 12: 30.6},
+		// Calibration against Table 2 (virtio-balloon shrink stalls ~45%
+		// of the time; virtio-mem migration and virtio-mem+VFIO
+		// prepopulation stall the memory subsystem ~50-72%):
+		//   stream 1t 6.2/10.3, 4t 10.9/26.0, 12t 30.9/69.0
+		//   ftq    1t 5.9/9.4,  4t 7.5/10.2,  12t 24.9/30.6
+		//   stream virtio-mem+VFIO 4t 12.6/26.0, 12t 18.4/69.0 (1t flat)
+		StreamCPUStallSens: map[int]float64{1: 0.88, 4: 1.28, 12: 1.22},
+		StreamMemStallSens: map[int]float64{1: 0.05, 4: 0.75, 12: 1.0},
+		FTQCPUStallSens:    map[int]float64{1: 0.82, 4: 0.53, 12: 0.41},
+		FTQMemStallSens:    map[int]float64{1: 0.0, 4: 0.1, 12: 0.1},
+		HostBusGBs:         85.0,
+		NoiseFrac:          0.012,
+	}
+}
+
+// PopulateCost returns the time to populate (allocate+zero) b bytes of host
+// memory.
+func (m *Model) PopulateCost(b uint64) time.Duration {
+	return bwCost(b, m.PopulateGiBs)
+}
+
+// TouchCost returns the time for the guest to write b bytes of mapped
+// memory single-threaded.
+func (m *Model) TouchCost(b uint64) time.Duration {
+	return bwCost(b, m.TouchGiBs)
+}
+
+// MigrateCost returns the time to migrate b bytes of guest memory.
+func (m *Model) MigrateCost(b uint64) time.Duration {
+	return bwCost(b, m.MigrateGiBs)
+}
+
+// SwapCost returns the time to write b bytes to the host's swap device.
+func (m *Model) SwapCost(b uint64) time.Duration {
+	return bwCost(b, m.SwapGiBs)
+}
+
+func bwCost(b uint64, gibs float64) time.Duration {
+	if gibs <= 0 {
+		panic("costmodel: non-positive bandwidth")
+	}
+	return time.Duration(float64(b) / (gibs * float64(mem.GiB)) * float64(time.Second))
+}

@@ -1,0 +1,124 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hyperalloc/internal/mem"
+)
+
+// TestCalibrationBalloonReclaim cross-checks the composed virtio-balloon
+// per-page reclaim cost against the paper's 0.95 GiB/s.
+func TestCalibrationBalloonReclaim(t *testing.T) {
+	m := Default()
+	perPage := m.BalloonAllocBase + m.Hypercall/256 + m.Syscall + m.EPTUnmapBase
+	rate := float64(mem.PageSize) / perPage.Seconds() / float64(mem.GiB)
+	if rate < 0.85 || rate > 1.05 {
+		t.Errorf("composed balloon reclaim = %.2f GiB/s, paper 0.95", rate)
+	}
+}
+
+// TestCalibrationBalloonReturn checks the 2.3 GiB/s deflation rate.
+func TestCalibrationBalloonReturn(t *testing.T) {
+	m := Default()
+	rate := float64(mem.PageSize) / m.BalloonFreeBase.Seconds() / float64(mem.GiB)
+	if rate < 2.1 || rate > 2.5 {
+		t.Errorf("composed balloon return = %.2f GiB/s, paper 2.3", rate)
+	}
+}
+
+// TestCalibrationHyperAllocUntouched checks 388 ns/huge => 4.92 TiB/s and
+// 229 ns/huge => ~8.5 TiB/s.
+func TestCalibrationHyperAllocUntouched(t *testing.T) {
+	m := Default()
+	reclaim := float64(mem.HugeSize) / m.LLFreeReclaimHuge.Seconds() / float64(mem.TiB)
+	if math.Abs(reclaim-4.92) > 0.2 {
+		t.Errorf("untouched reclaim = %.2f TiB/s, paper 4.92", reclaim)
+	}
+	ret := float64(mem.HugeSize) / m.LLFreeReturnHuge.Seconds() / float64(mem.TiB)
+	if ret < 8.0 || ret > 9.0 {
+		t.Errorf("return = %.2f TiB/s, paper ~8.5 (229 ns)", ret)
+	}
+}
+
+// TestCalibrationVirtioMem checks the hot(un)plug block costs: 34 GiB/s
+// shrink, 102 GiB/s grow, 52% VFIO shrink penalty.
+func TestCalibrationVirtioMem(t *testing.T) {
+	m := Default()
+	unplug := m.HotunplugBlock + m.Syscall + m.EPTUnmapHuge + m.TLBInvalidation
+	shrink := float64(mem.HugeSize) / unplug.Seconds() / float64(mem.GiB)
+	if shrink < 31 || shrink > 37 {
+		t.Errorf("unplug = %.1f GiB/s, paper 34", shrink)
+	}
+	grow := float64(mem.HugeSize) / m.HotplugBlock.Seconds() / float64(mem.GiB)
+	if grow < 92 || grow > 108 {
+		t.Errorf("plug = %.1f GiB/s, paper 102", grow)
+	}
+	withVFIO := unplug + m.IOMMUUnmapHuge + m.IOTLBFlush
+	slowdown := withVFIO.Seconds()/unplug.Seconds() - 1
+	if slowdown < 0.45 || slowdown > 0.60 {
+		t.Errorf("VFIO unplug slowdown = %.0f%%, paper 52%%", slowdown*100)
+	}
+}
+
+// TestCalibrationHyperAllocVFIO checks the 6.3x VFIO reclaim penalty.
+func TestCalibrationHyperAllocVFIO(t *testing.T) {
+	m := Default()
+	// Per huge frame during an aggregated run of ~32 frames.
+	base := m.LLFreeReclaimHuge + m.EPTUnmapHuge + (m.Syscall+m.TLBInvalidation)/32
+	vfio := base + m.IOMMUUnmapHuge + m.IOTLBFlush
+	factor := vfio.Seconds() / base.Seconds()
+	if factor < 5.5 || factor > 7.0 {
+		t.Errorf("VFIO reclaim factor = %.1fx, paper 6.3x", factor)
+	}
+}
+
+// TestCalibrationInstallVsFault checks the ~6% install slowdown.
+func TestCalibrationInstallVsFault(t *testing.T) {
+	m := Default()
+	install := m.Hypercall + m.MonitorDispatch + m.Syscall + m.EPTMapHuge + m.PopulateCost(mem.HugeSize)
+	fault := m.EPTFaultExit + m.EPTMapHuge + m.PopulateCost(mem.HugeSize)
+	slow := install.Seconds()/fault.Seconds() - 1
+	if slow < 0.04 || slow > 0.08 {
+		t.Errorf("install slowdown = %.1f%%, paper ~6%%", slow*100)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	m := Default()
+	if got := m.PopulateCost(uint64(m.PopulateGiBs * float64(mem.GiB))); got != time.Second {
+		t.Errorf("PopulateCost = %v", got)
+	}
+	if got := m.TouchCost(uint64(m.TouchGiBs * float64(mem.GiB))); got != time.Second {
+		t.Errorf("TouchCost = %v", got)
+	}
+	if got := m.MigrateCost(uint64(m.MigrateGiBs * float64(mem.GiB))); got != time.Second {
+		t.Errorf("MigrateCost = %v", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero bandwidth did not panic")
+			}
+		}()
+		bad := *m
+		bad.PopulateGiBs = 0
+		bad.PopulateCost(1)
+	}()
+}
+
+func TestBaselinesPresent(t *testing.T) {
+	m := Default()
+	for _, threads := range []int{1, 4, 12} {
+		if m.StreamBaselineGBs[threads] == 0 || m.FTQBaselineWork[threads] == 0 {
+			t.Errorf("missing baseline for %d threads", threads)
+		}
+		if m.StreamCPUStallSens[threads] == 0 {
+			t.Errorf("missing stream sensitivity for %d threads", threads)
+		}
+	}
+	if m.StreamBaselineGBs[12] != 69.0 || m.FTQBaselineWork[12] != 30.6 {
+		t.Error("Table 2 baselines changed")
+	}
+}

@@ -1,0 +1,219 @@
+// Package ept simulates the extended page tables (second-stage translation)
+// of one VM. It tracks, per 2 MiB guest-physical area, which base frames
+// are backed by host-physical memory, and counts map/unmap/fault
+// operations. A mapped frame is a populated frame: the resident-set size
+// of the VM process is the table's MappedBytes.
+//
+// Costs are charged by the mechanisms that drive the table (they know
+// about syscall batching, prepopulation, and VFIO), not here.
+package ept
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Table is the EPT of one VM.
+type Table struct {
+	frames uint64
+	areas  []area
+
+	mappedFrames uint64
+
+	// Operation counters.
+	MapHugeOps   uint64
+	UnmapHugeOps uint64
+	MapBaseOps   uint64
+	UnmapBaseOps uint64
+	Faults       uint64
+}
+
+type area struct {
+	huge   bool   // mapped by a single 2 MiB EPT entry
+	mapped uint16 // mapped base frames (512 when huge)
+	// fragmented: a 4 KiB hole was punched into this area (madvise of a
+	// subrange splits the THP backing); later faults map base pages until
+	// the area is explicitly huge-mapped again.
+	fragmented bool
+	bitmap     []uint64
+}
+
+// New creates an EPT covering the given number of guest base frames, all
+// unmapped.
+func New(frames uint64) *Table {
+	areas := (frames + mem.FramesPerHuge - 1) / mem.FramesPerHuge
+	return &Table{frames: frames, areas: make([]area, areas)}
+}
+
+// Frames returns the number of guest frames covered.
+func (t *Table) Frames() uint64 { return t.frames }
+
+// Areas returns the number of 2 MiB areas covered.
+func (t *Table) Areas() uint64 { return uint64(len(t.areas)) }
+
+// MappedBytes returns the populated guest memory — the VM's RSS.
+func (t *Table) MappedBytes() uint64 { return t.mappedFrames * mem.PageSize }
+
+// MappedFrames returns the number of populated base frames.
+func (t *Table) MappedFrames() uint64 { return t.mappedFrames }
+
+// AreaMapped returns how many base frames of the area are populated.
+func (t *Table) AreaMapped(areaIdx uint64) uint64 {
+	if areaIdx >= uint64(len(t.areas)) {
+		return 0
+	}
+	return uint64(t.areas[areaIdx].mapped)
+}
+
+// AreaFullyMapped reports whether every frame of the area is populated.
+func (t *Table) AreaFullyMapped(areaIdx uint64) bool {
+	return t.AreaMapped(areaIdx) == t.areaFrames(areaIdx)
+}
+
+func (t *Table) areaFrames(areaIdx uint64) uint64 {
+	start := areaIdx * mem.FramesPerHuge
+	if start+mem.FramesPerHuge > t.frames {
+		return t.frames - start
+	}
+	return mem.FramesPerHuge
+}
+
+// MapHuge maps the entire area with a 2 MiB entry. Frames already mapped
+// individually are absorbed. Returns the number of newly populated frames.
+func (t *Table) MapHuge(areaIdx uint64) (uint64, error) {
+	if areaIdx >= uint64(len(t.areas)) {
+		return 0, fmt.Errorf("ept: map huge: area %d out of range", areaIdx)
+	}
+	a := &t.areas[areaIdx]
+	n := t.areaFrames(areaIdx)
+	newly := n - uint64(a.mapped)
+	a.huge = true
+	a.fragmented = false
+	a.mapped = uint16(n)
+	a.bitmap = nil
+	t.mappedFrames += newly
+	t.MapHugeOps++
+	return newly, nil
+}
+
+// UnmapHuge removes all mappings of the area. Returns the number of frames
+// that were populated.
+func (t *Table) UnmapHuge(areaIdx uint64) (uint64, error) {
+	if areaIdx >= uint64(len(t.areas)) {
+		return 0, fmt.Errorf("ept: unmap huge: area %d out of range", areaIdx)
+	}
+	a := &t.areas[areaIdx]
+	was := uint64(a.mapped)
+	a.huge = false
+	a.mapped = 0
+	a.bitmap = nil
+	t.mappedFrames -= was
+	t.UnmapHugeOps++
+	return was, nil
+}
+
+// MapBase maps a single base frame (populate-on-fault for 4 KiB pages).
+// Returns whether it was newly populated.
+func (t *Table) MapBase(pfn mem.PFN) (bool, error) {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return false, fmt.Errorf("ept: map base: pfn %d out of range", p)
+	}
+	a := &t.areas[p/mem.FramesPerHuge]
+	t.MapBaseOps++
+	if a.huge {
+		return false, nil
+	}
+	if a.bitmap == nil {
+		a.bitmap = make([]uint64, mem.FramesPerHuge/64)
+	}
+	w, b := (p%mem.FramesPerHuge)/64, p%64
+	if a.bitmap[w]&(1<<b) != 0 {
+		return false, nil
+	}
+	a.bitmap[w] |= 1 << b
+	a.mapped++
+	t.mappedFrames++
+	return true, nil
+}
+
+// UnmapBase removes the mapping of a single base frame. Splits a huge
+// mapping into base mappings first, like KVM does on madvise of a 4 KiB
+// subrange. Returns whether the frame was populated.
+func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return false, fmt.Errorf("ept: unmap base: pfn %d out of range", p)
+	}
+	a := &t.areas[p/mem.FramesPerHuge]
+	t.UnmapBaseOps++
+	if a.huge {
+		// Split: all frames become individually mapped, then this one is
+		// removed.
+		a.huge = false
+		a.bitmap = make([]uint64, mem.FramesPerHuge/64)
+		n := t.areaFrames(p / mem.FramesPerHuge)
+		for i := uint64(0); i < n; i++ {
+			a.bitmap[i/64] |= 1 << (i % 64)
+		}
+	}
+	a.fragmented = true
+	if a.bitmap == nil {
+		return false, nil
+	}
+	w, b := (p%mem.FramesPerHuge)/64, p%64
+	if a.bitmap[w]&(1<<b) == 0 {
+		return false, nil
+	}
+	a.bitmap[w] &^= 1 << b
+	a.mapped--
+	t.mappedFrames--
+	return true, nil
+}
+
+// AreaFragmented reports whether the host backing of the area was split
+// by 4 KiB hole punching, so faults resolve with base pages.
+func (t *Table) AreaFragmented(areaIdx uint64) bool {
+	if areaIdx >= uint64(len(t.areas)) {
+		return false
+	}
+	return t.areas[areaIdx].fragmented
+}
+
+// IsMapped reports whether the base frame is populated.
+func (t *Table) IsMapped(pfn mem.PFN) bool {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return false
+	}
+	a := &t.areas[p/mem.FramesPerHuge]
+	if a.huge {
+		return true
+	}
+	if a.bitmap == nil {
+		return false
+	}
+	return a.bitmap[(p%mem.FramesPerHuge)/64]&(1<<(p%64)) != 0
+}
+
+// Fault records an EPT violation on the given frame and maps its whole
+// area with a huge entry (KVM backs VMs with transparent huge pages where
+// possible, which the paper's guests enable). Returns the number of newly
+// populated frames.
+func (t *Table) Fault(pfn mem.PFN) (uint64, error) {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return 0, fmt.Errorf("ept: fault: pfn %d out of range", p)
+	}
+	t.Faults++
+	return t.MapHuge(p / mem.FramesPerHuge)
+}
+
+// FaultBase records an EPT violation that is resolved with a single 4 KiB
+// mapping (used when the area was fragmented on the host side, e.g. after
+// virtio-balloon discarded individual pages of it).
+func (t *Table) FaultBase(pfn mem.PFN) (bool, error) {
+	t.Faults++
+	return t.MapBase(pfn)
+}

@@ -1,0 +1,114 @@
+package guest
+
+import (
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+)
+
+// Allocator is the page-frame allocator interface a zone runs on. Both the
+// LLFree port (HyperAlloc guests) and the buddy allocator (virtio-balloon
+// and virtio-mem guests) implement it.
+type Allocator interface {
+	// Alloc allocates 2^order aligned frames of the given type.
+	Alloc(cpu int, order mem.Order, typ mem.AllocType) (mem.PFN, error)
+	// Free frees a prior allocation.
+	Free(cpu int, pfn mem.PFN, order mem.Order) error
+	// FreeFrames returns the number of allocatable frames.
+	FreeFrames() uint64
+	// UsedHugeBytes returns bytes covered by partially or fully used
+	// huge frames.
+	UsedHugeBytes() uint64
+	// UsedBaseBytes returns bytes actually allocated.
+	UsedBaseBytes() uint64
+	// Drain flushes allocator-internal caches back to the free state.
+	Drain()
+	// Name identifies the allocator for reports.
+	Name() string
+}
+
+// LLFreeAdapter adapts llfree.Alloc to the Allocator interface and hooks
+// the install-on-allocate path: when an allocation lands on an evicted
+// huge frame, InstallHook is invoked (synchronously — the allocation waits
+// for the hypercall, Sec. 3.2) before the frame is returned.
+type LLFreeAdapter struct {
+	A *llfree.Alloc
+	// InstallHook is set by the HyperAlloc mechanism when it attaches; it
+	// receives the area index of the evicted huge frame.
+	InstallHook func(area uint64)
+	// Installs counts triggered install hypercalls.
+	Installs uint64
+}
+
+// NewLLFreeAdapter wraps an LLFree instance.
+func NewLLFreeAdapter(a *llfree.Alloc) *LLFreeAdapter { return &LLFreeAdapter{A: a} }
+
+// Alloc implements Allocator.
+func (l *LLFreeAdapter) Alloc(cpu int, order mem.Order, typ mem.AllocType) (mem.PFN, error) {
+	f, err := l.A.Get(cpu, order, typ)
+	if err != nil {
+		return 0, err
+	}
+	if f.Evicted && l.InstallHook != nil {
+		// One install covers the whole huge frame; concurrent allocations
+		// in the same area may both trigger it — the monitor serializes
+		// and deduplicates (per-VM lock, Sec. 3.2).
+		l.Installs++
+		l.InstallHook(f.PFN.HugeIndex())
+	}
+	return f.PFN, nil
+}
+
+// Free implements Allocator.
+func (l *LLFreeAdapter) Free(cpu int, pfn mem.PFN, order mem.Order) error {
+	return l.A.Put(cpu, pfn, order)
+}
+
+// FreeFrames implements Allocator.
+func (l *LLFreeAdapter) FreeFrames() uint64 { return l.A.FreeFrames() }
+
+// UsedHugeBytes implements Allocator.
+func (l *LLFreeAdapter) UsedHugeBytes() uint64 { return l.A.UsedHugeBytes() }
+
+// UsedBaseBytes implements Allocator.
+func (l *LLFreeAdapter) UsedBaseBytes() uint64 { return l.A.UsedBaseBytes() }
+
+// Drain implements Allocator. LLFree has no allocator-level page caches;
+// its reservation policy needs no draining.
+func (l *LLFreeAdapter) Drain() {}
+
+// Name implements Allocator.
+func (l *LLFreeAdapter) Name() string { return "llfree" }
+
+// BuddyAdapter adapts buddy.Alloc to the Allocator interface.
+type BuddyAdapter struct {
+	A *buddy.Alloc
+}
+
+// NewBuddyAdapter wraps a buddy instance.
+func NewBuddyAdapter(a *buddy.Alloc) *BuddyAdapter { return &BuddyAdapter{A: a} }
+
+// Alloc implements Allocator.
+func (b *BuddyAdapter) Alloc(cpu int, order mem.Order, typ mem.AllocType) (mem.PFN, error) {
+	return b.A.Alloc(cpu, order, typ)
+}
+
+// Free implements Allocator.
+func (b *BuddyAdapter) Free(cpu int, pfn mem.PFN, order mem.Order) error {
+	return b.A.Free(cpu, pfn, order)
+}
+
+// FreeFrames implements Allocator.
+func (b *BuddyAdapter) FreeFrames() uint64 { return b.A.FreeFrames() }
+
+// UsedHugeBytes implements Allocator.
+func (b *BuddyAdapter) UsedHugeBytes() uint64 { return b.A.UsedHugeBytes() }
+
+// UsedBaseBytes implements Allocator.
+func (b *BuddyAdapter) UsedBaseBytes() uint64 { return b.A.UsedBaseBytes() }
+
+// Drain implements Allocator.
+func (b *BuddyAdapter) Drain() { b.A.DrainPCP() }
+
+// Name implements Allocator.
+func (b *BuddyAdapter) Name() string { return "buddy" }

@@ -1,0 +1,147 @@
+package guest
+
+import "hyperalloc/internal/mem"
+
+// PageCache models the guest's file page cache: movable 4 KiB pages held
+// per file, evicted at file granularity in LRU order under memory
+// pressure. Its growth during builds and its fragmentation footprint are
+// central to Figs. 8-10 of the paper ("the page cache has a major impact
+// on the memory footprint").
+type PageCache struct {
+	guest *Guest
+	files map[string]*cachedFile
+	lru   []*cachedFile // least-recently-used first
+	bytes uint64
+	clock uint64
+
+	// Evictions counts evicted bytes over the cache's lifetime.
+	Evictions uint64
+}
+
+type cachedFile struct {
+	name   string
+	pages  []chunk
+	bytes  uint64
+	lastAt uint64
+}
+
+func newPageCache(g *Guest) *PageCache {
+	return &PageCache{guest: g, files: make(map[string]*cachedFile)}
+}
+
+// Bytes returns the current cache size.
+func (c *PageCache) Bytes() uint64 { return c.bytes }
+
+// Files returns the number of cached files.
+func (c *PageCache) Files() int { return len(c.files) }
+
+// Write caches `bytes` of the named file (appending), allocating movable
+// pages and touching them. Used for created files (object files, build
+// artifacts) and for reads that miss the cache.
+func (c *PageCache) Write(cpu int, name string, bytes uint64) error {
+	f := c.files[name]
+	if f == nil {
+		f = &cachedFile{name: name}
+		c.files[name] = f
+		c.lru = append(c.lru, f)
+	}
+	c.clock++
+	f.lastAt = c.clock
+	frames := mem.BytesToFrames(bytes)
+	for i := uint64(0); i < frames; i++ {
+		z, pfn, err := c.guest.allocFrames(cpu, 0, mem.Movable)
+		if err != nil {
+			return err
+		}
+		f.pages = append(f.pages, chunk{z, pfn, 0})
+		c.guest.rmapSet(z, pfn, rmapOwner{file: f, idx: int32(len(f.pages) - 1)})
+		f.bytes += mem.PageSize
+		c.bytes += mem.PageSize
+		c.guest.touch(z, pfn, 1)
+	}
+	return nil
+}
+
+// Read touches the named file: a cache hit just refreshes recency; a miss
+// caches `bytes` of it.
+func (c *PageCache) Read(cpu int, name string, bytes uint64) error {
+	if f, ok := c.files[name]; ok {
+		c.clock++
+		f.lastAt = c.clock
+		return nil
+	}
+	return c.Write(cpu, name, bytes)
+}
+
+// Remove drops the named file from the cache (unlink / make clean),
+// freeing its pages. Returns the freed bytes.
+func (c *PageCache) Remove(name string) uint64 {
+	f, ok := c.files[name]
+	if !ok {
+		return 0
+	}
+	c.dropFile(f)
+	return f.bytes
+}
+
+// RemovePrefix drops all files whose name starts with the prefix,
+// returning freed bytes. Models `make clean` removing build artifacts.
+func (c *PageCache) RemovePrefix(prefix string) uint64 {
+	var freed uint64
+	for name, f := range c.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			freed += f.bytes
+			c.dropFile(f)
+		}
+	}
+	return freed
+}
+
+// dropFile frees the file's pages and unlinks it from the index and LRU.
+func (c *PageCache) dropFile(f *cachedFile) {
+	for _, p := range f.pages {
+		c.guest.rmapDel(p.zone, p.pfn)
+		c.guest.free(p.zone, p.pfn, p.order)
+	}
+	c.bytes -= f.bytes
+	delete(c.files, f.name)
+	for i, e := range c.lru {
+		if e == f {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			break
+		}
+	}
+	f.pages = nil
+}
+
+// evict frees at least `target` bytes of the least recently used files.
+// Returns the bytes actually freed.
+func (c *PageCache) evict(target uint64) uint64 {
+	if target == 0 || c.bytes == 0 {
+		return 0
+	}
+	// Refresh LRU order lazily: sort by lastAt (stable small-n insertion
+	// is enough since evictions are rare relative to writes).
+	c.sortLRU()
+	var freed uint64
+	for freed < target && len(c.lru) > 0 {
+		f := c.lru[0]
+		freed += f.bytes
+		c.dropFile(f)
+	}
+	c.Evictions += freed
+	return freed
+}
+
+func (c *PageCache) sortLRU() {
+	lru := c.lru
+	for i := 1; i < len(lru); i++ {
+		f := lru[i]
+		j := i - 1
+		for j >= 0 && lru[j].lastAt > f.lastAt {
+			lru[j+1] = lru[j]
+			j--
+		}
+		lru[j+1] = f
+	}
+}

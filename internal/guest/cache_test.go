@@ -1,0 +1,106 @@
+package guest
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func TestCacheWriteRead(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 48*mem.MiB)
+	c := g.Cache()
+	if err := c.Write(0, "a", 4*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 4*mem.MiB || c.Files() != 1 {
+		t.Errorf("bytes %d files %d", c.Bytes(), c.Files())
+	}
+	// Cache hit: no growth.
+	if err := c.Read(0, "a", 4*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 4*mem.MiB {
+		t.Error("read hit grew the cache")
+	}
+	// Miss: caches the file.
+	if err := c.Read(0, "b", 2*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 6*mem.MiB || c.Files() != 2 {
+		t.Errorf("bytes %d files %d", c.Bytes(), c.Files())
+	}
+	// Appending write grows the same file.
+	if err := c.Write(0, "a", mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if c.Bytes() != 7*mem.MiB || c.Files() != 2 {
+		t.Errorf("after append: bytes %d files %d", c.Bytes(), c.Files())
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 48*mem.MiB)
+	c := g.Cache()
+	c.Write(0, "obj/a.o", 2*mem.MiB)
+	c.Write(0, "obj/b.o", 2*mem.MiB)
+	c.Write(0, "src/a.c", mem.MiB)
+	if freed := c.Remove("obj/a.o"); freed != 2*mem.MiB {
+		t.Errorf("Remove freed %d", freed)
+	}
+	if freed := c.Remove("nonesuch"); freed != 0 {
+		t.Errorf("Remove missing freed %d", freed)
+	}
+	if freed := c.RemovePrefix("obj/"); freed != 2*mem.MiB {
+		t.Errorf("RemovePrefix freed %d", freed)
+	}
+	if c.Files() != 1 || c.Bytes() != mem.MiB {
+		t.Errorf("left: %d files, %d bytes", c.Files(), c.Bytes())
+	}
+	free := g.FreeBytes()
+	g.DropCaches()
+	if c.Bytes() != 0 {
+		t.Error("DropCaches left data")
+	}
+	if g.FreeBytes() != free+mem.MiB {
+		t.Error("dropped pages not freed")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 48*mem.MiB)
+	c := g.Cache()
+	for i := 0; i < 8; i++ {
+		if err := c.Write(0, fmt.Sprintf("f%d", i), 4*mem.MiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch f0 so it becomes most-recently used.
+	if err := c.Read(0, "f0", 0); err != nil {
+		t.Fatal(err)
+	}
+	evicted := c.evict(4 * mem.MiB)
+	if evicted < 4*mem.MiB {
+		t.Fatalf("evicted %d", evicted)
+	}
+	// f1 (the oldest untouched) must be gone; f0 must survive.
+	if _, ok := c.files["f0"]; !ok {
+		t.Error("recently used file evicted")
+	}
+	if _, ok := c.files["f1"]; ok {
+		t.Error("LRU file survived")
+	}
+	if c.Evictions == 0 {
+		t.Error("eviction counter")
+	}
+}
+
+func TestCacheEvictEmpty(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 16*mem.MiB)
+	if got := g.Cache().evict(mem.MiB); got != 0 {
+		t.Errorf("evict on empty = %d", got)
+	}
+	if got := g.Cache().evict(0); got != 0 {
+		t.Errorf("evict zero = %d", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package guest simulates the guest operating system's memory management:
+// zones over a page-frame allocator (LLFree or buddy), an anonymous-memory
+// path with transparent huge pages, a file page cache with LRU eviction,
+// and memory-pressure reclaim. Workloads run against this package; the VM
+// monitor observes it through the TouchFn/FreeFn hooks and the allocator
+// state.
+package guest
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// ErrOOM reports that an allocation failed even after reclaiming the page
+// cache — the guest's OOM killer would fire.
+var ErrOOM = errors.New("guest: out of memory")
+
+// Zone is one memory zone (DMA32, Normal, or Movable) backed by its own
+// allocator instance, as in Linux and Sec. 4.2 of the paper.
+type Zone struct {
+	Kind mem.ZoneKind
+	// Base is the zone's first guest-physical frame number.
+	Base mem.PFN
+	// Frames is the zone size in base frames.
+	Frames uint64
+	// Alloc is the zone's page-frame allocator.
+	Alloc Allocator
+	// Impl exposes the concrete allocator (e.g. *buddy.Alloc) to the
+	// reclamation mechanisms.
+	Impl any
+}
+
+// GFN converts a zone-relative frame number to a guest-physical one.
+func (z *Zone) GFN(pfn mem.PFN) mem.PFN { return z.Base + pfn }
+
+// Contains reports whether the guest-physical frame lies in this zone.
+func (z *Zone) Contains(gfn mem.PFN) bool {
+	return gfn >= z.Base && uint64(gfn-z.Base) < z.Frames
+}
+
+// Guest is the simulated guest OS.
+type Guest struct {
+	zones []*Zone
+	cpus  int
+	cache *PageCache
+
+	// TouchFn is invoked when the guest writes freshly allocated memory
+	// (zone, zone-relative pfn, frame count). The VM monitor installs the
+	// populate-on-access (EPT fault) behaviour here.
+	TouchFn func(z *Zone, pfn mem.PFN, frames uint64)
+	// FreeFn is invoked when the guest frees memory (used by free-page
+	// hinting bookkeeping in some mechanisms).
+	FreeFn func(z *Zone, pfn mem.PFN, order mem.Order)
+
+	// OOMKills counts allocation failures that survived reclaim.
+	OOMKills uint64
+	// CacheReclaims counts page-cache eviction rounds under pressure.
+	CacheReclaims uint64
+	// Migrations counts blocks relocated by MigrateBlock.
+	Migrations uint64
+
+	// rmap maps tracked allocations to their owner slots so migration
+	// can rewrite references in place (lazily allocated).
+	rmap map[rmapKey]rmapOwner
+}
+
+// ZoneSpec describes one zone for New.
+type ZoneSpec struct {
+	Kind  mem.ZoneKind
+	Bytes uint64
+	Alloc Allocator
+	Impl  any
+}
+
+// New assembles a guest from zone specs. Zones are laid out contiguously
+// in guest-physical space in the given order.
+func New(cpus int, specs ...ZoneSpec) (*Guest, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("guest: no zones")
+	}
+	if cpus <= 0 {
+		cpus = 1
+	}
+	g := &Guest{cpus: cpus}
+	var base mem.PFN
+	for _, s := range specs {
+		frames := mem.BytesToFrames(s.Bytes)
+		if frames == 0 || s.Alloc == nil {
+			return nil, fmt.Errorf("guest: bad zone spec %v", s.Kind)
+		}
+		g.zones = append(g.zones, &Zone{
+			Kind:   s.Kind,
+			Base:   base,
+			Frames: frames,
+			Alloc:  s.Alloc,
+			Impl:   s.Impl,
+		})
+		base += mem.PFN(frames)
+	}
+	g.cache = newPageCache(g)
+	return g, nil
+}
+
+// Zones returns the guest's zones.
+func (g *Guest) Zones() []*Zone { return g.zones }
+
+// CPUs returns the number of vCPUs.
+func (g *Guest) CPUs() int { return g.cpus }
+
+// Cache returns the page cache.
+func (g *Guest) Cache() *PageCache { return g.cache }
+
+// ZoneFor returns the zone containing the guest-physical frame.
+func (g *Guest) ZoneFor(gfn mem.PFN) (*Zone, bool) {
+	for _, z := range g.zones {
+		if z.Contains(gfn) {
+			return z, true
+		}
+	}
+	return nil, false
+}
+
+// TotalBytes returns the guest-physical memory size.
+func (g *Guest) TotalBytes() uint64 {
+	var n uint64
+	for _, z := range g.zones {
+		n += z.Frames * mem.PageSize
+	}
+	return n
+}
+
+// FreeBytes returns the allocatable bytes across all zones.
+func (g *Guest) FreeBytes() uint64 {
+	var n uint64
+	for _, z := range g.zones {
+		n += z.Alloc.FreeFrames() * mem.PageSize
+	}
+	return n
+}
+
+// UsedHugeBytes aggregates the (partially) used huge-frame footprint.
+func (g *Guest) UsedHugeBytes() uint64 {
+	var n uint64
+	for _, z := range g.zones {
+		n += z.Alloc.UsedHugeBytes()
+	}
+	return n
+}
+
+// UsedBaseBytes aggregates the allocated bytes.
+func (g *Guest) UsedBaseBytes() uint64 {
+	var n uint64
+	for _, z := range g.zones {
+		n += z.Alloc.UsedBaseBytes()
+	}
+	return n
+}
+
+// zoneOrder returns the zones to try for an allocation type: movable
+// allocations prefer the Movable zone (so virtio-mem can unplug it later),
+// then Normal, then DMA32; unmovable allocations never land in Movable.
+func (g *Guest) zoneOrder(typ mem.AllocType) []*Zone {
+	ordered := make([]*Zone, 0, len(g.zones))
+	pick := func(kind mem.ZoneKind) {
+		for _, z := range g.zones {
+			if z.Kind == kind {
+				ordered = append(ordered, z)
+			}
+		}
+	}
+	if typ != mem.Unmovable {
+		pick(mem.ZoneMovable)
+	}
+	pick(mem.ZoneNormal)
+	pick(mem.ZoneDMA32)
+	return ordered
+}
+
+// allocFrames allocates one block, reclaiming page cache under pressure.
+// Returns the zone and zone-relative frame.
+func (g *Guest) allocFrames(cpu int, order mem.Order, typ mem.AllocType) (*Zone, mem.PFN, error) {
+	zones := g.zoneOrder(typ)
+	for attempt := 0; ; attempt++ {
+		for _, z := range zones {
+			pfn, err := z.Alloc.Alloc(cpu, order, typ)
+			if err == nil {
+				return z, pfn, nil
+			}
+		}
+		switch attempt {
+		case 0:
+			// Direct reclaim: evict some page cache and retry.
+			if g.cache.evict(64*mem.MiB) == 0 {
+				// Nothing evictable; drain allocator caches before OOM.
+				for _, z := range zones {
+					z.Alloc.Drain()
+				}
+			} else {
+				g.CacheReclaims++
+			}
+		case 1:
+			for _, z := range zones {
+				z.Alloc.Drain()
+			}
+			g.cache.evict(g.cache.Bytes()) // last resort: drop everything
+		default:
+			g.OOMKills++
+			return nil, 0, fmt.Errorf("%w: order %d type %v", ErrOOM, order, typ)
+		}
+	}
+}
+
+// touch notifies the monitor that freshly allocated frames are written.
+func (g *Guest) touch(z *Zone, pfn mem.PFN, frames uint64) {
+	if g.TouchFn != nil {
+		g.TouchFn(z, pfn, frames)
+	}
+}
+
+// free releases a block and notifies the monitor.
+func (g *Guest) free(z *Zone, pfn mem.PFN, order mem.Order) {
+	if err := z.Alloc.Free(0, pfn, order); err != nil {
+		panic(fmt.Sprintf("guest: free %d order %d: %v", pfn, order, err))
+	}
+	if g.FreeFn != nil {
+		g.FreeFn(z, pfn, order)
+	}
+}
+
+// DropCaches drops the entire page cache (echo 3 > drop_caches).
+func (g *Guest) DropCaches() {
+	g.cache.evict(g.cache.Bytes())
+}
+
+// EvictCache reclaims at least `bytes` of page cache in LRU order (as the
+// kernel's reclaim would under pressure, or a price-pressure policy on
+// purpose). Returns the bytes actually freed.
+func (g *Guest) EvictCache(bytes uint64) uint64 {
+	return g.cache.evict(bytes)
+}
+
+// CacheBytes returns the current page-cache size.
+func (g *Guest) CacheBytes() uint64 { return g.cache.Bytes() }
+
+// DrainAllocatorCaches flushes per-CPU caches in all zones (part of the
+// cache purge the monitor requests before hard shrinking, Sec. 3.3).
+func (g *Guest) DrainAllocatorCaches() {
+	for _, z := range g.zones {
+		z.Alloc.Drain()
+	}
+}
+
+// Purge is the full cache purge: page cache plus allocator caches.
+func (g *Guest) Purge() {
+	g.DropCaches()
+	g.DrainAllocatorCaches()
+}

@@ -1,0 +1,334 @@
+package guest
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+)
+
+// newBuddyGuest builds a guest with DMA32 + Normal zones on buddy.
+func newBuddyGuest(t testing.TB, dma32, normal uint64) *Guest {
+	t.Helper()
+	mk := func(bytes uint64) (ZoneSpec, *buddy.Alloc) {
+		b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(bytes), CPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ZoneSpec{Bytes: bytes, Alloc: NewBuddyAdapter(b), Impl: b}, b
+	}
+	z1, _ := mk(dma32)
+	z1.Kind = mem.ZoneDMA32
+	z2, _ := mk(normal)
+	z2.Kind = mem.ZoneNormal
+	g, err := New(2, z1, z2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// newLLFreeGuest builds a single-Normal-zone guest on LLFree.
+func newLLFreeGuest(t testing.TB, bytes uint64) (*Guest, *LLFreeAdapter) {
+	t.Helper()
+	a, err := llfree.New(llfree.Config{Frames: mem.BytesToFrames(bytes)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := NewLLFreeAdapter(a)
+	g, err := New(2, ZoneSpec{Kind: mem.ZoneNormal, Bytes: bytes, Alloc: ad, Impl: ad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ad
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("no zones accepted")
+	}
+	if _, err := New(1, ZoneSpec{Kind: mem.ZoneNormal, Bytes: 0, Alloc: nil}); err == nil {
+		t.Error("bad zone accepted")
+	}
+}
+
+func TestZoneLayout(t *testing.T) {
+	g := newBuddyGuest(t, 64*mem.MiB, 128*mem.MiB)
+	zs := g.Zones()
+	if zs[0].Base != 0 || zs[1].Base != mem.PFN(64*mem.MiB/mem.PageSize) {
+		t.Errorf("bases: %d, %d", zs[0].Base, zs[1].Base)
+	}
+	if g.TotalBytes() != 192*mem.MiB {
+		t.Errorf("TotalBytes = %d", g.TotalBytes())
+	}
+	z, ok := g.ZoneFor(zs[1].Base + 5)
+	if !ok || z != zs[1] {
+		t.Error("ZoneFor wrong")
+	}
+	if _, ok := g.ZoneFor(mem.PFN(g.TotalBytes() / mem.PageSize)); ok {
+		t.Error("ZoneFor out of range succeeded")
+	}
+	if zs[1].GFN(3) != zs[1].Base+3 {
+		t.Error("GFN")
+	}
+	if !zs[0].Contains(0) || zs[0].Contains(zs[1].Base) {
+		t.Error("Contains")
+	}
+}
+
+func TestAllocAnonTHP(t *testing.T) {
+	g := newBuddyGuest(t, 64*mem.MiB, 128*mem.MiB)
+	r, err := g.AllocAnon(0, 8*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bytes() != 8*mem.MiB {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+	// 8 MiB with THP = 4 huge chunks.
+	if r.Chunks() != 4 {
+		t.Errorf("Chunks = %d", r.Chunks())
+	}
+	hugeChunks := 0
+	r.ForEach(func(z *Zone, pfn mem.PFN, order mem.Order) {
+		if order == mem.HugeOrder {
+			hugeChunks++
+		}
+	})
+	if hugeChunks != 4 {
+		t.Errorf("huge chunks = %d", hugeChunks)
+	}
+	r.Free()
+	r.Free() // idempotent
+	if g.FreeBytes() != 192*mem.MiB {
+		t.Errorf("FreeBytes = %d after free", g.FreeBytes())
+	}
+}
+
+func TestAllocAnonTHPFallback(t *testing.T) {
+	g := newBuddyGuest(t, 4*mem.MiB, 8*mem.MiB)
+	// Fragment the guest so no huge frame is free: allocate every page
+	// individually, then free all but one page per 2 MiB area.
+	var pages []*Region
+	for {
+		r, err := g.allocRegion(0, mem.PageSize, false, false)
+		if err != nil {
+			break
+		}
+		pages = append(pages, r)
+	}
+	kept := map[uint64]bool{}
+	for _, p := range pages {
+		var keep bool
+		p.ForEach(func(z *Zone, pfn mem.PFN, _ mem.Order) {
+			area := uint64(z.GFN(pfn)) / mem.FramesPerHuge
+			if !kept[area] {
+				kept[area] = true
+				keep = true
+			}
+		})
+		if !keep {
+			p.Free()
+		}
+	}
+	g.DrainAllocatorCaches()
+	// A huge-sized allocation must still succeed via 4 KiB fallback.
+	r, err := g.AllocAnon(0, 2*mem.MiB)
+	if err != nil {
+		t.Fatalf("THP fallback failed: %v", err)
+	}
+	if r.Chunks() <= 1 {
+		t.Errorf("expected base-frame fallback, got %d chunks", r.Chunks())
+	}
+	r.Free()
+}
+
+func TestAllocKernelUnmovable(t *testing.T) {
+	g := newBuddyGuest(t, 64*mem.MiB, 128*mem.MiB)
+	r, err := g.AllocKernel(0, 64*mem.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chunks() != 16 {
+		t.Errorf("Chunks = %d", r.Chunks())
+	}
+	r.Free()
+}
+
+func TestTouchHookFires(t *testing.T) {
+	g := newBuddyGuest(t, 64*mem.MiB, 128*mem.MiB)
+	var touched uint64
+	g.TouchFn = func(z *Zone, pfn mem.PFN, frames uint64) { touched += frames }
+	r, err := g.AllocAnon(0, 4*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 4*mem.MiB/mem.PageSize {
+		t.Errorf("touched %d frames", touched)
+	}
+	// Untouched allocations do not fire the hook.
+	touched = 0
+	r2, err := g.AllocAnonUntouched(0, 4*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 0 {
+		t.Error("untouched alloc fired TouchFn")
+	}
+	r2.Touch()
+	if touched != 4*mem.MiB/mem.PageSize {
+		t.Errorf("Touch() reached %d frames", touched)
+	}
+	r.Free()
+	r2.Free()
+}
+
+func TestZoneOrderForTypes(t *testing.T) {
+	// Movable zone guest: movable allocations go there first, unmovable
+	// never.
+	mk := func(kind mem.ZoneKind, bytes uint64) ZoneSpec {
+		b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(bytes)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ZoneSpec{Kind: kind, Bytes: bytes, Alloc: NewBuddyAdapter(b), Impl: b}
+	}
+	g, err := New(1, mk(mem.ZoneNormal, 32*mem.MiB), mk(mem.ZoneMovable, 32*mem.MiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	movable := g.Zones()[1]
+	r, err := g.AllocAnon(0, 4*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ForEach(func(z *Zone, _ mem.PFN, _ mem.Order) {
+		if z != movable {
+			t.Error("movable allocation not in movable zone")
+		}
+	})
+	k, err := g.AllocKernel(0, 16*mem.KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.ForEach(func(z *Zone, _ mem.PFN, _ mem.Order) {
+		if z == movable {
+			t.Error("unmovable allocation in movable zone")
+		}
+	})
+	r.Free()
+	k.Free()
+}
+
+func TestPressureEvictsCache(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 48*mem.MiB)
+	// Fill most memory with cache.
+	if err := g.Cache().Write(0, "f1", 40*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// An allocation bigger than the remaining free memory forces reclaim.
+	r, err := g.AllocAnon(0, 32*mem.MiB)
+	if err != nil {
+		t.Fatalf("pressure alloc failed: %v", err)
+	}
+	if g.CacheReclaims == 0 {
+		t.Error("no cache reclaim recorded")
+	}
+	if g.Cache().Bytes() >= 40*mem.MiB {
+		t.Error("cache not evicted")
+	}
+	r.Free()
+}
+
+func TestOOMWhenTrulyFull(t *testing.T) {
+	g := newBuddyGuest(t, 8*mem.MiB, 8*mem.MiB)
+	r1, err := g.AllocAnon(0, 15*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AllocAnon(0, 4*mem.MiB); !errors.Is(err, ErrOOM) {
+		t.Errorf("expected OOM, got %v", err)
+	}
+	if g.OOMKills == 0 {
+		t.Error("OOM not counted")
+	}
+	r1.Free()
+}
+
+func TestFreePartial(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 16*mem.MiB)
+	r, err := g.AllocAnon(0, 8*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freed := r.FreePartial(3 * mem.MiB)
+	if freed < 3*mem.MiB {
+		t.Errorf("freed %d", freed)
+	}
+	if r.Bytes() != 8*mem.MiB-freed {
+		t.Errorf("Bytes = %d", r.Bytes())
+	}
+	r.Free()
+	if g.FreeBytes() != 32*mem.MiB {
+		t.Errorf("FreeBytes = %d", g.FreeBytes())
+	}
+}
+
+func TestUsageAggregation(t *testing.T) {
+	g, _ := newLLFreeGuest(t, 64*mem.MiB)
+	r, err := g.AllocAnon(0, 6*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.UsedBaseBytes() != 6*mem.MiB {
+		t.Errorf("UsedBaseBytes = %d", g.UsedBaseBytes())
+	}
+	if g.UsedHugeBytes() != 6*mem.MiB { // 3 fully used huge frames
+		t.Errorf("UsedHugeBytes = %d", g.UsedHugeBytes())
+	}
+	r.Free()
+}
+
+func TestLLFreeInstallHook(t *testing.T) {
+	g, ad := newLLFreeGuest(t, 64*mem.MiB)
+	var installed []uint64
+	ad.InstallHook = func(area uint64) { installed = append(installed, area) }
+	// Soft-reclaim an area via the shared handle, then force allocation
+	// from it by exhausting everything else.
+	host := ad.A.Share()
+	if err := host.ReclaimSoft(0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.AllocAnon(0, 64*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(installed) == 0 {
+		t.Fatal("install hook never fired")
+	}
+	if ad.Installs == 0 {
+		t.Error("Installs counter not bumped")
+	}
+	r.Free()
+}
+
+func TestPurge(t *testing.T) {
+	g := newBuddyGuest(t, 16*mem.MiB, 48*mem.MiB)
+	if err := g.Cache().Write(0, "x", 10*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AllocAnon(0, mem.PageSize); err != nil { // populate pcp
+		t.Fatal(err)
+	}
+	g.Purge()
+	if g.Cache().Bytes() != 0 {
+		t.Error("purge left cache")
+	}
+	for _, z := range g.Zones() {
+		if b, ok := z.Impl.(*buddy.Alloc); ok && b.PCPCached() != 0 {
+			t.Error("purge left pcp pages")
+		}
+	}
+}

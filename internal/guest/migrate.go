@@ -1,0 +1,138 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Raw allocation API for in-guest drivers (balloon, virtio-mem) and page
+// migration. Drivers allocate through the same pressure-handling path as
+// workloads, so balloon inflation induces page-cache reclaim exactly like
+// the paper describes.
+
+// AllocRaw allocates one block, handling memory pressure. Returns the zone
+// and zone-relative frame. Raw allocations are not migratable (they have
+// no owner record — like driver-pinned pages).
+func (g *Guest) AllocRaw(cpu int, order mem.Order, typ mem.AllocType) (*Zone, mem.PFN, error) {
+	return g.allocFrames(cpu, order, typ)
+}
+
+// FreeRaw frees a block previously obtained from AllocRaw.
+func (g *Guest) FreeRaw(z *Zone, pfn mem.PFN, order mem.Order) {
+	g.free(z, pfn, order)
+}
+
+// The reverse map: every tracked allocation (region chunks, page-cache
+// pages) registers its owner slot so page migration can rewrite the
+// owner's reference in place — the simulation analog of Linux's rmap
+// walks during memory compaction.
+
+type rmapKey struct {
+	zone *Zone
+	pfn  mem.PFN
+}
+
+type rmapOwner struct {
+	region *Region
+	file   *cachedFile
+	idx    int32
+}
+
+func (g *Guest) rmapSet(z *Zone, pfn mem.PFN, owner rmapOwner) {
+	if g.rmap == nil {
+		g.rmap = make(map[rmapKey]rmapOwner)
+	}
+	g.rmap[rmapKey{z, pfn}] = owner
+}
+
+func (g *Guest) rmapDel(z *Zone, pfn mem.PFN) {
+	delete(g.rmap, rmapKey{z, pfn})
+}
+
+// Errors of the migration path.
+var (
+	// ErrMigrateGone reports that the block was freed while the
+	// destination was being allocated (the allocation's memory pressure
+	// can reclaim the page cache, which may own the block).
+	ErrMigrateGone = errors.New("guest: migration source freed concurrently")
+	// ErrUnmovable reports a block with no owner record (driver-held);
+	// it cannot be migrated.
+	ErrUnmovable = errors.New("guest: block has no rmap owner")
+)
+
+// MigrateBlock relocates one allocated block to freshly allocated frames
+// (memory compaction on behalf of virtio-mem unplug): allocate a
+// destination, copy, rewrite the owner's reference through the reverse
+// map, and free the source. Returns the destination zone and frame.
+func (g *Guest) MigrateBlock(cpu int, z *Zone, pfn mem.PFN, order mem.Order) (*Zone, mem.PFN, error) {
+	owner, ok := g.rmap[rmapKey{z, pfn}]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: pfn %d", ErrUnmovable, pfn)
+	}
+	typ := mem.Movable
+	if order == mem.HugeOrder {
+		typ = mem.Huge
+	}
+	dz, dpfn, err := g.allocFrames(cpu, order, typ)
+	if err != nil {
+		return nil, 0, fmt.Errorf("guest: migrate: no destination: %w", err)
+	}
+	// The destination allocation may have evicted the very block we are
+	// migrating (page-cache reclaim under pressure). Re-check the owner.
+	cur, ok := g.rmap[rmapKey{z, pfn}]
+	if !ok || cur != owner || !owner.chunkMatches(z, pfn, order) {
+		if derr := dz.Alloc.Free(0, dpfn, order); derr != nil {
+			panic(fmt.Sprintf("guest: migrate rollback: %v", derr))
+		}
+		return nil, 0, ErrMigrateGone
+	}
+	// The copy target is written (the monitor populates it).
+	g.touch(dz, dpfn, order.Frames())
+	// Rewrite the owner's reference and the reverse map.
+	owner.setChunk(dz, dpfn)
+	g.rmapDel(z, pfn)
+	g.rmapSet(dz, dpfn, owner)
+	// Free the source.
+	if err := z.Alloc.Free(0, pfn, order); err != nil {
+		panic(fmt.Sprintf("guest: migrate free: %v", err))
+	}
+	if g.FreeFn != nil {
+		g.FreeFn(z, pfn, order)
+	}
+	g.Migrations++
+	return dz, dpfn, nil
+}
+
+// chunkMatches verifies the owner's slot still references the block.
+func (o rmapOwner) chunkMatches(z *Zone, pfn mem.PFN, order mem.Order) bool {
+	c := o.chunk()
+	return c != nil && c.zone == z && c.pfn == pfn && c.order == order
+}
+
+func (o rmapOwner) chunk() *chunk {
+	switch {
+	case o.region != nil:
+		if int(o.idx) >= len(o.region.chunks) {
+			return nil
+		}
+		return &o.region.chunks[o.idx]
+	case o.file != nil:
+		if int(o.idx) >= len(o.file.pages) {
+			return nil
+		}
+		return &o.file.pages[o.idx]
+	default:
+		return nil
+	}
+}
+
+func (o rmapOwner) setChunk(z *Zone, pfn mem.PFN) {
+	c := o.chunk()
+	if c == nil {
+		panic("guest: rmap owner without chunk")
+	}
+	c.zone = z
+	c.pfn = pfn
+}

@@ -1,0 +1,134 @@
+package guest
+
+import "hyperalloc/internal/mem"
+
+// Region is a set of allocated blocks belonging to one logical allocation
+// (a process's anonymous memory, a kernel buffer).
+type Region struct {
+	guest  *Guest
+	chunks []chunk
+	bytes  uint64
+	freed  bool
+}
+
+type chunk struct {
+	zone  *Zone
+	pfn   mem.PFN
+	order mem.Order
+}
+
+// Bytes returns the region size.
+func (r *Region) Bytes() uint64 { return r.bytes }
+
+// Chunks returns the number of allocated blocks.
+func (r *Region) Chunks() int { return len(r.chunks) }
+
+// ForEach calls fn for every block (zone, zone-relative pfn, order).
+func (r *Region) ForEach(fn func(z *Zone, pfn mem.PFN, order mem.Order)) {
+	for _, c := range r.chunks {
+		fn(c.zone, c.pfn, c.order)
+	}
+}
+
+// AllocAnon allocates anonymous process memory. Like Linux with
+// transparent huge pages enabled, multiples of 2 MiB are allocated as huge
+// frames when possible, falling back to base frames; the memory is
+// touched (written) immediately, so the monitor populates it.
+func (g *Guest) AllocAnon(cpu int, bytes uint64) (*Region, error) {
+	return g.allocRegion(cpu, bytes, true, true)
+}
+
+// AllocAnonUntouched allocates anonymous memory without writing it (the
+// "return" microbenchmarks grow the VM without touching pages).
+func (g *Guest) AllocAnonUntouched(cpu int, bytes uint64) (*Region, error) {
+	return g.allocRegion(cpu, bytes, true, false)
+}
+
+// AllocKernel allocates unmovable kernel memory in base frames (slab
+// pages, page tables, ...). Touched immediately.
+func (g *Guest) AllocKernel(cpu int, bytes uint64) (*Region, error) {
+	r := &Region{guest: g}
+	frames := mem.BytesToFrames(bytes)
+	for i := uint64(0); i < frames; i++ {
+		z, pfn, err := g.allocFrames(cpu, 0, mem.Unmovable)
+		if err != nil {
+			r.Free()
+			return nil, err
+		}
+		r.chunks = append(r.chunks, chunk{z, pfn, 0})
+		g.rmapSet(z, pfn, rmapOwner{region: r, idx: int32(len(r.chunks) - 1)})
+		r.bytes += mem.PageSize
+		g.touch(z, pfn, 1)
+	}
+	return r, nil
+}
+
+func (g *Guest) allocRegion(cpu int, bytes uint64, thp, touch bool) (*Region, error) {
+	r := &Region{guest: g}
+	remaining := mem.BytesToFrames(bytes)
+	for remaining > 0 {
+		var order mem.Order
+		if thp && remaining >= mem.FramesPerHuge {
+			order = mem.HugeOrder
+		}
+		typ := mem.Movable
+		if order == mem.HugeOrder {
+			typ = mem.Huge
+		}
+		z, pfn, err := g.allocFrames(cpu, order, typ)
+		if err != nil && order == mem.HugeOrder {
+			// THP fallback: no huge frame available, use base frames.
+			order = 0
+			z, pfn, err = g.allocFrames(cpu, 0, mem.Movable)
+		}
+		if err != nil {
+			r.Free()
+			return nil, err
+		}
+		r.chunks = append(r.chunks, chunk{z, pfn, order})
+		g.rmapSet(z, pfn, rmapOwner{region: r, idx: int32(len(r.chunks) - 1)})
+		r.bytes += order.Size()
+		remaining -= order.Frames()
+		if touch {
+			g.touch(z, pfn, order.Frames())
+		}
+	}
+	return r, nil
+}
+
+// Touch writes the whole region (populating it host-side if needed).
+func (r *Region) Touch() {
+	for _, c := range r.chunks {
+		r.guest.touch(c.zone, c.pfn, c.order.Frames())
+	}
+}
+
+// Free returns all blocks to their allocators. Idempotent.
+func (r *Region) Free() {
+	if r.freed {
+		return
+	}
+	r.freed = true
+	for _, c := range r.chunks {
+		r.guest.rmapDel(c.zone, c.pfn)
+		r.guest.free(c.zone, c.pfn, c.order)
+	}
+	r.chunks = nil
+	r.bytes = 0
+}
+
+// FreePartial frees blocks from the end of the region until at least
+// `bytes` are released, returning the amount actually freed. Models
+// workload phases that shrink their working set.
+func (r *Region) FreePartial(bytes uint64) uint64 {
+	var freed uint64
+	for freed < bytes && len(r.chunks) > 0 {
+		c := r.chunks[len(r.chunks)-1]
+		r.chunks = r.chunks[:len(r.chunks)-1]
+		r.guest.rmapDel(c.zone, c.pfn)
+		r.guest.free(c.zone, c.pfn, c.order)
+		freed += c.order.Size()
+		r.bytes -= c.order.Size()
+	}
+	return freed
+}

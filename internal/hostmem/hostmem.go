@@ -1,0 +1,139 @@
+// Package hostmem tracks host-physical memory across all VMs of one
+// simulated host: per-VM resident-set sizes, the aggregate, its peak, and
+// the host-level swap fallback used when guests overcommit physical
+// memory (paper Sec. 6: "hypervisors usually fallback to swapping").
+package hostmem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool is the host memory pool.
+type Pool struct {
+	capacity uint64
+	rss      map[string]uint64
+	swapped  map[string]uint64
+	total    uint64
+	peak     uint64
+
+	// SwapOutBytes / SwapInBytes count host swap traffic over the pool's
+	// lifetime.
+	SwapOutBytes uint64
+	SwapInBytes  uint64
+}
+
+// NewPool creates a pool with the given capacity in bytes (0 = unlimited).
+func NewPool(capacity uint64) *Pool {
+	return &Pool{
+		capacity: capacity,
+		rss:      make(map[string]uint64),
+		swapped:  make(map[string]uint64),
+	}
+}
+
+// Adjust changes the RSS of the named VM by delta bytes (negative to
+// release). Growing beyond the capacity makes the host swap out pages of
+// the largest-RSS VM to make room: the returned swap amount is what the
+// caller must charge as swap IO. Releases cancel the VM's own swap debt
+// first (the freed pages would have been the swapped ones).
+func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
+	cur := p.rss[vm]
+	if delta < 0 {
+		d := uint64(-delta)
+		if sw := p.swapped[vm]; sw > 0 {
+			take := min(sw, d)
+			p.swapped[vm] = sw - take
+			d -= take
+		}
+		if d > cur {
+			return 0, fmt.Errorf("hostmem: vm %q releasing %d of %d bytes", vm, d, cur)
+		}
+		p.rss[vm] = cur - d
+		p.total -= d
+		return 0, nil
+	}
+	d := uint64(delta)
+	if p.capacity != 0 && p.total+d > p.capacity {
+		// Host swap: evict from the largest-RSS VM until the new pages fit.
+		need := p.total + d - p.capacity
+		if evicted := p.swapOut(need); evicted < need {
+			return evicted, fmt.Errorf("hostmem: cannot swap %d bytes (evicted %d)", need, evicted)
+		}
+		swapped = need
+	}
+	p.rss[vm] = p.rss[vm] + d
+	p.total += d
+	if p.total > p.peak {
+		p.peak = p.total
+	}
+	return swapped, nil
+}
+
+// swapOut pushes `need` resident bytes of the largest-RSS VMs to swap.
+func (p *Pool) swapOut(need uint64) uint64 {
+	var evicted uint64
+	for evicted < need {
+		victim := ""
+		var vmax uint64
+		for vm, r := range p.rss {
+			if r > vmax {
+				victim, vmax = vm, r
+			}
+		}
+		if victim == "" || vmax == 0 {
+			break
+		}
+		take := min(vmax, need-evicted)
+		p.rss[victim] -= take
+		p.swapped[victim] += take
+		p.total -= take
+		p.SwapOutBytes += take
+		evicted += take
+	}
+	return evicted
+}
+
+// Swapped returns the VM's swapped-out bytes.
+func (p *Pool) Swapped(vm string) uint64 { return p.swapped[vm] }
+
+// TotalSwapped returns the swapped-out bytes across all VMs.
+func (p *Pool) TotalSwapped() uint64 {
+	var n uint64
+	for _, s := range p.swapped {
+		n += s
+	}
+	return n
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RSS returns the resident-set size of the named VM.
+func (p *Pool) RSS(vm string) uint64 { return p.rss[vm] }
+
+// Total returns the aggregate RSS.
+func (p *Pool) Total() uint64 { return p.total }
+
+// Peak returns the highest aggregate RSS observed.
+func (p *Pool) Peak() uint64 { return p.peak }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (p *Pool) Capacity() uint64 { return p.capacity }
+
+// VMs returns the registered VM names, sorted.
+func (p *Pool) VMs() []string {
+	names := make([]string, 0, len(p.rss))
+	for n := range p.rss {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetPeak sets the peak to the current total.
+func (p *Pool) ResetPeak() { p.peak = p.total }

@@ -1,0 +1,107 @@
+package hostmem
+
+import "testing"
+
+func adjust(t *testing.T, p *Pool, vm string, delta int64) uint64 {
+	t.Helper()
+	sw, err := p.Adjust(vm, delta)
+	if err != nil {
+		t.Fatalf("Adjust(%s, %d): %v", vm, delta, err)
+	}
+	return sw
+}
+
+func TestAdjustAndPeak(t *testing.T) {
+	p := NewPool(0)
+	adjust(t, p, "a", 100)
+	adjust(t, p, "b", 200)
+	if p.Total() != 300 || p.Peak() != 300 {
+		t.Errorf("total %d peak %d", p.Total(), p.Peak())
+	}
+	adjust(t, p, "a", -50)
+	if p.Total() != 250 || p.Peak() != 300 {
+		t.Errorf("after release: total %d peak %d", p.Total(), p.Peak())
+	}
+	if p.RSS("a") != 50 || p.RSS("b") != 200 {
+		t.Error("per-VM RSS wrong")
+	}
+	if p.RSS("nonesuch") != 0 {
+		t.Error("unknown VM has RSS")
+	}
+}
+
+func TestOverRelease(t *testing.T) {
+	p := NewPool(0)
+	adjust(t, p, "a", 10)
+	if _, err := p.Adjust("a", -20); err == nil {
+		t.Error("over-release accepted")
+	}
+	if p.Total() != 10 {
+		t.Error("failed adjust changed state")
+	}
+}
+
+func TestCapacitySwapsOut(t *testing.T) {
+	p := NewPool(100)
+	if p.Capacity() != 100 {
+		t.Error("capacity")
+	}
+	adjust(t, p, "a", 80)
+	// b's growth overcommits the host: the largest-RSS VM (a) gets
+	// swapped out to make room.
+	sw := adjust(t, p, "b", 30)
+	if sw != 10 {
+		t.Errorf("swap on overcommit = %d, want 10", sw)
+	}
+	if p.Total() != 100 {
+		t.Errorf("total = %d, want at capacity", p.Total())
+	}
+	if p.Swapped("a") != 10 || p.RSS("a") != 70 {
+		t.Errorf("victim state: rss %d swapped %d", p.RSS("a"), p.Swapped("a"))
+	}
+	if p.TotalSwapped() != 10 || p.SwapOutBytes != 10 {
+		t.Errorf("swap accounting: %d / %d", p.TotalSwapped(), p.SwapOutBytes)
+	}
+	// The victim's next release cancels its swap debt first.
+	adjust(t, p, "a", -10)
+	if p.Swapped("a") != 0 || p.RSS("a") != 70 {
+		t.Errorf("after release: rss %d swapped %d", p.RSS("a"), p.Swapped("a"))
+	}
+}
+
+func TestSwapVictimIsLargestRSS(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "small", 20)
+	adjust(t, p, "big", 70)
+	adjust(t, p, "newcomer", 30)
+	if p.Swapped("big") == 0 {
+		t.Error("largest-RSS VM was not the swap victim")
+	}
+	if p.Swapped("small") != 0 {
+		t.Error("small VM swapped before the big one")
+	}
+}
+
+func TestVMsSorted(t *testing.T) {
+	p := NewPool(0)
+	adjust(t, p, "zeta", 1)
+	adjust(t, p, "alpha", 1)
+	adjust(t, p, "mid", 1)
+	vms := p.VMs()
+	if len(vms) != 3 || vms[0] != "alpha" || vms[1] != "mid" || vms[2] != "zeta" {
+		t.Errorf("VMs = %v", vms)
+	}
+}
+
+func TestResetPeak(t *testing.T) {
+	p := NewPool(0)
+	adjust(t, p, "a", 100)
+	adjust(t, p, "a", -100)
+	if p.Peak() != 100 {
+		t.Error("peak before reset")
+	}
+	p.ResetPeak()
+	if p.Peak() != 0 {
+		t.Error("peak after reset")
+	}
+}

@@ -1,0 +1,148 @@
+// Package iommu simulates the IOMMU page tables and VFIO pinning of one
+// VM with device passthrough. Its defining property for the paper: devices
+// cannot take IO page faults, so a DMA transfer to an unmapped
+// guest-physical frame fails (Sec. 2 "DMA Safety"). The DMA method is the
+// oracle used by the DMA-safety tests and the gpu-passthrough example.
+package iommu
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// ErrDMAFault reports a DMA transfer to an unmapped guest frame — the
+// failure mode that makes virtio-balloon unsafe under device passthrough.
+var ErrDMAFault = errors.New("iommu: DMA to unmapped guest-physical frame")
+
+// Table is the IOMMU mapping state of one VFIO container.
+type Table struct {
+	frames uint64
+	mapped []uint64 // bitmap per base frame
+	stale  []uint64 // mapped, but the pinned backing was discarded
+	count  uint64
+
+	// Operation counters.
+	MapOps      uint64
+	UnmapOps    uint64
+	IOTLBFlush  uint64
+	PinnedOps   uint64
+	DMAOps      uint64
+	DMAFailures uint64
+}
+
+// New creates an IOMMU table covering the guest's frames, all unmapped.
+func New(frames uint64) *Table {
+	return &Table{
+		frames: frames,
+		mapped: make([]uint64, (frames+63)/64),
+		stale:  make([]uint64, (frames+63)/64),
+	}
+}
+
+// MapHuge maps and pins one 2 MiB area for DMA. Returns the number of
+// newly mapped base frames.
+func (t *Table) MapHuge(area uint64) (uint64, error) {
+	start := area * mem.FramesPerHuge
+	if start >= t.frames {
+		return 0, fmt.Errorf("iommu: map: area %d out of range", area)
+	}
+	end := start + mem.FramesPerHuge
+	if end > t.frames {
+		end = t.frames
+	}
+	var newly uint64
+	for p := start; p < end; p++ {
+		w, b := p/64, p%64
+		t.stale[w] &^= 1 << b
+		if t.mapped[w]&(1<<b) == 0 {
+			t.mapped[w] |= 1 << b
+			newly++
+		}
+	}
+	t.count += newly
+	t.MapOps++
+	t.PinnedOps++
+	return newly, nil
+}
+
+// UnmapHuge removes the DMA mapping of one 2 MiB area and flushes the
+// IOTLB. Returns the number of previously mapped base frames.
+func (t *Table) UnmapHuge(area uint64) (uint64, error) {
+	start := area * mem.FramesPerHuge
+	if start >= t.frames {
+		return 0, fmt.Errorf("iommu: unmap: area %d out of range", area)
+	}
+	end := start + mem.FramesPerHuge
+	if end > t.frames {
+		end = t.frames
+	}
+	var was uint64
+	for p := start; p < end; p++ {
+		w, b := p/64, p%64
+		t.stale[w] &^= 1 << b
+		if t.mapped[w]&(1<<b) != 0 {
+			t.mapped[w] &^= 1 << b
+			was++
+		}
+	}
+	t.count -= was
+	t.UnmapOps++
+	t.IOTLBFlush++
+	return was, nil
+}
+
+// IsMapped reports whether the frame is DMA-mapped.
+func (t *Table) IsMapped(pfn mem.PFN) bool {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return false
+	}
+	return t.mapped[p/64]&(1<<(p%64)) != 0
+}
+
+// MappedBytes returns the DMA-mapped (pinned) bytes.
+func (t *Table) MappedBytes() uint64 { return t.count * mem.PageSize }
+
+// MarkStale records that the pinned host backing of a mapped frame was
+// discarded behind the IOMMU's back (what happens when virtio-balloon
+// madvises memory of a VFIO VM): the device now references freed memory.
+// Remapping or unmapping the frame clears the mark.
+func (t *Table) MarkStale(pfn mem.PFN) {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return
+	}
+	if t.mapped[p/64]&(1<<(p%64)) != 0 {
+		t.stale[p/64] |= 1 << (p % 64)
+	}
+}
+
+// IsStale reports whether the frame's mapping references discarded memory.
+func (t *Table) IsStale(pfn mem.PFN) bool {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return false
+	}
+	return t.stale[p/64]&(1<<(p%64)) != 0
+}
+
+// DMA simulates a device DMA transfer touching n base frames starting at
+// pfn. Devices cannot fault: any unmapped frame fails the transfer, and a
+// stale mapping corrupts it (reported as failure too).
+func (t *Table) DMA(pfn mem.PFN, n uint64) error {
+	t.DMAOps++
+	for i := uint64(0); i < n; i++ {
+		p := pfn + mem.PFN(i)
+		if !t.IsMapped(p) {
+			t.DMAFailures++
+			return fmt.Errorf("%w: pfn %d unmapped", ErrDMAFault, uint64(p))
+		}
+		if t.IsStale(p) {
+			t.DMAFailures++
+			return fmt.Errorf("%w: pfn %d pinned backing was discarded", ErrDMAFault, uint64(p))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+const frames = 4 * mem.FramesPerHuge
+
+func TestMapUnmap(t *testing.T) {
+	tb := New(frames)
+	newly, err := tb.MapHuge(2)
+	if err != nil || newly != mem.FramesPerHuge {
+		t.Fatalf("MapHuge: %d %v", newly, err)
+	}
+	if !tb.IsMapped(2 * mem.FramesPerHuge) {
+		t.Error("not mapped")
+	}
+	if tb.MappedBytes() != mem.HugeSize {
+		t.Errorf("MappedBytes = %d", tb.MappedBytes())
+	}
+	// Idempotence.
+	if newly, _ := tb.MapHuge(2); newly != 0 {
+		t.Errorf("remap newly = %d", newly)
+	}
+	was, err := tb.UnmapHuge(2)
+	if err != nil || was != mem.FramesPerHuge {
+		t.Fatalf("UnmapHuge: %d %v", was, err)
+	}
+	if tb.IOTLBFlush != 1 {
+		t.Errorf("IOTLBFlush = %d", tb.IOTLBFlush)
+	}
+	if _, err := tb.MapHuge(99); err == nil {
+		t.Error("out-of-range map accepted")
+	}
+	if _, err := tb.UnmapHuge(99); err == nil {
+		t.Error("out-of-range unmap accepted")
+	}
+}
+
+func TestDMARequiresMapping(t *testing.T) {
+	tb := New(frames)
+	if err := tb.DMA(0, 10); !errors.Is(err, ErrDMAFault) {
+		t.Errorf("DMA to unmapped: %v", err)
+	}
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.DMA(0, mem.FramesPerHuge); err != nil {
+		t.Errorf("DMA to mapped: %v", err)
+	}
+	// A transfer crossing into unmapped territory fails.
+	if err := tb.DMA(mem.FramesPerHuge-1, 2); !errors.Is(err, ErrDMAFault) {
+		t.Errorf("DMA crossing boundary: %v", err)
+	}
+	if tb.DMAFailures != 2 {
+		t.Errorf("DMAFailures = %d", tb.DMAFailures)
+	}
+}
+
+func TestStalePinning(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	// Discarding the backing behind the IOMMU's back.
+	tb.MarkStale(3)
+	if !tb.IsStale(3) {
+		t.Error("not stale")
+	}
+	if err := tb.DMA(3, 1); !errors.Is(err, ErrDMAFault) {
+		t.Errorf("DMA to stale: %v", err)
+	}
+	// Other frames of the same area are fine.
+	if err := tb.DMA(4, 1); err != nil {
+		t.Errorf("DMA to coherent: %v", err)
+	}
+	// Remapping clears staleness.
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IsStale(3) {
+		t.Error("remap kept staleness")
+	}
+	// Unmap also clears it.
+	tb.MarkStale(3)
+	if _, err := tb.UnmapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	if tb.IsStale(3) {
+		t.Error("unmap kept staleness")
+	}
+	// Marking an unmapped frame stale is a no-op.
+	tb.MarkStale(100)
+	if tb.IsStale(100) {
+		t.Error("unmapped frame became stale")
+	}
+	tb.MarkStale(mem.PFN(frames + 5)) // out of range: ignored
+}
+
+func TestPartialTailArea(t *testing.T) {
+	tb := New(mem.FramesPerHuge + 10)
+	newly, err := tb.MapHuge(1)
+	if err != nil || newly != 10 {
+		t.Fatalf("tail map: %d %v", newly, err)
+	}
+	if tb.MappedBytes() != 10*mem.PageSize {
+		t.Errorf("MappedBytes = %d", tb.MappedBytes())
+	}
+}

@@ -1,0 +1,180 @@
+// Package ledger provides the virtual-time accounting that couples the
+// reclamation mechanisms to the workloads: mechanisms charge work, stalls,
+// and bus traffic through a Meter; workload samplers later query how much
+// of each landed in a sample interval and scale their samples accordingly
+// (the Fig. 5/6 interference model, DESIGN.md Sec. 4.6).
+package ledger
+
+import (
+	"sort"
+
+	"hyperalloc/internal/sim"
+)
+
+// Kind classifies a charge.
+type Kind uint8
+
+const (
+	// Host is monitor/host-side serialized work (madvise, VFIO ioctls,
+	// state scans). It advances the clock: the monitor is single-threaded.
+	Host Kind = iota
+	// Guest is guest-driver work occupying one vCPU (balloon driver
+	// alloc/free loops, hotplug handlers, migration). It advances the
+	// clock, since the monitor-side operation waits for it.
+	Guest
+	// StallCPU is an all-vCPU stall that interrupts computation (TLB
+	// shootdown IPIs). It does not advance the clock.
+	StallCPU
+	// StallMem is a stall of the guest's memory subsystem only (mmu-lock
+	// contention during population/pinning, zone locks during migration):
+	// it degrades memory bandwidth but barely affects pure CPU work. It
+	// does not advance the clock.
+	StallMem
+	// Bus is memory-bus traffic in bytes (population, migration copies).
+	// It does not advance the clock by itself.
+	Bus
+	numKinds
+)
+
+type entry struct {
+	start  sim.Time
+	amount int64 // ns for work/stall kinds, bytes for Bus
+}
+
+// Ledger records charges per kind, ordered by start time.
+type Ledger struct {
+	entries [numKinds][]entry
+}
+
+// coalesceWindow bounds ledger growth: charges landing within this window
+// of the previous entry's start are merged into it. Samplers operate at
+// >=100 ms granularity, so 10 ms buckets lose nothing.
+const coalesceWindow = 10 * sim.Millisecond
+
+// record appends a charge, merging into the previous entry when it falls
+// in the same coalescing bucket. Starts are non-decreasing because the
+// clock is monotonic.
+func (l *Ledger) record(k Kind, at sim.Time, amount int64) {
+	if amount <= 0 {
+		return
+	}
+	es := l.entries[k]
+	if n := len(es); n > 0 && at.Sub(es[n-1].start) < coalesceWindow {
+		es[n-1].amount += amount
+		return
+	}
+	l.entries[k] = append(es, entry{start: at, amount: amount})
+}
+
+// SumIn returns the total charge of kind k whose interval [start,
+// start+amount) overlaps [t0, t1), clipped to the window. For Bus the
+// charge is attributed entirely to its start time (bytes have no
+// duration).
+func (l *Ledger) SumIn(k Kind, t0, t1 sim.Time) int64 {
+	es := l.entries[k]
+	// First entry that could overlap: start+amount > t0. Entries are
+	// sorted by start; durations vary, so step back linearly is wrong —
+	// instead find first with start >= t0 and also inspect predecessors
+	// that might span into the window. Durations are bounded by the few
+	// seconds a single operation batch takes, so scan from the first
+	// entry with start >= t0 backwards while entries still overlap.
+	i := sort.Search(len(es), func(i int) bool { return es[i].start >= t0 })
+	var total int64
+	if k == Bus {
+		for ; i < len(es) && es[i].start < t1; i++ {
+			total += es[i].amount
+		}
+		return total
+	}
+	// Predecessors spanning into the window.
+	for j := i - 1; j >= 0; j-- {
+		end := es[j].start.Add(sim.Duration(es[j].amount))
+		if end <= t0 {
+			// Earlier entries may still span if they are long; durations
+			// are not sorted, so keep scanning while within a generous
+			// horizon.
+			if t0.Sub(es[j].start) > 120*sim.Second {
+				break
+			}
+			continue
+		}
+		total += int64(minTime(end, t1).Sub(maxTime(es[j].start, t0)))
+	}
+	for ; i < len(es) && es[i].start < t1; i++ {
+		end := es[i].start.Add(sim.Duration(es[i].amount))
+		total += int64(minTime(end, t1).Sub(es[i].start))
+	}
+	return total
+}
+
+// Reset drops all entries.
+func (l *Ledger) Reset() {
+	for k := range l.entries {
+		l.entries[k] = nil
+	}
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Meter charges operations against a clock and a ledger.
+type Meter struct {
+	clock  *sim.Clock
+	ledger *Ledger
+	frozen bool
+}
+
+// NewMeter returns a meter over the clock with a fresh ledger.
+func NewMeter(clock *sim.Clock) *Meter {
+	return &Meter{clock: clock, ledger: &Ledger{}}
+}
+
+// Clock returns the underlying clock.
+func (m *Meter) Clock() *sim.Clock { return m.clock }
+
+// Ledger returns the ledger for samplers.
+func (m *Meter) Ledger() *Ledger { return m.ledger }
+
+// Work charges serialized work of the given kind (Host or Guest): the
+// clock advances by d and the interval is recorded.
+func (m *Meter) Work(k Kind, d sim.Duration) {
+	if k != Host && k != Guest {
+		panic("ledger: Work with non-work kind")
+	}
+	if d <= 0 {
+		return
+	}
+	m.ledger.record(k, m.clock.Now(), int64(d))
+	if !m.frozen {
+		m.clock.Advance(d)
+	}
+}
+
+// Stall records a stall of the given kind overlapping the current work;
+// the clock does not advance.
+func (m *Meter) Stall(k Kind, d sim.Duration) {
+	if k != StallCPU && k != StallMem {
+		panic("ledger: Stall with non-stall kind")
+	}
+	m.ledger.record(k, m.clock.Now(), int64(d))
+}
+
+// Bus records bytes of memory-bus traffic at the current time.
+func (m *Meter) Bus(bytes uint64) {
+	m.ledger.record(Bus, m.clock.Now(), int64(bytes))
+}
+
+// Freeze makes Work record without advancing the clock. Used by benchmark
+// setup phases whose cost must not pollute the measured window.
+func (m *Meter) Freeze(frozen bool) { m.frozen = frozen }

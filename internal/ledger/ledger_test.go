@@ -1,0 +1,168 @@
+package ledger
+
+import (
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+func TestWorkAdvancesClock(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Work(Host, 2*sim.Second)
+	if m.Clock().Now() != sim.Time(2*sim.Second) {
+		t.Errorf("clock = %v", m.Clock().Now())
+	}
+	m.Work(Guest, sim.Second)
+	if m.Clock().Now() != sim.Time(3*sim.Second) {
+		t.Errorf("clock = %v", m.Clock().Now())
+	}
+	// Zero and negative charges are no-ops.
+	m.Work(Host, 0)
+	if m.Clock().Now() != sim.Time(3*sim.Second) {
+		t.Error("zero work advanced the clock")
+	}
+}
+
+func TestWorkRejectsNonWorkKinds(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	for _, k := range []Kind{StallCPU, StallMem, Bus} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Work(%d) did not panic", k)
+				}
+			}()
+			m.Work(k, sim.Second)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Stall(Host) did not panic")
+			}
+		}()
+		m.Stall(Host, sim.Second)
+	}()
+}
+
+func TestStallDoesNotAdvance(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Stall(StallCPU, 5*sim.Second)
+	m.Stall(StallMem, sim.Second)
+	if m.Clock().Now() != 0 {
+		t.Error("stall advanced the clock")
+	}
+	if got := m.Ledger().SumIn(StallCPU, 0, sim.Time(10*sim.Second)); got != int64(5*sim.Second) {
+		t.Errorf("StallCPU sum = %d", got)
+	}
+}
+
+func TestSumInClipping(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	// One 4 s host-work entry starting at t=0.
+	m.Work(Host, 4*sim.Second)
+	l := m.Ledger()
+	cases := []struct {
+		t0, t1 sim.Duration
+		want   sim.Duration
+	}{
+		{0, 4 * sim.Second, 4 * sim.Second},
+		{0, 2 * sim.Second, 2 * sim.Second},
+		{1 * sim.Second, 2 * sim.Second, 1 * sim.Second},
+		{3 * sim.Second, 10 * sim.Second, 1 * sim.Second},
+		{5 * sim.Second, 10 * sim.Second, 0},
+	}
+	for _, c := range cases {
+		if got := l.SumIn(Host, sim.Time(c.t0), sim.Time(c.t1)); got != int64(c.want) {
+			t.Errorf("SumIn[%v,%v) = %d, want %d", c.t0, c.t1, got, int64(c.want))
+		}
+	}
+}
+
+func TestSumInMultipleEntries(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	for i := 0; i < 5; i++ {
+		m.Work(Host, 100*sim.Millisecond)
+		m.Clock().Advance(900 * sim.Millisecond)
+	}
+	l := m.Ledger()
+	// Each second has 100 ms of work.
+	for i := 0; i < 5; i++ {
+		got := l.SumIn(Host, sim.Time(sim.Duration(i)*sim.Second), sim.Time(sim.Duration(i+1)*sim.Second))
+		if got != int64(100*sim.Millisecond) {
+			t.Errorf("second %d: %d", i, got)
+		}
+	}
+	if got := l.SumIn(Host, 0, sim.Time(5*sim.Second)); got != int64(500*sim.Millisecond) {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestBusSum(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Bus(1 << 20)
+	m.Clock().Advance(sim.Second)
+	m.Bus(1 << 20)
+	l := m.Ledger()
+	if got := l.SumIn(Bus, 0, sim.Time(500*sim.Millisecond)); got != 1<<20 {
+		t.Errorf("first window = %d", got)
+	}
+	if got := l.SumIn(Bus, 0, sim.Time(2*sim.Second)); got != 2<<20 {
+		t.Errorf("full window = %d", got)
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	// Many tiny stalls within the coalescing window collapse into few
+	// entries but preserve the total.
+	for i := 0; i < 10000; i++ {
+		m.Stall(StallCPU, sim.Microsecond)
+		m.Clock().Advance(2 * sim.Microsecond)
+	}
+	l := m.Ledger()
+	total := l.SumIn(StallCPU, 0, sim.Time(sim.Second))
+	if total != int64(10000*sim.Microsecond) {
+		t.Errorf("total = %d", total)
+	}
+	if n := len(l.entries[StallCPU]); n > 10 {
+		t.Errorf("coalescing failed: %d entries", n)
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Freeze(true)
+	m.Work(Host, sim.Second)
+	if m.Clock().Now() != 0 {
+		t.Error("frozen work advanced the clock")
+	}
+	m.Freeze(false)
+	m.Work(Host, sim.Second)
+	if m.Clock().Now() != sim.Time(sim.Second) {
+		t.Error("unfrozen work did not advance")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Work(Host, sim.Second)
+	m.Stall(StallMem, sim.Second)
+	m.Ledger().Reset()
+	if got := m.Ledger().SumIn(Host, 0, sim.Time(10*sim.Second)); got != 0 {
+		t.Errorf("after reset: %d", got)
+	}
+}
+
+func TestEntrySpanningWindowBoundary(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Clock().Advance(500 * sim.Millisecond)
+	m.Work(Guest, sim.Second) // spans [0.5s, 1.5s)
+	l := m.Ledger()
+	if got := l.SumIn(Guest, 0, sim.Time(sim.Second)); got != int64(500*sim.Millisecond) {
+		t.Errorf("first half = %d", got)
+	}
+	if got := l.SumIn(Guest, sim.Time(sim.Second), sim.Time(2*sim.Second)); got != int64(500*sim.Millisecond) {
+		t.Errorf("second half = %d", got)
+	}
+}

@@ -1,0 +1,96 @@
+package llfree
+
+// Atomic accessors for the packed 16-bit area-index entries. Four entries
+// share one uint64 word; updates CAS the whole word but only modify the
+// entry's lane, so concurrent updates of neighbouring entries are merely
+// CAS retries, never lost updates.
+
+// areaLoad returns the 16-bit entry of the given area.
+func (a *Alloc) areaLoad(area uint64) uint16 {
+	word := a.areaIdx[area/4].Load()
+	return uint16(word >> ((area % 4) * 16))
+}
+
+// areaStore unconditionally writes the entry. Only used during
+// initialization, before the allocator is shared.
+func (a *Alloc) areaStore(area uint64, v uint16) {
+	idx := area / 4
+	shift := (area % 4) * 16
+	word := a.areaIdx[idx].Load()
+	word &^= 0xffff << shift
+	word |= uint64(v) << shift
+	a.areaIdx[idx].Store(word)
+}
+
+// areaCAS atomically replaces the entry if it still equals old.
+func (a *Alloc) areaCAS(area uint64, old, new uint16) bool {
+	idx := area / 4
+	shift := (area % 4) * 16
+	for {
+		word := a.areaIdx[idx].Load()
+		if uint16(word>>shift) != old {
+			return false
+		}
+		next := (word &^ (0xffff << shift)) | uint64(new)<<shift
+		if a.areaIdx[idx].CompareAndSwap(word, next) {
+			return true
+		}
+	}
+}
+
+// areaUpdate applies fn in a CAS loop until it succeeds or fn rejects the
+// current value. fn receives the current entry and returns the new entry
+// and whether to proceed. Returns the entry that fn last saw and whether
+// the update was applied.
+func (a *Alloc) areaUpdate(area uint64, fn func(uint16) (uint16, bool)) (uint16, bool) {
+	for {
+		old := a.areaLoad(area)
+		next, ok := fn(old)
+		if !ok {
+			return old, false
+		}
+		if a.areaCAS(area, old, next) {
+			return old, true
+		}
+	}
+}
+
+// Entry decoding helpers.
+
+func areaFree(e uint16) uint16  { return e & areaCounterMask }
+func areaHuge(e uint16) bool    { return e&areaHugeFlag != 0 }
+func areaEvicted(e uint16) bool { return e&areaEvictedFlag != 0 }
+
+// AreaState is the decoded per-huge-frame guest state: the free-frame
+// counter plus the HyperAlloc (A, E) flags.
+type AreaState struct {
+	// Free is the number of free base frames in the area (0..512).
+	Free uint16
+	// HugeAllocated is the huge-allocated flag A.
+	HugeAllocated bool
+	// Evicted is the evicted hint E.
+	Evicted bool
+}
+
+// AreaState returns the decoded entry of the given area. It is the
+// host-visible "guest part" of the HyperAlloc per-frame state.
+func (a *Alloc) AreaState(area uint64) AreaState {
+	e := a.areaLoad(area)
+	return AreaState{Free: areaFree(e), HugeAllocated: areaHuge(e), Evicted: areaEvicted(e)}
+}
+
+// tailFrames returns the number of managed frames in the given area
+// (FramesPerHuge except for a partial tail area).
+func (a *Alloc) tailFrames(area uint64) uint64 {
+	start := area * 512
+	if start+512 > a.frames {
+		return a.frames - start
+	}
+	return 512
+}
+
+// fullAreaFree reports whether the area is an entirely free, full-size
+// huge frame (a candidate for huge allocation and for reclamation).
+func (a *Alloc) fullAreaFree(e uint16, area uint64) bool {
+	return !areaHuge(e) && uint64(areaFree(e)) == 512 && a.tailFrames(area) == 512
+}

@@ -1,0 +1,101 @@
+package llfree
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// Real-time micro-benchmarks of the allocator implementation (these
+// measure this Go port, not the paper's numbers).
+
+func BenchmarkGetPutBase(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := a.Get(0, 0, mem.Movable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Put(0, f.PFN, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetPutHuge(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := a.Get(0, mem.HugeOrder, mem.Huge)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Put(0, f.PFN, mem.HugeOrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetPutBaseParallel(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 22, CPUs: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cpu atomic.Int32
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(cpu.Add(1))
+		for pb.Next() {
+			f, err := a.Get(id, 0, mem.Movable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := a.Put(id, f.PFN, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReclaimReturnCycle(b *testing.B) {
+	a, err := New(Config{Frames: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := a.Share()
+	areas := a.Areas()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		area := uint64(i) % areas
+		if err := host.ReclaimHard(area); err != nil {
+			b.Fatal(err)
+		}
+		if err := host.ReturnHuge(area); err != nil {
+			b.Fatal(err)
+		}
+		host.ClearEvicted(area)
+	}
+}
+
+func BenchmarkScanFreeHuge1GiB(b *testing.B) {
+	a, err := New(Config{Frames: mem.GiB / mem.PageSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		a.ScanFreeHuge(func(uint64) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package llfree
+
+import "math/bits"
+
+// Bit-field operations. Each area owns 8 consecutive uint64 words (512
+// bits); bit set = frame allocated. Claims and releases are CAS-only.
+
+const wordsPerArea = 512 / 64
+
+// claimBits claims 2^order aligned free bits inside the area and returns
+// the frame offset within the area. Orders 0..6 fit in one word; orders 7
+// and 8 claim 2 or 4 entire words. Returns false if no aligned run could
+// be claimed (the caller rolls back its counter reservation).
+func (a *Alloc) claimBits(area uint64, order uint) (uint64, bool) {
+	base := area * wordsPerArea
+	if order <= 6 {
+		n := uint(1) << order
+		var mask uint64
+		if n == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << n) - 1
+		}
+		// For order 0 a free bit is guaranteed to exist (the counter
+		// reservation protocol), but a racing free may expose it only
+		// after a few loads; retry the scan a bounded number of times.
+		for attempt := 0; attempt < 64; attempt++ {
+			for w := uint64(0); w < wordsPerArea; w++ {
+				word := &a.bitfield[base+w]
+			retryWord:
+				cur := word.Load()
+				if cur == ^uint64(0) {
+					continue
+				}
+				for off := uint(0); off < 64; off += n {
+					m := mask << off
+					if cur&m != 0 {
+						continue
+					}
+					if word.CompareAndSwap(cur, cur|m) {
+						return w*64 + uint64(off), true
+					}
+					goto retryWord
+				}
+			}
+			if order != 0 {
+				// No aligned run; higher orders are not guaranteed one.
+				return 0, false
+			}
+		}
+		return 0, false
+	}
+	// Orders 7/8: claim 2 or 4 whole words.
+	nWords := uint64(1) << (order - 6)
+	for g := uint64(0); g+nWords <= wordsPerArea; g += nWords {
+		if a.claimWords(base+g, nWords) {
+			return g * 64, true
+		}
+	}
+	return 0, false
+}
+
+// claimWords claims nWords fully-free words starting at idx, rolling back
+// on partial failure.
+func (a *Alloc) claimWords(idx, nWords uint64) bool {
+	for i := uint64(0); i < nWords; i++ {
+		if !a.bitfield[idx+i].CompareAndSwap(0, ^uint64(0)) {
+			for j := uint64(0); j < i; j++ {
+				a.bitfield[idx+j].Store(0)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// releaseBits clears 2^order bits starting at the area-relative offset.
+// It returns false (without modifying anything further) if any bit was
+// already clear — a double free.
+func (a *Alloc) releaseBits(area, offset uint64, order uint) bool {
+	base := area * wordsPerArea
+	n := uint64(1) << order
+	if order <= 6 {
+		var mask uint64
+		if n == 64 {
+			mask = ^uint64(0)
+		} else {
+			mask = (uint64(1) << n) - 1
+		}
+		mask <<= offset % 64
+		word := &a.bitfield[base+offset/64]
+		for {
+			cur := word.Load()
+			if cur&mask != mask {
+				return false
+			}
+			if word.CompareAndSwap(cur, cur&^mask) {
+				return true
+			}
+		}
+	}
+	nWords := n / 64
+	first := base + offset/64
+	for i := uint64(0); i < nWords; i++ {
+		if a.bitfield[first+i].Load() != ^uint64(0) {
+			return false
+		}
+	}
+	for i := uint64(0); i < nWords; i++ {
+		a.bitfield[first+i].Store(0)
+	}
+	return true
+}
+
+// frameAllocated reports whether the frame's bit is set. Huge-allocated
+// areas keep their bits clear (the huge flag is authoritative), so callers
+// must check the area entry too; FrameAllocated does both.
+func (a *Alloc) frameBit(pfn uint64) bool {
+	return a.bitfield[pfn/64].Load()&(1<<(pfn%64)) != 0
+}
+
+// FrameAllocated reports whether the base frame is currently allocated,
+// either individually or as part of a huge allocation.
+func (a *Alloc) FrameAllocated(pfn uint64) bool {
+	if pfn >= a.frames {
+		return false
+	}
+	if areaHuge(a.areaLoad(pfn / 512)) {
+		return true
+	}
+	return a.frameBit(pfn)
+}
+
+// countFreeBits returns the number of zero bits in the area's bit field
+// (test helper; racy under concurrency).
+func (a *Alloc) countFreeBits(area uint64) uint64 {
+	base := area * wordsPerArea
+	var free uint64
+	for w := uint64(0); w < wordsPerArea; w++ {
+		free += uint64(bits.OnesCount64(^a.bitfield[base+w].Load()))
+	}
+	return free
+}

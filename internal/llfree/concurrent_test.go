@@ -1,0 +1,220 @@
+package llfree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// TestConcurrentAllocFree hammers Get/Put from many goroutines and checks
+// that no frame is handed out twice and all invariants hold afterwards.
+func TestConcurrentAllocFree(t *testing.T) {
+	a, err := New(Config{Frames: testFrames, CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const iters = 4000
+	owner := make([]atomic.Int32, testFrames)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var held []mem.PFN
+			for i := 0; i < iters; i++ {
+				if len(held) > 32 || (len(held) > 0 && i%3 == 0) {
+					p := held[len(held)-1]
+					held = held[:len(held)-1]
+					if !owner[p].CompareAndSwap(int32(cpu+1), 0) {
+						t.Errorf("cpu %d frees frame %d it does not own", cpu, p)
+						return
+					}
+					if err := a.Put(cpu, p, 0); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+					continue
+				}
+				f, err := a.Get(cpu, 0, mem.Movable)
+				if err != nil {
+					continue // transient exhaustion is fine
+				}
+				if !owner[f.PFN].CompareAndSwap(0, int32(cpu+1)) {
+					t.Errorf("frame %d double-allocated", f.PFN)
+					return
+				}
+				held = append(held, f.PFN)
+			}
+			for _, p := range held {
+				owner[p].Store(0)
+				if err := a.Put(cpu, p, 0); err != nil {
+					t.Errorf("final Put: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d after all freed", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMixedOrders exercises base, mid, and huge orders together.
+func TestConcurrentMixedOrders(t *testing.T) {
+	a, err := New(Config{Frames: testFrames, CPUs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := []mem.Order{0, 0, 1, 3, 6, 9}
+	var wg sync.WaitGroup
+	for w := 0; w < len(orders); w++ {
+		wg.Add(1)
+		go func(cpu int, order mem.Order) {
+			defer wg.Done()
+			typ := mem.Movable
+			if order == mem.HugeOrder {
+				typ = mem.Huge
+			}
+			for i := 0; i < 1500; i++ {
+				f, err := a.Get(cpu, order, typ)
+				if err != nil {
+					continue
+				}
+				if !f.PFN.AlignedTo(uint(order)) {
+					t.Errorf("order %d: misaligned pfn %d", order, f.PFN)
+					return
+				}
+				if err := a.Put(cpu, f.PFN, order); err != nil {
+					t.Errorf("order %d: Put: %v", order, err)
+					return
+				}
+			}
+		}(w, orders[w])
+	}
+	wg.Wait()
+	if a.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", a.FreeFrames())
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentGuestHost runs guest allocations against hypervisor
+// reclaim/return on the shared state — the bilateral use at the heart of
+// the paper (Sec. 3).
+func TestConcurrentGuestHost(t *testing.T) {
+	guest, err := New(Config{Frames: testFrames, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := guest.Share()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Guest workers allocate and free.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var held []mem.PFN
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					for _, p := range held {
+						_ = guest.Put(cpu, p, 0)
+					}
+					return
+				default:
+				}
+				if len(held) > 64 {
+					p := held[0]
+					held = held[1:]
+					if err := guest.Put(cpu, p, 0); err != nil {
+						t.Errorf("guest Put: %v", err)
+						return
+					}
+					continue
+				}
+				f, err := guest.Get(cpu, 0, mem.Movable)
+				if err != nil {
+					continue
+				}
+				held = append(held, f.PFN)
+			}
+		}(w)
+	}
+
+	// Host worker reclaims and returns huge frames.
+	wg.Add(1)
+	var reclaims, returns atomic.Int64
+	go func() {
+		defer wg.Done()
+		var taken []uint64
+		for round := 0; round < 200; round++ {
+			host.ScanFreeHuge(func(area uint64) bool {
+				if err := host.ReclaimHard(area); err == nil {
+					taken = append(taken, area)
+					reclaims.Add(1)
+				}
+				return len(taken) < 32
+			})
+			for _, area := range taken {
+				if err := host.ReturnHuge(area); err != nil {
+					t.Errorf("host ReturnHuge: %v", err)
+					return
+				}
+				host.ClearEvicted(area)
+				returns.Add(1)
+			}
+			taken = taken[:0]
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	if reclaims.Load() == 0 {
+		t.Error("host never reclaimed anything; test is vacuous")
+	}
+	if reclaims.Load() != returns.Load() {
+		t.Errorf("reclaims %d != returns %d", reclaims.Load(), returns.Load())
+	}
+	if guest.FreeFrames() != testFrames {
+		t.Errorf("FreeFrames = %d", guest.FreeFrames())
+	}
+	if err := guest.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentHugeContention makes many goroutines fight for the same
+// few huge frames; exactly one winner per frame.
+func TestConcurrentHugeContention(t *testing.T) {
+	a, err := New(Config{Frames: 4 * 512, CPUs: 8}) // 4 huge frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	var won atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for {
+				if _, err := a.Get(cpu, mem.HugeOrder, mem.Huge); err != nil {
+					return
+				}
+				won.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if won.Load() != 4 {
+		t.Errorf("huge frames won = %d, want 4", won.Load())
+	}
+}

@@ -1,0 +1,74 @@
+package llfree
+
+import (
+	"fmt"
+	"io"
+)
+
+// DumpState writes a human-readable map of the allocator state: one
+// character per area, grouped by tree — the debugging view of the shared
+// metadata both sides race on.
+//
+//	.  entirely free
+//	E  entirely free, evicted (soft/hard reclaimed)
+//	H  huge-allocated by the guest
+//	X  huge-allocated and evicted (hard reclaimed)
+//	1..9  partially used (tenths of the area)
+//	F  completely full of base frames
+func (a *Alloc) DumpState(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "llfree: %d frames, %d areas, %d trees (%s reservations)\n",
+		a.frames, a.areas, a.trees, a.policy); err != nil {
+		return err
+	}
+	for tree := uint64(0); tree < a.trees; tree++ {
+		info := a.TreeInfo(tree)
+		label := "      "
+		if info.HasType {
+			label = fmt.Sprintf("%-6s", info.Type)
+		}
+		reserved := " "
+		if info.Reserved {
+			reserved = "*"
+		}
+		if _, err := fmt.Fprintf(w, "  tree %4d %s%s [", tree, label, reserved); err != nil {
+			return err
+		}
+		first := tree * a.treeAreas
+		last := min(first+a.treeAreas, a.areas)
+		for area := first; area < last; area++ {
+			if _, err := io.WriteString(w, a.areaGlyph(area)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "] %d/%d free\n", info.Free, info.Capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Alloc) areaGlyph(area uint64) string {
+	e := a.areaLoad(area)
+	tail := a.tailFrames(area)
+	switch {
+	case areaHuge(e) && areaEvicted(e):
+		return "X"
+	case areaHuge(e):
+		return "H"
+	case uint64(areaFree(e)) == tail && areaEvicted(e):
+		return "E"
+	case uint64(areaFree(e)) == tail:
+		return "."
+	case areaFree(e) == 0:
+		return "F"
+	default:
+		used := (tail - uint64(areaFree(e))) * 10 / tail
+		if used == 0 {
+			used = 1
+		}
+		if used > 9 {
+			used = 9
+		}
+		return fmt.Sprintf("%d", used)
+	}
+}

@@ -1,0 +1,63 @@
+package llfree
+
+import (
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func TestDumpState(t *testing.T) {
+	a := newAlloc(t, 16*512) // 2 trees
+	// Produce one of each glyph.
+	if _, err := a.Get(0, mem.HugeOrder, mem.Huge); err != nil { // H
+		t.Fatal(err)
+	}
+	if err := a.ReclaimHard(8); err != nil { // X
+		t.Fatal(err)
+	}
+	if err := a.ReclaimSoft(9); err != nil { // E
+		t.Fatal(err)
+	}
+	if _, err := a.Get(0, 0, mem.Movable); err != nil { // partial
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := a.DumpState(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, glyph := range []string{"H", "X", "E", "."} {
+		if !strings.Contains(out, glyph) {
+			t.Errorf("dump missing %q:\n%s", glyph, out)
+		}
+	}
+	if !strings.Contains(out, "per-type") {
+		t.Error("dump missing policy")
+	}
+	if !strings.Contains(out, "tree    0") && !strings.Contains(out, "tree 0") {
+		// formatting uses %4d
+		if !strings.Contains(out, "tree") {
+			t.Error("dump missing tree lines")
+		}
+	}
+	// A fully used area shows F.
+	var pfns []mem.PFN
+	for i := 0; i < 512; i++ {
+		f, err := a.Get(0, 0, mem.Unmovable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pfns = append(pfns, f.PFN)
+	}
+	b.Reset()
+	if err := a.DumpState(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "F") {
+		t.Errorf("dump missing F:\n%s", b.String())
+	}
+	for _, p := range pfns {
+		_ = a.Put(0, p, 0)
+	}
+}

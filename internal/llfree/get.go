@@ -1,0 +1,159 @@
+package llfree
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Get allocates 2^order aligned base frames of the given allocation type
+// and returns the first frame. cpu identifies the calling CPU (used by the
+// per-core reservation policy; ignored for per-type). Frame.Evicted is set
+// when the backing huge frame carries the evicted hint: the caller must
+// have the hypervisor install it before touching the memory.
+//
+// Non-evicted frames are strictly preferred over evicted ones across the
+// whole allocator (the HyperAlloc allocation-policy extension, Sec. 3.2):
+// the full search — reserved tree, newly reserved tree, steal — runs once
+// admitting only non-evicted areas and, only if that fails, once more
+// admitting evicted ones.
+func (a *Alloc) Get(cpu int, order mem.Order, typ mem.AllocType) (Frame, error) {
+	if !order.Valid() || order > mem.HugeOrder {
+		return Frame{}, fmt.Errorf("%w: order %d", ErrBadFrame, order)
+	}
+	slot := a.reservationSlot(cpu, a.slotType(order, typ))
+	need := order.Frames()
+	for _, allowEvicted := range [2]bool{false, true} {
+		if f, ok := a.getPass(slot, order, typ, need, allowEvicted); ok {
+			return f, nil
+		}
+	}
+	return Frame{}, fmt.Errorf("%w: order %d type %v", ErrOutOfMemory, order, typ)
+}
+
+// slotType maps huge-order allocations to the huge reservation slot.
+func (a *Alloc) slotType(order mem.Order, typ mem.AllocType) mem.AllocType {
+	if order == mem.HugeOrder {
+		return mem.Huge
+	}
+	return typ
+}
+
+// getPass runs one full allocation attempt: reserved tree, then reserving
+// a fresh tree by preference class, then stealing from any tree.
+func (a *Alloc) getPass(slot int, order mem.Order, typ mem.AllocType, need uint64, allowEvicted bool) (Frame, bool) {
+	if tree, ok := a.reservedTree(slot); ok {
+		if f, ok := a.allocFromTree(tree, order, allowEvicted); ok {
+			return f, true
+		}
+	}
+	// The reserved tree is depleted (or absent): reserve a new one. Only
+	// the evicted-admitting pass installs the reservation permanently when
+	// it succeeds; the first pass also reserves, which is fine — a tree
+	// with only evicted areas simply fails and the loop moves on.
+	for attempt := 0; attempt < 4; attempt++ {
+		tree, ok := a.searchTree(slot, a.slotType(order, typ), need)
+		if !ok {
+			break
+		}
+		if !a.reserveTree(slot, tree, a.slotType(order, typ)) {
+			continue // lost the race for this tree; search again
+		}
+		if f, ok := a.allocFromTree(tree, order, allowEvicted); ok {
+			return f, true
+		}
+	}
+	// Steal: ignore reservations and types; allocation must succeed if the
+	// frames exist anywhere.
+	start := uint64(0)
+	if t, ok := a.reservedTree(slot); ok {
+		start = t
+	}
+	var result Frame
+	found := a.stealTrees(start, need, func(tree uint64) bool {
+		f, ok := a.allocFromTree(tree, order, allowEvicted)
+		if ok {
+			result = f
+		}
+		return ok
+	})
+	return result, found
+}
+
+// allocFromTree tries to allocate 2^order frames from any area of the
+// tree, skipping evicted areas unless allowEvicted.
+func (a *Alloc) allocFromTree(tree uint64, order mem.Order, allowEvicted bool) (Frame, bool) {
+	if order == mem.HugeOrder {
+		return a.hugeFromTree(tree, allowEvicted)
+	}
+	need := uint16(order.Frames())
+	first := tree * a.treeAreas
+	last := min(first+a.treeAreas, a.areas)
+	for area := first; area < last; area++ {
+		entry := a.areaLoad(area)
+		if areaHuge(entry) || areaFree(entry) < need {
+			continue
+		}
+		if !allowEvicted && areaEvicted(entry) {
+			continue
+		}
+		if f, ok := a.allocFromArea(tree, area, order); ok {
+			return f, true
+		}
+	}
+	return Frame{}, false
+}
+
+// allocFromArea reserves frames from the area counter and claims bits.
+func (a *Alloc) allocFromArea(tree, area uint64, order mem.Order) (Frame, bool) {
+	need := uint16(order.Frames())
+	// Step 1: reserve from the counter (CAS; fails if the area got huge-
+	// allocated or depleted meanwhile).
+	entry, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if areaHuge(e) || areaFree(e) < need {
+			return 0, false
+		}
+		return e - need, true // counter is in the low bits; flags unchanged
+	})
+	if !ok {
+		return Frame{}, false
+	}
+	// Step 2: claim bits. For order 0 this is guaranteed to succeed; for
+	// higher orders an aligned run may not exist, in which case the
+	// counter reservation is rolled back.
+	offset, ok := a.claimBits(area, uint(order))
+	if !ok {
+		a.areaUpdate(area, func(e uint16) (uint16, bool) {
+			return e + need, true
+		})
+		return Frame{}, false
+	}
+	a.treeAddFree(tree, -int(need))
+	return Frame{
+		PFN:     mem.PFN(area*512 + offset),
+		Evicted: areaEvicted(entry),
+	}, true
+}
+
+// hugeFromTree scans the tree's areas for a fully free huge frame and
+// claims it atomically, as in Sec. 4.1 ("can be allocated as a huge frame
+// with a single compare-and-swap operation").
+func (a *Alloc) hugeFromTree(tree uint64, allowEvicted bool) (Frame, bool) {
+	first := tree * a.treeAreas
+	last := min(first+a.treeAreas, a.areas)
+	for area := first; area < last; area++ {
+		entry := a.areaLoad(area)
+		if !a.fullAreaFree(entry, area) {
+			continue
+		}
+		if !allowEvicted && areaEvicted(entry) {
+			continue
+		}
+		next := entry&^uint16(areaCounterMask) | areaHugeFlag // counter -> 0, flag set
+		if a.areaCAS(area, entry, next) {
+			a.treeAddFree(tree, -512)
+			return Frame{PFN: mem.PFN(area * 512), Evicted: areaEvicted(entry)}, true
+		}
+	}
+	return Frame{}, false
+}

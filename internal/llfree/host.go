@@ -1,0 +1,127 @@
+package llfree
+
+import "fmt"
+
+// Host-side (hypervisor) operations over the shared allocator state.
+// These implement the guest-visible half of HyperAlloc's reclamation state
+// machine (Sec. 3.2): the hypervisor keeps its own authoritative state R
+// per huge frame (package core) and induces the guest transitions below
+// with single CAS operations on the area entries.
+
+// ReclaimHard transitions a fully free huge frame to "allocated and
+// evicted" (A<-1, E<-1), removing it from the guest allocator entirely.
+// Fails with ErrBadState if the frame is not an entirely free huge frame.
+func (a *Alloc) ReclaimHard(area uint64) error {
+	if area >= a.areas {
+		return fmt.Errorf("%w: area %d", ErrBadFrame, area)
+	}
+	_, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if !a.fullAreaFree(e, area) {
+			return 0, false
+		}
+		// Counter -> 0, huge flag and evicted hint set.
+		return e&^uint16(areaCounterMask) | areaHugeFlag | areaEvictedFlag, true
+	})
+	if !ok {
+		return fmt.Errorf("%w: area %d not a free huge frame", ErrBadState, area)
+	}
+	a.treeAddFree(area/a.treeAreas, -512)
+	return nil
+}
+
+// ReclaimSoft sets the evicted hint on a fully free huge frame (A=0,
+// E<-1): the frame stays allocatable by the guest, which will trigger an
+// install when it does. Fails if the frame is not fully free or already
+// evicted.
+func (a *Alloc) ReclaimSoft(area uint64) error {
+	if area >= a.areas {
+		return fmt.Errorf("%w: area %d", ErrBadFrame, area)
+	}
+	_, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if !a.fullAreaFree(e, area) || areaEvicted(e) {
+			return 0, false
+		}
+		return e | areaEvictedFlag, true
+	})
+	if !ok {
+		return fmt.Errorf("%w: area %d not reclaimable", ErrBadState, area)
+	}
+	return nil
+}
+
+// ReturnHuge transitions a hard-reclaimed huge frame back to soft
+// reclaimed (A<-0, E<-1): the guest may allocate it again, paying an
+// install on first allocation. The caller (the monitor) must only invoke
+// this on frames it hard-reclaimed; the allocator cannot distinguish a
+// hard-reclaimed frame from a guest-allocated one. The evicted hint is
+// (re)derived from the monitor's state, not trusted — a guest may have
+// tampered with it (Sec. 3.2: "we set A <- (R = H)" and "E is a mere
+// read-only copy of E <- (R != I)").
+func (a *Alloc) ReturnHuge(area uint64) error {
+	if area >= a.areas {
+		return fmt.Errorf("%w: area %d", ErrBadFrame, area)
+	}
+	_, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if !areaHuge(e) || areaFree(e) != 0 {
+			return 0, false
+		}
+		return e&^uint16(areaHugeFlag)&^uint16(areaCounterMask) | areaEvictedFlag | 512, true
+	})
+	if !ok {
+		return fmt.Errorf("%w: area %d not hard-reclaimed", ErrBadState, area)
+	}
+	a.treeAddFree(area/a.treeAreas, 512)
+	return nil
+}
+
+// SetEvicted forces the evicted hint on (used by the monitor to repair
+// guest-tampered state; E is derived from R). Idempotent.
+func (a *Alloc) SetEvicted(area uint64) {
+	if area >= a.areas {
+		return
+	}
+	a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if areaEvicted(e) {
+			return 0, false
+		}
+		return e | areaEvictedFlag, true
+	})
+}
+
+// ClearEvicted removes the evicted hint after the hypervisor installed
+// host memory for the huge frame (E <- 0). Idempotent.
+func (a *Alloc) ClearEvicted(area uint64) {
+	if area >= a.areas {
+		return
+	}
+	a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if !areaEvicted(e) {
+			return 0, false
+		}
+		return e &^ uint16(areaEvictedFlag), true
+	})
+}
+
+// Evicted reports the evicted hint of the huge frame.
+func (a *Alloc) Evicted(area uint64) bool {
+	if area >= a.areas {
+		return false
+	}
+	return areaEvicted(a.areaLoad(area))
+}
+
+// ScanFreeHuge calls fn for every fully free, non-evicted huge frame —
+// the candidates for reclamation found by the monitor's periodic linear
+// scan (Sec. 3.3). The scan stops early when fn returns false. The
+// snapshot is racy by design; the subsequent Reclaim* CAS is what decides.
+func (a *Alloc) ScanFreeHuge(fn func(area uint64) bool) {
+	for area := uint64(0); area < a.areas; area++ {
+		e := a.areaLoad(area)
+		if !a.fullAreaFree(e, area) || areaEvicted(e) {
+			continue
+		}
+		if !fn(area) {
+			return
+		}
+	}
+}

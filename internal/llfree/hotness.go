@@ -1,0 +1,71 @@
+package llfree
+
+// Hotness hints — the Sec. 6 extension: "with the six remaining area-entry
+// bits, the guest could expose even more useful information about
+// data-filled frames (e.g., hotness)". Two of the spare bits (12-13) of
+// the 16-bit area entry carry a 0..3 hotness level the guest maintains
+// and the hypervisor reads over the shared state, e.g. to pick swap
+// victims among data-filled huge frames.
+
+const (
+	hotnessShift = 12
+	hotnessMask  = 0x3 << hotnessShift
+)
+
+// MaxHotness is the largest hotness level (2 bits).
+const MaxHotness = 3
+
+// SetHotness atomically records the access-frequency level (0 = cold,
+// MaxHotness = hot) of a huge frame. Levels beyond MaxHotness saturate.
+func (a *Alloc) SetHotness(area uint64, level uint8) {
+	if area >= a.areas {
+		return
+	}
+	if level > MaxHotness {
+		level = MaxHotness
+	}
+	a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		next := e&^uint16(hotnessMask) | uint16(level)<<hotnessShift
+		if next == e {
+			return 0, false
+		}
+		return next, true
+	})
+}
+
+// Hotness returns the recorded hotness level of a huge frame.
+func (a *Alloc) Hotness(area uint64) uint8 {
+	if area >= a.areas {
+		return 0
+	}
+	return uint8((a.areaLoad(area) & hotnessMask) >> hotnessShift)
+}
+
+// ScanColdData calls fn for data-filled (partially or fully used,
+// non-evicted) huge frames in increasing hotness order, up to max frames.
+// This is the inventory a hypervisor-level swap policy would work from
+// (Sec. 6 "HyperAlloc could also enable better swapping strategies").
+func (a *Alloc) ScanColdData(max int, fn func(area uint64, hotness uint8) bool) {
+	for level := uint8(0); level <= MaxHotness && max > 0; level++ {
+		for area := uint64(0); area < a.areas && max > 0; area++ {
+			e := a.areaLoad(area)
+			if areaEvicted(e) {
+				continue
+			}
+			used := a.tailFrames(area) - uint64(areaFree(e))
+			if areaHuge(e) {
+				used = 512
+			}
+			if used == 0 {
+				continue
+			}
+			if uint8((e&hotnessMask)>>hotnessShift) != level {
+				continue
+			}
+			max--
+			if !fn(area, level) {
+				return
+			}
+		}
+	}
+}

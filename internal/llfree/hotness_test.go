@@ -1,0 +1,110 @@
+package llfree
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func TestHotnessRoundTrip(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	if a.Hotness(0) != 0 {
+		t.Error("fresh hotness not 0")
+	}
+	a.SetHotness(0, 2)
+	if a.Hotness(0) != 2 {
+		t.Errorf("hotness = %d", a.Hotness(0))
+	}
+	// Saturation.
+	a.SetHotness(0, 200)
+	if a.Hotness(0) != MaxHotness {
+		t.Errorf("hotness = %d, want saturated %d", a.Hotness(0), MaxHotness)
+	}
+	// Out-of-range accesses are no-ops.
+	a.SetHotness(a.Areas()+5, 1)
+	if a.Hotness(a.Areas()+5) != 0 {
+		t.Error("out-of-range hotness")
+	}
+}
+
+func TestHotnessDoesNotDisturbAllocatorState(t *testing.T) {
+	a := newAlloc(t, testFrames)
+	f, err := a.Get(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := f.PFN.HugeIndex()
+	a.SetHotness(area, 3)
+	st := a.AreaState(area)
+	if st.Free != 511 || st.HugeAllocated || st.Evicted {
+		t.Errorf("state disturbed: %+v", st)
+	}
+	if err := a.Put(0, f.PFN, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hotness(area) != 3 {
+		t.Error("free cleared hotness") // hotness survives frees
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanColdDataOrdering(t *testing.T) {
+	a := newAlloc(t, 8*512) // 8 areas
+	// Fill three areas with data at different hotness levels.
+	for i, level := range []uint8{2, 0, 3} {
+		f, err := a.Get(0, mem.HugeOrder, mem.Huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SetHotness(f.PFN.HugeIndex(), level)
+		_ = i
+	}
+	var got []uint8
+	a.ScanColdData(10, func(area uint64, hot uint8) bool {
+		got = append(got, hot)
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("candidates = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not coldest-first: %v", got)
+		}
+	}
+	// Early stop and max are honoured.
+	calls := 0
+	a.ScanColdData(2, func(uint64, uint8) bool { calls++; return true })
+	if calls != 2 {
+		t.Errorf("max ignored: %d calls", calls)
+	}
+	calls = 0
+	a.ScanColdData(10, func(uint64, uint8) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop ignored: %d calls", calls)
+	}
+}
+
+func TestScanColdDataSkipsFreeAndEvicted(t *testing.T) {
+	a := newAlloc(t, 8*512)
+	// One data area, one evicted (hard-reclaimed), rest free.
+	if _, err := a.Get(0, mem.HugeOrder, mem.Huge); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReclaimHard(5); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	a.ScanColdData(100, func(area uint64, _ uint8) bool {
+		if area == 5 {
+			t.Error("evicted area scanned")
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("data candidates = %d, want 1", count)
+	}
+}

@@ -1,0 +1,177 @@
+package llfree
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+func TestPerCorePolicySeparatesCPUs(t *testing.T) {
+	a, err := New(Config{Frames: 64 * 512, Policy: PerCore, CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy() != PerCore {
+		t.Fatal("policy not per-core")
+	}
+	// Each CPU allocates a run of frames; different CPUs should draw from
+	// different trees (the false-sharing avoidance of the original LLFree).
+	treeOf := map[int]map[uint64]bool{}
+	for cpu := 0; cpu < 4; cpu++ {
+		treeOf[cpu] = map[uint64]bool{}
+		for i := 0; i < 64; i++ {
+			f, err := a.Get(cpu, 0, mem.Movable)
+			if err != nil {
+				t.Fatal(err)
+			}
+			treeOf[cpu][uint64(f.PFN)/512/a.TreeAreas()] = true
+		}
+	}
+	for c1 := 0; c1 < 4; c1++ {
+		for c2 := c1 + 1; c2 < 4; c2++ {
+			for tree := range treeOf[c1] {
+				if treeOf[c2][tree] {
+					t.Errorf("cpu %d and %d share tree %d", c1, c2, tree)
+				}
+			}
+		}
+	}
+}
+
+func TestPerCorePolicyIgnoresTypes(t *testing.T) {
+	a, err := New(Config{Frames: 64 * 512, Policy: PerCore, CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under per-core, one CPU's movable and unmovable allocations may
+	// share a tree (no type field maintained).
+	f1, err := a.Get(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := a.Get(0, 0, mem.Unmovable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := uint64(f1.PFN) / 512 / a.TreeAreas()
+	t2 := uint64(f2.PFN) / 512 / a.TreeAreas()
+	if t1 != t2 {
+		t.Errorf("per-core policy separated types: trees %d vs %d", t1, t2)
+	}
+	info := a.TreeInfo(t1)
+	if info.HasType {
+		t.Error("per-core policy recorded a tree type")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PerType.String() != "per-type" || PerCore.String() != "per-core" {
+		t.Error("policy strings")
+	}
+}
+
+func TestReservationPrefersPartialTrees(t *testing.T) {
+	// Create a landscape: tree 0 half-depleted, the rest almost full
+	// (fully free). A fresh reservation must pick the half-depleted tree,
+	// keeping almost-full trees untouched so they stay defragmented.
+	a := newAlloc(t, 8*8*512) // 8 trees of 8 areas
+	var held []mem.PFN
+	for i := 0; i < 4*512; i++ { // deplete half of tree 0
+		f, err := a.Get(0, 0, mem.Movable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, f.PFN)
+	}
+	// Verify everything so far came from one tree.
+	trees := map[uint64]bool{}
+	for _, p := range held {
+		trees[uint64(p)/512/a.TreeAreas()] = true
+	}
+	if len(trees) != 1 {
+		t.Fatalf("depletion phase touched %d trees", len(trees))
+	}
+	// A different allocation type searches fresh; it must not take the
+	// half-depleted movable tree (type mismatch) but an almost-full one.
+	fk, err := a.Get(0, 0, mem.Unmovable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trees[uint64(fk.PFN)/512/a.TreeAreas()] {
+		t.Error("unmovable allocation landed in the movable tree")
+	}
+	// The same type keeps using its reserved (now half-depleted) tree.
+	fm, err := a.Get(0, 0, mem.Movable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trees[uint64(fm.PFN)/512/a.TreeAreas()] {
+		t.Error("movable allocation abandoned its half-depleted tree")
+	}
+}
+
+func TestStealFallbackCrossesTypes(t *testing.T) {
+	// One tree only: after the movable type fills most of it, unmovable
+	// allocations must still succeed by stealing.
+	a, err := New(Config{Frames: 8 * 512, TreeAreas: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held []mem.PFN
+	for i := 0; i < 8*512-1; i++ {
+		f, err := a.Get(0, 0, mem.Movable)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, f.PFN)
+	}
+	if _, err := a.Get(0, 0, mem.Unmovable); err != nil {
+		t.Fatalf("steal fallback failed: %v", err)
+	}
+	for _, p := range held {
+		if err := a.Put(0, p, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTreeSizeConfig(t *testing.T) {
+	a, err := New(Config{Frames: 64 * 512, TreeAreas: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TreeAreas() != 32 || a.Trees() != 2 {
+		t.Errorf("geometry: %d areas/tree, %d trees", a.TreeAreas(), a.Trees())
+	}
+}
+
+func TestShareIsSameState(t *testing.T) {
+	a := newAlloc(t, 16*512)
+	b := a.Share()
+	// Mutations through either handle are visible through both, including
+	// the hotness side-channel.
+	b.SetHotness(3, 2)
+	if a.Hotness(3) != 2 {
+		t.Error("hotness not shared")
+	}
+	if err := a.ReclaimSoft(7); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Evicted(7) {
+		t.Error("eviction not shared")
+	}
+}
+
+func TestSetEvictedIdempotent(t *testing.T) {
+	a := newAlloc(t, 4*512)
+	a.SetEvicted(1)
+	a.SetEvicted(1)
+	if !a.Evicted(1) {
+		t.Error("not evicted")
+	}
+	a.ClearEvicted(1)
+	if a.Evicted(1) {
+		t.Error("still evicted")
+	}
+	a.SetEvicted(999) // out of range: no-op
+}

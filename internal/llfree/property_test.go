@@ -1,0 +1,180 @@
+package llfree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperalloc/internal/mem"
+)
+
+// Property: any sequence of valid Get/Put operations leaves the allocator
+// in a state where free counters, bit fields, and tree counters agree, and
+// every held frame is disjoint from every other.
+func TestPropertyAllocFreeSequences(t *testing.T) {
+	f := func(ops []uint16, seed uint8) bool {
+		a, err := New(Config{Frames: 16 * 512}) // 16 areas, 2 trees
+		if err != nil {
+			return false
+		}
+		type held struct {
+			pfn   mem.PFN
+			order mem.Order
+		}
+		var live []held
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free something
+				i := int(op) % len(live)
+				h := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if err := a.Put(0, h.pfn, h.order); err != nil {
+					t.Logf("Put(%d,%d): %v", h.pfn, h.order, err)
+					return false
+				}
+				continue
+			}
+			order := mem.Order(op % 10) // 0..9
+			typ := mem.AllocType(op % 3)
+			fr, err := a.Get(int(seed)%4, order, typ)
+			if err != nil {
+				continue // exhaustion is acceptable
+			}
+			live = append(live, held{fr.pfn(), order})
+		}
+		// Check disjointness of live allocations.
+		used := make(map[uint64]bool)
+		for _, h := range live {
+			for i := uint64(0); i < h.order.Frames(); i++ {
+				p := uint64(h.pfn) + i
+				if used[p] {
+					t.Logf("overlapping allocation at frame %d", p)
+					return false
+				}
+				used[p] = true
+			}
+		}
+		// Drain and validate.
+		for _, h := range live {
+			if err := a.Put(0, h.pfn, h.order); err != nil {
+				t.Logf("drain Put: %v", err)
+				return false
+			}
+		}
+		if a.FreeFrames() != 16*512 {
+			t.Logf("FreeFrames = %d", a.FreeFrames())
+			return false
+		}
+		return a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helper so the struct literal above stays short
+func (h Frame) pfn() mem.PFN { return h.PFN }
+
+// Property: host reclaim/return round-trips preserve all frame counts for
+// arbitrary interleavings of reclaim targets.
+func TestPropertyReclaimRoundTrip(t *testing.T) {
+	f := func(picks []uint8) bool {
+		const areas = 32
+		a, err := New(Config{Frames: areas * 512})
+		if err != nil {
+			return false
+		}
+		host := a.Share()
+		reclaimed := make(map[uint64]bool)
+		for _, p := range picks {
+			area := uint64(p) % areas
+			if reclaimed[area] {
+				if err := host.ReturnHuge(area); err != nil {
+					return false
+				}
+				delete(reclaimed, area)
+			} else {
+				if err := host.ReclaimHard(area); err != nil {
+					return false
+				}
+				reclaimed[area] = true
+			}
+		}
+		wantFree := uint64(areas-len(reclaimed)) * 512
+		if a.FreeFrames() != wantFree {
+			t.Logf("FreeFrames = %d, want %d", a.FreeFrames(), wantFree)
+			return false
+		}
+		for area := range reclaimed {
+			if err := host.ReturnHuge(area); err != nil {
+				return false
+			}
+		}
+		return a.FreeFrames() == areas*512 && a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: soft reclamation never changes the number of allocatable
+// frames, only the install behaviour.
+func TestPropertySoftReclaimTransparent(t *testing.T) {
+	f := func(picks []uint8) bool {
+		const areas = 24
+		a, err := New(Config{Frames: areas * 512})
+		if err != nil {
+			return false
+		}
+		for _, p := range picks {
+			_ = a.ReclaimSoft(uint64(p) % areas) // may fail if already evicted
+		}
+		if a.FreeFrames() != areas*512 {
+			return false
+		}
+		// Every frame remains allocatable.
+		n := 0
+		for {
+			if _, err := a.Get(0, 0, mem.Movable); err != nil {
+				break
+			}
+			n++
+		}
+		return n == areas*512
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the per-type policy keeps allocation types in disjoint trees
+// while capacity allows.
+func TestPropertyTypeSeparation(t *testing.T) {
+	f := func(n uint8) bool {
+		a, err := New(Config{Frames: 64 * 512}) // 8 trees
+		if err != nil {
+			return false
+		}
+		count := int(n%200) + 1
+		treesOf := make(map[mem.AllocType]map[uint64]bool)
+		for _, typ := range []mem.AllocType{mem.Unmovable, mem.Movable} {
+			treesOf[typ] = make(map[uint64]bool)
+			for i := 0; i < count; i++ {
+				fr, err := a.Get(0, 0, typ)
+				if err != nil {
+					return false
+				}
+				treesOf[typ][uint64(fr.PFN)/512/a.TreeAreas()] = true
+			}
+		}
+		for tree := range treesOf[mem.Unmovable] {
+			if treesOf[mem.Movable][tree] {
+				t.Logf("tree %d serves both unmovable and movable", tree)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package llfree
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Put frees 2^order base frames starting at pfn. The order must match the
+// allocation. Freeing an unallocated frame returns ErrBadState.
+func (a *Alloc) Put(cpu int, pfn mem.PFN, order mem.Order) error {
+	_ = cpu // frees need no reservation; kept for API symmetry
+	if !order.Valid() || order > mem.HugeOrder {
+		return fmt.Errorf("%w: order %d", ErrBadFrame, order)
+	}
+	p := uint64(pfn)
+	if p >= a.frames || p+order.Frames() > a.frames {
+		return fmt.Errorf("%w: pfn %d order %d beyond %d frames", ErrBadFrame, p, order, a.frames)
+	}
+	if !pfn.AlignedTo(uint(order)) {
+		return fmt.Errorf("%w: pfn %d not aligned to order %d", ErrBadFrame, p, order)
+	}
+	area := p / 512
+	tree := area / a.treeAreas
+
+	if order == mem.HugeOrder {
+		_, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+			if !areaHuge(e) || areaFree(e) != 0 {
+				return 0, false
+			}
+			// Flag cleared, counter back to 512, evicted hint preserved.
+			return e&^uint16(areaHugeFlag)&^uint16(areaCounterMask) | 512, true
+		})
+		if !ok {
+			return fmt.Errorf("%w: huge frame %d not huge-allocated", ErrBadState, area)
+		}
+		a.treeAddFree(tree, 512)
+		return nil
+	}
+
+	// Clear the bits first, then publish via the counter — the ordering
+	// that makes the counter a safe lower bound for free bits.
+	if !a.releaseBits(area, p%512, uint(order)) {
+		return fmt.Errorf("%w: double free of pfn %d order %d", ErrBadState, p, order)
+	}
+	n := uint16(order.Frames())
+	_, ok := a.areaUpdate(area, func(e uint16) (uint16, bool) {
+		if areaHuge(e) {
+			return 0, false
+		}
+		free := areaFree(e) + n
+		if uint64(free) > a.tailFrames(area) {
+			return 0, false
+		}
+		return e&^uint16(areaCounterMask) | free, true
+	})
+	if !ok {
+		return fmt.Errorf("%w: counter overflow freeing pfn %d order %d", ErrBadState, p, order)
+	}
+	a.treeAddFree(tree, int(n))
+	return nil
+}

@@ -1,0 +1,204 @@
+package llfree
+
+import "hyperalloc/internal/mem"
+
+// Tree-index operations: counters, reservation flags, and the type field
+// of the HyperAlloc per-type reservation policy.
+
+func treeFree(e uint32) uint32 { return e & treeCounterMask }
+
+func treeReserved(e uint32) bool { return e&treeReservedBit != 0 }
+
+func treeHasType(e uint32) bool { return e&treeTypeValid != 0 }
+
+func treeType(e uint32) mem.AllocType {
+	return mem.AllocType((e & treeTypeMask) >> treeTypeShift)
+}
+
+// treeUpdate applies fn in a CAS loop; like areaUpdate.
+func (a *Alloc) treeUpdate(tree uint64, fn func(uint32) (uint32, bool)) (uint32, bool) {
+	for {
+		old := a.treeIdx[tree].Load()
+		next, ok := fn(old)
+		if !ok {
+			return old, false
+		}
+		if a.treeIdx[tree].CompareAndSwap(old, next) {
+			return old, true
+		}
+	}
+}
+
+// treeAddFree adjusts the tree's free counter by delta (positive on free,
+// negative on alloc).
+func (a *Alloc) treeAddFree(tree uint64, delta int) {
+	a.treeUpdate(tree, func(e uint32) (uint32, bool) {
+		free := int(treeFree(e)) + delta
+		if free < 0 || free > treeCounterMask {
+			panic("llfree: tree counter out of range")
+		}
+		return e&^treeCounterMask | uint32(free), true
+	})
+}
+
+// treeCapacity returns the number of managed frames in the tree (smaller
+// for the last tree).
+func (a *Alloc) treeCapacity(tree uint64) uint64 {
+	first := tree * a.treeAreas * 512
+	last := min(first+a.treeAreas*512, a.frames)
+	return last - first
+}
+
+// fillClass is the tree preference classification of the reservation
+// policy (Sec. 4.1): trees that are partially filled are preferred over
+// "almost full" (mostly free) trees so that almost-full trees can
+// defragment without active compaction.
+type fillClass uint8
+
+const (
+	classHalfDepleted fillClass = iota // preferred first
+	classAlmostDepleted
+	classAlmostFull
+	classEmptyOfFree // nothing to allocate here
+)
+
+func (a *Alloc) classify(tree uint64, e uint32) fillClass {
+	capacity := a.treeCapacity(tree)
+	free := uint64(treeFree(e))
+	switch {
+	case free == 0:
+		return classEmptyOfFree
+	case free*8 >= capacity*7:
+		return classAlmostFull
+	case free*8 <= capacity:
+		return classAlmostDepleted
+	default:
+		return classHalfDepleted
+	}
+}
+
+// reservationSlot maps (cpu, type) to the reservation slot index under the
+// configured policy.
+func (a *Alloc) reservationSlot(cpu int, typ mem.AllocType) int {
+	if a.policy == PerCore {
+		if a.cpus == 0 {
+			return 0
+		}
+		return cpu % a.cpus
+	}
+	return int(typ)
+}
+
+// reservedTree returns the currently reserved tree for the slot, or false.
+func (a *Alloc) reservedTree(slot int) (uint64, bool) {
+	v := a.reservations[slot].Load()
+	if v&resValid == 0 {
+		return 0, false
+	}
+	return v & 0xffffffff, true
+}
+
+// reserveTree tries to install `tree` as the slot's reservation, marking
+// the tree reserved and typed. It releases the previous reservation.
+// Returns false if the tree is already reserved by another slot.
+func (a *Alloc) reserveTree(slot int, tree uint64, typ mem.AllocType) bool {
+	_, ok := a.treeUpdate(tree, func(e uint32) (uint32, bool) {
+		if treeReserved(e) {
+			return 0, false
+		}
+		e |= treeReservedBit
+		if a.policy == PerType {
+			e = e&^uint32(treeTypeMask) | uint32(typ)<<treeTypeShift | treeTypeValid
+		}
+		return e, true
+	})
+	if !ok {
+		return false
+	}
+	prev := a.reservations[slot].Swap(resValid | tree)
+	if prev&resValid != 0 {
+		prevTree := prev & 0xffffffff
+		if prevTree != tree {
+			a.treeUpdate(prevTree, func(e uint32) (uint32, bool) {
+				return e &^ treeReservedBit, true
+			})
+		}
+	}
+	return true
+}
+
+// typeCompatible reports whether a tree may serve allocations of typ under
+// the per-type policy: either it has no recorded type yet or the type
+// matches. Under per-core policy every tree is compatible.
+func (a *Alloc) typeCompatible(e uint32, typ mem.AllocType) bool {
+	if a.policy != PerType {
+		return true
+	}
+	return !treeHasType(e) || treeType(e) == typ
+}
+
+// searchTree finds a tree to reserve for the given slot/type that has at
+// least `need` free frames. Preference order (paper Sec. 4.1/4.2):
+//
+//  1. unreserved, type-compatible, half depleted
+//  2. unreserved, type-compatible, almost depleted
+//  3. unreserved, type-compatible, almost full
+//  4. unreserved, any type, by the same class order
+//  5. any tree with enough free frames (steal; reservation not required)
+//
+// The search starts at the slot's previous tree to keep allocation streams
+// spatially compact. Returns the tree index and whether it was found.
+func (a *Alloc) searchTree(slot int, typ mem.AllocType, need uint64) (uint64, bool) {
+	start := uint64(0)
+	if t, ok := a.reservedTree(slot); ok {
+		start = t
+	}
+	// Pass 1-3: type compatible, unreserved, by class.
+	for _, wanted := range []fillClass{classHalfDepleted, classAlmostDepleted, classAlmostFull} {
+		if t, ok := a.scanTrees(start, need, wanted, true, typ); ok {
+			return t, true
+		}
+	}
+	// Pass 4: any type, unreserved.
+	for _, wanted := range []fillClass{classHalfDepleted, classAlmostDepleted, classAlmostFull} {
+		if t, ok := a.scanTrees(start, need, wanted, false, typ); ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// scanTrees is one preference pass over all trees.
+func (a *Alloc) scanTrees(start, need uint64, wanted fillClass, matchType bool, typ mem.AllocType) (uint64, bool) {
+	for i := uint64(0); i < a.trees; i++ {
+		tree := (start + i) % a.trees
+		e := a.treeIdx[tree].Load()
+		if treeReserved(e) || uint64(treeFree(e)) < need {
+			continue
+		}
+		if matchType && !a.typeCompatible(e, typ) {
+			continue
+		}
+		if a.classify(tree, e) != wanted {
+			continue
+		}
+		return tree, true
+	}
+	return 0, false
+}
+
+// stealTrees yields, in order, every tree with at least `need` free frames
+// regardless of reservation or type. Used as the last-resort fallback so
+// allocations succeed whenever memory exists anywhere.
+func (a *Alloc) stealTrees(start, need uint64, fn func(tree uint64) bool) bool {
+	for i := uint64(0); i < a.trees; i++ {
+		tree := (start + i) % a.trees
+		if uint64(treeFree(a.treeIdx[tree].Load())) < need {
+			continue
+		}
+		if fn(tree) {
+			return true
+		}
+	}
+	return false
+}

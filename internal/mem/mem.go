@@ -1,0 +1,146 @@
+// Package mem defines the shared memory vocabulary of the HyperAlloc
+// simulation: frame numbers, orders, sizes, zones, and allocation types.
+//
+// All quantities follow the Linux/x86 conventions used by the paper:
+// a base frame is 4 KiB, a huge frame is 2 MiB (order 9, 512 base frames).
+package mem
+
+import "fmt"
+
+// Frame geometry. These mirror x86-64 with 4 KiB base pages and 2 MiB huge
+// pages; the paper reclaims on huge-frame granularity (Sec. 4.2).
+const (
+	// PageShift is log2 of the base-frame size.
+	PageShift = 12
+	// PageSize is the size of a base frame in bytes (4 KiB).
+	PageSize = 1 << PageShift
+	// HugeOrder is the buddy order of a huge frame (2^9 base frames).
+	HugeOrder = 9
+	// FramesPerHuge is the number of base frames per huge frame (512).
+	FramesPerHuge = 1 << HugeOrder
+	// HugeSize is the size of a huge frame in bytes (2 MiB).
+	HugeSize = PageSize * FramesPerHuge
+	// MaxOrder is the largest supported allocation order (buddy MAX_ORDER-1
+	// style): 2^10 base frames = 4 MiB.
+	MaxOrder = 10
+)
+
+// Byte sizes.
+const (
+	KiB uint64 = 1 << 10
+	MiB uint64 = 1 << 20
+	GiB uint64 = 1 << 30
+	TiB uint64 = 1 << 40
+)
+
+// PFN is a guest- or host-physical base-frame number. The address of the
+// frame is PFN << PageShift. PFNs are zone-relative unless stated otherwise.
+type PFN uint64
+
+// Bytes returns the byte address of the frame start.
+func (p PFN) Bytes() uint64 { return uint64(p) << PageShift }
+
+// HugeIndex returns the index of the huge frame containing p.
+func (p PFN) HugeIndex() uint64 { return uint64(p) / FramesPerHuge }
+
+// AlignedTo reports whether p is aligned to 2^order base frames.
+func (p PFN) AlignedTo(order uint) bool { return uint64(p)&((1<<order)-1) == 0 }
+
+// Order describes the size class of an allocation: 2^Order base frames.
+type Order uint
+
+// Frames returns the number of base frames covered by the order.
+func (o Order) Frames() uint64 { return 1 << o }
+
+// Size returns the byte size covered by the order.
+func (o Order) Size() uint64 { return PageSize << o }
+
+// Valid reports whether the order is supported.
+func (o Order) Valid() bool { return o <= MaxOrder }
+
+// AllocType is the Linux allocation type (migratetype) used by the
+// per-type tree reservation policy of Sec. 4.2: unmovable kernel
+// allocations, movable user allocations, and huge allocations.
+type AllocType uint8
+
+const (
+	// Unmovable marks kernel allocations that cannot be migrated.
+	Unmovable AllocType = iota
+	// Movable marks user/page-cache allocations that can be migrated.
+	Movable
+	// Huge marks huge-frame allocations.
+	Huge
+	// NumAllocTypes is the number of allocation types.
+	NumAllocTypes
+)
+
+// String implements fmt.Stringer.
+func (t AllocType) String() string {
+	switch t {
+	case Unmovable:
+		return "unmovable"
+	case Movable:
+		return "movable"
+	case Huge:
+		return "huge"
+	default:
+		return fmt.Sprintf("AllocType(%d)", uint8(t))
+	}
+}
+
+// ZoneKind identifies a Linux memory zone. On x86 the simulation models
+// DMA32 (32-bit addressable), Normal, and Movable (used by virtio-mem for
+// hot(un)pluggable memory); the tiny 16 KiB DMA zone is ignored like in
+// the paper (Sec. 4.2).
+type ZoneKind uint8
+
+const (
+	// ZoneDMA32 is 32-bit addressable memory.
+	ZoneDMA32 ZoneKind = iota
+	// ZoneNormal is regular system memory.
+	ZoneNormal
+	// ZoneMovable holds only movable allocations; virtio-mem plugs its
+	// blocks here so they can be unplugged later.
+	ZoneMovable
+	// NumZoneKinds is the number of zone kinds.
+	NumZoneKinds
+)
+
+// String implements fmt.Stringer.
+func (z ZoneKind) String() string {
+	switch z {
+	case ZoneDMA32:
+		return "DMA32"
+	case ZoneNormal:
+		return "Normal"
+	case ZoneMovable:
+		return "Movable"
+	default:
+		return fmt.Sprintf("ZoneKind(%d)", uint8(z))
+	}
+}
+
+// HumanBytes renders a byte count with a binary-prefix unit, e.g. "2.0 GiB".
+func HumanBytes(b uint64) string {
+	switch {
+	case b >= TiB:
+		return fmt.Sprintf("%.2f TiB", float64(b)/float64(TiB))
+	case b >= GiB:
+		return fmt.Sprintf("%.2f GiB", float64(b)/float64(GiB))
+	case b >= MiB:
+		return fmt.Sprintf("%.2f MiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.2f KiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// FramesToBytes converts a base-frame count to bytes.
+func FramesToBytes(frames uint64) uint64 { return frames * PageSize }
+
+// BytesToFrames converts bytes to base frames, rounding up.
+func BytesToFrames(b uint64) uint64 { return (b + PageSize - 1) / PageSize }
+
+// BytesToHuge converts bytes to huge frames, rounding up.
+func BytesToHuge(b uint64) uint64 { return (b + HugeSize - 1) / HugeSize }

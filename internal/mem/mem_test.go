@@ -1,0 +1,109 @@
+package mem
+
+import "testing"
+
+func TestGeometryConstants(t *testing.T) {
+	if PageSize != 4096 {
+		t.Error("PageSize")
+	}
+	if HugeSize != 2<<20 {
+		t.Error("HugeSize")
+	}
+	if FramesPerHuge != 512 {
+		t.Error("FramesPerHuge")
+	}
+}
+
+func TestPFN(t *testing.T) {
+	p := PFN(513)
+	if p.Bytes() != 513*4096 {
+		t.Error("Bytes")
+	}
+	if p.HugeIndex() != 1 {
+		t.Error("HugeIndex")
+	}
+	if !PFN(512).AlignedTo(9) || PFN(513).AlignedTo(9) {
+		t.Error("AlignedTo order 9")
+	}
+	if !PFN(0).AlignedTo(9) {
+		t.Error("zero alignment")
+	}
+	if !PFN(7).AlignedTo(0) {
+		t.Error("order 0 always aligned")
+	}
+}
+
+func TestOrder(t *testing.T) {
+	if Order(9).Frames() != 512 || Order(9).Size() != HugeSize {
+		t.Error("order 9")
+	}
+	if Order(0).Frames() != 1 || Order(0).Size() != PageSize {
+		t.Error("order 0")
+	}
+	if !Order(10).Valid() || Order(11).Valid() {
+		t.Error("Valid")
+	}
+}
+
+func TestAllocTypeString(t *testing.T) {
+	cases := map[AllocType]string{
+		Unmovable:    "unmovable",
+		Movable:      "movable",
+		Huge:         "huge",
+		AllocType(9): "AllocType(9)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q", typ, got)
+		}
+	}
+}
+
+func TestZoneKindString(t *testing.T) {
+	cases := map[ZoneKind]string{
+		ZoneDMA32:   "DMA32",
+		ZoneNormal:  "Normal",
+		ZoneMovable: "Movable",
+		ZoneKind(9): "ZoneKind(9)",
+	}
+	for z, want := range cases {
+		if got := z.String(); got != want {
+			t.Errorf("%d.String() = %q", z, got)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:             "512 B",
+		2 * KiB:         "2.00 KiB",
+		3 * MiB:         "3.00 MiB",
+		20 * GiB:        "20.00 GiB",
+		5 * TiB:         "5.00 TiB",
+		GiB + GiB/2:     "1.50 GiB",
+		2*MiB + MiB/100: "2.01 MiB",
+	}
+	for b, want := range cases {
+		if got := HumanBytes(b); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if FramesToBytes(3) != 3*PageSize {
+		t.Error("FramesToBytes")
+	}
+	if BytesToFrames(PageSize+1) != 2 {
+		t.Error("BytesToFrames rounds up")
+	}
+	if BytesToFrames(PageSize) != 1 {
+		t.Error("BytesToFrames exact")
+	}
+	if BytesToHuge(HugeSize+1) != 2 || BytesToHuge(HugeSize) != 1 {
+		t.Error("BytesToHuge")
+	}
+	if BytesToHuge(0) != 0 {
+		t.Error("BytesToHuge zero")
+	}
+}

@@ -1,0 +1,185 @@
+// Package metrics provides the time-series and statistics helpers used by
+// the evaluation: samplers, percentiles, confidence intervals, and the
+// GiB·min footprint integral the paper prices memory with.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// Point is one sample.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Points = append(s.Points, Point{t, v})
+}
+
+// Values returns the sample values.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent value (0 if empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// At returns the value at or before t (0 before the first sample).
+func (s *Series) At(t sim.Time) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// IntegralGiBMin integrates a byte-valued series over time into GiB·min
+// (the footprint unit of Sec. 5.5, "similar metrics are also used by
+// cloud providers to price memory usage"). Trapezoidal? No — RSS is a
+// step function sampled at 1 Hz: rectangle rule over sample intervals.
+func (s *Series) IntegralGiBMin() float64 {
+	if len(s.Points) < 2 {
+		return 0
+	}
+	var total float64 // byte-nanoseconds
+	for i := 1; i < len(s.Points); i++ {
+		dt := float64(s.Points[i].T - s.Points[i-1].T)
+		total += s.Points[i-1].V * dt
+	}
+	return total / float64(mem.GiB) / (60 * float64(sim.Second))
+}
+
+// Max returns the maximum value (0 if empty).
+func (s *Series) Max() float64 {
+	var max float64
+	for _, p := range s.Points {
+		if p.V > max {
+			max = p.V
+		}
+	}
+	return max
+}
+
+// Downsample returns up to n points evenly spaced across the series (for
+// compact rendering).
+func (s *Series) Downsample(n int) []Point {
+	if n <= 0 || len(s.Points) <= n {
+		return s.Points
+	}
+	out := make([]Point, 0, n)
+	step := float64(len(s.Points)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Points[int(float64(i)*step+0.5)])
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) via linear
+// interpolation of the sorted values.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Stddev returns the sample standard deviation.
+func Stddev(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	var ss float64
+	for _, v := range vals {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(vals)-1))
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// (normal approximation, like the paper's error bars).
+func CI95(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	return 1.96 * Stddev(vals) / math.Sqrt(float64(len(vals)))
+}
+
+// MeanCI formats "mean ± ci" with the given unit.
+func MeanCI(vals []float64, unit string) string {
+	return fmt.Sprintf("%.2f ± %.2f %s", Mean(vals), CI95(vals), unit)
+}
+
+// Rate describes a measured throughput with its confidence interval.
+type Rate struct {
+	Mean float64 // GiB/s
+	CI   float64
+}
+
+// RateOf computes the GiB/s rates of repeated (bytes, duration) runs.
+func RateOf(bytes uint64, durations []sim.Duration) Rate {
+	rates := make([]float64, len(durations))
+	for i, d := range durations {
+		rates[i] = sim.Rate(bytes, d)
+	}
+	return Rate{Mean: Mean(rates), CI: CI95(rates)}
+}
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	if r.Mean >= 1024 {
+		return fmt.Sprintf("%.2f ± %.2f TiB/s", r.Mean/1024, r.CI/1024)
+	}
+	return fmt.Sprintf("%.2f ± %.2f GiB/s", r.Mean, r.CI)
+}

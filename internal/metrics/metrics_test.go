@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "x"}
+	if s.Len() != 0 || s.Last() != 0 {
+		t.Error("empty series")
+	}
+	s.Add(sim.Time(sim.Second), 1)
+	s.Add(sim.Time(2*sim.Second), 2)
+	s.Add(sim.Time(3*sim.Second), 3)
+	if s.Len() != 3 || s.Last() != 3 || s.Max() != 3 {
+		t.Error("basics")
+	}
+	vs := s.Values()
+	if len(vs) != 3 || vs[1] != 2 {
+		t.Error("Values")
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := &Series{}
+	s.Add(sim.Time(sim.Second), 10)
+	s.Add(sim.Time(3*sim.Second), 30)
+	if s.At(0) != 0 {
+		t.Error("before first")
+	}
+	if s.At(sim.Time(sim.Second)) != 10 {
+		t.Error("exact")
+	}
+	if s.At(sim.Time(2*sim.Second)) != 10 {
+		t.Error("between")
+	}
+	if s.At(sim.Time(10*sim.Second)) != 30 {
+		t.Error("after last")
+	}
+}
+
+func TestIntegralGiBMin(t *testing.T) {
+	s := &Series{}
+	// 1 GiB held for exactly one minute.
+	s.Add(0, float64(mem.GiB))
+	s.Add(sim.Time(60*sim.Second), float64(mem.GiB))
+	if got := s.IntegralGiBMin(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("integral = %v, want 1", got)
+	}
+	// Step up: 1 GiB for a minute, then 2 GiB for a minute.
+	s.Add(sim.Time(120*sim.Second), 2*float64(mem.GiB))
+	// Rectangle rule uses the left value: 1 + 1 = 2 ... the last point
+	// carries no width.
+	if got := s.IntegralGiBMin(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("integral = %v, want 2", got)
+	}
+	empty := &Series{}
+	if empty.IntegralGiBMin() != 0 {
+		t.Error("empty integral")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 100; i++ {
+		s.Add(sim.Time(sim.Duration(i)*sim.Second), float64(i))
+	}
+	d := s.Downsample(10)
+	if len(d) != 10 {
+		t.Fatalf("len = %d", len(d))
+	}
+	if d[0].V != 0 || d[9].V != 99 {
+		t.Errorf("endpoints: %v %v", d[0].V, d[9].V)
+	}
+	if got := s.Downsample(1000); len(got) != 100 {
+		t.Error("upsample should return original")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(vals, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile")
+	}
+	// The input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile sorted the input")
+	}
+}
+
+func TestMeanStddevCI(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := Stddev(vals); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("stddev = %v", got)
+	}
+	if got := CI95(vals); math.Abs(got-1.96*2.138/math.Sqrt(8)) > 0.01 {
+		t.Errorf("ci = %v", got)
+	}
+	if Stddev([]float64{1}) != 0 || CI95([]float64{1}) != 0 {
+		t.Error("single-sample spread")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean")
+	}
+	if s := MeanCI(vals, "u"); s != "5.00 ± 1.48 u" {
+		t.Errorf("MeanCI = %q", s)
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	r := RateOf(2*mem.GiB, []sim.Duration{sim.Second, sim.Second})
+	if r.Mean != 2.0 || r.CI != 0 {
+		t.Errorf("rate = %+v", r)
+	}
+	if r.String() != "2.00 ± 0.00 GiB/s" {
+		t.Errorf("String = %q", r.String())
+	}
+	fast := Rate{Mean: 5 * 1024}
+	if fast.String() != "5.00 ± 0.00 TiB/s" {
+		t.Errorf("TiB formatting = %q", fast.String())
+	}
+}

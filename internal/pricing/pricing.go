@@ -1,0 +1,159 @@
+// Package pricing implements the Sec. 6 economics extension: fine-grained
+// GiB·s memory billing and a price-pressure policy under which a guest
+// actively shrinks its page cache when memory is expensive — "suddenly,
+// actively shrinking the page cache instead of caching as much as
+// possible could make economic sense".
+package pricing
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// Rate prices memory like AWS Lambda prices it: per GiB·second.
+type Rate struct {
+	// PerGiBSecond is the price of holding one GiB resident for one
+	// second (arbitrary currency units).
+	PerGiBSecond float64
+}
+
+// Bill integrates an RSS series (bytes over time) into a total price.
+func (r Rate) Bill(rss *metrics.Series) float64 {
+	return rss.IntegralGiBMin() * 60 * r.PerGiBSecond
+}
+
+// PerGiBMinute returns the rate per GiB·minute.
+func (r Rate) PerGiBMinute() float64 { return r.PerGiBSecond * 60 }
+
+// String implements fmt.Stringer.
+func (r Rate) String() string {
+	return fmt.Sprintf("%.4g/GiB·s", r.PerGiBSecond)
+}
+
+// CacheValue models what a cached GiB is worth to the guest per second:
+// the IO cost it avoids. With HitSavingsPerGiBSecond below the memory
+// price, caching is a net loss and the policy trims.
+type CacheValue struct {
+	// HitSavingsPerGiBSecond is the value (same currency as Rate) one
+	// resident GiB of page cache generates per second by avoiding IO.
+	HitSavingsPerGiBSecond float64
+	// FloorBytes is never trimmed (the working set that would thrash).
+	FloorBytes uint64
+}
+
+// TargetCacheBytes returns the economically justified cache size for the
+// current price: all of it when caching pays for itself, the floor when it
+// does not, with a linear taper in between (a cache's marginal value
+// decreases; the taper stands in for a hit-rate curve).
+func (cv CacheValue) TargetCacheBytes(current uint64, price Rate) uint64 {
+	if price.PerGiBSecond <= 0 || cv.HitSavingsPerGiBSecond <= 0 {
+		return current
+	}
+	ratio := cv.HitSavingsPerGiBSecond / price.PerGiBSecond
+	switch {
+	case ratio >= 1:
+		return current
+	case ratio <= 0.25:
+		return cv.FloorBytes
+	default:
+		// Taper between floor and current as the price approaches the
+		// cache's value.
+		span := float64(current) - float64(cv.FloorBytes)
+		if span < 0 {
+			return current
+		}
+		keep := cv.FloorBytes + uint64(span*(ratio-0.25)/0.75)
+		return keep
+	}
+}
+
+// Guest is the slice of guest behaviour the policy needs (satisfied by
+// *guest.Guest via the adapter in the facade, and by test fakes).
+type Guest interface {
+	CacheBytes() uint64
+	EvictCache(bytes uint64) uint64
+}
+
+// Reclaimer triggers the mechanism's reclamation scan (satisfied by the
+// HyperAlloc mechanism's AutoTick).
+type Reclaimer interface {
+	AutoTick() sim.Duration
+}
+
+// Policy is the price-pressure loop: on every tick it compares the current
+// memory price with the cache's value, trims the uneconomical part of the
+// page cache, and runs a reclamation pass so the freed memory actually
+// leaves the VM (and the bill).
+type Policy struct {
+	GuestSide Guest
+	Mechanism Reclaimer
+	Value     CacheValue
+	// PriceFn returns the current price (spot markets change it over
+	// time; Sec. 6 cites real-time auctioning of physical memory).
+	PriceFn func(now sim.Time) Rate
+	// Period between policy evaluations (default 5 s).
+	Period sim.Duration
+
+	// TrimmedBytes counts cache the policy sacrificed to price pressure.
+	TrimmedBytes uint64
+	// Ticks counts policy evaluations.
+	Ticks uint64
+}
+
+// Start schedules the policy on the simulation scheduler.
+func (p *Policy) Start(sched *sim.Scheduler) error {
+	if p.GuestSide == nil || p.PriceFn == nil {
+		return fmt.Errorf("pricing: policy needs a guest and a price function")
+	}
+	if p.Period == 0 {
+		p.Period = 5 * sim.Second
+	}
+	sched.Every(p.Period, "pricing-policy", func() bool {
+		p.tick(sched.Now())
+		return true
+	})
+	return nil
+}
+
+// tick runs one evaluation.
+func (p *Policy) tick(now sim.Time) {
+	p.Ticks++
+	price := p.PriceFn(now)
+	current := p.GuestSide.CacheBytes()
+	target := p.Value.TargetCacheBytes(current, price)
+	if target < current {
+		p.TrimmedBytes += p.GuestSide.EvictCache(current - target)
+	}
+	if p.Mechanism != nil {
+		p.Mechanism.AutoTick()
+	}
+}
+
+// ConstantPrice returns a PriceFn for a flat rate.
+func ConstantPrice(r Rate) func(sim.Time) Rate {
+	return func(sim.Time) Rate { return r }
+}
+
+// PeakPrice returns a PriceFn that charges `peak` during [from, to) of
+// every day-long cycle and `base` otherwise — a simple spot-market shape.
+func PeakPrice(base, peak Rate, from, to sim.Duration) func(sim.Time) Rate {
+	cycle := 24 * 3600 * sim.Second
+	return func(now sim.Time) Rate {
+		t := sim.Duration(now) % cycle
+		if t >= from && t < to {
+			return peak
+		}
+		return base
+	}
+}
+
+// CostOfResidency is a helper for "is compaction worth it" reasoning
+// (Sec. 6: "with a price tag at each frame, we have an objective measure
+// to decide if starting memory compaction is actually worth it"): the
+// price of keeping `bytes` resident for `d`.
+func CostOfResidency(bytes uint64, d sim.Duration, r Rate) float64 {
+	return float64(bytes) / float64(mem.GiB) * d.Seconds() * r.PerGiBSecond
+}

@@ -1,0 +1,150 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+func TestBill(t *testing.T) {
+	rss := &metrics.Series{}
+	rss.Add(0, float64(2*mem.GiB))
+	rss.Add(sim.Time(60*sim.Second), float64(2*mem.GiB))
+	r := Rate{PerGiBSecond: 0.5}
+	// 2 GiB for 60 s at 0.5/GiB·s = 60.
+	if got := r.Bill(rss); math.Abs(got-60) > 1e-9 {
+		t.Errorf("bill = %v", got)
+	}
+	if r.PerGiBMinute() != 30 {
+		t.Error("PerGiBMinute")
+	}
+	if r.String() == "" {
+		t.Error("String")
+	}
+}
+
+func TestTargetCacheBytes(t *testing.T) {
+	cv := CacheValue{HitSavingsPerGiBSecond: 1.0, FloorBytes: mem.GiB}
+	cur := uint64(8 * mem.GiB)
+	// Cheap memory: keep everything.
+	if got := cv.TargetCacheBytes(cur, Rate{PerGiBSecond: 0.5}); got != cur {
+		t.Errorf("cheap target = %d", got)
+	}
+	// Very expensive memory: down to the floor.
+	if got := cv.TargetCacheBytes(cur, Rate{PerGiBSecond: 10}); got != mem.GiB {
+		t.Errorf("expensive target = %d", got)
+	}
+	// In between: tapered.
+	mid := cv.TargetCacheBytes(cur, Rate{PerGiBSecond: 2})
+	if mid <= mem.GiB || mid >= cur {
+		t.Errorf("tapered target = %d", mid)
+	}
+	// Degenerate inputs keep the cache.
+	if got := cv.TargetCacheBytes(cur, Rate{}); got != cur {
+		t.Error("zero price should keep cache")
+	}
+	if got := (CacheValue{}).TargetCacheBytes(cur, Rate{PerGiBSecond: 1}); got != cur {
+		t.Error("zero value should keep cache")
+	}
+	// Floor above current: never grows the cache.
+	small := uint64(mem.MiB)
+	if got := cv.TargetCacheBytes(small, Rate{PerGiBSecond: 2}); got != small {
+		t.Errorf("floor>current target = %d", got)
+	}
+}
+
+type fakeGuest struct {
+	cache   uint64
+	evicted uint64
+}
+
+func (f *fakeGuest) CacheBytes() uint64 { return f.cache }
+func (f *fakeGuest) EvictCache(b uint64) uint64 {
+	if b > f.cache {
+		b = f.cache
+	}
+	f.cache -= b
+	f.evicted += b
+	return b
+}
+
+type fakeReclaimer struct{ ticks int }
+
+func (f *fakeReclaimer) AutoTick() sim.Duration { f.ticks++; return 0 }
+
+func TestPolicyTrimsUnderPricePressure(t *testing.T) {
+	sched := sim.NewScheduler()
+	g := &fakeGuest{cache: 8 * mem.GiB}
+	rec := &fakeReclaimer{}
+	p := &Policy{
+		GuestSide: g,
+		Mechanism: rec,
+		Value:     CacheValue{HitSavingsPerGiBSecond: 1, FloorBytes: mem.GiB},
+		PriceFn:   ConstantPrice(Rate{PerGiBSecond: 10}),
+	}
+	if err := p.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(30 * sim.Second))
+	if g.cache != mem.GiB {
+		t.Errorf("cache = %d after price pressure", g.cache)
+	}
+	if p.TrimmedBytes != 7*mem.GiB {
+		t.Errorf("trimmed = %d", p.TrimmedBytes)
+	}
+	if rec.ticks == 0 {
+		t.Error("reclaimer never ran")
+	}
+	if p.Ticks < 5 {
+		t.Errorf("ticks = %d", p.Ticks)
+	}
+}
+
+func TestPolicyKeepsCheapCache(t *testing.T) {
+	sched := sim.NewScheduler()
+	g := &fakeGuest{cache: 8 * mem.GiB}
+	p := &Policy{
+		GuestSide: g,
+		Value:     CacheValue{HitSavingsPerGiBSecond: 1, FloorBytes: mem.GiB},
+		PriceFn:   ConstantPrice(Rate{PerGiBSecond: 0.1}),
+	}
+	if err := p.Start(sched); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Time(30 * sim.Second))
+	if g.cache != 8*mem.GiB || p.TrimmedBytes != 0 {
+		t.Errorf("cheap memory trimmed: cache %d trimmed %d", g.cache, p.TrimmedBytes)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	p := &Policy{}
+	if err := p.Start(sim.NewScheduler()); err == nil {
+		t.Error("empty policy accepted")
+	}
+}
+
+func TestPeakPrice(t *testing.T) {
+	fn := PeakPrice(Rate{PerGiBSecond: 1}, Rate{PerGiBSecond: 5},
+		8*3600*sim.Second, 18*3600*sim.Second)
+	if got := fn(sim.Time(2 * 3600 * sim.Second)); got.PerGiBSecond != 1 {
+		t.Errorf("night price = %v", got)
+	}
+	if got := fn(sim.Time(12 * 3600 * sim.Second)); got.PerGiBSecond != 5 {
+		t.Errorf("peak price = %v", got)
+	}
+	// Next day repeats the cycle.
+	if got := fn(sim.Time((24 + 12) * 3600 * sim.Second)); got.PerGiBSecond != 5 {
+		t.Errorf("next-day peak = %v", got)
+	}
+}
+
+func TestCostOfResidency(t *testing.T) {
+	got := CostOfResidency(2*mem.GiB, 10*sim.Second, Rate{PerGiBSecond: 3})
+	if math.Abs(got-60) > 1e-9 {
+		t.Errorf("cost = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package report renders the benchmark output: aligned text tables, CSV
+// series dumps, and compact ASCII time-series plots, so every table and
+// figure of the paper can be regenerated on a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "\n== %s ==\n", title)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// ASCIIPlot renders multiple series as a compact character plot: one line
+// per series, value bucketed into a 0-9 scale over the shared range.
+func ASCIIPlot(w io.Writer, title string, width int, series ...*metrics.Series) {
+	if width <= 0 {
+		width = 72
+	}
+	fmt.Fprintf(w, "\n-- %s --\n", title)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	var t0, t1 sim.Time = math.MaxInt64, 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			lo, hi = math.Min(lo, p.V), math.Max(hi, p.V)
+			if p.T < t0 {
+				t0 = p.T
+			}
+			if p.T > t1 {
+				t1 = p.T
+			}
+		}
+	}
+	if math.IsInf(lo, 1) || t1 <= t0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	const glyphs = " .:-=+*#%@"
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for _, s := range series {
+		cells := make([]float64, width)
+		counts := make([]int, width)
+		for _, p := range s.Points {
+			x := int(float64(p.T-t0) / float64(t1-t0) * float64(width-1))
+			cells[x] += p.V
+			counts[x]++
+		}
+		var b strings.Builder
+		for x := 0; x < width; x++ {
+			if counts[x] == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			v := cells[x] / float64(counts[x])
+			g := int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+			if g < 0 {
+				g = 0
+			}
+			if g >= len(glyphs) {
+				g = len(glyphs) - 1
+			}
+			b.WriteByte(glyphs[g])
+		}
+		fmt.Fprintf(w, "  %s |%s|\n", pad(s.Name, nameW), b.String())
+	}
+	fmt.Fprintf(w, "  %s  %.1fs .. %.1fs, range %.3g .. %.3g\n",
+		strings.Repeat(" ", nameW), t0.Seconds(), t1.Seconds(), lo, hi)
+}
+
+// WriteCSV dumps series as CSV (time in seconds, one column per series,
+// rows on the union of timestamps carrying the latest value).
+func WriteCSV(path string, series ...*metrics.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Collect the union of timestamps.
+	seen := map[sim.Time]bool{}
+	var times []sim.Time
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.T] {
+				seen[p.T] = true
+				times = append(times, p.T)
+			}
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	fmt.Fprint(f, "seconds")
+	for _, s := range series {
+		fmt.Fprintf(f, ",%s", strings.ReplaceAll(s.Name, ",", ";"))
+	}
+	fmt.Fprintln(f)
+	for _, t := range times {
+		fmt.Fprintf(f, "%.3f", t.Seconds())
+		for _, s := range series {
+			fmt.Fprintf(f, ",%g", s.At(t))
+		}
+		fmt.Fprintln(f)
+	}
+	return nil
+}
+
+// Ratio formats a/b as "x.xx×" (guarding division by zero).
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.1f×", a/b)
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var b strings.Builder
+	Table(&b, "title", []string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"longer-cell", "2"},
+	})
+	out := b.String()
+	if !strings.Contains(out, "== title ==") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + separator + 2 rows + title line
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "long-header") {
+		t.Error("header missing")
+	}
+	if !strings.HasPrefix(lines[2], "  ---") {
+		t.Errorf("separator: %q", lines[2])
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s1 := &metrics.Series{Name: "up"}
+	s2 := &metrics.Series{Name: "down"}
+	for i := 0; i < 50; i++ {
+		s1.Add(sim.Time(sim.Duration(i)*sim.Second), float64(i))
+		s2.Add(sim.Time(sim.Duration(i)*sim.Second), float64(50-i))
+	}
+	var b strings.Builder
+	ASCIIPlot(&b, "plot", 40, s1, s2)
+	out := b.String()
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("series names missing")
+	}
+	if !strings.Contains(out, "range") {
+		t.Error("range footer missing")
+	}
+	// Empty plot doesn't crash.
+	var e strings.Builder
+	ASCIIPlot(&e, "empty", 40, &metrics.Series{Name: "none"})
+	if !strings.Contains(e.String(), "no data") {
+		t.Error("empty plot output")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	s1 := &metrics.Series{Name: "a,b"} // comma must be escaped
+	s1.Add(sim.Time(sim.Second), 1)
+	s1.Add(sim.Time(2*sim.Second), 2)
+	s2 := &metrics.Series{Name: "c"}
+	s2.Add(sim.Time(sim.Second+sim.Second/2), 9)
+	if err := WriteCSV(path, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "seconds,a;b,c" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 distinct timestamps
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// At t=1.5 s, series a carries its latest value 1, c carries 9.
+	if lines[2] != "1.500,1,9" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVBadPath(t *testing.T) {
+	if err := WriteCSV("/nonexistent-dir/x.csv"); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != "5.0×" {
+		t.Errorf("Ratio = %q", Ratio(10, 2))
+	}
+	if Ratio(1, 0) != "∞" {
+		t.Error("division by zero")
+	}
+}

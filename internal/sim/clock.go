@@ -1,0 +1,86 @@
+// Package sim provides the deterministic discrete-event simulation kernel:
+// a virtual clock, an event queue, and a seeded random-number generator.
+//
+// All benchmark rates reported by this repository are virtual-time rates.
+// The clock only moves when a component charges time to it, so runs are
+// exactly reproducible for a given seed and parameter set.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a virtual duration in nanoseconds. It intentionally mirrors
+// time.Duration so the standard constants (time.Second, ...) convert 1:1.
+type Duration = time.Duration
+
+// Common virtual durations.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the timestamp as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String implements fmt.Stringer.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Clock is the virtual clock. Components advance it explicitly; nothing in
+// the simulation reads the wall clock.
+type Clock struct {
+	now Time
+}
+
+// NewClock returns a clock at t=0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are a bug in
+// the caller and panic.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += Time(d)
+}
+
+// AdvanceTo moves the clock forward to t. Moving backwards panics.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moving backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Rate converts an amount of bytes processed in a duration to GiB/s.
+func Rate(bytes uint64, d Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 30) / d.Seconds()
+}
+
+// DurationFor returns the virtual time needed to move `bytes` at
+// `gibPerSec` GiB/s.
+func DurationFor(bytes uint64, gibPerSec float64) Duration {
+	if gibPerSec <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	sec := float64(bytes) / (1 << 30) / gibPerSec
+	return Duration(sec * float64(Second))
+}

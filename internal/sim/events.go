@@ -1,0 +1,139 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Callbacks run with the clock set to the
+// event's timestamp and may schedule further events.
+type Event struct {
+	At   Time
+	Name string
+	Fn   func()
+
+	seq   uint64 // tie-breaker for deterministic ordering
+	index int    // heap bookkeeping; -1 when not queued
+}
+
+// eventQueue is a min-heap over (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns the clock and the event queue of one simulation run. It is
+// strictly single-threaded: Run pops events in timestamp order, advances
+// the clock, and invokes the callbacks.
+type Scheduler struct {
+	clock *Clock
+	queue eventQueue
+	seq   uint64
+}
+
+// NewScheduler returns a scheduler over a fresh clock.
+func NewScheduler() *Scheduler {
+	return &Scheduler{clock: NewClock()}
+}
+
+// Clock returns the scheduler's clock.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.clock.Now() }
+
+// At schedules fn to run at time t. A time in the past is clamped to now:
+// callbacks may advance the clock while they run (long operations), so a
+// busy simulation legitimately schedules and fires events late.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if t < s.clock.Now() {
+		t = s.clock.Now()
+	}
+	s.seq++
+	e := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	return s.At(s.clock.Now().Add(d), name, fn)
+}
+
+// Every schedules fn at the given period until fn returns false. The first
+// invocation happens one period from now.
+func (s *Scheduler) Every(period Duration, name string, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			s.After(period, name, tick)
+		}
+	}
+	s.After(period, name, tick)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired event is a
+// no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Step runs the next event, if any, and reports whether one ran. An event
+// whose timestamp has already passed (the previous callback advanced the
+// clock beyond it) runs late, at the current time — the single-threaded
+// monitor was busy.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	if e.At > s.clock.Now() {
+		s.clock.AdvanceTo(e.At)
+	}
+	e.Fn()
+	return true
+}
+
+// RunUntil processes events until the queue is empty or the next event is
+// after deadline; the clock is left at min(deadline, last event time).
+func (s *Scheduler) RunUntil(deadline Time) {
+	for len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+	}
+	if s.clock.Now() < deadline {
+		s.clock.AdvanceTo(deadline)
+	}
+}
+
+// Run processes events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}

@@ -1,0 +1,232 @@
+package virtiomem
+
+import (
+	"errors"
+	"testing"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+func newVirtioMemVM(t testing.TB, normal, movable uint64, vfio bool, cfg Config) (*vmm.VM, *Mechanism) {
+	t.Helper()
+	mk := func(kind mem.ZoneKind, bytes uint64) guest.ZoneSpec {
+		b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(bytes), CPUs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return guest.ZoneSpec{Kind: kind, Bytes: bytes, Alloc: guest.NewBuddyAdapter(b), Impl: b}
+	}
+	g, err := guest.New(2, mk(mem.ZoneNormal, normal), mk(mem.ZoneMovable, movable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "vmem-test", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+		Pool:  hostmem.NewPool(0),
+		VFIO:  vfio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(vm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, m
+}
+
+func TestNewRequiresMovableZone(t *testing.T) {
+	b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(64 * mem.MiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(1, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: 64 * mem.MiB,
+		Alloc: guest.NewBuddyAdapter(b), Impl: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "x", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(vm, Config{}); err == nil {
+		t.Error("guest without movable zone accepted")
+	}
+}
+
+func TestUnplugPlugRoundTrip(t *testing.T) {
+	vm, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, false, Config{})
+	if m.PluggedBytes() != 96*mem.MiB {
+		t.Errorf("initially plugged = %d", m.PluggedBytes())
+	}
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.Unplugs != 32 || m.PluggedBytes() != 32*mem.MiB {
+		t.Errorf("unplugs %d plugged %d", m.Unplugs, m.PluggedBytes())
+	}
+	// Offlined memory is not allocatable.
+	if _, err := vm.Guest.AllocAnon(0, 96*mem.MiB); !errors.Is(err, guest.ErrOOM) {
+		t.Errorf("alloc beyond plugged memory: %v", err)
+	}
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.Plugs != 32 || m.PluggedBytes() != 96*mem.MiB {
+		t.Errorf("plugs %d plugged %d", m.Plugs, m.PluggedBytes())
+	}
+	r, err := vm.Guest.AllocAnon(0, 100*mem.MiB)
+	if err != nil {
+		t.Fatalf("alloc after replug: %v", err)
+	}
+	r.Free()
+	b := m.b
+	vm.Guest.DrainAllocatorCaches()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnplugMigratesUsedBlocks(t *testing.T) {
+	vm, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, false, Config{})
+	// Occupy the top of the movable zone so decreasing-order unplug has
+	// to migrate.
+	r, err := vm.Guest.AllocAnon(0, 48*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shrink(80 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.MigratedBytes == 0 {
+		t.Error("no migrations despite used blocks")
+	}
+	// The region survived and frees cleanly.
+	r.Free()
+	vm.Guest.DrainAllocatorCaches()
+	if err := m.b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnplugDecreasingAddressOrder(t *testing.T) {
+	_, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, false, Config{})
+	if err := m.Shrink(96 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// 16 areas were unplugged; they must be the highest-addressed ones.
+	n := len(m.plugged)
+	for a := 0; a < n-16; a++ {
+		if !m.plugged[a] {
+			t.Fatalf("low area %d unplugged", a)
+		}
+	}
+	for a := n - 16; a < n; a++ {
+		if m.plugged[a] {
+			t.Fatalf("high area %d still plugged", a)
+		}
+	}
+}
+
+func TestVFIOPrepopulatesOnPlug(t *testing.T) {
+	vm, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, true, Config{})
+	if err := m.Shrink(64 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	rssAfterShrink := vm.RSS()
+	if err := m.Grow(128 * mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if m.PrepopulatedHuge != 32 {
+		t.Errorf("prepopulated = %d", m.PrepopulatedHuge)
+	}
+	if vm.RSS() != rssAfterShrink+64*mem.MiB {
+		t.Errorf("RSS = %d, plug did not prepopulate", vm.RSS())
+	}
+	// All plugged memory is DMA-mapped.
+	if vm.IOMMU.MappedBytes() != 128*mem.MiB {
+		t.Errorf("IOMMU mapped = %d", vm.IOMMU.MappedBytes())
+	}
+	if m.Name() != "virtio-mem+VFIO" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestShrinkBelowMovableFails(t *testing.T) {
+	_, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, false, Config{})
+	// Can never shrink below the normal (non-hotpluggable) zone.
+	if err := m.Shrink(16 * mem.MiB); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("shrink below normal zone: %v", err)
+	}
+}
+
+func TestSimulatedAutoPolicy(t *testing.T) {
+	vm, m := newVirtioMemVM(t, 32*mem.MiB, 224*mem.MiB, false, Config{
+		SimulatedAuto:    true,
+		AutoGranularity:  32 * mem.MiB,
+		AutoHeadroomHuge: 16, // keep ~32 MiB free
+	})
+	if d := m.AutoTick(); d != sim.Second {
+		t.Errorf("delay = %v", d)
+	}
+	// Idle guest: plenty free -> ticks shrink step by step.
+	for i := 0; i < 8; i++ {
+		m.AutoTick()
+	}
+	if m.Limit() >= 256*mem.MiB {
+		t.Error("auto policy never shrank an idle VM")
+	}
+	shrunk := m.Limit()
+	// Memory pressure: consume almost everything; the policy grows.
+	var held []*guest.Region
+	for {
+		r, err := vm.Guest.AllocAnon(0, 8*mem.MiB)
+		if err != nil {
+			break
+		}
+		held = append(held, r)
+	}
+	for i := 0; i < 8; i++ {
+		m.AutoTick()
+	}
+	if m.Limit() <= shrunk {
+		t.Error("auto policy never grew under pressure")
+	}
+	if m.AutoTicks == 0 {
+		t.Error("tick counter")
+	}
+	for _, r := range held {
+		r.Free()
+	}
+	// Auto disabled returns 0.
+	m.cfg.SimulatedAuto = false
+	if d := m.AutoTick(); d != 0 {
+		t.Errorf("disabled auto ticked: %v", d)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	_, m := newVirtioMemVM(t, 32*mem.MiB, 96*mem.MiB, false, Config{})
+	p := m.Properties()
+	if !p.DMASafe || p.AutoMode || !p.ManualLimit || p.Granularity != mem.HugeSize {
+		t.Errorf("properties %+v", p)
+	}
+	if m.Name() != "virtio-mem" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

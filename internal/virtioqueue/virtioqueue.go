@@ -1,0 +1,84 @@
+// Package virtioqueue models the guest->monitor transport used by the
+// balloon drivers and by HyperAlloc's install/boot messages: a bounded
+// descriptor ring whose contents are delivered to the device (monitor)
+// side on a kick. Each kick corresponds to one hypercall; batching
+// descriptors per kick is what amortizes the transition cost
+// (virtio-balloon aggregates up to 256 pages per hypercall).
+package virtioqueue
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFull reports a push into a full ring.
+var ErrFull = errors.New("virtioqueue: ring full")
+
+// Queue is a bounded descriptor ring. The device side registers a handler
+// that consumes all pending descriptors on a kick.
+type Queue[T any] struct {
+	capacity int
+	ring     []T
+	handler  func([]T)
+
+	// Kicks counts the guest->host notifications (hypercalls).
+	Kicks uint64
+	// Delivered counts descriptors consumed by the device side.
+	Delivered uint64
+}
+
+// New creates a queue with the given ring capacity.
+func New[T any](capacity int, handler func([]T)) (*Queue[T], error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("virtioqueue: capacity %d", capacity)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("virtioqueue: nil handler")
+	}
+	return &Queue[T]{capacity: capacity, handler: handler}, nil
+}
+
+// Push enqueues one descriptor. Returns ErrFull when the ring is full; the
+// driver must kick first.
+func (q *Queue[T]) Push(item T) error {
+	if len(q.ring) >= q.capacity {
+		return ErrFull
+	}
+	q.ring = append(q.ring, item)
+	return nil
+}
+
+// Len returns the number of pending descriptors.
+func (q *Queue[T]) Len() int { return len(q.ring) }
+
+// Capacity returns the ring size.
+func (q *Queue[T]) Capacity() int { return q.capacity }
+
+// Kick notifies the device side, delivering all pending descriptors to the
+// handler. Returns the number delivered. An empty kick is a no-op and not
+// counted.
+func (q *Queue[T]) Kick() int {
+	if len(q.ring) == 0 {
+		return 0
+	}
+	batch := q.ring
+	q.ring = nil
+	q.Kicks++
+	q.Delivered += uint64(len(batch))
+	q.handler(batch)
+	return len(batch)
+}
+
+// PushAndKick pushes the descriptor, kicking first if the ring is full and
+// after if fill reaches the threshold (<=0 means kick only when full).
+func (q *Queue[T]) PushAndKick(item T, threshold int) {
+	if err := q.Push(item); err != nil {
+		q.Kick()
+		if err := q.Push(item); err != nil {
+			panic("virtioqueue: push failed after kick")
+		}
+	}
+	if threshold > 0 && len(q.ring) >= threshold {
+		q.Kick()
+	}
+}

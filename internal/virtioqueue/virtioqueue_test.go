@@ -1,0 +1,89 @@
+package virtioqueue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0, func([]int) {}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New[int](4, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestPushKick(t *testing.T) {
+	var got [][]int
+	q, err := New(4, func(batch []int) { got = append(got, batch) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 3 || q.Capacity() != 4 {
+		t.Errorf("len %d cap %d", q.Len(), q.Capacity())
+	}
+	if n := q.Kick(); n != 3 {
+		t.Errorf("kick delivered %d", n)
+	}
+	if q.Kicks != 1 || q.Delivered != 3 {
+		t.Errorf("kicks %d delivered %d", q.Kicks, q.Delivered)
+	}
+	if len(got) != 1 || len(got[0]) != 3 || got[0][2] != 2 {
+		t.Errorf("handler got %v", got)
+	}
+	// Empty kick is a no-op.
+	if n := q.Kick(); n != 0 {
+		t.Errorf("empty kick delivered %d", n)
+	}
+	if q.Kicks != 1 {
+		t.Error("empty kick counted")
+	}
+}
+
+func TestPushFull(t *testing.T) {
+	q, _ := New(2, func([]int) {})
+	q.Push(1)
+	q.Push(2)
+	if err := q.Push(3); !errors.Is(err, ErrFull) {
+		t.Errorf("push into full ring: %v", err)
+	}
+}
+
+func TestPushAndKick(t *testing.T) {
+	var batches []int
+	q, _ := New(256, func(batch []int) { batches = append(batches, len(batch)) })
+	// Threshold kicks: every 256 pushes delivers one batch.
+	for i := 0; i < 600; i++ {
+		q.PushAndKick(i, 256)
+	}
+	q.Kick()
+	if len(batches) != 3 || batches[0] != 256 || batches[1] != 256 || batches[2] != 88 {
+		t.Errorf("batches = %v", batches)
+	}
+	if q.Delivered != 600 {
+		t.Errorf("delivered = %d", q.Delivered)
+	}
+}
+
+func TestPushAndKickFullRing(t *testing.T) {
+	var batches []int
+	q, _ := New(4, func(batch []int) { batches = append(batches, len(batch)) })
+	// Threshold 0: kick only when the ring fills.
+	for i := 0; i < 10; i++ {
+		q.PushAndKick(i, 0)
+	}
+	q.Kick()
+	total := 0
+	for _, b := range batches {
+		total += b
+	}
+	if total != 10 {
+		t.Errorf("delivered %d of 10", total)
+	}
+}

@@ -1,0 +1,339 @@
+// Package vmm is the virtual-machine monitor (the QEMU analog): it owns a
+// VM's guest, EPT, optional IOMMU, host-RSS accounting, and the
+// reclamation mechanism, and it provides the populate-on-access and
+// resize plumbing all mechanisms share.
+package vmm
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/ept"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/iommu"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// Mechanism is a VM de/inflation technique (virtio-balloon, virtio-mem,
+// HyperAlloc). Implementations live in their own packages and are attached
+// to a VM at construction time.
+type Mechanism interface {
+	// Name identifies the candidate, e.g. "virtio-balloon-huge".
+	Name() string
+	// Properties describes the candidate for Table 1.
+	Properties() Properties
+	// Shrink lowers the VM's hard memory limit to target bytes.
+	Shrink(target uint64) error
+	// Grow raises the VM's hard memory limit to target bytes.
+	Grow(target uint64) error
+	// Limit returns the current hard limit in bytes.
+	Limit() uint64
+	// AutoTick runs one automatic-reclamation cycle and returns the delay
+	// until the next one (0 if automatic mode is unsupported).
+	AutoTick() sim.Duration
+}
+
+// Properties is the Table 1 row of a mechanism.
+type Properties struct {
+	Granularity uint64 // bytes
+	ManualLimit bool
+	AutoMode    bool
+	DMASafe     bool
+}
+
+// VM bundles one virtual machine's state.
+type VM struct {
+	Name  string
+	Guest *guest.Guest
+	EPT   *ept.Table
+	// IOMMU is non-nil when a VFIO device is passed through.
+	IOMMU *iommu.Table
+	Meter *ledger.Meter
+	Model *costmodel.Model
+	Pool  *hostmem.Pool
+	Mech  Mechanism
+
+	// InitialBytes is the boot-time memory size (the maximum; this
+	// prototype does not grow beyond it, Sec. 6).
+	InitialBytes uint64
+
+	// autoEvent tracks the scheduled auto-reclamation tick.
+	autoEvent *sim.Event
+}
+
+// Config for NewVM.
+type Config struct {
+	Name   string
+	Guest  *guest.Guest
+	Meter  *ledger.Meter
+	Model  *costmodel.Model
+	Pool   *hostmem.Pool
+	VFIO   bool
+	Mapped bool // populate all memory at boot (prepared VMs)
+}
+
+// NewVM assembles a VM around a guest. The mechanism is attached
+// afterwards via SetMechanism (mechanisms need the VM to exist first).
+func NewVM(cfg Config) (*VM, error) {
+	if cfg.Guest == nil || cfg.Meter == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("vmm: incomplete config")
+	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = hostmem.NewPool(0)
+	}
+	frames := mem.BytesToFrames(cfg.Guest.TotalBytes())
+	vm := &VM{
+		Name:         cfg.Name,
+		Guest:        cfg.Guest,
+		EPT:          ept.New(frames),
+		Meter:        cfg.Meter,
+		Model:        cfg.Model,
+		Pool:         pool,
+		InitialBytes: cfg.Guest.TotalBytes(),
+	}
+	if cfg.VFIO {
+		vm.IOMMU = iommu.New(frames)
+	}
+	cfg.Guest.TouchFn = vm.populateOnTouch
+	if cfg.Mapped || cfg.VFIO {
+		// A VFIO VM pins and maps all memory upfront (like QEMU with a
+		// passthrough device); cfg.Mapped pre-populates without VFIO.
+		vm.prepopulateAll()
+	}
+	return vm, nil
+}
+
+// SetMechanism attaches the reclamation mechanism.
+func (vm *VM) SetMechanism(m Mechanism) { vm.Mech = m }
+
+// RSS returns the VM's resident-set size (populated guest memory).
+func (vm *VM) RSS() uint64 { return vm.EPT.MappedBytes() }
+
+// Limit returns the current hard memory limit.
+func (vm *VM) Limit() uint64 {
+	if vm.Mech == nil {
+		return vm.InitialBytes
+	}
+	return vm.Mech.Limit()
+}
+
+// SetMemLimit resizes the VM via its mechanism (the QEMU console / QOM
+// API entry point).
+func (vm *VM) SetMemLimit(target uint64) error {
+	if vm.Mech == nil {
+		return fmt.Errorf("vmm: %s has no reclamation mechanism", vm.Name)
+	}
+	cur := vm.Mech.Limit()
+	switch {
+	case target < cur:
+		return vm.Mech.Shrink(target)
+	case target > cur:
+		return vm.Mech.Grow(target)
+	default:
+		return nil
+	}
+}
+
+// StartAuto begins the mechanism's automatic-reclamation cycle on the
+// scheduler. No-op for mechanisms without an auto mode.
+func (vm *VM) StartAuto(sched *sim.Scheduler) {
+	if vm.Mech == nil {
+		return
+	}
+	delay := vm.Mech.AutoTick()
+	if delay <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		d := vm.Mech.AutoTick()
+		if d > 0 {
+			vm.autoEvent = sched.After(d, vm.Name+"/auto", tick)
+		}
+	}
+	vm.autoEvent = sched.After(delay, vm.Name+"/auto", tick)
+}
+
+// StopAuto cancels the automatic-reclamation cycle.
+func (vm *VM) StopAuto(sched *sim.Scheduler) {
+	sched.Cancel(vm.autoEvent)
+	vm.autoEvent = nil
+}
+
+// adjustPool reconciles the host pool with an RSS delta. When the host is
+// overcommitted, populating new pages makes the pool swap out the
+// largest-RSS VM's memory — the swap IO and the direct-reclaim stall are
+// charged to this VM (the faulting one waits for the host's reclaim).
+func (vm *VM) adjustPool(deltaFrames int64) {
+	if deltaFrames == 0 {
+		return
+	}
+	swapped, err := vm.Pool.Adjust(vm.Name, deltaFrames*mem.PageSize)
+	if err != nil {
+		// Swap space is unbounded in this model; only accounting bugs land
+		// here.
+		panic("vmm: " + err.Error())
+	}
+	if swapped > 0 {
+		vm.Meter.Work(ledger.Host, vm.Model.SwapCost(swapped))
+		vm.Meter.Stall(ledger.StallMem, vm.Model.SwapCost(swapped)/4)
+		vm.Meter.Bus(swapped)
+	}
+}
+
+// populateOnTouch is installed as the guest's TouchFn: writing unpopulated
+// memory EPT-faults and populates it. A fully unpopulated area is backed
+// by a transparent huge page; a partially populated one (after
+// virtio-balloon discarded individual 4 KiB pages of it) is filled with
+// base mappings.
+func (vm *VM) populateOnTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
+	gfn := z.GFN(pfn)
+	end := gfn + mem.PFN(frames)
+	for gfn < end {
+		area := gfn.HugeIndex()
+		areaEnd := mem.PFN((area + 1) * mem.FramesPerHuge)
+		chunkEnd := end
+		if areaEnd < chunkEnd {
+			chunkEnd = areaEnd
+		}
+		switch {
+		case vm.EPT.AreaMapped(area) == 0 && !vm.EPT.AreaFragmented(area):
+			// Whole-area THP fault.
+			newly, err := vm.EPT.Fault(gfn)
+			if err != nil {
+				panic("vmm: " + err.Error())
+			}
+			vm.chargeFaultHuge(newly)
+			vm.adjustPool(int64(newly))
+		case vm.EPT.AreaFullyMapped(area):
+			// Already populated; nothing to do.
+		default:
+			// Partially populated area: fill the touched range with base
+			// mappings.
+			var newly int64
+			for p := gfn; p < chunkEnd; p++ {
+				ok, err := vm.EPT.FaultBase(p)
+				if err != nil {
+					panic("vmm: " + err.Error())
+				}
+				if ok {
+					newly++
+					vm.chargeFaultBase()
+				}
+			}
+			vm.adjustPool(newly)
+		}
+		gfn = chunkEnd
+	}
+}
+
+// chargeFaultHuge accounts one huge-page EPT fault: exit, population
+// (allocate + zero 2 MiB host memory), and the EPT map.
+func (vm *VM) chargeFaultHuge(frames uint64) {
+	m, mod := vm.Meter, vm.Model
+	bytes := frames * mem.PageSize
+	m.Work(ledger.Host, mod.EPTFaultExit+mod.EPTMapHuge+mod.PopulateCost(bytes))
+	m.Bus(bytes)
+}
+
+// chargeFaultBase accounts one base-page EPT fault.
+func (vm *VM) chargeFaultBase() {
+	m, mod := vm.Meter, vm.Model
+	m.Work(ledger.Host, mod.EPTFaultExit+mod.EPTMapBase+mod.PopulateCost(mem.PageSize))
+	m.Bus(mem.PageSize)
+}
+
+// prepopulateAll maps and populates the whole guest (and pins it in the
+// IOMMU when present) without charging time — boot-time setup.
+func (vm *VM) prepopulateAll() {
+	for area := uint64(0); area < vm.EPT.Areas(); area++ {
+		newly, err := vm.EPT.MapHuge(area)
+		if err != nil {
+			panic("vmm: " + err.Error())
+		}
+		vm.adjustPool(int64(newly))
+		if vm.IOMMU != nil {
+			if _, err := vm.IOMMU.MapHuge(area); err != nil {
+				panic("vmm: " + err.Error())
+			}
+		}
+	}
+}
+
+// GuestAreaZone resolves a guest-physical huge-frame index to its zone and
+// zone-relative area index.
+func (vm *VM) GuestAreaZone(gArea uint64) (*guest.Zone, uint64, error) {
+	gfn := mem.PFN(gArea * mem.FramesPerHuge)
+	z, ok := vm.Guest.ZoneFor(gfn)
+	if !ok {
+		return nil, 0, fmt.Errorf("vmm: guest area %d outside all zones", gArea)
+	}
+	return z, uint64(gfn-z.Base) / mem.FramesPerHuge, nil
+}
+
+// ZoneArea converts a zone-relative area index to a guest-physical one.
+func ZoneArea(z *guest.Zone, area uint64) uint64 {
+	return (uint64(z.Base) + area*mem.FramesPerHuge) / mem.FramesPerHuge
+}
+
+// DiscardArea removes the host backing of one guest-physical huge frame
+// (EPT side only; costs are charged by the caller, which knows about
+// batching). Returns the number of frames that were populated.
+func (vm *VM) DiscardArea(gArea uint64) uint64 {
+	was, err := vm.EPT.UnmapHuge(gArea)
+	if err != nil {
+		panic("vmm: " + err.Error())
+	}
+	vm.adjustPool(-int64(was))
+	if vm.IOMMU != nil && was > 0 {
+		// Discarding pinned memory behind the IOMMU breaks the device
+		// mapping; DMA-safe mechanisms unmap (or remap) the IOMMU right
+		// after, which clears the mark.
+		start := mem.PFN(gArea * mem.FramesPerHuge)
+		for i := uint64(0); i < mem.FramesPerHuge; i++ {
+			vm.IOMMU.MarkStale(start + mem.PFN(i))
+		}
+	}
+	return was
+}
+
+// DiscardBase removes the host backing of one guest-physical base frame.
+// Returns whether it was populated.
+func (vm *VM) DiscardBase(gfn mem.PFN) bool {
+	was, err := vm.EPT.UnmapBase(gfn)
+	if err != nil {
+		panic("vmm: " + err.Error())
+	}
+	if was {
+		vm.adjustPool(-1)
+		if vm.IOMMU != nil {
+			vm.IOMMU.MarkStale(gfn)
+		}
+	}
+	return was
+}
+
+// PopulateArea maps and populates one guest-physical huge frame (EPT side
+// only; costs charged by the caller). Returns newly populated frames.
+func (vm *VM) PopulateArea(gArea uint64) uint64 {
+	newly, err := vm.EPT.MapHuge(gArea)
+	if err != nil {
+		panic("vmm: " + err.Error())
+	}
+	vm.adjustPool(int64(newly))
+	return newly
+}
+
+// DeviceDMA simulates a passthrough device DMA transfer into the guest
+// frames [gfn, gfn+frames). Without a VFIO device it is an error; with
+// one, it fails if any frame is not coherently mapped in the IOMMU.
+func (vm *VM) DeviceDMA(gfn mem.PFN, frames uint64) error {
+	if vm.IOMMU == nil {
+		return fmt.Errorf("vmm: %s has no passthrough device", vm.Name)
+	}
+	return vm.IOMMU.DMA(gfn, frames)
+}

@@ -1,0 +1,218 @@
+package vmm
+
+import (
+	"testing"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+func newTestVM(t testing.TB, bytes uint64, vfio, mapped bool) *VM {
+	t.Helper()
+	b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(bytes)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(2, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: bytes,
+		Alloc: guest.NewBuddyAdapter(b), Impl: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(Config{
+		Name: "t", Guest: g,
+		Meter:  ledger.NewMeter(sim.NewClock()),
+		Model:  costmodel.Default(),
+		Pool:   hostmem.NewPool(0),
+		VFIO:   vfio,
+		Mapped: mapped,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestNewVMValidation(t *testing.T) {
+	if _, err := NewVM(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestPopulateOnTouchTHP(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	if vm.RSS() != 0 {
+		t.Fatal("fresh VM populated")
+	}
+	r, err := vm.Guest.AllocAnon(0, 4*mem.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// THP: whole 2 MiB areas fault in, and the pool tracks them.
+	if vm.RSS() != 4*mem.MiB {
+		t.Errorf("RSS = %d", vm.RSS())
+	}
+	if vm.Pool.RSS("t") != 4*mem.MiB {
+		t.Errorf("pool = %d", vm.Pool.RSS("t"))
+	}
+	if vm.EPT.Faults == 0 {
+		t.Error("no faults recorded")
+	}
+	// Re-touching costs nothing new.
+	faults := vm.EPT.Faults
+	r.Touch()
+	if vm.EPT.Faults != faults {
+		t.Error("retouch faulted")
+	}
+	r.Free()
+}
+
+func TestPopulateFragmentedAreaUsesBaseFaults(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, true)
+	// Punch a 4 KiB hole: the area is fragmented now.
+	vm.DiscardBase(10)
+	if vm.RSS() != 64*mem.MiB-mem.PageSize {
+		t.Errorf("RSS = %d", vm.RSS())
+	}
+	huge := vm.EPT.MapHugeOps
+	// A guest touch of that area must resolve with base mappings, not a
+	// huge re-collapse.
+	vm.Guest.TouchFn(vm.Guest.Zones()[0], 10, 1)
+	if vm.EPT.MapHugeOps != huge {
+		t.Error("fragmented area re-collapsed to huge")
+	}
+	if vm.RSS() != 64*mem.MiB {
+		t.Errorf("RSS = %d after refault", vm.RSS())
+	}
+}
+
+func TestDiscardAndPopulateArea(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, true)
+	was := vm.DiscardArea(3)
+	if was != mem.FramesPerHuge {
+		t.Errorf("DiscardArea = %d", was)
+	}
+	if vm.Pool.RSS("t") != 64*mem.MiB-mem.HugeSize {
+		t.Errorf("pool = %d", vm.Pool.RSS("t"))
+	}
+	newly := vm.PopulateArea(3)
+	if newly != mem.FramesPerHuge {
+		t.Errorf("PopulateArea = %d", newly)
+	}
+	if vm.Pool.RSS("t") != 64*mem.MiB {
+		t.Errorf("pool = %d after populate", vm.Pool.RSS("t"))
+	}
+}
+
+func TestVFIODiscardMarksStale(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, true, false)
+	// VFIO VMs prepopulate and pin everything at boot.
+	if vm.RSS() != 64*mem.MiB || vm.IOMMU.MappedBytes() != 64*mem.MiB {
+		t.Fatalf("boot state: rss %d iommu %d", vm.RSS(), vm.IOMMU.MappedBytes())
+	}
+	vm.DiscardArea(2)
+	// The IOMMU mapping still exists but is stale: DMA must fail.
+	if err := vm.DeviceDMA(2*mem.FramesPerHuge, 1); err == nil {
+		t.Error("DMA to discarded pinned memory succeeded")
+	}
+	// Repinning (e.g. by an install) heals it.
+	vm.PopulateArea(2)
+	if _, err := vm.IOMMU.MapHuge(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DeviceDMA(2*mem.FramesPerHuge, 1); err != nil {
+		t.Errorf("DMA after repin: %v", err)
+	}
+}
+
+func TestDeviceDMAWithoutVFIO(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	if err := vm.DeviceDMA(0, 1); err == nil {
+		t.Error("DMA without device accepted")
+	}
+}
+
+func TestSetMemLimitDispatch(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	if err := vm.SetMemLimit(32 * mem.MiB); err == nil {
+		t.Error("resize without mechanism accepted")
+	}
+	m := &fakeMech{limit: 64 * mem.MiB}
+	vm.SetMechanism(m)
+	if err := vm.SetMemLimit(32 * mem.MiB); err != nil || m.shrunk != 32*mem.MiB {
+		t.Errorf("shrink dispatch: %v, %d", err, m.shrunk)
+	}
+	m.limit = 32 * mem.MiB
+	if err := vm.SetMemLimit(64 * mem.MiB); err != nil || m.grown != 64*mem.MiB {
+		t.Errorf("grow dispatch: %v, %d", err, m.grown)
+	}
+	if err := vm.SetMemLimit(32 * mem.MiB); err != nil || m.shrunk != 32*mem.MiB {
+		t.Error("no-op resize called mechanism")
+	}
+	if vm.Limit() != 32*mem.MiB {
+		t.Errorf("Limit = %d", vm.Limit())
+	}
+}
+
+type fakeMech struct {
+	limit         uint64
+	shrunk, grown uint64
+	ticks         int
+	tickDelay     sim.Duration
+}
+
+func (f *fakeMech) Name() string           { return "fake" }
+func (f *fakeMech) Properties() Properties { return Properties{} }
+func (f *fakeMech) Shrink(t uint64) error  { f.shrunk = t; return nil }
+func (f *fakeMech) Grow(t uint64) error    { f.grown = t; return nil }
+func (f *fakeMech) Limit() uint64          { return f.limit }
+func (f *fakeMech) AutoTick() sim.Duration {
+	f.ticks++
+	return f.tickDelay
+}
+
+func TestStartStopAuto(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	sched := sim.NewScheduler()
+	// Mechanism without auto mode: nothing scheduled.
+	m := &fakeMech{limit: 64 * mem.MiB}
+	vm.SetMechanism(m)
+	vm.StartAuto(sched)
+	if sched.Pending() != 0 {
+		t.Error("auto scheduled for tickDelay 0")
+	}
+	// With a period: ticks repeat until stopped.
+	m.tickDelay = sim.Second
+	m.ticks = 0
+	vm.StartAuto(sched)
+	sched.RunUntil(sim.Time(5*sim.Second + sim.Second/2))
+	// StartAuto itself calls AutoTick once to get the delay, then 5 ticks.
+	if m.ticks != 6 {
+		t.Errorf("ticks = %d", m.ticks)
+	}
+	vm.StopAuto(sched)
+	sched.RunUntil(sim.Time(10 * sim.Second))
+	if m.ticks != 6 {
+		t.Errorf("ticks after stop = %d", m.ticks)
+	}
+}
+
+func TestGuestAreaZone(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	z, area, err := vm.GuestAreaZone(5)
+	if err != nil || z != vm.Guest.Zones()[0] || area != 5 {
+		t.Errorf("GuestAreaZone: %v %d %v", z, area, err)
+	}
+	if _, _, err := vm.GuestAreaZone(1 << 30); err == nil {
+		t.Error("out-of-range area accepted")
+	}
+	if ZoneArea(vm.Guest.Zones()[0], 7) != 7 {
+		t.Error("ZoneArea")
+	}
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// Ablation benchmarks for the design decisions Sec. 4.2 calls out: the
+// per-type tree reservation policy (vs the original per-core one), the
+// reduced tree size (8 vs 32 areas), and the explicit install hypercall
+// (vs an EPT fault).
+
+// AblationResult compares two LLFree configurations on the clang build.
+type AblationResult struct {
+	Name string
+	// FreeHugeAfterBuild is the number of reclaimable huge frames right
+	// after the build — what the reservation policy's fragmentation
+	// avoidance buys.
+	FreeHugeAfterBuild uint64
+	// FreeHugeAfterDrop is the supply once the page cache is dropped;
+	// the gap to the total is pinned by scattered long-lived allocations.
+	FreeHugeAfterDrop  uint64
+	FragmentationRatio float64
+	FootprintGiBMin    float64
+}
+
+// ReservationAblation runs the clang workload on HyperAlloc with the
+// per-type and per-core reservation policies (Sec. 4.2: "the per-type
+// reservations lead to less fragmentation in the long run").
+func ReservationAblation(units int, seed uint64) ([]AblationResult, error) {
+	configs := []struct {
+		name   string
+		policy hyperalloc.ReservationPolicy
+		trees  int
+	}{
+		{"per-type, 8-area trees (HyperAlloc)", hyperalloc.PerTypeReservation, 8},
+		{"per-core, 8-area trees (orig. LLFree)", hyperalloc.PerCoreReservation, 8},
+		{"per-type, 32-area trees (orig. size)", hyperalloc.PerTypeReservation, 32},
+	}
+	var out []AblationResult
+	for _, c := range configs {
+		cand := ClangCandidate{
+			Name: c.name,
+			Opts: hyperalloc.Options{
+				Candidate:       hyperalloc.CandidateHyperAlloc,
+				AutoReclaim:     true,
+				LLFreePolicy:    c.policy,
+				LLFreeTreeAreas: c.trees,
+			},
+		}
+		res, err := clangWithProbe(cand, ClangConfig{Units: units, Seed: seed, InDepth: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.name, err)
+		}
+		res.Name = c.name
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// clangWithProbe runs the build and probes the allocator state at the end.
+func clangWithProbe(cand ClangCandidate, cfg ClangConfig) (AblationResult, error) {
+	cfg.defaults()
+	r, err := Clang(cand, cfg)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	// Fragmentation metrics from the last samples: huge/small ratio.
+	res := AblationResult{FootprintGiBMin: r.FootprintGiBMin}
+	if r.Small.Last() > 0 {
+		res.FragmentationRatio = r.Huge.Last() / r.Small.Last()
+	}
+	res.FreeHugeAfterBuild = r.FreeHugeAtEnd
+	res.FreeHugeAfterDrop = r.FreeHugeAfterDrop
+	return res, nil
+}
+
+// InstallMicro measures the Sec. 5.3 claim that HyperAlloc's install
+// hypercall is ~6% slower than virtio-mem's EPT fault on the full
+// return+install path of a single huge frame.
+type InstallMicro struct {
+	InstallPerHuge  sim.Duration // HyperAlloc hypercall + monitor populate
+	EPTFaultPerHuge sim.Duration // in-kernel fault populate
+	SlowdownPercent float64
+}
+
+// MeasureInstallMicro runs both single-frame paths.
+func MeasureInstallMicro(seed uint64) (InstallMicro, error) {
+	var out InstallMicro
+
+	// HyperAlloc: soft-reclaim one huge frame, then allocate it (the
+	// allocation blocks on the install hypercall).
+	{
+		sys := hyperalloc.NewSystem(seed)
+		vm, err := sys.NewVM(hyperalloc.Options{Candidate: hyperalloc.CandidateHyperAlloc, Memory: 4 * mem.GiB})
+		if err != nil {
+			return out, err
+		}
+		r, err := vm.Guest.AllocAnon(0, 3*mem.GiB)
+		if err != nil {
+			return out, err
+		}
+		r.Free()
+		if err := vm.SetMemLimit(2 * mem.GiB); err != nil {
+			return out, err
+		}
+		if err := vm.SetMemLimit(4 * mem.GiB); err != nil {
+			return out, err
+		}
+		// The whole Normal zone is soft-reclaimed now, and the guest's
+		// zone order prefers Normal: the next allocations land on evicted
+		// frames and must install.
+		installsBefore := vm.HyperAlloc.Installs
+		const n = 256
+		t0 := sys.Now()
+		reg, err := vm.Guest.AllocAnonUntouched(0, n*mem.HugeSize)
+		if err != nil {
+			return out, err
+		}
+		out.InstallPerHuge = sys.Now().Sub(t0) / n
+		if vm.HyperAlloc.Installs == installsBefore {
+			return out, fmt.Errorf("install micro: no installs triggered")
+		}
+		reg.Free()
+	}
+
+	// virtio-mem: unplug/replug, then touch (EPT-fault populate).
+	{
+		sys := hyperalloc.NewSystem(seed)
+		vm, err := sys.NewVM(hyperalloc.Options{Candidate: hyperalloc.CandidateVirtioMem, Memory: 4 * mem.GiB})
+		if err != nil {
+			return out, err
+		}
+		r, err := vm.Guest.AllocAnon(0, 1*mem.GiB)
+		if err != nil {
+			return out, err
+		}
+		r.Free()
+		if err := vm.SetMemLimit(3 * mem.GiB); err != nil {
+			return out, err
+		}
+		if err := vm.SetMemLimit(4 * mem.GiB); err != nil {
+			return out, err
+		}
+		const n = 256
+		reg, err := vm.Guest.AllocAnonUntouched(0, n*mem.HugeSize)
+		if err != nil {
+			return out, err
+		}
+		t0 := sys.Now()
+		reg.Touch() // EPT faults populate the areas
+		out.EPTFaultPerHuge = sys.Now().Sub(t0) / n
+		reg.Free()
+	}
+	if out.EPTFaultPerHuge > 0 {
+		out.SlowdownPercent = (float64(out.InstallPerHuge)/float64(out.EPTFaultPerHuge) - 1) * 100
+	}
+	return out, nil
+}
+
+// ScanMicro measures the monitor's reclamation-state scan cost per GiB
+// (Sec. 3.3: 18 consecutive cache lines per GiB, "a tiny cache load").
+func ScanMicro(seed uint64) (sim.Duration, error) {
+	sys := hyperalloc.NewSystem(seed)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Candidate: hyperalloc.CandidateHyperAlloc, Memory: 16 * mem.GiB, AutoReclaim: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	// First tick soft-reclaims everything; the second is a pure scan.
+	vm.HyperAlloc.AutoTick()
+	t0 := sys.Now()
+	vm.HyperAlloc.AutoTick()
+	scanOnly := vm.Meter.Ledger().SumIn(ledger.Host, t0, sys.Now())
+	return sim.Duration(scanOnly) / 16, nil
+}

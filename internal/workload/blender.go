@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// BlenderConfig parameterizes the repeated-workload experiment (Sec. 5.5
+// "Repeated Workloads", Fig. 10): three consecutive SPEC2017 blender runs
+// with 4-minute idle gaps, then a page-cache drop — the (micro-)service
+// pattern where VMs idle between invocations.
+type BlenderConfig struct {
+	Memory   uint64       // VM size (default 16 GiB)
+	CPUs     int          // default 12
+	Runs     int          // default 3
+	RunTime  sim.Duration // per-run duration (default 6 min)
+	IdleTime sim.Duration // gap between runs (default 4 min)
+	Seed     uint64
+}
+
+func (c *BlenderConfig) defaults() {
+	if c.Memory == 0 {
+		c.Memory = 16 * mem.GiB
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 12
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.RunTime == 0 {
+		c.RunTime = 6 * 60 * sim.Second
+	}
+	if c.IdleTime == 0 {
+		c.IdleTime = 4 * 60 * sim.Second
+	}
+}
+
+// BlenderResult holds one candidate's Fig. 10 metrics.
+type BlenderResult struct {
+	Candidate       string
+	FootprintGiBMin float64
+	// IdleRSS[i] is the RSS midway through the idle gap after run i —
+	// the elasticity the mechanisms compete on.
+	IdleRSS []uint64
+	// AfterDropRSS is the RSS after the final page-cache drop.
+	AfterDropRSS uint64
+	RSS          *metrics.Series
+	OOMRetries   uint64
+}
+
+// BlenderCandidates returns the Fig. 10 pair: virtio-balloon free-page
+// reporting (default config) vs HyperAlloc automatic reclamation.
+func BlenderCandidates() []ClangCandidate {
+	return []ClangCandidate{
+		{Name: "virtio-balloon", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloon, AutoReclaim: true,
+			ReportingOrder: 9, ReportingDelay: 2 * sim.Second, ReportingCapacity: 32}},
+		{Name: "HyperAlloc", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true}},
+	}
+}
+
+// Blender runs the repeated-workload experiment for one candidate.
+func Blender(cand ClangCandidate, cfg BlenderConfig) (BlenderResult, error) {
+	cfg.defaults()
+	sys := hyperalloc.NewSystem(cfg.Seed*6364136223846793005 + 7)
+	opts := cand.Opts
+	opts.Name = "blender"
+	opts.Memory = cfg.Memory
+	opts.CPUs = cfg.CPUs
+	vm, err := sys.NewVM(opts)
+	if err != nil {
+		return BlenderResult{}, err
+	}
+	rng := sys.RNG.Fork()
+	res := BlenderResult{
+		Candidate: cand.Name,
+		RSS:       &metrics.Series{Name: cand.Name + "/rss"},
+	}
+
+	// Boot state + the scene file read once (it stays cached across runs).
+	if _, err := vm.Guest.AllocAnon(0, 448*mem.MiB); err != nil {
+		return res, err
+	}
+	if _, err := vm.Guest.AllocKernel(0, 64*mem.MiB); err != nil {
+		return res, err
+	}
+	if err := vm.Guest.Cache().Read(0, "scene/barbershop", 1536*mem.MiB); err != nil {
+		return res, err
+	}
+
+	vm.StartAuto()
+	done := false
+	var sample func()
+	sample = func() {
+		res.RSS.Add(sys.Now(), float64(vm.RSS()))
+		if !done {
+			sys.Sched.After(sim.Second, "sample", sample)
+		}
+	}
+	sample()
+
+	var run func(i int)
+	run = func(i int) {
+		if i >= cfg.Runs {
+			// Final idle, then drop the page cache to see the floor.
+			sys.Sched.After(cfg.IdleTime, "drop", func() {
+				vm.Guest.DropCaches()
+				sys.Sched.After(30*sim.Second, "end", func() {
+					res.AfterDropRSS = vm.RSS()
+					done = true
+					sample()
+				})
+			})
+			return
+		}
+		// Blender's allocation behaviour is static (Sec. 5.5): the render
+		// processes allocate their working set up front, hold it for the
+		// run, and exit. 12 ranks ~ 600-800 MiB each.
+		var regions []*hyperalloc.Region
+		for rank := 0; rank < cfg.CPUs; rank++ {
+			r, err := vm.Guest.AllocAnon(rank, uint64(rng.Intn(256)+600)*mem.MiB)
+			if err != nil {
+				res.OOMRetries++
+				continue
+			}
+			regions = append(regions, r)
+		}
+		// Intermediate frames go through the page cache.
+		if err := vm.Guest.Cache().Write(0, fmt.Sprintf("out/frames-%d", i), uint64(rng.Intn(512)+512)*mem.MiB); err != nil {
+			done = true
+			return
+		}
+		sys.Sched.After(cfg.RunTime, "run-end", func() {
+			for _, r := range regions {
+				r.Free()
+			}
+			// Mid-idle RSS probe.
+			sys.Sched.After(cfg.IdleTime/2, "idle-probe", func() {
+				res.IdleRSS = append(res.IdleRSS, vm.RSS())
+				sys.Sched.After(cfg.IdleTime/2, "next-run", func() { run(i + 1) })
+			})
+		})
+	}
+	run(0)
+
+	for !done {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("blender %s: deadlocked", cand.Name)
+		}
+	}
+	vm.StopAuto()
+	res.FootprintGiBMin = res.RSS.IntegralGiBMin()
+	return res, nil
+}

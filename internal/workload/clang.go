@@ -1,0 +1,458 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// ClangConfig parameterizes the clang-16 compilation workload (Sec. 5.5):
+// a parallel compile of many units followed by link jobs, with object
+// files and sources flowing through the page cache. The unit count and
+// sizes are scaled so the observed maximum is close to the VM's 16 GiB
+// ("we reduce the VM's memory to 16 GiB ... the observed maximum of the
+// workload").
+type ClangConfig struct {
+	Memory uint64 // VM size (default 16 GiB)
+	CPUs   int    // vCPUs = parallel jobs (default 12)
+	Units  int    // compile units (default 1800)
+	Links  int    // link jobs (default 3)
+	Seed   uint64
+	// InDepth appends the Fig. 8 tail: wait 200 s, `make clean`, wait
+	// 200 s, drop the page cache, observe for another 100 s.
+	InDepth bool
+	// SamplePeriod for the memory metrics (default 1 s, like the paper).
+	SamplePeriod sim.Duration
+}
+
+func (c *ClangConfig) defaults() {
+	if c.Memory == 0 {
+		c.Memory = 16 * mem.GiB
+	}
+	if c.CPUs == 0 {
+		c.CPUs = 12
+	}
+	if c.Units == 0 {
+		c.Units = 1800
+	}
+	if c.Links == 0 {
+		c.Links = 3
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = sim.Second
+	}
+}
+
+// ClangCandidate names one Fig. 7 configuration.
+type ClangCandidate struct {
+	Name string
+	Opts hyperalloc.Options
+}
+
+// ClangCandidates returns the Fig. 7 candidate set: the two static
+// baselines, virtio-balloon free-page reporting (default o=9 d=2s c=32),
+// the simulated virtio-mem auto mode, and HyperAlloc auto reclamation.
+func ClangCandidates() []ClangCandidate {
+	return []ClangCandidate{
+		{Name: "Buddy baseline", Opts: hyperalloc.Options{Candidate: hyperalloc.CandidateBalloon, Prepared: true}},
+		{Name: "LLFree baseline", Opts: hyperalloc.Options{Candidate: hyperalloc.CandidateHyperAlloc, Prepared: true}},
+		{Name: "virtio-balloon (o=9 d=2000 c=32)", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloon, AutoReclaim: true,
+			ReportingOrder: 9, ReportingDelay: 2 * sim.Second, ReportingCapacity: 32}},
+		{Name: "virtio-mem (simulated auto)", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateVirtioMem, AutoReclaim: true}},
+		{Name: "HyperAlloc", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true}},
+	}
+}
+
+// BalloonSweep returns the Fig. 7 "-extra" configurations sweeping the
+// REPORTING_ORDER/DELAY/CAPACITY parameters.
+func BalloonSweep() []ClangCandidate {
+	mk := func(o int, d sim.Duration, c int) ClangCandidate {
+		return ClangCandidate{
+			Name: fmt.Sprintf("virtio-balloon (o=%d d=%d c=%d)", o, d/sim.Millisecond, c),
+			Opts: hyperalloc.Options{
+				Candidate: hyperalloc.CandidateBalloon, AutoReclaim: true,
+				ReportingOrder: o, ReportingDelay: d, ReportingCapacity: c,
+			},
+		}
+	}
+	// ReportingOrder 0 needs the sentinel -1? No: Options.defaults treats
+	// 0 as "default 9", so o=0 sweeps pass -1... instead the sweep uses
+	// order 0 via the explicit value below (see Options.ReportingOrder).
+	return []ClangCandidate{
+		mk(9, 100*sim.Millisecond, 32),
+		mk(9, 2*sim.Second, 512),
+		mk(9, 100*sim.Millisecond, 512),
+		mkOrder0(2*sim.Second, 512),
+		mkOrder0(100*sim.Millisecond, 32),
+		mkOrder0(2*sim.Second, 32),
+	}
+}
+
+func mkOrder0(d sim.Duration, c int) ClangCandidate {
+	return ClangCandidate{
+		Name: fmt.Sprintf("virtio-balloon (o=0 d=%d c=%d)", d/sim.Millisecond, c),
+		Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloon, AutoReclaim: true,
+			ReportingOrder: -1, // order 0 (see Options.ReportingOrder)
+			ReportingDelay: d, ReportingCapacity: c,
+		},
+	}
+}
+
+// ClangResult holds one run's metrics.
+type ClangResult struct {
+	Candidate string
+	// BuildTime is the wall time of the compilation itself.
+	BuildTime sim.Duration
+	// FootprintGiBMin integrates the RSS over the build (Fig. 7).
+	FootprintGiBMin float64
+	// PeakRSS is the maximum observed RSS.
+	PeakRSS uint64
+	// FinalRSS / AfterCleanRSS / AfterDropRSS capture the Fig. 8 staircase
+	// (only with InDepth).
+	FinalRSS, AfterCleanRSS, AfterDropRSS uint64
+	// UserCPU / SystemCPU approximate the QEMU process CPU times: user =
+	// vCPU compute + guest driver work, system = monitor-side work.
+	UserCPU, SystemCPU sim.Duration
+	// EPTFaults counts second-stage faults over the run.
+	EPTFaults uint64
+	// OOMRetries counts allocation stalls the workload survived.
+	OOMRetries uint64
+	// FreeHugeAtEnd is the guest allocator's supply of entirely free huge
+	// frames right after the build (the ablation's fragmentation metric).
+	FreeHugeAtEnd uint64
+	// FreeHugeAfterDrop is the same supply after the in-depth tail dropped
+	// the page cache: what remains unreclaimable is the residue of
+	// scattered long-lived allocations (only with InDepth).
+	FreeHugeAfterDrop uint64
+	// Series: RSS, Huge (partially used huge frames), Small (allocated),
+	// Cache (page cache), all in bytes at SamplePeriod.
+	RSS, Huge, Small, Cache *metrics.Series
+}
+
+// clangRun is the event-driven build executor.
+type clangRun struct {
+	cfg       ClangConfig
+	vm        *hyperalloc.VM
+	sys       *hyperalloc.System
+	rng       *sim.RNG
+	res       *ClangResult
+	pending   int // compile units not yet started
+	linking   int // link jobs not yet started
+	active    int
+	doneAt    sim.Time
+	failed    error
+	done      bool
+	computeNS int64
+	meta      map[string]*hyperalloc.Region
+}
+
+// Clang runs the compilation workload for one candidate configuration.
+func Clang(cand ClangCandidate, cfg ClangConfig) (ClangResult, error) {
+	cfg.defaults()
+	sys := hyperalloc.NewSystem(cfg.Seed*2654435761 + 99)
+	opts := cand.Opts
+	opts.Name = "clang"
+	opts.Memory = cfg.Memory
+	opts.CPUs = cfg.CPUs
+	vm, err := sys.NewVM(opts)
+	if err != nil {
+		return ClangResult{}, err
+	}
+	res := ClangResult{
+		Candidate: cand.Name,
+		RSS:       &metrics.Series{Name: cand.Name + "/rss"},
+		Huge:      &metrics.Series{Name: cand.Name + "/huge"},
+		Small:     &metrics.Series{Name: cand.Name + "/small"},
+		Cache:     &metrics.Series{Name: cand.Name + "/cache"},
+	}
+	r := &clangRun{
+		cfg: cfg, vm: vm, sys: sys,
+		rng:     sys.RNG.Fork(),
+		res:     &res,
+		pending: cfg.Units,
+		linking: cfg.Links,
+	}
+
+	// Boot state: daemons and kernel working set.
+	if _, err := vm.Guest.AllocAnon(0, 448*mem.MiB); err != nil {
+		return res, err
+	}
+	if _, err := vm.Guest.AllocKernel(0, 96*mem.MiB); err != nil {
+		return res, err
+	}
+	// The build reads the compiler and standard headers once.
+	if err := vm.Guest.Cache().Read(0, "toolchain", 900*mem.MiB); err != nil {
+		return res, err
+	}
+
+	vm.StartAuto()
+	r.sample() // t=0 sample + schedules the next
+
+	// Launch the 12 parallel job slots.
+	for slot := 0; slot < cfg.CPUs; slot++ {
+		s := slot
+		sys.Sched.After(r.rng.DurationRange(0, sim.Second), "job-start", func() {
+			r.nextJob(s)
+		})
+	}
+	// Drive until the build (and the optional in-depth tail) completes.
+	for !r.done && r.failed == nil {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("clang %s: deadlocked with %d units left", cand.Name, r.pending)
+		}
+	}
+	if r.failed != nil {
+		return res, r.failed
+	}
+	vm.StopAuto()
+
+	res.BuildTime = r.doneAt.Sub(0)
+	res.FootprintGiBMin = res.RSS.IntegralGiBMin()
+	res.PeakRSS = uint64(res.RSS.Max())
+	res.UserCPU = sim.Duration(r.computeNS) +
+		sim.Duration(vm.Meter.Ledger().SumIn(ledger.Guest, 0, sys.Now()))
+	res.SystemCPU = sim.Duration(vm.Meter.Ledger().SumIn(ledger.Host, 0, sys.Now()))
+	res.EPTFaults = vm.EPT.Faults
+	return res, nil
+}
+
+// sample records the 1 Hz memory metrics and re-schedules itself until the
+// run completes.
+func (r *clangRun) sample() {
+	now := r.sys.Now()
+	r.res.RSS.Add(now, float64(r.vm.RSS()))
+	r.res.Huge.Add(now, float64(r.vm.Guest.UsedHugeBytes()))
+	r.res.Small.Add(now, float64(r.vm.Guest.UsedBaseBytes()))
+	r.res.Cache.Add(now, float64(r.vm.Guest.Cache().Bytes()))
+	if r.done {
+		return
+	}
+	r.sys.Sched.After(r.cfg.SamplePeriod, "sample", r.sample)
+}
+
+// stretch scales a nominal step duration by the current interference (the
+// o=0 reporting configurations visibly lengthen the build, Fig. 7).
+func (r *clangRun) stretch(d sim.Duration) sim.Duration {
+	now := r.sys.Now()
+	window := sim.Time(0)
+	if now > sim.Time(sim.Second) {
+		window = now - sim.Time(sim.Second)
+	}
+	inf := interferenceIn(r.vm.Meter.Ledger(), window, now)
+	f := ftqFactor(r.sys.Model, inf, r.cfg.CPUs, r.cfg.CPUs)
+	if f < 0.3 {
+		f = 0.3
+	}
+	return sim.Duration(float64(d) / f)
+}
+
+// allocRetry allocates anonymous memory, backing off on OOM like a real
+// process waiting for reclaim.
+func (r *clangRun) allocRetry(cpu int, bytes uint64, then func(*hyperalloc.Region)) {
+	reg, err := r.vm.Guest.AllocAnon(cpu, bytes)
+	if err == nil {
+		then(reg)
+		return
+	}
+	if !errors.Is(err, guest.ErrOOM) {
+		r.failed = err
+		return
+	}
+	r.res.OOMRetries++
+	if r.res.OOMRetries > 2000 {
+		r.failed = fmt.Errorf("clang: persistent OOM: %w", err)
+		return
+	}
+	r.sys.Sched.After(500*sim.Millisecond, "oom-retry", func() {
+		r.allocRetry(cpu, bytes, then)
+	})
+}
+
+// nextJob runs the next compile unit (or link job) on the given slot.
+func (r *clangRun) nextJob(slot int) {
+	if r.failed != nil {
+		return
+	}
+	switch {
+	case r.pending > 0:
+		r.pending--
+		r.compileUnit(slot, r.cfg.Units-r.pending)
+	case r.active == 0 && r.linking > 0:
+		// Links start only once all compile slots drained (make's final
+		// sequential-ish phase).
+		r.linking--
+		r.linkJob(slot, r.cfg.Links-r.linking)
+	case r.active == 0 && r.linking == 0:
+		r.buildFinished()
+	}
+}
+
+// compileUnit models one translation unit: read sources, ramp anonymous
+// memory over the unit's duration, emit the object file, free.
+func (r *clangRun) compileUnit(slot, id int) {
+	r.active++
+	rng := r.rng
+	duration := rng.DurationRange(4*sim.Second, 18*sim.Second)
+	peak := uint64(rng.Intn(448)+160) * mem.MiB // 160 MiB .. 608 MiB
+	r.computeNS += int64(duration)
+
+	// Sources and shared headers through the page cache.
+	if err := r.vm.Guest.Cache().Read(slot, fmt.Sprintf("src/unit-%d.cpp", id), uint64(rng.Intn(1536)+512)*mem.KiB); err != nil {
+		r.failed = err
+		return
+	}
+	if err := r.vm.Guest.Cache().Read(slot, fmt.Sprintf("hdr/group-%d", id%37), uint64(rng.Intn(8)+2)*mem.MiB); err != nil {
+		r.failed = err
+		return
+	}
+	// Short-lived kernel allocations for the process.
+	kern, err := r.vm.Guest.AllocKernel(slot, uint64(rng.Intn(48)+16)*mem.KiB)
+	if err != nil {
+		r.failed = err
+		return
+	}
+
+	const steps = 3
+	var held []*hyperalloc.Region
+	var step func(i int)
+	step = func(i int) {
+		if r.failed != nil {
+			return
+		}
+		if i < steps {
+			r.allocRetry(slot, peak/steps, func(reg *hyperalloc.Region) {
+				held = append(held, reg)
+				r.sys.Sched.After(r.stretch(duration/steps), "compile-step", func() { step(i + 1) })
+			})
+			return
+		}
+		// Emit the object file; its inode/dentry metadata stays allocated
+		// until `make clean` removes the file.
+		obj := fmt.Sprintf("obj/unit-%d.o", id)
+		if err := r.vm.Guest.Cache().Write(slot, obj, uint64(rng.Intn(2048)+256)*mem.KiB); err != nil {
+			r.failed = err
+			return
+		}
+		if meta, err := r.vm.Guest.AllocKernel(slot, 16*mem.KiB); err == nil {
+			r.fileMeta(obj, meta)
+		}
+		for _, reg := range held {
+			reg.Free()
+		}
+		kern.Free()
+		r.active--
+		r.nextJob(slot)
+	}
+	step(0)
+}
+
+// linkJob models one large link: a long ramp to several GiB with a big
+// output written through the cache.
+func (r *clangRun) linkJob(slot, id int) {
+	r.active++
+	rng := r.rng
+	duration := rng.DurationRange(70*sim.Second, 110*sim.Second)
+	peak := uint64(rng.Intn(3)+4) * mem.GiB // 4..6 GiB
+	r.computeNS += int64(duration)
+
+	const steps = 6
+	var held []*hyperalloc.Region
+	var step func(i int)
+	step = func(i int) {
+		if r.failed != nil {
+			return
+		}
+		if i < steps {
+			r.allocRetry(slot, peak/steps, func(reg *hyperalloc.Region) {
+				held = append(held, reg)
+				r.sys.Sched.After(r.stretch(duration/steps), "link-step", func() { step(i + 1) })
+			})
+			return
+		}
+		bin := fmt.Sprintf("bin/output-%d", id)
+		if err := r.vm.Guest.Cache().Write(slot, bin, uint64(rng.Intn(768)+512)*mem.MiB); err != nil {
+			r.failed = err
+			return
+		}
+		if meta, err := r.vm.Guest.AllocKernel(slot, 16*mem.KiB); err == nil {
+			r.fileMeta(bin, meta)
+		}
+		for _, reg := range held {
+			reg.Free()
+		}
+		r.active--
+		r.nextJob(slot)
+	}
+	step(0)
+}
+
+// freeHugeSupply counts the guest's entirely free huge frames across
+// zones, independent of allocator type.
+func freeHugeSupply(vm *hyperalloc.VM) uint64 {
+	var n uint64
+	for _, z := range vm.Guest.Zones() {
+		switch impl := z.Impl.(type) {
+		case *guest.LLFreeAdapter:
+			n += impl.A.FreeHugeCount()
+		case *buddy.Alloc:
+			n += impl.FreeAreaCount()
+		}
+	}
+	return n
+}
+
+// fileMeta tracks the slab metadata belonging to a build artifact.
+func (r *clangRun) fileMeta(name string, reg *hyperalloc.Region) {
+	if r.meta == nil {
+		r.meta = make(map[string]*hyperalloc.Region)
+	}
+	r.meta[name] = reg
+}
+
+// buildFinished ends the build or starts the Fig. 8 in-depth tail.
+func (r *clangRun) buildFinished() {
+	if r.doneAt != 0 {
+		return
+	}
+	r.doneAt = r.sys.Now()
+	r.res.FreeHugeAtEnd = freeHugeSupply(r.vm)
+	if !r.cfg.InDepth {
+		r.done = true
+		r.sample()
+		return
+	}
+	// In-depth tail: 200 s idle, make clean, 200 s idle, drop caches,
+	// 100 s observation.
+	r.sys.Sched.After(200*sim.Second, "make-clean", func() {
+		r.res.FinalRSS = r.vm.RSS()
+		r.vm.Guest.Cache().RemovePrefix("obj/")
+		r.vm.Guest.Cache().RemovePrefix("bin/")
+		for name, reg := range r.meta {
+			if len(name) >= 4 && (name[:4] == "obj/" || name[:4] == "bin/") {
+				reg.Free()
+				delete(r.meta, name)
+			}
+		}
+		r.sys.Sched.After(200*sim.Second, "drop-caches", func() {
+			r.res.AfterCleanRSS = r.vm.RSS()
+			r.vm.Guest.DropCaches()
+			r.sys.Sched.After(100*sim.Second, "tail-end", func() {
+				r.res.AfterDropRSS = r.vm.RSS()
+				r.res.FreeHugeAfterDrop = freeHugeSupply(r.vm)
+				r.done = true
+				r.sample()
+			})
+		})
+	})
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// InflateConfig parameterizes the Fig. 4 microbenchmarks.
+type InflateConfig struct {
+	// Memory is the VM size (default 20 GiB).
+	Memory uint64
+	// Shrunk is the shrink target (default 2 GiB).
+	Shrunk uint64
+	// Touched is how much guest memory the preparation writes (default
+	// 19 GiB — "requesting all 20 GiB would trigger an OOM error").
+	Touched uint64
+	// Reps is the number of repetitions (paper: 10).
+	Reps int
+	// Seed for determinism.
+	Seed uint64
+}
+
+func (c *InflateConfig) defaults() {
+	if c.Memory == 0 {
+		c.Memory = 20 * mem.GiB
+	}
+	if c.Shrunk == 0 {
+		c.Shrunk = 2 * mem.GiB
+	}
+	if c.Touched == 0 {
+		c.Touched = 19 * mem.GiB
+	}
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+}
+
+// InflateResult holds the four Fig. 4 rates of one candidate.
+type InflateResult struct {
+	Candidate        string
+	Reclaim          metrics.Rate // shrink with memory present
+	ReclaimUntouched metrics.Rate // shrink after a reclaim+grow cycle
+	Return           metrics.Rate // grow without touching
+	ReturnInstall    metrics.Rate // grow + allocate + write every frame
+}
+
+// Inflate runs the Fig. 4 reclamation-speed microbenchmarks for one
+// candidate. Each repetition measures, in order:
+//
+//  1. Reclaim:           shrink Memory -> Shrunk with Touched bytes present
+//  2. Return:            grow back without touching
+//  3. Reclaim untouched: shrink again (nothing was faulted back in)
+//  4. Return+Install:    grow, then allocate and write Touched bytes
+//
+// All rates are virtual-time rates over the resized amount.
+func Inflate(spec CandidateSpec, cfg InflateConfig) (InflateResult, error) {
+	cfg.defaults()
+	resized := cfg.Memory - cfg.Shrunk
+	res := InflateResult{Candidate: spec.Label()}
+	var reclaim, reclaimUn, ret, retInstall []sim.Duration
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		sys := hyperalloc.NewSystem(cfg.Seed + uint64(rep))
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:      fmt.Sprintf("inflate-%d", rep),
+			Candidate: spec.Candidate,
+			Memory:    cfg.Memory,
+			VFIO:      spec.VFIO,
+		})
+		if err != nil {
+			return res, err
+		}
+		clock := sys.Sched.Clock()
+		measure := func(out *[]sim.Duration, fn func() error) error {
+			t0 := clock.Now()
+			if err := fn(); err != nil {
+				return err
+			}
+			*out = append(*out, clock.Now().Sub(t0))
+			return nil
+		}
+
+		// Preparation: make the memory present by writing into it.
+		r, err := vm.Guest.AllocAnon(0, cfg.Touched)
+		if err != nil {
+			return res, fmt.Errorf("%s prep: %w", spec.Label(), err)
+		}
+		r.Free()
+
+		// 1. Reclaim (touched).
+		if err := measure(&reclaim, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
+			return res, fmt.Errorf("%s reclaim: %w", spec.Label(), err)
+		}
+		// 2. Return.
+		if err := measure(&ret, func() error { return vm.SetMemLimit(cfg.Memory) }); err != nil {
+			return res, fmt.Errorf("%s return: %w", spec.Label(), err)
+		}
+		// 3. Reclaim untouched.
+		if err := measure(&reclaimUn, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
+			return res, fmt.Errorf("%s reclaim-untouched: %w", spec.Label(), err)
+		}
+		// 4. Return + Install: grow and have a single-threaded guest
+		// kernel module allocate and write every 4 KiB frame.
+		if err := measure(&retInstall, func() error {
+			if err := vm.SetMemLimit(cfg.Memory); err != nil {
+				return err
+			}
+			r, err := vm.Guest.AllocAnon(0, cfg.Touched)
+			if err != nil {
+				return err
+			}
+			// The populate/install costs were charged by the touch and
+			// install paths; the guest's own writes move at TouchGiBs.
+			vm.Meter.Work(ledger.Guest, sys.Model.TouchCost(cfg.Touched))
+			r.Free()
+			return nil
+		}); err != nil {
+			return res, fmt.Errorf("%s return+install: %w", spec.Label(), err)
+		}
+	}
+
+	res.Reclaim = metrics.RateOf(resized, reclaim)
+	res.Return = metrics.RateOf(resized, ret)
+	res.ReclaimUntouched = metrics.RateOf(resized, reclaimUn)
+	res.ReturnInstall = metrics.RateOf(resized, retInstall)
+	return res, nil
+}
+
+// InflateAll runs the benchmark for every Fig. 4 candidate.
+func InflateAll(cfg InflateConfig) ([]InflateResult, error) {
+	var out []InflateResult
+	for _, spec := range Fig4Candidates() {
+		r, err := Inflate(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

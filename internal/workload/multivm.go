@@ -1,0 +1,311 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// MultiVMConfig parameterizes the multi-VM packing experiment (Sec. 5.6,
+// Fig. 11): three 16 GiB VMs on one host each compile clang three times
+// with 2 h gaps; the peaks either coincide (worst case) or are offset by
+// 40 min (best case).
+type MultiVMConfig struct {
+	VMs          int          // default 3
+	Memory       uint64       // per VM (default 16 GiB)
+	Builds       int          // builds per VM (default 3)
+	Gap          sim.Duration // pause between a VM's builds (default 2 h)
+	Offset       sim.Duration // start offset between VMs (0 = simultaneous)
+	Units        int          // compile units per build (default 1800)
+	Seed         uint64
+	SamplePeriod sim.Duration // default 10 s (long experiment)
+}
+
+func (c *MultiVMConfig) defaults() {
+	if c.VMs == 0 {
+		c.VMs = 3
+	}
+	if c.Memory == 0 {
+		c.Memory = 16 * mem.GiB
+	}
+	if c.Builds == 0 {
+		c.Builds = 3
+	}
+	if c.Gap == 0 {
+		c.Gap = 2 * 3600 * sim.Second
+	}
+	if c.Units == 0 {
+		c.Units = 1800
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 10 * sim.Second
+	}
+}
+
+// MultiVMResult holds one candidate's Fig. 11 metrics.
+type MultiVMResult struct {
+	Candidate       string
+	PeakBytes       uint64  // accumulated peak RSS across VMs
+	FootprintGiBMin float64 // accumulated footprint
+	Total           *metrics.Series
+	PerVM           []*metrics.Series
+	// ExtraVMs is how many additional 16 GiB-provisioned VMs would have
+	// fit under the 48 GiB host budget at the observed peak.
+	ExtraVMs int
+}
+
+// MultiVMCandidates returns the Fig. 11 trio: no ballooning,
+// virtio-balloon free-page reporting, and HyperAlloc.
+func MultiVMCandidates() []ClangCandidate {
+	return []ClangCandidate{
+		{Name: "no ballooning", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloon, Prepared: false}},
+		{Name: "virtio-balloon", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloon, AutoReclaim: true,
+			ReportingOrder: 9, ReportingDelay: 2 * sim.Second, ReportingCapacity: 32}},
+		{Name: "HyperAlloc", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true}},
+	}
+}
+
+// MultiVM runs the packing experiment for one candidate: VMs share the
+// system clock; each runs the clang build workload repeatedly.
+func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
+	cfg.defaults()
+	sys := hyperalloc.NewSystem(cfg.Seed*0x9e3779b97f4a7c15 + 3)
+	res := MultiVMResult{
+		Candidate: cand.Name,
+		Total:     &metrics.Series{Name: cand.Name + "/total"},
+	}
+
+	type vmRun struct {
+		vm     *hyperalloc.VM
+		driver *multiBuildDriver
+	}
+	var runs []*vmRun
+	for i := 0; i < cfg.VMs; i++ {
+		opts := cand.Opts
+		opts.Name = fmt.Sprintf("vm%d", i)
+		opts.Memory = cfg.Memory
+		opts.CPUs = 12
+		vm, err := sys.NewVM(opts)
+		if err != nil {
+			return res, err
+		}
+		d, err := newMultiBuildDriver(vm, sys, cfg, sys.RNG.Fork())
+		if err != nil {
+			return res, err
+		}
+		vm.StartAuto()
+		start := sim.Duration(i) * cfg.Offset
+		sys.Sched.After(start+sim.Millisecond, opts.Name+"/start", func() { d.startBuild() })
+		runs = append(runs, &vmRun{vm: vm, driver: d})
+		res.PerVM = append(res.PerVM, &metrics.Series{Name: opts.Name})
+	}
+
+	finished := func() bool {
+		for _, r := range runs {
+			if !r.driver.finished() {
+				return false
+			}
+		}
+		return true
+	}
+	var sample func()
+	sample = func() {
+		var total float64
+		for i, r := range runs {
+			rss := float64(r.vm.RSS())
+			res.PerVM[i].Add(sys.Now(), rss)
+			total += rss
+		}
+		res.Total.Add(sys.Now(), total)
+		if !finished() {
+			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
+		}
+	}
+	sample()
+
+	for !finished() {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("multivm %s: deadlocked", cand.Name)
+		}
+		for _, r := range runs {
+			if r.driver.failed != nil {
+				return res, r.driver.failed
+			}
+		}
+	}
+	res.PeakBytes = uint64(res.Total.Max())
+	res.FootprintGiBMin = res.Total.IntegralGiBMin()
+	// How many extra 16 GiB VMs fit into the 48 GiB provisioning at peak.
+	host := uint64(cfg.VMs) * cfg.Memory
+	if res.PeakBytes < host {
+		res.ExtraVMs = int((host - res.PeakBytes) / cfg.Memory)
+	}
+	return res, nil
+}
+
+// multiBuildDriver runs `Builds` clang compilations inside one VM on the
+// shared scheduler, reusing the clangRun executor per build.
+type multiBuildDriver struct {
+	vm      *hyperalloc.VM
+	sys     *hyperalloc.System
+	cfg     MultiVMConfig
+	rng     *sim.RNG
+	left    int
+	running bool
+	failed  error
+}
+
+func newMultiBuildDriver(vm *hyperalloc.VM, sys *hyperalloc.System, cfg MultiVMConfig, rng *sim.RNG) (*multiBuildDriver, error) {
+	// Boot state.
+	if _, err := vm.Guest.AllocAnon(0, 448*mem.MiB); err != nil {
+		return nil, err
+	}
+	if err := vm.Guest.Cache().Read(0, "toolchain", 900*mem.MiB); err != nil {
+		return nil, err
+	}
+	return &multiBuildDriver{vm: vm, sys: sys, cfg: cfg, rng: rng, left: cfg.Builds}, nil
+}
+
+func (d *multiBuildDriver) finished() bool { return d.left == 0 && !d.running }
+
+// startBuild launches one in-place clang build (shared-scheduler variant
+// of the standalone Clang runner).
+func (d *multiBuildDriver) startBuild() {
+	if d.left == 0 {
+		return
+	}
+	d.left--
+	d.running = true
+	b := &inlineBuild{
+		vm: d.vm, sys: d.sys, rng: d.rng,
+		pending: d.cfg.Units, linking: 3,
+		onDone: func() {
+			d.running = false
+			// Build artifacts are cleaned between builds; the cache cools
+			// down during the gap.
+			d.vm.Guest.Cache().RemovePrefix("obj/")
+			d.vm.Guest.Cache().RemovePrefix("bin/")
+			if d.left > 0 {
+				d.sys.Sched.After(d.cfg.Gap, "next-build", d.startBuild)
+			}
+		},
+		onFail: func(err error) { d.failed = err },
+	}
+	for slot := 0; slot < 12; slot++ {
+		s := slot
+		d.sys.Sched.After(d.rng.DurationRange(0, sim.Second), "job", func() { b.nextJob(s) })
+	}
+}
+
+// inlineBuild is a trimmed clang build running on a shared scheduler
+// (no sampling or in-depth tail of its own).
+type inlineBuild struct {
+	vm         *hyperalloc.VM
+	sys        *hyperalloc.System
+	rng        *sim.RNG
+	pending    int
+	linking    int
+	active     int
+	id         int
+	oomRetries int
+	onDone     func()
+	onFail     func(error)
+}
+
+func (b *inlineBuild) nextJob(slot int) {
+	switch {
+	case b.pending > 0:
+		b.pending--
+		b.id++
+		b.compile(slot, b.id)
+	case b.active == 0 && b.linking > 0:
+		b.linking--
+		b.link(slot, b.linking)
+	case b.active == 0 && b.linking == 0:
+		if b.onDone != nil {
+			done := b.onDone
+			b.onDone = nil
+			done()
+		}
+	}
+}
+
+func (b *inlineBuild) alloc(slot int, bytes uint64, then func(*hyperalloc.Region)) {
+	reg, err := b.vm.Guest.AllocAnon(slot, bytes)
+	if err == nil {
+		then(reg)
+		return
+	}
+	b.oomRetries++
+	if b.oomRetries > 5000 {
+		b.onFail(fmt.Errorf("multivm build: persistent OOM: %w", err))
+		return
+	}
+	b.sys.Sched.After(500*sim.Millisecond, "oom-retry", func() { b.alloc(slot, bytes, then) })
+}
+
+func (b *inlineBuild) compile(slot, id int) {
+	b.active++
+	rng := b.rng
+	duration := rng.DurationRange(4*sim.Second, 18*sim.Second)
+	peak := uint64(rng.Intn(448)+160) * mem.MiB
+	if err := b.vm.Guest.Cache().Read(slot, fmt.Sprintf("src/u-%d.cpp", id%2048), uint64(rng.Intn(1536)+512)*mem.KiB); err != nil {
+		b.onFail(err)
+		return
+	}
+	var held []*hyperalloc.Region
+	var step func(i int)
+	step = func(i int) {
+		if i < 3 {
+			b.alloc(slot, peak/3, func(reg *hyperalloc.Region) {
+				held = append(held, reg)
+				b.sys.Sched.After(duration/3, "step", func() { step(i + 1) })
+			})
+			return
+		}
+		if err := b.vm.Guest.Cache().Write(slot, fmt.Sprintf("obj/u-%d.o", id), uint64(rng.Intn(2048)+256)*mem.KiB); err != nil {
+			b.onFail(err)
+			return
+		}
+		for _, r := range held {
+			r.Free()
+		}
+		b.active--
+		b.nextJob(slot)
+	}
+	step(0)
+}
+
+func (b *inlineBuild) link(slot, id int) {
+	b.active++
+	rng := b.rng
+	duration := rng.DurationRange(70*sim.Second, 110*sim.Second)
+	peak := uint64(rng.Intn(3)+4) * mem.GiB
+	var held []*hyperalloc.Region
+	var step func(i int)
+	step = func(i int) {
+		if i < 6 {
+			b.alloc(slot, peak/6, func(reg *hyperalloc.Region) {
+				held = append(held, reg)
+				b.sys.Sched.After(duration/6, "link-step", func() { step(i + 1) })
+			})
+			return
+		}
+		if err := b.vm.Guest.Cache().Write(slot, fmt.Sprintf("bin/out-%d", id), uint64(rng.Intn(768)+512)*mem.MiB); err != nil {
+			b.onFail(err)
+			return
+		}
+		for _, r := range held {
+			r.Free()
+		}
+		b.active--
+		b.nextJob(slot)
+	}
+	step(0)
+}

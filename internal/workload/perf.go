@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// PerfConfig parameterizes the STREAM/FTQ guest-impact experiments
+// (Sec. 5.4): a prepared 20 GiB VM is shrunk to 2 GiB at 20 s and grown
+// back at 90 s while the workload samples its own throughput.
+type PerfConfig struct {
+	Threads  int          // workload threads (paper: 1, 4, 12)
+	Memory   uint64       // VM size (default 20 GiB)
+	Shrunk   uint64       // shrink target (default 2 GiB)
+	ShrinkAt sim.Duration // default 20 s
+	GrowAt   sim.Duration // default 90 s
+	Total    sim.Duration // default 140 s
+	Step     sim.Duration // sample interval (default: STREAM 250 ms, FTQ 128 ms)
+	Seed     uint64
+}
+
+func (c *PerfConfig) defaults(step sim.Duration) {
+	if c.Threads == 0 {
+		c.Threads = 12
+	}
+	if c.Memory == 0 {
+		c.Memory = 20 * mem.GiB
+	}
+	if c.Shrunk == 0 {
+		c.Shrunk = 2 * mem.GiB
+	}
+	if c.ShrinkAt == 0 {
+		c.ShrinkAt = 20 * sim.Second
+	}
+	if c.GrowAt == 0 {
+		c.GrowAt = 90 * sim.Second
+	}
+	if c.Total == 0 {
+		c.Total = 140 * sim.Second
+	}
+	if c.Step == 0 {
+		c.Step = step
+	}
+}
+
+// PerfResult is one candidate/thread-count cell of Fig. 5/6 and Table 2.
+type PerfResult struct {
+	Candidate string
+	Threads   int
+	// Series holds the per-interval samples (GB/s for STREAM, e6 work
+	// units for FTQ).
+	Series *metrics.Series
+	// Baseline is the unresized throughput.
+	Baseline float64
+	// P1 is the 1st percentile of the samples (Table 2).
+	P1 float64
+	// ShrinkTook / GrowTook are the resize durations.
+	ShrinkTook sim.Duration
+	GrowTook   sim.Duration
+	// ShrinkErr records partial reclamation (nil if the target was met).
+	ShrinkErr error
+	// FinishAt is when the workload completes a fixed amount of work
+	// (120 s at baseline speed): interference delays it (the paper's
+	// "STREAM finishes ~8.9 s faster" comparison).
+	FinishAt sim.Duration
+}
+
+// Stream runs the customized STREAM-copy experiment for one candidate.
+func Stream(spec CandidateSpec, cfg PerfConfig) (PerfResult, error) {
+	return perfRun(spec, cfg, 250*sim.Millisecond, true)
+}
+
+// FTQ runs the fixed-time-quantum CPU-work experiment for one candidate.
+// The 2^28-cycle quantum at 2.1 GHz is ~128 ms.
+func FTQ(spec CandidateSpec, cfg PerfConfig) (PerfResult, error) {
+	return perfRun(spec, cfg, 128*sim.Millisecond, false)
+}
+
+func perfRun(spec CandidateSpec, cfg PerfConfig, defaultStep sim.Duration, stream bool) (PerfResult, error) {
+	cfg.defaults(defaultStep)
+	sys := hyperalloc.NewSystem(cfg.Seed + uint64(cfg.Threads)*131)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name:      "perf",
+		Candidate: spec.Candidate,
+		Memory:    cfg.Memory,
+		VFIO:      spec.VFIO,
+	})
+	if err != nil {
+		return PerfResult{}, err
+	}
+	rng := sys.RNG.Fork()
+	if err := SPECPrep(vm, rng); err != nil {
+		return PerfResult{}, fmt.Errorf("%s: %w", spec.Label(), err)
+	}
+	// The workload's own buffer (STREAM's arrays / FTQ's counters), kept
+	// small enough that the 2 GiB shrink target stays reachable.
+	vm.Meter.Freeze(true)
+	if _, err := vm.Guest.AllocAnon(0, 1*mem.GiB); err != nil {
+		return PerfResult{}, fmt.Errorf("%s buffer: %w", spec.Label(), err)
+	}
+	vm.Meter.Freeze(false)
+	vm.Meter.Ledger().Reset()
+
+	res := PerfResult{Candidate: spec.Label(), Threads: cfg.Threads}
+	if vm.Mech != nil {
+		sys.Sched.At(sim.Time(cfg.ShrinkAt), "shrink", func() {
+			t0 := sys.Now()
+			res.ShrinkErr = vm.SetMemLimit(cfg.Shrunk)
+			res.ShrinkTook = sys.Now().Sub(t0)
+		})
+		sys.Sched.At(sim.Time(cfg.GrowAt), "grow", func() {
+			t0 := sys.Now()
+			if err := vm.SetMemLimit(cfg.Memory); err != nil {
+				res.ShrinkErr = err
+			}
+			res.GrowTook = sys.Now().Sub(t0)
+		})
+	}
+	sys.RunUntil(sim.Time(cfg.Total))
+
+	model := sys.Model
+	baseMap := model.StreamBaselineGBs
+	if !stream {
+		baseMap = model.FTQBaselineWork
+	}
+	res.Baseline = sens(baseMap, cfg.Threads)
+	factor := func(inf interference) float64 {
+		if stream {
+			return streamFactor(model, inf, cfg.Threads, vm.Guest.CPUs())
+		}
+		return ftqFactor(model, inf, cfg.Threads, vm.Guest.CPUs())
+	}
+	res.Series = sampleSeries(res.Candidate, vm.Meter.Ledger(), cfg.Total, cfg.Step,
+		res.Baseline, rng, model, factor)
+	res.P1 = metrics.Percentile(res.Series.Values(), 1)
+
+	// Fixed-work completion: 120 s worth of baseline throughput.
+	target := res.Baseline * (120 * sim.Second).Seconds()
+	var done float64
+	res.FinishAt = cfg.Total // if it never finishes within the window
+	for _, p := range res.Series.Points {
+		done += p.V * cfg.Step.Seconds()
+		if done >= target {
+			res.FinishAt = sim.Duration(p.T)
+			break
+		}
+	}
+	return res, nil
+}

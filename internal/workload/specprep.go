@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// SPECPrep simulates the preparation step of Sec. 5.4: "We execute 9
+// memory-intensive SPECrate2017 benchmarks ... This preparation grows the
+// VM to its maximum size and randomizes the guest's allocator state."
+//
+// Nine rounds of mixed-lifetime allocations are issued and mostly freed in
+// a shuffled order, kernel metadata is sprinkled in, and the page cache is
+// filled with benchmark inputs. The end state: the VM is fully populated,
+// the allocator state is randomized, and the page cache holds most of the
+// otherwise-free memory.
+//
+// The meter is frozen for the duration (the warm-up happens before the
+// measured window) and the ledger is reset afterwards.
+func SPECPrep(vm *hyperalloc.VM, rng *sim.RNG) error {
+	vm.Meter.Freeze(true)
+	defer func() {
+		vm.Meter.Freeze(false)
+		vm.Meter.Ledger().Reset()
+	}()
+
+	total := vm.Guest.TotalBytes()
+	// Target ~85% of memory for the benchmark working sets ("as many
+	// instances as needed to consume close to 19 GiB").
+	working := total * 85 / 100
+
+	for round := 0; round < 9; round++ {
+		var regions []*hyperalloc.Region
+		var allocated uint64
+		for allocated < working {
+			// SPEC instances mix large anonymous sets with small kernel
+			// allocations.
+			sz := uint64(rng.Intn(48)+16) * 8 * mem.MiB // 128 MiB .. 512 MiB
+			if allocated+sz > working {
+				sz = working - allocated
+			}
+			if sz == 0 {
+				break
+			}
+			r, err := vm.Guest.AllocAnon(rng.Intn(vm.Guest.CPUs()), sz)
+			if err != nil {
+				return fmt.Errorf("spec prep round %d: %w", round, err)
+			}
+			regions = append(regions, r)
+			allocated += sz
+			if rng.Intn(4) == 0 {
+				k, err := vm.Guest.AllocKernel(rng.Intn(vm.Guest.CPUs()), uint64(rng.Intn(64)+4)*mem.KiB)
+				if err != nil {
+					return fmt.Errorf("spec prep kernel alloc: %w", err)
+				}
+				// Most kernel allocations die with the round; one in eight
+				// survives — the long-lived metadata that provokes
+				// huge-frame fragmentation (Sec. 4.2).
+				if rng.Intn(8) != 0 {
+					regions = append(regions, k)
+				}
+			}
+		}
+		// Free in shuffled order to randomize the free lists.
+		rng.Shuffle(len(regions), func(i, j int) {
+			regions[i], regions[j] = regions[j], regions[i]
+		})
+		for _, r := range regions {
+			r.Free()
+		}
+		// The benchmarks read their inputs: the page cache grows.
+		if err := vm.Guest.Cache().Read(0, fmt.Sprintf("spec/input-%d", round), uint64(rng.Intn(512)+256)*mem.MiB); err != nil {
+			return fmt.Errorf("spec prep cache: %w", err)
+		}
+	}
+	// Long-lived daemon and kernel state (~a few hundred MiB) stays
+	// allocated for the rest of the experiment.
+	if _, err := vm.Guest.AllocAnon(0, 384*mem.MiB); err != nil {
+		return err
+	}
+	if _, err := vm.Guest.AllocKernel(0, 64*mem.MiB); err != nil {
+		return err
+	}
+	return nil
+}

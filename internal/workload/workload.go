@@ -1,0 +1,182 @@
+// Package workload implements the evaluation workloads of the paper:
+// the inflate microbenchmarks (Fig. 4), STREAM and FTQ with concurrent
+// resizing (Fig. 5/6, Table 2), the clang compilation with automatic
+// reclamation (Fig. 7/8/9), repeated blender runs (Fig. 10), and the
+// multi-VM packing experiment (Fig. 11).
+//
+// Workload performance samples are derived from the interference ledger:
+// mechanisms charge stalls, guest-driver work, and bus traffic while they
+// run; the samplers scale each interval's baseline throughput by the
+// charges that landed in it (sensitivities in costmodel). This keeps the
+// coupling mechanistic — a mechanism that issues fewer syscalls stalls
+// the workload less — without simulating every load/store.
+package workload
+
+import (
+	"hyperalloc"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+)
+
+// CandidateSpec selects one evaluation configuration.
+type CandidateSpec struct {
+	Candidate hyperalloc.Candidate
+	VFIO      bool
+}
+
+// Label returns the display name ("virtio-mem+VFIO" style).
+func (c CandidateSpec) Label() string {
+	if c.VFIO {
+		return string(c.Candidate) + "+VFIO"
+	}
+	return string(c.Candidate)
+}
+
+// Fig4Candidates returns the candidate set of the inflate benchmark.
+func Fig4Candidates() []CandidateSpec {
+	return []CandidateSpec{
+		{Candidate: hyperalloc.CandidateBalloon},
+		{Candidate: hyperalloc.CandidateBalloonHuge},
+		{Candidate: hyperalloc.CandidateVirtioMem},
+		{Candidate: hyperalloc.CandidateVirtioMem, VFIO: true},
+		{Candidate: hyperalloc.CandidateHyperAlloc},
+		{Candidate: hyperalloc.CandidateHyperAlloc, VFIO: true},
+	}
+}
+
+// PerfCandidates returns the candidate set of the STREAM/FTQ benchmarks
+// (Table 2 without the baseline row).
+func PerfCandidates() []CandidateSpec {
+	return []CandidateSpec{
+		{Candidate: hyperalloc.CandidateBalloon},
+		{Candidate: hyperalloc.CandidateBalloonHuge},
+		{Candidate: hyperalloc.CandidateVirtioMem},
+		{Candidate: hyperalloc.CandidateVirtioMem, VFIO: true},
+		{Candidate: hyperalloc.CandidateHyperAlloc},
+		{Candidate: hyperalloc.CandidateHyperAlloc, VFIO: true},
+	}
+}
+
+// interference aggregates the ledger charges of one sample interval.
+type interference struct {
+	CPUStallFrac float64 // fraction of the interval all vCPUs were stalled
+	MemStallFrac float64 // fraction the memory subsystem was stalled
+	GuestBusy    float64 // vCPUs' worth of guest-driver work (0..cpus)
+	BusGBs       float64 // mechanism bus traffic rate
+}
+
+// interferenceIn summarizes the ledger over [t0, t1).
+func interferenceIn(l *ledger.Ledger, t0, t1 sim.Time) interference {
+	dt := float64(t1 - t0)
+	if dt <= 0 {
+		return interference{}
+	}
+	return interference{
+		CPUStallFrac: clamp01(float64(l.SumIn(ledger.StallCPU, t0, t1)) / dt),
+		MemStallFrac: clamp01(float64(l.SumIn(ledger.StallMem, t0, t1)) / dt),
+		GuestBusy:    float64(l.SumIn(ledger.Guest, t0, t1)) / dt,
+		BusGBs:       float64(l.SumIn(ledger.Bus, t0, t1)) / t1.Sub(t0).Seconds() / 1e9,
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// sens looks up a thread-count sensitivity, interpolating between the
+// calibrated points.
+func sens(m map[int]float64, threads int) float64 {
+	if v, ok := m[threads]; ok {
+		return v
+	}
+	// Piecewise-linear between the nearest calibrated thread counts.
+	var lo, hi int
+	lo, hi = -1, -1
+	for t := range m {
+		if t <= threads && (lo == -1 || t > lo) {
+			lo = t
+		}
+		if t >= threads && (hi == -1 || t < hi) {
+			hi = t
+		}
+	}
+	switch {
+	case lo == -1 && hi == -1:
+		return 1
+	case lo == -1:
+		return m[hi]
+	case hi == -1:
+		return m[lo]
+	case lo == hi:
+		return m[lo]
+	default:
+		f := float64(threads-lo) / float64(hi-lo)
+		return m[lo]*(1-f) + m[hi]*f
+	}
+}
+
+// streamFactor returns the throughput multiplier for STREAM under the
+// given interference.
+func streamFactor(model *costmodel.Model, inf interference, threads, cpus int) float64 {
+	f := 1.0
+	f *= 1 - inf.CPUStallFrac*sens(model.StreamCPUStallSens, threads)
+	f *= 1 - inf.MemStallFrac*sens(model.StreamMemStallSens, threads)
+	f *= cpuShareFactor(inf.GuestBusy, threads, cpus)
+	if f < 0.02 {
+		f = 0.02
+	}
+	return f
+}
+
+// ftqFactor returns the work multiplier for FTQ.
+func ftqFactor(model *costmodel.Model, inf interference, threads, cpus int) float64 {
+	f := 1.0
+	f *= 1 - inf.CPUStallFrac*sens(model.FTQCPUStallSens, threads)
+	f *= 1 - inf.MemStallFrac*sens(model.FTQMemStallSens, threads)
+	f *= cpuShareFactor(inf.GuestBusy, threads, cpus)
+	if f < 0.02 {
+		f = 0.02
+	}
+	return f
+}
+
+// cpuShareFactor models vCPU oversubscription: guest-driver work displaces
+// workload threads only when all vCPUs are claimed.
+func cpuShareFactor(guestBusy float64, threads, cpus int) float64 {
+	over := float64(threads) + guestBusy - float64(cpus)
+	if over <= 0 {
+		return 1
+	}
+	if over > guestBusy {
+		over = guestBusy
+	}
+	return 1 - over/float64(threads)
+}
+
+// noise applies the model's multiplicative run-to-run noise.
+func noise(model *costmodel.Model, rng *sim.RNG) float64 {
+	return 1 + model.NoiseFrac*rng.NormFloat64()
+}
+
+// sampleSeries builds a workload sample series over [0, total) at the
+// given interval from the ledger, using factor() for the multiplier.
+func sampleSeries(name string, l *ledger.Ledger, total, step sim.Duration,
+	base float64, rng *sim.RNG, model *costmodel.Model,
+	factor func(inf interference) float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for t := sim.Duration(0); t < total; t += step {
+		t0 := sim.Time(t)
+		t1 := sim.Time(t + step)
+		inf := interferenceIn(l, t0, t1)
+		s.Add(t1, base*factor(inf)*noise(model, rng))
+	}
+	return s
+}

@@ -1,0 +1,362 @@
+package workload
+
+import (
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/sim"
+)
+
+func TestCandidateSpecLabel(t *testing.T) {
+	s := CandidateSpec{Candidate: hyperalloc.CandidateVirtioMem}
+	if s.Label() != "virtio-mem" {
+		t.Errorf("label = %q", s.Label())
+	}
+	s.VFIO = true
+	if s.Label() != "virtio-mem+VFIO" {
+		t.Errorf("label = %q", s.Label())
+	}
+}
+
+func TestCandidateSets(t *testing.T) {
+	if len(Fig4Candidates()) != 6 {
+		t.Error("Fig4Candidates")
+	}
+	if len(PerfCandidates()) != 6 {
+		t.Error("PerfCandidates")
+	}
+	if len(ClangCandidates()) != 5 {
+		t.Error("ClangCandidates")
+	}
+	if len(BalloonSweep()) != 6 {
+		t.Error("BalloonSweep")
+	}
+	if len(BlenderCandidates()) != 2 {
+		t.Error("BlenderCandidates")
+	}
+	if len(MultiVMCandidates()) != 3 {
+		t.Error("MultiVMCandidates")
+	}
+}
+
+func TestSensInterpolation(t *testing.T) {
+	m := map[int]float64{1: 1.0, 4: 2.0, 12: 4.0}
+	if sens(m, 4) != 2.0 {
+		t.Error("exact lookup")
+	}
+	// Midpoint between 4 and 12.
+	if got := sens(m, 8); got != 3.0 {
+		t.Errorf("interp = %v", got)
+	}
+	if sens(m, 0) != 1.0 {
+		t.Error("below range clamps")
+	}
+	if sens(m, 100) != 4.0 {
+		t.Error("above range clamps")
+	}
+	if sens(map[int]float64{}, 5) != 1 {
+		t.Error("empty map")
+	}
+}
+
+func TestInterferenceFactors(t *testing.T) {
+	model := costmodel.Default()
+	// No interference: factors ~1.
+	if f := streamFactor(model, interference{}, 12, 12); f != 1.0 {
+		t.Errorf("idle stream factor = %v", f)
+	}
+	if f := ftqFactor(model, interference{}, 12, 12); f != 1.0 {
+		t.Errorf("idle ftq factor = %v", f)
+	}
+	// Balloon-like CPU stall (45%): stream drops to ~0.45, FTQ to ~0.81.
+	inf := interference{CPUStallFrac: 0.45}
+	if f := streamFactor(model, inf, 12, 12); f < 0.40 || f > 0.52 {
+		t.Errorf("stream under CPU stall = %v", f)
+	}
+	if f := ftqFactor(model, inf, 12, 12); f < 0.76 || f > 0.87 {
+		t.Errorf("ftq under CPU stall = %v", f)
+	}
+	// Prepopulation-like memory stall (72%): stream collapses at 12T,
+	// FTQ barely cares, 1T stream unaffected.
+	inf = interference{MemStallFrac: 0.72}
+	if f := streamFactor(model, inf, 12, 12); f > 0.35 {
+		t.Errorf("stream under mem stall = %v", f)
+	}
+	if f := ftqFactor(model, inf, 12, 12); f < 0.90 {
+		t.Errorf("ftq under mem stall = %v", f)
+	}
+	if f := streamFactor(model, inf, 1, 12); f < 0.95 {
+		t.Errorf("1T stream under mem stall = %v", f)
+	}
+	// Oversubscription: a busy driver vCPU only hurts when all cores are
+	// claimed.
+	inf = interference{GuestBusy: 1.0}
+	if f := cpuShareFactor(inf.GuestBusy, 12, 12); f < 0.90 || f >= 1.0 {
+		t.Errorf("cpuShare 12/12 = %v", f)
+	}
+	if f := cpuShareFactor(inf.GuestBusy, 4, 12); f != 1.0 {
+		t.Errorf("cpuShare 4/12 = %v", f)
+	}
+	// Floors.
+	inf = interference{CPUStallFrac: 1, MemStallFrac: 1}
+	if f := streamFactor(model, inf, 12, 12); f != 0.02 {
+		t.Errorf("floor = %v", f)
+	}
+}
+
+func TestInterferenceInWindow(t *testing.T) {
+	m := ledger.NewMeter(sim.NewClock())
+	m.Stall(ledger.StallCPU, 500*sim.Millisecond)
+	m.Work(ledger.Guest, 250*sim.Millisecond)
+	m.Bus(2 << 30)
+	inf := interferenceIn(m.Ledger(), 0, sim.Time(sim.Second))
+	if inf.CPUStallFrac != 0.5 {
+		t.Errorf("stall frac = %v", inf.CPUStallFrac)
+	}
+	if inf.GuestBusy != 0.25 {
+		t.Errorf("guest busy = %v", inf.GuestBusy)
+	}
+	if inf.BusGBs < 2.1 || inf.BusGBs > 2.2 { // 2 GiB/s in GB/s
+		t.Errorf("bus = %v", inf.BusGBs)
+	}
+	if got := interferenceIn(m.Ledger(), 0, 0); got != (interference{}) {
+		t.Error("empty window")
+	}
+}
+
+// TestInflateShape asserts the Fig. 4 ordering on a single repetition:
+// HyperAlloc fastest, balloon slowest, VFIO penalties in range.
+func TestInflateShape(t *testing.T) {
+	results := map[string]InflateResult{}
+	for _, spec := range Fig4Candidates() {
+		r, err := Inflate(spec, InflateConfig{Reps: 1, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Label(), err)
+		}
+		results[spec.Label()] = r
+	}
+	ha := results["HyperAlloc"]
+	bal := results["virtio-balloon"]
+	vmem := results["virtio-mem"]
+
+	if ratio := ha.Reclaim.Mean / bal.Reclaim.Mean; ratio < 250 || ratio > 500 {
+		t.Errorf("HyperAlloc/balloon reclaim = %.0fx, paper 362x", ratio)
+	}
+	if ratio := ha.Reclaim.Mean / vmem.Reclaim.Mean; ratio < 7 || ratio > 14 {
+		t.Errorf("HyperAlloc/virtio-mem reclaim = %.1fx, paper ~10x", ratio)
+	}
+	if ha.ReclaimUntouched.Mean < 4500 || ha.ReclaimUntouched.Mean > 5500 {
+		t.Errorf("untouched = %.0f GiB/s, paper 4.92 TiB/s", ha.ReclaimUntouched.Mean)
+	}
+	vfioFactor := ha.Reclaim.Mean / results["HyperAlloc+VFIO"].Reclaim.Mean
+	if vfioFactor < 5 || vfioFactor > 8 {
+		t.Errorf("HyperAlloc VFIO slowdown = %.1fx, paper 6.3x", vfioFactor)
+	}
+	vmemVFIO := vmem.Reclaim.Mean / results["virtio-mem+VFIO"].Reclaim.Mean
+	if vmemVFIO < 1.35 || vmemVFIO > 1.7 {
+		t.Errorf("virtio-mem VFIO slowdown = %.2fx, paper 1.52x", vmemVFIO)
+	}
+	// Return+install is the one path where the candidates converge.
+	for _, label := range []string{"virtio-balloon-huge", "virtio-mem", "HyperAlloc"} {
+		ri := results[label].ReturnInstall.Mean
+		if ri < 3.3 || ri > 4.7 {
+			t.Errorf("%s return+install = %.2f GiB/s, paper ~4", label, ri)
+		}
+	}
+	if bal.ReturnInstall.Mean >= results["virtio-balloon-huge"].ReturnInstall.Mean {
+		t.Error("4 KiB balloon should be the slowest return+install")
+	}
+}
+
+// TestPerfShape asserts the Table 2 pattern at 12 threads: HyperAlloc
+// unaffected, balloon and virtio-mem degraded.
+func TestPerfShape(t *testing.T) {
+	run := func(c hyperalloc.Candidate, vfio bool) PerfResult {
+		r, err := Stream(CandidateSpec{Candidate: c, VFIO: vfio}, PerfConfig{Threads: 12, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+		return r
+	}
+	base := run(hyperalloc.CandidateBaseline, false)
+	ha := run(hyperalloc.CandidateHyperAlloc, false)
+	bal := run(hyperalloc.CandidateBalloon, false)
+
+	if ha.P1 < base.P1*0.95 {
+		t.Errorf("HyperAlloc P1 %.1f vs baseline %.1f: should be indistinguishable", ha.P1, base.P1)
+	}
+	if bal.P1 > base.P1*0.55 {
+		t.Errorf("balloon P1 %.1f vs baseline %.1f: should collapse to ~45%%", bal.P1, base.P1)
+	}
+	if bal.ShrinkTook < 15*sim.Second || bal.ShrinkTook > 25*sim.Second {
+		t.Errorf("balloon shrink of 18 GiB took %v, want ~19 s", bal.ShrinkTook)
+	}
+	if ha.ShrinkTook > sim.Second {
+		t.Errorf("HyperAlloc shrink took %v, want well under a second", ha.ShrinkTook)
+	}
+	// The fixed-work completion difference (paper: ~8.9 s).
+	if bal.FinishAt <= ha.FinishAt {
+		t.Error("balloon should finish later than HyperAlloc")
+	}
+}
+
+// TestClangShape asserts the Fig. 7/8 ordering on a reduced build.
+func TestClangShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	results := map[string]ClangResult{}
+	for _, cand := range ClangCandidates() {
+		r, err := Clang(cand, ClangConfig{Units: 450, Seed: 5, InDepth: true})
+		if err != nil {
+			t.Fatalf("%s: %v", cand.Name, err)
+		}
+		results[cand.Name] = r
+		if r.OOMRetries > 100 {
+			t.Errorf("%s: %d OOM retries", cand.Name, r.OOMRetries)
+		}
+	}
+	ha := results["HyperAlloc"]
+	bal := results["virtio-balloon (o=9 d=2000 c=32)"]
+	vmem := results["virtio-mem (simulated auto)"]
+	buddyBase := results["Buddy baseline"]
+
+	// Footprint ordering: HyperAlloc < balloon < virtio-mem < baselines.
+	if !(ha.FootprintGiBMin < bal.FootprintGiBMin) {
+		t.Errorf("footprints: HyperAlloc %.1f !< balloon %.1f", ha.FootprintGiBMin, bal.FootprintGiBMin)
+	}
+	if !(bal.FootprintGiBMin < vmem.FootprintGiBMin) {
+		t.Errorf("footprints: balloon %.1f !< virtio-mem %.1f", bal.FootprintGiBMin, vmem.FootprintGiBMin)
+	}
+	if !(vmem.FootprintGiBMin < buddyBase.FootprintGiBMin) {
+		t.Errorf("footprints: virtio-mem %.1f !< baseline %.1f", vmem.FootprintGiBMin, buddyBase.FootprintGiBMin)
+	}
+	// LLFree guests take far fewer EPT faults (paper: about half).
+	if ha.EPTFaults*2 > bal.EPTFaults {
+		t.Errorf("EPT faults: HyperAlloc %d vs balloon %d", ha.EPTFaults, bal.EPTFaults)
+	}
+	// After dropping the cache, HyperAlloc reaches a lower floor.
+	if ha.AfterDropRSS > bal.AfterDropRSS {
+		t.Errorf("after drop: HyperAlloc %d > balloon %d", ha.AfterDropRSS, bal.AfterDropRSS)
+	}
+}
+
+// TestBlenderShape asserts the Fig. 10 pattern.
+func TestBlenderShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	var results []BlenderResult
+	for _, cand := range BlenderCandidates() {
+		r, err := Blender(cand, BlenderConfig{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", cand.Name, err)
+		}
+		results = append(results, r)
+	}
+	bal, ha := results[0], results[1]
+	if ha.FootprintGiBMin >= bal.FootprintGiBMin {
+		t.Errorf("footprint: HyperAlloc %.1f >= balloon %.1f", ha.FootprintGiBMin, bal.FootprintGiBMin)
+	}
+	// Between runs HyperAlloc reclaims more.
+	for i := range ha.IdleRSS {
+		if ha.IdleRSS[i] >= bal.IdleRSS[i] {
+			t.Errorf("idle %d: HyperAlloc %d >= balloon %d", i, ha.IdleRSS[i], bal.IdleRSS[i])
+		}
+	}
+	if ha.AfterDropRSS >= bal.AfterDropRSS {
+		t.Errorf("after drop: HyperAlloc %d >= balloon %d", ha.AfterDropRSS, bal.AfterDropRSS)
+	}
+}
+
+// TestMultiVMShape asserts the Fig. 11 pattern at reduced scale: with
+// offset peaks, reclamation lowers the aggregate peak; no-ballooning
+// cannot.
+func TestMultiVMShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	cfg := MultiVMConfig{Units: 350, Builds: 2, Gap: 20 * 60 * sim.Second,
+		Offset: 15 * 60 * sim.Second, Seed: 3}
+	peaks := map[string]float64{}
+	for _, cand := range MultiVMCandidates() {
+		r, err := MultiVM(cand, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cand.Name, err)
+		}
+		peaks[cand.Name] = float64(r.PeakBytes)
+	}
+	if peaks["HyperAlloc"] >= peaks["no ballooning"] {
+		t.Errorf("HyperAlloc peak %.1f GiB >= no-ballooning %.1f GiB",
+			peaks["HyperAlloc"]/(1<<30), peaks["no ballooning"]/(1<<30))
+	}
+	if peaks["virtio-balloon"] >= peaks["no ballooning"] {
+		t.Error("balloon did not lower the aggregate peak")
+	}
+}
+
+// TestInstallMicroShape asserts the ~6% claim.
+func TestInstallMicroShape(t *testing.T) {
+	m, err := MeasureInstallMicro(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SlowdownPercent < 3 || m.SlowdownPercent > 10 {
+		t.Errorf("install slowdown = %.1f%%, paper ~6%%", m.SlowdownPercent)
+	}
+}
+
+// TestScanMicroShape asserts the scan is "a tiny cache load".
+func TestScanMicroShape(t *testing.T) {
+	d, err := ScanMicro(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 10*sim.Microsecond {
+		t.Errorf("scan = %v per GiB, should be microseconds", d)
+	}
+}
+
+// TestSPECPrepState verifies the warm-up leaves the intended state.
+func TestSPECPrepState(t *testing.T) {
+	sys := hyperalloc.NewSystem(4)
+	vm, err := sys.NewVM(hyperalloc.Options{Candidate: hyperalloc.CandidateHyperAlloc, Memory: 8 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SPECPrep(vm, sys.RNG.Fork()); err != nil {
+		t.Fatal(err)
+	}
+	// Only the boot-time locate-state hypercalls may have moved the clock
+	// (microseconds); the prep itself runs frozen.
+	if sys.Now() > sim.Time(sim.Millisecond) {
+		t.Errorf("prep advanced the clock to %v", sys.Now())
+	}
+	if vm.Guest.Cache().Bytes() == 0 {
+		t.Error("prep left no page cache")
+	}
+	if vm.Guest.UsedBaseBytes() < 400<<20 {
+		t.Errorf("prep left only %d bytes allocated", vm.Guest.UsedBaseBytes())
+	}
+	if vm.RSS() < vm.Guest.Cache().Bytes() {
+		t.Error("prep did not populate the VM")
+	}
+}
+
+// TestDeterminism: identical seeds give identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() InflateResult {
+		r, err := Inflate(CandidateSpec{Candidate: hyperalloc.CandidateHyperAlloc},
+			InflateConfig{Reps: 1, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Reclaim.Mean != b.Reclaim.Mean || a.ReturnInstall.Mean != b.ReturnInstall.Mean {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The full pre-commit gate: everything CI runs.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-sensitive packages: the lock-free allocator and the
+# parallel experiment runner.
+race:
+	$(GO) test -race ./internal/llfree ./internal/runner
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

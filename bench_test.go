@@ -9,12 +9,19 @@
 package hyperalloc_test
 
 import (
+	"flag"
 	"testing"
 
 	"hyperalloc"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
+
+// benchWorkers bounds the worker pool of the multi-run benchmarks. The
+// default of 1 keeps ns/op comparable across Go versions; 0 uses all CPUs
+// (results stay byte-identical — see internal/runner).
+var benchWorkers = flag.Int("workers", 1, "worker goroutines for multi-run benchmarks (0 = all CPUs)")
 
 // BenchmarkFig4Inflate regenerates Fig. 4 (reclamation speed). Reported
 // metrics are virtual GiB/s per candidate path.
@@ -24,7 +31,7 @@ func BenchmarkFig4Inflate(b *testing.B) {
 		b.Run(spec.Label(), func(b *testing.B) {
 			var last workload.InflateResult
 			for i := 0; i < b.N; i++ {
-				r, err := workload.Inflate(spec, workload.InflateConfig{Reps: 1, Seed: uint64(i)})
+				r, err := workload.Inflate(spec, workload.InflateConfig{Reps: 1, Seed: uint64(i), Workers: *benchWorkers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -199,7 +206,7 @@ func BenchmarkFig11MultiVM(b *testing.B) {
 func BenchmarkAblationReservation(b *testing.B) {
 	var results []workload.AblationResult
 	for i := 0; i < b.N; i++ {
-		r, err := workload.ReservationAblation(300, uint64(i))
+		r, err := workload.ReservationAblation(300, uint64(i), *benchWorkers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,6 +216,29 @@ func BenchmarkAblationReservation(b *testing.B) {
 		b.Logf("%s: free-huge post-build %d, post-drop %d, footprint %.1f GiB·min",
 			r.Name, r.FreeHugeAfterBuild, r.FreeHugeAfterDrop, r.FootprintGiBMin)
 	}
+}
+
+// BenchmarkFig4Matrix runs the whole Fig. 4 candidate × rep matrix through
+// the parallel runner and reports wall-clock runs/s — the throughput
+// metric of cmd/hyperallocbench. Compare `-workers 1` against
+// `-workers 0` (all CPUs) to see the fan-out win.
+func BenchmarkFig4Matrix(b *testing.B) {
+	pool := runner.Runner{Workers: *benchWorkers}
+	cands := workload.Fig4Candidates()
+	const reps = 2
+	for i := 0; i < b.N; i++ {
+		_, stats, err := runner.TimedMap(pool, len(cands)*reps,
+			func(j int) (workload.InflateResult, error) {
+				cfg := workload.InflateConfig{Reps: 1, Seed: 42 + uint64(j%reps)}
+				return workload.Inflate(cands[j/reps], cfg)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = stats
+	}
+	b.ReportMetric(float64(len(cands)*reps*b.N)/b.Elapsed().Seconds(), "runs/s")
+	b.ReportMetric(float64(pool.Effective()), "workers")
 }
 
 // BenchmarkMicroInstall regenerates the A3 micro: install hypercall vs

@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	blender [-runs N] [-seed S] [-csv FILE]
+//	blender [-runs N] [-seed S] [-csv FILE] [-parallel N]
+//
+// The two candidates fan across -parallel workers (default: all CPUs);
+// results are byte-identical to -parallel 1.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/workload"
 )
 
@@ -24,16 +28,22 @@ func main() {
 	runs := flag.Int("runs", 3, "blender runs")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csv := flag.String("csv", "", "optional CSV output path")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+
+	cands := workload.BlenderCandidates()
+	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(cands),
+		func(i int) (workload.BlenderResult, error) {
+			return workload.Blender(cands[i], workload.BlenderConfig{Runs: *runs, Seed: *seed})
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var rows [][]string
 	var series []*metrics.Series
 	var foots []float64
-	for _, cand := range workload.BlenderCandidates() {
-		r, err := workload.Blender(cand, workload.BlenderConfig{Runs: *runs, Seed: *seed})
-		if err != nil {
-			log.Fatalf("%s: %v", cand.Name, err)
-		}
+	for _, r := range results {
 		idle := ""
 		for i, b := range r.IdleRSS {
 			if i > 0 {

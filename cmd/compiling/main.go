@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	compiling [-runs N] [-units N] [-extra] [-indepth] [-vfio] [-seed S] [-csv DIR]
+//	compiling [-runs N] [-units N] [-extra] [-indepth] [-vfio] [-seed S] [-csv DIR] [-parallel N]
+//
+// The candidate × rep matrix fans across -parallel workers (default: all
+// CPUs); results are byte-identical to -parallel 1.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"hyperalloc"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
@@ -30,32 +34,49 @@ func main() {
 	vfio := flag.Bool("vfio", false, "run the Fig. 9 DMA-safe pair (VFIO)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
+	pool := runner.Runner{Workers: *parallel}
 	switch {
 	case *indepth:
-		runInDepth(*units, *seed, *csvDir)
+		runInDepth(pool, *units, *seed, *csvDir)
 	case *vfio:
-		runVFIO(*units, *runs, *seed)
+		runVFIO(pool, *units, *runs, *seed)
 	default:
-		runFig7(*units, *runs, *extra, *seed)
+		runFig7(pool, *units, *runs, *extra, *seed)
 	}
 }
 
-func runFig7(units, runs int, extra bool, seed uint64) {
+// clangMatrix runs every (candidate, rep) build through the pool and
+// returns the per-candidate result slices in candidate-major order.
+func clangMatrix(pool runner.Runner, cands []workload.ClangCandidate, runs, units int, seed uint64, indepth bool) [][]workload.ClangResult {
+	flat, err := runner.Map(pool, len(cands)*runs, func(i int) (workload.ClangResult, error) {
+		return workload.Clang(cands[i/runs], workload.ClangConfig{
+			Units: units, Seed: seed + uint64(i%runs), InDepth: indepth,
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([][]workload.ClangResult, len(cands))
+	for c := range cands {
+		out[c] = flat[c*runs : (c+1)*runs]
+	}
+	return out
+}
+
+func runFig7(pool runner.Runner, units, runs int, extra bool, seed uint64) {
 	cands := workload.ClangCandidates()
 	if extra {
 		cands = append(cands, workload.BalloonSweep()...)
 	}
+	perCand := clangMatrix(pool, cands, runs, units, seed, false)
 	var rows [][]string
-	for _, cand := range cands {
+	for c, cand := range cands {
 		var foot, rt, usr, sys []float64
 		var faults uint64
-		for rep := 0; rep < runs; rep++ {
-			r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed + uint64(rep)})
-			if err != nil {
-				log.Fatalf("%s: %v", cand.Name, err)
-			}
+		for _, r := range perCand[c] {
 			foot = append(foot, r.FootprintGiBMin)
 			rt = append(rt, r.BuildTime.Minutes())
 			usr = append(usr, r.UserCPU.Minutes())
@@ -80,18 +101,16 @@ func runFig7(units, runs int, extra bool, seed uint64) {
 	fmt.Println("  (+19%) for footprint.")
 }
 
-func runInDepth(units int, seed uint64, csvDir string) {
+func runInDepth(pool runner.Runner, units int, seed uint64, csvDir string) {
 	pair := []workload.ClangCandidate{
 		workload.ClangCandidates()[2], // virtio-balloon default
 		workload.ClangCandidates()[4], // HyperAlloc
 	}
+	perCand := clangMatrix(pool, pair, 1, units, seed, true)
 	var rows [][]string
 	var all []*metrics.Series
-	for _, cand := range pair {
-		r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed, InDepth: true})
-		if err != nil {
-			log.Fatalf("%s: %v", cand.Name, err)
-		}
+	for c, cand := range pair {
+		r := perCand[c][0]
 		rows = append(rows, []string{
 			cand.Name,
 			fmt.Sprintf("%.1f", r.FootprintGiBMin),
@@ -116,22 +135,19 @@ func runInDepth(units int, seed uint64, csvDir string) {
 	}
 }
 
-func runVFIO(units, runs int, seed uint64) {
+func runVFIO(pool runner.Runner, units, runs int, seed uint64) {
 	cands := []workload.ClangCandidate{
 		{Name: "virtio-mem+VFIO", Opts: hyperalloc.Options{
 			Candidate: hyperalloc.CandidateVirtioMem, AutoReclaim: true, VFIO: true}},
 		{Name: "HyperAlloc+VFIO", Opts: hyperalloc.Options{
 			Candidate: hyperalloc.CandidateHyperAlloc, AutoReclaim: true, VFIO: true}},
 	}
+	perCand := clangMatrix(pool, cands, runs, units, seed, false)
 	var rows [][]string
 	var foots []float64
-	for _, cand := range cands {
+	for c, cand := range cands {
 		var foot, rt []float64
-		for rep := 0; rep < runs; rep++ {
-			r, err := workload.Clang(cand, workload.ClangConfig{Units: units, Seed: seed + uint64(rep)})
-			if err != nil {
-				log.Fatalf("%s: %v", cand.Name, err)
-			}
+		for _, r := range perCand[c] {
 			foot = append(foot, r.FootprintGiBMin)
 			rt = append(rt, r.BuildTime.Minutes())
 		}

@@ -7,7 +7,13 @@
 //	hyperallocbench -exp table1            # Table 1 (candidate properties)
 //	hyperallocbench -exp fig4 [-reps N]    # inflate microbenchmarks
 //	hyperallocbench -exp ablation          # reservation-policy / tree-size / install micro
+//	hyperallocbench -exp speedup           # parallel-runner throughput on the fig4 matrix
 //	hyperallocbench -exp quick             # a fast pass over everything
+//
+// Multi-run experiments fan across -parallel workers (default: all CPUs)
+// with byte-identical results to -parallel 1; fig4 and speedup report
+// wall-clock runs/s. -json FILE additionally writes the headline
+// virtual-time metrics and throughput numbers as JSON.
 //
 // The per-figure commands (cmd/inflate, cmd/perfimpact, cmd/compiling,
 // cmd/blender, cmd/multivm) regenerate the individual figures with all
@@ -15,37 +21,92 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"reflect"
+	"time"
 
 	"hyperalloc"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/report"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
 
+// output aggregates the headline metrics of the experiments that ran, for
+// the optional -json dump.
+type output struct {
+	Seed    uint64       `json:"seed"`
+	Workers int          `json:"workers"` // 0 = all CPUs
+	Fig4    *fig4JSON    `json:"fig4,omitempty"`
+	Speedup *speedupJSON `json:"speedup,omitempty"`
+}
+
+type fig4JSON struct {
+	Reps       int            `json:"reps"`
+	Candidates []fig4RateJSON `json:"candidates"`
+	Runs       int            `json:"runs"`
+	WallSec    float64        `json:"wall_seconds"`
+	RunsPerSec float64        `json:"runs_per_second"`
+}
+
+// fig4RateJSON holds one candidate's mean virtual-time rates in GiB/s.
+type fig4RateJSON struct {
+	Candidate        string  `json:"candidate"`
+	ReclaimGiBs      float64 `json:"reclaim_gibs"`
+	ReclaimUntouched float64 `json:"reclaim_untouched_gibs"`
+	ReturnGiBs       float64 `json:"return_gibs"`
+	ReturnInstall    float64 `json:"return_install_gibs"`
+}
+
+type speedupJSON struct {
+	Reps          int     `json:"reps"`
+	Runs          int     `json:"runs"`
+	Workers       int     `json:"workers"`
+	SeqRunsPerSec float64 `json:"sequential_runs_per_second"`
+	ParRunsPerSec float64 `json:"parallel_runs_per_second"`
+	Speedup       float64 `json:"speedup"`
+}
+
 func main() {
-	exp := flag.String("exp", "quick", "table1|fig4|ablation|quick")
-	reps := flag.Int("reps", 3, "repetitions for fig4")
+	exp := flag.String("exp", "quick", "table1|fig4|ablation|speedup|quick")
+	reps := flag.Int("reps", 3, "repetitions for fig4/speedup")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	jsonPath := flag.String("json", "", "optional JSON output path for headline metrics")
 	flag.Parse()
 
+	out := &output{Seed: *seed, Workers: *parallel}
 	switch *exp {
 	case "table1":
 		table1(*seed)
 	case "fig4":
-		fig4(*reps, *seed)
+		fig4(*reps, *seed, *parallel, out)
 	case "ablation":
-		ablation(*seed)
+		ablation(*seed, *parallel)
+	case "speedup":
+		speedup(*reps, *seed, *parallel, out)
 	case "quick":
 		table1(*seed)
-		fig4(1, *seed)
-		ablation(*seed)
+		fig4(1, *seed, *parallel, out)
+		ablation(*seed, *parallel)
 	default:
 		log.Fatalf("unknown -exp %q", *exp)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *jsonPath)
 	}
 }
 
@@ -77,23 +138,73 @@ func mark(b bool) string {
 	return "no"
 }
 
-func fig4(reps int, seed uint64) {
-	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed})
+// fig4Matrix runs the Fig. 4 candidate × rep matrix and returns the
+// results plus wall-clock throughput stats.
+func fig4Matrix(reps int, seed uint64, workers int) ([]workload.InflateResult, runner.Stats) {
+	pool := runner.Runner{Workers: workers}
+	start := time.Now()
+	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
+	return results, runner.Stats{
+		Runs:    len(results) * reps,
+		Workers: pool.Effective(),
+		Wall:    time.Since(start),
+	}
+}
+
+func fig4(reps int, seed uint64, workers int, out *output) {
+	results, stats := fig4Matrix(reps, seed, workers)
 	var rows [][]string
+	j := &fig4JSON{
+		Reps: reps, Runs: stats.Runs,
+		WallSec: stats.Wall.Seconds(), RunsPerSec: stats.RunsPerSec(),
+	}
 	for _, r := range results {
 		rows = append(rows, []string{
 			r.Candidate, r.Reclaim.String(), r.ReclaimUntouched.String(),
 			r.Return.String(), r.ReturnInstall.String(),
 		})
+		j.Candidates = append(j.Candidates, fig4RateJSON{
+			Candidate:        r.Candidate,
+			ReclaimGiBs:      r.Reclaim.Mean,
+			ReclaimUntouched: r.ReclaimUntouched.Mean,
+			ReturnGiBs:       r.Return.Mean,
+			ReturnInstall:    r.ReturnInstall.Mean,
+		})
 	}
 	report.Table(os.Stdout, "Fig. 4 — de/inflation speed",
 		[]string{"candidate", "reclaim", "reclaim untouched", "return", "return+install"}, rows)
+	fmt.Printf("matrix: %d runs in %.2f s wall — %.1f runs/s (%d workers)\n",
+		stats.Runs, stats.Wall.Seconds(), stats.RunsPerSec(), stats.Workers)
+	out.Fig4 = j
 }
 
-func ablation(seed uint64) {
+// speedup measures wall-clock throughput of the Fig. 4 matrix sequentially
+// and with the parallel runner, verifying the results match.
+func speedup(reps int, seed uint64, workers int, out *output) {
+	if workers <= 1 {
+		workers = 4
+	}
+	seqRes, seqStats := fig4Matrix(reps, seed, 1)
+	parRes, parStats := fig4Matrix(reps, seed, workers)
+	if !reflect.DeepEqual(seqRes, parRes) {
+		log.Fatal("speedup: parallel results differ from sequential — determinism violated")
+	}
+	factor := parStats.RunsPerSec() / seqStats.RunsPerSec()
+	fmt.Printf("Fig. 4 matrix, %d runs (results byte-identical):\n", seqStats.Runs)
+	fmt.Printf("  workers=1:  %6.2f s wall — %6.1f runs/s\n", seqStats.Wall.Seconds(), seqStats.RunsPerSec())
+	fmt.Printf("  workers=%d: %6.2f s wall — %6.1f runs/s\n", parStats.Workers, parStats.Wall.Seconds(), parStats.RunsPerSec())
+	fmt.Printf("  speedup: %.2fx\n", factor)
+	out.Speedup = &speedupJSON{
+		Reps: reps, Runs: seqStats.Runs, Workers: parStats.Workers,
+		SeqRunsPerSec: seqStats.RunsPerSec(), ParRunsPerSec: parStats.RunsPerSec(),
+		Speedup: factor,
+	}
+}
+
+func ablation(seed uint64, workers int) {
 	// A3: install hypercall vs EPT fault.
 	micro, err := workload.MeasureInstallMicro(seed)
 	if err != nil {
@@ -113,7 +224,7 @@ func ablation(seed uint64) {
 
 	// A1/A2: reservation policy and tree size on the clang build.
 	fmt.Printf("\nrunning reservation-policy ablation (a few minutes of virtual build)...\n")
-	results, err := workload.ReservationAblation(900, seed)
+	results, err := workload.ReservationAblation(900, seed, workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	inflate [-reps N] [-mem BYTES_GIB] [-seed S] [-csv FILE]
+//	inflate [-reps N] [-mem BYTES_GIB] [-seed S] [-csv FILE] [-parallel N]
+//
+// The candidate × rep matrix fans across -parallel workers (default: all
+// CPUs); results are byte-identical to -parallel 1.
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	memGiB := flag.Uint64("mem", 20, "VM size in GiB")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csv := flag.String("csv", "", "optional CSV output path")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	cfg := workload.InflateConfig{
@@ -31,6 +35,7 @@ func main() {
 		Memory:  *memGiB * mem.GiB,
 		Touched: (*memGiB - 1) * mem.GiB,
 		Seed:    *seed,
+		Workers: *parallel,
 	}
 	results, err := workload.InflateAll(cfg)
 	if err != nil {

@@ -6,10 +6,12 @@
 //
 // Usage:
 //
-//	multivm [-units N] [-builds N] [-gap MIN] [-offset MIN] [-seed S] [-csv DIR]
+//	multivm [-units N] [-builds N] [-gap MIN] [-offset MIN] [-seed S] [-csv DIR] [-parallel N]
 //
 // The full paper-scale run (1800 units, 3 builds, 2 h gaps) simulates many
-// hours of virtual time; reduce -units/-gap for a quick look.
+// hours of virtual time; reduce -units/-gap for a quick look. The
+// scenario × candidate matrix fans across -parallel workers (default: all
+// CPUs); results are byte-identical to -parallel 1.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"path/filepath"
 
 	"hyperalloc/internal/report"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
@@ -31,6 +34,7 @@ func main() {
 	offsetMin := flag.Int("offset", 40, "offset between VMs in the offset scenario (minutes)")
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	scenarios := []struct {
@@ -40,19 +44,27 @@ func main() {
 		{"simultaneous (Fig. 11a)", 0},
 		{fmt.Sprintf("offset %d min (Fig. 11b)", *offsetMin), sim.Duration(*offsetMin) * 60 * sim.Second},
 	}
-	for _, sc := range scenarios {
-		var rows [][]string
-		for _, cand := range workload.MultiVMCandidates() {
-			r, err := workload.MultiVM(cand, workload.MultiVMConfig{
+	// The whole scenario × candidate matrix runs through one pool; each
+	// cell is a self-contained simulation, so the reduction below prints
+	// exactly what the sequential loops printed.
+	cands := workload.MultiVMCandidates()
+	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(scenarios)*len(cands),
+		func(i int) (workload.MultiVMResult, error) {
+			return workload.MultiVM(cands[i%len(cands)], workload.MultiVMConfig{
 				Units:  *units,
 				Builds: *builds,
 				Gap:    sim.Duration(*gapMin) * 60 * sim.Second,
-				Offset: sc.offset,
+				Offset: scenarios[i/len(cands)].offset,
 				Seed:   *seed,
 			})
-			if err != nil {
-				log.Fatalf("%s: %v", cand.Name, err)
-			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for si, sc := range scenarios {
+		var rows [][]string
+		for ci, cand := range cands {
+			r := results[si*len(cands)+ci]
 			rows = append(rows, []string{
 				r.Candidate,
 				fmt.Sprintf("%.2f GiB", float64(r.PeakBytes)/(1<<30)),

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	perfimpact [-bench stream|ftq|both] [-threads 1,4,12] [-seed S] [-csv DIR] [-plot]
+//	perfimpact [-bench stream|ftq|both] [-threads 1,4,12] [-seed S] [-csv DIR] [-plot] [-parallel N]
+//
+// The candidate × thread-count matrix fans across -parallel workers
+// (default: all CPUs); results are byte-identical to -parallel 1.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"hyperalloc"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
@@ -30,7 +34,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
 	plot := flag.Bool("plot", true, "render ASCII time-series plots")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	pool := runner.Runner{Workers: *parallel}
 
 	var threads []int
 	for _, t := range strings.Split(*threadsFlag, ",") {
@@ -49,15 +55,23 @@ func main() {
 		for _, t := range threads {
 			headers = append(headers, fmt.Sprintf("%dT p1 [%s]", t, unit))
 		}
+		// Fan the spec × thread matrix across the pool, then reduce in
+		// the same spec-major order the sequential loop used.
+		results, err := runner.Map(pool, len(specs)*len(threads),
+			func(i int) (workload.PerfResult, error) {
+				return fn(specs[i/len(threads)], workload.PerfConfig{
+					Threads: threads[i%len(threads)], Seed: *seed,
+				})
+			})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
 		var rows [][]string
 		bySeriesThreads := map[int][]*metrics.Series{}
-		for _, spec := range specs {
+		for si, spec := range specs {
 			row := []string{spec.Label()}
-			for _, t := range threads {
-				res, err := fn(spec, workload.PerfConfig{Threads: t, Seed: *seed})
-				if err != nil {
-					log.Fatalf("%s %s/%dT: %v", name, spec.Label(), t, err)
-				}
+			for ti, t := range threads {
+				res := results[si*len(threads)+ti]
 				row = append(row, fmt.Sprintf("%.1f", res.P1))
 				bySeriesThreads[t] = append(bySeriesThreads[t], res.Series)
 				if res.ShrinkErr != nil {

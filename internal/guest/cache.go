@@ -86,12 +86,18 @@ func (c *PageCache) Remove(name string) uint64 {
 
 // RemovePrefix drops all files whose name starts with the prefix,
 // returning freed bytes. Models `make clean` removing build artifacts.
+// It walks the LRU list, not the name index: map iteration order is
+// randomized per run, and the order pages return to the allocator must
+// be deterministic for the simulation to be reproducible.
 func (c *PageCache) RemovePrefix(prefix string) uint64 {
 	var freed uint64
-	for name, f := range c.files {
-		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+	for i := 0; i < len(c.lru); {
+		f := c.lru[i]
+		if len(f.name) >= len(prefix) && f.name[:len(prefix)] == prefix {
 			freed += f.bytes
-			c.dropFile(f)
+			c.dropFile(f) // unlinks f from c.lru in place; do not advance i
+		} else {
+			i++
 		}
 	}
 	return freed

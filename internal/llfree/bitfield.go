@@ -7,6 +7,18 @@ import "math/bits"
 
 const wordsPerArea = 512 / 64
 
+// groupBase[order] has one bit set at the base of every aligned 2^order
+// bit group of a word (orders 0..6).
+var groupBase = [7]uint64{
+	^uint64(0),
+	0x5555555555555555,
+	0x1111111111111111,
+	0x0101010101010101,
+	0x0001000100010001,
+	0x0000000100000001,
+	1,
+}
+
 // claimBits claims 2^order aligned free bits inside the area and returns
 // the frame offset within the area. Orders 0..6 fit in one word; orders 7
 // and 8 claim 2 or 4 entire words. Returns false if no aligned run could
@@ -21,6 +33,7 @@ func (a *Alloc) claimBits(area uint64, order uint) (uint64, bool) {
 		} else {
 			mask = (uint64(1) << n) - 1
 		}
+		gb := groupBase[order]
 		// For order 0 a free bit is guaranteed to exist (the counter
 		// reservation protocol), but a racing free may expose it only
 		// after a few loads; retry the scan a bounded number of times.
@@ -32,16 +45,49 @@ func (a *Alloc) claimBits(area uint64, order uint) (uint64, bool) {
 				if cur == ^uint64(0) {
 					continue
 				}
-				for off := uint(0); off < 64; off += n {
-					m := mask << off
-					if cur&m != 0 {
+				// Aligned-run search without probing every offset: a
+				// prefix-OR fold smears any set bit of a group onto the
+				// group's base bit, so the inverted fold masked to the
+				// group bases enumerates every fully-free aligned group and
+				// a single TrailingZeros64 finds the lowest one. The fold
+				// width is fixed per call, so the branches predict
+				// perfectly. n == 1 needs no fold (any free bit is a free
+				// group); n == 64 degenerates to "word must be empty".
+				var g uint64
+				if n == 1 {
+					g = ^cur // non-zero: full words were skipped above
+				} else if n == 64 {
+					if cur != 0 {
 						continue
 					}
-					if word.CompareAndSwap(cur, cur|m) {
-						return w*64 + uint64(off), true
+					g = 1
+				} else {
+					x := cur
+					if n > 1 {
+						x |= x >> 1
 					}
-					goto retryWord
+					if n > 2 {
+						x |= x >> 2
+					}
+					if n > 4 {
+						x |= x >> 4
+					}
+					if n > 8 {
+						x |= x >> 8
+					}
+					if n > 16 {
+						x |= x >> 16
+					}
+					g = ^x & gb
+					if g == 0 {
+						continue
+					}
 				}
+				off := uint(bits.TrailingZeros64(g))
+				if word.CompareAndSwap(cur, cur|mask<<off) {
+					return w*64 + uint64(off), true
+				}
+				goto retryWord
 			}
 			if order != 0 {
 				// No aligned run; higher orders are not guaranteed one.
@@ -65,8 +111,16 @@ func (a *Alloc) claimBits(area uint64, order uint) (uint64, bool) {
 func (a *Alloc) claimWords(idx, nWords uint64) bool {
 	for i := uint64(0); i < nWords; i++ {
 		if !a.bitfield[idx+i].CompareAndSwap(0, ^uint64(0)) {
+			// Roll back the words already claimed. A word we claimed reads
+			// all-ones and only its owner — us — may clear bits in it:
+			// claimants CAS from a snapshot with the target bits free, and
+			// releases require the bits to be set by their owner. The CAS
+			// (rather than a blind store) asserts that invariant; a failure
+			// means another thread modified frames it does not own.
 			for j := uint64(0); j < i; j++ {
-				a.bitfield[idx+j].Store(0)
+				if !a.bitfield[idx+j].CompareAndSwap(^uint64(0), 0) {
+					panic("llfree: claimWords rollback raced with a foreign write")
+				}
 			}
 			return false
 		}

@@ -1,0 +1,107 @@
+package llfree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// TestClaimWordsRollbackRace drives the order-7/8 claim path into partial
+// failures: order-8 claims (4 words) overlap order-7 claims (2 words) at
+// offsets 2-3, so a claimant regularly wins its first words and then must
+// roll back when a competitor owns the rest. Run under -race this checks
+// the rollback CAS never clobbers a competitor's claim and no frames are
+// lost or duplicated.
+func TestClaimWordsRollbackRace(t *testing.T) {
+	const areas = 4
+	a, err := New(Config{Frames: areas * 512, CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := []mem.Order{7, 8, 7, 8, 7, 8, 7, 8}
+	var claims atomic.Int64
+	var wg sync.WaitGroup
+	for w := range orders {
+		wg.Add(1)
+		go func(cpu int, order mem.Order) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				f, err := a.Get(cpu, order, mem.Movable)
+				if err != nil {
+					continue // all areas contended; the rollback still ran
+				}
+				claims.Add(1)
+				if !f.PFN.AlignedTo(uint(order)) {
+					t.Errorf("order %d: misaligned pfn %d", order, f.PFN)
+					return
+				}
+				if err := a.Put(cpu, f.PFN, order); err != nil {
+					t.Errorf("order %d: Put: %v", order, err)
+					return
+				}
+			}
+		}(w, orders[w])
+	}
+	wg.Wait()
+	if claims.Load() == 0 {
+		t.Fatal("no claim ever succeeded; test is vacuous")
+	}
+	if got := a.FreeFrames(); got != areas*512 {
+		t.Errorf("FreeFrames = %d, want %d", got, areas*512)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClaimWordsRollbackDirect exercises claimWords/releaseBits at the
+// bit-field level with deliberately overlapping ranges, bypassing the
+// counter protocol: word-granular winners must be exclusive and rollbacks
+// must restore exactly the claimed words.
+func TestClaimWordsRollbackDirect(t *testing.T) {
+	a, err := New(Config{Frames: 512}) // one area, 8 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var wins atomic.Int64
+	// Competing spans: {0..3}, {2..3}, {4..7}, {6..7} — every order-8 span
+	// overlaps an order-7 span in its tail, forcing rollbacks.
+	spans := []struct{ idx, n uint64 }{{0, 4}, {2, 2}, {4, 4}, {6, 2}, {0, 2}, {4, 2}}
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(s struct{ idx, n uint64 }) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if a.claimWords(s.idx, s.n) {
+					wins.Add(1)
+					if !a.releaseBits(0, s.idx*64, orderOfWords(s.n)) {
+						t.Error("releaseBits failed on a claimed span")
+						return
+					}
+				}
+			}
+		}(spans[w])
+	}
+	wg.Wait()
+	if wins.Load() == 0 {
+		t.Fatal("no span ever claimed; test is vacuous")
+	}
+	for w := 0; w < wordsPerArea; w++ {
+		if got := a.bitfield[w].Load(); got != 0 {
+			t.Errorf("word %d = %#x after all releases, want 0", w, got)
+		}
+	}
+}
+
+func orderOfWords(n uint64) uint {
+	switch n {
+	case 2:
+		return 7
+	case 4:
+		return 8
+	}
+	panic("bad span")
+}

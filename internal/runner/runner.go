@@ -1,0 +1,147 @@
+// Package runner fans independent simulation runs across a bounded worker
+// pool and reduces the results in stable input order.
+//
+// Every experiment run in this repository is fully self-contained — it
+// builds its own sim.Scheduler, allocators, and RNG from an explicit seed
+// — so a (candidate, rep, seed) matrix can execute in any real-time order
+// without changing a single virtual-time result. The runner exploits that:
+// jobs are dispatched to Workers goroutines as they free up, results land
+// at their input index, and errors are reported exactly as a sequential
+// loop would report them (the lowest-index failure wins). Parallel output
+// is therefore byte-identical to sequential output.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner bounds the worker pool. The zero value runs with GOMAXPROCS
+// workers; Workers: 1 reproduces a plain sequential loop exactly,
+// including not starting jobs after the first failure.
+type Runner struct {
+	// Workers is the maximum number of jobs in flight; ≤0 means
+	// GOMAXPROCS(0).
+	Workers int
+}
+
+// Effective returns the concrete worker count the pool resolves to:
+// Workers, or GOMAXPROCS(0) when Workers ≤ 0.
+func (r Runner) Effective() int {
+	if r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// effective returns the concrete worker count for n jobs.
+func (r Runner) effective(n int) int {
+	w := r.Effective()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(0), …, fn(n-1) across the pool and returns the results in
+// input order. On failure it returns the error of the lowest failing
+// index — the error a sequential loop would have stopped at — and nil
+// results. Jobs past a detected failure are skipped on a best-effort
+// basis; fn must therefore be side-effect free on its shared inputs.
+func Map[T any](r Runner, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if r.effective(n) == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Int64 // lowest failing index + 1; 0 = none yet
+	var wg sync.WaitGroup
+	for w := 0; w < r.effective(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Best-effort early exit: anything after a known failure
+				// would be discarded anyway.
+				if f := failed.Load(); f != 0 && int(f-1) < i {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					// Record the lowest failing index.
+					for {
+						f := failed.Load()
+						if f != 0 && int(f-1) <= i {
+							break
+						}
+						if failed.CompareAndSwap(f, int64(i+1)) {
+							break
+						}
+					}
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// ForEach is Map without a result value.
+func ForEach(r Runner, n int, fn func(i int) error) error {
+	_, err := Map(r, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Stats reports the wall-clock throughput of a timed batch.
+type Stats struct {
+	Runs    int
+	Workers int
+	Wall    time.Duration
+}
+
+// RunsPerSec returns the batch throughput in runs per wall-clock second.
+func (s Stats) RunsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Runs) / s.Wall.Seconds()
+}
+
+// TimedMap is Map plus wall-clock accounting: the returned Stats hold the
+// batch's runs/s, the headline metric of cmd/hyperallocbench.
+func TimedMap[T any](r Runner, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
+	start := time.Now()
+	out, err := Map(r, n, fn)
+	return out, Stats{Runs: n, Workers: r.effective(n), Wall: time.Since(start)}, err
+}

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		r := Runner{Workers: workers}
+		got, err := Map(r, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Runner{}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+// TestMapLowestError checks parallel error reporting matches a sequential
+// loop: the lowest failing index's error is returned no matter which
+// worker hits its failure first.
+func TestMapLowestError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(Runner{Workers: workers}, 50, func(i int) (int, error) {
+			if i == 17 || i == 33 {
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 17 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 17 failed", workers, err)
+		}
+	}
+}
+
+// TestMapSequentialStopsEarly pins the Workers: 1 contract: jobs after the
+// first failure never run, exactly like the loops the runner replaced.
+func TestMapSequentialStopsEarly(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(Runner{Workers: 1}, 10, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("ran %d jobs, want 4", ran.Load())
+	}
+}
+
+// TestMapParallelMatchesSequential is the package-level determinism
+// contract: identical inputs produce identical ordered outputs at any
+// worker count.
+func TestMapParallelMatchesSequential(t *testing.T) {
+	job := func(i int) (string, error) {
+		return fmt.Sprintf("r%03d", i*7919%1000), nil
+	}
+	seq, err := Map(Runner{Workers: 1}, 200, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		par, err := Map(Runner{Workers: workers}, 200, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel result differs from sequential", workers)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(Runner{Workers: 4}, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestTimedMapStats(t *testing.T) {
+	_, stats, err := TimedMap(Runner{Workers: 2}, 10, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 10 || stats.Workers != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.RunsPerSec() <= 0 {
+		t.Fatalf("RunsPerSec = %v", stats.RunsPerSec())
+	}
+}
+
+func TestEffective(t *testing.T) {
+	if got := (Runner{Workers: 8}).effective(3); got != 3 {
+		t.Errorf("effective(3) with 8 workers = %d, want 3", got)
+	}
+	if got := (Runner{Workers: -1}).effective(1000); got < 1 {
+		t.Errorf("effective with default workers = %d", got)
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduler measures the event queue's push/pop cost: one run
+// schedules 1024 events at pseudo-random times (plus ties) and drains
+// them. This is the hot loop every simulation turn goes through.
+func BenchmarkScheduler(b *testing.B) {
+	rng := NewRNG(1)
+	times := make([]Time, 1024)
+	for i := range times {
+		times[i] = Time(rng.Uint64n(256)) * Time(Millisecond) // ~4-way ties
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		for _, at := range times {
+			s.At(at, "e", func() {})
+		}
+		s.Run()
+	}
+}
+
+// BenchmarkSchedulerChained measures the self-rescheduling pattern the
+// workloads use (After from inside a callback), which alternates single
+// pushes and pops on a small queue.
+func BenchmarkSchedulerChained(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewScheduler()
+		n := 0
+		var tick func()
+		tick = func() {
+			if n++; n < 512 {
+				s.After(Millisecond, "tick", tick)
+			}
+		}
+		s.After(Millisecond, "tick", tick)
+		s.Run()
+	}
+}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // Event is a scheduled callback. Callbacks run with the clock set to the
 // event's timestamp and may schedule further events.
 type Event struct {
@@ -13,34 +11,97 @@ type Event struct {
 	index int    // heap bookkeeping; -1 when not queued
 }
 
-// eventQueue is a min-heap over (At, seq).
+// eventQueue is a concrete min-heap over (At, seq). It is hand-rolled
+// rather than built on container/heap so that Push/Pop on the simulation's
+// hottest loop avoid the interface boxing and indirect Less/Swap calls of
+// the generic heap. (At, seq) is a total order — seq is unique — so the
+// pop sequence is identical to the container/heap implementation.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].At != q[j].At {
 		return q[i].At < q[j].At
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+
+func (q *eventQueue) push(e *Event) {
 	e.index = len(*q)
 	*q = append(*q, e)
+	q.siftUp(e.index)
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+func (q *eventQueue) pop() *Event {
+	h := *q
+	n := len(h) - 1
+	h.swap(0, n)
+	e := h[n]
+	h[n] = nil
+	*q = h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
 	e.index = -1
-	*q = old[:n-1]
 	return e
+}
+
+// remove deletes the element at index i, preserving the heap invariant.
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	e := h[n]
+	h[n] = nil
+	*q = h[:n]
+	if i != n {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+	e.index = -1
+}
+
+func (q *eventQueue) siftUp(i int) {
+	h := *q
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the invariant below i and reports whether i moved.
+func (q *eventQueue) siftDown(i int) bool {
+	h := *q
+	start := i
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h.swap(i, least)
+		i = least
+	}
+	return i > start
 }
 
 // Scheduler owns the clock and the event queue of one simulation run. It is
@@ -72,7 +133,7 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 	}
 	s.seq++
 	e := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -99,7 +160,7 @@ func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
+	s.queue.remove(e.index)
 }
 
 // Pending returns the number of queued events.
@@ -113,7 +174,7 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.queue.pop()
 	if e.At > s.clock.Now() {
 		s.clock.AdvanceTo(e.At)
 	}

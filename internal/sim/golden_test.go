@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 // TestGoldenRegen prints the first values of the seed-42 stream when run
 // with -v, for regenerating the golden values in TestRNGStability after a
@@ -9,5 +13,82 @@ func TestGoldenRegen(t *testing.T) {
 	r := NewRNG(42)
 	for i := 0; i < 3; i++ {
 		t.Logf("%#x", r.Uint64())
+	}
+}
+
+// TestGoldenSchedulerOrder is the heap-rewrite regression test: events
+// scheduled in a scrambled timestamp order must fire strictly by
+// (timestamp, insertion sequence) — in particular, same-timestamp events
+// keep their insertion order, with and without cancellations in between.
+func TestGoldenSchedulerOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []string
+	record := func(name string) func() {
+		return func() { got = append(got, name) }
+	}
+	// Three timestamps, interleaved insertion: insertion order is the
+	// authoritative tie-break within each timestamp.
+	s.At(20, "t20-a", record("t20-a"))
+	s.At(10, "t10-a", record("t10-a"))
+	s.At(20, "t20-b", record("t20-b"))
+	s.At(10, "t10-b", record("t10-b"))
+	s.At(30, "t30-a", record("t30-a"))
+	cancelled := s.At(10, "t10-cancelled", record("t10-cancelled"))
+	s.At(10, "t10-c", record("t10-c"))
+	s.At(20, "t20-c", record("t20-c"))
+	s.Cancel(cancelled)
+	s.Run()
+	want := []string{"t10-a", "t10-b", "t10-c", "t20-a", "t20-b", "t20-c", "t30-a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("firing order = %v, want %v", got, want)
+	}
+}
+
+// TestSchedulerHeapRandomized cross-checks the concrete min-heap against a
+// sort-by-(At,seq) oracle over many random schedules with cancellations.
+func TestSchedulerHeapRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := NewScheduler()
+		var got []int
+		var events []*Event
+		n := 2 + rng.Intn(64)
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(rng.Intn(8)) // heavy ties
+			events = append(events, s.At(at, "e", func() { got = append(got, i) }))
+		}
+		// Cancel a random subset before running.
+		want := make([]int, 0, n)
+		cancelled := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			victim := rng.Intn(n)
+			cancelled[victim] = true
+			s.Cancel(events[victim])
+		}
+		type key struct {
+			at  Time
+			seq int
+		}
+		keys := make([]key, 0, n)
+		for i, e := range events {
+			if !cancelled[i] {
+				keys = append(keys, key{e.At, i})
+			}
+		}
+		// Insertion order is seq order, so a stable sort by At is the oracle.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && (keys[j].at < keys[j-1].at ||
+				(keys[j].at == keys[j-1].at && keys[j].seq < keys[j-1].seq)); j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for _, k := range keys {
+			want = append(want, k.seq)
+		}
+		s.Run()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: firing order = %v, want %v", trial, got, want)
+		}
 	}
 }

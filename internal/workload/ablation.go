@@ -6,6 +6,7 @@ import (
 	"hyperalloc"
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 )
 
@@ -30,8 +31,10 @@ type AblationResult struct {
 
 // ReservationAblation runs the clang workload on HyperAlloc with the
 // per-type and per-core reservation policies (Sec. 4.2: "the per-type
-// reservations lead to less fragmentation in the long run").
-func ReservationAblation(units int, seed uint64) ([]AblationResult, error) {
+// reservations lead to less fragmentation in the long run"). The three
+// configurations are independent builds and fan across workers (≤0 means
+// GOMAXPROCS, 1 sequential).
+func ReservationAblation(units int, seed uint64, workers int) ([]AblationResult, error) {
 	configs := []struct {
 		name   string
 		policy hyperalloc.ReservationPolicy
@@ -41,25 +44,25 @@ func ReservationAblation(units int, seed uint64) ([]AblationResult, error) {
 		{"per-core, 8-area trees (orig. LLFree)", hyperalloc.PerCoreReservation, 8},
 		{"per-type, 32-area trees (orig. size)", hyperalloc.PerTypeReservation, 32},
 	}
-	var out []AblationResult
-	for _, c := range configs {
-		cand := ClangCandidate{
-			Name: c.name,
-			Opts: hyperalloc.Options{
-				Candidate:       hyperalloc.CandidateHyperAlloc,
-				AutoReclaim:     true,
-				LLFreePolicy:    c.policy,
-				LLFreeTreeAreas: c.trees,
-			},
-		}
-		res, err := clangWithProbe(cand, ClangConfig{Units: units, Seed: seed, InDepth: true})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.name, err)
-		}
-		res.Name = c.name
-		out = append(out, res)
-	}
-	return out, nil
+	return runner.Map(runner.Runner{Workers: workers}, len(configs),
+		func(i int) (AblationResult, error) {
+			c := configs[i]
+			cand := ClangCandidate{
+				Name: c.name,
+				Opts: hyperalloc.Options{
+					Candidate:       hyperalloc.CandidateHyperAlloc,
+					AutoReclaim:     true,
+					LLFreePolicy:    c.policy,
+					LLFreeTreeAreas: c.trees,
+				},
+			}
+			res, err := clangWithProbe(cand, ClangConfig{Units: units, Seed: seed, InDepth: true})
+			if err != nil {
+				return res, fmt.Errorf("%s: %w", c.name, err)
+			}
+			res.Name = c.name
+			return res, nil
+		})
 }
 
 // clangWithProbe runs the build and probes the allocator state at the end.

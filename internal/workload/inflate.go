@@ -7,6 +7,7 @@ import (
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 )
 
@@ -23,6 +24,11 @@ type InflateConfig struct {
 	Reps int
 	// Seed for determinism.
 	Seed uint64
+	// Workers bounds the pool that fans independent repetitions (and, in
+	// InflateAll, candidate × rep tuples) across CPUs. Every rep builds
+	// its own System from Seed+rep, so results are byte-identical at any
+	// worker count; ≤0 means GOMAXPROCS, 1 is strictly sequential.
+	Workers int
 }
 
 func (c *InflateConfig) defaults() {
@@ -49,97 +55,132 @@ type InflateResult struct {
 	ReturnInstall    metrics.Rate // grow + allocate + write every frame
 }
 
-// Inflate runs the Fig. 4 reclamation-speed microbenchmarks for one
-// candidate. Each repetition measures, in order:
+// inflateTimes holds the four virtual durations one repetition measures.
+type inflateTimes struct {
+	reclaim, ret, reclaimUn, retInstall sim.Duration
+}
+
+// inflateRep runs one self-contained repetition: it builds its own System
+// from Seed+rep, so reps may execute concurrently in any real-time order.
+// Each repetition measures, in order:
 //
 //  1. Reclaim:           shrink Memory -> Shrunk with Touched bytes present
 //  2. Return:            grow back without touching
 //  3. Reclaim untouched: shrink again (nothing was faulted back in)
 //  4. Return+Install:    grow, then allocate and write Touched bytes
-//
-// All rates are virtual-time rates over the resized amount.
-func Inflate(spec CandidateSpec, cfg InflateConfig) (InflateResult, error) {
-	cfg.defaults()
-	resized := cfg.Memory - cfg.Shrunk
-	res := InflateResult{Candidate: spec.Label()}
-	var reclaim, reclaimUn, ret, retInstall []sim.Duration
-
-	for rep := 0; rep < cfg.Reps; rep++ {
-		sys := hyperalloc.NewSystem(cfg.Seed + uint64(rep))
-		vm, err := sys.NewVM(hyperalloc.Options{
-			Name:      fmt.Sprintf("inflate-%d", rep),
-			Candidate: spec.Candidate,
-			Memory:    cfg.Memory,
-			VFIO:      spec.VFIO,
-		})
-		if err != nil {
-			return res, err
+func inflateRep(spec CandidateSpec, cfg InflateConfig, rep int) (inflateTimes, error) {
+	var times inflateTimes
+	sys := hyperalloc.NewSystem(cfg.Seed + uint64(rep))
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name:      fmt.Sprintf("inflate-%d", rep),
+		Candidate: spec.Candidate,
+		Memory:    cfg.Memory,
+		VFIO:      spec.VFIO,
+	})
+	if err != nil {
+		return times, err
+	}
+	clock := sys.Sched.Clock()
+	measure := func(out *sim.Duration, fn func() error) error {
+		t0 := clock.Now()
+		if err := fn(); err != nil {
+			return err
 		}
-		clock := sys.Sched.Clock()
-		measure := func(out *[]sim.Duration, fn func() error) error {
-			t0 := clock.Now()
-			if err := fn(); err != nil {
-				return err
-			}
-			*out = append(*out, clock.Now().Sub(t0))
-			return nil
-		}
-
-		// Preparation: make the memory present by writing into it.
-		r, err := vm.Guest.AllocAnon(0, cfg.Touched)
-		if err != nil {
-			return res, fmt.Errorf("%s prep: %w", spec.Label(), err)
-		}
-		r.Free()
-
-		// 1. Reclaim (touched).
-		if err := measure(&reclaim, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
-			return res, fmt.Errorf("%s reclaim: %w", spec.Label(), err)
-		}
-		// 2. Return.
-		if err := measure(&ret, func() error { return vm.SetMemLimit(cfg.Memory) }); err != nil {
-			return res, fmt.Errorf("%s return: %w", spec.Label(), err)
-		}
-		// 3. Reclaim untouched.
-		if err := measure(&reclaimUn, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
-			return res, fmt.Errorf("%s reclaim-untouched: %w", spec.Label(), err)
-		}
-		// 4. Return + Install: grow and have a single-threaded guest
-		// kernel module allocate and write every 4 KiB frame.
-		if err := measure(&retInstall, func() error {
-			if err := vm.SetMemLimit(cfg.Memory); err != nil {
-				return err
-			}
-			r, err := vm.Guest.AllocAnon(0, cfg.Touched)
-			if err != nil {
-				return err
-			}
-			// The populate/install costs were charged by the touch and
-			// install paths; the guest's own writes move at TouchGiBs.
-			vm.Meter.Work(ledger.Guest, sys.Model.TouchCost(cfg.Touched))
-			r.Free()
-			return nil
-		}); err != nil {
-			return res, fmt.Errorf("%s return+install: %w", spec.Label(), err)
-		}
+		*out = clock.Now().Sub(t0)
+		return nil
 	}
 
-	res.Reclaim = metrics.RateOf(resized, reclaim)
-	res.Return = metrics.RateOf(resized, ret)
-	res.ReclaimUntouched = metrics.RateOf(resized, reclaimUn)
-	res.ReturnInstall = metrics.RateOf(resized, retInstall)
-	return res, nil
+	// Preparation: make the memory present by writing into it.
+	r, err := vm.Guest.AllocAnon(0, cfg.Touched)
+	if err != nil {
+		return times, fmt.Errorf("%s prep: %w", spec.Label(), err)
+	}
+	r.Free()
+
+	// 1. Reclaim (touched).
+	if err := measure(&times.reclaim, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
+		return times, fmt.Errorf("%s reclaim: %w", spec.Label(), err)
+	}
+	// 2. Return.
+	if err := measure(&times.ret, func() error { return vm.SetMemLimit(cfg.Memory) }); err != nil {
+		return times, fmt.Errorf("%s return: %w", spec.Label(), err)
+	}
+	// 3. Reclaim untouched.
+	if err := measure(&times.reclaimUn, func() error { return vm.SetMemLimit(cfg.Shrunk) }); err != nil {
+		return times, fmt.Errorf("%s reclaim-untouched: %w", spec.Label(), err)
+	}
+	// 4. Return + Install: grow and have a single-threaded guest
+	// kernel module allocate and write every 4 KiB frame.
+	if err := measure(&times.retInstall, func() error {
+		if err := vm.SetMemLimit(cfg.Memory); err != nil {
+			return err
+		}
+		r, err := vm.Guest.AllocAnon(0, cfg.Touched)
+		if err != nil {
+			return err
+		}
+		// The populate/install costs were charged by the touch and
+		// install paths; the guest's own writes move at TouchGiBs.
+		vm.Meter.Work(ledger.Guest, sys.Model.TouchCost(cfg.Touched))
+		r.Free()
+		return nil
+	}); err != nil {
+		return times, fmt.Errorf("%s return+install: %w", spec.Label(), err)
+	}
+	return times, nil
 }
 
-// InflateAll runs the benchmark for every Fig. 4 candidate.
+// reduceInflate folds the per-rep durations, in rep order, into the
+// candidate's Fig. 4 rates.
+func reduceInflate(spec CandidateSpec, cfg InflateConfig, times []inflateTimes) InflateResult {
+	resized := cfg.Memory - cfg.Shrunk
+	reclaim := make([]sim.Duration, len(times))
+	ret := make([]sim.Duration, len(times))
+	reclaimUn := make([]sim.Duration, len(times))
+	retInstall := make([]sim.Duration, len(times))
+	for i, t := range times {
+		reclaim[i], ret[i], reclaimUn[i], retInstall[i] = t.reclaim, t.ret, t.reclaimUn, t.retInstall
+	}
+	return InflateResult{
+		Candidate:        spec.Label(),
+		Reclaim:          metrics.RateOf(resized, reclaim),
+		Return:           metrics.RateOf(resized, ret),
+		ReclaimUntouched: metrics.RateOf(resized, reclaimUn),
+		ReturnInstall:    metrics.RateOf(resized, retInstall),
+	}
+}
+
+// Inflate runs the Fig. 4 reclamation-speed microbenchmarks for one
+// candidate, fanning the repetitions across cfg.Workers. All rates are
+// virtual-time rates over the resized amount and independent of the
+// worker count.
+func Inflate(spec CandidateSpec, cfg InflateConfig) (InflateResult, error) {
+	cfg.defaults()
+	times, err := runner.Map(runner.Runner{Workers: cfg.Workers}, cfg.Reps,
+		func(rep int) (inflateTimes, error) { return inflateRep(spec, cfg, rep) })
+	if err != nil {
+		return InflateResult{Candidate: spec.Label()}, err
+	}
+	return reduceInflate(spec, cfg, times), nil
+}
+
+// InflateAll runs the benchmark for every Fig. 4 candidate. The whole
+// candidate × rep matrix goes through one worker pool so the hardware
+// stays busy across candidate boundaries; the reduction preserves
+// candidate order.
 func InflateAll(cfg InflateConfig) ([]InflateResult, error) {
-	var out []InflateResult
-	for _, spec := range Fig4Candidates() {
-		r, err := Inflate(spec, cfg)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	cfg.defaults()
+	specs := Fig4Candidates()
+	times, err := runner.Map(runner.Runner{Workers: cfg.Workers}, len(specs)*cfg.Reps,
+		func(i int) (inflateTimes, error) {
+			return inflateRep(specs[i/cfg.Reps], cfg, i%cfg.Reps)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InflateResult, len(specs))
+	for c, spec := range specs {
+		out[c] = reduceInflate(spec, cfg, times[c*cfg.Reps:(c+1)*cfg.Reps])
 	}
 	return out, nil
 }

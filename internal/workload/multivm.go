@@ -6,6 +6,7 @@ import (
 	"hyperalloc"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 )
 
@@ -22,6 +23,9 @@ type MultiVMConfig struct {
 	Units        int          // compile units per build (default 1800)
 	Seed         uint64
 	SamplePeriod sim.Duration // default 10 s (long experiment)
+	// Workers bounds the pool MultiVMAll uses to fan candidates across
+	// CPUs (each candidate owns a private System); ≤0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c *MultiVMConfig) defaults() {
@@ -147,6 +151,14 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 		res.ExtraVMs = int((host - res.PeakBytes) / cfg.Memory)
 	}
 	return res, nil
+}
+
+// MultiVMAll runs the packing experiment for every candidate through one
+// worker pool; results come back in candidate order and are identical to
+// a sequential loop (each candidate simulation is share-nothing).
+func MultiVMAll(cands []ClangCandidate, cfg MultiVMConfig) ([]MultiVMResult, error) {
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(cands),
+		func(i int) (MultiVMResult, error) { return MultiVM(cands[i], cfg) })
 }
 
 // multiBuildDriver runs `Builds` clang compilations inside one VM on the

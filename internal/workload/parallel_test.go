@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// TestInflateParallelGolden is the determinism contract of the parallel
+// runner at the workload level: the full Fig. 4 candidate × rep matrix
+// must produce value-identical results at Workers: 1 (today's sequential
+// behaviour) and Workers: 8. Per-run determinism comes from the seeded
+// RNG and virtual clock; the runner must not perturb it.
+func TestInflateParallelGolden(t *testing.T) {
+	cfg := InflateConfig{
+		Memory:  8 * mem.GiB,
+		Shrunk:  2 * mem.GiB,
+		Touched: 6 * mem.GiB,
+		Reps:    4,
+		Seed:    42,
+	}
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seq, err := InflateAll(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.Workers = 8
+	par, err := InflateAll(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("InflateAll Workers:8 differs from Workers:1\nseq: %+v\npar: %+v", seq, par)
+	}
+
+	// Single-candidate path too (reps fan inside Inflate).
+	spec := Fig4Candidates()[4] // HyperAlloc
+	s1, err := Inflate(spec, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := Inflate(spec, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, p8) {
+		t.Errorf("Inflate Workers:8 differs from Workers:1\nseq: %+v\npar: %+v", s1, p8)
+	}
+}
+
+// TestMultiVMParallelGolden checks MultiVMAll at Workers: 4 against the
+// sequential run, including the per-VM sample series.
+func TestMultiVMParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-VM simulation is slow")
+	}
+	cfg := MultiVMConfig{
+		Units:  120,
+		Builds: 1,
+		Gap:    5 * 60 * sim.Second,
+		Offset: 2 * 60 * sim.Second,
+		Seed:   42,
+	}
+	cands := MultiVMCandidates()
+	seqCfg := cfg
+	seqCfg.Workers = 1
+	seq, err := MultiVMAll(cands, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.Workers = 4
+	par, err := MultiVMAll(cands, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("MultiVMAll Workers:4 differs from Workers:1")
+	}
+}
+
+// TestReservationAblationParallelGolden covers the third multi-run helper.
+func TestReservationAblationParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clang ablation is slow")
+	}
+	seq, err := ReservationAblation(150, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ReservationAblation(150, 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("ReservationAblation workers:4 differs from workers:1\nseq: %+v\npar: %+v", seq, par)
+	}
+}

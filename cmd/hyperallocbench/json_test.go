@@ -1,0 +1,84 @@
+package main
+
+import (
+	"testing"
+
+	"hyperalloc/internal/report"
+)
+
+// TestJSONSchemaGolden pins the -json output schema byte-for-byte: the
+// key order is the struct declaration order of `output` and its nested
+// types, and tools consuming these files (CI dashboards, the paper's
+// plotting scripts) rely on it staying put. If this test fails you
+// changed the schema — update the golden string AND bump the consumers.
+func TestJSONSchemaGolden(t *testing.T) {
+	out := &output{
+		Seed:    42,
+		Workers: 8,
+		Fig4: &fig4JSON{
+			Reps: 3,
+			Candidates: []fig4RateJSON{{
+				Candidate:        "HyperAlloc",
+				ReclaimGiBs:      30.5,
+				ReclaimUntouched: 124.25,
+				ReturnGiBs:       96,
+				ReturnInstall:    6.125,
+			}},
+			Runs:       15,
+			WallSec:    1.5,
+			RunsPerSec: 10,
+		},
+		Speedup: &speedupJSON{
+			Reps:          3,
+			Runs:          15,
+			Workers:       8,
+			SeqRunsPerSec: 2.5,
+			ParRunsPerSec: 10,
+			Speedup:       4,
+		},
+	}
+	const golden = `{
+  "seed": 42,
+  "workers": 8,
+  "fig4": {
+    "reps": 3,
+    "candidates": [
+      {
+        "candidate": "HyperAlloc",
+        "reclaim_gibs": 30.5,
+        "reclaim_untouched_gibs": 124.25,
+        "return_gibs": 96,
+        "return_install_gibs": 6.125
+      }
+    ],
+    "runs": 15,
+    "wall_seconds": 1.5,
+    "runs_per_second": 10
+  },
+  "speedup": {
+    "reps": 3,
+    "runs": 15,
+    "workers": 8,
+    "sequential_runs_per_second": 2.5,
+    "parallel_runs_per_second": 10,
+    "speedup": 4
+  }
+}
+`
+	buf, err := report.JSONBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != golden {
+		t.Errorf("-json schema drifted:\ngot:\n%s\nwant:\n%s", buf, golden)
+	}
+	// Marshalling twice yields identical bytes (no map iteration anywhere
+	// in the schema).
+	again, err := report.JSONBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(buf) {
+		t.Error("repeated marshal differs")
+	}
+}

@@ -21,7 +21,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -99,11 +98,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+		if err := report.WriteJSON(*jsonPath, out); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", *jsonPath)

@@ -136,8 +136,12 @@ type Options struct {
 	// reclamation, virtio-balloon free-page reporting, or the simulated
 	// virtio-mem policy of Sec. 5.5.
 	AutoReclaim bool
-	// AutoPeriod overrides the automatic-mode period (HyperAlloc default
-	// 5 s; virtio-mem policy default 1 s).
+	// AutoPeriod overrides the automatic-mode period of whichever
+	// mechanism is attached (HyperAlloc scan default 5 s; virtio-mem
+	// policy default 1 s; virtio-balloon reporting delay default 2 s —
+	// AutoPeriod takes precedence over ReportingDelay when both are set).
+	// It is plumbed through the vmm attach options, so host-side policy
+	// layers (the memory broker) can retune it per VM as well.
 	AutoPeriod sim.Duration
 
 	// ReportingOrder (o), ReportingDelay (d), and ReportingCapacity (c)
@@ -226,13 +230,14 @@ func (s *System) NewVM(opts Options) (*VM, error) {
 	}
 	meter := ledger.NewMeter(s.Sched.Clock())
 	inner, err := vmm.NewVM(vmm.Config{
-		Name:   opts.Name,
-		Guest:  g,
-		Meter:  meter,
-		Model:  s.Model,
-		Pool:   s.Pool,
-		VFIO:   opts.VFIO,
-		Mapped: opts.Prepared,
+		Name:       opts.Name,
+		Guest:      g,
+		Meter:      meter,
+		Model:      s.Model,
+		Pool:       s.Pool,
+		VFIO:       opts.VFIO,
+		Mapped:     opts.Prepared,
+		AutoPeriod: opts.AutoPeriod,
 	})
 	if err != nil {
 		return nil, err
@@ -247,9 +252,8 @@ func (s *System) NewVM(opts Options) (*VM, error) {
 		if err != nil {
 			return nil, err
 		}
-		if opts.AutoPeriod > 0 {
-			m.AutoPeriod = opts.AutoPeriod
-		}
+		// The attach options already applied opts.AutoPeriod; only the
+		// enable/disable decision is candidate-specific.
 		if !opts.AutoReclaim {
 			m.AutoPeriod = 0
 		}
@@ -267,9 +271,9 @@ func (s *System) NewVM(opts Options) (*VM, error) {
 		}
 		vm.Balloon = m
 	case CandidateVirtioMem:
+		// The auto period arrives through the vmm attach options.
 		m, err := virtiomem.New(inner, virtiomem.Config{
 			SimulatedAuto: opts.AutoReclaim,
-			AutoPeriod:    opts.AutoPeriod,
 		})
 		if err != nil {
 			return nil, err

@@ -123,6 +123,10 @@ func (m *Mechanism) Properties() vmm.Properties {
 // Limit implements vmm.Mechanism.
 func (m *Mechanism) Limit() uint64 { return m.limit }
 
+// SetAutoPeriod implements vmm.AutoTuner: the balloon's automatic-mode
+// period is the free-page-reporting delay (REPORTING_DELAY).
+func (m *Mechanism) SetAutoPeriod(d sim.Duration) { m.cfg.ReportingDelay = d }
+
 // order returns the balloon's page granularity.
 func (m *Mechanism) order() mem.Order {
 	if m.cfg.Huge {

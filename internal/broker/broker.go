@@ -1,0 +1,297 @@
+// Package broker is the host memory broker: a deterministic control loop
+// that runs inside the simulated event loop, samples per-VM demand and
+// free-memory signals, and drives the reclamation mechanisms'
+// Shrink/Grow limits across all VMs of one host according to a pluggable
+// Policy (static split, watermark, proportional share).
+//
+// The broker is the management layer the paper leaves to future work
+// (Sec. 6 discusses host-side fallback only as swapping): the mechanisms
+// expose fast de/inflation, the broker decides who gets the memory.
+//
+// Determinism rules (DESIGN.md "Broker"): VMs are kept in attach order —
+// never in map order — signals are sampled before the policy runs,
+// policies are stateless, and all per-VM history a policy may need is
+// part of the sampled signals. Two runs with the same seed produce
+// byte-identical event logs at any worker count.
+package broker
+
+import (
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+// Config parameterizes a Broker.
+type Config struct {
+	// Policy decides the per-VM targets each tick (required).
+	Policy Policy
+	// Period is the control-loop interval (default 1 s).
+	Period sim.Duration
+	// DemandAlpha is the EWMA smoothing factor for the demand signal
+	// (default 0.3).
+	DemandAlpha float64
+	// BurstWindow is the lookback for the recent-peak demand signal
+	// (default 30 s).
+	BurstWindow sim.Duration
+	// MinLimit floors every target the broker applies (default 1 GiB) so
+	// a policy can never squeeze a VM below its kernel working set.
+	MinLimit uint64
+	// VMAutoPeriod, when non-zero, retunes each attached VM's own
+	// automatic-reclamation period (vmm.AutoTuner): with the broker
+	// driving the limits, the per-mechanism auto mode is typically slowed
+	// down or left disabled.
+	VMAutoPeriod sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period == 0 {
+		c.Period = sim.Second
+	}
+	if c.DemandAlpha == 0 {
+		c.DemandAlpha = 0.3
+	}
+	if c.BurstWindow == 0 {
+		c.BurstWindow = 30 * sim.Second
+	}
+	if c.MinLimit == 0 {
+		c.MinLimit = mem.GiB
+	}
+	return c
+}
+
+// Event is one structured decision record: every resize the broker
+// attempts is logged with the signal it acted on and the outcome.
+type Event struct {
+	T      sim.Time
+	VM     string
+	Policy string
+	Action string // "grow" | "shrink"
+	From   uint64 // limit before
+	Want   uint64 // clamped, rounded target
+	To     uint64 // limit after (partial progress shows here)
+	Reason string
+	Err    string // non-empty when the mechanism returned an error
+}
+
+// managed is the broker's per-VM state.
+type managed struct {
+	vm       *vmm.VM
+	priority int
+
+	demand *metrics.Series // DemandBytes per tick
+	free   *metrics.Series // FreeBytes per tick
+
+	ewma       float64
+	hasEwma    bool
+	lastResize sim.Time
+	hasResize  bool
+}
+
+// Broker is one host's memory balancing loop.
+type Broker struct {
+	cfg   Config
+	sched *sim.Scheduler
+	pool  *hostmem.Pool
+	vms   []*managed // attach order; never iterated via maps
+	event *sim.Event
+
+	// Events is the structured decision log.
+	Events []Event
+
+	// Counters.
+	Ticks       uint64
+	Grows       uint64
+	Shrinks     uint64
+	Emergencies uint64
+	Errors      uint64
+}
+
+// New creates a broker on the host described by sched and pool.
+func New(sched *sim.Scheduler, pool *hostmem.Pool, cfg Config) *Broker {
+	if cfg.Policy == nil {
+		panic("broker: Config.Policy is required")
+	}
+	return &Broker{cfg: cfg.withDefaults(), sched: sched, pool: pool}
+}
+
+// Policy returns the configured policy.
+func (b *Broker) Policy() Policy { return b.cfg.Policy }
+
+// Attach registers a VM with the broker. Priority feeds the
+// proportional-share weight (1+priority); 0 is the normal class. When
+// Config.VMAutoPeriod is set, the VM's own automatic-reclamation period
+// is retuned through vmm.AutoTuner.
+func (b *Broker) Attach(vm *vmm.VM, priority int) {
+	b.vms = append(b.vms, &managed{
+		vm:       vm,
+		priority: priority,
+		demand:   &metrics.Series{Name: vm.Name + "/demand"},
+		free:     &metrics.Series{Name: vm.Name + "/free"},
+	})
+	if b.cfg.VMAutoPeriod > 0 {
+		vm.SetAutoPeriod(b.cfg.VMAutoPeriod)
+	}
+}
+
+// Start schedules the control loop; the first tick fires after one
+// period.
+func (b *Broker) Start() {
+	var tick func()
+	tick = func() {
+		b.Tick()
+		b.event = b.sched.After(b.cfg.Period, "broker/tick", tick)
+	}
+	b.event = b.sched.After(b.cfg.Period, "broker/tick", tick)
+}
+
+// Stop cancels the control loop.
+func (b *Broker) Stop() {
+	b.sched.Cancel(b.event)
+	b.event = nil
+}
+
+// Tick runs one control cycle: sample signals, ask the policy for
+// targets, apply them (shrinks before grows, so freed host memory is
+// available to the growers within the same tick).
+func (b *Broker) Tick() {
+	b.Ticks++
+	now := b.sched.Now()
+	host, vms := b.sample(now)
+	targets := b.cfg.Policy.Targets(now, host, vms)
+
+	// Two passes over the policy's (deterministic) target order.
+	for pass := 0; pass < 2; pass++ {
+		for _, t := range targets {
+			m := b.byName(t.VM)
+			if m == nil {
+				continue // policy named an unknown VM; ignore
+			}
+			want := b.clamp(t.Bytes, m.vm.InitialBytes)
+			cur := m.vm.Limit()
+			if want == cur {
+				continue
+			}
+			shrink := want < cur
+			if (pass == 0) != shrink {
+				continue
+			}
+			b.apply(now, m, want, t)
+		}
+	}
+}
+
+// sample reads every VM's signals and the host aggregate, updating the
+// broker's series and EWMA state.
+func (b *Broker) sample(now sim.Time) (HostSignals, []VMSignals) {
+	vms := make([]VMSignals, len(b.vms))
+	var provisioned uint64
+	for i, m := range b.vms {
+		demand := m.vm.DemandBytes()
+		free := m.vm.FreeBytes()
+		m.demand.Add(now, float64(demand))
+		m.free.Add(now, float64(free))
+		if !m.hasEwma {
+			m.ewma, m.hasEwma = float64(demand), true
+		} else {
+			m.ewma = b.cfg.DemandAlpha*float64(demand) + (1-b.cfg.DemandAlpha)*m.ewma
+		}
+		var since sim.Duration = 1 << 62 // "never resized"
+		if m.hasResize {
+			since = now.Sub(m.lastResize)
+		}
+		recent := now - sim.Time(b.cfg.BurstWindow)
+		if sim.Time(b.cfg.BurstWindow) > now {
+			recent = 0
+		}
+		limit := m.vm.Limit()
+		provisioned += limit
+		vms[i] = VMSignals{
+			Name:         m.vm.Name,
+			Priority:     m.priority,
+			InitialBytes: m.vm.InitialBytes,
+			Limit:        limit,
+			RSS:          m.vm.RSS(),
+			FreeBytes:    free,
+			DemandBytes:  demand,
+			DemandEWMA:   m.ewma,
+			DemandRecent: uint64(m.demand.MaxSince(recent)),
+			SinceResize:  since,
+		}
+	}
+	host := HostSignals{
+		Capacity:    b.pool.Capacity(),
+		Total:       b.pool.Total(),
+		Provisioned: provisioned,
+	}
+	if host.Capacity > host.Total {
+		host.Free = host.Capacity - host.Total
+	}
+	return host, vms
+}
+
+// apply performs one resize and records the decision event.
+func (b *Broker) apply(now sim.Time, m *managed, want uint64, t Target) {
+	from := m.vm.Limit()
+	action := "grow"
+	if want < from {
+		action = "shrink"
+	}
+	err := m.vm.SetMemLimit(want)
+	ev := Event{
+		T:      now,
+		VM:     m.vm.Name,
+		Policy: b.cfg.Policy.Name(),
+		Action: action,
+		From:   from,
+		Want:   want,
+		To:     m.vm.Limit(),
+		Reason: t.Reason,
+	}
+	if err != nil {
+		ev.Err = err.Error()
+		b.Errors++
+	}
+	b.Events = append(b.Events, ev)
+	if action == "grow" {
+		b.Grows++
+	} else {
+		b.Shrinks++
+	}
+	if t.Emergency {
+		b.Emergencies++
+	}
+	m.lastResize, m.hasResize = now, true
+}
+
+// clamp bounds a raw policy target to [MinLimit, initial] and rounds it
+// up to a huge-page multiple (every mechanism's coarsest granularity).
+func (b *Broker) clamp(bytes, initial uint64) uint64 {
+	if bytes < b.cfg.MinLimit {
+		bytes = b.cfg.MinLimit
+	}
+	bytes = (bytes + mem.HugeSize - 1) / mem.HugeSize * mem.HugeSize
+	if bytes > initial {
+		bytes = initial
+	}
+	return bytes
+}
+
+// byName resolves a target's VM by linear scan (attach order, tiny N).
+func (b *Broker) byName(name string) *managed {
+	for _, m := range b.vms {
+		if m.vm.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// DemandSeries returns the sampled demand series of the i-th attached VM
+// (attach order).
+func (b *Broker) DemandSeries(i int) *metrics.Series { return b.vms[i].demand }
+
+// FreeSeries returns the sampled free-memory series of the i-th attached
+// VM (attach order).
+func (b *Broker) FreeSeries(i int) *metrics.Series { return b.vms[i].free }

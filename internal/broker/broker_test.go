@@ -1,0 +1,299 @@
+package broker_test
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+func vmSig(name string, limit, free uint64) broker.VMSignals {
+	return broker.VMSignals{
+		Name: name, InitialBytes: 16 * mem.GiB, Limit: limit,
+		FreeBytes: free, DemandBytes: limit - free, DemandRecent: limit - free,
+		SinceResize: 1 << 62,
+	}
+}
+
+func TestStaticSplitTargets(t *testing.T) {
+	// The provisioned memory (3×16 GiB) is split equally, regardless of
+	// demand and regardless of the (overcommitted) host capacity.
+	host := broker.HostSignals{Capacity: 30 * mem.GiB}
+	vms := []broker.VMSignals{
+		vmSig("a", 16*mem.GiB, 14*mem.GiB),
+		vmSig("b", 16*mem.GiB, 2*mem.GiB),
+		vmSig("c", 16*mem.GiB, 8*mem.GiB),
+	}
+	got := broker.StaticSplit{}.Targets(0, host, vms)
+	if len(got) != 3 {
+		t.Fatalf("targets = %d, want 3", len(got))
+	}
+	for i, tg := range got {
+		if tg.Bytes != 16*mem.GiB {
+			t.Errorf("target[%d] = %d, want provisioned share %d", i, tg.Bytes, 16*mem.GiB)
+		}
+	}
+	// Heterogeneous VMs: the equal share is capped at a small VM's boot
+	// size (it cannot grow beyond what it booted with).
+	vms[0].InitialBytes = 4 * mem.GiB
+	got = broker.StaticSplit{}.Targets(0, host, vms)
+	if got[0].Bytes != 4*mem.GiB {
+		t.Errorf("capped share = %d, want %d", got[0].Bytes, 4*mem.GiB)
+	}
+	if got[1].Bytes != 12*mem.GiB {
+		t.Errorf("share = %d, want 12 GiB (36 GiB provisioned / 3)", got[1].Bytes)
+	}
+}
+
+func TestWatermarkTargets(t *testing.T) {
+	p := broker.Watermark{LowBytes: 2 * mem.GiB, HighBytes: 4 * mem.GiB,
+		MaxStep: 2 * mem.GiB, MinGap: 10 * sim.Second}
+	host := broker.HostSignals{Capacity: 48 * mem.GiB}
+
+	// Free below the low watermark: grow toward the band midpoint.
+	low := vmSig("low", 8*mem.GiB, 1*mem.GiB)
+	got := p.Targets(0, host, []broker.VMSignals{low})
+	if len(got) != 1 || got[0].Bytes != 8*mem.GiB+2*mem.GiB {
+		t.Fatalf("grow target = %+v, want limit+2GiB", got)
+	}
+
+	// Free above the high watermark: shrink toward the midpoint, bounded
+	// by MaxStep (free 7 GiB, mid 3 GiB: wants -4 GiB, steps -2 GiB).
+	high := vmSig("high", 10*mem.GiB, 7*mem.GiB)
+	got = p.Targets(0, host, []broker.VMSignals{high})
+	if len(got) != 1 || got[0].Bytes != 8*mem.GiB {
+		t.Fatalf("shrink target = %+v, want limit-MaxStep", got)
+	}
+
+	// A recent resize gates shrinking but never growing.
+	high.SinceResize = 5 * sim.Second
+	if got = p.Targets(0, host, []broker.VMSignals{high}); len(got) != 0 {
+		t.Fatalf("shrink within MinGap = %+v, want none", got)
+	}
+	low.SinceResize = 0
+	if got = p.Targets(0, host, []broker.VMSignals{low}); len(got) != 1 {
+		t.Fatalf("grow within MinGap suppressed: %+v", got)
+	}
+
+	// Inside the band: no action.
+	mid := vmSig("mid", 8*mem.GiB, 3*mem.GiB)
+	if got = p.Targets(0, host, []broker.VMSignals{mid}); len(got) != 0 {
+		t.Fatalf("target inside band = %+v, want none", got)
+	}
+}
+
+func TestProportionalShareTargets(t *testing.T) {
+	p := broker.ProportionalShare{SlackBytes: mem.GiB, DeadBand: 256 * mem.MiB,
+		EmergencyFrac: 0.04}
+	host := broker.HostSignals{Capacity: 30 * mem.GiB, Total: 10 * mem.GiB,
+		Free: 20 * mem.GiB}
+
+	// A busy VM receives more of the headroom than an idle one.
+	busy := vmSig("busy", 16*mem.GiB, 4*mem.GiB) // demand 12 GiB
+	idle := vmSig("idle", 16*mem.GiB, 14*mem.GiB) // demand 2 GiB
+	got := p.Targets(0, host, []broker.VMSignals{busy, idle})
+	if len(got) != 2 {
+		t.Fatalf("targets = %+v, want 2", got)
+	}
+	if got[0].Bytes <= got[1].Bytes {
+		t.Errorf("busy target %d not above idle target %d", got[0].Bytes, got[1].Bytes)
+	}
+	if got[1].Bytes >= idle.Limit {
+		t.Errorf("idle VM not squeezed: target %d, limit %d", got[1].Bytes, idle.Limit)
+	}
+
+	// Priority raises the share at equal demand.
+	hi, lo := vmSig("hi", 16*mem.GiB, 8*mem.GiB), vmSig("lo", 16*mem.GiB, 8*mem.GiB)
+	hi.Priority = 2
+	got = p.Targets(0, host, []broker.VMSignals{hi, lo})
+	if len(got) != 2 || got[0].Bytes <= got[1].Bytes {
+		t.Errorf("priority ignored: %+v", got)
+	}
+
+	// Changes inside the dead band are suppressed: desired = demand 9 GiB
+	// + slack 1 GiB, headroom 100 MiB, so the target lands 100 MiB above
+	// the current 10 GiB limit.
+	steady := vmSig("steady", 10*mem.GiB, 1*mem.GiB)
+	one := p.Targets(0, broker.HostSignals{Capacity: 10*mem.GiB + 100*mem.MiB,
+		Free: mem.GiB}, []broker.VMSignals{steady})
+	if len(one) != 0 {
+		t.Errorf("dead-band resize emitted: %+v", one)
+	}
+
+	// Host memory nearly exhausted: every VM is cut to its working set.
+	tight := broker.HostSignals{Capacity: 30 * mem.GiB, Total: 29500 * mem.MiB,
+		Free: 500 * mem.MiB}
+	got = p.Targets(0, tight, []broker.VMSignals{busy, idle})
+	if len(got) != 2 {
+		t.Fatalf("emergency targets = %+v, want 2", got)
+	}
+	for _, tg := range got {
+		if !tg.Emergency {
+			t.Errorf("target %+v not marked emergency", tg)
+		}
+	}
+	if got[1].Bytes != idle.DemandBytes+256*mem.MiB {
+		t.Errorf("emergency target = %d, want demand+deadband %d",
+			got[1].Bytes, idle.DemandBytes+256*mem.MiB)
+	}
+}
+
+// newHost boots n HyperAlloc VMs on a finite host and attaches them to a
+// broker with the given config.
+func newHost(t *testing.T, n int, hostBytes uint64, cfg broker.Config) (*hyperalloc.System, []*hyperalloc.VM, *broker.Broker) {
+	t.Helper()
+	sys := hyperalloc.NewSystemWithMemory(42, hostBytes)
+	bk := broker.New(sys.Sched, sys.Pool, cfg)
+	var vms []*hyperalloc.VM
+	for i := 0; i < n; i++ {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:      "vm" + string(rune('0'+i)),
+			Candidate: hyperalloc.CandidateHyperAlloc,
+			Memory:    8 * mem.GiB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk.Attach(vm.VM, 0)
+		vms = append(vms, vm)
+	}
+	return sys, vms, bk
+}
+
+func TestBrokerAppliesPolicy(t *testing.T) {
+	sys, vms, bk := newHost(t, 2, 12*mem.GiB, broker.Config{
+		Policy: fixedPolicy{bytes: 6 * mem.GiB},
+	})
+	bk.Start()
+	sys.RunUntil(sim.Time(5 * sim.Second))
+	for _, vm := range vms {
+		if got, want := vm.Limit(), uint64(6*mem.GiB); got != want {
+			t.Errorf("%s limit = %d, want target %d", vm.Name, got, want)
+		}
+	}
+	if bk.Shrinks != 2 {
+		t.Errorf("shrinks = %d, want 2 (one per VM, then steady no-ops): %+v",
+			bk.Shrinks, bk.Events)
+	}
+	for _, ev := range bk.Events {
+		if ev.Policy != "fixed" || ev.Action != "shrink" || ev.Err != "" || ev.To != ev.Want {
+			t.Errorf("unexpected event %+v", ev)
+		}
+	}
+}
+
+func TestBrokerClampsAndRounds(t *testing.T) {
+	// A policy emitting absurd raw values must be clamped to
+	// [MinLimit, InitialBytes] and rounded to huge-page multiples.
+	sys, vms, bk := newHost(t, 1, 0, broker.Config{
+		Policy:   fixedPolicy{bytes: 123},
+		MinLimit: 2 * mem.GiB,
+	})
+	_ = vms
+	bk.Start()
+	sys.RunUntil(sim.Time(2 * sim.Second))
+	if len(bk.Events) == 0 {
+		t.Fatal("no events")
+	}
+	if got := bk.Events[0].Want; got != 2*mem.GiB {
+		t.Errorf("clamped want = %d, want MinLimit %d", got, 2*mem.GiB)
+	}
+	if got := vms[0].Limit(); got != 2*mem.GiB {
+		t.Errorf("limit = %d, want %d", got, 2*mem.GiB)
+	}
+}
+
+type fixedPolicy struct{ bytes uint64 }
+
+func (fixedPolicy) Name() string { return "fixed" }
+func (p fixedPolicy) Targets(now sim.Time, host broker.HostSignals, vms []broker.VMSignals) []broker.Target {
+	out := make([]broker.Target, 0, len(vms))
+	for _, v := range vms {
+		out = append(out, broker.Target{VM: v.Name, Bytes: p.bytes, Reason: "fixed"})
+	}
+	return out
+}
+
+func TestBrokerDeterminism(t *testing.T) {
+	run := func() []broker.Event {
+		sys, vms, bk := newHost(t, 3, 18*mem.GiB, broker.Config{
+			Policy: broker.Watermark{}, BurstWindow: 10 * sim.Second,
+		})
+		bk.Start()
+		// Deterministic per-VM load: allocate and free a few GiB in waves.
+		for i, vm := range vms {
+			vm := vm
+			sys.Sched.After(sim.Duration(i+1)*sim.Second, "load", func() {
+				reg, err := vm.Guest.AllocAnon(0, 3*mem.GiB)
+				if err != nil {
+					t.Errorf("load alloc: %v", err)
+					return
+				}
+				sys.Sched.After(20*sim.Second, "unload", func() { reg.Free() })
+			})
+		}
+		sys.RunUntil(sim.Time(60 * sim.Second))
+		bk.Stop()
+		return bk.Events
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no broker events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("event logs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestBrokerSetsVMAutoPeriod checks the attach-time auto-period plumbing
+// end to end: a broker-chosen period overrides the mechanisms' defaults.
+func TestBrokerSetsVMAutoPeriod(t *testing.T) {
+	sys := hyperalloc.NewSystem(1)
+	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
+		Policy:       broker.StaticSplit{},
+		VMAutoPeriod: 30 * sim.Second,
+	})
+
+	// HyperAlloc: the scan period (default 5 s) must follow the broker.
+	ha, err := sys.NewVM(hyperalloc.Options{
+		Name: "ha", Candidate: hyperalloc.CandidateHyperAlloc,
+		Memory: 4 * mem.GiB, AutoReclaim: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Attach(ha.VM, 0)
+	if got := ha.HyperAlloc.AutoPeriod; got != 30*sim.Second {
+		t.Errorf("HyperAlloc auto period = %v, want 30s", got)
+	}
+
+	// virtio-balloon: the reporting delay must follow; AutoTick reports
+	// the period it rescheduled with.
+	bl, err := sys.NewVM(hyperalloc.Options{
+		Name: "bl", Candidate: hyperalloc.CandidateBalloon,
+		Memory: 4 * mem.GiB, AutoReclaim: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Attach(bl.VM, 0)
+	if got := bl.Balloon.AutoTick(); got != 30*sim.Second {
+		t.Errorf("balloon reporting delay = %v, want 30s", got)
+	}
+
+	// The vmm.Config attach-time override (Options.AutoPeriod) uses the
+	// same plumbing.
+	vm2, err := sys.NewVM(hyperalloc.Options{
+		Name: "ha2", Candidate: hyperalloc.CandidateHyperAlloc,
+		Memory: 4 * mem.GiB, AutoReclaim: true, AutoPeriod: 7 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := vm2.HyperAlloc.AutoPeriod; got != 7*sim.Second {
+		t.Errorf("attach-time auto period = %v, want 7s", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Policy implementations for the host memory broker: the static-split
+// baseline, a per-VM watermark controller, and a proportional-share
+// balancer with priority classes and an emergency host-reclaim mode.
+//
+// Policies are pure functions from signals to targets: they keep no state
+// between ticks (all history they need — EWMA demand, burst lookback,
+// time since last resize — is sampled into VMSignals by the broker). That
+// makes every policy trivially deterministic and lets the same policy
+// value be shared across parallel experiment arms.
+package broker
+
+import (
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// VMSignals is one VM's view handed to a policy, sampled at the start of
+// the tick. Slices of VMSignals are always in broker attach order.
+type VMSignals struct {
+	Name     string
+	Priority int // higher = more important (proportional-share weight 1+Priority)
+
+	InitialBytes uint64 // boot-time size; limits never exceed it
+	Limit        uint64 // current hard limit
+	RSS          uint64 // host-resident bytes
+	FreeBytes    uint64 // guest-allocatable bytes under the current limit
+	DemandBytes  uint64 // Limit - FreeBytes: memory in use right now
+
+	// DemandEWMA smooths DemandBytes with the broker's DemandAlpha.
+	DemandEWMA float64
+	// DemandRecent is the peak DemandBytes over the broker's BurstWindow —
+	// the burst a policy should keep headroom for.
+	DemandRecent uint64
+
+	// SinceResize is the time since the broker last resized this VM
+	// (a large value before the first resize).
+	SinceResize sim.Duration
+}
+
+// HostSignals is the host-wide view handed to a policy.
+type HostSignals struct {
+	Capacity    uint64 // physical bytes (0 = unlimited host)
+	Total       uint64 // aggregate RSS across VMs
+	Free        uint64 // Capacity - Total (0 when the host is overcommitted)
+	Provisioned uint64 // sum of the VMs' current limits
+}
+
+// Target is one policy decision: resize VM to Bytes. The broker clamps
+// Bytes to [MinLimit, InitialBytes], rounds it up to a huge-page
+// multiple, and skips no-ops, so policies can emit raw byte values.
+type Target struct {
+	VM     string
+	Bytes  uint64
+	Reason string
+	// Emergency marks a host-pressure reclaim; it is recorded on the
+	// decision event and counted separately.
+	Emergency bool
+}
+
+// Policy maps sampled signals to resize targets. Implementations must be
+// deterministic: same inputs, same targets, in a deterministic order
+// (conventionally the input order of vms).
+type Policy interface {
+	Name() string
+	Targets(now sim.Time, host HostSignals, vms []VMSignals) []Target
+}
+
+// StaticSplit is the no-balancing baseline: the provisioned memory is
+// split into equal, fixed shares — for homogeneous VMs that is simply
+// each VM's boot size, held forever regardless of demand. It models the
+// conventional "partition what was promised and never touch it" operator
+// policy: on an overcommitted host it leaves de/inflation unused and
+// falls back to host swapping (paper Sec. 6), which is exactly what the
+// balancing policies are measured against.
+type StaticSplit struct{}
+
+// Name implements Policy.
+func (StaticSplit) Name() string { return "static-split" }
+
+// Targets implements Policy.
+func (StaticSplit) Targets(now sim.Time, host HostSignals, vms []VMSignals) []Target {
+	if len(vms) == 0 {
+		return nil
+	}
+	var provisioned uint64
+	for _, v := range vms {
+		provisioned += v.InitialBytes
+	}
+	share := provisioned / uint64(len(vms))
+	out := make([]Target, 0, len(vms))
+	for _, v := range vms {
+		t := share
+		if t > v.InitialBytes {
+			t = v.InitialBytes
+		}
+		out = append(out, Target{VM: v.Name, Bytes: t, Reason: "equal provisioned share"})
+	}
+	return out
+}
+
+// Watermark keeps each VM's free memory inside a [Low, High] band:
+// grow when free dips below Low (every tick, so OOM pressure is answered
+// at broker latency), shrink when free rises above High (rate-limited by
+// MinGap so a build's think-time gaps don't thrash the limit). Resize
+// steps are bounded by MaxStep.
+type Watermark struct {
+	// LowBytes grows the VM when its free memory drops below it
+	// (default 1 GiB).
+	LowBytes uint64
+	// HighBytes shrinks the VM when its free memory exceeds it
+	// (default 3 GiB).
+	HighBytes uint64
+	// MaxStep bounds one tick's resize (default 2 GiB).
+	MaxStep uint64
+	// MinGap is the minimum time between shrinks of one VM
+	// (default 10 s). Grows are never gated.
+	MinGap sim.Duration
+}
+
+func (p Watermark) withDefaults() Watermark {
+	if p.LowBytes == 0 {
+		p.LowBytes = mem.GiB
+	}
+	if p.HighBytes == 0 {
+		p.HighBytes = 3 * mem.GiB
+	}
+	if p.MaxStep == 0 {
+		p.MaxStep = 2 * mem.GiB
+	}
+	if p.MinGap == 0 {
+		p.MinGap = 10 * sim.Second
+	}
+	return p
+}
+
+// Name implements Policy.
+func (Watermark) Name() string { return "watermark" }
+
+// Targets implements Policy.
+func (p Watermark) Targets(now sim.Time, host HostSignals, vms []VMSignals) []Target {
+	p = p.withDefaults()
+	mid := (p.LowBytes + p.HighBytes) / 2
+	var out []Target
+	for _, v := range vms {
+		switch {
+		case v.FreeBytes < p.LowBytes && v.Limit < v.InitialBytes:
+			// Grow toward the middle of the band.
+			step := mid - v.FreeBytes
+			if step > p.MaxStep {
+				step = p.MaxStep
+			}
+			out = append(out, Target{VM: v.Name, Bytes: v.Limit + step,
+				Reason: "free below low watermark"})
+		case v.FreeBytes > p.HighBytes && v.SinceResize >= p.MinGap:
+			// Shrink back to the middle of the band.
+			step := v.FreeBytes - mid
+			if step > p.MaxStep {
+				step = p.MaxStep
+			}
+			if step < v.Limit {
+				out = append(out, Target{VM: v.Name, Bytes: v.Limit - step,
+					Reason: "free above high watermark"})
+			}
+		}
+	}
+	return out
+}
+
+// ProportionalShare sizes every VM to its recent demand plus slack and
+// redistributes the remaining host headroom in proportion to
+// priority-weighted demand (weight 1+Priority): busy, important VMs
+// absorb the headroom; idle VMs are squeezed to their working set. When
+// host free memory falls under EmergencyFrac of capacity, all VMs are
+// cut to demand plus DeadBand immediately (emergency reclaim, bypassing
+// the dead band's anti-thrash filter).
+type ProportionalShare struct {
+	// SlackBytes is the guaranteed headroom above recent demand
+	// (default 1 GiB).
+	SlackBytes uint64
+	// DeadBand suppresses resizes smaller than it (default 256 MiB).
+	DeadBand uint64
+	// EmergencyFrac triggers emergency reclaim when host free memory
+	// drops below this fraction of capacity (default 0.04).
+	EmergencyFrac float64
+}
+
+func (p ProportionalShare) withDefaults() ProportionalShare {
+	if p.SlackBytes == 0 {
+		p.SlackBytes = mem.GiB
+	}
+	if p.DeadBand == 0 {
+		p.DeadBand = 256 * mem.MiB
+	}
+	if p.EmergencyFrac == 0 {
+		p.EmergencyFrac = 0.04
+	}
+	return p
+}
+
+// Name implements Policy.
+func (ProportionalShare) Name() string { return "proportional-share" }
+
+// Targets implements Policy.
+func (p ProportionalShare) Targets(now sim.Time, host HostSignals, vms []VMSignals) []Target {
+	p = p.withDefaults()
+	if len(vms) == 0 || host.Capacity == 0 {
+		return nil
+	}
+	if float64(host.Free) < p.EmergencyFrac*float64(host.Capacity) {
+		// Host is nearly out of physical memory: reclaim everything above
+		// the working set, every VM, right now.
+		out := make([]Target, 0, len(vms))
+		for _, v := range vms {
+			out = append(out, Target{VM: v.Name, Bytes: v.DemandBytes + p.DeadBand,
+				Reason: "emergency host reclaim", Emergency: true})
+		}
+		return out
+	}
+
+	// Guaranteed share: burst demand plus slack, capped at the boot size.
+	desired := make([]uint64, len(vms))
+	var sumDesired, sumWeighted float64
+	for i, v := range vms {
+		d := v.DemandBytes
+		if v.DemandRecent > d {
+			d = v.DemandRecent
+		}
+		d += p.SlackBytes
+		if d > v.InitialBytes {
+			d = v.InitialBytes
+		}
+		desired[i] = d
+		sumDesired += float64(d)
+		sumWeighted += float64(1+v.Priority) * float64(d)
+	}
+
+	out := make([]Target, 0, len(vms))
+	if sumDesired > float64(host.Capacity) {
+		// Overload: scale the guaranteed shares down, weighted by priority,
+		// so high-priority VMs keep more of their demand.
+		scale := float64(host.Capacity) / sumWeighted
+		for i, v := range vms {
+			t := uint64(float64(1+v.Priority) * float64(desired[i]) * scale)
+			out = p.emit(out, v, t, "overload: weighted scale-down")
+		}
+		return out
+	}
+
+	// Redistribute the headroom by priority-weighted demand.
+	headroom := float64(host.Capacity) - sumDesired
+	for i, v := range vms {
+		extra := uint64(headroom * float64(1+v.Priority) * float64(desired[i]) / sumWeighted)
+		out = p.emit(out, v, desired[i]+extra, "demand share + weighted headroom")
+	}
+	return out
+}
+
+// emit appends a target unless it is within the dead band of the current
+// limit (anti-thrash).
+func (p ProportionalShare) emit(out []Target, v VMSignals, bytes uint64, reason string) []Target {
+	delta := int64(bytes) - int64(v.Limit)
+	if delta < 0 {
+		delta = -delta
+	}
+	if uint64(delta) < p.DeadBand {
+		return out
+	}
+	return append(out, Target{VM: v.Name, Bytes: bytes, Reason: reason})
+}

@@ -173,6 +173,10 @@ func (m *Mechanism) Properties() vmm.Properties {
 // Limit implements vmm.Mechanism.
 func (m *Mechanism) Limit() uint64 { return m.limit }
 
+// SetAutoPeriod implements vmm.AutoTuner: override the soft-reclamation
+// scan period (Sec. 3.3's 5 s is DefaultAutoPeriod, not a requirement).
+func (m *Mechanism) SetAutoPeriod(d sim.Duration) { m.AutoPeriod = d }
+
 // reclaimOrder returns zones in the order the monitor reclaims from them:
 // Normal zones first, then DMA32; the Movable kind does not occur in
 // HyperAlloc guests (Sec. 4.2).

@@ -34,9 +34,9 @@ func NewPool(capacity uint64) *Pool {
 
 // Adjust changes the RSS of the named VM by delta bytes (negative to
 // release). Growing beyond the capacity makes the host swap out pages of
-// the largest-RSS VM to make room: the returned swap amount is what the
-// caller must charge as swap IO. Releases cancel the VM's own swap debt
-// first (the freed pages would have been the swapped ones).
+// another VM (largest RSS first) to make room: the returned swap amount
+// is what the caller must charge as swap IO. Releases cancel the VM's own
+// swap debt first (the freed pages would have been the swapped ones).
 func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	cur := p.rss[vm]
 	if delta < 0 {
@@ -55,14 +55,15 @@ func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	}
 	d := uint64(delta)
 	if p.capacity != 0 && p.total+d > p.capacity {
-		// Host swap: evict from the largest-RSS VM until the new pages fit.
+		// Host swap: evict from the largest-RSS other VM until the new
+		// pages fit.
 		need := p.total + d - p.capacity
-		if evicted := p.swapOut(need); evicted < need {
+		if evicted := p.swapOut(vm, need); evicted < need {
 			return evicted, fmt.Errorf("hostmem: cannot swap %d bytes (evicted %d)", need, evicted)
 		}
 		swapped = need
 	}
-	p.rss[vm] = p.rss[vm] + d
+	p.rss[vm] += d
 	p.total += d
 	if p.total > p.peak {
 		p.peak = p.total
@@ -70,18 +71,62 @@ func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	return swapped, nil
 }
 
-// swapOut pushes `need` resident bytes of the largest-RSS VMs to swap.
-func (p *Pool) swapOut(need uint64) uint64 {
+// SwapIn faults some of the VM's swapped-out bytes back into residency.
+// The host evicted those pages without knowing they were part of the
+// guest's working set (the paper's core argument against host swapping),
+// so an active guest keeps major-faulting on them: callers invoke SwapIn
+// paced by how much memory the guest touches (limit bytes), and the
+// faulted amount is the touched volume scaled by the fraction of the
+// VM's pages that are on swap — touching n bytes hits n·debt/(rss+debt)
+// swapped ones in expectation. Faulted-in pages consume physical memory
+// again and may evict further pages from other VMs. The returned swap
+// amount is the total swap IO (read-in plus induced write-out) the
+// caller must charge to this VM.
+func (p *Pool) SwapIn(vm string, limit uint64) (swapped uint64, err error) {
+	debt := p.swapped[vm]
+	if debt == 0 || limit == 0 {
+		return 0, nil
+	}
+	span := p.rss[vm] + debt
+	back := uint64(float64(limit) * (float64(debt) / float64(span)))
+	if back > debt {
+		back = debt
+	}
+	if back == 0 {
+		return 0, nil
+	}
+	p.swapped[vm] -= back
+	if p.capacity != 0 && p.total+back > p.capacity {
+		need := p.total + back - p.capacity
+		if evicted := p.swapOut(vm, need); evicted < need {
+			return evicted, fmt.Errorf("hostmem: cannot swap %d bytes (evicted %d)", need, evicted)
+		}
+		swapped = need
+	}
+	p.SwapInBytes += back
+	swapped += back
+	p.rss[vm] += back
+	p.total += back
+	if p.total > p.peak {
+		p.peak = p.total
+	}
+	return swapped, nil
+}
+
+// swapOut pushes `need` resident bytes to swap, evicting from the
+// largest-RSS VM first. The faulting VM is spared while any other VM has
+// resident pages (its own pages are the most recently used), and RSS ties
+// break on the lexicographically smaller name so eviction order is
+// deterministic.
+func (p *Pool) swapOut(faulter string, need uint64) uint64 {
 	var evicted uint64
 	for evicted < need {
-		victim := ""
-		var vmax uint64
-		for vm, r := range p.rss {
-			if r > vmax {
-				victim, vmax = vm, r
-			}
+		victim := p.pickVictim(faulter)
+		if victim == "" {
+			victim = faulter
 		}
-		if victim == "" || vmax == 0 {
+		vmax := p.rss[victim]
+		if vmax == 0 {
 			break
 		}
 		take := min(vmax, need-evicted)
@@ -92,6 +137,22 @@ func (p *Pool) swapOut(need uint64) uint64 {
 		evicted += take
 	}
 	return evicted
+}
+
+// pickVictim returns the largest-RSS VM other than the faulter ("" if
+// none has resident pages), breaking ties on the smaller name.
+func (p *Pool) pickVictim(faulter string) string {
+	victim := ""
+	var vmax uint64
+	for vm, r := range p.rss {
+		if vm == faulter || r == 0 {
+			continue
+		}
+		if r > vmax || (r == vmax && vm < victim) {
+			victim, vmax = vm, r
+		}
+	}
+	return victim
 }
 
 // Swapped returns the VM's swapped-out bytes.

@@ -82,6 +82,84 @@ func TestSwapVictimIsLargestRSS(t *testing.T) {
 	}
 }
 
+func TestSwapInFaultsDebtBackIn(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	adjust(t, p, "b", 30) // a loses 10 to swap
+	if p.Swapped("a") != 10 {
+		t.Fatalf("setup: swapped(a) = %d", p.Swapped("a"))
+	}
+	// a touches memory again: swap-in is paced by the touch volume scaled
+	// by a's swapped fraction — touching 40 bytes with 10 of 80 on swap
+	// faults 40·10/80 = 5 back in, which evicts 5 from b on the full
+	// host, charging a for 5 out + 5 in = 10 bytes of IO.
+	sw, err := p.SwapIn("a", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != 10 {
+		t.Errorf("swap IO = %d, want 10", sw)
+	}
+	if p.Swapped("a") != 5 || p.RSS("a") != 75 {
+		t.Errorf("a after swap-in: rss %d swapped %d", p.RSS("a"), p.Swapped("a"))
+	}
+	if p.Swapped("b") != 5 || p.RSS("b") != 25 {
+		t.Errorf("b after eviction: rss %d swapped %d", p.RSS("b"), p.Swapped("b"))
+	}
+	if p.SwapInBytes != 5 || p.SwapOutBytes != 15 {
+		t.Errorf("swap traffic: in %d out %d", p.SwapInBytes, p.SwapOutBytes)
+	}
+	if p.Total() != 100 {
+		t.Errorf("total = %d, want at capacity", p.Total())
+	}
+	// Draining the rest: a touch far larger than the debt only faults the
+	// remaining 5, and with headroom (b shrank) no further eviction.
+	adjust(t, p, "b", -20)
+	sw, err = p.SwapIn("a", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != 5 || p.Swapped("a") != 0 || p.RSS("a") != 80 {
+		t.Errorf("drain: io %d rss %d swapped %d", sw, p.RSS("a"), p.Swapped("a"))
+	}
+	// No debt: SwapIn is a free no-op.
+	sw, err = p.SwapIn("a", 1000)
+	if err != nil || sw != 0 {
+		t.Errorf("no-debt SwapIn: io %d err %v", sw, err)
+	}
+}
+
+func TestFaultingVMIsSparedFromEviction(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "big", 90)
+	// big itself overcommits: with no other VM resident it is its own
+	// victim (the pre-swap-in fallback).
+	adjust(t, p, "big", 20)
+	if p.Swapped("big") != 10 {
+		t.Errorf("solo victim: swapped %d, want 10", p.Swapped("big"))
+	}
+	// With another VM resident, the faulter keeps its (hot) pages even
+	// though it has the larger RSS.
+	adjust(t, p, "small", 30)
+	if p.Swapped("small") != 0 {
+		t.Errorf("faulter was evicted: swapped %d", p.Swapped("small"))
+	}
+	if p.Swapped("big") != 40 {
+		t.Errorf("resident VM not evicted: swapped %d", p.Swapped("big"))
+	}
+}
+
+func TestEvictionTieBreaksOnName(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "zeta", 50)
+	adjust(t, p, "alpha", 50)
+	adjust(t, p, "newcomer", 10)
+	if p.Swapped("alpha") != 10 || p.Swapped("zeta") != 0 {
+		t.Errorf("tie-break: alpha %d zeta %d, want 10/0",
+			p.Swapped("alpha"), p.Swapped("zeta"))
+	}
+}
+
 func TestVMsSorted(t *testing.T) {
 	p := NewPool(0)
 	adjust(t, p, "zeta", 1)

@@ -74,6 +74,20 @@ func (s *Series) IntegralGiBMin() float64 {
 	return total / float64(mem.GiB) / (60 * float64(sim.Second))
 }
 
+// MaxSince returns the maximum value among samples taken at or after t
+// (0 if there are none). The memory broker uses it as the burst-demand
+// lookback: the highest demand a VM showed over the recent window.
+func (s *Series) MaxSince(t sim.Time) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
+	var max float64
+	for ; i < len(s.Points); i++ {
+		if s.Points[i].V > max {
+			max = s.Points[i].V
+		}
+	}
+	return max
+}
+
 // Max returns the maximum value (0 if empty).
 func (s *Series) Max() float64 {
 	var max float64

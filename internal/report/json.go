@@ -1,0 +1,32 @@
+// JSON output helpers. All benchmark drivers funnel their -json output
+// through JSONBytes so the bytes are reproducible: encoding/json emits
+// struct fields in declaration order, so for a fixed result value the
+// output is identical across runs, worker counts, and machines — the
+// same golden-comparison property the simulations themselves guarantee.
+package report
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// JSONBytes marshals v as two-space-indented JSON with a trailing
+// newline. Key order follows Go struct field declaration order; use
+// structs (not maps) for anything that lands in a -json file, so the
+// schema — and the exact bytes — stay stable.
+func JSONBytes(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteJSON writes JSONBytes(v) to path.
+func WriteJSON(path string, v any) error {
+	buf, err := JSONBytes(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

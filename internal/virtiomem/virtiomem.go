@@ -121,6 +121,10 @@ func (m *Mechanism) Properties() vmm.Properties {
 // Limit implements vmm.Mechanism.
 func (m *Mechanism) Limit() uint64 { return m.limit }
 
+// SetAutoPeriod implements vmm.AutoTuner: the polling period of the
+// simulated auto mode.
+func (m *Mechanism) SetAutoPeriod(d sim.Duration) { m.cfg.AutoPeriod = d }
+
 // Shrink implements vmm.Mechanism: unplug movable-zone blocks in
 // decreasing address order until the limit reaches target. Blocks with
 // used subblocks are evacuated by page migration first; blocks that

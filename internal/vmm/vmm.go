@@ -44,6 +44,18 @@ type Properties struct {
 	DMASafe     bool
 }
 
+// AutoTuner is implemented by mechanisms whose automatic-reclamation
+// period can be retuned after attach (all current mechanisms). Hosts use
+// it to replace the per-mechanism default periods with a policy-chosen
+// one — e.g. the memory broker slows down per-VM auto reclamation when it
+// drives the limits itself.
+type AutoTuner interface {
+	// SetAutoPeriod overrides the automatic-mode period. It does not
+	// enable or disable the automatic mode; that stays a construction-time
+	// property of the mechanism.
+	SetAutoPeriod(d sim.Duration)
+}
+
 // VM bundles one virtual machine's state.
 type VM struct {
 	Name  string
@@ -60,6 +72,10 @@ type VM struct {
 	// prototype does not grow beyond it, Sec. 6).
 	InitialBytes uint64
 
+	// autoPeriod is the attach-time automatic-reclamation period override
+	// (0 keeps each mechanism's default); applied by SetMechanism.
+	autoPeriod sim.Duration
+
 	// autoEvent tracks the scheduled auto-reclamation tick.
 	autoEvent *sim.Event
 }
@@ -73,6 +89,11 @@ type Config struct {
 	Pool   *hostmem.Pool
 	VFIO   bool
 	Mapped bool // populate all memory at boot (prepared VMs)
+	// AutoPeriod overrides the mechanism's automatic-reclamation period at
+	// attach time (0 keeps the mechanism default). This is the single knob
+	// that replaces the per-mechanism DefaultAutoPeriod-style constants:
+	// whichever mechanism is attached later picks it up through AutoTuner.
+	AutoPeriod sim.Duration
 }
 
 // NewVM assembles a VM around a guest. The mechanism is attached
@@ -94,6 +115,7 @@ func NewVM(cfg Config) (*VM, error) {
 		Model:        cfg.Model,
 		Pool:         pool,
 		InitialBytes: cfg.Guest.TotalBytes(),
+		autoPeriod:   cfg.AutoPeriod,
 	}
 	if cfg.VFIO {
 		vm.IOMMU = iommu.New(frames)
@@ -107,11 +129,46 @@ func NewVM(cfg Config) (*VM, error) {
 	return vm, nil
 }
 
-// SetMechanism attaches the reclamation mechanism.
-func (vm *VM) SetMechanism(m Mechanism) { vm.Mech = m }
+// SetMechanism attaches the reclamation mechanism and applies the
+// attach-time options (the Config.AutoPeriod override).
+func (vm *VM) SetMechanism(m Mechanism) {
+	vm.Mech = m
+	if vm.autoPeriod > 0 {
+		vm.SetAutoPeriod(vm.autoPeriod)
+	}
+}
+
+// SetAutoPeriod retunes the mechanism's automatic-reclamation period and
+// reports whether the mechanism supports retuning. Restart the auto cycle
+// (StopAuto/StartAuto) for a new period to take effect on an already
+// running loop; AutoTick reschedules with the new period either way.
+func (vm *VM) SetAutoPeriod(d sim.Duration) bool {
+	if t, ok := vm.Mech.(AutoTuner); ok {
+		t.SetAutoPeriod(d)
+		return true
+	}
+	return false
+}
 
 // RSS returns the VM's resident-set size (populated guest memory).
 func (vm *VM) RSS() uint64 { return vm.EPT.MappedBytes() }
+
+// FreeBytes returns the guest's allocatable memory — one of the two
+// signals the host memory broker samples.
+func (vm *VM) FreeBytes() uint64 { return vm.Guest.FreeBytes() }
+
+// DemandBytes returns the guest memory in use under the current limit
+// (anonymous + kernel allocations + page cache): limit minus allocatable.
+// Reclaimed (ballooned / unplugged / hard-reclaimed) memory is excluded
+// on both sides of the subtraction, so the value is comparable across
+// mechanisms — it is the broker's per-VM demand signal.
+func (vm *VM) DemandBytes() uint64 {
+	limit, free := vm.Limit(), vm.Guest.FreeBytes()
+	if free >= limit {
+		return 0
+	}
+	return limit - free
+}
 
 // Limit returns the current hard memory limit.
 func (vm *VM) Limit() uint64 {
@@ -165,9 +222,10 @@ func (vm *VM) StopAuto(sched *sim.Scheduler) {
 }
 
 // adjustPool reconciles the host pool with an RSS delta. When the host is
-// overcommitted, populating new pages makes the pool swap out the
-// largest-RSS VM's memory — the swap IO and the direct-reclaim stall are
-// charged to this VM (the faulting one waits for the host's reclaim).
+// overcommitted, populating new pages makes the pool swap out another
+// VM's memory (largest RSS first) — the swap IO and the direct-reclaim
+// stall are charged to this VM (the faulting one waits for the host's
+// reclaim).
 func (vm *VM) adjustPool(deltaFrames int64) {
 	if deltaFrames == 0 {
 		return
@@ -185,12 +243,33 @@ func (vm *VM) adjustPool(deltaFrames int64) {
 	}
 }
 
+// swapInOnTouch models major faults on host-swapped memory: while the VM
+// has swap debt, an active guest keeps hitting evicted pages, so every
+// touch faults debt back in at touch rate until it is drained. The swap
+// IO — and any write-out it forces on an overcommitted host — is charged
+// to this VM's chain, like any other major fault.
+func (vm *VM) swapInOnTouch(bytes uint64) {
+	if vm.Pool.Swapped(vm.Name) == 0 {
+		return
+	}
+	swapped, err := vm.Pool.SwapIn(vm.Name, bytes)
+	if err != nil {
+		panic("vmm: " + err.Error())
+	}
+	if swapped > 0 {
+		vm.Meter.Work(ledger.Host, vm.Model.SwapCost(swapped))
+		vm.Meter.Stall(ledger.StallMem, vm.Model.SwapCost(swapped)/4)
+		vm.Meter.Bus(swapped)
+	}
+}
+
 // populateOnTouch is installed as the guest's TouchFn: writing unpopulated
 // memory EPT-faults and populates it. A fully unpopulated area is backed
 // by a transparent huge page; a partially populated one (after
 // virtio-balloon discarded individual 4 KiB pages of it) is filled with
 // base mappings.
 func (vm *VM) populateOnTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
+	vm.swapInOnTouch(frames * mem.PageSize)
 	gfn := z.GFN(pfn)
 	end := gfn + mem.PFN(frames)
 	for gfn < end {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyperalloc"
+	"hyperalloc/internal/broker"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
@@ -26,6 +27,14 @@ type MultiVMConfig struct {
 	// Workers bounds the pool MultiVMAll uses to fan candidates across
 	// CPUs (each candidate owns a private System); ≤0 means GOMAXPROCS.
 	Workers int
+	// HostBytes caps the host's physical memory (0 = unlimited, the
+	// original Fig. 11 setup; non-zero overcommits once VMs×Memory
+	// exceeds it and the host swaps).
+	HostBytes uint64
+	// Broker, when non-nil, runs the host memory broker over the VMs so
+	// the experiment reruns under active balancing instead of per-VM
+	// automatic reclamation alone.
+	Broker *broker.Config
 }
 
 func (c *MultiVMConfig) defaults() {
@@ -59,6 +68,10 @@ type MultiVMResult struct {
 	// ExtraVMs is how many additional 16 GiB-provisioned VMs would have
 	// fit under the 48 GiB host budget at the observed peak.
 	ExtraVMs int
+	// Broker activity over the run (all zero without cfg.Broker).
+	BrokerGrows   uint64
+	BrokerShrinks uint64
+	BrokerErrors  uint64
 }
 
 // MultiVMCandidates returns the Fig. 11 trio: no ballooning,
@@ -79,7 +92,7 @@ func MultiVMCandidates() []ClangCandidate {
 // system clock; each runs the clang build workload repeatedly.
 func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 	cfg.defaults()
-	sys := hyperalloc.NewSystem(cfg.Seed*0x9e3779b97f4a7c15 + 3)
+	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+3, cfg.HostBytes)
 	res := MultiVMResult{
 		Candidate: cand.Name,
 		Total:     &metrics.Series{Name: cand.Name + "/total"},
@@ -108,6 +121,15 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 		sys.Sched.After(start+sim.Millisecond, opts.Name+"/start", func() { d.startBuild() })
 		runs = append(runs, &vmRun{vm: vm, driver: d})
 		res.PerVM = append(res.PerVM, &metrics.Series{Name: opts.Name})
+	}
+
+	var bk *broker.Broker
+	if cfg.Broker != nil {
+		bk = broker.New(sys.Sched, sys.Pool, *cfg.Broker)
+		for _, r := range runs {
+			bk.Attach(r.vm.VM, 0)
+		}
+		bk.Start()
 	}
 
 	finished := func() bool {
@@ -145,6 +167,9 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 	}
 	res.PeakBytes = uint64(res.Total.Max())
 	res.FootprintGiBMin = res.Total.IntegralGiBMin()
+	if bk != nil {
+		res.BrokerGrows, res.BrokerShrinks, res.BrokerErrors = bk.Grows, bk.Shrinks, bk.Errors
+	}
 	// How many extra 16 GiB VMs fit into the 48 GiB provisioning at peak.
 	host := uint64(cfg.VMs) * cfg.Memory
 	if res.PeakBytes < host {
@@ -171,6 +196,8 @@ type multiBuildDriver struct {
 	left    int
 	running bool
 	failed  error
+	// retries accumulates OOM retries across this VM's builds.
+	retries uint64
 }
 
 func newMultiBuildDriver(vm *hyperalloc.VM, sys *hyperalloc.System, cfg MultiVMConfig, rng *sim.RNG) (*multiBuildDriver, error) {
@@ -194,11 +221,13 @@ func (d *multiBuildDriver) startBuild() {
 	}
 	d.left--
 	d.running = true
-	b := &inlineBuild{
+	var b *inlineBuild
+	b = &inlineBuild{
 		vm: d.vm, sys: d.sys, rng: d.rng,
 		pending: d.cfg.Units, linking: 3,
 		onDone: func() {
 			d.running = false
+			d.retries += uint64(b.oomRetries)
 			// Build artifacts are cleaned between builds; the cache cools
 			// down during the gap.
 			d.vm.Guest.Cache().RemovePrefix("obj/")

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// TestMultiVMAllGolden pins the reduced-scale Fig. 11 matrix to exact
+// values: the peak aggregate RSS byte-for-byte and the footprint to a
+// millionth of a GiB·min, for both the simultaneous (worst-case) and
+// offset (best-case) scenarios. The simulation is deterministic end to
+// end — clock, RNG forks, allocator decisions, sampler — so any drift
+// here means a behavior change somewhere in the stack (allocator, EPT,
+// cost model, guest, scheduler), not noise. Update the values ONLY after
+// explaining the delta.
+func TestMultiVMAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multivm golden matrix is slow")
+	}
+	golden := []struct {
+		offset    sim.Duration
+		candidate string
+		peakBytes uint64
+		footprint string // GiB·min, %.6f
+	}{
+		{0, "no ballooning", 31320965120, "149.550456"},
+		{0, "virtio-balloon", 26866614272, "130.540876"},
+		{0, "HyperAlloc", 24719130624, "108.720175"},
+		{2 * 60 * sim.Second, "no ballooning", 32203866112, "220.610026"},
+		{2 * 60 * sim.Second, "virtio-balloon", 24052236288, "159.198145"},
+		{2 * 60 * sim.Second, "HyperAlloc", 22141730816, "127.196150"},
+	}
+	for _, offset := range []sim.Duration{0, 2 * 60 * sim.Second} {
+		cfg := MultiVMConfig{
+			Builds: 1, Units: 150, Gap: 5 * 60 * sim.Second,
+			Offset: offset, Seed: 42, SamplePeriod: 5 * sim.Second,
+			Workers: 8,
+		}
+		results, err := MultiVMAll(MultiVMCandidates(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range results {
+			var want *struct {
+				offset    sim.Duration
+				candidate string
+				peakBytes uint64
+				footprint string
+			}
+			for i := range golden {
+				if golden[i].offset == offset && golden[i].candidate == r.Candidate {
+					want = &golden[i]
+				}
+			}
+			if want == nil {
+				t.Errorf("offset %v: unexpected candidate %q", offset, r.Candidate)
+				continue
+			}
+			if r.PeakBytes != want.peakBytes {
+				t.Errorf("offset %v %s: PeakBytes = %d, want %d",
+					offset, r.Candidate, r.PeakBytes, want.peakBytes)
+			}
+			if got := fmt.Sprintf("%.6f", r.FootprintGiBMin); got != want.footprint {
+				t.Errorf("offset %v %s: FootprintGiBMin = %s, want %s",
+					offset, r.Candidate, got, want.footprint)
+			}
+		}
+	}
+}

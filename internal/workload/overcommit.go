@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/runner"
+	"hyperalloc/internal/sim"
+)
+
+// OvercommitConfig parameterizes the broker-balancing experiment: N VMs
+// on a host with less physical memory than their combined boot sizes,
+// each compiling clang with offset starts, and the memory broker
+// (not per-VM automatic reclamation) balancing the limits. The same
+// scenario is run per mechanism candidate and per broker policy so the
+// policies can be compared on equal ground.
+type OvercommitConfig struct {
+	VMs          int          // default 3
+	Memory       uint64       // per VM (default 16 GiB)
+	HostBytes    uint64       // physical memory (default VMs×Memory×3/4)
+	Builds       int          // builds per VM (default 2)
+	Gap          sim.Duration // pause between a VM's builds (default 20 min)
+	Offset       sim.Duration // start offset between VMs (default 10 min)
+	Units        int          // compile units per build (default 1800)
+	Seed         uint64
+	SamplePeriod sim.Duration // default 10 s
+	BrokerPeriod sim.Duration // control-loop interval (default 1 s)
+	// Workers bounds the pool OvercommitAll uses; ≤0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c *OvercommitConfig) defaults() {
+	if c.VMs == 0 {
+		c.VMs = 3
+	}
+	if c.Memory == 0 {
+		c.Memory = 16 * mem.GiB
+	}
+	if c.HostBytes == 0 {
+		c.HostBytes = uint64(c.VMs) * c.Memory * 3 / 4
+	}
+	if c.Builds == 0 {
+		c.Builds = 2
+	}
+	if c.Gap == 0 {
+		c.Gap = 20 * 60 * sim.Second
+	}
+	if c.Offset == 0 {
+		c.Offset = 10 * 60 * sim.Second
+	}
+	if c.Units == 0 {
+		c.Units = 1800
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 10 * sim.Second
+	}
+	if c.BrokerPeriod == 0 {
+		c.BrokerPeriod = sim.Second
+	}
+}
+
+// OvercommitResult holds one (candidate, policy) arm's metrics.
+type OvercommitResult struct {
+	Candidate string
+	Policy    string
+
+	HostPeakBytes  uint64       // peak aggregate RSS
+	HostGiBMin     float64      // host RSS integral (the footprint to minimize)
+	CompletionTime sim.Duration // when the last VM finished its last build
+	SwapOutBytes   uint64       // host swap traffic under pressure
+
+	// Broker activity.
+	Ticks       uint64
+	Grows       uint64
+	Shrinks     uint64
+	Emergencies uint64
+	Errors      uint64
+
+	// HostRSS is the sampled aggregate RSS series.
+	HostRSS *metrics.Series
+}
+
+// OvercommitCandidates returns the mechanism candidates the broker is
+// exercised over. Per-VM automatic reclamation is disabled: the broker
+// is the only reclamation driver, so the policies — not the mechanisms'
+// own timers — are what is compared.
+func OvercommitCandidates() []ClangCandidate {
+	return []ClangCandidate{
+		{Name: "virtio-balloon-huge", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateBalloonHuge}},
+		{Name: "virtio-mem", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateVirtioMem}},
+		{Name: "HyperAlloc", Opts: hyperalloc.Options{
+			Candidate: hyperalloc.CandidateHyperAlloc}},
+	}
+}
+
+// OvercommitPolicies returns the broker policies under comparison, tuned
+// for the clang-build ramp (12 parallel jobs allocate up to ~1.5 GiB/s,
+// and the broker corrects once per second, so the free-memory floor must
+// stay above one second's worth of ramp). The shrink side is deliberately
+// lazy — a wide band and a long minimum gap — because every reclaimed
+// frame the next build touches again costs an install on the build's
+// critical path; reclaiming during think time only pays off for memory
+// that stays idle through the inter-build gap.
+func OvercommitPolicies() []broker.Policy {
+	return []broker.Policy{
+		broker.StaticSplit{},
+		broker.Watermark{
+			LowBytes:  3 * mem.GiB,
+			HighBytes: 6 * mem.GiB,
+			MaxStep:   4 * mem.GiB,
+			MinGap:    60 * sim.Second,
+		},
+		broker.ProportionalShare{SlackBytes: 3 * mem.GiB},
+	}
+}
+
+// Overcommit runs the scenario for one candidate under one policy.
+func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (OvercommitResult, error) {
+	cfg.defaults()
+	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+17, cfg.HostBytes)
+	res := OvercommitResult{
+		Candidate: cand.Name,
+		Policy:    pol.Name(),
+		HostRSS:   &metrics.Series{Name: cand.Name + "/" + pol.Name() + "/host"},
+	}
+
+	mcfg := MultiVMConfig{
+		VMs: cfg.VMs, Memory: cfg.Memory, Builds: cfg.Builds, Gap: cfg.Gap,
+		Offset: cfg.Offset, Units: cfg.Units, Seed: cfg.Seed,
+		SamplePeriod: cfg.SamplePeriod,
+	}
+	var drivers []*multiBuildDriver
+	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
+		Policy: pol, Period: cfg.BrokerPeriod,
+	})
+	for i := 0; i < cfg.VMs; i++ {
+		opts := cand.Opts
+		opts.Name = fmt.Sprintf("vm%d", i)
+		opts.Memory = cfg.Memory
+		opts.CPUs = 12
+		vm, err := sys.NewVM(opts)
+		if err != nil {
+			return res, err
+		}
+		d, err := newMultiBuildDriver(vm, sys, mcfg, sys.RNG.Fork())
+		if err != nil {
+			return res, err
+		}
+		bk.Attach(vm.VM, 0)
+		start := sim.Duration(i) * cfg.Offset
+		sys.Sched.After(start+sim.Millisecond, opts.Name+"/start", func() { d.startBuild() })
+		drivers = append(drivers, d)
+	}
+	bk.Start()
+
+	finished := func() bool {
+		for _, d := range drivers {
+			if !d.finished() {
+				return false
+			}
+		}
+		return true
+	}
+	var sample func()
+	sample = func() {
+		res.HostRSS.Add(sys.Now(), float64(sys.Pool.Total()))
+		if !finished() {
+			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
+		}
+	}
+	sample()
+
+	for !finished() {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("overcommit %s/%s: deadlocked", cand.Name, pol.Name())
+		}
+		for _, d := range drivers {
+			if d.failed != nil {
+				return res, d.failed
+			}
+		}
+	}
+	// finished() flips only inside build completions, which run during a
+	// Step — the time the loop exits is the completion time exactly.
+	res.CompletionTime = sim.Duration(sys.Now())
+	res.HostPeakBytes = sys.Pool.Peak()
+	res.HostGiBMin = res.HostRSS.IntegralGiBMin()
+	res.SwapOutBytes = sys.Pool.SwapOutBytes
+	res.Ticks, res.Grows, res.Shrinks = bk.Ticks, bk.Grows, bk.Shrinks
+	res.Emergencies, res.Errors = bk.Emergencies, bk.Errors
+	return res, nil
+}
+
+// OvercommitAll runs the full candidate × policy matrix through one
+// worker pool; results come back in matrix order (candidate-major) and
+// are identical to a sequential double loop.
+func OvercommitAll(cands []ClangCandidate, pols []broker.Policy, cfg OvercommitConfig) ([]OvercommitResult, error) {
+	type arm struct {
+		cand ClangCandidate
+		pol  broker.Policy
+	}
+	var arms []arm
+	for _, c := range cands {
+		for _, p := range pols {
+			arms = append(arms, arm{c, p})
+		}
+	}
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
+		func(i int) (OvercommitResult, error) { return Overcommit(arms[i].cand, arms[i].pol, cfg) })
+}

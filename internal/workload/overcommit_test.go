@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// overcommitTestConfig is the reduced-scale scenario shared by the tests
+// below: 3×12 GiB VMs on a 27 GiB host (static share 9 GiB), two short
+// builds each, offset so the peaks partially overlap.
+func overcommitTestConfig() OvercommitConfig {
+	return OvercommitConfig{
+		VMs:          3,
+		Memory:       12 * mem.GiB,
+		HostBytes:    27 * mem.GiB,
+		Units:        150,
+		Builds:       2,
+		Gap:          5 * 60 * sim.Second,
+		Offset:       3 * 60 * sim.Second,
+		Seed:         42,
+		SamplePeriod: 5 * sim.Second,
+	}
+}
+
+// TestOvercommitPolicyOrdering is the broker's headline claim: on an
+// overcommitted host, both balancing policies beat the static split on
+// host footprint without costing completion time.
+func TestOvercommitPolicyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overcommit scenario is slow")
+	}
+	cfg := overcommitTestConfig()
+	var cand ClangCandidate
+	for _, c := range OvercommitCandidates() {
+		if c.Name == "HyperAlloc" {
+			cand = c
+		}
+	}
+	pols := OvercommitPolicies()
+	byPolicy := map[string]OvercommitResult{}
+	for _, pol := range pols {
+		res, err := Overcommit(cand, pol, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+		byPolicy[res.Policy] = res
+		t.Logf("%-18s footprint %8.1f GiB·min  peak %s  completion %v  swap %s  (grow %d shrink %d emerg %d err %d)",
+			res.Policy, res.HostGiBMin, mem.HumanBytes(res.HostPeakBytes),
+			res.CompletionTime, mem.HumanBytes(res.SwapOutBytes),
+			res.Grows, res.Shrinks, res.Emergencies, res.Errors)
+	}
+	static := byPolicy["static-split"]
+	for _, name := range []string{"watermark", "proportional-share"} {
+		r := byPolicy[name]
+		if r.HostGiBMin >= static.HostGiBMin {
+			t.Errorf("%s footprint %.1f GiB·min not below static split's %.1f",
+				name, r.HostGiBMin, static.HostGiBMin)
+		}
+		if r.CompletionTime > static.CompletionTime {
+			t.Errorf("%s completion %v worse than static split's %v",
+				name, r.CompletionTime, static.CompletionTime)
+		}
+	}
+}
+
+// TestOvercommitAllCandidates runs every mechanism candidate under the
+// watermark policy: the scenario must complete without driver failures
+// on all of them.
+func TestOvercommitAllCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overcommit scenario is slow")
+	}
+	cfg := overcommitTestConfig()
+	cfg.Builds = 1
+	for _, cand := range OvercommitCandidates() {
+		res, err := Overcommit(cand, OvercommitPolicies()[1], cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cand.Name, err)
+		}
+		if res.Shrinks == 0 {
+			t.Errorf("%s: broker never shrank", cand.Name)
+		}
+		t.Logf("%-20s footprint %8.1f GiB·min  completion %v",
+			res.Candidate, res.HostGiBMin, res.CompletionTime)
+	}
+}
+
+// TestOvercommitParallelGolden: the full candidate × policy matrix is
+// byte-identical whether run sequentially or on 8 workers, and across
+// repeated runs (the broker determinism rule).
+func TestOvercommitParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overcommit scenario is slow")
+	}
+	cfg := overcommitTestConfig()
+	cfg.Builds = 1
+	cands := OvercommitCandidates()[2:] // HyperAlloc only: keep the matrix small
+	pols := OvercommitPolicies()
+
+	cfg.Workers = 1
+	seq, err := OvercommitAll(cands, pols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := OvercommitAll(cands, pols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel results differ from sequential")
+	}
+	rerun, err := OvercommitAll(cands, pols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, rerun) {
+		t.Fatal("repeated run differs")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench audit
 
 # The full pre-commit gate: everything CI runs.
 check: vet build test race
@@ -21,3 +21,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The deep invariant gate: long state-machine fuzz runs against all five
+# reference models, plus the paper-scale experiment drivers with the
+# cross-layer auditor enabled. `make check` already runs the short
+# versions; this scales them up (tune with AUDIT_FUZZ_OPS/AUDIT_FUZZ_SEEDS).
+AUDIT_FUZZ_OPS ?= 3000
+AUDIT_FUZZ_SEEDS ?= 8
+audit:
+	AUDIT_FUZZ_OPS=$(AUDIT_FUZZ_OPS) AUDIT_FUZZ_SEEDS=$(AUDIT_FUZZ_SEEDS) \
+		$(GO) test -count=1 -timeout 60m ./internal/audit
+	AUDIT_FULL=1 $(GO) test -count=1 -timeout 60m -run UnderAudit ./internal/workload

@@ -66,6 +66,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
+	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor during the experiment (slow)")
 	flag.Parse()
 
 	cfg := workload.OvercommitConfig{
@@ -78,6 +79,7 @@ func main() {
 		Units:     *units,
 		Seed:      *seed,
 		Workers:   *parallel,
+		Audit:     *auditRun,
 	}
 	cands := workload.OvercommitCandidates()
 	pols := workload.OvercommitPolicies()

@@ -77,6 +77,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	jsonPath := flag.String("json", "", "optional JSON output path for headline metrics")
+	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor after every measured phase (slow)")
 	flag.Parse()
 
 	out := &output{Seed: *seed, Workers: *parallel}
@@ -84,14 +85,14 @@ func main() {
 	case "table1":
 		table1(*seed)
 	case "fig4":
-		fig4(*reps, *seed, *parallel, out)
+		fig4(*reps, *seed, *parallel, *auditRun, out)
 	case "ablation":
 		ablation(*seed, *parallel)
 	case "speedup":
-		speedup(*reps, *seed, *parallel, out)
+		speedup(*reps, *seed, *parallel, *auditRun, out)
 	case "quick":
 		table1(*seed)
-		fig4(1, *seed, *parallel, out)
+		fig4(1, *seed, *parallel, *auditRun, out)
 		ablation(*seed, *parallel)
 	default:
 		log.Fatalf("unknown -exp %q", *exp)
@@ -135,10 +136,10 @@ func mark(b bool) string {
 
 // fig4Matrix runs the Fig. 4 candidate × rep matrix and returns the
 // results plus wall-clock throughput stats.
-func fig4Matrix(reps int, seed uint64, workers int) ([]workload.InflateResult, runner.Stats) {
+func fig4Matrix(reps int, seed uint64, workers int, audit bool) ([]workload.InflateResult, runner.Stats) {
 	pool := runner.Runner{Workers: workers}
 	start := time.Now()
-	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed, Workers: workers})
+	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed, Workers: workers, Audit: audit})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,8 +150,8 @@ func fig4Matrix(reps int, seed uint64, workers int) ([]workload.InflateResult, r
 	}
 }
 
-func fig4(reps int, seed uint64, workers int, out *output) {
-	results, stats := fig4Matrix(reps, seed, workers)
+func fig4(reps int, seed uint64, workers int, audit bool, out *output) {
+	results, stats := fig4Matrix(reps, seed, workers, audit)
 	var rows [][]string
 	j := &fig4JSON{
 		Reps: reps, Runs: stats.Runs,
@@ -178,12 +179,12 @@ func fig4(reps int, seed uint64, workers int, out *output) {
 
 // speedup measures wall-clock throughput of the Fig. 4 matrix sequentially
 // and with the parallel runner, verifying the results match.
-func speedup(reps int, seed uint64, workers int, out *output) {
+func speedup(reps int, seed uint64, workers int, audit bool, out *output) {
 	if workers <= 1 {
 		workers = 4
 	}
-	seqRes, seqStats := fig4Matrix(reps, seed, 1)
-	parRes, parStats := fig4Matrix(reps, seed, workers)
+	seqRes, seqStats := fig4Matrix(reps, seed, 1, audit)
+	parRes, parStats := fig4Matrix(reps, seed, workers, audit)
 	if !reflect.DeepEqual(seqRes, parRes) {
 		log.Fatal("speedup: parallel results differ from sequential — determinism violated")
 	}

@@ -1,0 +1,62 @@
+// Package audit provides cross-layer invariant checking for the
+// simulation's stateful layers — the LLFree and buddy allocators, the
+// EPT, the host memory pool, and the HyperAlloc mechanism state machine —
+// plus a deterministic state-machine fuzzer that drives random operation
+// sequences against each layer and cross-checks it against a simple
+// reference model.
+//
+// Each layer owns its own validator (llfree.Alloc.Validate,
+// buddy.Alloc.Validate, ept.Table.Validate, hostmem.Pool.Validate,
+// core.Mechanism.Audit); vmm.VM.Audit chains the per-VM ones together
+// with the EPT==RSS+swapped conservation law. This package adds the
+// host-wide composition and the fuzzing harness. All checkers require
+// quiescence: they read multi-word state non-atomically.
+package audit
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/vmm"
+)
+
+// System runs every invariant checker of one simulated host: the pool's
+// accounting and ledger, then each VM's full audit (EPT internals, zone
+// allocators, cross-layer conservation, and the mechanism state machine
+// when present). Returns the first violation, nil if consistent.
+func System(pool *hostmem.Pool, vms ...*vmm.VM) error {
+	if err := pool.Validate(); err != nil {
+		return err
+	}
+	for _, vm := range vms {
+		if err := vm.Audit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tracker audits a host repeatedly over time, additionally checking that
+// the pool's peak never moves backwards between snapshots. A workload
+// that legitimately calls Pool.ResetPeak (e.g. between measurement
+// phases) must call Tracker.ResetPeak alongside it.
+type Tracker struct {
+	lastPeak uint64
+}
+
+// Check audits the host and enforces peak monotonicity since the last
+// Check.
+func (t *Tracker) Check(pool *hostmem.Pool, vms ...*vmm.VM) error {
+	if err := System(pool, vms...); err != nil {
+		return err
+	}
+	if p := pool.Peak(); p < t.lastPeak {
+		return fmt.Errorf("audit: pool peak moved backwards: %d -> %d", t.lastPeak, p)
+	} else {
+		t.lastPeak = p
+	}
+	return nil
+}
+
+// ResetPeak forgets the tracked peak (call alongside Pool.ResetPeak).
+func (t *Tracker) ResetPeak() { t.lastPeak = 0 }

@@ -1,0 +1,90 @@
+package audit
+
+import (
+	"testing"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+func newAuditVM(t *testing.T, pool *hostmem.Pool) *vmm.VM {
+	t.Helper()
+	b, err := buddy.New(buddy.Config{Frames: mem.BytesToFrames(16 * mem.MiB)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := guest.New(2, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: 16 * mem.MiB,
+		Alloc: guest.NewBuddyAdapter(b), Impl: b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "t", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+		Pool:  pool,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestSystemAuditClean(t *testing.T) {
+	pool := hostmem.NewPool(0)
+	vm := newAuditVM(t, pool)
+	if _, err := vm.Guest.AllocAnon(0, 4*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := System(pool, vm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemAuditCatchesConservationBreak(t *testing.T) {
+	pool := hostmem.NewPool(0)
+	vm := newAuditVM(t, pool)
+	if _, err := vm.Guest.AllocAnon(0, 4*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	// Sneak bytes into the pool behind the EPT's back: the per-VM
+	// conservation law (EPT mapped == rss + swapped) must trip.
+	if _, err := pool.Adjust("t", int64(mem.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := System(pool, vm); err == nil {
+		t.Error("conservation break not detected")
+	}
+}
+
+func TestTrackerPeakMonotone(t *testing.T) {
+	pool := hostmem.NewPool(0)
+	vm := newAuditVM(t, pool)
+	var tr Tracker
+	if _, err := vm.Guest.AllocAnon(0, 4*mem.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(pool, vm); err != nil {
+		t.Fatal(err)
+	}
+	// A peak reset without telling the tracker is a (deliberate) violation.
+	pool.ResetPeak()
+	pool.Adjust("t", -int64(mem.PageSize)) // drop total below the old peak
+	pool.ResetPeak()
+	if err := tr.Check(pool, vm); err == nil {
+		t.Error("backwards peak not detected")
+	}
+	tr.ResetPeak()
+	pool.Adjust("t", int64(mem.PageSize))
+	if err := tr.Check(pool, vm); err != nil {
+		t.Errorf("tracker after reset: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperalloc/internal/sim"
+)
+
+// The state-machine fuzzer: a Machine wraps one stateful layer together
+// with a reference model of it. Fuzz drives a seeded random operation
+// sequence against the machine, runs its invariant checker periodically,
+// and on failure minimizes the trace by greedy chunk removal so the
+// replayable remnant can be checked in as a regression seed.
+
+// Op is one step of a fuzz run. Kind selects the operation; A, B, C are
+// its operands. Machines interpret selector operands modulo the live
+// object counts at apply time, so a trace stays applicable while the
+// minimizer removes ops before it.
+type Op struct {
+	Kind    string
+	A, B, C uint64
+}
+
+// Machine is one fuzzable layer plus its reference model.
+type Machine interface {
+	// Name identifies the machine in reports.
+	Name() string
+	// Reset discards all state and rebuilds the layer from scratch.
+	// Reset must be deterministic: the same op trace applied after any
+	// two Resets must behave identically.
+	Reset()
+	// Gen draws the next operation. All randomness must come from rng.
+	Gen(rng *sim.RNG) Op
+	// Apply executes one operation against the layer and mirrors it in
+	// the model. It returns an error only for genuine divergence (an
+	// operation that must succeed failed, a result disagreed with the
+	// model) — legal rejections (exhaustion, bad-state ops drawn by Gen)
+	// return nil.
+	Apply(op Op) error
+	// Check compares the layer against the model and runs the layer's
+	// own invariant validators. Quiescence is guaranteed by the driver.
+	Check() error
+}
+
+// Config parameterizes one fuzz run.
+type Config struct {
+	// Seed seeds the deterministic RNG.
+	Seed uint64
+	// Ops is the number of operations to apply (default 2000).
+	Ops int
+	// CheckEvery runs Machine.Check every that many ops (default 64). A
+	// final check always runs after the last op.
+	CheckEvery int
+}
+
+func (c *Config) defaults() {
+	if c.Ops <= 0 {
+		c.Ops = 2000
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 64
+	}
+}
+
+// Report describes a fuzz failure: the minimized, replayable trace and
+// the error it reproduces.
+type Report struct {
+	Machine string
+	Seed    uint64
+	Trace   []Op
+	Err     error
+}
+
+// String renders the failure with the trace as a Go literal, ready to be
+// checked in as a regression seed and replayed with Replay.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: fuzz failure in %q (seed %#x): %v\n", r.Machine, r.Seed, r.Err)
+	b.WriteString("minimized trace (replay with audit.Replay):\n[]audit.Op{\n")
+	for _, op := range r.Trace {
+		fmt.Fprintf(&b, "\t{Kind: %q, A: %d, B: %d, C: %d},\n", op.Kind, op.A, op.B, op.C)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Fuzz drives cfg.Ops random operations against the machine, checking
+// invariants every cfg.CheckEvery ops and once at the end. On failure the
+// trace is minimized and returned as a Report; nil means the run passed.
+func Fuzz(m Machine, cfg Config) *Report {
+	cfg.defaults()
+	rng := sim.NewRNG(cfg.Seed)
+	m.Reset()
+	trace := make([]Op, 0, cfg.Ops)
+	failed := false
+	for i := 0; i < cfg.Ops && !failed; i++ {
+		op := m.Gen(rng)
+		trace = append(trace, op)
+		failed = m.Apply(op) != nil ||
+			((i+1)%cfg.CheckEvery == 0 && m.Check() != nil)
+	}
+	if !failed && m.Check() == nil {
+		return nil
+	}
+	min, err := Minimize(m, trace, cfg.CheckEvery)
+	return &Report{Machine: m.Name(), Seed: cfg.Seed, Trace: min, Err: err}
+}
+
+// Replay resets the machine and applies the trace, checking invariants
+// every checkEvery ops (<=0 for the default) and once at the end. Returns
+// the first divergence, nil if the trace passes.
+func Replay(m Machine, trace []Op, checkEvery int) error {
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
+	m.Reset()
+	for i, op := range trace {
+		if err := m.Apply(op); err != nil {
+			return fmt.Errorf("op %d %+v: %w", i, op, err)
+		}
+		if (i+1)%checkEvery == 0 {
+			if err := m.Check(); err != nil {
+				return fmt.Errorf("check after op %d: %w", i, err)
+			}
+		}
+	}
+	if err := m.Check(); err != nil {
+		return fmt.Errorf("final check: %w", err)
+	}
+	return nil
+}
+
+// Minimize shrinks a failing trace by greedy chunk removal: repeatedly
+// try dropping spans (halving the span size down to single ops), keeping
+// any candidate that still fails. Returns the minimized trace and the
+// error it reproduces.
+func Minimize(m Machine, trace []Op, checkEvery int) ([]Op, error) {
+	err := Replay(m, trace, checkEvery)
+	if err == nil {
+		return trace, fmt.Errorf("audit: trace does not reproduce under replay (non-deterministic machine?)")
+	}
+	for chunk := len(trace) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(trace); {
+			cand := make([]Op, 0, len(trace)-chunk)
+			cand = append(cand, trace[:start]...)
+			cand = append(cand, trace[start+chunk:]...)
+			if candErr := Replay(m, cand, checkEvery); candErr != nil {
+				trace, err = cand, candErr
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return trace, err
+}
+
+// Machines returns one instance of every fuzzable machine, in
+// deterministic order.
+func Machines() []Machine {
+	return []Machine{
+		NewLLFreeMachine(),
+		NewBuddyMachine(),
+		NewPoolMachine(),
+		NewVMMachine(),
+		NewMechMachine(),
+	}
+}

@@ -1,0 +1,86 @@
+package audit
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// envInt scales a test knob from the environment: `make audit` runs the
+// fuzzers much longer than the default `go test` smoke depth.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func TestFuzzMachines(t *testing.T) {
+	ops := envInt("AUDIT_FUZZ_OPS", 400)
+	seeds := envInt("AUDIT_FUZZ_SEEDS", 3)
+	for _, m := range Machines() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			for seed := 1; seed <= seeds; seed++ {
+				if r := Fuzz(m, Config{Seed: uint64(seed), Ops: ops}); r != nil {
+					t.Fatalf("%s", r)
+				}
+			}
+		})
+	}
+}
+
+// The op stream must be a pure function of the seed, or checked-in seeds
+// and replayed traces would rot.
+func TestGenDeterministic(t *testing.T) {
+	for _, m := range Machines() {
+		m.Reset()
+		r1, r2 := sim.NewRNG(42), sim.NewRNG(42)
+		for i := 0; i < 200; i++ {
+			a, b := m.Gen(r1), m.Gen(r2)
+			if a != b {
+				t.Fatalf("%s: op %d differs across identical RNGs: %+v vs %+v", m.Name(), i, a, b)
+			}
+		}
+	}
+}
+
+// A machine whose Apply rejects an op it generated would make every
+// fuzz run vacuous; exercise the full kind space through Replay.
+func TestReplayOfGeneratedTrace(t *testing.T) {
+	for _, m := range Machines() {
+		rng := sim.NewRNG(7)
+		m.Reset()
+		trace := make([]Op, 120)
+		for i := range trace {
+			trace[i] = m.Gen(rng)
+		}
+		if err := Replay(m, trace, 32); err != nil {
+			t.Fatalf("%s: generated trace does not replay: %v", m.Name(), err)
+		}
+	}
+}
+
+// Minimization must shrink a failing trace to its essential suffix and
+// still reproduce the failure.
+func TestMinimizeShrinksFailingTrace(t *testing.T) {
+	m := NewPoolMachine()
+	trace := []Op{
+		{Kind: "grow", A: 0, B: 100},
+		{Kind: "release", A: 0, B: 100},
+		{Kind: "grow", A: 1, B: 50},
+		{Kind: "boom"}, // unknown op: Apply error
+		{Kind: "grow", A: 2, B: 10},
+	}
+	min, err := Minimize(m, trace, 0)
+	if err == nil {
+		t.Fatal("minimized trace passes")
+	}
+	if len(min) != 1 || min[0].Kind != "boom" {
+		t.Fatalf("minimized trace = %+v, want just the failing op", min)
+	}
+}

@@ -1,0 +1,135 @@
+package audit
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+const (
+	llfAreas  = 64
+	llfFrames = llfAreas * mem.FramesPerHuge
+	llfCPUs   = 2
+)
+
+// heldBlock is one allocation a fuzz machine is responsible for freeing.
+type heldBlock struct {
+	pfn   mem.PFN
+	order mem.Order
+}
+
+// llfreeMachine fuzzes the LLFree allocator bilaterally: guest Get/Put
+// against host ReclaimHard/ReclaimSoft/ReturnHuge/ClearEvicted on the
+// shared state. The model is the set of held blocks plus the set of
+// hard-reclaimed areas; everything else is owed back to the free counter.
+type llfreeMachine struct {
+	guest *llfree.Alloc
+	host  *llfree.Alloc
+	held  []heldBlock
+	hard  []uint64
+}
+
+// NewLLFreeMachine returns the LLFree fuzz machine.
+func NewLLFreeMachine() Machine { return &llfreeMachine{} }
+
+func (m *llfreeMachine) Name() string { return "llfree" }
+
+func (m *llfreeMachine) Reset() {
+	a, err := llfree.New(llfree.Config{Frames: llfFrames, CPUs: llfCPUs})
+	if err != nil {
+		panic("audit: " + err.Error())
+	}
+	m.guest, m.host = a, a.Share()
+	m.held, m.hard = nil, nil
+}
+
+func (m *llfreeMachine) Gen(rng *sim.RNG) Op {
+	k := rng.Uint64n(100)
+	switch {
+	case k < 40:
+		return Op{Kind: "get", A: rng.Uint64n(8), B: rng.Uint64n(llfCPUs)}
+	case k < 70:
+		return Op{Kind: "put", A: rng.Uint64(), B: rng.Uint64n(llfCPUs)}
+	case k < 80:
+		return Op{Kind: "hard", A: rng.Uint64n(llfAreas)}
+	case k < 88:
+		return Op{Kind: "return", A: rng.Uint64(), B: rng.Uint64n(2)}
+	case k < 95:
+		return Op{Kind: "soft", A: rng.Uint64n(llfAreas)}
+	default:
+		return Op{Kind: "clear", A: rng.Uint64n(llfAreas)}
+	}
+}
+
+func (m *llfreeMachine) Apply(op Op) error {
+	cpu := int(op.B % llfCPUs)
+	switch op.Kind {
+	case "get":
+		order, typ := mem.Order(0), mem.Movable
+		if op.A == 0 {
+			order, typ = mem.HugeOrder, mem.Huge
+		}
+		f, err := m.guest.Get(cpu, order, typ)
+		if err != nil {
+			return nil // exhaustion is legal; Check judges the books
+		}
+		m.held = append(m.held, heldBlock{f.PFN, order})
+	case "put":
+		if len(m.held) == 0 {
+			return nil
+		}
+		i := int(op.A % uint64(len(m.held)))
+		h := m.held[i]
+		m.held[i] = m.held[len(m.held)-1]
+		m.held = m.held[:len(m.held)-1]
+		if err := m.guest.Put(cpu, h.pfn, h.order); err != nil {
+			return fmt.Errorf("put pfn %d order %d: %w", h.pfn, h.order, err)
+		}
+	case "hard":
+		// Fails unless the area is a fully free huge frame; track wins.
+		if err := m.host.ReclaimHard(op.A % llfAreas); err == nil {
+			m.hard = append(m.hard, op.A%llfAreas)
+		}
+	case "return":
+		if len(m.hard) == 0 {
+			return nil
+		}
+		i := int(op.A % uint64(len(m.hard)))
+		area := m.hard[i]
+		m.hard[i] = m.hard[len(m.hard)-1]
+		m.hard = m.hard[:len(m.hard)-1]
+		if err := m.host.ReturnHuge(area); err != nil {
+			return fmt.Errorf("return area %d: %w", area, err)
+		}
+		if op.B%2 == 0 {
+			// Sometimes leave the frame soft-reclaimed (E=1) to exercise
+			// allocation from evicted areas.
+			m.host.ClearEvicted(area)
+		}
+	case "soft":
+		m.host.ReclaimSoft(op.A % llfAreas) // fails unless fully free: fine
+	case "clear":
+		m.host.ClearEvicted(op.A % llfAreas)
+	default:
+		return fmt.Errorf("llfree machine: unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+func (m *llfreeMachine) Check() error {
+	if err := m.guest.Validate(); err != nil {
+		return err
+	}
+	var heldFrames uint64
+	for _, h := range m.held {
+		heldFrames += h.order.Frames()
+	}
+	want := uint64(llfFrames) - heldFrames - uint64(len(m.hard))*mem.FramesPerHuge
+	if got := m.guest.FreeFrames(); got != want {
+		return fmt.Errorf("audit: llfree free frames = %d, want %d (%d held, %d hard-reclaimed)",
+			got, want, heldFrames, len(m.hard))
+	}
+	return nil
+}

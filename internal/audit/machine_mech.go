@@ -1,0 +1,166 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/core"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+const (
+	mechHostBytes = 4 * mem.GiB
+	mechVMBytes   = 3 * mem.GiB // must exceed the 2 GiB DMA32 zone
+)
+
+// mechMachine fuzzes the full HyperAlloc stack: a LLFree-backed guest
+// with the core mechanism on top, running against a finite host pool with
+// a noisy neighbour. Operations mix guest allocation churn, explicit
+// shrink/grow resizes, soft-reclaim scan ticks, touches of reclaimed
+// memory (install paths), and neighbour-induced host pressure (swap
+// paths). The model is the set of live regions; Check runs the whole
+// cross-layer audit chain plus a guest-usage conservation law.
+type mechMachine struct {
+	sys      *hyperalloc.System
+	vm       *hyperalloc.VM
+	regions  []*guest.Region
+	baseUsed uint64
+	neighbor uint64 // rss+swapped the machine granted to the neighbour
+}
+
+// NewMechMachine returns the full-stack fuzz machine.
+func NewMechMachine() Machine { return &mechMachine{} }
+
+func (m *mechMachine) Name() string { return "mech" }
+
+func (m *mechMachine) Reset() {
+	sys := hyperalloc.NewSystemWithMemory(1, mechHostBytes)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name:      "fuzz",
+		Candidate: hyperalloc.CandidateHyperAlloc,
+		Memory:    mechVMBytes,
+		CPUs:      2,
+	})
+	if err != nil {
+		panic("audit: " + err.Error())
+	}
+	vm.VM.SetAutoPeriod(sim.Second) // arm AutoTick's soft-reclaim scan
+	m.sys, m.vm = sys, vm
+	m.regions = nil
+	m.baseUsed = vm.Guest.UsedBaseBytes()
+	m.neighbor = 0
+}
+
+func (m *mechMachine) Gen(rng *sim.RNG) Op {
+	k := rng.Uint64n(100)
+	switch {
+	case k < 30:
+		return Op{Kind: "alloc", A: 1 + rng.Uint64n(8192), B: rng.Uint64n(2)}
+	case k < 45:
+		return Op{Kind: "free", A: rng.Uint64()}
+	case k < 55:
+		return Op{Kind: "freepart", A: rng.Uint64(), B: 1 + rng.Uint64n(256)}
+	case k < 70:
+		return Op{Kind: "touch", A: rng.Uint64()}
+	case k < 80:
+		return Op{Kind: "setlimit", A: rng.Uint64n(mechVMBytes)}
+	case k < 90:
+		return Op{Kind: "tick"}
+	default:
+		return Op{Kind: "neighbor", A: rng.Uint64(), B: rng.Uint64n(2)}
+	}
+}
+
+func (m *mechMachine) Apply(op Op) error {
+	switch op.Kind {
+	case "alloc":
+		bytes := op.A % 8193 * mem.PageSize
+		if bytes == 0 {
+			bytes = mem.PageSize
+		}
+		r, err := m.vm.Guest.AllocAnon(int(op.B%2), bytes)
+		if err != nil {
+			return nil // guest OOM after a shrink is legal; alloc rolls back
+		}
+		m.regions = append(m.regions, r)
+	case "free":
+		if len(m.regions) == 0 {
+			return nil
+		}
+		i := int(op.A % uint64(len(m.regions)))
+		r := m.regions[i]
+		m.regions[i] = m.regions[len(m.regions)-1]
+		m.regions = m.regions[:len(m.regions)-1]
+		r.Free()
+	case "freepart":
+		if len(m.regions) == 0 {
+			return nil
+		}
+		i := int(op.A % uint64(len(m.regions)))
+		r := m.regions[i]
+		r.FreePartial(op.B % 257 * mem.PageSize)
+		if r.Bytes() == 0 {
+			m.regions[i] = m.regions[len(m.regions)-1]
+			m.regions = m.regions[:len(m.regions)-1]
+		}
+	case "touch":
+		if len(m.regions) == 0 {
+			return nil
+		}
+		m.regions[int(op.A%uint64(len(m.regions)))].Touch()
+	case "setlimit":
+		// Clamp the target to [1 huge frame, InitialBytes]; the mechanism
+		// itself aligns and clamps further. A hard shrink may legally fail
+		// when the guest holds too much memory.
+		target := op.A % mechVMBytes
+		if target < mem.HugeSize {
+			target = mem.HugeSize
+		}
+		if err := m.vm.SetMemLimit(target); err != nil && !errors.Is(err, core.ErrInsufficient) {
+			return fmt.Errorf("setlimit %d: %w", target, err)
+		}
+	case "tick":
+		m.vm.VM.Mech.AutoTick()
+	case "neighbor":
+		if op.B == 0 {
+			d := (1 + op.A%8) * 64 * mem.MiB
+			if _, err := m.sys.Pool.Adjust("neighbor", int64(d)); err != nil {
+				return fmt.Errorf("neighbor grow %d: %w", d, err)
+			}
+			m.neighbor += d
+		} else {
+			if m.neighbor == 0 {
+				return nil
+			}
+			d := 1 + op.A%m.neighbor
+			if _, err := m.sys.Pool.Adjust("neighbor", -int64(d)); err != nil {
+				return fmt.Errorf("neighbor release %d: %w", d, err)
+			}
+			m.neighbor -= d
+		}
+	default:
+		return fmt.Errorf("mech machine: unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+func (m *mechMachine) Check() error {
+	if err := m.sys.Pool.Validate(); err != nil {
+		return err
+	}
+	if err := m.vm.VM.Audit(); err != nil {
+		return err
+	}
+	var live uint64
+	for _, r := range m.regions {
+		live += r.Bytes()
+	}
+	if got := m.vm.Guest.UsedBaseBytes(); got != m.baseUsed+live {
+		return fmt.Errorf("audit: guest UsedBaseBytes = %d, boot %d + live regions %d",
+			got, m.baseUsed, live)
+	}
+	return nil
+}

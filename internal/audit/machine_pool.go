@@ -1,0 +1,234 @@
+package audit
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/sim"
+)
+
+// poolCap is the fuzzed pool's capacity in (arbitrary) bytes.
+const poolCap = 1000
+
+// poolVMs are the fuzzed pool's tenants, sorted, so the model's victim
+// selection can mirror the pool's name-ordered tie-break by index.
+var poolVMs = [...]string{"a", "b", "c"}
+
+// poolMachine fuzzes the host memory pool against an exact reference
+// model: every Adjust/SwapIn — including the overcommit swap-out path and
+// the error paths — is mirrored arithmetically, and the full observable
+// state (per-VM rss/swapped, total, peak, swap traffic counters) is
+// compared after every operation. A failed call that mutates the pool
+// (the pre-fix non-atomic error paths) diverges immediately.
+type poolMachine struct {
+	p *hostmem.Pool
+
+	rss, swapped [len(poolVMs)]uint64
+	total, peak  uint64
+	out, in      uint64
+}
+
+// NewPoolMachine returns the host-pool fuzz machine.
+func NewPoolMachine() Machine { return &poolMachine{} }
+
+func (m *poolMachine) Name() string { return "pool" }
+
+func (m *poolMachine) Reset() {
+	m.p = hostmem.NewPool(poolCap)
+	*m = poolMachine{p: m.p}
+}
+
+func (m *poolMachine) Gen(rng *sim.RNG) Op {
+	k := rng.Uint64n(100)
+	switch {
+	case k < 40:
+		return Op{Kind: "grow", A: rng.Uint64n(uint64(len(poolVMs))), B: 1 + rng.Uint64n(poolCap/2)}
+	case k < 75:
+		return Op{Kind: "release", A: rng.Uint64n(uint64(len(poolVMs))), B: 1 + rng.Uint64n(poolCap)}
+	case k < 95:
+		return Op{Kind: "swapin", A: rng.Uint64n(uint64(len(poolVMs))), B: rng.Uint64n(3 * poolCap)}
+	default:
+		return Op{Kind: "resetpeak"}
+	}
+}
+
+func (m *poolMachine) Apply(op Op) error {
+	vi := int(op.A % uint64(len(poolVMs)))
+	name := poolVMs[vi]
+	switch op.Kind {
+	case "grow":
+		sw, err := m.p.Adjust(name, int64(op.B))
+		wantSw, ok := m.modelAdjust(vi, int64(op.B))
+		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
+			return err
+		}
+	case "release":
+		sw, err := m.p.Adjust(name, -int64(op.B))
+		wantSw, ok := m.modelAdjust(vi, -int64(op.B))
+		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
+			return err
+		}
+	case "swapin":
+		sw, err := m.p.SwapIn(name, op.B)
+		wantSw, ok := m.modelSwapIn(vi, op.B)
+		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
+			return err
+		}
+	case "resetpeak":
+		m.p.ResetPeak()
+		m.peak = m.total
+	default:
+		return fmt.Errorf("pool machine: unknown op %q", op.Kind)
+	}
+	return m.compareState()
+}
+
+// judge compares one call's outcome with the model's prediction.
+func (m *poolMachine) judge(op Op, sw uint64, err error, wantSw uint64, ok bool) error {
+	if ok && err != nil {
+		return fmt.Errorf("%s %s %d: unexpected error %w", op.Kind, poolVMs[op.A%uint64(len(poolVMs))], op.B, err)
+	}
+	if !ok && err == nil {
+		return fmt.Errorf("%s %s %d: accepted, model expects an error", op.Kind, poolVMs[op.A%uint64(len(poolVMs))], op.B)
+	}
+	if ok && sw != wantSw {
+		return fmt.Errorf("%s %s %d: swap IO %d, model expects %d", op.Kind, poolVMs[op.A%uint64(len(poolVMs))], op.B, sw, wantSw)
+	}
+	return nil
+}
+
+// modelAdjust mirrors hostmem.Pool.Adjust. Returns the expected swap IO
+// and whether the call succeeds; a failing call leaves the model (and
+// must leave the pool) unchanged.
+func (m *poolMachine) modelAdjust(vi int, delta int64) (uint64, bool) {
+	if delta < 0 {
+		d := uint64(-delta)
+		if d > m.rss[vi]+m.swapped[vi] {
+			return 0, false
+		}
+		take := minu(m.swapped[vi], d)
+		m.swapped[vi] -= take
+		d -= take
+		m.rss[vi] -= d
+		m.total -= d
+		return 0, true
+	}
+	d := uint64(delta)
+	var sw uint64
+	if m.total+d > poolCap {
+		need := m.total + d - poolCap
+		if need > m.total {
+			return 0, false
+		}
+		m.modelSwapOut(vi, need)
+		sw = need
+	}
+	m.rss[vi] += d
+	m.total += d
+	if m.total > m.peak {
+		m.peak = m.total
+	}
+	return sw, true
+}
+
+// modelSwapIn mirrors hostmem.Pool.SwapIn, float arithmetic included.
+func (m *poolMachine) modelSwapIn(vi int, limit uint64) (uint64, bool) {
+	debt := m.swapped[vi]
+	if debt == 0 || limit == 0 {
+		return 0, true
+	}
+	span := m.rss[vi] + debt
+	back := uint64(float64(limit) * (float64(debt) / float64(span)))
+	if back > debt {
+		back = debt
+	}
+	if back == 0 {
+		return 0, true
+	}
+	var sw uint64
+	if m.total+back > poolCap {
+		need := m.total + back - poolCap
+		if need > m.total {
+			return 0, false
+		}
+		m.modelSwapOut(vi, need)
+		sw = need
+	}
+	m.swapped[vi] -= back
+	m.in += back
+	sw += back
+	m.rss[vi] += back
+	m.total += back
+	if m.total > m.peak {
+		m.peak = m.total
+	}
+	return sw, true
+}
+
+// modelSwapOut mirrors hostmem.Pool.swapOut: evict largest-RSS VM other
+// than the faulter (ties break on the smaller name, i.e. smaller index),
+// falling back to the faulter itself when no other VM is resident.
+func (m *poolMachine) modelSwapOut(faulter int, need uint64) {
+	var evicted uint64
+	for evicted < need {
+		victim := -1
+		var vmax uint64
+		for vi := range poolVMs {
+			if vi == faulter || m.rss[vi] == 0 {
+				continue
+			}
+			if m.rss[vi] > vmax {
+				victim, vmax = vi, m.rss[vi]
+			}
+		}
+		if victim < 0 {
+			victim = faulter
+		}
+		take := minu(m.rss[victim], need-evicted)
+		if take == 0 {
+			break
+		}
+		m.rss[victim] -= take
+		m.swapped[victim] += take
+		m.total -= take
+		m.out += take
+		evicted += take
+	}
+}
+
+// compareState diffs every observable of the pool against the model.
+func (m *poolMachine) compareState() error {
+	if m.p.Total() != m.total {
+		return fmt.Errorf("pool total = %d, model %d", m.p.Total(), m.total)
+	}
+	if m.p.Peak() != m.peak {
+		return fmt.Errorf("pool peak = %d, model %d", m.p.Peak(), m.peak)
+	}
+	if m.p.SwapOutBytes != m.out || m.p.SwapInBytes != m.in {
+		return fmt.Errorf("pool swap traffic out/in = %d/%d, model %d/%d",
+			m.p.SwapOutBytes, m.p.SwapInBytes, m.out, m.in)
+	}
+	for vi, name := range poolVMs {
+		if m.p.RSS(name) != m.rss[vi] {
+			return fmt.Errorf("pool rss(%s) = %d, model %d", name, m.p.RSS(name), m.rss[vi])
+		}
+		if m.p.Swapped(name) != m.swapped[vi] {
+			return fmt.Errorf("pool swapped(%s) = %d, model %d", name, m.p.Swapped(name), m.swapped[vi])
+		}
+	}
+	return nil
+}
+
+func (m *poolMachine) Check() error {
+	if err := m.p.Validate(); err != nil {
+		return err
+	}
+	return m.compareState()
+}
+
+func minu(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

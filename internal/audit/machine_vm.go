@@ -1,0 +1,209 @@
+package audit
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+const (
+	vmFuzzAreas  = 8
+	vmFuzzFrames = vmFuzzAreas * mem.FramesPerHuge
+	vmFuzzBytes  = vmFuzzFrames * mem.PageSize
+)
+
+// vmAreaModel is the reference state of one 2 MiB EPT area: which frames
+// are mapped, whether the backing is one huge mapping, and whether the
+// area has been fragmented by a hole punch (the THP eligibility flag the
+// fault path consults). The fragmented flag is sticky across full unmaps,
+// mirroring the host's behaviour after a real madvise hole.
+type vmAreaModel struct {
+	bits [mem.FramesPerHuge / 64]uint64
+	huge bool
+	frag bool
+}
+
+func (am *vmAreaModel) bit(i uint64) bool { return am.bits[i/64]&(1<<(i%64)) != 0 }
+func (am *vmAreaModel) set(i uint64)      { am.bits[i/64] |= 1 << (i % 64) }
+func (am *vmAreaModel) clear(i uint64)    { am.bits[i/64] &^= 1 << (i % 64) }
+func (am *vmAreaModel) popcount() (n uint64) {
+	for _, w := range am.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+func (am *vmAreaModel) setAll() {
+	for i := range am.bits {
+		am.bits[i] = ^uint64(0)
+	}
+}
+func (am *vmAreaModel) clearAll() {
+	for i := range am.bits {
+		am.bits[i] = 0
+	}
+}
+
+// vmMachine fuzzes one VM's EPT through the monitor paths a balloon
+// drives: guest touches (THP vs base fault selection), base-frame and
+// whole-area discards, and area populates. The model tracks per-area
+// mapped frames and the huge/fragmented flags; divergence in the
+// fragmented flag is exactly the bug where a no-op discard of a
+// never-mapped frame downgraded the area's THP backing.
+type vmMachine struct {
+	vm    *vmm.VM
+	areas [vmFuzzAreas]vmAreaModel
+}
+
+// NewVMMachine returns the VM/EPT fuzz machine.
+func NewVMMachine() Machine { return &vmMachine{} }
+
+func (m *vmMachine) Name() string { return "vm" }
+
+func (m *vmMachine) Reset() {
+	b, err := buddy.New(buddy.Config{Frames: vmFuzzFrames})
+	if err != nil {
+		panic("audit: " + err.Error())
+	}
+	g, err := guest.New(2, guest.ZoneSpec{
+		Kind: mem.ZoneNormal, Bytes: vmFuzzBytes,
+		Alloc: guest.NewBuddyAdapter(b), Impl: b,
+	})
+	if err != nil {
+		panic("audit: " + err.Error())
+	}
+	vm, err := vmm.NewVM(vmm.Config{
+		Name: "fuzz", Guest: g,
+		Meter: ledger.NewMeter(sim.NewClock()),
+		Model: costmodel.Default(),
+		Pool:  hostmem.NewPool(0),
+	})
+	if err != nil {
+		panic("audit: " + err.Error())
+	}
+	m.vm = vm
+	m.areas = [vmFuzzAreas]vmAreaModel{}
+}
+
+func (m *vmMachine) Gen(rng *sim.RNG) Op {
+	k := rng.Uint64n(100)
+	switch {
+	case k < 40:
+		return Op{Kind: "touch", A: rng.Uint64n(vmFuzzFrames), B: 1 + rng.Uint64n(1024)}
+	case k < 70:
+		return Op{Kind: "discardBase", A: rng.Uint64n(vmFuzzFrames)}
+	case k < 85:
+		return Op{Kind: "discardArea", A: rng.Uint64n(vmFuzzAreas)}
+	default:
+		return Op{Kind: "populateArea", A: rng.Uint64n(vmFuzzAreas)}
+	}
+}
+
+func (m *vmMachine) Apply(op Op) error {
+	switch op.Kind {
+	case "touch":
+		start := op.A % vmFuzzFrames
+		n := 1 + op.B%1024
+		if start+n > vmFuzzFrames {
+			n = vmFuzzFrames - start
+		}
+		// The single zone has base 0, so guest pfn == gfn.
+		m.vm.Guest.TouchFn(m.vm.Guest.Zones()[0], mem.PFN(start), n)
+		m.modelTouch(start, start+n)
+	case "discardBase":
+		gfn := op.A % vmFuzzFrames
+		am := &m.areas[gfn/mem.FramesPerHuge]
+		b := gfn % mem.FramesPerHuge
+		var want bool
+		switch {
+		case am.huge:
+			// Splits the huge mapping and punches one hole.
+			am.huge = false
+			am.frag = true
+			am.clear(b)
+			want = true
+		case am.bit(b):
+			am.clear(b)
+			am.frag = true
+			want = true
+		default:
+			// Never-populated frame: host-side no-op, THP stays eligible.
+			want = false
+		}
+		if was := m.vm.DiscardBase(mem.PFN(gfn)); was != want {
+			return fmt.Errorf("discardBase %d: was=%v, model expects %v", gfn, was, want)
+		}
+	case "discardArea":
+		area := op.A % vmFuzzAreas
+		am := &m.areas[area]
+		want := am.popcount()
+		am.clearAll()
+		am.huge = false // fragmented is sticky across a full unmap
+		if was := m.vm.DiscardArea(area); was != want {
+			return fmt.Errorf("discardArea %d: unmapped %d, model expects %d", area, was, want)
+		}
+	case "populateArea":
+		area := op.A % vmFuzzAreas
+		am := &m.areas[area]
+		want := mem.FramesPerHuge - am.popcount()
+		am.setAll()
+		am.huge = true
+		am.frag = false // MapHuge heals fragmentation
+		if newly := m.vm.PopulateArea(area); newly != want {
+			return fmt.Errorf("populateArea %d: mapped %d, model expects %d", area, newly, want)
+		}
+	default:
+		return fmt.Errorf("vm machine: unknown op %q", op.Kind)
+	}
+	return nil
+}
+
+// modelTouch mirrors vmm.populateOnTouch: per touched area chunk, a fully
+// unpopulated non-fragmented area takes one whole-area THP fault;
+// otherwise the touched frames fault in as base mappings.
+func (m *vmMachine) modelTouch(start, end uint64) {
+	for f := start; f < end; {
+		ai := f / mem.FramesPerHuge
+		chunkEnd := (ai + 1) * mem.FramesPerHuge
+		if end < chunkEnd {
+			chunkEnd = end
+		}
+		am := &m.areas[ai]
+		switch pc := am.popcount(); {
+		case pc == 0 && !am.frag:
+			am.setAll()
+			am.huge = true
+		case pc == mem.FramesPerHuge:
+			// fully mapped: nothing to do
+		default:
+			for p := f; p < chunkEnd; p++ {
+				am.set(p % mem.FramesPerHuge)
+			}
+		}
+		f = chunkEnd
+	}
+}
+
+func (m *vmMachine) Check() error {
+	if err := m.vm.Audit(); err != nil {
+		return err
+	}
+	for i := range m.areas {
+		am := &m.areas[i]
+		if got, want := m.vm.EPT.AreaMapped(uint64(i)), am.popcount(); got != want {
+			return fmt.Errorf("audit: ept area %d: mapped %d, model %d", i, got, want)
+		}
+		if got := m.vm.EPT.AreaFragmented(uint64(i)); got != am.frag {
+			return fmt.Errorf("audit: ept area %d: fragmented=%v, model %v", i, got, am.frag)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package audit
+
+import "testing"
+
+// Checked-in minimized fuzzer traces reproducing the accounting bugs this
+// package was built to catch. Each trace fails when replayed against the
+// pre-fix code and must keep passing forever. (The third bug of the same
+// batch — vmm.StartAuto leaking an uncancelable auto-tick chain on
+// restart — lives above the fuzzed layers and is pinned by the
+// TestStartAutoRestartCancelsOldChain unit regression in package vmm.)
+
+// Pre-fix, ept.UnmapBase marked an area fragmented even when the
+// discarded frame was never mapped (a host-side no-op). The model keeps
+// the area THP-eligible, so the fragmented-flag comparison diverges and
+// the follow-up touch base-faults instead of taking one huge fault.
+func TestSeedEPTNoOpDiscardKeepsTHP(t *testing.T) {
+	trace := []Op{
+		{Kind: "discardBase", A: 7},   // never-mapped frame: no-op
+		{Kind: "touch", A: 0, B: 512}, // must still THP-fault area 0
+	}
+	if err := Replay(NewVMMachine(), trace, 0); err != nil {
+		t.Fatalf("ept no-op discard seed: %v", err)
+	}
+}
+
+// Pre-fix, hostmem.Pool.Adjust evicted other VMs before discovering the
+// grow was infeasible, returning an error with the pool already mutated.
+// The model rejects the call without side effects, so the state
+// comparison after the failing op diverges.
+func TestSeedPoolNonAtomicGrow(t *testing.T) {
+	trace := []Op{
+		{Kind: "grow", A: 0, B: 600},
+		{Kind: "grow", A: 1, B: 400},
+		{Kind: "grow", A: 1, B: 1500}, // need 1500 > 1000 resident: must fail cleanly
+	}
+	if err := Replay(NewPoolMachine(), trace, 0); err != nil {
+		t.Fatalf("pool non-atomic grow seed: %v", err)
+	}
+}
+
+// Pre-fix, hostmem.Pool.SwapIn decremented the VM's swap debt before the
+// capacity check, so an infeasible fault-in destroyed the debt ledger.
+// The trace overcommits twice to push VM a's debt past the capacity,
+// drains residency, then faults in more than the host can hold.
+func TestSeedPoolNonAtomicSwapIn(t *testing.T) {
+	trace := []Op{
+		{Kind: "grow", A: 0, B: 900},
+		{Kind: "grow", A: 1, B: 1000}, // evicts all 900 of a
+		{Kind: "release", A: 1, B: 1000},
+		{Kind: "grow", A: 0, B: 200},
+		{Kind: "grow", A: 1, B: 1000},    // evicts the fresh 200 too: debt 1100
+		{Kind: "release", A: 1, B: 1000}, // total 0, capacity 1000, debt 1100
+		{Kind: "swapin", A: 0, B: 5000},  // back=1100 cannot fit: must fail cleanly
+	}
+	if err := Replay(NewPoolMachine(), trace, 0); err != nil {
+		t.Fatalf("pool non-atomic swap-in seed: %v", err)
+	}
+}

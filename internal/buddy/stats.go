@@ -148,6 +148,59 @@ func (a *Alloc) Validate() error {
 		return errf("frames unaccounted: free %d + pcp %d + used %d + offline %d != %d",
 			listed, pcpN, used, a.offline, a.frames)
 	}
+	// A pcp-cached frame is accounted nowhere else: its header must be
+	// clear (it is neither a free-list head nor allocated) and it may sit
+	// in at most one cache.
+	cached := make(map[uint32]bool, pcpN)
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			for _, p := range a.pcps[i].lists[mt] {
+				if uint64(p) >= a.frames {
+					return errf("pcp[%d] caches out-of-range frame %d", i, p)
+				}
+				if a.hdr[p] != 0 {
+					return errf("pcp-cached frame %d has header %#x", p, a.hdr[p])
+				}
+				if cached[p] {
+					return errf("frame %d cached in two pcp lists", p)
+				}
+				cached[p] = true
+			}
+		}
+	}
+	// Recompute per-area usage from the block headers: a linear walk sees
+	// every frame exactly once — free-list heads skip their block, used
+	// heads tally their block into the areas it covers, and the remaining
+	// header-less frames must be exactly the pcp-cached and offlined ones.
+	usedByArea := make([]uint16, a.areas)
+	var headerless uint64
+	for pfn := uint64(0); pfn < a.frames; {
+		h := a.hdr[pfn]
+		switch {
+		case h&hdrFree != 0:
+			pfn += 1 << (h & hdrOrder)
+		case h&hdrUsed != 0:
+			n := uint64(1) << (h & hdrOrder)
+			if pfn+n > a.frames {
+				return errf("used block %d of order %d overruns the zone", pfn, h&hdrOrder)
+			}
+			for off := uint64(0); off < n; off++ {
+				usedByArea[(pfn+off)/mem.FramesPerHuge]++
+			}
+			pfn += n
+		default:
+			headerless++
+			pfn++
+		}
+	}
+	for area := range a.areaUsed {
+		if usedByArea[area] != a.areaUsed[area] {
+			return errf("area %d: areaUsed=%d but headers account for %d", area, a.areaUsed[area], usedByArea[area])
+		}
+	}
+	if headerless != pcpN+a.offline {
+		return errf("%d header-less frames, expected pcp %d + offline %d", headerless, pcpN, a.offline)
+	}
 	return nil
 }
 

@@ -444,3 +444,66 @@ func (m *Mechanism) ReclaimedBytes() uint64 {
 	}
 	return n
 }
+
+// Audit implements vmm.Auditor: it checks the monitor's reclamation-state
+// array R against the guest-visible allocator flags (A, E) and the EPT.
+// In quiescence (no reclaim, return, or install in flight, and a guest
+// that plays by the rules):
+//
+//	R=I  ⇒  E=0                               (install clears the hint)
+//	R=S  ⇒  E=1, A=0, area unmapped           (allocation would install)
+//	R=H  ⇒  E=1, A=1, counter 0, unmapped     (removed from the guest)
+//
+// and the hard limit accounts for every hard-reclaimed frame:
+// InitialBytes - limit >= hard*HugeSize (≥ rather than ==, because a
+// shrink to an unaligned target lowers the limit by the sub-2 MiB
+// remainder without reclaiming a frame for it).
+func (m *Mechanism) Audit() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var hard uint64
+	for zi, zs := range m.zones {
+		for area := range zs.r {
+			st := zs.shared.AreaState(uint64(area))
+			gArea := vmm.ZoneArea(zs.z, uint64(area))
+			switch zs.r[area] {
+			case Installed:
+				if st.Evicted {
+					return fmt.Errorf("core: zone %d area %d: R=I but E=1", zi, area)
+				}
+			case SoftReclaimed:
+				if !st.Evicted {
+					return fmt.Errorf("core: zone %d area %d: R=S but E=0", zi, area)
+				}
+				if st.HugeAllocated {
+					return fmt.Errorf("core: zone %d area %d: R=S but A=1", zi, area)
+				}
+				if n := m.vm.EPT.AreaMapped(gArea); n != 0 {
+					return fmt.Errorf("core: zone %d area %d: R=S but %d frames mapped", zi, area, n)
+				}
+			case HardReclaimed:
+				hard++
+				if !st.Evicted || !st.HugeAllocated {
+					return fmt.Errorf("core: zone %d area %d: R=H but E=%v A=%v",
+						zi, area, st.Evicted, st.HugeAllocated)
+				}
+				if st.Free != 0 {
+					return fmt.Errorf("core: zone %d area %d: R=H with counter %d", zi, area, st.Free)
+				}
+				if n := m.vm.EPT.AreaMapped(gArea); n != 0 {
+					return fmt.Errorf("core: zone %d area %d: R=H but %d frames mapped", zi, area, n)
+				}
+			default:
+				return fmt.Errorf("core: zone %d area %d: unknown state %d", zi, area, zs.r[area])
+			}
+		}
+	}
+	if m.limit > m.vm.InitialBytes {
+		return fmt.Errorf("core: limit %d above initial %d", m.limit, m.vm.InitialBytes)
+	}
+	if m.vm.InitialBytes-m.limit < hard*mem.HugeSize {
+		return fmt.Errorf("core: %d hard-reclaimed frames but limit only %d below initial",
+			hard, m.vm.InitialBytes-m.limit)
+	}
+	return nil
+}

@@ -152,13 +152,16 @@ func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
 		// Split: all frames become individually mapped, then this one is
 		// removed.
 		a.huge = false
+		a.fragmented = true
 		a.bitmap = make([]uint64, mem.FramesPerHuge/64)
 		n := t.areaFrames(p / mem.FramesPerHuge)
 		for i := uint64(0); i < n; i++ {
 			a.bitmap[i/64] |= 1 << (i % 64)
 		}
 	}
-	a.fragmented = true
+	// Unmapping a frame that was never populated is a no-op on the host
+	// side (no madvise is issued for an absent page), so it must not mark
+	// the area fragmented: a later fault can still use one THP.
 	if a.bitmap == nil {
 		return false, nil
 	}
@@ -167,6 +170,7 @@ func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
 		return false, nil
 	}
 	a.bitmap[w] &^= 1 << b
+	a.fragmented = true
 	a.mapped--
 	t.mappedFrames--
 	return true, nil
@@ -216,4 +220,50 @@ func (t *Table) Fault(pfn mem.PFN) (uint64, error) {
 func (t *Table) FaultBase(pfn mem.PFN) (bool, error) {
 	t.Faults++
 	return t.MapBase(pfn)
+}
+
+// Validate checks the table's internal accounting: per area, a huge entry
+// covers exactly the area's frames with no bitmap and no fragmented flag
+// (MapHuge heals fragmentation, and a split always clears huge); a base-
+// mapped area's counter equals the bitmap popcount with no bits beyond the
+// tail; and mappedFrames equals the per-area sum. Returns the first
+// violation found, nil if consistent.
+func (t *Table) Validate() error {
+	var total uint64
+	for i := range t.areas {
+		a := &t.areas[i]
+		n := t.areaFrames(uint64(i))
+		if a.huge {
+			if uint64(a.mapped) != n {
+				return fmt.Errorf("ept: area %d: huge but mapped=%d of %d", i, a.mapped, n)
+			}
+			if a.bitmap != nil {
+				return fmt.Errorf("ept: area %d: huge with a base bitmap", i)
+			}
+			if a.fragmented {
+				return fmt.Errorf("ept: area %d: huge and fragmented", i)
+			}
+		} else {
+			var pop uint64
+			for w, word := range a.bitmap {
+				for b := 0; b < 64; b++ {
+					if word&(1<<b) == 0 {
+						continue
+					}
+					if uint64(w*64+b) >= n {
+						return fmt.Errorf("ept: area %d: frame %d mapped beyond the tail (%d frames)", i, w*64+b, n)
+					}
+					pop++
+				}
+			}
+			if pop != uint64(a.mapped) {
+				return fmt.Errorf("ept: area %d: mapped=%d but bitmap popcount=%d", i, a.mapped, pop)
+			}
+		}
+		total += uint64(a.mapped)
+	}
+	if total != t.mappedFrames {
+		return fmt.Errorf("ept: mappedFrames=%d but areas sum to %d", t.mappedFrames, total)
+	}
+	return nil
 }

@@ -105,6 +105,68 @@ func TestUnmapBaseSplitsHuge(t *testing.T) {
 	}
 }
 
+// A no-op unmap — a frame that was never populated — must not mark the
+// area fragmented: no hole was punched into the host backing, so a later
+// fault may still use one THP. Before the fix, UnmapBase set the flag
+// unconditionally.
+func TestUnmapBaseNoOpDoesNotFragment(t *testing.T) {
+	tb := New(frames)
+	// Never-mapped frame in a never-mapped area.
+	if was, err := tb.UnmapBase(7); err != nil || was {
+		t.Fatalf("UnmapBase: %v %v", was, err)
+	}
+	if tb.AreaFragmented(0) {
+		t.Error("no-op unmap of an empty area marked it fragmented")
+	}
+	// Never-mapped frame in a partially base-mapped area.
+	if _, err := tb.MapBase(5); err != nil {
+		t.Fatal(err)
+	}
+	if was, _ := tb.UnmapBase(7); was {
+		t.Fatal("unmapped a frame that was never mapped")
+	}
+	if tb.AreaFragmented(0) {
+		t.Error("no-op unmap of an unmapped frame marked the area fragmented")
+	}
+	// Removing a frame that IS mapped punches a hole: fragmented.
+	if was, _ := tb.UnmapBase(5); !was {
+		t.Fatal("mapped frame not unmapped")
+	}
+	if !tb.AreaFragmented(0) {
+		t.Error("real hole punch did not mark the area fragmented")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tb := New(frames)
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.MapHuge(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.MapBase(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the global counter: Validate must notice.
+	tb.mappedFrames++
+	if err := tb.Validate(); err == nil {
+		t.Error("corrupted mappedFrames not detected")
+	}
+	tb.mappedFrames--
+	// Corrupt a per-area counter.
+	tb.areas[0].mapped++
+	if err := tb.Validate(); err == nil {
+		t.Error("corrupted area counter not detected")
+	}
+}
+
 func TestFaultPaths(t *testing.T) {
 	tb := New(frames)
 	newly, err := tb.Fault(7)

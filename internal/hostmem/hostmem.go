@@ -37,18 +37,18 @@ func NewPool(capacity uint64) *Pool {
 // another VM (largest RSS first) to make room: the returned swap amount
 // is what the caller must charge as swap IO. Releases cancel the VM's own
 // swap debt first (the freed pages would have been the swapped ones).
+// A failed call leaves the pool unchanged: feasibility is checked before
+// any state is touched.
 func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	cur := p.rss[vm]
 	if delta < 0 {
 		d := uint64(-delta)
-		if sw := p.swapped[vm]; sw > 0 {
-			take := min(sw, d)
-			p.swapped[vm] = sw - take
-			d -= take
+		if sw := p.swapped[vm]; d > cur+sw {
+			return 0, fmt.Errorf("hostmem: vm %q releasing %d of %d bytes", vm, d, cur+sw)
 		}
-		if d > cur {
-			return 0, fmt.Errorf("hostmem: vm %q releasing %d of %d bytes", vm, d, cur)
-		}
+		take := min(p.swapped[vm], d)
+		p.swapped[vm] -= take
+		d -= take
 		p.rss[vm] = cur - d
 		p.total -= d
 		return 0, nil
@@ -56,8 +56,12 @@ func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	d := uint64(delta)
 	if p.capacity != 0 && p.total+d > p.capacity {
 		// Host swap: evict from the largest-RSS other VM until the new
-		// pages fit.
+		// pages fit. Eviction can free at most the resident bytes, so an
+		// infeasible request fails before anything is swapped.
 		need := p.total + d - p.capacity
+		if need > p.total {
+			return 0, fmt.Errorf("hostmem: cannot swap %d bytes (%d resident)", need, p.total)
+		}
 		if evicted := p.swapOut(vm, need); evicted < need {
 			return evicted, fmt.Errorf("hostmem: cannot swap %d bytes (evicted %d)", need, evicted)
 		}
@@ -95,14 +99,19 @@ func (p *Pool) SwapIn(vm string, limit uint64) (swapped uint64, err error) {
 	if back == 0 {
 		return 0, nil
 	}
-	p.swapped[vm] -= back
 	if p.capacity != 0 && p.total+back > p.capacity {
 		need := p.total + back - p.capacity
+		// As in Adjust: reject infeasible requests before mutating, so a
+		// failed swap-in leaves the pool unchanged.
+		if need > p.total {
+			return 0, fmt.Errorf("hostmem: cannot swap %d bytes (%d resident)", need, p.total)
+		}
 		if evicted := p.swapOut(vm, need); evicted < need {
 			return evicted, fmt.Errorf("hostmem: cannot swap %d bytes (evicted %d)", need, evicted)
 		}
 		swapped = need
 	}
+	p.swapped[vm] -= back
 	p.SwapInBytes += back
 	swapped += back
 	p.rss[vm] += back
@@ -198,3 +207,30 @@ func (p *Pool) VMs() []string {
 
 // ResetPeak sets the peak to the current total.
 func (p *Pool) ResetPeak() { p.peak = p.total }
+
+// Validate checks the pool's accounting: the aggregate equals the per-VM
+// RSS sum, the peak never trails the current total, a finite capacity is
+// respected, and the swap ledger balances (swap-ins plus pages still on
+// swap never exceed the bytes ever swapped out; releases may cancel swap
+// debt without a swap-in, so this is an inequality). Returns the first
+// violation found, nil if consistent.
+func (p *Pool) Validate() error {
+	var sum uint64
+	for _, r := range p.rss {
+		sum += r
+	}
+	if sum != p.total {
+		return fmt.Errorf("hostmem: total=%d but per-VM RSS sums to %d", p.total, sum)
+	}
+	if p.peak < p.total {
+		return fmt.Errorf("hostmem: peak=%d below total=%d", p.peak, p.total)
+	}
+	if p.capacity != 0 && p.total > p.capacity {
+		return fmt.Errorf("hostmem: total=%d exceeds capacity=%d", p.total, p.capacity)
+	}
+	if still := p.TotalSwapped(); still+p.SwapInBytes > p.SwapOutBytes {
+		return fmt.Errorf("hostmem: swap ledger: %d on swap + %d swapped in > %d swapped out",
+			still, p.SwapInBytes, p.SwapOutBytes)
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package hostmem
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func adjust(t *testing.T, p *Pool, vm string, delta int64) uint64 {
 	t.Helper()
@@ -157,6 +160,101 @@ func TestEvictionTieBreaksOnName(t *testing.T) {
 	if p.Swapped("alpha") != 10 || p.Swapped("zeta") != 0 {
 		t.Errorf("tie-break: alpha %d zeta %d, want 10/0",
 			p.Swapped("alpha"), p.Swapped("zeta"))
+	}
+}
+
+// snapshot captures the pool's complete observable state for unchanged-
+// after-failure assertions.
+func snapshot(p *Pool) string {
+	s := fmt.Sprintf("total=%d peak=%d out=%d in=%d", p.Total(), p.Peak(), p.SwapOutBytes, p.SwapInBytes)
+	for _, vm := range p.VMs() {
+		s += fmt.Sprintf(" %s:rss=%d,sw=%d", vm, p.RSS(vm), p.Swapped(vm))
+	}
+	return s
+}
+
+// A grow that cannot be satisfied even by swapping out every resident
+// byte must fail atomically. Before the fix, swapOut had already mutated
+// rss/swapped/total/SwapOutBytes when the error returned.
+func TestFailedAdjustLeavesPoolUnchanged(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 60)
+	adjust(t, p, "b", 40)
+	before := snapshot(p)
+	// need = 100+150-100 = 150 > 100 resident: infeasible.
+	if _, err := p.Adjust("b", 150); err == nil {
+		t.Fatal("infeasible grow accepted")
+	}
+	if got := snapshot(p); got != before {
+		t.Errorf("failed Adjust mutated the pool:\n  before %s\n  after  %s", before, got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Same for the release direction: an over-release with swap debt present
+// must not cancel any of the debt before erroring out.
+func TestFailedReleaseLeavesPoolUnchanged(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	adjust(t, p, "b", 30) // a loses 10 to swap
+	if p.Swapped("a") != 10 {
+		t.Fatalf("setup: swapped(a) = %d", p.Swapped("a"))
+	}
+	before := snapshot(p)
+	// a holds 70 resident + 10 swapped; releasing 100 is infeasible.
+	if _, err := p.Adjust("a", -100); err == nil {
+		t.Fatal("over-release accepted")
+	}
+	if got := snapshot(p); got != before {
+		t.Errorf("failed release mutated the pool:\n  before %s\n  after  %s", before, got)
+	}
+}
+
+// A swap-in whose eviction need exceeds the resident bytes must fail
+// atomically too. Before the fix, the VM's swap debt was decremented
+// before the capacity check.
+func TestFailedSwapInLeavesPoolUnchanged(t *testing.T) {
+	p := NewPool(60)
+	adjust(t, p, "a", 50)
+	adjust(t, p, "b", 40) // a loses 30 to swap
+	if p.Swapped("a") != 30 {
+		t.Fatalf("setup: swapped(a) = %d", p.Swapped("a"))
+	}
+	// Drain residency (a's release cancels swap debt first, leaving 11
+	// swapped), then clamp the capacity so the fault-in's eviction need
+	// (total + back - capacity = 30) exceeds the 20 resident bytes.
+	adjust(t, p, "b", -40)
+	adjust(t, p, "a", -19)
+	p.capacity = 1
+	before := snapshot(p)
+	if _, err := p.SwapIn("a", 1000); err == nil {
+		t.Fatal("infeasible swap-in accepted")
+	}
+	if got := snapshot(p); got != before {
+		t.Errorf("failed SwapIn mutated the pool:\n  before %s\n  after  %s", before, got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	adjust(t, p, "b", 30)
+	if _, err := p.SwapIn("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.total++
+	if err := p.Validate(); err == nil {
+		t.Error("corrupted total not detected")
+	}
+	p.total--
+	p.peak = p.total - 1
+	if err := p.Validate(); err == nil {
+		t.Error("peak below total not detected")
 	}
 }
 

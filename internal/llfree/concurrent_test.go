@@ -108,87 +108,96 @@ func TestConcurrentMixedOrders(t *testing.T) {
 
 // TestConcurrentGuestHost runs guest allocations against hypervisor
 // reclaim/return on the shared state — the bilateral use at the heart of
-// the paper (Sec. 3).
+// the paper (Sec. 3). The stress runs in rounds with a join point between
+// them so the full auditor (which requires quiescence) can check every
+// bitfield/counter/reservation invariant mid-test, not only at the end.
 func TestConcurrentGuestHost(t *testing.T) {
 	guest, err := New(Config{Frames: testFrames, CPUs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	host := guest.Share()
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
+	var reclaims, returns atomic.Int64
 
-	// Guest workers allocate and free.
-	for w := 0; w < 4; w++ {
-		wg.Add(1)
-		go func(cpu int) {
-			defer wg.Done()
-			var held []mem.PFN
-			for i := 0; ; i++ {
-				select {
-				case <-stop:
-					for _, p := range held {
-						_ = guest.Put(cpu, p, 0)
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+
+		// Guest workers allocate and free.
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(cpu int) {
+				defer wg.Done()
+				var held []mem.PFN
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						for _, p := range held {
+							_ = guest.Put(cpu, p, 0)
+						}
+						return
+					default:
 					}
-					return
-				default:
+					if len(held) > 64 {
+						p := held[0]
+						held = held[1:]
+						if err := guest.Put(cpu, p, 0); err != nil {
+							t.Errorf("guest Put: %v", err)
+							return
+						}
+						continue
+					}
+					f, err := guest.Get(cpu, 0, mem.Movable)
+					if err != nil {
+						continue
+					}
+					held = append(held, f.PFN)
 				}
-				if len(held) > 64 {
-					p := held[0]
-					held = held[1:]
-					if err := guest.Put(cpu, p, 0); err != nil {
-						t.Errorf("guest Put: %v", err)
+			}(w)
+		}
+
+		// Host worker reclaims and returns huge frames.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var taken []uint64
+			for i := 0; i < 70; i++ {
+				host.ScanFreeHuge(func(area uint64) bool {
+					if err := host.ReclaimHard(area); err == nil {
+						taken = append(taken, area)
+						reclaims.Add(1)
+					}
+					return len(taken) < 32
+				})
+				for _, area := range taken {
+					if err := host.ReturnHuge(area); err != nil {
+						t.Errorf("host ReturnHuge: %v", err)
 						return
 					}
-					continue
+					host.ClearEvicted(area)
+					returns.Add(1)
 				}
-				f, err := guest.Get(cpu, 0, mem.Movable)
-				if err != nil {
-					continue
-				}
-				held = append(held, f.PFN)
+				taken = taken[:0]
 			}
-		}(w)
-	}
+			close(stop)
+		}()
+		wg.Wait()
 
-	// Host worker reclaims and returns huge frames.
-	wg.Add(1)
-	var reclaims, returns atomic.Int64
-	go func() {
-		defer wg.Done()
-		var taken []uint64
-		for round := 0; round < 200; round++ {
-			host.ScanFreeHuge(func(area uint64) bool {
-				if err := host.ReclaimHard(area); err == nil {
-					taken = append(taken, area)
-					reclaims.Add(1)
-				}
-				return len(taken) < 32
-			})
-			for _, area := range taken {
-				if err := host.ReturnHuge(area); err != nil {
-					t.Errorf("host ReturnHuge: %v", err)
-					return
-				}
-				host.ClearEvicted(area)
-				returns.Add(1)
-			}
-			taken = taken[:0]
+		// Join point: everything is quiescent and fully freed — the whole
+		// invariant suite must hold before the next round begins.
+		if guest.FreeFrames() != testFrames {
+			t.Fatalf("round %d: FreeFrames = %d", round, guest.FreeFrames())
 		}
-		close(stop)
-	}()
-	wg.Wait()
+		if err := guest.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
 	if reclaims.Load() == 0 {
 		t.Error("host never reclaimed anything; test is vacuous")
 	}
 	if reclaims.Load() != returns.Load() {
 		t.Errorf("reclaims %d != returns %d", reclaims.Load(), returns.Load())
-	}
-	if guest.FreeFrames() != testFrames {
-		t.Errorf("FreeFrames = %d", guest.FreeFrames())
-	}
-	if err := guest.Validate(); err != nil {
-		t.Fatal(err)
 	}
 }
 

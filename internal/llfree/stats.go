@@ -157,6 +157,35 @@ func (a *Alloc) Validate() error {
 			return errf("tree %d counter %d != area sum %d", tree, got, sum)
 		}
 	}
+	// Reservation slots and the per-tree reserved bits must agree: every
+	// valid slot points at a distinct in-range tree whose reserved bit is
+	// set, and every reserved tree is owned by exactly one slot. (reserveTree
+	// sets the bit before installing the slot and release clears it after,
+	// so the bijection holds whenever no reservation change is in flight.)
+	owner := make(map[uint64]int, len(a.reservations))
+	for slot := range a.reservations {
+		tree, ok := a.reservedTree(slot)
+		if !ok {
+			continue
+		}
+		if tree >= a.trees {
+			return errf("reservation slot %d points at tree %d of %d", slot, tree, a.trees)
+		}
+		if !treeReserved(a.treeIdx[tree].Load()) {
+			return errf("reservation slot %d points at tree %d, which is not marked reserved", slot, tree)
+		}
+		if prev, dup := owner[tree]; dup {
+			return errf("tree %d reserved by slots %d and %d", tree, prev, slot)
+		}
+		owner[tree] = slot
+	}
+	for tree := uint64(0); tree < a.trees; tree++ {
+		if treeReserved(a.treeIdx[tree].Load()) {
+			if _, ok := owner[tree]; !ok {
+				return errf("tree %d marked reserved but owned by no slot", tree)
+			}
+		}
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ package vmm
 import (
 	"fmt"
 
+	"hyperalloc/internal/buddy"
 	"hyperalloc/internal/costmodel"
 	"hyperalloc/internal/ept"
 	"hyperalloc/internal/guest"
@@ -196,11 +197,15 @@ func (vm *VM) SetMemLimit(target uint64) error {
 }
 
 // StartAuto begins the mechanism's automatic-reclamation cycle on the
-// scheduler. No-op for mechanisms without an auto mode.
+// scheduler. No-op for mechanisms without an auto mode. A repeated call
+// restarts the cycle: the previous chain is cancelled first, so at most
+// one tick chain exists and StopAuto always silences it.
 func (vm *VM) StartAuto(sched *sim.Scheduler) {
 	if vm.Mech == nil {
 		return
 	}
+	sched.Cancel(vm.autoEvent)
+	vm.autoEvent = nil
 	delay := vm.Mech.AutoTick()
 	if delay <= 0 {
 		return
@@ -415,4 +420,52 @@ func (vm *VM) DeviceDMA(gfn mem.PFN, frames uint64) error {
 		return fmt.Errorf("vmm: %s has no passthrough device", vm.Name)
 	}
 	return vm.IOMMU.DMA(gfn, frames)
+}
+
+// Auditor is implemented by mechanisms that can check their own invariants
+// against the VM's state (currently the HyperAlloc core). VM.Audit chains
+// into it when present.
+type Auditor interface {
+	Audit() error
+}
+
+// Audit runs every invariant checker this VM's state touches: the EPT's
+// internal accounting, each zone allocator's validator, the cross-layer
+// conservation law between the EPT and the host pool, and — when the
+// mechanism implements Auditor — the mechanism's own state machine. The
+// conservation law is
+//
+//	EPT.MappedBytes() == Pool.RSS(name) + Pool.Swapped(name)
+//
+// because host swap moves populated guest pages from residency to swap
+// without unmapping them from the EPT. Audit must be called in quiescence
+// (no reclamation in flight).
+func (vm *VM) Audit() error {
+	if err := vm.EPT.Validate(); err != nil {
+		return fmt.Errorf("vmm %s: %w", vm.Name, err)
+	}
+	for _, z := range vm.Guest.Zones() {
+		var err error
+		switch impl := z.Impl.(type) {
+		case *guest.LLFreeAdapter:
+			err = impl.A.Validate()
+		case *buddy.Alloc:
+			err = impl.Validate()
+		}
+		if err != nil {
+			return fmt.Errorf("vmm %s: zone %v: %w", vm.Name, z.Kind, err)
+		}
+	}
+	mapped := vm.EPT.MappedBytes()
+	resident := vm.Pool.RSS(vm.Name) + vm.Pool.Swapped(vm.Name)
+	if mapped != resident {
+		return fmt.Errorf("vmm %s: EPT maps %d bytes but pool accounts %d (rss %d + swapped %d)",
+			vm.Name, mapped, resident, vm.Pool.RSS(vm.Name), vm.Pool.Swapped(vm.Name))
+	}
+	if a, ok := vm.Mech.(Auditor); ok {
+		if err := a.Audit(); err != nil {
+			return fmt.Errorf("vmm %s: %w", vm.Name, err)
+		}
+	}
+	return nil
 }

@@ -203,6 +203,53 @@ func TestStartStopAuto(t *testing.T) {
 	}
 }
 
+// A second StartAuto must not leave the first tick chain running: before
+// the fix it spawned a parallel chain that StopAuto could not cancel
+// (autoEvent only tracked the newest), charging reclaim work forever.
+func TestStartAutoRestartCancelsOldChain(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	sched := sim.NewScheduler()
+	m := &fakeMech{limit: 64 * mem.MiB, tickDelay: sim.Second}
+	vm.SetMechanism(m)
+	vm.StartAuto(sched)
+	vm.StartAuto(sched)
+	vm.StopAuto(sched)
+	ticks := m.ticks // the two StartAuto probe calls
+	sched.RunUntil(sim.Time(10 * sim.Second))
+	if m.ticks != ticks {
+		t.Errorf("%d auto ticks fired after start-start-stop", m.ticks-ticks)
+	}
+	if sched.Pending() != 0 {
+		t.Errorf("%d events still pending after stop", sched.Pending())
+	}
+}
+
+// Ballooning over memory that was never populated must not cost the area
+// its THP backing: the discards are host-side no-ops, so the first touch
+// after deflation resolves with one whole-area huge fault, not 512 base
+// faults. Before the ept fix, UnmapBase marked the area fragmented even
+// for never-mapped frames, permanently downgrading it.
+func TestDiscardUnpopulatedKeepsTHP(t *testing.T) {
+	vm := newTestVM(t, 64*mem.MiB, false, false)
+	start := mem.PFN(3 * mem.FramesPerHuge)
+	// Inflate: the balloon discards every base frame of the untouched area.
+	for i := uint64(0); i < mem.FramesPerHuge; i++ {
+		if vm.DiscardBase(start + mem.PFN(i)) {
+			t.Fatal("discarded a populated frame")
+		}
+	}
+	// Deflate is a guest-side no-op; now the guest touches the area.
+	faults, huge := vm.EPT.Faults, vm.EPT.MapHugeOps
+	vm.Guest.TouchFn(vm.Guest.Zones()[0], start, mem.FramesPerHuge)
+	if vm.EPT.Faults != faults+1 || vm.EPT.MapHugeOps != huge+1 {
+		t.Errorf("touch after no-op discard: %d faults, %d huge maps (want 1, 1)",
+			vm.EPT.Faults-faults, vm.EPT.MapHugeOps-huge)
+	}
+	if err := vm.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestGuestAreaZone(t *testing.T) {
 	vm := newTestVM(t, 64*mem.MiB, false, false)
 	z, area, err := vm.GuestAreaZone(5)

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"os"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// These tests rerun the experiment drivers with the cross-layer invariant
+// auditor enabled (the -audit flag of cmd/hyperallocbench and cmd/broker):
+// every measured phase, every auditEvery-th sample, and every run end walks
+// all allocator, EPT, and pool state. By default the scenarios run at the
+// reduced scale of the neighbouring tests; AUDIT_FULL=1 (`make audit`)
+// switches to the paper-scale defaults.
+func auditFull() bool { return os.Getenv("AUDIT_FULL") == "1" }
+
+func TestInflateAllUnderAudit(t *testing.T) {
+	cfg := InflateConfig{
+		Memory:  8 * mem.GiB,
+		Shrunk:  2 * mem.GiB,
+		Touched: 6 * mem.GiB,
+		Reps:    2,
+		Seed:    7,
+		Audit:   true,
+	}
+	if auditFull() {
+		cfg = InflateConfig{Reps: 3, Seed: 7, Audit: true} // 20 GiB paper scale
+	}
+	if _, err := InflateAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiVMUnderAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	cfg := MultiVMConfig{Units: 350, Builds: 2, Gap: 20 * 60 * sim.Second,
+		Offset: 15 * 60 * sim.Second, Seed: 3, Audit: true}
+	if auditFull() {
+		cfg = MultiVMConfig{Seed: 3, Audit: true} // Fig. 11 paper scale
+		if _, err := MultiVMAll(MultiVMCandidates(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	for _, cand := range MultiVMCandidates() {
+		if _, err := MultiVM(cand, cfg); err != nil {
+			t.Fatalf("%s: %v", cand.Name, err)
+		}
+	}
+}
+
+func TestOvercommitUnderAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	cfg := overcommitTestConfig()
+	cfg.Audit = true
+	if auditFull() {
+		cfg = OvercommitConfig{Seed: 42, Audit: true} // paper scale
+		if _, err := OvercommitAll(OvercommitCandidates(), OvercommitPolicies(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	// One candidate × policy arm keeps the default run short; the full
+	// matrix is covered under AUDIT_FULL=1.
+	var cand ClangCandidate
+	for _, c := range OvercommitCandidates() {
+		if c.Name == "HyperAlloc" {
+			cand = c
+		}
+	}
+	if _, err := Overcommit(cand, OvercommitPolicies()[1], cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hyperalloc"
+	"hyperalloc/internal/audit"
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
@@ -29,6 +30,10 @@ type InflateConfig struct {
 	// its own System from Seed+rep, so results are byte-identical at any
 	// worker count; ≤0 means GOMAXPROCS, 1 is strictly sequential.
 	Workers int
+	// Audit runs the cross-layer invariant auditor after every measured
+	// phase. Auditing walks every allocator bitfield, so it is off by
+	// default and meant for debugging, not for timed runs.
+	Audit bool
 }
 
 func (c *InflateConfig) defaults() {
@@ -87,6 +92,11 @@ func inflateRep(spec CandidateSpec, cfg InflateConfig, rep int) (inflateTimes, e
 			return err
 		}
 		*out = clock.Now().Sub(t0)
+		if cfg.Audit {
+			if err := audit.System(sys.Pool, vm.VM); err != nil {
+				return fmt.Errorf("%s: %w", spec.Label(), err)
+			}
+		}
 		return nil
 	}
 

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"hyperalloc"
+	"hyperalloc/internal/audit"
 	"hyperalloc/internal/broker"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
 )
 
 // MultiVMConfig parameterizes the multi-VM packing experiment (Sec. 5.6,
@@ -35,7 +37,15 @@ type MultiVMConfig struct {
 	// the experiment reruns under active balancing instead of per-VM
 	// automatic reclamation alone.
 	Broker *broker.Config
+	// Audit runs the cross-layer invariant auditor every auditEvery-th
+	// sample and once at the end. Off by default: the walk touches every
+	// allocator bitfield of every VM.
+	Audit bool
 }
+
+// auditEvery is how many samples pass between audits when cfg.Audit is
+// set; sampling is dense (10 s default) and a full audit is not cheap.
+const auditEvery = 32
 
 func (c *MultiVMConfig) defaults() {
 	if c.VMs == 0 {
@@ -140,6 +150,12 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 		}
 		return true
 	}
+	var vms []*vmm.VM
+	for _, r := range runs {
+		vms = append(vms, r.vm.VM)
+	}
+	var samples int
+	var auditErr error
 	var sample func()
 	sample = func() {
 		var total float64
@@ -149,6 +165,10 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 			total += rss
 		}
 		res.Total.Add(sys.Now(), total)
+		samples++
+		if cfg.Audit && auditErr == nil && samples%auditEvery == 0 {
+			auditErr = audit.System(sys.Pool, vms...)
+		}
 		if !finished() {
 			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
 		}
@@ -159,10 +179,18 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 		if !sys.Sched.Step() {
 			return res, fmt.Errorf("multivm %s: deadlocked", cand.Name)
 		}
+		if auditErr != nil {
+			return res, fmt.Errorf("multivm %s: %w", cand.Name, auditErr)
+		}
 		for _, r := range runs {
 			if r.driver.failed != nil {
 				return res, r.driver.failed
 			}
+		}
+	}
+	if cfg.Audit {
+		if err := audit.System(sys.Pool, vms...); err != nil {
+			return res, fmt.Errorf("multivm %s: %w", cand.Name, err)
 		}
 	}
 	res.PeakBytes = uint64(res.Total.Max())

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"hyperalloc"
+	"hyperalloc/internal/audit"
 	"hyperalloc/internal/broker"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
 )
 
 // OvercommitConfig parameterizes the broker-balancing experiment: N VMs
@@ -30,6 +32,9 @@ type OvercommitConfig struct {
 	BrokerPeriod sim.Duration // control-loop interval (default 1 s)
 	// Workers bounds the pool OvercommitAll uses; ≤0 means GOMAXPROCS.
 	Workers int
+	// Audit runs the cross-layer invariant auditor every auditEvery-th
+	// sample and once at the end (see MultiVMConfig.Audit).
+	Audit bool
 }
 
 func (c *OvercommitConfig) defaults() {
@@ -135,6 +140,7 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 		SamplePeriod: cfg.SamplePeriod,
 	}
 	var drivers []*multiBuildDriver
+	var vms []*vmm.VM
 	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
 		Policy: pol, Period: cfg.BrokerPeriod,
 	})
@@ -155,6 +161,7 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 		start := sim.Duration(i) * cfg.Offset
 		sys.Sched.After(start+sim.Millisecond, opts.Name+"/start", func() { d.startBuild() })
 		drivers = append(drivers, d)
+		vms = append(vms, vm.VM)
 	}
 	bk.Start()
 
@@ -166,9 +173,15 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 		}
 		return true
 	}
+	var samples int
+	var auditErr error
 	var sample func()
 	sample = func() {
 		res.HostRSS.Add(sys.Now(), float64(sys.Pool.Total()))
+		samples++
+		if cfg.Audit && auditErr == nil && samples%auditEvery == 0 {
+			auditErr = audit.System(sys.Pool, vms...)
+		}
 		if !finished() {
 			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
 		}
@@ -179,10 +192,18 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 		if !sys.Sched.Step() {
 			return res, fmt.Errorf("overcommit %s/%s: deadlocked", cand.Name, pol.Name())
 		}
+		if auditErr != nil {
+			return res, fmt.Errorf("overcommit %s/%s: %w", cand.Name, pol.Name(), auditErr)
+		}
 		for _, d := range drivers {
 			if d.failed != nil {
 				return res, d.failed
 			}
+		}
+	}
+	if cfg.Audit {
+		if err := audit.System(sys.Pool, vms...); err != nil {
+			return res, fmt.Errorf("overcommit %s/%s: %w", cand.Name, pol.Name(), err)
 		}
 	}
 	// finished() flips only inside build completions, which run during a

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench audit
+.PHONY: check vet build test race bench audit trace-smoke
 
 # The full pre-commit gate: everything CI runs.
 check: vet build test race
@@ -21,6 +21,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The tracing smoke test: capture the quickstart walkthrough as a
+# Chrome/Perfetto trace and structurally validate it (balanced nested
+# spans, monotonic timestamps per track, known phases only). CI uploads
+# the resulting trace.json as an artifact — download it and open at
+# https://ui.perfetto.dev. TRACE_OUT overrides the output path.
+TRACE_OUT ?= trace.json
+trace-smoke:
+	$(GO) run ./examples/quickstart -trace $(TRACE_OUT) -trace-summary
+	$(GO) run ./cmd/tracecheck $(TRACE_OUT)
 
 # The deep invariant gate: long state-machine fuzz runs against all five
 # reference models, plus the paper-scale experiment drivers with the

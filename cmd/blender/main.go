@@ -21,6 +21,7 @@ import (
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -29,16 +30,28 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csv := flag.String("csv", "", "optional CSV output path")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first candidate to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 
+	tr := trace.FromFlags(*traceOut, *traceSummary)
 	cands := workload.BlenderCandidates()
 	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(cands),
 		func(i int) (workload.BlenderResult, error) {
-			return workload.Blender(cands[i], workload.BlenderConfig{Runs: *runs, Seed: *seed})
+			cfg := workload.BlenderConfig{Runs: *runs, Seed: *seed}
+			if i == 0 {
+				cfg.Trace = tr // one tracer, one simulation: candidate 0 owns it
+			}
+			return workload.Blender(cands[i], cfg)
 		})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var rows [][]string
 	var series []*metrics.Series

@@ -26,6 +26,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -67,8 +68,11 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor during the experiment (slow)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix arm to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 
+	tr := trace.FromFlags(*traceOut, *traceSummary)
 	cfg := workload.OvercommitConfig{
 		VMs:       *vms,
 		Memory:    uint64(*memoryGiB * float64(mem.GiB)),
@@ -80,6 +84,7 @@ func main() {
 		Seed:      *seed,
 		Workers:   *parallel,
 		Audit:     *auditRun,
+		Trace:     tr,
 	}
 	cands := workload.OvercommitCandidates()
 	pols := workload.OvercommitPolicies()
@@ -87,6 +92,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	out := &output{
 		Seed: *seed, VMs: *vms,

@@ -23,8 +23,13 @@ import (
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
+
+// tracer is the process-wide tracer from -trace/-trace-summary; the
+// clang matrix attaches it to its first cell only.
+var tracer *trace.Tracer
 
 func main() {
 	runs := flag.Int("runs", 3, "runs per candidate (paper: 6)")
@@ -35,8 +40,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 
+	tracer = trace.FromFlags(*traceOut, *traceSummary)
 	pool := runner.Runner{Workers: *parallel}
 	switch {
 	case *indepth:
@@ -46,15 +54,22 @@ func main() {
 	default:
 		runFig7(pool, *units, *runs, *extra, *seed)
 	}
+	if err := tracer.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // clangMatrix runs every (candidate, rep) build through the pool and
 // returns the per-candidate result slices in candidate-major order.
 func clangMatrix(pool runner.Runner, cands []workload.ClangCandidate, runs, units int, seed uint64, indepth bool) [][]workload.ClangResult {
 	flat, err := runner.Map(pool, len(cands)*runs, func(i int) (workload.ClangResult, error) {
-		return workload.Clang(cands[i/runs], workload.ClangConfig{
+		cfg := workload.ClangConfig{
 			Units: units, Seed: seed + uint64(i%runs), InDepth: indepth,
-		})
+		}
+		if i == 0 {
+			cfg.Trace = tracer // one tracer, one simulation: cell 0 owns it
+		}
+		return workload.Clang(cands[i/runs], cfg)
 	})
 	if err != nil {
 		log.Fatal(err)

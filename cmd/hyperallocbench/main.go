@@ -33,6 +33,7 @@ import (
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -78,24 +79,32 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 	jsonPath := flag.String("json", "", "optional JSON output path for headline metrics")
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor after every measured phase (slow)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first fig4 cell to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 
+	tr := trace.FromFlags(*traceOut, *traceSummary)
 	out := &output{Seed: *seed, Workers: *parallel}
 	switch *exp {
 	case "table1":
 		table1(*seed)
 	case "fig4":
-		fig4(*reps, *seed, *parallel, *auditRun, out)
+		fig4(*reps, *seed, *parallel, *auditRun, tr, out)
 	case "ablation":
 		ablation(*seed, *parallel)
 	case "speedup":
-		speedup(*reps, *seed, *parallel, *auditRun, out)
+		// The speedup check runs the matrix twice; the tracer attaches to
+		// the sequential pass (a tracer records exactly one simulation).
+		speedup(*reps, *seed, *parallel, *auditRun, tr, out)
 	case "quick":
 		table1(*seed)
-		fig4(1, *seed, *parallel, *auditRun, out)
+		fig4(1, *seed, *parallel, *auditRun, tr, out)
 		ablation(*seed, *parallel)
 	default:
 		log.Fatalf("unknown -exp %q", *exp)
+	}
+	if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 
 	if *jsonPath != "" {
@@ -136,10 +145,10 @@ func mark(b bool) string {
 
 // fig4Matrix runs the Fig. 4 candidate × rep matrix and returns the
 // results plus wall-clock throughput stats.
-func fig4Matrix(reps int, seed uint64, workers int, audit bool) ([]workload.InflateResult, runner.Stats) {
+func fig4Matrix(reps int, seed uint64, workers int, audit bool, tr *trace.Tracer) ([]workload.InflateResult, runner.Stats) {
 	pool := runner.Runner{Workers: workers}
 	start := time.Now()
-	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed, Workers: workers, Audit: audit})
+	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: seed, Workers: workers, Audit: audit, Trace: tr})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,8 +159,8 @@ func fig4Matrix(reps int, seed uint64, workers int, audit bool) ([]workload.Infl
 	}
 }
 
-func fig4(reps int, seed uint64, workers int, audit bool, out *output) {
-	results, stats := fig4Matrix(reps, seed, workers, audit)
+func fig4(reps int, seed uint64, workers int, audit bool, tr *trace.Tracer, out *output) {
+	results, stats := fig4Matrix(reps, seed, workers, audit, tr)
 	var rows [][]string
 	j := &fig4JSON{
 		Reps: reps, Runs: stats.Runs,
@@ -179,12 +188,12 @@ func fig4(reps int, seed uint64, workers int, audit bool, out *output) {
 
 // speedup measures wall-clock throughput of the Fig. 4 matrix sequentially
 // and with the parallel runner, verifying the results match.
-func speedup(reps int, seed uint64, workers int, audit bool, out *output) {
+func speedup(reps int, seed uint64, workers int, audit bool, tr *trace.Tracer, out *output) {
 	if workers <= 1 {
 		workers = 4
 	}
-	seqRes, seqStats := fig4Matrix(reps, seed, 1, audit)
-	parRes, parStats := fig4Matrix(reps, seed, workers, audit)
+	seqRes, seqStats := fig4Matrix(reps, seed, 1, audit, tr)
+	parRes, parStats := fig4Matrix(reps, seed, workers, audit, nil)
 	if !reflect.DeepEqual(seqRes, parRes) {
 		log.Fatal("speedup: parallel results differ from sequential — determinism violated")
 	}

@@ -24,6 +24,7 @@ import (
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -35,8 +36,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 
+	tr := trace.FromFlags(*traceOut, *traceSummary)
 	scenarios := []struct {
 		name   string
 		offset sim.Duration
@@ -50,17 +54,26 @@ func main() {
 	cands := workload.MultiVMCandidates()
 	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(scenarios)*len(cands),
 		func(i int) (workload.MultiVMResult, error) {
-			return workload.MultiVM(cands[i%len(cands)], workload.MultiVMConfig{
+			cfg := workload.MultiVMConfig{
 				Units:  *units,
 				Builds: *builds,
 				Gap:    sim.Duration(*gapMin) * 60 * sim.Second,
 				Offset: scenarios[i/len(cands)].offset,
 				Seed:   *seed,
-			})
+			}
+			if i == 0 {
+				cfg.Trace = tr // one tracer, one simulation: cell 0 owns it
+			}
+			return workload.MultiVM(cands[i%len(cands)], cfg)
 		})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	for si, sc := range scenarios {
 		var rows [][]string
 		for ci, cand := range cands {

@@ -25,6 +25,7 @@ import (
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -35,8 +36,12 @@ func main() {
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
 	plot := flag.Bool("plot", true, "render ASCII time-series plots")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	flag.Parse()
 	pool := runner.Runner{Workers: *parallel}
+	tr := trace.FromFlags(*traceOut, *traceSummary)
+	traced := false // the tracer attaches to the first cell of the first bench
 
 	var threads []int
 	for _, t := range strings.Split(*threadsFlag, ",") {
@@ -57,11 +62,20 @@ func main() {
 		}
 		// Fan the spec × thread matrix across the pool, then reduce in
 		// the same spec-major order the sequential loop used.
+		cellTrace := tr
+		if traced {
+			cellTrace = nil
+		}
+		traced = true
 		results, err := runner.Map(pool, len(specs)*len(threads),
 			func(i int) (workload.PerfResult, error) {
-				return fn(specs[i/len(threads)], workload.PerfConfig{
+				cfg := workload.PerfConfig{
 					Threads: threads[i%len(threads)], Seed: *seed,
-				})
+				}
+				if i == 0 {
+					cfg.Trace = cellTrace // one tracer, one simulation
+				}
+				return fn(specs[i/len(threads)], cfg)
 			})
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
@@ -111,6 +125,9 @@ func main() {
 		fmt.Println("\npaper Table 2 FTQ (1/4/12T): baseline 9.4/10.2/30.6; balloon 5.9/7.5/24.9;")
 		fmt.Println("  balloon-huge 9.5/10.1/30.1; virtio-mem 9.5/8.6/28.7; +VFIO 9.4/8.4/28.3;")
 		fmt.Println("  HyperAlloc 9.5/10.2/30.7; +VFIO 9.5/10.2/30.7")
+	}
+	if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 	_ = sim.Second
 }

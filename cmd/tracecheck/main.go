@@ -1,0 +1,38 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced by
+// the -trace flag of the drivers: well-formed JSON, balanced and properly
+// nested B/E spans per track, non-decreasing timestamps per track, and
+// only known event phases. `make trace-smoke` runs it against a fresh
+// quickstart trace in CI.
+//
+// Usage:
+//
+//	tracecheck FILE...
+//
+// Exits non-zero on the first invalid file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hyperalloc/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: tracecheck FILE...")
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.ValidateChrome(data); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+}

@@ -1,17 +1,30 @@
 // Quickstart: build a HyperAlloc VM, shrink its hard limit without a guest
 // transition, grow it back lazily, and watch the install-on-allocate path
 // bring memory back — the Sec. 3.1 walkthrough as runnable code.
+//
+// Run with -trace quickstart.json to capture the whole walkthrough as a
+// Chrome/Perfetto trace (open at https://ui.perfetto.dev), and
+// -trace-summary for the counter/latency digest.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hyperalloc"
+	"hyperalloc/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies at the end")
+	flag.Parse()
+
+	tr := trace.FromFlags(*traceOut, *traceSummary)
 	sys := hyperalloc.NewSystem(42)
+	sys.SetTracer(tr)
 	vm, err := sys.NewVM(hyperalloc.Options{
 		Name:      "quickstart",
 		Candidate: hyperalloc.CandidateHyperAlloc,
@@ -66,4 +79,8 @@ func main() {
 	status("guest allocated 6 GiB again")
 	fmt.Printf("  %d install hypercalls brought the memory back\n", vm.HyperAlloc.Installs)
 	region2.Free()
+
+	if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

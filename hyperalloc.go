@@ -40,6 +40,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/pricing"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/virtiomem"
 	"hyperalloc/internal/vmm"
 )
@@ -77,6 +78,10 @@ type System struct {
 	Model *costmodel.Model
 	Pool  *hostmem.Pool
 	RNG   *sim.RNG
+
+	// Trace is the system's tracer (nil = off). Set it with SetTracer
+	// before creating VMs so every layer picks up its probes.
+	Trace *trace.Tracer
 }
 
 // NewSystem creates a host with unlimited memory; rates follow the
@@ -96,6 +101,22 @@ func NewSystemWithMemory(seed uint64, hostBytes uint64) *System {
 		Pool:  hostmem.NewPool(hostBytes),
 		RNG:   sim.NewRNG(seed),
 	}
+}
+
+// SetTracer attaches a tracer to this system: it binds the tracer to the
+// simulation clock (a tracer traces exactly one simulation; binding a
+// second one panics) and wires the host pool's probe. VMs created
+// afterwards instrument their EPT, virtio queues, and mechanism. A nil
+// tracer is a no-op, so drivers can pass their -trace flag through
+// unconditionally. Recording charges no simulated time and reads no
+// randomness, so results are identical with tracing on or off.
+func (s *System) SetTracer(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	t.Bind(s.Sched.Clock())
+	s.Trace = t
+	s.Pool.SetTrace(t)
 }
 
 // Now returns the current virtual time.
@@ -238,6 +259,7 @@ func (s *System) NewVM(opts Options) (*VM, error) {
 		VFIO:       opts.VFIO,
 		Mapped:     opts.Prepared,
 		AutoPeriod: opts.AutoPeriod,
+		Trace:      s.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -17,20 +17,33 @@ import (
 	"fmt"
 
 	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/vmm"
 )
 
 // System runs every invariant checker of one simulated host: the pool's
 // accounting and ledger, then each VM's full audit (EPT internals, zone
 // allocators, cross-layer conservation, and the mechanism state machine
-// when present). Returns the first violation, nil if consistent.
+// when present). Returns the first violation, nil if consistent. When the
+// VMs carry a tracer, the violation is also recorded as an instant on the
+// "audit" track, so it shows up at the right spot on the timeline.
 func System(pool *hostmem.Pool, vms ...*vmm.VM) error {
-	if err := pool.Validate(); err != nil {
+	report := func(layer string, err error) error {
+		for _, vm := range vms {
+			if tk := vm.Trace.Track("audit"); tk.Enabled() {
+				tk.Instant("violation",
+					trace.String("layer", layer), trace.String("err", err.Error()))
+				break
+			}
+		}
 		return err
+	}
+	if err := pool.Validate(); err != nil {
+		return report("hostmem", err)
 	}
 	for _, vm := range vms {
 		if err := vm.Audit(); err != nil {
-			return err
+			return report(vm.Name, err)
 		}
 	}
 	return nil

@@ -21,6 +21,7 @@ import (
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/virtioqueue"
 	"hyperalloc/internal/vmm"
 )
@@ -73,6 +74,9 @@ type Mechanism struct {
 	ReportedOps uint64
 	Hypercalls  uint64
 	Madvises    uint64
+
+	// track is the "<vm>/mech" trace track (nil when tracing is off).
+	track *trace.Track
 }
 
 // New attaches a balloon to a VM whose zones run on the buddy allocator.
@@ -99,6 +103,10 @@ func New(vm *vmm.VM, cfg Config) (*Mechanism, error) {
 		return nil, err
 	}
 	m.queue = q
+	if vm.Trace != nil {
+		m.track = vm.TraceTrack("mech")
+		m.queue.SetTrace(vm.Trace, vm.Name+"/virtio")
+	}
 	vm.SetMechanism(m)
 	return m, nil
 }
@@ -140,6 +148,10 @@ func (m *Mechanism) order() mem.Order {
 // pressure path, so inflation evicts the page cache exactly like real
 // ballooning.
 func (m *Mechanism) Shrink(target uint64) error {
+	if m.track.Enabled() {
+		m.track.Begin("shrink", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
+	}
 	order := m.order()
 	typ := mem.Movable
 	if m.cfg.Huge {
@@ -199,6 +211,10 @@ func (m *Mechanism) discard(batch []desc) {
 // Grow implements vmm.Mechanism: deflate by returning frames to the guest
 // allocator one by one; the host populates them again on later EPT faults.
 func (m *Mechanism) Grow(target uint64) error {
+	if m.track.Enabled() {
+		m.track.Begin("grow", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
+	}
 	model := m.vm.Model
 	zones := m.vm.Guest.Zones()
 	for m.limit < target {
@@ -239,6 +255,10 @@ func (m *Mechanism) pop() (desc, bool) {
 func (m *Mechanism) AutoTick() sim.Duration {
 	if !m.cfg.FreePageReporting {
 		return 0
+	}
+	if m.track.Enabled() {
+		m.track.Begin("report_cycle")
+		defer m.track.End()
 	}
 	model := m.vm.Model
 	zones := m.vm.Guest.Zones()

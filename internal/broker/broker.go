@@ -20,6 +20,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/vmm"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// driving the limits, the per-mechanism auto mode is typically slowed
 	// down or left disabled.
 	VMAutoPeriod sim.Duration
+	// Trace records tick spans, decision instants, and the broker
+	// counters on the tracer (nil = off; the counters then live in a
+	// standalone registry so the accessors keep working).
+	Trace *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -100,12 +105,15 @@ type Broker struct {
 	// Events is the structured decision log.
 	Events []Event
 
-	// Counters.
-	Ticks       uint64
-	Grows       uint64
-	Shrinks     uint64
-	Emergencies uint64
-	Errors      uint64
+	// Counters live in the trace registry (Config.Trace's when set, a
+	// standalone one otherwise) under stable "broker/..." keys; read them
+	// through the accessor methods.
+	track       *trace.Track
+	ticks       *trace.Counter
+	grows       *trace.Counter
+	shrinks     *trace.Counter
+	emergencies *trace.Counter
+	errors      *trace.Counter
 }
 
 // New creates a broker on the host described by sched and pool.
@@ -113,8 +121,36 @@ func New(sched *sim.Scheduler, pool *hostmem.Pool, cfg Config) *Broker {
 	if cfg.Policy == nil {
 		panic("broker: Config.Policy is required")
 	}
-	return &Broker{cfg: cfg.withDefaults(), sched: sched, pool: pool}
+	cfg = cfg.withDefaults()
+	reg := cfg.Trace.Registry()
+	if reg == nil {
+		reg = trace.NewRegistry()
+	}
+	return &Broker{
+		cfg: cfg, sched: sched, pool: pool,
+		track:       cfg.Trace.Track("broker"),
+		ticks:       reg.Counter("broker/ticks"),
+		grows:       reg.Counter("broker/grows"),
+		shrinks:     reg.Counter("broker/shrinks"),
+		emergencies: reg.Counter("broker/emergencies"),
+		errors:      reg.Counter("broker/errors"),
+	}
 }
+
+// Ticks returns the number of control cycles run.
+func (b *Broker) Ticks() uint64 { return b.ticks.Value() }
+
+// Grows returns the number of grow resizes attempted.
+func (b *Broker) Grows() uint64 { return b.grows.Value() }
+
+// Shrinks returns the number of shrink resizes attempted.
+func (b *Broker) Shrinks() uint64 { return b.shrinks.Value() }
+
+// Emergencies returns the number of emergency-flagged resizes.
+func (b *Broker) Emergencies() uint64 { return b.emergencies.Value() }
+
+// Errors returns the number of resizes the mechanism failed.
+func (b *Broker) Errors() uint64 { return b.errors.Value() }
 
 // Policy returns the configured policy.
 func (b *Broker) Policy() Policy { return b.cfg.Policy }
@@ -156,8 +192,12 @@ func (b *Broker) Stop() {
 // targets, apply them (shrinks before grows, so freed host memory is
 // available to the growers within the same tick).
 func (b *Broker) Tick() {
-	b.Ticks++
+	b.ticks.Inc()
 	now := b.sched.Now()
+	if b.track.Enabled() {
+		b.track.Begin("tick", trace.Int("vms", int64(len(b.vms))))
+		defer b.track.End()
+	}
 	host, vms := b.sample(now)
 	targets := b.cfg.Policy.Targets(now, host, vms)
 
@@ -251,17 +291,28 @@ func (b *Broker) apply(now sim.Time, m *managed, want uint64, t Target) {
 	}
 	if err != nil {
 		ev.Err = err.Error()
-		b.Errors++
+		b.errors.Inc()
 	}
 	b.Events = append(b.Events, ev)
 	if action == "grow" {
-		b.Grows++
+		b.grows.Inc()
 	} else {
-		b.Shrinks++
+		b.shrinks.Inc()
 	}
 	if t.Emergency {
-		b.Emergencies++
+		b.emergencies.Inc()
 	}
+	// The decision instant carries the full Event schema with a fixed
+	// attribute set and order — broker_schema_test.go pins it.
+	b.track.Instant("decision",
+		trace.String("vm", ev.VM),
+		trace.String("policy", ev.Policy),
+		trace.String("action", ev.Action),
+		trace.Uint("from", ev.From),
+		trace.Uint("want", ev.Want),
+		trace.Uint("to", ev.To),
+		trace.String("reason", ev.Reason),
+		trace.String("err", ev.Err))
 	m.lastResize, m.hasResize = now, true
 }
 

@@ -1,0 +1,116 @@
+package broker_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// TestDecisionEventSchemaGolden pins the broker's trace schema: the
+// counter registry keys and the exact attribute-key order of "decision"
+// instants in the Chrome export. Downstream tooling (trace-smoke, any
+// Perfetto query the docs describe) greps traces by these strings, so a
+// rename must update this test deliberately.
+func TestDecisionEventSchemaGolden(t *testing.T) {
+	tr := trace.New()
+	sys := hyperalloc.NewSystemWithMemory(42, 12*mem.GiB)
+	sys.SetTracer(tr)
+	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
+		Policy: fixedPolicy{bytes: 6 * mem.GiB},
+		Trace:  tr,
+	})
+	for i := 0; i < 2; i++ {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:      "vm" + string(rune('0'+i)),
+			Candidate: hyperalloc.CandidateHyperAlloc,
+			Memory:    8 * mem.GiB,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bk.Attach(vm.VM, 0)
+	}
+	bk.Start()
+	sys.RunUntil(sim.Time(5 * sim.Second))
+	bk.Stop()
+
+	// Counter keys, and the accessors reading through to them.
+	reg := tr.Registry()
+	for _, name := range []string{
+		"broker/ticks", "broker/grows", "broker/shrinks",
+		"broker/emergencies", "broker/errors",
+	} {
+		found := false
+		for _, c := range reg.Counters() {
+			if c.Name() == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("counter %q missing from trace registry", name)
+		}
+	}
+	if got, want := bk.Shrinks(), reg.Counter("broker/shrinks").Value(); got != want || got == 0 {
+		t.Errorf("Shrinks() = %d, registry broker/shrinks = %d, want equal and nonzero", got, want)
+	}
+	if got, want := bk.Ticks(), reg.Counter("broker/ticks").Value(); got != want || got == 0 {
+		t.Errorf("Ticks() = %d, registry broker/ticks = %d, want equal and nonzero", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.Contains(out, `"name":"thread_name","args":{"name":"broker"}`) {
+		t.Error("broker track metadata missing from Chrome export")
+	}
+	if !strings.Contains(out, `"name":"tick"`) {
+		t.Error("broker tick span missing from Chrome export")
+	}
+	// The golden decision schema: attr keys in Event field order, every
+	// key always present (err empty on success).
+	const decision = `"name":"decision","s":"t","args":{` +
+		`"vm":"vm0","policy":"fixed","action":"shrink",` +
+		`"from":8589934592,"want":6442450944,"to":6442450944,` +
+		`"reason":"fixed","err":""}`
+	if !strings.Contains(out, decision) {
+		t.Errorf("golden decision instant not found in Chrome export; trace decisions:\n%s",
+			grepLines(out, `"name":"decision"`))
+	}
+	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Errorf("broker trace fails validation: %v", err)
+	}
+}
+
+// TestBrokerCountsWithoutTracer checks the standalone-registry fallback:
+// a broker with no tracer still counts correctly.
+func TestBrokerCountsWithoutTracer(t *testing.T) {
+	sys, _, bk := newHost(t, 2, 12*mem.GiB, broker.Config{
+		Policy: fixedPolicy{bytes: 6 * mem.GiB},
+	})
+	bk.Start()
+	sys.RunUntil(sim.Time(5 * sim.Second))
+	if bk.Ticks() == 0 || bk.Shrinks() != 2 {
+		t.Errorf("untraced broker counters: ticks=%d shrinks=%d, want >0 and 2",
+			bk.Ticks(), bk.Shrinks())
+	}
+}
+
+// grepLines returns the lines of s containing substr (test-failure aid).
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -174,9 +174,9 @@ func TestBrokerAppliesPolicy(t *testing.T) {
 			t.Errorf("%s limit = %d, want target %d", vm.Name, got, want)
 		}
 	}
-	if bk.Shrinks != 2 {
+	if bk.Shrinks() != 2 {
 		t.Errorf("shrinks = %d, want 2 (one per VM, then steady no-ops): %+v",
-			bk.Shrinks, bk.Events)
+			bk.Shrinks(), bk.Events)
 	}
 	for _, ev := range bk.Events {
 		if ev.Policy != "fixed" || ev.Action != "shrink" || ev.Err != "" || ev.To != ev.Want {

@@ -27,6 +27,7 @@ import (
 	"hyperalloc/internal/llfree"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/virtioqueue"
 	"hyperalloc/internal/vmm"
 )
@@ -100,6 +101,27 @@ type Mechanism struct {
 	GuestAnomalies uint64
 	// CacheShrinks counts hypervisor-initiated page-cache trims (Sec. 6).
 	CacheShrinks uint64
+
+	// track carries the mechanism's spans and instants ("<vm>/mech");
+	// tp mirrors the counters above into the trace registry. Both are nil
+	// when tracing is off.
+	track *trace.Track
+	tp    *coreProbe
+}
+
+// coreProbe is the registry view of the mechanism counters, keyed
+// "<vm>/core/...". The per-huge-frame R transitions (I→S, I→H, S→H on
+// reclaim; H→S on return; →I on install) map onto soft_reclaims,
+// hard_reclaims, returns, and installs respectively.
+type coreProbe struct {
+	hardReclaims *trace.Counter
+	softReclaims *trace.Counter
+	returns      *trace.Counter
+	installs     *trace.Counter
+	scans        *trace.Counter
+	cachePurges  *trace.Counter
+	unmapCalls   *trace.Counter
+	anomalies    *trace.Counter
 }
 
 // zoneState is the monitor's view of one guest zone.
@@ -125,6 +147,22 @@ func New(vm *vmm.VM) (*Mechanism, error) {
 		return nil, err
 	}
 	m.queue = q
+	if vm.Trace != nil {
+		m.track = vm.TraceTrack("mech")
+		m.queue.SetTrace(vm.Trace, vm.Name+"/virtio")
+		reg := vm.Trace.Registry()
+		pre := vm.Name + "/core/"
+		m.tp = &coreProbe{
+			hardReclaims: reg.Counter(pre + "hard_reclaims"),
+			softReclaims: reg.Counter(pre + "soft_reclaims"),
+			returns:      reg.Counter(pre + "returns"),
+			installs:     reg.Counter(pre + "installs"),
+			scans:        reg.Counter(pre + "scans"),
+			cachePurges:  reg.Counter(pre + "cache_purges"),
+			unmapCalls:   reg.Counter(pre + "unmap_calls"),
+			anomalies:    reg.Counter(pre + "guest_anomalies"),
+		}
+	}
 	for i, z := range vm.Guest.Zones() {
 		adapter, ok := z.Impl.(*guest.LLFreeAdapter)
 		if !ok {
@@ -201,6 +239,10 @@ func (m *Mechanism) Shrink(target uint64) error {
 	if target >= m.limit {
 		return nil
 	}
+	if m.track.Enabled() {
+		m.track.Begin("shrink", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
+	}
 	need := (m.limit - target) / mem.HugeSize
 	for attempt := 0; need > 0 && attempt < 2; attempt++ {
 		if attempt == 1 {
@@ -251,13 +293,22 @@ func (m *Mechanism) reclaimZone(zs *zoneState, maxHuge uint64, to ReclaimState) 
 			}
 			zs.r[area] = HardReclaimed
 			m.HardReclaims++
+			if m.tp != nil {
+				m.tp.hardReclaims.Inc()
+			}
 			m.vm.Meter.Work(ledger.Host, model.LLFreeReclaimHuge)
 			taken++
+		}
+		if m.track.Enabled() && taken > 0 {
+			// The fast CAS-only S→H pass, aggregated (per-frame instants
+			// would dwarf the trace at 4.92 TiB/s).
+			m.track.Instant("reclaim_soft_to_hard", trace.Uint("areas", taken))
 		}
 		if taken >= maxHuge {
 			return taken
 		}
 	}
+	preScan := taken
 	zs.shared.ScanFreeHuge(func(area uint64) bool {
 		var err error
 		if to == HardReclaimed {
@@ -273,6 +324,13 @@ func (m *Mechanism) reclaimZone(zs *zoneState, maxHuge uint64, to ReclaimState) 
 		} else {
 			m.SoftReclaims++
 		}
+		if m.tp != nil {
+			if to == HardReclaimed {
+				m.tp.hardReclaims.Inc()
+			} else {
+				m.tp.softReclaims.Inc()
+			}
+		}
 		zs.r[area] = to
 		// State transition cost (CAS transactions on the shared arrays).
 		m.vm.Meter.Work(ledger.Host, model.LLFreeReclaimHuge)
@@ -287,6 +345,10 @@ func (m *Mechanism) reclaimZone(zs *zoneState, maxHuge uint64, to ReclaimState) 
 		return taken < maxHuge
 	})
 	flush()
+	if m.track.Enabled() && taken > preScan {
+		m.track.Instant("reclaim", trace.String("to", to.String()),
+			trace.Uint("areas", taken-preScan))
+	}
 	return taken
 }
 
@@ -297,6 +359,10 @@ func (m *Mechanism) unmapRun(run []uint64) {
 	model := m.vm.Model
 	meter := m.vm.Meter
 	m.UnmapCalls++
+	if m.tp != nil {
+		m.tp.unmapCalls.Inc()
+		m.track.Instant("unmap_run", trace.Uint("areas", uint64(len(run))))
+	}
 	cost := model.Syscall + model.TLBInvalidation
 	for _, gArea := range run {
 		m.vm.DiscardArea(gArea)
@@ -317,6 +383,10 @@ func (m *Mechanism) unmapRun(run []uint64) {
 func (m *Mechanism) cachePurge() {
 	m.CachePurges++
 	dropped := m.vm.Guest.Cache().Bytes()
+	if m.tp != nil {
+		m.tp.cachePurges.Inc()
+		m.track.Instant("cache_purge", trace.Uint("dropped", dropped))
+	}
 	m.vm.Guest.Purge()
 	// Freeing the cache costs guest CPU time proportional to its size.
 	m.vm.Meter.Work(ledger.Guest, sim.DurationFor(dropped, 20.0))
@@ -328,6 +398,10 @@ func (m *Mechanism) cachePurge() {
 func (m *Mechanism) Grow(target uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.track.Enabled() {
+		m.track.Begin("grow", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
+	}
 	if target > m.vm.InitialBytes {
 		// Growing beyond the initial allocation needs hotplug integration
 		// (Sec. 6); clamp like the prototype.
@@ -348,9 +422,16 @@ func (m *Mechanism) Grow(target uint64) error {
 				// hypervisor).
 				zs.shared.SetEvicted(area)
 				m.GuestAnomalies++
+				if m.tp != nil {
+					m.tp.anomalies.Inc()
+					m.track.Instant("guest_anomaly", trace.Uint("area", area))
+				}
 			}
 			zs.r[area] = SoftReclaimed
 			m.Returns++
+			if m.tp != nil {
+				m.tp.returns.Inc()
+			}
 			m.vm.Meter.Work(ledger.Host, m.vm.Model.LLFreeReturnHuge)
 			need--
 			m.limit += mem.HugeSize
@@ -397,6 +478,10 @@ func (m *Mechanism) install(zs *zoneState, area uint64) {
 	m.vm.Meter.Bus(newly * mem.PageSize)
 	zs.r[area] = Installed
 	m.Installs++
+	if m.tp != nil {
+		m.tp.installs.Inc()
+		m.track.Instant("install", trace.Uint("area", gArea), trace.Uint("frames", newly))
+	}
 	zs.shared.ClearEvicted(area)
 }
 
@@ -411,6 +496,13 @@ func (m *Mechanism) AutoTick() sim.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.Scans++
+	if m.tp != nil {
+		m.tp.scans.Inc()
+	}
+	if m.track.Enabled() {
+		m.track.Begin("auto_scan")
+		defer m.track.End()
+	}
 	scanned := m.vm.Guest.TotalBytes()
 	m.vm.Meter.Work(ledger.Host,
 		sim.Duration(float64(m.vm.Model.LLFreeScanGiB)*float64(scanned)/float64(mem.GiB)))

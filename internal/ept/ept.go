@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/trace"
 )
 
 // Table is the EPT of one VM.
@@ -27,6 +28,42 @@ type Table struct {
 	MapBaseOps   uint64
 	UnmapBaseOps uint64
 	Faults       uint64
+
+	tp *tableProbe // nil unless SetTrace wired a tracer
+}
+
+// tableProbe mirrors the table's op counters into a tracer and keeps a
+// live mapped-bytes gauge (the VM's RSS as a Perfetto counter track).
+// Faults additionally emit instants so fault storms are visible on the
+// timeline. Nil when tracing is off: one pointer test per op.
+type tableProbe struct {
+	track     *trace.Track
+	mapHuge   *trace.Counter
+	unmapHuge *trace.Counter
+	mapBase   *trace.Counter
+	unmapBase *trace.Counter
+	faults    *trace.Counter
+	mapped    *trace.Gauge
+}
+
+// SetTrace attaches tracing under the given track name (e.g. "vm0/ept").
+// A nil tracer detaches.
+func (t *Table) SetTrace(tr *trace.Tracer, name string) {
+	if tr == nil {
+		t.tp = nil
+		return
+	}
+	reg := tr.Registry()
+	t.tp = &tableProbe{
+		track:     tr.Track(name),
+		mapHuge:   reg.Counter(name + "/map_huge"),
+		unmapHuge: reg.Counter(name + "/unmap_huge"),
+		mapBase:   reg.Counter(name + "/map_base"),
+		unmapBase: reg.Counter(name + "/unmap_base"),
+		faults:    reg.Counter(name + "/faults"),
+		mapped:    reg.Gauge(name + "/mapped_bytes"),
+	}
+	t.tp.mapped.Set(int64(t.MappedBytes()))
 }
 
 type area struct {
@@ -94,6 +131,10 @@ func (t *Table) MapHuge(areaIdx uint64) (uint64, error) {
 	a.bitmap = nil
 	t.mappedFrames += newly
 	t.MapHugeOps++
+	if t.tp != nil {
+		t.tp.mapHuge.Inc()
+		t.tp.mapped.Set(int64(t.MappedBytes()))
+	}
 	return newly, nil
 }
 
@@ -110,6 +151,10 @@ func (t *Table) UnmapHuge(areaIdx uint64) (uint64, error) {
 	a.bitmap = nil
 	t.mappedFrames -= was
 	t.UnmapHugeOps++
+	if t.tp != nil {
+		t.tp.unmapHuge.Inc()
+		t.tp.mapped.Set(int64(t.MappedBytes()))
+	}
 	return was, nil
 }
 
@@ -122,6 +167,9 @@ func (t *Table) MapBase(pfn mem.PFN) (bool, error) {
 	}
 	a := &t.areas[p/mem.FramesPerHuge]
 	t.MapBaseOps++
+	if t.tp != nil {
+		t.tp.mapBase.Inc()
+	}
 	if a.huge {
 		return false, nil
 	}
@@ -135,6 +183,9 @@ func (t *Table) MapBase(pfn mem.PFN) (bool, error) {
 	a.bitmap[w] |= 1 << b
 	a.mapped++
 	t.mappedFrames++
+	if t.tp != nil {
+		t.tp.mapped.Set(int64(t.MappedBytes()))
+	}
 	return true, nil
 }
 
@@ -148,6 +199,9 @@ func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
 	}
 	a := &t.areas[p/mem.FramesPerHuge]
 	t.UnmapBaseOps++
+	if t.tp != nil {
+		t.tp.unmapBase.Inc()
+	}
 	if a.huge {
 		// Split: all frames become individually mapped, then this one is
 		// removed.
@@ -173,6 +227,9 @@ func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
 	a.fragmented = true
 	a.mapped--
 	t.mappedFrames--
+	if t.tp != nil {
+		t.tp.mapped.Set(int64(t.MappedBytes()))
+	}
 	return true, nil
 }
 
@@ -211,6 +268,10 @@ func (t *Table) Fault(pfn mem.PFN) (uint64, error) {
 		return 0, fmt.Errorf("ept: fault: pfn %d out of range", p)
 	}
 	t.Faults++
+	if t.tp != nil {
+		t.tp.faults.Inc()
+		t.tp.track.Instant("fault", trace.Uint("pfn", p), trace.Bool("huge", true))
+	}
 	return t.MapHuge(p / mem.FramesPerHuge)
 }
 
@@ -219,6 +280,10 @@ func (t *Table) Fault(pfn mem.PFN) (uint64, error) {
 // virtio-balloon discarded individual pages of it).
 func (t *Table) FaultBase(pfn mem.PFN) (bool, error) {
 	t.Faults++
+	if t.tp != nil {
+		t.tp.faults.Inc()
+		t.tp.track.Instant("fault", trace.Uint("pfn", uint64(pfn)), trace.Bool("huge", false))
+	}
 	return t.MapBase(pfn)
 }
 

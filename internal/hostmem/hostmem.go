@@ -7,6 +7,8 @@ package hostmem
 import (
 	"fmt"
 	"sort"
+
+	"hyperalloc/internal/trace"
 )
 
 // Pool is the host memory pool.
@@ -21,6 +23,35 @@ type Pool struct {
 	// lifetime.
 	SwapOutBytes uint64
 	SwapInBytes  uint64
+
+	tp *poolProbe // nil unless SetTrace wired a tracer
+}
+
+// poolProbe mirrors the pool into a tracer: a live aggregate-RSS gauge,
+// swap-traffic counters, and eviction/swap-in instants naming the VMs
+// involved — the timeline view of "who paged out whom".
+type poolProbe struct {
+	track   *trace.Track
+	total   *trace.Gauge
+	swapOut *trace.Counter
+	swapIn  *trace.Counter
+}
+
+// SetTrace attaches tracing under the "host/mem" track. A nil tracer
+// detaches.
+func (p *Pool) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		p.tp = nil
+		return
+	}
+	reg := tr.Registry()
+	p.tp = &poolProbe{
+		track:   tr.Track("host/mem"),
+		total:   reg.Gauge("host/mem/total_bytes"),
+		swapOut: reg.Counter("host/mem/swap_out_bytes"),
+		swapIn:  reg.Counter("host/mem/swap_in_bytes"),
+	}
+	p.tp.total.Set(int64(p.total))
 }
 
 // NewPool creates a pool with the given capacity in bytes (0 = unlimited).
@@ -51,6 +82,9 @@ func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 		d -= take
 		p.rss[vm] = cur - d
 		p.total -= d
+		if p.tp != nil {
+			p.tp.total.Set(int64(p.total))
+		}
 		return 0, nil
 	}
 	d := uint64(delta)
@@ -71,6 +105,9 @@ func (p *Pool) Adjust(vm string, delta int64) (swapped uint64, err error) {
 	p.total += d
 	if p.total > p.peak {
 		p.peak = p.total
+	}
+	if p.tp != nil {
+		p.tp.total.Set(int64(p.total))
 	}
 	return swapped, nil
 }
@@ -119,6 +156,11 @@ func (p *Pool) SwapIn(vm string, limit uint64) (swapped uint64, err error) {
 	if p.total > p.peak {
 		p.peak = p.total
 	}
+	if p.tp != nil {
+		p.tp.swapIn.Add(back)
+		p.tp.total.Set(int64(p.total))
+		p.tp.track.Instant("swap_in", trace.String("vm", vm), trace.Uint("bytes", back))
+	}
 	return swapped, nil
 }
 
@@ -144,6 +186,12 @@ func (p *Pool) swapOut(faulter string, need uint64) uint64 {
 		p.total -= take
 		p.SwapOutBytes += take
 		evicted += take
+		if p.tp != nil {
+			p.tp.swapOut.Add(take)
+			p.tp.total.Set(int64(p.total))
+			p.tp.track.Instant("swap_out",
+				trace.String("faulter", faulter), trace.String("victim", victim), trace.Uint("bytes", take))
+		}
 	}
 	return evicted
 }

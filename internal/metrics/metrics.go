@@ -79,8 +79,11 @@ func (s *Series) IntegralGiBMin() float64 {
 // lookback: the highest demand a VM showed over the recent window.
 func (s *Series) MaxSince(t sim.Time) float64 {
 	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t })
-	var max float64
-	for ; i < len(s.Points); i++ {
+	if i == len(s.Points) {
+		return 0
+	}
+	max := s.Points[i].V
+	for i++; i < len(s.Points); i++ {
 		if s.Points[i].V > max {
 			max = s.Points[i].V
 		}
@@ -90,8 +93,11 @@ func (s *Series) MaxSince(t sim.Time) float64 {
 
 // Max returns the maximum value (0 if empty).
 func (s *Series) Max() float64 {
-	var max float64
-	for _, p := range s.Points {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	max := s.Points[0].V
+	for _, p := range s.Points[1:] {
 		if p.V > max {
 			max = p.V
 		}

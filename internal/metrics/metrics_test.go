@@ -43,6 +43,47 @@ func TestSeriesAt(t *testing.T) {
 	}
 }
 
+func TestMaxAllNegative(t *testing.T) {
+	// Regression: Max/MaxSince initialized their running maximum to 0, so
+	// an all-negative series (e.g. a delta or drift signal) reported 0
+	// instead of its largest sample. The maximum must seed from the first
+	// in-range sample; only a truly empty range reports 0.
+	s := &Series{}
+	s.Add(sim.Time(sim.Second), -5)
+	s.Add(sim.Time(2*sim.Second), -2)
+	s.Add(sim.Time(3*sim.Second), -9)
+	if got := s.Max(); got != -2 {
+		t.Errorf("all-negative Max = %v, want -2", got)
+	}
+	if got := s.MaxSince(0); got != -2 {
+		t.Errorf("all-negative MaxSince(0) = %v, want -2", got)
+	}
+	if got := s.MaxSince(sim.Time(3 * sim.Second)); got != -9 {
+		t.Errorf("MaxSince(3s) = %v, want -9 (single in-range sample)", got)
+	}
+	if got := s.MaxSince(sim.Time(10 * sim.Second)); got != 0 {
+		t.Errorf("MaxSince past end = %v, want 0 (empty range)", got)
+	}
+	empty := &Series{}
+	if empty.Max() != 0 || empty.MaxSince(0) != 0 {
+		t.Error("empty series Max/MaxSince should be 0")
+	}
+}
+
+func TestMaxSinceWindow(t *testing.T) {
+	s := &Series{}
+	s.Add(sim.Time(sim.Second), 100)
+	s.Add(sim.Time(2*sim.Second), 7)
+	s.Add(sim.Time(3*sim.Second), 9)
+	// The pre-window peak must not leak into the lookback.
+	if got := s.MaxSince(sim.Time(2 * sim.Second)); got != 9 {
+		t.Errorf("MaxSince(2s) = %v, want 9", got)
+	}
+	if got := s.MaxSince(0); got != 100 {
+		t.Errorf("MaxSince(0) = %v, want 100", got)
+	}
+}
+
 func TestIntegralGiBMin(t *testing.T) {
 	s := &Series{}
 	// 1 GiB held for exactly one minute.

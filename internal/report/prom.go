@@ -1,0 +1,64 @@
+// Prometheus text-exposition output. Like JSONBytes, the point is byte
+// stability: samples are emitted sorted by (metric name, label values),
+// values are pre-formatted strings chosen by the caller, and no float
+// formatting or map iteration happens here — so a metrics dump diffs
+// cleanly between runs and pins in golden tests.
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one sample line in Prometheus text format:
+//
+//	name{k1="v1",k2="v2"} value
+//
+// Labels keep their declaration order within a sample; Value is the
+// caller's exact rendering (integers, or fixed-point decimals for
+// determinism).
+type PromSample struct {
+	Name   string
+	Labels [][2]string
+	Value  string
+}
+
+func (s PromSample) line() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, kv := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(kv[0])
+			b.WriteByte('=')
+			b.WriteString(strconv.Quote(kv[1]))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(s.Value)
+	return b.String()
+}
+
+// WriteProm writes samples in Prometheus text exposition format, sorted
+// lexically by rendered line so the output is stable regardless of the
+// order samples were collected in.
+func WriteProm(w io.Writer, samples []PromSample) error {
+	lines := make([]string, len(samples))
+	for i, s := range samples {
+		lines[i] = s.line()
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace-event JSON export (the format ui.perfetto.dev and
+// chrome://tracing open directly). One process ("hyperalloc"), one
+// "thread" per track, "B"/"E" duration events for spans, "i" instants,
+// and "C" counter events for every gauge's recorded time series.
+//
+// Serialization is hand-rolled in deterministic order: events in
+// recording order (already time-sorted), attrs in declaration order,
+// gauges sorted by name. ts is simulated nanoseconds rendered as
+// microseconds with three decimals, so the bytes are stable across
+// platforms — no float formatting is involved.
+
+const chromePID = 1
+
+// tsMicros renders simulated-ns as microseconds with ns precision.
+func tsMicros(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+func writeAttrs(w *bufio.Writer, attrs []Attr) {
+	w.WriteString(`,"args":{`)
+	for i, a := range attrs {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, "%q:%s", a.Key, a.valueJSON())
+	}
+	w.WriteByte('}')
+}
+
+// WriteChrome writes the full trace (timeline + gauge counter tracks) as
+// Chrome trace-event JSON. Returns an error if any span is still open —
+// an unbalanced trace renders misleadingly in Perfetto.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: WriteChrome on nil tracer")
+	}
+	if err := t.CheckBalanced(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+
+	// Metadata: process name, then one thread per track in creation order.
+	sep()
+	fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":"hyperalloc"}}`, chromePID)
+	for _, tr := range t.tracks {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			chromePID, tr.id+1, tr.name)
+	}
+
+	// Timeline events, already in time order.
+	for _, ev := range t.events {
+		sep()
+		tid := ev.track + 1
+		switch ev.kind {
+		case evBegin:
+			fmt.Fprintf(bw, `{"ph":"B","pid":%d,"tid":%d,"ts":%s,"name":%q`,
+				chromePID, tid, tsMicros(int64(ev.at)), ev.name)
+		case evEnd:
+			fmt.Fprintf(bw, `{"ph":"E","pid":%d,"tid":%d,"ts":%s,"name":%q`,
+				chromePID, tid, tsMicros(int64(ev.at)), ev.name)
+		case evInstant:
+			fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"ts":%s,"name":%q,"s":"t"`,
+				chromePID, tid, tsMicros(int64(ev.at)), ev.name)
+		}
+		if len(ev.attrs) > 0 {
+			writeAttrs(bw, ev.attrs)
+		}
+		bw.WriteByte('}')
+	}
+
+	// Gauge time series as counter tracks, sorted by name.
+	for _, g := range t.reg.Gauges() {
+		for _, p := range g.series {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"C","pid":%d,"tid":0,"ts":%s,"name":%q,"args":{"value":%d}}`,
+				chromePID, tsMicros(int64(p.at)), g.name, p.v)
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// WriteChromeFile writes the Chrome trace to path.
+func (t *Tracer) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// chromeEvent is the subset of the trace-event schema the validator
+// inspects.
+type chromeEvent struct {
+	Ph   string          `json:"ph"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Name string          `json:"name"`
+	Args json.RawMessage `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ValidateChrome checks that data is well-formed Chrome trace-event JSON
+// with balanced, properly nested B/E spans per thread and non-decreasing
+// timestamps per thread. This is what `make trace-smoke` runs against
+// driver output.
+func ValidateChrome(data []byte) error {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no traceEvents")
+	}
+	stacks := make(map[int][]string)    // tid -> open span names
+	lastTs := make(map[int]float64)     // tid -> last timeline timestamp
+	lastCtr := make(map[string]float64) // "tid/name" -> last counter timestamp
+	threads := make(map[int]string)     // tid -> thread_name metadata
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &args); err != nil {
+					return fmt.Errorf("trace: event %d: bad thread_name args: %w", i, err)
+				}
+				threads[ev.Tid] = args.Name
+			}
+			continue
+		case "C":
+			// Counter tracks are keyed by (pid, name), not thread order:
+			// each counter's own series must be monotone, independent of
+			// the timeline threads and of other counters.
+			key := fmt.Sprintf("%d/%s", ev.Tid, ev.Name)
+			if prev, ok := lastCtr[key]; ok && ev.Ts < prev {
+				return fmt.Errorf("trace: event %d (counter %q): timestamp %.3f before %.3f",
+					i, ev.Name, ev.Ts, prev)
+			}
+			lastCtr[key] = ev.Ts
+			continue
+		case "B", "E", "i":
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, ev.Ph)
+		}
+		if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+			return fmt.Errorf("trace: event %d (tid %d %q): timestamp %.3f before %.3f",
+				i, ev.Tid, ev.Name, ev.Ts, prev)
+		}
+		lastTs[ev.Tid] = ev.Ts
+		switch ev.Ph {
+		case "B":
+			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+		case "E":
+			st := stacks[ev.Tid]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on tid %d without matching B", i, ev.Name, ev.Tid)
+			}
+			if top := st[len(st)-1]; top != ev.Name {
+				return fmt.Errorf("trace: event %d: E %q on tid %d, expected E %q (improper nesting)",
+					i, ev.Name, ev.Tid, top)
+			}
+			stacks[ev.Tid] = st[:len(st)-1]
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) > 0 {
+			return fmt.Errorf("trace: tid %d (%s): %d unclosed span(s), innermost %q",
+				tid, threads[tid], len(st), st[len(st)-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// buildTrace records a small multi-track trace with spans, instants, and
+// a gauge counter track.
+func buildTrace(t *testing.T) *Tracer {
+	t.Helper()
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	mech := tr.Track("vm0/mech")
+	virtio := tr.Track("vm0/virtio")
+	depth := tr.Registry().Gauge("vm0/virtio/depth")
+
+	mech.Begin("shrink", Uint("bytes", 2<<20))
+	clk.Advance(sim.Microsecond)
+	virtio.Begin("kick")
+	depth.Set(3)
+	clk.Advance(500 * sim.Nanosecond)
+	virtio.Instant("deliver", Int("n", 3))
+	depth.Set(0)
+	virtio.End()
+	clk.Advance(sim.Microsecond)
+	mech.End(Bool("ok", true))
+	return tr
+}
+
+func TestWriteChromeValidatesAndIsStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildTrace(t).WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTrace(t).WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("chrome export differs between identical runs")
+	}
+	if err := ValidateChrome(a.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v\n%s", err, a.String())
+	}
+	s := a.String()
+	for _, want := range []string{
+		`"name":"process_name"`,
+		`"name":"vm0/mech"`,
+		`"name":"vm0/virtio"`,
+		`"ph":"B"`, `"ph":"E"`, `"ph":"i"`, `"ph":"C"`,
+		`"name":"vm0/virtio/depth"`,
+		`"bytes":2097152`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("chrome export missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteChromeRefusesOpenSpans(t *testing.T) {
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	tr.Track("t").Begin("dangling")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err == nil {
+		t.Fatal("WriteChrome accepted an open span")
+	}
+}
+
+func TestValidateChromeRejectsBadTraces(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"empty":         `{"traceEvents":[]}`,
+		"unmatched E":   `{"traceEvents":[{"ph":"E","pid":1,"tid":1,"ts":1,"name":"x"}]}`,
+		"unclosed B":    `{"traceEvents":[{"ph":"B","pid":1,"tid":1,"ts":1,"name":"x"}]}`,
+		"bad nesting":   `{"traceEvents":[{"ph":"B","pid":1,"tid":1,"ts":1,"name":"a"},{"ph":"B","pid":1,"tid":1,"ts":2,"name":"b"},{"ph":"E","pid":1,"tid":1,"ts":3,"name":"a"},{"ph":"E","pid":1,"tid":1,"ts":4,"name":"b"}]}`,
+		"time reversal": `{"traceEvents":[{"ph":"i","pid":1,"tid":1,"ts":5,"name":"a"},{"ph":"i","pid":1,"tid":1,"ts":4,"name":"b"}]}`,
+		"unknown phase": `{"traceEvents":[{"ph":"Z","pid":1,"tid":1,"ts":1,"name":"x"}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted invalid trace", name)
+		}
+	}
+}
+
+func TestValidateChromeAcceptsSameTimestamp(t *testing.T) {
+	// Equal timestamps are legal (instantaneous spans happen when no
+	// simulated time is charged inside).
+	data := `{"traceEvents":[
+		{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"t"}},
+		{"ph":"B","pid":1,"tid":1,"ts":1,"name":"x"},
+		{"ph":"E","pid":1,"tid":1,"ts":1,"name":"x"}]}`
+	if err := ValidateChrome([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTsMicros(t *testing.T) {
+	for _, c := range []struct {
+		ns   int64
+		want string
+	}{{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"}, {1234567, "1234.567"}} {
+		if got := tsMicros(c.ns); got != c.want {
+			t.Errorf("tsMicros(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Driver-side flag helpers: every cmd exposes the same pair of flags
+//
+//	-trace FILE      write a Chrome/Perfetto trace of the traced cell
+//	-trace-summary   print the counter/latency summary after the run
+//
+// and funnels them through FromFlags/Emit so the wiring stays identical
+// across drivers.
+
+// FromFlags returns a fresh unbound tracer when either output was
+// requested, nil otherwise (tracing fully off — every probe stays nil).
+func FromFlags(path string, summary bool) *Tracer {
+	if path == "" && !summary {
+		return nil
+	}
+	return New()
+}
+
+// Emit writes the requested outputs: the Chrome trace to path (when
+// non-empty) and the human summary to w (when summary is set). A nil
+// tracer emits nothing; a tracer that never bound to a simulation (e.g.
+// the traced experiment was skipped) reports that instead of writing an
+// empty file.
+func (t *Tracer) Emit(path string, summary bool, w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	if !t.Enabled() {
+		return fmt.Errorf("trace: tracer never attached to a simulation (nothing to emit)")
+	}
+	if path != "" {
+		if err := t.WriteChromeFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote trace to %s (%d events) — open at https://ui.perfetto.dev\n",
+			path, t.Events())
+	}
+	if summary {
+		t.WriteSummary(w)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math/bits"
+
+	"hyperalloc/internal/sim"
+)
+
+// Log-linear (HDR-style) histogram: each power-of-two octave above the
+// linear range is split into 2^subBits linear sub-buckets, bounding the
+// relative quantile error at 1/2^subBits ≈ 3% while keeping the bucket
+// count small enough to embed in every span name. Values are durations in
+// simulated nanoseconds.
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits // 32
+	// 64-bit values need at most (64-subBits) octaves above the linear
+	// range plus the linear range itself.
+	numBuckets = (64 - subBits + 1) * subBuckets
+)
+
+// Histogram records a distribution of non-negative durations with bounded
+// relative error. The exact maximum is tracked separately so Max() is not
+// quantized. The zero value is ready to use.
+type Histogram struct {
+	name    string
+	count   uint64
+	sum     int64
+	max     int64
+	buckets [numBuckets]uint32
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Highest set bit picks the octave; the next subBits bits below it
+	// pick the linear sub-bucket within the octave.
+	exp := bits.Len64(uint64(v)) - 1 - subBits
+	mantissa := int(v>>uint(exp)) & (subBuckets - 1)
+	return (exp+1)<<subBits + mantissa
+}
+
+// bucketLow returns the smallest value mapping to bucket i (used to
+// report quantiles; the true value lies within ~3% above it).
+func bucketLow(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i>>subBits - 1
+	mantissa := int64(i & (subBuckets - 1))
+	return (int64(subBuckets) + mantissa) << uint(exp)
+}
+
+// Observe records one duration. Negative durations are clamped to zero
+// (they cannot occur under a monotonic clock; clamping keeps the
+// histogram total consistent if they ever do). Nil-safe.
+func (h *Histogram) Observe(d sim.Duration) {
+	if h == nil {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// Name returns the histogram's registry key.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.sum)
+}
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() sim.Duration {
+	if h == nil {
+		return 0
+	}
+	return sim.Duration(h.max)
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the lower bound of the bucket holding the q-quantile
+// (0 < q <= 1), exact to the histogram's ~3% resolution. The maximum is
+// reported exactly.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return sim.Duration(h.max)
+	}
+	// Rank of the target observation, 1-based ceiling.
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += uint64(c)
+		if seen >= rank {
+			lo := bucketLow(i)
+			if lo > h.max {
+				lo = h.max
+			}
+			return sim.Duration(lo)
+		}
+	}
+	return sim.Duration(h.max)
+}

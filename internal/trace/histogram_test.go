@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+func TestBucketIndexMonotoneAndBounded(t *testing.T) {
+	// Every value maps to a valid bucket, and bucketLow(idx) <= v.
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1 << 40, (1 << 62) + 12345}
+	prev := -1
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = idx
+		if lo := bucketLow(idx); lo > v {
+			t.Fatalf("bucketLow(%d) = %d > value %d", idx, lo, v)
+		}
+	}
+	// Linear range is exact.
+	for v := int64(0); v < subBuckets; v++ {
+		if bucketIndex(v) != int(v) || bucketLow(int(v)) != v {
+			t.Fatalf("linear range not exact at %d", v)
+		}
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// Log-linear with 32 sub-buckets bounds relative error below 1/32.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 50)
+		lo := bucketLow(bucketIndex(v))
+		if lo > v {
+			t.Fatalf("bucketLow above value for %d", v)
+		}
+		if v >= subBuckets {
+			if err := float64(v-lo) / float64(v); err > 1.0/subBuckets {
+				t.Fatalf("relative error %.4f > 1/%d for %d (lo %d)", err, subBuckets, v, lo)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantilesAgainstExactSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	var exact []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(10_000_000) // up to 10ms in ns
+		exact = append(exact, v)
+		h.Observe(sim.Duration(v))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	if h.Count() != 5000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != sim.Duration(exact[len(exact)-1]) {
+		t.Fatalf("max = %v, want %v (exact)", h.Max(), exact[len(exact)-1])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := int64(h.Quantile(q))
+		want := exact[int(q*float64(len(exact)))-1]
+		// Histogram reports the bucket lower bound: within 1/32 below.
+		if got > want || float64(want-got)/float64(want) > 2.0/subBuckets {
+			t.Fatalf("q%.2f = %d, exact %d (relative gap too large)", q, got, want)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(-5) // clamped
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: count=%d max=%v", h.Count(), h.Max())
+	}
+}

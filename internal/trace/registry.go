@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"sort"
+
+	"hyperalloc/internal/sim"
+)
+
+// Registry holds the named counters, gauges, and histograms of one
+// tracer. Creation is idempotent per name; instruments are cheap enough
+// to create eagerly and hold as struct fields. All methods are nil-safe
+// so call sites can wire instruments unconditionally and pay only a nil
+// test when tracing is off.
+type Registry struct {
+	t          *Tracer
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns a standalone registry not attached to any tracer:
+// counters and histograms work fully, gauges keep only their current
+// value (no time series). Components that must count regardless of
+// tracing (the broker) use one of these when no tracer is configured.
+func NewRegistry() *Registry { return newRegistry(nil) }
+
+func newRegistry(t *Tracer) *Registry {
+	return &Registry{
+		t:          t,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing count. Unlike spans, counters
+// work even on an unbound tracer — the broker's accounting must be right
+// whether or not a timeline is being recorded.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Name returns the registry key.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// gaugePoint is one sample of a gauge's time series.
+type gaugePoint struct {
+	at sim.Time
+	v  int64
+}
+
+// Gauge is a point-in-time value (queue depth, mapped bytes, pool total).
+// While the owning tracer is bound, every Set/Add appends to a
+// time series that the Chrome exporter turns into a Perfetto counter
+// track; same-timestamp updates coalesce to the last value.
+type Gauge struct {
+	name   string
+	t      *Tracer
+	v      int64
+	series []gaugePoint
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	g.record()
+}
+
+// Add adjusts the value by d (d may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v += d
+	g.record()
+}
+
+func (g *Gauge) record() {
+	if !g.t.Enabled() {
+		return
+	}
+	now := g.t.clock.Now()
+	if n := len(g.series); n > 0 && g.series[n-1].at == now {
+		g.series[n-1].v = g.v
+		return
+	}
+	g.series = append(g.series, gaugePoint{at: now, v: g.v})
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Name returns the registry key.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, t: r.t}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe. Span End() feeds "<track>/<span name>" histograms through
+// here automatically.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	r.histograms[name] = h
+	return h
+}
+
+// Counters returns all counters sorted by name (stable export order).
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Gauges returns all gauges sorted by name.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Histograms returns all non-empty histograms sorted by name.
+func (r *Registry) Histograms() []*Histogram {
+	if r == nil {
+		return nil
+	}
+	out := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		if h.count > 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

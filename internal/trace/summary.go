@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+)
+
+// Human summary and Prometheus-style exporters. Both walk the registry in
+// sorted-key order, so for a fixed simulation the output is byte-stable.
+
+// secondsString renders a simulated duration as a fixed-point seconds
+// decimal (no float formatting — byte-stable).
+func secondsString(d sim.Duration) string {
+	ns := int64(d)
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%09d", neg, ns/1e9, ns%1e9)
+}
+
+// WriteMetricsText dumps every counter, gauge, and histogram in
+// Prometheus text exposition format with stable keys:
+//
+//	hyperalloc_counter{key="broker/ticks"} 42
+//	hyperalloc_gauge{key="host/mem/total_bytes"} 1073741824
+//	hyperalloc_span_seconds{key="vm0/mech/shrink",quantile="0.99"} 0.000002048
+//	hyperalloc_span_seconds_count{key="vm0/mech/shrink"} 128
+func (t *Tracer) WriteMetricsText(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: WriteMetricsText on nil tracer")
+	}
+	var samples []report.PromSample
+	for _, c := range t.reg.Counters() {
+		samples = append(samples, report.PromSample{
+			Name:   "hyperalloc_counter",
+			Labels: [][2]string{{"key", c.Name()}},
+			Value:  fmt.Sprintf("%d", c.Value()),
+		})
+	}
+	for _, g := range t.reg.Gauges() {
+		samples = append(samples, report.PromSample{
+			Name:   "hyperalloc_gauge",
+			Labels: [][2]string{{"key", g.Name()}},
+			Value:  fmt.Sprintf("%d", g.Value()),
+		})
+	}
+	for _, h := range t.reg.Histograms() {
+		key := h.Name()
+		samples = append(samples,
+			report.PromSample{
+				Name:   "hyperalloc_span_seconds_count",
+				Labels: [][2]string{{"key", key}},
+				Value:  fmt.Sprintf("%d", h.Count()),
+			},
+			report.PromSample{
+				Name:   "hyperalloc_span_seconds_sum",
+				Labels: [][2]string{{"key", key}},
+				Value:  secondsString(h.Sum()),
+			})
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"1", 1}} {
+			samples = append(samples, report.PromSample{
+				Name:   "hyperalloc_span_seconds",
+				Labels: [][2]string{{"key", key}, {"quantile", q.label}},
+				Value:  secondsString(h.Quantile(q.q)),
+			})
+		}
+	}
+	return report.WriteProm(w, samples)
+}
+
+// WriteSummary renders the registry as compact human tables: counters,
+// gauges, and span/latency histograms with p50/p90/p99/max.
+func (t *Tracer) WriteSummary(w io.Writer) {
+	if t == nil {
+		return
+	}
+	var crows [][]string
+	for _, c := range t.reg.Counters() {
+		crows = append(crows, []string{c.Name(), fmt.Sprintf("%d", c.Value())})
+	}
+	if len(crows) > 0 {
+		report.Table(w, "trace counters", []string{"key", "count"}, crows)
+	}
+	var grows [][]string
+	for _, g := range t.reg.Gauges() {
+		grows = append(grows, []string{g.Name(), fmt.Sprintf("%d", g.Value())})
+	}
+	if len(grows) > 0 {
+		report.Table(w, "trace gauges (final)", []string{"key", "value"}, grows)
+	}
+	var hrows [][]string
+	for _, h := range t.reg.Histograms() {
+		hrows = append(hrows, []string{
+			h.Name(),
+			fmt.Sprintf("%d", h.Count()),
+			h.Quantile(0.5).String(),
+			h.Quantile(0.9).String(),
+			h.Quantile(0.99).String(),
+			h.Max().String(),
+		})
+	}
+	if len(hrows) > 0 {
+		report.Table(w, "trace latency histograms (simulated time)",
+			[]string{"span", "count", "p50", "p90", "p99", "max"}, hrows)
+	}
+	fmt.Fprintf(w, "\ntrace: %d timeline events across %d tracks\n", t.Events(), len(t.tracks))
+}

@@ -1,0 +1,270 @@
+// Package trace is the deterministic tracing and telemetry layer of the
+// simulation. Everything it records is keyed on simulated time
+// (sim.Time), never the wall clock, so for a fixed seed and scenario the
+// recorded event stream — and every exported byte — is identical across
+// runs, machines, and `-parallel` worker counts.
+//
+// The model mirrors Perfetto's: a Tracer owns named Tracks (one per
+// VM/actor seam: "vm0/mech", "vm0/virtio", "vm0/ept", "host/mem",
+// "broker"), and each track records nested spans (Begin/End) and instant
+// events, both with typed key/value attributes. Alongside the timeline the
+// Tracer carries a Registry of named counters, gauges (whose history
+// becomes Perfetto counter tracks), and log-linear latency histograms;
+// span durations feed per-(track,name) histograms automatically.
+//
+// Cost discipline: a nil *Tracer, a nil *Track, and an unbound Tracer are
+// all valid and disabled. Hot paths hold a possibly-nil *Track (or probe
+// struct) and guard with Enabled(), so the disabled cost is one pointer
+// test — no allocation, no map lookup (see bench_test.go). Recording
+// never charges simulated time and never touches the RNG, so enabling
+// tracing cannot change simulation results; workload tests pin this.
+//
+// A Tracer is bound to exactly one simulation's clock
+// (hyperalloc.System.SetTracer); like the scheduler it is single-threaded
+// within that simulation. Exporters: WriteChrome (trace-event JSON for
+// ui.perfetto.dev), WriteMetricsText (Prometheus-style stable keys via
+// internal/report), WriteSummary (human tables).
+package trace
+
+import (
+	"fmt"
+	"strconv"
+
+	"hyperalloc/internal/sim"
+)
+
+// AttrKind types an attribute value.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindString AttrKind = iota
+	KindInt
+	KindUint
+	KindBool
+)
+
+// Attr is one typed key/value attribute of a span or instant event.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Int  int64
+	U64  uint64
+	Flag bool
+}
+
+// String makes a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Kind: KindString, Str: v} }
+
+// Int makes a signed integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Kind: KindInt, Int: v} }
+
+// Uint makes an unsigned integer attribute (byte counts, frame indexes).
+func Uint(k string, v uint64) Attr { return Attr{Key: k, Kind: KindUint, U64: v} }
+
+// Bool makes a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Kind: KindBool, Flag: v} }
+
+// valueJSON renders the attribute value as a JSON literal.
+func (a Attr) valueJSON() string {
+	switch a.Kind {
+	case KindString:
+		return strconv.Quote(a.Str)
+	case KindInt:
+		return strconv.FormatInt(a.Int, 10)
+	case KindUint:
+		return strconv.FormatUint(a.U64, 10)
+	case KindBool:
+		return strconv.FormatBool(a.Flag)
+	default:
+		return "null"
+	}
+}
+
+// eventKind discriminates timeline records.
+type eventKind uint8
+
+const (
+	evBegin eventKind = iota
+	evEnd
+	evInstant
+)
+
+// event is one timeline record. Events are appended in clock order (the
+// simulation is single-threaded and the clock is monotonic), so the
+// stream is sorted by construction.
+type event struct {
+	at    sim.Time
+	track int32
+	kind  eventKind
+	name  string
+	attrs []Attr
+}
+
+// openSpan is a Begin awaiting its End.
+type openSpan struct {
+	name string
+	at   sim.Time
+}
+
+// Track is one named timeline (a Perfetto "thread"): per VM and per actor
+// seam. A nil *Track is disabled; all methods no-op.
+type Track struct {
+	t     *Tracer
+	id    int32
+	name  string
+	stack []openSpan
+}
+
+// Enabled reports whether recording on this track does anything. Hot
+// paths use it to skip attribute construction entirely.
+func (tr *Track) Enabled() bool { return tr != nil && tr.t.Enabled() }
+
+// Name returns the track name ("" for a disabled track).
+func (tr *Track) Name() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.name
+}
+
+// Begin opens a span. Spans nest per track; every Begin needs a matching
+// End (the Chrome exporter and validator enforce balance).
+func (tr *Track) Begin(name string, attrs ...Attr) {
+	if !tr.Enabled() {
+		return
+	}
+	now := tr.t.clock.Now()
+	tr.stack = append(tr.stack, openSpan{name: name, at: now})
+	tr.t.events = append(tr.t.events, event{at: now, track: tr.id, kind: evBegin, name: name, attrs: attrs})
+}
+
+// End closes the innermost open span and feeds its duration into the
+// track's per-span-name latency histogram. End without a Begin panics:
+// unbalanced spans are a bug in the instrumentation, not a runtime
+// condition.
+func (tr *Track) End(attrs ...Attr) {
+	if !tr.Enabled() {
+		return
+	}
+	n := len(tr.stack)
+	if n == 0 {
+		panic("trace: End without Begin on track " + tr.name)
+	}
+	open := tr.stack[n-1]
+	tr.stack = tr.stack[:n-1]
+	now := tr.t.clock.Now()
+	tr.t.events = append(tr.t.events, event{at: now, track: tr.id, kind: evEnd, name: open.name, attrs: attrs})
+	tr.t.reg.Histogram(tr.name + "/" + open.name).Observe(now.Sub(open.at))
+}
+
+// Instant records a point event (a Perfetto instant).
+func (tr *Track) Instant(name string, attrs ...Attr) {
+	if !tr.Enabled() {
+		return
+	}
+	tr.t.events = append(tr.t.events, event{at: tr.t.clock.Now(), track: tr.id, kind: evInstant, name: name, attrs: attrs})
+}
+
+// Tracer is the per-simulation telemetry hub. A nil *Tracer is a valid,
+// disabled tracer; an unbound one (no clock yet) is disabled too.
+type Tracer struct {
+	clock  *sim.Clock
+	reg    *Registry
+	tracks []*Track
+	byName map[string]*Track
+	events []event
+}
+
+// New returns an unbound Tracer. It starts recording once Bind attaches
+// it to a simulation clock (hyperalloc.System.SetTracer does this).
+func New() *Tracer {
+	t := &Tracer{byName: make(map[string]*Track)}
+	t.reg = newRegistry(t)
+	return t
+}
+
+// Bind attaches the tracer to a simulation's clock. A Tracer traces
+// exactly one simulation — binding twice panics, so drivers that fan a
+// matrix across workers attach the tracer to exactly one cell.
+func (t *Tracer) Bind(clock *sim.Clock) {
+	if clock == nil {
+		panic("trace: Bind(nil)")
+	}
+	if t.clock != nil {
+		panic("trace: tracer already bound to a simulation")
+	}
+	t.clock = clock
+}
+
+// Enabled reports whether the tracer records. Nil-safe.
+func (t *Tracer) Enabled() bool { return t != nil && t.clock != nil }
+
+// Track returns the named track, creating it on first use. Returns nil on
+// a nil tracer, so callers can wire probes unconditionally.
+func (t *Tracer) Track(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	if tr, ok := t.byName[name]; ok {
+		return tr
+	}
+	tr := &Track{t: t, id: int32(len(t.tracks)), name: name}
+	t.tracks = append(t.tracks, tr)
+	t.byName[name] = tr
+	return tr
+}
+
+// Registry returns the tracer's metric registry (nil for a nil tracer).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// now returns the current simulated time (0 when unbound).
+func (t *Tracer) now() sim.Time {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Events returns the number of recorded timeline events (for tests).
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// OpenSpans returns the number of currently open spans across all tracks.
+// Exporting with open spans is legal (the validator treats a trailing
+// unbalanced Begin as an error, so finish work before exporting).
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	var n int
+	for _, tr := range t.tracks {
+		n += len(tr.stack)
+	}
+	return n
+}
+
+// CheckBalanced returns an error naming the first track that still has an
+// open span (tests and exporters call it to fail fast).
+func (t *Tracer) CheckBalanced() error {
+	if t == nil {
+		return nil
+	}
+	for _, tr := range t.tracks {
+		if n := len(tr.stack); n > 0 {
+			return fmt.Errorf("trace: track %q has %d open span(s), innermost %q",
+				tr.name, n, tr.stack[n-1].name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// A nil tracer, nil track, and unbound tracer must all be safe no-ops.
+func TestNilAndUnboundAreDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	if tk := tr.Track("x"); tk != nil {
+		t.Fatal("nil tracer returned non-nil track")
+	}
+	var tk *Track
+	if tk.Enabled() {
+		t.Fatal("nil track enabled")
+	}
+	tk.Begin("s")
+	tk.End()
+	tk.Instant("i")
+	if tr.Events() != 0 || tr.OpenSpans() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unbound: real tracer, no clock yet. Tracks exist but record nothing.
+	ub := New()
+	if ub.Enabled() {
+		t.Fatal("unbound tracer enabled")
+	}
+	utk := ub.Track("vm0/mech")
+	utk.Begin("shrink")
+	utk.End()
+	utk.Instant("i")
+	if ub.Events() != 0 {
+		t.Fatalf("unbound tracer recorded %d events", ub.Events())
+	}
+	// Counters work even unbound (broker accounting relies on this).
+	c := ub.Registry().Counter("broker/ticks")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("unbound counter = %d, want 3", c.Value())
+	}
+	// Nil registry instruments are safe too.
+	var nr *Registry
+	nr.Counter("x").Inc()
+	nr.Gauge("y").Set(5)
+	nr.Histogram("z").Observe(1)
+	if nr.Counter("x").Value() != 0 || nr.Gauge("y").Value() != 0 {
+		t.Fatal("nil registry instrument held state")
+	}
+}
+
+func TestSpansInstantsAndHistogramFeed(t *testing.T) {
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	if !tr.Enabled() {
+		t.Fatal("bound tracer disabled")
+	}
+	tk := tr.Track("vm0/mech")
+	tk.Begin("shrink", Uint("bytes", 4096))
+	clk.Advance(2 * sim.Microsecond)
+	tk.Instant("reclaim", String("zone", "z0"))
+	clk.Advance(3 * sim.Microsecond)
+	tk.End(Int("freed", 1))
+	if got := tr.Events(); got != 3 {
+		t.Fatalf("events = %d, want 3", got)
+	}
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Registry().Histogram("vm0/mech/shrink")
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d, want 1", h.Count())
+	}
+	if h.Max() != 5*sim.Microsecond {
+		t.Fatalf("span duration = %v, want 5µs", h.Max())
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	tk := tr.Track("t")
+	tk.Begin("outer")
+	clk.Advance(sim.Microsecond)
+	tk.Begin("inner")
+	clk.Advance(sim.Microsecond)
+	if tr.OpenSpans() != 2 {
+		t.Fatalf("open spans = %d, want 2", tr.OpenSpans())
+	}
+	tk.End() // inner
+	tk.End() // outer
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Registry().Histogram("t/inner").Max(); d != sim.Microsecond {
+		t.Fatalf("inner duration = %v", d)
+	}
+	if d := tr.Registry().Histogram("t/outer").Max(); d != 2*sim.Microsecond {
+		t.Fatalf("outer duration = %v", d)
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("End without Begin did not panic")
+		}
+	}()
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	tr.Track("t").End()
+}
+
+func TestDoubleBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Bind did not panic")
+		}
+	}()
+	tr := New()
+	tr.Bind(sim.NewClock())
+	tr.Bind(sim.NewClock())
+}
+
+func TestGaugeSeriesCoalescesSameTimestamp(t *testing.T) {
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	g := tr.Registry().Gauge("q/depth")
+	g.Set(1)
+	g.Add(2) // same timestamp: coalesce to last value
+	clk.Advance(sim.Microsecond)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge value = %d", g.Value())
+	}
+	if len(g.series) != 2 {
+		t.Fatalf("series length = %d, want 2 (coalesced)", len(g.series))
+	}
+	if g.series[0].v != 3 || g.series[1].v != 7 {
+		t.Fatalf("series = %+v", g.series)
+	}
+}
+
+func TestRegistryExportOrderIsSorted(t *testing.T) {
+	tr := New()
+	r := tr.Registry()
+	r.Counter("z")
+	r.Counter("a")
+	r.Counter("m")
+	var names []string
+	for _, c := range r.Counters() {
+		names = append(names, c.Name())
+	}
+	if strings.Join(names, ",") != "a,m,z" {
+		t.Fatalf("counter order = %v", names)
+	}
+}
+
+// The metrics text dump must be byte-stable for identical workloads.
+func TestMetricsTextStable(t *testing.T) {
+	run := func() []byte {
+		clk := sim.NewClock()
+		tr := New()
+		tr.Bind(clk)
+		tr.Registry().Counter("b/ticks").Add(5)
+		tr.Registry().Gauge("host/total").Set(1 << 30)
+		tk := tr.Track("vm0/mech")
+		for i := 0; i < 10; i++ {
+			tk.Begin("shrink")
+			clk.Advance(sim.Duration(i+1) * sim.Microsecond)
+			tk.End()
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteMetricsText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("metrics text differs between identical runs:\n%s\nvs\n%s", a, b)
+	}
+	s := string(a)
+	for _, want := range []string{
+		`hyperalloc_counter{key="b/ticks"} 5`,
+		`hyperalloc_gauge{key="host/total"} 1073741824`,
+		`hyperalloc_span_seconds_count{key="vm0/mech/shrink"} 10`,
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteSummaryRenders(t *testing.T) {
+	clk := sim.NewClock()
+	tr := New()
+	tr.Bind(clk)
+	tr.Registry().Counter("c").Inc()
+	tr.Registry().Gauge("g").Set(2)
+	tk := tr.Track("t")
+	tk.Begin("s")
+	clk.Advance(sim.Microsecond)
+	tk.End()
+	var buf bytes.Buffer
+	tr.WriteSummary(&buf)
+	for _, want := range []string{"trace counters", "trace gauges", "latency histograms", "t/s"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+}

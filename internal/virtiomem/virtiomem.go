@@ -20,6 +20,7 @@ import (
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/vmm"
 )
 
@@ -57,6 +58,9 @@ type Mechanism struct {
 	SkippedUnplugs   uint64
 	AutoTicks        uint64
 	PrepopulatedHuge uint64
+
+	// track is the "<vm>/mech" trace track (nil when tracing is off).
+	track *trace.Track
 }
 
 // New attaches virtio-mem to a VM. The guest must have a Movable zone
@@ -96,6 +100,9 @@ func New(vm *vmm.VM, cfg Config) (*Mechanism, error) {
 	for i := range m.plugged {
 		m.plugged[i] = true
 	}
+	if vm.Trace != nil {
+		m.track = vm.TraceTrack("mech")
+	}
 	vm.SetMechanism(m)
 	return m, nil
 }
@@ -132,6 +139,10 @@ func (m *Mechanism) SetAutoPeriod(d sim.Duration) { m.cfg.AutoPeriod = d }
 func (m *Mechanism) Shrink(target uint64) error {
 	if m.limit <= target {
 		return nil
+	}
+	if m.track.Enabled() {
+		m.track.Begin("shrink", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
 	}
 	m.vm.Guest.DrainAllocatorCaches()
 	for area := int64(len(m.plugged)) - 1; area >= 0 && m.limit > target; area-- {
@@ -231,6 +242,10 @@ func (m *Mechanism) migrateOut(area uint64, used []buddy.FreeBlock) bool {
 // plugged 2 MiB block"); with VFIO each block is prepopulated and pinned
 // immediately for DMA safety.
 func (m *Mechanism) Grow(target uint64) error {
+	if m.track.Enabled() {
+		m.track.Begin("grow", trace.Uint("target", target), trace.Uint("limit", m.limit))
+		defer m.track.End()
+	}
 	model := m.vm.Model
 	for area := range m.plugged {
 		if m.limit >= target {
@@ -271,6 +286,10 @@ func (m *Mechanism) AutoTick() sim.Duration {
 		return 0
 	}
 	m.AutoTicks++
+	if m.track.Enabled() {
+		m.track.Begin("auto_tick")
+		defer m.track.End()
+	}
 	freeHuge := m.freeHugeBlocks()
 	head := m.cfg.AutoHeadroomHuge
 	step := m.cfg.AutoGranularity

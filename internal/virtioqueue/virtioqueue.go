@@ -9,6 +9,8 @@ package virtioqueue
 import (
 	"errors"
 	"fmt"
+
+	"hyperalloc/internal/trace"
 )
 
 // ErrFull reports a push into a full ring.
@@ -25,6 +27,35 @@ type Queue[T any] struct {
 	Kicks uint64
 	// Delivered counts descriptors consumed by the device side.
 	Delivered uint64
+
+	tp *queueProbe // nil unless SetTrace wired a tracer
+}
+
+// queueProbe mirrors the queue's accounting into a tracer: kick instants
+// on the queue's track, kick/delivered counters, and a live depth gauge
+// (a Perfetto counter track). The probe is nil when tracing is off, so
+// the hot path pays one pointer test.
+type queueProbe struct {
+	track     *trace.Track
+	kicks     *trace.Counter
+	delivered *trace.Counter
+	depth     *trace.Gauge
+}
+
+// SetTrace attaches tracing to the queue under the given track name
+// (e.g. "vm0/virtio"). A nil tracer detaches.
+func (q *Queue[T]) SetTrace(tr *trace.Tracer, name string) {
+	if tr == nil {
+		q.tp = nil
+		return
+	}
+	reg := tr.Registry()
+	q.tp = &queueProbe{
+		track:     tr.Track(name),
+		kicks:     reg.Counter(name + "/kicks"),
+		delivered: reg.Counter(name + "/delivered"),
+		depth:     reg.Gauge(name + "/depth"),
+	}
 }
 
 // New creates a queue with the given ring capacity.
@@ -45,6 +76,9 @@ func (q *Queue[T]) Push(item T) error {
 		return ErrFull
 	}
 	q.ring = append(q.ring, item)
+	if q.tp != nil {
+		q.tp.depth.Set(int64(len(q.ring)))
+	}
 	return nil
 }
 
@@ -65,6 +99,12 @@ func (q *Queue[T]) Kick() int {
 	q.ring = nil
 	q.Kicks++
 	q.Delivered += uint64(len(batch))
+	if q.tp != nil {
+		q.tp.kicks.Inc()
+		q.tp.delivered.Add(uint64(len(batch)))
+		q.tp.depth.Set(0)
+		q.tp.track.Instant("kick", trace.Int("descriptors", int64(len(batch))))
+	}
 	q.handler(batch)
 	return len(batch)
 }

@@ -1,0 +1,93 @@
+package virtioqueue
+
+import (
+	"testing"
+
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// TestTraceMirrorsAccounting drives a traced queue through a randomized
+// seeded workload and checks the trace-side telemetry stays exactly in
+// lockstep with the queue's own accounting: the kicks/delivered counters
+// equal Kicks/Delivered, the depth gauge equals Len() after every
+// operation, and one "kick" instant was recorded per counted kick.
+func TestTraceMirrorsAccounting(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 12345} {
+		rng := sim.NewRNG(seed)
+		clk := sim.NewClock()
+		tr := trace.New()
+		tr.Bind(clk)
+
+		var delivered uint64
+		q, err := New(1+rng.Intn(32), func(batch []int) { delivered += uint64(len(batch)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.SetTrace(tr, "vm0/virtio")
+		reg := tr.Registry()
+		kicksC := reg.Counter("vm0/virtio/kicks")
+		deliveredC := reg.Counter("vm0/virtio/delivered")
+		depthG := reg.Gauge("vm0/virtio/depth")
+
+		for op := 0; op < 2000; op++ {
+			clk.Advance(sim.Duration(1 + rng.Intn(1000)))
+			switch rng.Intn(4) {
+			case 0:
+				_ = q.Push(op) // ErrFull is fine: full pushes must not count anywhere
+			case 1:
+				q.Kick()
+			default:
+				threshold := rng.Intn(q.Capacity() + 2) // 0 = only-when-full
+				q.PushAndKick(op, threshold)
+			}
+			if g, want := depthG.Value(), int64(q.Len()); g != want {
+				t.Fatalf("seed %d op %d: depth gauge %d, queue len %d", seed, op, g, want)
+			}
+		}
+		q.Kick() // drain so delivered covers every accepted push
+
+		if kicksC.Value() != q.Kicks {
+			t.Errorf("seed %d: trace kicks %d, queue kicks %d", seed, kicksC.Value(), q.Kicks)
+		}
+		if deliveredC.Value() != q.Delivered {
+			t.Errorf("seed %d: trace delivered %d, queue delivered %d", seed, deliveredC.Value(), q.Delivered)
+		}
+		if delivered != q.Delivered {
+			t.Errorf("seed %d: handler saw %d, queue counted %d", seed, delivered, q.Delivered)
+		}
+		if q.Kicks == 0 || q.Delivered == 0 {
+			t.Errorf("seed %d: workload too weak (kicks %d delivered %d)", seed, q.Kicks, q.Delivered)
+		}
+
+		// One "kick" instant per counted kick, all on the queue's track.
+		if got, want := tr.Events(), int(q.Kicks); got != want {
+			t.Errorf("seed %d: %d timeline events, want %d kick instants", seed, got, want)
+		}
+		if err := tr.CheckBalanced(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestDetachedQueueCountsNothing pins that SetTrace(nil) really detaches:
+// the queue keeps its own accounting but records no telemetry.
+func TestDetachedQueueCountsNothing(t *testing.T) {
+	clk := sim.NewClock()
+	tr := trace.New()
+	tr.Bind(clk)
+	q, _ := New(8, func([]int) {})
+	q.SetTrace(tr, "vm0/virtio")
+	q.SetTrace(nil, "")
+	q.Push(1)
+	q.Kick()
+	if q.Kicks != 1 {
+		t.Fatalf("queue accounting broken: kicks %d", q.Kicks)
+	}
+	if got := tr.Registry().Counter("vm0/virtio/kicks").Value(); got != 0 {
+		t.Errorf("detached queue still traced %d kicks", got)
+	}
+	if tr.Events() != 0 {
+		t.Errorf("detached queue recorded %d events", tr.Events())
+	}
+}

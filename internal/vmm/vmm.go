@@ -16,6 +16,7 @@ import (
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 )
 
 // Mechanism is a VM de/inflation technique (virtio-balloon, virtio-mem,
@@ -73,6 +74,11 @@ type VM struct {
 	// prototype does not grow beyond it, Sec. 6).
 	InitialBytes uint64
 
+	// Trace is the simulation's tracer (nil when tracing is off).
+	// Mechanisms record their spans on tracks named under the VM
+	// (TraceTrack); the EPT probe is wired by NewVM.
+	Trace *trace.Tracer
+
 	// autoPeriod is the attach-time automatic-reclamation period override
 	// (0 keeps each mechanism's default); applied by SetMechanism.
 	autoPeriod sim.Duration
@@ -95,6 +101,8 @@ type Config struct {
 	// that replaces the per-mechanism DefaultAutoPeriod-style constants:
 	// whichever mechanism is attached later picks it up through AutoTuner.
 	AutoPeriod sim.Duration
+	// Trace attaches the simulation's tracer to this VM (nil = off).
+	Trace *trace.Tracer
 }
 
 // NewVM assembles a VM around a guest. The mechanism is attached
@@ -116,7 +124,11 @@ func NewVM(cfg Config) (*VM, error) {
 		Model:        cfg.Model,
 		Pool:         pool,
 		InitialBytes: cfg.Guest.TotalBytes(),
+		Trace:        cfg.Trace,
 		autoPeriod:   cfg.AutoPeriod,
+	}
+	if cfg.Trace != nil {
+		vm.EPT.SetTrace(cfg.Trace, cfg.Name+"/ept")
 	}
 	if cfg.VFIO {
 		vm.IOMMU = iommu.New(frames)
@@ -149,6 +161,12 @@ func (vm *VM) SetAutoPeriod(d sim.Duration) bool {
 		return true
 	}
 	return false
+}
+
+// TraceTrack returns the VM-scoped track "<vm name>/<suffix>" (nil when
+// tracing is off), the seam mechanisms use to record their spans.
+func (vm *VM) TraceTrack(suffix string) *trace.Track {
+	return vm.Trace.Track(vm.Name + "/" + suffix)
 }
 
 // RSS returns the VM's resident-set size (populated guest memory).

@@ -7,6 +7,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 )
 
 // BlenderConfig parameterizes the repeated-workload experiment (Sec. 5.5
@@ -20,6 +21,10 @@ type BlenderConfig struct {
 	RunTime  sim.Duration // per-run duration (default 6 min)
 	IdleTime sim.Duration // gap between runs (default 4 min)
 	Seed     uint64
+	// Trace, when non-nil, is bound to this run's System and captures its
+	// timeline (a tracer records exactly one simulation, so drivers attach
+	// it to a single candidate).
+	Trace *trace.Tracer
 }
 
 func (c *BlenderConfig) defaults() {
@@ -69,6 +74,7 @@ func BlenderCandidates() []ClangCandidate {
 func Blender(cand ClangCandidate, cfg BlenderConfig) (BlenderResult, error) {
 	cfg.defaults()
 	sys := hyperalloc.NewSystem(cfg.Seed*6364136223846793005 + 7)
+	sys.SetTracer(cfg.Trace)
 	opts := cand.Opts
 	opts.Name = "blender"
 	opts.Memory = cfg.Memory

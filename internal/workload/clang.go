@@ -11,6 +11,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 )
 
 // ClangConfig parameterizes the clang-16 compilation workload (Sec. 5.5):
@@ -30,6 +31,10 @@ type ClangConfig struct {
 	InDepth bool
 	// SamplePeriod for the memory metrics (default 1 s, like the paper).
 	SamplePeriod sim.Duration
+	// Trace, when non-nil, is bound to this run's System and captures its
+	// timeline (a tracer records exactly one simulation, so drivers attach
+	// it to a single candidate).
+	Trace *trace.Tracer
 }
 
 func (c *ClangConfig) defaults() {
@@ -161,6 +166,7 @@ type clangRun struct {
 func Clang(cand ClangCandidate, cfg ClangConfig) (ClangResult, error) {
 	cfg.defaults()
 	sys := hyperalloc.NewSystem(cfg.Seed*2654435761 + 99)
+	sys.SetTracer(cfg.Trace)
 	opts := cand.Opts
 	opts.Name = "clang"
 	opts.Memory = cfg.Memory

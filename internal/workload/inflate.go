@@ -10,6 +10,7 @@ import (
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 )
 
 // InflateConfig parameterizes the Fig. 4 microbenchmarks.
@@ -34,6 +35,11 @@ type InflateConfig struct {
 	// phase. Auditing walks every allocator bitfield, so it is off by
 	// default and meant for debugging, not for timed runs.
 	Audit bool
+	// Trace, when non-nil, is bound to the first repetition's System (a
+	// tracer records exactly one simulation) and captures its timeline.
+	// Tracing never changes results: all other reps run untraced and
+	// byte-identically either way.
+	Trace *trace.Tracer
 }
 
 func (c *InflateConfig) defaults() {
@@ -76,6 +82,7 @@ type inflateTimes struct {
 func inflateRep(spec CandidateSpec, cfg InflateConfig, rep int) (inflateTimes, error) {
 	var times inflateTimes
 	sys := hyperalloc.NewSystem(cfg.Seed + uint64(rep))
+	sys.SetTracer(cfg.Trace)
 	vm, err := sys.NewVM(hyperalloc.Options{
 		Name:      fmt.Sprintf("inflate-%d", rep),
 		Candidate: spec.Candidate,
@@ -167,7 +174,13 @@ func reduceInflate(spec CandidateSpec, cfg InflateConfig, times []inflateTimes) 
 func Inflate(spec CandidateSpec, cfg InflateConfig) (InflateResult, error) {
 	cfg.defaults()
 	times, err := runner.Map(runner.Runner{Workers: cfg.Workers}, cfg.Reps,
-		func(rep int) (inflateTimes, error) { return inflateRep(spec, cfg, rep) })
+		func(rep int) (inflateTimes, error) {
+			c := cfg
+			if rep != 0 {
+				c.Trace = nil // one tracer, one simulation: rep 0 owns it
+			}
+			return inflateRep(spec, c, rep)
+		})
 	if err != nil {
 		return InflateResult{Candidate: spec.Label()}, err
 	}
@@ -183,7 +196,11 @@ func InflateAll(cfg InflateConfig) ([]InflateResult, error) {
 	specs := Fig4Candidates()
 	times, err := runner.Map(runner.Runner{Workers: cfg.Workers}, len(specs)*cfg.Reps,
 		func(i int) (inflateTimes, error) {
-			return inflateRep(specs[i/cfg.Reps], cfg, i%cfg.Reps)
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: cell 0 owns it
+			}
+			return inflateRep(specs[i/cfg.Reps], c, i%cfg.Reps)
 		})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/vmm"
 )
 
@@ -41,6 +42,10 @@ type MultiVMConfig struct {
 	// sample and once at the end. Off by default: the walk touches every
 	// allocator bitfield of every VM.
 	Audit bool
+	// Trace, when non-nil, is bound to this candidate's System (a tracer
+	// records exactly one simulation; MultiVMAll attaches it to the first
+	// candidate only) and also carries the broker's decision events.
+	Trace *trace.Tracer
 }
 
 // auditEvery is how many samples pass between audits when cfg.Audit is
@@ -103,6 +108,7 @@ func MultiVMCandidates() []ClangCandidate {
 func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 	cfg.defaults()
 	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+3, cfg.HostBytes)
+	sys.SetTracer(cfg.Trace)
 	res := MultiVMResult{
 		Candidate: cand.Name,
 		Total:     &metrics.Series{Name: cand.Name + "/total"},
@@ -135,7 +141,11 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 
 	var bk *broker.Broker
 	if cfg.Broker != nil {
-		bk = broker.New(sys.Sched, sys.Pool, *cfg.Broker)
+		bcfg := *cfg.Broker
+		if bcfg.Trace == nil {
+			bcfg.Trace = cfg.Trace
+		}
+		bk = broker.New(sys.Sched, sys.Pool, bcfg)
 		for _, r := range runs {
 			bk.Attach(r.vm.VM, 0)
 		}
@@ -196,7 +206,7 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 	res.PeakBytes = uint64(res.Total.Max())
 	res.FootprintGiBMin = res.Total.IntegralGiBMin()
 	if bk != nil {
-		res.BrokerGrows, res.BrokerShrinks, res.BrokerErrors = bk.Grows, bk.Shrinks, bk.Errors
+		res.BrokerGrows, res.BrokerShrinks, res.BrokerErrors = bk.Grows(), bk.Shrinks(), bk.Errors()
 	}
 	// How many extra 16 GiB VMs fit into the 48 GiB provisioning at peak.
 	host := uint64(cfg.VMs) * cfg.Memory
@@ -211,7 +221,13 @@ func MultiVM(cand ClangCandidate, cfg MultiVMConfig) (MultiVMResult, error) {
 // a sequential loop (each candidate simulation is share-nothing).
 func MultiVMAll(cands []ClangCandidate, cfg MultiVMConfig) ([]MultiVMResult, error) {
 	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(cands),
-		func(i int) (MultiVMResult, error) { return MultiVM(cands[i], cfg) })
+		func(i int) (MultiVMResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: candidate 0 owns it
+			}
+			return MultiVM(cands[i], c)
+		})
 }
 
 // multiBuildDriver runs `Builds` clang compilations inside one VM on the

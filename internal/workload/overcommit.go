@@ -10,6 +10,7 @@ import (
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 	"hyperalloc/internal/vmm"
 )
 
@@ -35,6 +36,10 @@ type OvercommitConfig struct {
 	// Audit runs the cross-layer invariant auditor every auditEvery-th
 	// sample and once at the end (see MultiVMConfig.Audit).
 	Audit bool
+	// Trace, when non-nil, is bound to this arm's System (a tracer records
+	// exactly one simulation; OvercommitAll attaches it to the first arm
+	// only) and carries the broker's tick spans and decision events.
+	Trace *trace.Tracer
 }
 
 func (c *OvercommitConfig) defaults() {
@@ -128,6 +133,7 @@ func OvercommitPolicies() []broker.Policy {
 func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (OvercommitResult, error) {
 	cfg.defaults()
 	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+17, cfg.HostBytes)
+	sys.SetTracer(cfg.Trace)
 	res := OvercommitResult{
 		Candidate: cand.Name,
 		Policy:    pol.Name(),
@@ -142,7 +148,7 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 	var drivers []*multiBuildDriver
 	var vms []*vmm.VM
 	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
-		Policy: pol, Period: cfg.BrokerPeriod,
+		Policy: pol, Period: cfg.BrokerPeriod, Trace: cfg.Trace,
 	})
 	for i := 0; i < cfg.VMs; i++ {
 		opts := cand.Opts
@@ -212,8 +218,8 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 	res.HostPeakBytes = sys.Pool.Peak()
 	res.HostGiBMin = res.HostRSS.IntegralGiBMin()
 	res.SwapOutBytes = sys.Pool.SwapOutBytes
-	res.Ticks, res.Grows, res.Shrinks = bk.Ticks, bk.Grows, bk.Shrinks
-	res.Emergencies, res.Errors = bk.Emergencies, bk.Errors
+	res.Ticks, res.Grows, res.Shrinks = bk.Ticks(), bk.Grows(), bk.Shrinks()
+	res.Emergencies, res.Errors = bk.Emergencies(), bk.Errors()
 	return res, nil
 }
 
@@ -232,5 +238,11 @@ func OvercommitAll(cands []ClangCandidate, pols []broker.Policy, cfg OvercommitC
 		}
 	}
 	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
-		func(i int) (OvercommitResult, error) { return Overcommit(arms[i].cand, arms[i].pol, cfg) })
+		func(i int) (OvercommitResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+			}
+			return Overcommit(arms[i].cand, arms[i].pol, c)
+		})
 }

@@ -7,6 +7,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
 )
 
 // PerfConfig parameterizes the STREAM/FTQ guest-impact experiments
@@ -21,6 +22,10 @@ type PerfConfig struct {
 	Total    sim.Duration // default 140 s
 	Step     sim.Duration // sample interval (default: STREAM 250 ms, FTQ 128 ms)
 	Seed     uint64
+	// Trace, when non-nil, is bound to this run's System and captures its
+	// timeline (a tracer records exactly one simulation, so drivers attach
+	// it to a single candidate).
+	Trace *trace.Tracer
 }
 
 func (c *PerfConfig) defaults(step sim.Duration) {
@@ -83,6 +88,7 @@ func FTQ(spec CandidateSpec, cfg PerfConfig) (PerfResult, error) {
 func perfRun(spec CandidateSpec, cfg PerfConfig, defaultStep sim.Duration, stream bool) (PerfResult, error) {
 	cfg.defaults(defaultStep)
 	sys := hyperalloc.NewSystem(cfg.Seed + uint64(cfg.Threads)*131)
+	sys.SetTracer(cfg.Trace)
 	vm, err := sys.NewVM(hyperalloc.Options{
 		Name:      "perf",
 		Candidate: spec.Candidate,

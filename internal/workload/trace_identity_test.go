@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/trace"
+)
+
+// smallInflate is a fast Fig. 4 configuration used by the determinism
+// tests: small enough to run in milliseconds, large enough to exercise
+// every instrumented seam (reclaim, install, virtio, EPT, host unmap).
+func smallInflate() InflateConfig {
+	return InflateConfig{
+		Memory:  4 * mem.GiB,
+		Shrunk:  1 * mem.GiB,
+		Touched: 3 * mem.GiB,
+		Reps:    2,
+		Seed:    42,
+	}
+}
+
+// hyperAllocSpec picks the CandidateHyperAlloc Fig. 4 candidate: its
+// huge-frame granularity keeps the recorded traces small enough for the
+// byte-comparison tests to stay fast.
+func hyperAllocSpec(t testing.TB) CandidateSpec {
+	for _, s := range Fig4Candidates() {
+		if s.Candidate == hyperalloc.CandidateHyperAlloc && !s.VFIO {
+			return s
+		}
+	}
+	t.Fatal("no HyperAlloc candidate in Fig4Candidates")
+	return CandidateSpec{}
+}
+
+// TestTracingDoesNotChangeResults pins the core determinism promise:
+// attaching a tracer must not move a single simulated timestamp, so the
+// benchmark results with tracing on are deeply equal to the results with
+// tracing off. Recording charges no simulated time and never touches the
+// RNG; this test is what keeps that true.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	spec := hyperAllocSpec(t)
+
+	plain := smallInflate()
+	base, err := Inflate(spec, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := smallInflate()
+	traced.Trace = trace.New()
+	got, err := Inflate(spec, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, got) {
+		t.Errorf("tracing changed results:\n  off: %+v\n  on:  %+v", base, got)
+	}
+	if traced.Trace.Events() == 0 {
+		t.Fatal("tracer attached but recorded nothing")
+	}
+}
+
+// TestTraceBytesReproducible pins the export determinism promise: for a
+// fixed seed and scenario the exported trace is byte-identical across
+// runs and across -parallel worker counts (the tracer rides rep 0, which
+// is its own simulation regardless of how reps fan across workers).
+func TestTraceBytesReproducible(t *testing.T) {
+	spec := hyperAllocSpec(t)
+	run := func(workers int) (*trace.Tracer, []byte) {
+		cfg := smallInflate()
+		cfg.Workers = workers
+		cfg.Trace = trace.New()
+		if _, err := Inflate(spec, cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Trace.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Trace, buf.Bytes()
+	}
+
+	seqTracer, seq := run(1)
+	if err := trace.ValidateChrome(seq); err != nil {
+		t.Fatalf("sequential trace invalid: %v", err)
+	}
+	if _, again := run(1); !bytes.Equal(seq, again) {
+		t.Error("trace bytes differ across identical sequential runs")
+	}
+	if _, par := run(4); !bytes.Equal(seq, par) {
+		t.Error("trace bytes differ between Workers=1 and Workers=4")
+	}
+
+	// The metrics text export is stable-keyed too.
+	var m1, m2 bytes.Buffer
+	if err := seqTracer.WriteMetricsText(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := seqTracer.WriteMetricsText(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Error("metrics text export not stable across writes")
+	}
+}
+
+// TestTracedSystemStillAudits runs a traced shrink/grow cycle end to end
+// through the public API and checks the trace covers every instrumented
+// layer: mechanism spans, virtio kicks, EPT counters, host gauge.
+func TestTracedSystemStillAudits(t *testing.T) {
+	tr := trace.New()
+	sys := hyperalloc.NewSystem(7)
+	sys.SetTracer(tr)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name:      "vm0",
+		Candidate: hyperalloc.CandidateHyperAlloc,
+		Memory:    4 * mem.GiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vm.Guest.AllocAnon(0, 3*mem.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Free()
+	if err := vm.SetMemLimit(1 * mem.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.SetMemLimit(4 * mem.GiB); err != nil {
+		t.Fatal(err)
+	}
+	// Allocating evicted frames drives the install path (virtio kicks).
+	r2, err := vm.Guest.AllocAnon(0, 2*mem.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Free()
+	if err := tr.CheckBalanced(); err != nil {
+		t.Fatal(err)
+	}
+	reg := tr.Registry()
+	for _, key := range []string{
+		"vm0/core/hard_reclaims",
+		"vm0/core/installs",
+		"vm0/ept/unmap_huge",
+		"vm0/virtio/kicks",
+	} {
+		if reg.Counter(key).Value() == 0 {
+			t.Errorf("counter %s never incremented", key)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The end-to-end overhead pair: one full Fig. 4 repetition untraced
+// (nil tracer — every probe is a nil pointer test, the disabled budget
+// is ≤1% over uninstrumented code, see internal/trace/bench_test.go for
+// the ~2-4 ns per-op numbers behind that) vs fully traced (a fresh bound
+// tracer per iteration). Compare with
+// `go test -bench InflateRep -run ^$ ./internal/workload`.
+func benchInflateRep(b *testing.B, mk func() *trace.Tracer) {
+	spec := hyperAllocSpec(b)
+	cfg := smallInflate()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Trace = mk() // a tracer binds once, so each iteration gets its own
+		if _, err := inflateRep(spec, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInflateRepNoTrace(b *testing.B) { benchInflateRep(b, func() *trace.Tracer { return nil }) }
+func BenchmarkInflateRepTraced(b *testing.B)  { benchInflateRep(b, trace.New) }

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench audit trace-smoke
+.PHONY: check vet build test race bench audit trace-smoke migrate-smoke
 
 # The full pre-commit gate: everything CI runs.
-check: vet build test race
+check: vet build test race migrate-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# The live-migration smoke test: the three-strategy matrix at reduced
+# scale with the two-host conservation auditor on, emitting both the
+# result JSON and a Perfetto trace of the copy-all arm, then structurally
+# validating the trace. CI uploads both files as artifacts. MIGRATE_JSON
+# and MIGRATE_TRACE override the output paths.
+MIGRATE_JSON ?= migrate-results.json
+MIGRATE_TRACE ?= migrate-trace.json
+migrate-smoke:
+	$(GO) run ./cmd/migrate -churners 4 -cycles 4 -start 8 -audit \
+		-json $(MIGRATE_JSON) -trace $(MIGRATE_TRACE)
+	$(GO) run ./cmd/tracecheck $(MIGRATE_TRACE)
 
 # The tracing smoke test: capture the quickstart walkthrough as a
 # Chrome/Perfetto trace and structurally validate it (balanced nested

@@ -1,0 +1,178 @@
+// Command migrate runs the live-migration experiment: one VM with a
+// resident working set, an allocate/hold/free churn load, and a transient
+// burst that dies before the migration starts, moved to a second host by
+// pre-copy migration under each free-page strategy in turn. It reports
+// transferred and skipped bytes, pre-copy rounds, and measured downtime
+// per arm — the headline is that reading the guest's shared LLFree
+// allocator state skips more dead memory than periodic virtio-balloon
+// free-page hints (which decay between reports and cost guest work), and
+// both beat copying everything.
+//
+// Usage:
+//
+//	migrate [-memory GIB] [-churners N] [-cycles N] [-start SEC]
+//	        [-downtime-ms MS] [-rounds N] [-postcopy] [-seed S]
+//	        [-parallel N] [-json FILE] [-audit] [-trace FILE]
+//	        [-trace-summary]
+//
+// The three strategy arms fan across -parallel workers (default: all
+// CPUs); all output is byte-identical to -parallel 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/workload"
+)
+
+// output is the -json schema. Fields marshal in declaration order; the
+// bytes are stable for a fixed seed and scenario (see report.JSONBytes).
+type output struct {
+	Seed       uint64    `json:"seed"`
+	MemoryGiB  float64   `json:"memory_gib"`
+	Churners   int       `json:"churners"`
+	Cycles     int       `json:"cycles"`
+	StartSec   float64   `json:"start_seconds"`
+	DowntimeMs float64   `json:"downtime_target_ms"`
+	MaxRounds  int       `json:"max_rounds"`
+	Arms       []armJSON `json:"arms"`
+}
+
+type armJSON struct {
+	Arm              string  `json:"arm"`
+	Candidate        string  `json:"candidate"`
+	Strategy         string  `json:"strategy"`
+	TransferredGiB   float64 `json:"transferred_gib"`
+	TransferredBytes uint64  `json:"transferred_bytes"`
+	SkippedGiB       float64 `json:"skipped_gib"`
+	PostCopyBytes    uint64  `json:"postcopy_bytes"`
+	Rounds           int     `json:"rounds"`
+	Converged        bool    `json:"converged"`
+	DowntimeMs       float64 `json:"downtime_ms"`
+	TotalSec         float64 `json:"total_seconds"`
+	FinalRSSGiB      float64 `json:"final_rss_gib"`
+}
+
+func main() {
+	memoryGiB := flag.Float64("memory", 12, "VM memory (GiB)")
+	churners := flag.Int("churners", 0, "churn workers (0 = default 8)")
+	cycles := flag.Int("cycles", 0, "alloc/hold/free cycles per churner (0 = default 12)")
+	startSec := flag.Float64("start", 0, "migration start time in simulated seconds (0 = default 15)")
+	downtimeMs := flag.Float64("downtime-ms", 0, "downtime target in milliseconds (0 = default 100)")
+	rounds := flag.Int("rounds", 0, "max pre-copy rounds (0 = default 30)")
+	postCopy := flag.Bool("postcopy", false, "fall back to post-copy demand fetch when pre-copy does not converge")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
+	auditRun := flag.Bool("audit", false, "audit both hosts' conservation invariants every round and every simulated second")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first arm to this file")
+	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	flag.Parse()
+
+	tr := trace.FromFlags(*traceOut, *traceSummary)
+	cfg := workload.MigrateConfig{
+		Memory:         uint64(*memoryGiB * float64(mem.GiB)),
+		Churners:       *churners,
+		Cycles:         *cycles,
+		StartAfter:     sim.Duration(*startSec * float64(sim.Second)),
+		DowntimeTarget: sim.Duration(*downtimeMs * float64(sim.Millisecond)),
+		MaxRounds:      *rounds,
+		PostCopy:       *postCopy,
+		Seed:           *seed,
+		Workers:        *parallel,
+		Audit:          *auditRun,
+		Trace:          tr,
+	}
+	arms := workload.MigrateArms()
+	results, err := workload.MigrateAll(arms, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	out := &output{
+		Seed: *seed, MemoryGiB: *memoryGiB,
+		Churners: pick(*churners, 8), Cycles: pick(*cycles, 12),
+		StartSec:   pickF(*startSec, 15),
+		DowntimeMs: pickF(*downtimeMs, 100),
+		MaxRounds:  pick(*rounds, 30),
+	}
+	var copyAll *workload.MigrateResult
+	for i := range results {
+		if results[i].Arm == "copy-all" {
+			copyAll = &results[i]
+		}
+	}
+	var rows [][]string
+	for i := range results {
+		r := results[i]
+		saving := "-"
+		if copyAll != nil && copyAll.TransferredBytes > 0 && r.Arm != copyAll.Arm {
+			saving = fmt.Sprintf("%.0f%%", 100*(1-float64(r.TransferredBytes)/float64(copyAll.TransferredBytes)))
+		}
+		rows = append(rows, []string{
+			r.Arm,
+			mem.HumanBytes(r.TransferredBytes),
+			saving,
+			mem.HumanBytes(r.SkippedBytes),
+			fmt.Sprintf("%d", r.Rounds),
+			fmt.Sprintf("%.1f ms", float64(r.Downtime)/float64(sim.Millisecond)),
+			fmt.Sprintf("%t", r.Converged),
+			mem.HumanBytes(r.FinalRSS),
+		})
+		out.Arms = append(out.Arms, armJSON{
+			Arm:              r.Arm,
+			Candidate:        r.Candidate,
+			Strategy:         r.Strategy,
+			TransferredGiB:   float64(r.TransferredBytes) / (1 << 30),
+			TransferredBytes: r.TransferredBytes,
+			SkippedGiB:       float64(r.SkippedBytes) / (1 << 30),
+			PostCopyBytes:    r.PostCopyBytes,
+			Rounds:           r.Rounds,
+			Converged:        r.Converged,
+			DowntimeMs:       float64(r.Downtime) / float64(sim.Millisecond),
+			TotalSec:         r.TotalTime.Seconds(),
+			FinalRSSGiB:      float64(r.FinalRSS) / (1 << 30),
+		})
+	}
+	report.Table(os.Stdout,
+		fmt.Sprintf("Live migration — %.0f GiB VM, churn + burst, link %s",
+			*memoryGiB, "2.9 GiB/s"),
+		[]string{"strategy", "transferred", "vs copy-all", "skipped", "rounds", "downtime", "converged", "final RSS"},
+		rows)
+	fmt.Println("\nballoon hints skip what was free at the last report; the shared-allocator")
+	fmt.Println("  read skips what is free at the instant each chunk is assembled, with zero")
+	fmt.Println("  guest work — the gap between the two arms is the staleness cost.")
+
+	if *jsonPath != "" {
+		if err := report.WriteJSON(*jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func pick(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
+}
+
+func pickF(v, def float64) float64 {
+	if v != 0 {
+		return v
+	}
+	return def
+}

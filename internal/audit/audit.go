@@ -49,6 +49,29 @@ func System(pool *hostmem.Pool, vms ...*vmm.VM) error {
 	return nil
 }
 
+// Hosts audits a multi-host topology — the live-migration case: every
+// pool's own accounting is validated, and every VM is audited against
+// whichever pool it currently calls home (vm.Pool moves from the source
+// to the destination host at cut-over, and vm.Audit follows it). A VM
+// whose accounting is mid-flight between two pools — resident on the
+// source while its copy builds up on the destination under a transfer
+// alias — still audits cleanly here, because the source side stays
+// conserved until cut-over and the alias is checked by the migration
+// engine itself (migrate.Engine.Audit). Returns the first violation.
+func Hosts(pools []*hostmem.Pool, vms ...*vmm.VM) error {
+	for i, p := range pools {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("audit: host %d: %w", i, err)
+		}
+	}
+	for _, vm := range vms {
+		if err := vm.Audit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Tracker audits a host repeatedly over time, additionally checking that
 // the pool's peak never moves backwards between snapshots. A workload
 // that legitimately calls Pool.ResetPeak (e.g. between measurement

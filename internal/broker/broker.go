@@ -44,6 +44,20 @@ type Config struct {
 	// driving the limits, the per-mechanism auto mode is typically slowed
 	// down or left disabled.
 	VMAutoPeriod sim.Duration
+	// EvacuateBelow arms the evacuation escape hatch: when the host's
+	// free memory stays below this watermark for EvacuateHold consecutive
+	// ticks even though the policy has been shrinking, the broker picks
+	// the largest-RSS VM, detaches it, and hands it to EvacuateFn —
+	// typically a live migration to another host (internal/migrate).
+	// 0 disables evacuation. Meaningless on an unlimited-capacity pool.
+	EvacuateBelow uint64
+	// EvacuateHold is the number of consecutive below-watermark ticks
+	// before an evacuation fires (default 5): one bad sample is pressure,
+	// five in a row is a host that reclamation alone cannot fix.
+	EvacuateHold int
+	// EvacuateFn receives the chosen VM after it is detached from the
+	// control loop (required when EvacuateBelow is set).
+	EvacuateFn func(vm *vmm.VM)
 	// Trace records tick spans, decision instants, and the broker
 	// counters on the tracer (nil = off; the counters then live in a
 	// standalone registry so the accessors keep working).
@@ -63,6 +77,9 @@ func (c Config) withDefaults() Config {
 	if c.MinLimit == 0 {
 		c.MinLimit = mem.GiB
 	}
+	if c.EvacuateHold == 0 {
+		c.EvacuateHold = 5
+	}
 	return c
 }
 
@@ -79,6 +96,9 @@ type Event struct {
 	Reason string
 	Err    string // non-empty when the mechanism returned an error
 }
+
+// An evacuation is logged as Action "evacuate" with From/To carrying the
+// VM's RSS (the bytes leaving the host) and Want the free-watermark.
 
 // managed is the broker's per-VM state.
 type managed struct {
@@ -108,12 +128,17 @@ type Broker struct {
 	// Counters live in the trace registry (Config.Trace's when set, a
 	// standalone one otherwise) under stable "broker/..." keys; read them
 	// through the accessor methods.
+	// lowTicks counts consecutive ticks with host free memory below the
+	// evacuation watermark.
+	lowTicks int
+
 	track       *trace.Track
 	ticks       *trace.Counter
 	grows       *trace.Counter
 	shrinks     *trace.Counter
 	emergencies *trace.Counter
 	errors      *trace.Counter
+	evacuations *trace.Counter
 }
 
 // New creates a broker on the host described by sched and pool.
@@ -134,6 +159,7 @@ func New(sched *sim.Scheduler, pool *hostmem.Pool, cfg Config) *Broker {
 		shrinks:     reg.Counter("broker/shrinks"),
 		emergencies: reg.Counter("broker/emergencies"),
 		errors:      reg.Counter("broker/errors"),
+		evacuations: reg.Counter("broker/evacuations"),
 	}
 }
 
@@ -152,6 +178,9 @@ func (b *Broker) Emergencies() uint64 { return b.emergencies.Value() }
 // Errors returns the number of resizes the mechanism failed.
 func (b *Broker) Errors() uint64 { return b.errors.Value() }
 
+// Evacuations returns the number of VMs handed to EvacuateFn.
+func (b *Broker) Evacuations() uint64 { return b.evacuations.Value() }
+
 // Policy returns the configured policy.
 func (b *Broker) Policy() Policy { return b.cfg.Policy }
 
@@ -169,6 +198,20 @@ func (b *Broker) Attach(vm *vmm.VM, priority int) {
 	if b.cfg.VMAutoPeriod > 0 {
 		vm.SetAutoPeriod(b.cfg.VMAutoPeriod)
 	}
+}
+
+// Detach removes a VM from the control loop (attach order of the rest is
+// preserved); reports whether it was attached. The broker stops resizing
+// it immediately — an evacuated VM belongs to the migration engine, and
+// after cut-over to a different host's broker.
+func (b *Broker) Detach(name string) bool {
+	for i, m := range b.vms {
+		if m.vm.Name == name {
+			b.vms = append(b.vms[:i], b.vms[i+1:]...)
+			return true
+		}
+	}
+	return false
 }
 
 // Start schedules the control loop; the first tick fires after one
@@ -219,6 +262,53 @@ func (b *Broker) Tick() {
 			}
 			b.apply(now, m, want, t)
 		}
+	}
+	b.maybeEvacuate(now)
+}
+
+// maybeEvacuate fires the evacuation escape hatch: re-read host free
+// memory after this tick's resizes took effect — if even post-shrink
+// pressure stays below the watermark for EvacuateHold consecutive ticks,
+// reclamation alone cannot fix this host, and the largest-RSS VM (ties:
+// attach order) is detached and handed to EvacuateFn.
+func (b *Broker) maybeEvacuate(now sim.Time) {
+	if b.cfg.EvacuateBelow == 0 || b.pool.Capacity() == 0 || len(b.vms) == 0 {
+		return
+	}
+	var free uint64
+	if c, t := b.pool.Capacity(), b.pool.Total(); c > t {
+		free = c - t
+	}
+	if free >= b.cfg.EvacuateBelow {
+		b.lowTicks = 0
+		return
+	}
+	b.lowTicks++
+	if b.lowTicks < b.cfg.EvacuateHold {
+		return
+	}
+	victim := b.vms[0]
+	for _, m := range b.vms[1:] {
+		if m.vm.RSS() > victim.vm.RSS() {
+			victim = m
+		}
+	}
+	rss := victim.vm.RSS()
+	b.Events = append(b.Events, Event{
+		T: now, VM: victim.vm.Name, Policy: b.cfg.Policy.Name(),
+		Action: "evacuate", From: rss, Want: b.cfg.EvacuateBelow, To: rss,
+		Reason: "host free below evacuation watermark",
+	})
+	b.evacuations.Inc()
+	b.track.Instant("evacuate",
+		trace.String("vm", victim.vm.Name),
+		trace.Uint("rss", rss),
+		trace.Uint("free", free),
+		trace.Uint("watermark", b.cfg.EvacuateBelow))
+	b.Detach(victim.vm.Name)
+	b.lowTicks = 0
+	if b.cfg.EvacuateFn != nil {
+		b.cfg.EvacuateFn(victim.vm)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"hyperalloc/internal/broker"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
 )
 
 func vmSig(name string, limit, free uint64) broker.VMSignals {
@@ -92,7 +93,7 @@ func TestProportionalShareTargets(t *testing.T) {
 		Free: 20 * mem.GiB}
 
 	// A busy VM receives more of the headroom than an idle one.
-	busy := vmSig("busy", 16*mem.GiB, 4*mem.GiB) // demand 12 GiB
+	busy := vmSig("busy", 16*mem.GiB, 4*mem.GiB)  // demand 12 GiB
 	idle := vmSig("idle", 16*mem.GiB, 14*mem.GiB) // demand 2 GiB
 	got := p.Targets(0, host, []broker.VMSignals{busy, idle})
 	if len(got) != 2 {
@@ -295,5 +296,55 @@ func TestBrokerSetsVMAutoPeriod(t *testing.T) {
 	}
 	if got := vm2.HyperAlloc.AutoPeriod; got != 7*sim.Second {
 		t.Errorf("attach-time auto period = %v, want 7s", got)
+	}
+}
+
+// TestEvacuationWatermark: a host whose free memory stays under the
+// watermark for the hold period must hand its largest-RSS VM to
+// EvacuateFn exactly once per hold window, detached from the loop.
+func TestEvacuationWatermark(t *testing.T) {
+	var evacuated []string
+	sys, vms, bk := newHost(t, 3, 12*mem.GiB, broker.Config{
+		Policy:        fixedPolicy{bytes: 8 * mem.GiB}, // no-op resizes
+		EvacuateBelow: 3 * mem.GiB,
+		EvacuateHold:  3,
+		EvacuateFn:    func(vm *vmm.VM) { evacuated = append(evacuated, vm.Name) },
+	})
+	// Populate 10 of the 12 GiB: free stays at 2 GiB, under the 3 GiB
+	// watermark, every tick. vm1 is the largest and must go first.
+	sizes := []uint64{3 * mem.GiB, 5 * mem.GiB, 2 * mem.GiB}
+	for i, vm := range vms {
+		if _, err := vm.Guest.AllocAnon(0, sizes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := sys.Now()
+	bk.Start()
+	sys.RunUntil(start.Add(4500 * sim.Millisecond))
+	if bk.Evacuations() != 1 {
+		t.Fatalf("evacuations = %d after hold window, want 1", bk.Evacuations())
+	}
+	if len(evacuated) != 1 || evacuated[0] != "vm1" {
+		t.Fatalf("evacuated %v, want the largest-RSS vm1", evacuated)
+	}
+	var ev *broker.Event
+	for i := range bk.Events {
+		if bk.Events[i].Action == "evacuate" {
+			ev = &bk.Events[i]
+		}
+	}
+	if ev == nil {
+		t.Fatal("no evacuate event logged")
+	}
+	if ev.VM != "vm1" || ev.From != vms[1].RSS() || ev.Want != 3*mem.GiB {
+		t.Fatalf("evacuate event %+v", *ev)
+	}
+	// The hold counter restarts: pressure persists (nothing actually left
+	// this host — EvacuateFn is a stub), so the next-largest VM follows
+	// one full hold window later.
+	sys.RunUntil(start.Add(7500 * sim.Millisecond))
+	if bk.Evacuations() != 2 || len(evacuated) != 2 || evacuated[1] != "vm0" {
+		t.Fatalf("second window: evacuations=%d, evacuated=%v, want vm0 next",
+			bk.Evacuations(), evacuated)
 	}
 }

@@ -85,6 +85,21 @@ type Model struct {
 	// overcommitted guests force host-level swapping (Sec. 6).
 	SwapGiBs float64
 
+	// --- Live migration -------------------------------------------------
+
+	// MigLinkGiBs is the migration-stream bandwidth between two hosts: a
+	// dedicated 25 GbE migration network minus TCP and QEMU stream framing
+	// overhead (~25 Gbit/s ≈ 2.9 GiB/s effective).
+	MigLinkGiBs float64
+	// MigRTT is one migration-stream message round trip (kernel TCP on a
+	// switched datacenter network): paid per pre-copy round boundary, at
+	// cut-over, and per post-copy demand fetch.
+	MigRTT time.Duration
+	// DirtyLogScanGiB is the per-GiB-of-guest-memory cost of one dirty-
+	// bitmap harvest (KVM_GET_DIRTY_LOG: copy out + walk 32 KiB of bitmap
+	// per GiB, then re-write-protect the harvested entries).
+	DirtyLogScanGiB time.Duration
+
 	// --- Allocator-side work -------------------------------------------
 
 	// BalloonAllocBase is the guest balloon driver's cost to allocate and
@@ -213,6 +228,14 @@ func Default() *Model {
 		TouchGiBs:    17.0,
 		MigrateGiBs:  2.0,
 
+		// 25 GbE wire rate is ~2.91 GiB/s; stream framing leaves ~2.9.
+		// A 60 us RTT is one switched hop with kernel TCP on both ends.
+		MigLinkGiBs: 2.9,
+		MigRTT:      60 * time.Microsecond,
+		// 32 KiB of dirty bitmap per GiB: copy + scan + clear-log ioctl
+		// amortized, ~12 us per GiB of tracked guest memory.
+		DirtyLogScanGiB: 12 * time.Microsecond,
+
 		BalloonAllocBase: 150 * time.Nanosecond,
 		BalloonAllocHuge: 2500 * time.Nanosecond,
 		// Calibration: balloon return = BalloonFreeBase per 4 KiB page
@@ -287,6 +310,18 @@ func (m *Model) MigrateCost(b uint64) time.Duration {
 // SwapCost returns the time to write b bytes to the host's swap device.
 func (m *Model) SwapCost(b uint64) time.Duration {
 	return bwCost(b, m.SwapGiBs)
+}
+
+// MigLinkCost returns the pure transfer time of b bytes on the migration
+// stream (bandwidth only; callers add MigRTT per message boundary).
+func (m *Model) MigLinkCost(b uint64) time.Duration {
+	return bwCost(b, m.MigLinkGiBs)
+}
+
+// DirtyLogCost returns the cost of harvesting the dirty bitmap of a VM
+// with b bytes of guest-physical memory.
+func (m *Model) DirtyLogCost(b uint64) time.Duration {
+	return time.Duration(float64(b) / float64(mem.GiB) * float64(m.DirtyLogScanGiB))
 }
 
 func bwCost(b uint64, gibs float64) time.Duration {

@@ -122,3 +122,23 @@ func TestBaselinesPresent(t *testing.T) {
 		t.Error("Table 2 baselines changed")
 	}
 }
+
+func TestMigrationLinkModel(t *testing.T) {
+	m := Default()
+	// 2.9 GiB in one second's worth of stream time.
+	if d := m.MigLinkCost(29 * mem.GiB / 10); d < 999*time.Millisecond || d > 1001*time.Millisecond {
+		t.Errorf("MigLinkCost(2.9 GiB) = %v, want ~1s", d)
+	}
+	if m.MigLinkCost(0) != 0 {
+		t.Error("zero-byte transfer costs time")
+	}
+	// The dirty-log harvest must stay orders of magnitude below the
+	// transfer it avoids: scanning 20 GiB of bitmap vs copying 20 GiB.
+	scan, copyAll := m.DirtyLogCost(20*mem.GiB), m.MigLinkCost(20*mem.GiB)
+	if scan*1000 > copyAll {
+		t.Errorf("dirty-log scan %v not cheap next to transfer %v", scan, copyAll)
+	}
+	if m.MigRTT <= 0 {
+		t.Error("MigRTT unset")
+	}
+}

@@ -1,0 +1,289 @@
+package ept
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// Dirty logging, the EPT side of pre-copy live migration: while tracking
+// is enabled every mapped frame is write-protected, and the first guest
+// write to a clean frame takes a write-protect fault that sets its dirty
+// bit. The granularity follows the mapping: a huge-mapped area has one
+// hardware dirty bit on its 2 MiB entry, so a single write dirties the
+// whole area; a base-mapped area tracks per-4KiB bits. Frames populated
+// while tracking is on are born dirty (their content has never been
+// transferred), and unmapping a frame drops its dirty bit (there is
+// nothing left to copy).
+//
+// The migration engine drives the cycle: StartDirtyTracking once,
+// MarkDirty from the touch path (via vmm), HarvestDirty per pre-copy
+// round, StopDirtyTracking at cut-over. Costs are charged by the callers,
+// which know about logging syscalls and fault exits; the table only
+// reports how many write-protect faults a MarkDirty caused.
+
+// StartDirtyTracking enables dirty logging with an all-clean bitmap
+// (KVM_MEM_LOG_DIRTY_PAGES: every mapping is write-protected).
+func (t *Table) StartDirtyTracking() {
+	t.tracking = true
+	t.resetDirty()
+}
+
+// StopDirtyTracking disables dirty logging and drops all dirty state.
+func (t *Table) StopDirtyTracking() {
+	t.tracking = false
+	t.resetDirty()
+}
+
+// DirtyTracking reports whether dirty logging is enabled.
+func (t *Table) DirtyTracking() bool { return t.tracking }
+
+// DirtyFrames returns the number of dirty base frames.
+func (t *Table) DirtyFrames() uint64 { return t.dirtyFrames }
+
+// DirtyBytes returns the dirty volume in bytes.
+func (t *Table) DirtyBytes() uint64 { return t.dirtyFrames * mem.PageSize }
+
+// MarkDirty records guest writes to [pfn, pfn+frames): every mapped clean
+// frame in the range becomes dirty. A huge-mapped area is dirtied whole.
+// Returns the number of write-protect faults the writes took — one per
+// clean huge-mapped area, one per clean base frame — which is what the
+// VMM charges; frames that were already dirty (or not mapped: those take
+// a regular populate fault instead) cause none. No-op unless tracking.
+func (t *Table) MarkDirty(pfn mem.PFN, frames uint64) uint64 {
+	if !t.tracking || frames == 0 {
+		return 0
+	}
+	p := uint64(pfn)
+	if p >= t.frames {
+		return 0
+	}
+	end := p + frames
+	if end > t.frames {
+		end = t.frames
+	}
+	var wpFaults uint64
+	for p < end {
+		ai := p / mem.FramesPerHuge
+		a := &t.areas[ai]
+		aEnd := (ai + 1) * mem.FramesPerHuge
+		if aEnd > end {
+			aEnd = end
+		}
+		if a.huge {
+			if a.dirtyCount == 0 {
+				wpFaults++
+			}
+			t.fillDirty(ai)
+		} else if a.mapped > 0 {
+			for q := p; q < aEnd; q++ {
+				w, b := (q%mem.FramesPerHuge)/64, q%64
+				if a.bitmap[w]&(1<<b) == 0 {
+					continue // unmapped: populates via a regular fault
+				}
+				if a.dirty != nil && a.dirty[w]&(1<<b) != 0 {
+					continue // already dirty: no fault, writes go through
+				}
+				t.setDirty(a, q)
+				wpFaults++
+			}
+		}
+		p = aEnd
+	}
+	return wpFaults
+}
+
+// HarvestDirty atomically reads and clears the dirty bitmap
+// (KVM_GET_DIRTY_LOG with manual clear): fn receives maximal runs of
+// contiguous dirty frames in ascending guest-physical order, and the
+// harvested frames are re-write-protected (clean) afterwards.
+func (t *Table) HarvestDirty(fn func(pfn mem.PFN, frames uint64)) {
+	var runStart, runLen uint64
+	flush := func() {
+		if runLen > 0 {
+			fn(mem.PFN(runStart), runLen)
+			runLen = 0
+		}
+	}
+	for i := range t.areas {
+		a := &t.areas[i]
+		if a.dirtyCount == 0 {
+			a.dirty = nil
+			flush()
+			continue
+		}
+		base := uint64(i) * mem.FramesPerHuge
+		for w, word := range a.dirty {
+			if word == 0 {
+				flush()
+				continue
+			}
+			for b := uint64(0); b < 64; b++ {
+				if word&(1<<b) == 0 {
+					flush()
+					continue
+				}
+				p := base + uint64(w)*64 + b
+				if runLen > 0 && runStart+runLen == p {
+					runLen++
+				} else {
+					flush()
+					runStart, runLen = p, 1
+				}
+			}
+		}
+		t.dirtyFrames -= uint64(a.dirtyCount)
+		a.dirty, a.dirtyCount = nil, 0
+	}
+	flush()
+}
+
+// ClearDirtyArea drops the dirty bits of one area without transferring
+// them — the free-page-hint path: a delivered hint proves the area's
+// content is dead, so pending writes need not be copied. Returns the
+// number of frames that were dirty.
+func (t *Table) ClearDirtyArea(areaIdx uint64) uint64 {
+	if areaIdx >= uint64(len(t.areas)) {
+		return 0
+	}
+	a := &t.areas[areaIdx]
+	was := uint64(a.dirtyCount)
+	if was > 0 {
+		t.dirtyFrames -= was
+		a.dirty, a.dirtyCount = nil, 0
+	}
+	return was
+}
+
+// ForEachMapped calls fn with maximal runs of contiguous mapped frames in
+// ascending guest-physical order — the migration engine's bulk-phase
+// enumeration of what exists to copy.
+func (t *Table) ForEachMapped(fn func(pfn mem.PFN, frames uint64)) {
+	var runStart, runLen uint64
+	flush := func() {
+		if runLen > 0 {
+			fn(mem.PFN(runStart), runLen)
+			runLen = 0
+		}
+	}
+	for i := range t.areas {
+		a := &t.areas[i]
+		base := uint64(i) * mem.FramesPerHuge
+		switch {
+		case a.mapped == 0:
+			flush()
+		case a.huge || uint64(a.mapped) == t.areaFrames(uint64(i)):
+			n := t.areaFrames(uint64(i))
+			if runLen > 0 && runStart+runLen == base {
+				runLen += n
+			} else {
+				flush()
+				runStart, runLen = base, n
+			}
+		default:
+			for w, word := range a.bitmap {
+				for b := uint64(0); b < 64; b++ {
+					if word&(1<<b) == 0 {
+						flush()
+						continue
+					}
+					p := base + uint64(w)*64 + b
+					if runLen > 0 && runStart+runLen == p {
+						runLen++
+					} else {
+						flush()
+						runStart, runLen = p, 1
+					}
+				}
+			}
+		}
+	}
+	flush()
+}
+
+// setDirty marks one mapped frame dirty (caller checked it is clean or
+// tolerates the idempotent re-set).
+func (t *Table) setDirty(a *area, p uint64) {
+	if a.dirty == nil {
+		a.dirty = make([]uint64, mem.FramesPerHuge/64)
+	}
+	w, b := (p%mem.FramesPerHuge)/64, p%64
+	if a.dirty[w]&(1<<b) != 0 {
+		return
+	}
+	a.dirty[w] |= 1 << b
+	a.dirtyCount++
+	t.dirtyFrames++
+}
+
+// clearDirty drops one frame's dirty bit if set.
+func (t *Table) clearDirty(a *area, p uint64) {
+	if a.dirty == nil {
+		return
+	}
+	w, b := (p%mem.FramesPerHuge)/64, p%64
+	if a.dirty[w]&(1<<b) == 0 {
+		return
+	}
+	a.dirty[w] &^= 1 << b
+	a.dirtyCount--
+	t.dirtyFrames--
+}
+
+// fillDirty marks every mapped frame of the area dirty (the 2 MiB
+// granularity path for huge-mapped areas).
+func (t *Table) fillDirty(areaIdx uint64) {
+	a := &t.areas[areaIdx]
+	n := t.areaFrames(areaIdx)
+	if uint64(a.dirtyCount) == n {
+		return
+	}
+	for p := areaIdx * mem.FramesPerHuge; p < areaIdx*mem.FramesPerHuge+n; p++ {
+		t.setDirty(a, p)
+	}
+}
+
+// resetDirty drops all dirty state.
+func (t *Table) resetDirty() {
+	for i := range t.areas {
+		t.areas[i].dirty = nil
+		t.areas[i].dirtyCount = 0
+	}
+	t.dirtyFrames = 0
+}
+
+// validateDirty checks one area's dirty accounting as part of Validate:
+// dirty state only exists while tracking, every dirty bit covers a mapped
+// frame inside the area, and the counter matches the popcount.
+func (t *Table) validateDirty(areaIdx, n uint64) error {
+	a := &t.areas[areaIdx]
+	if a.dirtyCount == 0 && a.dirty == nil {
+		return nil
+	}
+	if !t.tracking {
+		return fmt.Errorf("ept: area %d: dirty state without tracking", areaIdx)
+	}
+	var pop uint64
+	for w, word := range a.dirty {
+		for b := uint64(0); b < 64; b++ {
+			if word&(1<<b) == 0 {
+				continue
+			}
+			p := uint64(w)*64 + b
+			if p >= n {
+				return fmt.Errorf("ept: area %d: frame %d dirty beyond the tail (%d frames)", areaIdx, p, n)
+			}
+			if !a.huge && (a.bitmap == nil || a.bitmap[w]&(1<<b) == 0) {
+				return fmt.Errorf("ept: area %d: frame %d dirty but not mapped", areaIdx, p)
+			}
+			pop++
+		}
+	}
+	if pop != uint64(a.dirtyCount) {
+		return fmt.Errorf("ept: area %d: dirtyCount=%d but bitmap popcount=%d", areaIdx, a.dirtyCount, pop)
+	}
+	if a.huge && pop != 0 && pop != n {
+		return fmt.Errorf("ept: area %d: huge-mapped but partially dirty (%d of %d)", areaIdx, pop, n)
+	}
+	return nil
+}

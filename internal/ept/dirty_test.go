@@ -1,0 +1,200 @@
+package ept
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// harvest collects HarvestDirty runs into a flat pfn list.
+func harvest(tb *Table) []mem.PFN {
+	var got []mem.PFN
+	tb.HarvestDirty(func(pfn mem.PFN, n uint64) {
+		for i := uint64(0); i < n; i++ {
+			got = append(got, pfn+mem.PFN(i))
+		}
+	})
+	return got
+}
+
+func TestDirtyTrackingBaseGranularity(t *testing.T) {
+	tb := New(frames)
+	for _, p := range []mem.PFN{3, 4, 5, 700} {
+		if _, err := tb.MapBase(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.StartDirtyTracking()
+	if tb.DirtyFrames() != 0 {
+		t.Fatalf("fresh tracking has %d dirty frames", tb.DirtyFrames())
+	}
+	// A write over mapped+unmapped frames dirties only the mapped ones,
+	// with one write-protect fault per clean base frame.
+	if wp := tb.MarkDirty(3, 4); wp != 3 {
+		t.Fatalf("MarkDirty wp faults = %d, want 3", wp)
+	}
+	// Re-writing dirty frames faults no more.
+	if wp := tb.MarkDirty(3, 4); wp != 0 {
+		t.Fatalf("re-mark wp faults = %d, want 0", wp)
+	}
+	if tb.DirtyFrames() != 3 || tb.DirtyBytes() != 3*mem.PageSize {
+		t.Fatalf("dirty = %d frames", tb.DirtyFrames())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := harvest(tb)
+	if len(got) != 3 || got[0] != 3 || got[2] != 5 {
+		t.Fatalf("harvest = %v", got)
+	}
+	// Harvest cleared and re-protected: nothing left, next write faults.
+	if tb.DirtyFrames() != 0 {
+		t.Fatalf("%d dirty after harvest", tb.DirtyFrames())
+	}
+	if wp := tb.MarkDirty(700, 1); wp != 1 {
+		t.Fatalf("post-harvest wp faults = %d, want 1", wp)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyTrackingHugeGranularity(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(1); err != nil {
+		t.Fatal(err)
+	}
+	tb.StartDirtyTracking()
+	// One write to a huge-mapped area dirties the whole 2 MiB with a
+	// single write-protect fault (the dirty bit sits on the 2 MiB entry).
+	if wp := tb.MarkDirty(mem.FramesPerHuge+7, 1); wp != 1 {
+		t.Fatalf("huge wp faults = %d, want 1", wp)
+	}
+	if tb.DirtyFrames() != mem.FramesPerHuge {
+		t.Fatalf("dirty = %d, want whole area", tb.DirtyFrames())
+	}
+	if wp := tb.MarkDirty(mem.FramesPerHuge+100, 5); wp != 0 {
+		t.Fatalf("second write faulted (%d)", wp)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := harvest(tb)
+	if len(got) != mem.FramesPerHuge || got[0] != mem.FramesPerHuge {
+		t.Fatalf("harvest len=%d first=%v", len(got), got[0])
+	}
+}
+
+func TestDirtyPopulateIsBornDirty(t *testing.T) {
+	tb := New(frames)
+	tb.StartDirtyTracking()
+	// Frames populated while tracking carry content that was never
+	// transferred: both fault paths must leave them dirty.
+	if _, err := tb.Fault(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.MapBase(3 * mem.FramesPerHuge); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(mem.FramesPerHuge + 1); tb.DirtyFrames() != want {
+		t.Fatalf("dirty = %d, want %d", tb.DirtyFrames(), want)
+	}
+	// Unmapping drops the dirty bits along with the content.
+	if _, err := tb.UnmapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.UnmapBase(3 * mem.FramesPerHuge); err != nil {
+		t.Fatal(err)
+	}
+	if tb.DirtyFrames() != 0 {
+		t.Fatalf("dirty = %d after unmap", tb.DirtyFrames())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirtyHugeSplitKeepsPerFrameBits(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	tb.StartDirtyTracking()
+	tb.MarkDirty(0, 1) // whole area dirty at 2 MiB granularity
+	// Punching a 4 KiB hole splits the mapping; the remaining 511 frames
+	// stay dirty at base granularity.
+	if _, err := tb.UnmapBase(9); err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(mem.FramesPerHuge - 1); tb.DirtyFrames() != want {
+		t.Fatalf("dirty = %d, want %d", tb.DirtyFrames(), want)
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := harvest(tb)
+	if len(got) != mem.FramesPerHuge-1 || got[9] != 10 {
+		t.Fatalf("harvest len=%d got[9]=%v", len(got), got[9])
+	}
+}
+
+func TestClearDirtyArea(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(2); err != nil {
+		t.Fatal(err)
+	}
+	tb.StartDirtyTracking()
+	tb.MarkDirty(2*mem.FramesPerHuge, 1)
+	if was := tb.ClearDirtyArea(2); was != mem.FramesPerHuge {
+		t.Fatalf("cleared %d", was)
+	}
+	if tb.DirtyFrames() != 0 || tb.ClearDirtyArea(2) != 0 {
+		t.Fatal("area still dirty")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachMappedRuns(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	// Area 1 partially base-mapped so the run breaks inside it.
+	for _, p := range []mem.PFN{mem.FramesPerHuge, mem.FramesPerHuge + 1, mem.FramesPerHuge + 40} {
+		if _, err := tb.MapBase(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type run struct {
+		pfn mem.PFN
+		n   uint64
+	}
+	var runs []run
+	tb.ForEachMapped(func(pfn mem.PFN, n uint64) { runs = append(runs, run{pfn, n}) })
+	want := []run{{0, mem.FramesPerHuge + 2}, {mem.FramesPerHuge + 40, 1}}
+	if len(runs) != len(want) || runs[0] != want[0] || runs[1] != want[1] {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+}
+
+func TestStopDirtyTrackingDropsState(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	tb.StartDirtyTracking()
+	tb.MarkDirty(0, 1)
+	tb.StopDirtyTracking()
+	if tb.DirtyTracking() || tb.DirtyFrames() != 0 {
+		t.Fatal("tracking state survived stop")
+	}
+	// Marks are no-ops when tracking is off.
+	if wp := tb.MarkDirty(0, 8); wp != 0 || tb.DirtyFrames() != 0 {
+		t.Fatal("MarkDirty recorded without tracking")
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

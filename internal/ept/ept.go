@@ -29,6 +29,13 @@ type Table struct {
 	UnmapBaseOps uint64
 	Faults       uint64
 
+	// Dirty logging (live migration): while tracking is on, mapped frames
+	// are write-protected and the first write to a clean frame (2 MiB
+	// granularity when the area is huge-mapped) sets its dirty bit. See
+	// dirty.go.
+	tracking    bool
+	dirtyFrames uint64
+
 	tp *tableProbe // nil unless SetTrace wired a tracer
 }
 
@@ -74,6 +81,13 @@ type area struct {
 	// the area is explicitly huge-mapped again.
 	fragmented bool
 	bitmap     []uint64
+
+	// Dirty-logging state, maintained only while Table.tracking is set.
+	// A huge-mapped area is dirtied whole (the hardware dirty bit sits on
+	// the one 2 MiB entry), so its dirtyCount is either 0 or the area's
+	// frame count; a base-mapped area tracks per-4KiB bits.
+	dirty      []uint64
+	dirtyCount uint16
 }
 
 // New creates an EPT covering the given number of guest base frames, all
@@ -130,6 +144,11 @@ func (t *Table) MapHuge(areaIdx uint64) (uint64, error) {
 	a.mapped = uint16(n)
 	a.bitmap = nil
 	t.mappedFrames += newly
+	if t.tracking {
+		// Freshly populated frames are dirty by definition: their content
+		// was just written and has never been transferred.
+		t.fillDirty(areaIdx)
+	}
 	t.MapHugeOps++
 	if t.tp != nil {
 		t.tp.mapHuge.Inc()
@@ -150,6 +169,11 @@ func (t *Table) UnmapHuge(areaIdx uint64) (uint64, error) {
 	a.mapped = 0
 	a.bitmap = nil
 	t.mappedFrames -= was
+	if a.dirtyCount > 0 {
+		// Unmapped frames have no content to transfer anymore.
+		t.dirtyFrames -= uint64(a.dirtyCount)
+		a.dirty, a.dirtyCount = nil, 0
+	}
 	t.UnmapHugeOps++
 	if t.tp != nil {
 		t.tp.unmapHuge.Inc()
@@ -183,6 +207,9 @@ func (t *Table) MapBase(pfn mem.PFN) (bool, error) {
 	a.bitmap[w] |= 1 << b
 	a.mapped++
 	t.mappedFrames++
+	if t.tracking {
+		t.setDirty(a, p)
+	}
 	if t.tp != nil {
 		t.tp.mapped.Set(int64(t.MappedBytes()))
 	}
@@ -227,6 +254,7 @@ func (t *Table) UnmapBase(pfn mem.PFN) (bool, error) {
 	a.fragmented = true
 	a.mapped--
 	t.mappedFrames--
+	t.clearDirty(a, p)
 	if t.tp != nil {
 		t.tp.mapped.Set(int64(t.MappedBytes()))
 	}
@@ -294,7 +322,7 @@ func (t *Table) FaultBase(pfn mem.PFN) (bool, error) {
 // tail; and mappedFrames equals the per-area sum. Returns the first
 // violation found, nil if consistent.
 func (t *Table) Validate() error {
-	var total uint64
+	var total, dirtyTotal uint64
 	for i := range t.areas {
 		a := &t.areas[i]
 		n := t.areaFrames(uint64(i))
@@ -326,9 +354,16 @@ func (t *Table) Validate() error {
 			}
 		}
 		total += uint64(a.mapped)
+		if err := t.validateDirty(uint64(i), n); err != nil {
+			return err
+		}
+		dirtyTotal += uint64(a.dirtyCount)
 	}
 	if total != t.mappedFrames {
 		return fmt.Errorf("ept: mappedFrames=%d but areas sum to %d", t.mappedFrames, total)
+	}
+	if dirtyTotal != t.dirtyFrames {
+		return fmt.Errorf("ept: dirtyFrames=%d but areas sum to %d", t.dirtyFrames, dirtyTotal)
 	}
 	return nil
 }

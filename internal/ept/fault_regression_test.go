@@ -1,0 +1,94 @@
+package ept
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// The migration engine's dirty tracker assumes two fault-path invariants;
+// these tests pin them.
+
+// A Fault on a PFN whose area is already huge-mapped must be a pure
+// re-execution of the guest write: the whole area stays mapped by the one
+// 2 MiB entry, nothing is newly populated, and — under dirty logging —
+// the area is exactly what MarkDirty would have dirtied. (Every PFN of a
+// huge-mapped area is mapped, including ones never individually touched,
+// so the "never-mapped PFN" resolves through the existing entry.)
+func TestFaultInsideHugeMappedArea(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(1); err != nil {
+		t.Fatal(err)
+	}
+	faults := tb.Faults
+	pfn := mem.PFN(mem.FramesPerHuge + 123) // never individually mapped
+	if !tb.IsMapped(pfn) {
+		t.Fatal("PFN inside huge-mapped area reads as unmapped")
+	}
+	newly, err := tb.Fault(pfn)
+	if err != nil || newly != 0 {
+		t.Fatalf("Fault: newly=%d err=%v, want 0 newly", newly, err)
+	}
+	if tb.Faults != faults+1 {
+		t.Errorf("fault counter %d, want %d", tb.Faults, faults+1)
+	}
+	if !tb.AreaFullyMapped(1) || tb.AreaFragmented(1) {
+		t.Error("area no longer a clean huge mapping")
+	}
+	tb.StartDirtyTracking()
+	// The equivalent write under logging dirties the whole area once.
+	if wp := tb.MarkDirty(pfn, 1); wp != 1 || tb.DirtyFrames() != mem.FramesPerHuge {
+		t.Errorf("wp=%d dirty=%d, want one fault dirtying the area", wp, tb.DirtyFrames())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FaultBase after UnmapBase must restore exactly the punched hole with a
+// base mapping, leave the area fragmented (so later faults keep resolving
+// with base pages, never silently re-promoting to a huge entry), and —
+// under dirty logging — leave the refilled frame dirty like any other
+// freshly populated frame.
+func TestFaultBaseAfterUnmapBase(t *testing.T) {
+	tb := New(frames)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	hole := mem.PFN(17)
+	if was, err := tb.UnmapBase(hole); err != nil || !was {
+		t.Fatalf("UnmapBase: was=%v err=%v", was, err)
+	}
+	if tb.IsMapped(hole) || !tb.AreaFragmented(0) {
+		t.Fatal("hole still mapped or area not fragmented")
+	}
+	if tb.AreaMapped(0) != mem.FramesPerHuge-1 {
+		t.Fatalf("area mapped = %d", tb.AreaMapped(0))
+	}
+	tb.StartDirtyTracking()
+	ok, err := tb.FaultBase(hole)
+	if err != nil || !ok {
+		t.Fatalf("FaultBase: ok=%v err=%v", ok, err)
+	}
+	if !tb.IsMapped(hole) || !tb.AreaFullyMapped(0) {
+		t.Error("hole not refilled")
+	}
+	if !tb.AreaFragmented(0) {
+		t.Error("refill cleared the fragmented flag")
+	}
+	if tb.DirtyFrames() != 1 {
+		t.Errorf("dirty = %d, want the refilled frame only", tb.DirtyFrames())
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Consistency with the huge path: MapBase into a huge-mapped area is
+	// refused (no-op, the 2 MiB entry already covers it), so the dirty
+	// tracker can rely on "base mutation implies non-huge area".
+	if _, err := tb.MapHuge(1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tb.MapBase(mem.FramesPerHuge + 5); err != nil || ok {
+		t.Fatalf("MapBase inside huge area: ok=%v err=%v, want no-op", ok, err)
+	}
+}

@@ -212,6 +212,59 @@ func (p *Pool) pickVictim(faulter string) string {
 	return victim
 }
 
+// Remove deletes the named VM's accounting entirely: its resident bytes
+// leave the pool and its swap debt is dropped (the swap slots are freed,
+// nothing is read back). This is the source-side teardown after a live
+// migration — without it a migrated-away VM would leak its RSS entry —
+// and doubles as VM shutdown. Returns the resident and swapped bytes
+// removed; unknown VMs remove nothing.
+func (p *Pool) Remove(vm string) (rss, swapped uint64) {
+	rss, swapped = p.rss[vm], p.swapped[vm]
+	delete(p.rss, vm)
+	delete(p.swapped, vm)
+	p.total -= rss
+	if p.tp != nil {
+		p.tp.total.Set(int64(p.total))
+		p.tp.track.Instant("remove",
+			trace.String("vm", vm), trace.Uint("rss", rss), trace.Uint("swapped", swapped))
+	}
+	return rss, swapped
+}
+
+// Rename moves a VM's accounting to a new name, preserving RSS and swap
+// debt. Migration uses it on the destination host: the VM arrives under a
+// transfer alias while the source still owns the real name, and cut-over
+// renames the alias to the real name. Fails without touching the pool if
+// the old name is unknown or the new name is already registered.
+func (p *Pool) Rename(from, to string) error {
+	if from == to {
+		return nil
+	}
+	_, okRSS := p.rss[from]
+	_, okSwap := p.swapped[from]
+	if !okRSS && !okSwap {
+		return fmt.Errorf("hostmem: rename: unknown vm %q", from)
+	}
+	if _, ok := p.rss[to]; ok {
+		return fmt.Errorf("hostmem: rename: vm %q already registered", to)
+	}
+	if _, ok := p.swapped[to]; ok {
+		return fmt.Errorf("hostmem: rename: vm %q already registered", to)
+	}
+	if okRSS {
+		p.rss[to] = p.rss[from]
+		delete(p.rss, from)
+	}
+	if okSwap {
+		p.swapped[to] = p.swapped[from]
+		delete(p.swapped, from)
+	}
+	if p.tp != nil {
+		p.tp.track.Instant("rename", trace.String("from", from), trace.String("to", to))
+	}
+	return nil
+}
+
 // Swapped returns the VM's swapped-out bytes.
 func (p *Pool) Swapped(vm string) uint64 { return p.swapped[vm] }
 

@@ -281,3 +281,112 @@ func TestResetPeak(t *testing.T) {
 		t.Error("peak after reset")
 	}
 }
+
+func TestRemoveDropsRSSAndSwapDebt(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "stay", 60)
+	adjust(t, p, "leave", 40)
+	adjust(t, p, "stay", 40) // forces 40 of "leave" onto swap
+	if p.Swapped("leave") != 40 {
+		t.Fatalf("swapped(leave) = %d", p.Swapped("leave"))
+	}
+	rss, swapped := p.Remove("leave")
+	if rss != 0 || swapped != 40 {
+		t.Errorf("Remove = (%d, %d), want (0, 40)", rss, swapped)
+	}
+	if p.RSS("leave") != 0 || p.Swapped("leave") != 0 {
+		t.Error("entries survived Remove")
+	}
+	if got := p.VMs(); len(got) != 1 || got[0] != "stay" {
+		t.Errorf("VMs = %v", got)
+	}
+	if p.Total() != 100 {
+		t.Errorf("total = %d", p.Total())
+	}
+	// The swap ledger must still balance: dropped debt counts as swapped
+	// out but never back in, which Validate allows as an inequality.
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after Remove: %v", err)
+	}
+	// Removing resident bytes shrinks the total below the peak.
+	rss, swapped = p.Remove("stay")
+	if rss != 100 || swapped != 0 {
+		t.Errorf("Remove(stay) = (%d, %d)", rss, swapped)
+	}
+	if p.Total() != 0 {
+		t.Errorf("total = %d after removing everything", p.Total())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate on emptied pool: %v", err)
+	}
+	if rss, swapped = p.Remove("nonesuch"); rss != 0 || swapped != 0 {
+		t.Error("unknown VM removed bytes")
+	}
+}
+
+func TestRenameMovesAccounting(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "other", 60)
+	adjust(t, p, "vm0:in", 40)
+	adjust(t, p, "vm0:in", 20) // swaps 20 of "other" out
+	if err := p.Rename("vm0:in", "vm0"); err != nil {
+		t.Fatal(err)
+	}
+	if p.RSS("vm0") != 60 || p.RSS("vm0:in") != 0 {
+		t.Errorf("RSS moved wrong: vm0=%d alias=%d", p.RSS("vm0"), p.RSS("vm0:in"))
+	}
+	if p.Total() != 100 {
+		t.Errorf("total = %d", p.Total())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after Rename: %v", err)
+	}
+	// Swap debt follows the name too.
+	if err := p.Rename("other", "elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Swapped("elsewhere") != 20 || p.Swapped("other") != 0 {
+		t.Error("swap debt did not follow the rename")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate after swapped rename: %v", err)
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	p := NewPool(0)
+	adjust(t, p, "a", 10)
+	adjust(t, p, "b", 20)
+	if err := p.Rename("nonesuch", "c"); err == nil {
+		t.Error("rename of unknown VM accepted")
+	}
+	if err := p.Rename("a", "b"); err == nil {
+		t.Error("rename onto existing VM accepted")
+	}
+	if err := p.Rename("a", "a"); err != nil {
+		t.Errorf("self-rename: %v", err)
+	}
+	// Failed renames leave the pool unchanged.
+	if p.RSS("a") != 10 || p.RSS("b") != 20 || p.Total() != 30 {
+		t.Error("failed rename mutated the pool")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenameRegistersZeroRSSVM(t *testing.T) {
+	// Migration registers the destination alias with Adjust(alias, 0)
+	// before any bytes arrive; Rename must handle the zero-byte entry.
+	p := NewPool(0)
+	adjust(t, p, "vm0:in", 0)
+	if err := p.Rename("vm0:in", "vm0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.VMs(); len(got) != 1 || got[0] != "vm0" {
+		t.Errorf("VMs = %v", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

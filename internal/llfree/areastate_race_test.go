@@ -1,0 +1,106 @@
+package llfree
+
+import (
+	"sync"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// TestAreaStateConcurrentReclaim is the migration engine's read-side
+// guarantee: AreaState snapshots taken while guest CPUs allocate/free and
+// the monitor reclaims/returns areas through a shared handle must always
+// decode to a sane entry — the free counter never above the area's frame
+// count, and a huge-allocated area never reporting free frames. Run under
+// -race (the Makefile's race target covers this package) to catch any
+// unsynchronized access on the packed entry words.
+func TestAreaStateConcurrentReclaim(t *testing.T) {
+	const areaCount = testFrames / 512
+	a, err := New(Config{Frames: testFrames, CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := a.Share() // the monitor-side handle, as HyperAlloc uses it
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Guest side: churn base frames so area counters move constantly.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			var held []mem.PFN
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					for _, p := range held {
+						a.Put(cpu, p, 0)
+					}
+					return
+				default:
+				}
+				if len(held) > 64 || (len(held) > 0 && i%3 == 0) {
+					p := held[len(held)-1]
+					held = held[:len(held)-1]
+					if err := a.Put(cpu, p, 0); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+					continue
+				}
+				if f, err := a.Get(cpu, 0, mem.Movable); err == nil {
+					held = append(held, f.PFN)
+				}
+			}
+		}(w)
+	}
+
+	// Monitor side: hard-reclaim free areas and return them, flipping the
+	// huge/evicted flags the migration skip-filter reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for area := uint64(0); area < areaCount; area++ {
+				if err := shared.ReclaimHard(area); err != nil {
+					continue // busy area; the guest owns it right now
+				}
+				shared.SetEvicted(area)
+				shared.ClearEvicted(area)
+				if err := shared.ReturnHuge(area); err != nil {
+					t.Errorf("ReturnHuge(%d): %v", area, err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Reader side: the migration engine's per-round skip scan.
+	var snapshots int
+	for pass := 0; pass < 400; pass++ {
+		for area := uint64(0); area < areaCount; area++ {
+			st := shared.AreaState(area)
+			n := shared.tailFrames(area)
+			if uint64(st.Free) > n {
+				t.Fatalf("area %d: Free=%d above frame count %d", area, st.Free, n)
+			}
+			if st.HugeAllocated && st.Free != 0 {
+				t.Fatalf("area %d: huge-allocated with Free=%d", area, st.Free)
+			}
+			snapshots++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snapshots == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,744 @@
+// Package migrate is a deterministic live-migration engine over the
+// simulation: iterative pre-copy with EPT dirty logging, an optional
+// post-copy tail, and a measured stop-and-copy downtime.
+//
+// Pre-copy runs rounds: round 0 streams every mapped frame (the bulk
+// phase), each later round harvests the dirty bitmap accumulated while
+// the previous round was on the wire and re-sends exactly that. The
+// stream is chunked, so guest writes, free-page hints, and the copy
+// interleave on the virtual timeline the way they do on a real link. A
+// convergence controller cuts over when the remaining dirty set fits the
+// downtime target, gives up into stop-and-copy (or post-copy) after a
+// round budget, and can charge an auto-converge throttle as guest stalls.
+//
+// The headline knob is the free-page strategy (see strategy.go): what the
+// engine knows about guest-free memory decides how many dead bytes cross
+// the wire. Copy-everything knows nothing; virtio-balloon free-page
+// hints know the truth as of the last report (stale by the report
+// delay, and paid for with guest work); HyperAlloc reads the shared
+// LLFree area state at send time — always current, zero guest work —
+// which is the paper's "allocator state is always current" advantage
+// showing up as transferred-bytes and total-time deltas.
+//
+// Destination rebuild is integral, not cosmetic: every copied frame maps
+// into a destination EPT and accounts into the destination host's pool
+// under a transfer alias, so the two-host conservation law is checkable
+// every round (Engine.Audit); cut-over renames the alias to the VM's
+// name, removes the source accounting, and AdoptPlacement switches the
+// VM onto the destination host. VFIO-pinned VMs force full destination
+// prepopulation plus IOMMU rebuild inside the blackout and refuse
+// post-copy (a pinned page cannot demand-fault).
+package migrate
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/ept"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/iommu"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/vmm"
+)
+
+// Strategy selects the free-page knowledge the engine skips with.
+type Strategy string
+
+const (
+	// CopyAll transfers every mapped frame and every dirty frame — the
+	// no-knowledge baseline.
+	CopyAll Strategy = "copy-all"
+	// BalloonHint drops frames covered by virtio-balloon free-page
+	// reports: correct but stale by the report delay, and each report
+	// costs guest allocator work.
+	BalloonHint Strategy = "balloon-hint"
+	// HyperAllocSkip reads the shared LLFree area state (AreaState free
+	// counters, huge-allocated and evicted flags) at send time: always
+	// current, zero guest work.
+	HyperAllocSkip Strategy = "hyperalloc-skip"
+)
+
+// Phase is the engine's state machine position. The legal transitions are
+// Idle → PreCopy → Done (stop-and-copy) and Idle → PreCopy → PostCopy →
+// Done; DESIGN.md §11 documents the machine.
+type Phase int
+
+const (
+	Idle Phase = iota
+	PreCopy
+	PostCopy
+	Done
+)
+
+func (p Phase) String() string {
+	switch p {
+	case Idle:
+		return "idle"
+	case PreCopy:
+		return "pre-copy"
+	case PostCopy:
+		return "post-copy"
+	default:
+		return "done"
+	}
+}
+
+// Config parameterizes one migration.
+type Config struct {
+	// Strategy is the free-page skip strategy (default CopyAll).
+	Strategy Strategy
+	// DestPool is the destination host's memory pool (required, and must
+	// not be the source pool — a migration crosses hosts).
+	DestPool *hostmem.Pool
+	// DestCapacityCheck: the destination pool's own capacity/swap rules
+	// apply as bytes arrive; nothing extra here.
+
+	// DowntimeTarget is the blackout budget: pre-copy cuts over once the
+	// remaining dirty set transfers within it (default 300 ms).
+	DowntimeTarget sim.Duration
+	// MaxRounds bounds pre-copy (default 30). When exhausted the engine
+	// forces stop-and-copy — or switches to post-copy when PostCopy is
+	// set — so every migration terminates.
+	MaxRounds int
+	// ChunkBytes is the stream chunk size (default 256 MiB): guest
+	// writes and hint deliveries interleave at chunk granularity.
+	ChunkBytes uint64
+	// AutoConverge enables the vCPU throttle: when a round dirties more
+	// than half of what it copied, the throttle rises by ThrottleStep
+	// (default 0.2, capped at 0.99) and the guest is charged the
+	// corresponding CPU stall each round. The scripted workload drivers
+	// do not slow down in response — the throttle is observable in the
+	// interference ledger, while termination is guaranteed by MaxRounds.
+	AutoConverge bool
+	ThrottleStep float64
+	// HintDelay is the balloon-hint report period (default 2 s, the
+	// paper's free-page-reporting configuration). Ignored by the other
+	// strategies.
+	HintDelay sim.Duration
+	// PostCopy switches to post-copy instead of forcing stop-and-copy
+	// when MaxRounds is exhausted: cut over immediately, demand-fetch
+	// residual frames on touch, drain the rest in the background.
+	// Refused for VFIO VMs.
+	PostCopy bool
+	// Audit runs Engine.Audit (two-host conservation) at every round
+	// boundary and after cut-over; a violation aborts the migration and
+	// lands in Result.Err.
+	Audit bool
+	// OnDone is called once when the migration completes (after the
+	// blackout elapses, or when the post-copy residual drains).
+	OnDone func(*Result)
+}
+
+func (c *Config) defaults() {
+	if c.Strategy == "" {
+		c.Strategy = CopyAll
+	}
+	if c.DowntimeTarget == 0 {
+		c.DowntimeTarget = 300 * sim.Millisecond
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 30
+	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = 256 * mem.MiB
+	}
+	if c.ThrottleStep == 0 {
+		c.ThrottleStep = 0.2
+	}
+	if c.HintDelay == 0 {
+		c.HintDelay = 2 * sim.Second
+	}
+}
+
+// RoundStats is one pre-copy round's record.
+type RoundStats struct {
+	Round        int
+	PendingBytes uint64 // queued at round start (bulk set or dirty harvest)
+	CopiedBytes  uint64 // actually sent
+	SkippedBytes uint64 // dropped by the free-page strategy this round
+	DirtyBytes   uint64 // dirtied while the round was on the wire
+	Duration     sim.Duration
+	Throttle     float64
+}
+
+// Result is the migration's outcome.
+type Result struct {
+	VM       string
+	Strategy Strategy
+
+	Rounds   int
+	RoundLog []RoundStats
+
+	// TransferredBytes crossed the link (pre-copy + stop-and-copy +
+	// post-copy); SkippedBytes were provably dead and never sent.
+	TransferredBytes uint64
+	SkippedBytes     uint64
+
+	// PrepopBytes were zero-filled on the destination at cut-over to
+	// satisfy VFIO pinning (0 without a passthrough device).
+	PrepopBytes uint64
+	// PinnedForcedCopyAll reports that a skip strategy was demoted to
+	// copy-all because the guest is VFIO-pinned.
+	PinnedForcedCopyAll bool
+
+	// PostCopyBytes/PostCopyFaults cover the post-copy tail: demand
+	// fetches plus background drain.
+	PostCopyBytes  uint64
+	PostCopyFaults uint64
+
+	Downtime  sim.Duration // measured stop-and-copy blackout
+	TotalTime sim.Duration // Start to completion
+	Converged bool         // met DowntimeTarget (vs forced by MaxRounds)
+	Throttle  float64      // final auto-converge level
+
+	// Err is set when Config.Audit found a violation; the migration
+	// aborted at that point.
+	Err string
+}
+
+// Engine drives one VM's migration. Create with New, arm with Start; it
+// then runs entirely on the scheduler.
+type Engine struct {
+	vm    *vmm.VM
+	sched *sim.Scheduler
+	model *costmodel.Model
+	src   *hostmem.Pool
+	dst   *hostmem.Pool
+	cfg   Config
+	alias string
+
+	destEPT   *ept.Table
+	destIOMMU *iommu.Table
+
+	frames  uint64
+	pending []uint64 // bitset: frames queued for the current round
+	cursor  uint64   // send position (frame index)
+
+	copiedUnique uint64 // frames newly mapped on the destination
+
+	skipArea func(gArea uint64) bool // nil for copy-all / balloon
+	llfree   map[*guest.Zone]llfreeReader
+	buddies  []buddyZone
+
+	phase      Phase
+	startT     sim.Time
+	roundStart sim.Time
+	round      RoundStats
+	throttle   float64
+	res        Result
+
+	// Post-copy state.
+	residual       []uint64
+	residualFrames uint64
+	drainCursor    uint64
+	origTouch      func(z *guest.Zone, pfn mem.PFN, frames uint64)
+
+	track    *trace.Track
+	cCopied  *trace.Counter
+	cSkipped *trace.Counter
+	cRounds  *trace.Counter
+	cPost    *trace.Counter
+	gDirty   *trace.Gauge
+	gPhase   *trace.Gauge
+
+	hintEvent *sim.Event
+}
+
+// New builds an engine for migrating vm (currently on its vm.Pool source
+// host) to cfg.DestPool. The engine is inert until Start.
+func New(vm *vmm.VM, sched *sim.Scheduler, cfg Config) (*Engine, error) {
+	cfg.defaults()
+	if cfg.DestPool == nil {
+		return nil, fmt.Errorf("migrate: DestPool is required")
+	}
+	if cfg.DestPool == vm.Pool {
+		return nil, fmt.Errorf("migrate: destination is the source host")
+	}
+	if vm.IOMMU != nil && cfg.PostCopy {
+		return nil, fmt.Errorf("migrate: %s is VFIO-pinned; pinned pages cannot demand-fault, post-copy refused", vm.Name)
+	}
+	e := &Engine{
+		vm:    vm,
+		sched: sched,
+		model: vm.Model,
+		src:   vm.Pool,
+		dst:   cfg.DestPool,
+		cfg:   cfg,
+		alias: vm.Name + ":in",
+	}
+	e.frames = vm.EPT.Frames()
+	e.res.VM = vm.Name
+	e.res.Strategy = cfg.Strategy
+	if vm.IOMMU != nil && cfg.Strategy != CopyAll {
+		// A pinned page may be written by the device without taking a
+		// dirty-log fault, so "free" pages cannot be skipped safely.
+		e.cfg.Strategy = CopyAll
+		e.res.Strategy = cfg.Strategy // report what was asked for
+		e.res.PinnedForcedCopyAll = true
+	}
+	if err := e.bindStrategy(); err != nil {
+		return nil, err
+	}
+	e.track = vm.TraceTrack("migrate")
+	reg := vm.Trace.Registry() // nil-safe: disabled counters when untraced
+	e.cCopied = reg.Counter(vm.Name + "/migrate/copied_bytes")
+	e.cSkipped = reg.Counter(vm.Name + "/migrate/skipped_bytes")
+	e.cRounds = reg.Counter(vm.Name + "/migrate/rounds")
+	e.cPost = reg.Counter(vm.Name + "/migrate/postcopy_bytes")
+	e.gDirty = reg.Gauge(vm.Name + "/migrate/dirty_bytes")
+	e.gPhase = reg.Gauge(vm.Name + "/migrate/phase")
+	return e, nil
+}
+
+// Phase returns the engine's current state-machine position.
+func (e *Engine) Phase() Phase { return e.phase }
+
+// Result returns the (possibly still accumulating) result.
+func (e *Engine) Result() *Result { return &e.res }
+
+// Start arms the migration: dirty logging on, destination registered
+// under the transfer alias, and the bulk round queued on the scheduler.
+func (e *Engine) Start() error {
+	if e.phase != Idle {
+		return fmt.Errorf("migrate: %s already started", e.vm.Name)
+	}
+	e.phase = PreCopy
+	e.gPhase.Set(int64(e.phase))
+	e.startT = e.sched.Now()
+	e.destEPT = ept.New(e.frames)
+	e.pending = make([]uint64, (e.frames+63)/64)
+
+	// Register the arrival side before any bytes move so the alias exists
+	// for accounting and audit from the first chunk on.
+	if _, err := e.dst.Adjust(e.alias, 0); err != nil {
+		return fmt.Errorf("migrate: register %s: %w", e.alias, err)
+	}
+
+	// Enable dirty logging: one ioctl write-protects the guest, and the
+	// shootdown invalidates every vCPU's cached translations.
+	e.vm.EPT.StartDirtyTracking()
+	e.vm.Meter.Work(ledger.Host, e.model.Syscall+e.model.TLBInvalidation)
+
+	// Bulk set: everything mapped right now.
+	var pendingFrames uint64
+	e.vm.EPT.ForEachMapped(func(pfn mem.PFN, n uint64) {
+		bsSetRange(e.pending, uint64(pfn), n)
+		pendingFrames += n
+	})
+	e.beginRoundWith(pendingFrames)
+
+	if e.cfg.Strategy == BalloonHint {
+		e.hintEvent = e.sched.After(e.cfg.HintDelay, e.vm.Name+"/migrate/hint", e.hintTick)
+	}
+	return nil
+}
+
+// beginRound harvests the dirty bitmap into the pending set and starts
+// the next round's chunked send.
+func (e *Engine) beginRound() {
+	if e.phase != PreCopy {
+		return
+	}
+	var pendingFrames uint64
+	e.harvest(func(n uint64) { pendingFrames += n })
+	e.beginRoundWith(pendingFrames)
+}
+
+func (e *Engine) beginRoundWith(pendingFrames uint64) {
+	e.roundStart = e.sched.Now()
+	e.cursor = 0
+	e.round = RoundStats{Round: e.res.Rounds, PendingBytes: pendingFrames * mem.PageSize}
+	if e.cfg.Strategy == HyperAllocSkip {
+		// Reading the shared allocator state across the whole guest is a
+		// monitor-side cache load — the paper's "tiny" scan.
+		e.vm.Meter.Work(ledger.Host, scaleCost(e.model.LLFreeScanGiB, e.vm.InitialBytes))
+	}
+	if e.track.Enabled() {
+		e.track.Begin("round",
+			trace.Int("round", int64(e.round.Round)),
+			trace.Uint("pending_bytes", e.round.PendingBytes))
+	}
+	e.sched.After(0, e.vm.Name+"/migrate/chunk", e.sendChunk)
+}
+
+// harvest drains the EPT dirty bitmap into pending, charging the
+// dirty-log walk and the re-protection shootdown.
+func (e *Engine) harvest(count func(uint64)) {
+	e.vm.Meter.Work(ledger.Host, e.model.Syscall+scaleCost(e.model.DirtyLogScanGiB, e.vm.InitialBytes)+e.model.TLBInvalidation)
+	e.vm.EPT.HarvestDirty(func(pfn mem.PFN, n uint64) {
+		bsSetRange(e.pending, uint64(pfn), n)
+		count(n)
+	})
+}
+
+// sendChunk assembles and transmits up to ChunkBytes of the pending set,
+// applying the send-time skip filter, then sleeps for the link time.
+func (e *Engine) sendChunk() {
+	if e.phase != PreCopy {
+		return
+	}
+	bytes := e.copyPending(e.cfg.ChunkBytes)
+	if bytes == 0 {
+		e.endRound()
+		return
+	}
+	e.vm.Meter.Bus(bytes) // the stream reads guest memory onto the wire
+	e.sched.After(e.model.MigLinkCost(bytes), e.vm.Name+"/migrate/chunk", e.sendChunk)
+}
+
+// copyPending sends up to budget bytes from the pending set (everything
+// when budget is 0), mutating destination EPT and pool as frames land.
+// Returns the bytes actually sent.
+func (e *Engine) copyPending(budget uint64) uint64 {
+	var sent uint64
+	for budget == 0 || sent < budget {
+		p := bsNext(e.pending, e.cursor, e.frames)
+		if p == e.frames {
+			break
+		}
+		area := p / mem.FramesPerHuge
+		areaEnd := area*mem.FramesPerHuge + e.areaFrames(area)
+		if e.skipArea != nil && e.skipArea(area) {
+			// Free right now per the shared allocator: drop the queued
+			// frames and any dirty bits (writes to since-freed pages).
+			dropped := bsClearRange(e.pending, p, areaEnd-p)
+			dropped += e.vm.EPT.ClearDirtyArea(area)
+			e.noteSkipped(dropped * mem.PageSize)
+			e.cursor = areaEnd
+			continue
+		}
+		q := p
+		for q < areaEnd && bsTest(e.pending, q) {
+			q++
+		}
+		if budget != 0 && sent+(q-p)*mem.PageSize > budget {
+			q = p + (budget-sent)/mem.PageSize
+			if q == p {
+				break
+			}
+		}
+		e.copyRun(p, q-p)
+		bsClearRange(e.pending, p, q-p)
+		sent += (q - p) * mem.PageSize
+		e.cursor = q
+	}
+	return sent
+}
+
+// copyRun lands [pfn, pfn+n) on the destination: frames newly mapped
+// there account into the destination pool; a run covering a whole
+// source-huge area re-merges into a destination THP.
+func (e *Engine) copyRun(pfn, n uint64) {
+	area := pfn / mem.FramesPerHuge
+	var newly uint64
+	if pfn == area*mem.FramesPerHuge && n == e.areaFrames(area) &&
+		e.vm.EPT.AreaFullyMapped(area) && !e.vm.EPT.AreaFragmented(area) {
+		nn, err := e.destEPT.MapHuge(area)
+		if err != nil {
+			panic("migrate: " + err.Error())
+		}
+		newly = nn
+	} else {
+		for i := uint64(0); i < n; i++ {
+			ok, err := e.destEPT.MapBase(mem.PFN(pfn + i))
+			if err != nil {
+				panic("migrate: " + err.Error())
+			}
+			if ok {
+				newly++
+			}
+		}
+	}
+	if newly > 0 {
+		e.accountDest(int64(newly * mem.PageSize))
+		e.copiedUnique += newly
+	}
+	b := n * mem.PageSize
+	e.round.CopiedBytes += b
+	e.res.TransferredBytes += b
+	e.cCopied.Add(b)
+}
+
+// accountDest moves destination-pool accounting for arriving (or, in
+// post-copy, drained) bytes; destination-side capacity pressure swaps
+// like any other population and is charged to the migration.
+func (e *Engine) accountDest(delta int64) {
+	name := e.alias
+	if e.phase == PostCopy || e.phase == Done {
+		name = e.vm.Name
+	}
+	swapped, err := e.dst.Adjust(name, delta)
+	if err != nil {
+		panic("migrate: " + err.Error())
+	}
+	if swapped > 0 {
+		e.vm.Meter.Work(ledger.Host, e.model.SwapCost(swapped))
+		e.vm.Meter.Bus(swapped)
+	}
+}
+
+func (e *Engine) noteSkipped(bytes uint64) {
+	e.round.SkippedBytes += bytes
+	e.res.SkippedBytes += bytes
+	e.cSkipped.Add(bytes)
+}
+
+// endRound closes the round and runs the convergence controller.
+func (e *Engine) endRound() {
+	now := e.sched.Now()
+	e.round.Duration = now.Sub(e.roundStart)
+	e.round.DirtyBytes = e.vm.EPT.DirtyBytes()
+	e.round.Throttle = e.throttle
+	e.gDirty.Set(int64(e.round.DirtyBytes))
+	if e.throttle > 0 {
+		// Auto-converge: the throttle steals vCPU time for the round's
+		// duration; visible in the ledger (and thus the perf figures).
+		e.vm.Meter.Stall(ledger.StallCPU, sim.Duration(float64(e.round.Duration)*e.throttle))
+	}
+	e.res.RoundLog = append(e.res.RoundLog, e.round)
+	e.res.Rounds++
+	e.cRounds.Inc()
+	if e.track.Enabled() {
+		e.track.End(
+			trace.Uint("copied_bytes", e.round.CopiedBytes),
+			trace.Uint("skipped_bytes", e.round.SkippedBytes),
+			trace.Uint("dirty_bytes", e.round.DirtyBytes))
+	}
+	if e.cfg.Audit {
+		if err := e.Audit(); err != nil {
+			e.abort(err)
+			return
+		}
+	}
+
+	estimate := e.model.MigRTT + e.model.MigLinkCost(e.round.DirtyBytes)
+	switch {
+	case sim.Duration(estimate) <= e.cfg.DowntimeTarget:
+		e.cutover(true)
+	case e.res.Rounds >= e.cfg.MaxRounds && e.cfg.PostCopy:
+		e.enterPostCopy()
+	case e.res.Rounds >= e.cfg.MaxRounds:
+		e.cutover(false)
+	default:
+		if e.cfg.AutoConverge && e.round.CopiedBytes > 0 &&
+			e.round.DirtyBytes > e.round.CopiedBytes/2 {
+			e.throttle += e.cfg.ThrottleStep
+			if e.throttle > 0.99 {
+				e.throttle = 0.99
+			}
+		}
+		// One round-boundary handshake, then harvest the next dirty set.
+		e.sched.After(e.model.MigRTT, e.vm.Name+"/migrate/round", e.beginRound)
+	}
+}
+
+// cutover is stop-and-copy: pause the guest, send the remaining dirty
+// set, move the accounting, switch the VM to the destination host, and
+// resume after the measured blackout.
+func (e *Engine) cutover(converged bool) {
+	// Final harvest and the blackout transfer, skip filter still applied
+	// (allocator state is read one last time, as fresh as it gets).
+	e.harvest(func(uint64) {})
+	e.cursor = 0
+	blackoutBytes := e.copyPending(0)
+	downtime := sim.Duration(e.model.MigRTT + e.model.MigLinkCost(blackoutBytes))
+	if blackoutBytes > 0 {
+		e.vm.Meter.Bus(blackoutBytes)
+	}
+	if e.vm.IOMMU != nil {
+		downtime += e.rebuildPinned()
+	}
+	e.finishTransfer()
+	e.res.Downtime = downtime
+	e.res.Converged = converged
+	e.vm.Meter.Stall(ledger.StallCPU, downtime)
+	if e.track.Enabled() {
+		e.track.Instant("cutover",
+			trace.Uint("blackout_bytes", blackoutBytes),
+			trace.Int("downtime_ns", int64(downtime)),
+			trace.Bool("converged", converged))
+	}
+	// The VM resumes on the destination once the blackout elapses.
+	e.sched.After(downtime, e.vm.Name+"/migrate/done", e.finish)
+}
+
+// rebuildPinned force-populates and re-pins the destination for a VFIO
+// guest inside the blackout: every area with resident frames becomes a
+// fully populated, IOMMU-mapped huge area (a pinned page cannot be
+// faulted in later). Returns the added blackout time.
+func (e *Engine) rebuildPinned() sim.Duration {
+	e.destIOMMU = iommu.New(e.frames)
+	var added sim.Duration
+	for area := uint64(0); area < e.destEPT.Areas(); area++ {
+		if e.destEPT.AreaMapped(area) == 0 {
+			continue
+		}
+		newly, err := e.destEPT.MapHuge(area)
+		if err != nil {
+			panic("migrate: " + err.Error())
+		}
+		if newly > 0 {
+			// Filler frames the copy stream never sent: zero-filled on
+			// the destination to satisfy pinning.
+			fill := newly * mem.PageSize
+			e.res.PrepopBytes += fill
+			e.accountDest(int64(fill))
+			added += sim.Duration(e.model.PopulateCost(fill))
+		}
+		if _, err := e.destIOMMU.MapHuge(area); err != nil {
+			panic("migrate: " + err.Error())
+		}
+		added += sim.Duration(e.model.PinHuge + e.model.IOMMUMapHuge)
+	}
+	return added
+}
+
+// finishTransfer moves the bookkeeping at the cut-over instant: stop
+// dirty logging, rename the destination alias to the real name, drop the
+// source accounting, and switch the VM's placement.
+func (e *Engine) finishTransfer() {
+	if e.hintEvent != nil {
+		e.sched.Cancel(e.hintEvent)
+		e.hintEvent = nil
+	}
+	e.vm.EPT.StopDirtyTracking()
+	if err := e.dst.Rename(e.alias, e.vm.Name); err != nil {
+		panic("migrate: " + err.Error())
+	}
+	e.src.Remove(e.vm.Name)
+	e.vm.AdoptPlacement(e.destEPT, e.destIOMMU, e.dst)
+}
+
+// finish completes a stop-and-copy migration.
+func (e *Engine) finish() {
+	e.phase = Done
+	e.gPhase.Set(int64(e.phase))
+	e.res.Throttle = e.throttle
+	e.res.TotalTime = e.sched.Now().Sub(e.startT)
+	if e.cfg.Audit && e.res.Err == "" {
+		if err := e.Audit(); err != nil {
+			e.res.Err = err.Error()
+		}
+	}
+	if e.cfg.OnDone != nil {
+		e.cfg.OnDone(&e.res)
+	}
+}
+
+// abort stops a migration on an audit violation: dirty logging off, the
+// partial destination copy is discarded, the source keeps the VM.
+func (e *Engine) abort(err error) {
+	e.res.Err = err.Error()
+	e.phase = Done
+	e.gPhase.Set(int64(e.phase))
+	if e.hintEvent != nil {
+		e.sched.Cancel(e.hintEvent)
+		e.hintEvent = nil
+	}
+	e.vm.EPT.StopDirtyTracking()
+	e.dst.Remove(e.alias)
+	e.res.TotalTime = e.sched.Now().Sub(e.startT)
+	if e.cfg.OnDone != nil {
+		e.cfg.OnDone(&e.res)
+	}
+}
+
+// Audit checks the two-host conservation law mid-transfer: both pools'
+// own accounting, the VM against whichever host it currently lives on,
+// and — while the copy is in flight — the destination build-up: the
+// destination EPT must be internally consistent, account exactly the
+// alias's bytes, and contain exactly the unique frames the stream
+// landed.
+func (e *Engine) Audit() error {
+	if err := e.src.Validate(); err != nil {
+		return fmt.Errorf("migrate %s: source: %w", e.vm.Name, err)
+	}
+	if err := e.dst.Validate(); err != nil {
+		return fmt.Errorf("migrate %s: destination: %w", e.vm.Name, err)
+	}
+	if err := e.vm.Audit(); err != nil {
+		return fmt.Errorf("migrate %s: %w", e.vm.Name, err)
+	}
+	if e.phase == PreCopy {
+		if err := e.destEPT.Validate(); err != nil {
+			return fmt.Errorf("migrate %s: dest EPT: %w", e.vm.Name, err)
+		}
+		mapped := e.destEPT.MappedBytes()
+		accounted := e.dst.RSS(e.alias) + e.dst.Swapped(e.alias)
+		if mapped != accounted {
+			return fmt.Errorf("migrate %s: dest EPT maps %d bytes but pool accounts %d",
+				e.vm.Name, mapped, accounted)
+		}
+		if e.destEPT.MappedFrames() != e.copiedUnique {
+			return fmt.Errorf("migrate %s: dest maps %d frames but stream landed %d unique",
+				e.vm.Name, e.destEPT.MappedFrames(), e.copiedUnique)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) areaFrames(area uint64) uint64 {
+	start := area * mem.FramesPerHuge
+	if start+mem.FramesPerHuge > e.frames {
+		return e.frames - start
+	}
+	return mem.FramesPerHuge
+}
+
+// scaleCost scales a per-GiB cost to b bytes.
+func scaleCost(perGiB sim.Duration, b uint64) sim.Duration {
+	return sim.Duration(float64(b) / float64(mem.GiB) * float64(perGiB))
+}
+
+// --- pending/residual bitset helpers ---------------------------------
+
+func bsTest(bs []uint64, p uint64) bool { return bs[p/64]&(1<<(p%64)) != 0 }
+
+func bsSetRange(bs []uint64, p, n uint64) {
+	for i := p; i < p+n; i++ {
+		bs[i/64] |= 1 << (i % 64)
+	}
+}
+
+// bsClearRange clears [p, p+n) and returns how many bits were set.
+func bsClearRange(bs []uint64, p, n uint64) uint64 {
+	var was uint64
+	for i := p; i < p+n; i++ {
+		if bs[i/64]&(1<<(i%64)) != 0 {
+			was++
+			bs[i/64] &^= 1 << (i % 64)
+		}
+	}
+	return was
+}
+
+// bsNext returns the first set bit at or after p (limit if none).
+func bsNext(bs []uint64, p, limit uint64) uint64 {
+	if p >= limit {
+		return limit
+	}
+	w := p / 64
+	word := bs[w] >> (p % 64)
+	if word != 0 {
+		q := p + uint64(bits.TrailingZeros64(word))
+		if q < limit {
+			return q
+		}
+		return limit
+	}
+	for w++; w < uint64(len(bs)); w++ {
+		if bs[w] != 0 {
+			q := w*64 + uint64(bits.TrailingZeros64(bs[w]))
+			if q < limit {
+				return q
+			}
+			return limit
+		}
+	}
+	return limit
+}

@@ -1,0 +1,354 @@
+package migrate_test
+
+import (
+	"strings"
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/sim"
+)
+
+// rig is one source host with a 4 GiB VM and an empty destination host.
+type rig struct {
+	sys *hyperalloc.System
+	vm  *hyperalloc.VM
+	dst *hostmem.Pool
+}
+
+func newRig(t *testing.T, cand hyperalloc.Candidate, vfio bool) *rig {
+	t.Helper()
+	sys := hyperalloc.NewSystem(42)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name: "m0", Candidate: cand, Memory: 4 * mem.GiB, CPUs: 4, VFIO: vfio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{sys: sys, vm: vm, dst: hostmem.NewPool(0)}
+}
+
+func (r *rig) migrate(t *testing.T, cfg migrate.Config) (*migrate.Engine, *migrate.Result) {
+	t.Helper()
+	cfg.DestPool = r.dst
+	var done *migrate.Result
+	prev := cfg.OnDone
+	cfg.OnDone = func(res *migrate.Result) {
+		done = res
+		if prev != nil {
+			prev(res)
+		}
+	}
+	eng, err := migrate.New(r.vm.VM, r.sys.Sched, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r.sys.Run()
+	if done == nil {
+		t.Fatal("migration never completed")
+	}
+	if done.Err != "" {
+		t.Fatalf("migration audit failure: %s", done.Err)
+	}
+	return eng, done
+}
+
+// alloc allocates and touches bytes of anonymous guest memory.
+func (r *rig) alloc(t *testing.T, bytes uint64) *guest.Region {
+	t.Helper()
+	reg, err := r.vm.Guest.AllocAnon(0, bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestPreCopyConvergesAndMovesHost(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	r.alloc(t, 1*mem.GiB)
+	r.alloc(t, 512*mem.MiB)
+	srcRSS := r.vm.RSS()
+	eng, res := r.migrate(t, migrate.Config{Audit: true})
+
+	if eng.Phase() != migrate.Done {
+		t.Fatalf("phase = %v, want done", eng.Phase())
+	}
+	if !res.Converged {
+		t.Fatal("static guest did not converge")
+	}
+	if res.Rounds == 0 || len(res.RoundLog) != res.Rounds {
+		t.Fatalf("rounds = %d, log = %d", res.Rounds, len(res.RoundLog))
+	}
+	if r.vm.Pool != r.dst {
+		t.Fatal("VM still accounts on the source host")
+	}
+	if got := r.dst.RSS("m0"); got != srcRSS {
+		t.Fatalf("dest RSS = %d, want the source's %d", got, srcRSS)
+	}
+	if got := r.sys.Pool.RSS("m0"); got != 0 {
+		t.Fatalf("source still holds %d bytes", got)
+	}
+	if r.dst.RSS("m0:in") != 0 {
+		t.Fatal("transfer alias not renamed away")
+	}
+	if res.TransferredBytes < srcRSS {
+		t.Fatalf("transferred %d < resident %d", res.TransferredBytes, srcRSS)
+	}
+	if res.Downtime <= 0 || res.Downtime > 300*sim.Millisecond {
+		t.Fatalf("downtime %v outside (0, target]", res.Downtime)
+	}
+	if err := r.vm.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidFlightAliasAccounting(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	r.alloc(t, 1*mem.GiB)
+	eng, err := migrate.New(r.vm.VM, r.sys.Sched, migrate.Config{DestPool: r.dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 GiB at 2.9 GiB/s is ~345 ms; 100 ms in, the copy is mid-flight.
+	// (The clock is already past zero: populating the guest charged time.)
+	r.sys.RunUntil(r.sys.Now().Add(100 * sim.Millisecond))
+	if eng.Phase() != migrate.PreCopy {
+		t.Fatalf("phase = %v, want pre-copy", eng.Phase())
+	}
+	if r.dst.RSS("m0:in") == 0 {
+		t.Fatal("no bytes landed under the transfer alias")
+	}
+	if r.sys.Pool.RSS("m0") == 0 {
+		t.Fatal("source lost the VM before cut-over")
+	}
+	if err := eng.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	r.sys.Run()
+	if eng.Phase() != migrate.Done {
+		t.Fatalf("phase = %v, want done", eng.Phase())
+	}
+}
+
+// TestHyperAllocSkipDropsFreeMemory is the headline mechanism in
+// miniature: memory that was touched and then freed stays EPT-mapped, so
+// copy-all streams it; the allocator-state read proves it dead.
+func TestHyperAllocSkipDropsFreeMemory(t *testing.T) {
+	run := func(s migrate.Strategy) *migrate.Result {
+		r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+		keep := r.alloc(t, 512*mem.MiB)
+		dead := r.alloc(t, 2*mem.GiB)
+		dead.Free()
+		_ = keep
+		_, res := r.migrate(t, migrate.Config{Strategy: s, Audit: true})
+		if err := r.vm.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	all := run(migrate.CopyAll)
+	skip := run(migrate.HyperAllocSkip)
+	if all.SkippedBytes != 0 {
+		t.Fatalf("copy-all skipped %d bytes", all.SkippedBytes)
+	}
+	if skip.SkippedBytes == 0 {
+		t.Fatal("hyperalloc-skip skipped nothing despite 2 GiB freed")
+	}
+	if skip.TransferredBytes >= all.TransferredBytes {
+		t.Fatalf("hyperalloc-skip sent %d >= copy-all's %d",
+			skip.TransferredBytes, all.TransferredBytes)
+	}
+}
+
+func TestBalloonHintSkipsReportedAreas(t *testing.T) {
+	run := func(s migrate.Strategy, hint sim.Duration) *migrate.Result {
+		r := newRig(t, hyperalloc.CandidateBalloon, false)
+		dead := r.alloc(t, 2*mem.GiB)
+		dead.Free()
+		_, res := r.migrate(t, migrate.Config{Strategy: s, HintDelay: hint, Audit: true})
+		return res
+	}
+	all := run(migrate.CopyAll, 0)
+	hinted := run(migrate.BalloonHint, 100*sim.Millisecond)
+	if hinted.SkippedBytes == 0 {
+		t.Fatal("balloon hints dropped nothing")
+	}
+	if hinted.TransferredBytes >= all.TransferredBytes {
+		t.Fatalf("balloon-hint sent %d >= copy-all's %d",
+			hinted.TransferredBytes, all.TransferredBytes)
+	}
+}
+
+func TestStrategyRequiresMatchingGuest(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateBalloon, false)
+	_, err := migrate.New(r.vm.VM, r.sys.Sched, migrate.Config{
+		DestPool: r.dst, Strategy: migrate.HyperAllocSkip,
+	})
+	if err == nil || !strings.Contains(err.Error(), "LLFree") {
+		t.Fatalf("hyperalloc-skip on a buddy guest: err = %v", err)
+	}
+	h := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	_, err = migrate.New(h.vm.VM, h.sys.Sched, migrate.Config{
+		DestPool: h.dst, Strategy: migrate.BalloonHint,
+	})
+	if err == nil || !strings.Contains(err.Error(), "buddy") {
+		t.Fatalf("balloon-hint on an LLFree guest: err = %v", err)
+	}
+	if _, err := migrate.New(r.vm.VM, r.sys.Sched, migrate.Config{DestPool: r.sys.Pool}); err == nil {
+		t.Fatal("migrating to the source host was accepted")
+	}
+}
+
+// TestWriterForcesRoundsThenConverges dirties a region during the copy:
+// the engine must re-send the dirty set across several rounds and
+// converge once the writer stops.
+func TestWriterForcesRoundsThenConverges(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	r.alloc(t, 1*mem.GiB)
+	hot := r.alloc(t, 256*mem.MiB)
+	ticks := 0
+	r.sys.Sched.Every(100*sim.Millisecond, "writer", func() bool {
+		hot.Touch()
+		ticks++
+		return ticks < 8
+	})
+	_, res := r.migrate(t, migrate.Config{
+		DowntimeTarget: 20 * sim.Millisecond, Audit: true,
+	})
+	if res.Rounds < 2 {
+		t.Fatalf("writer was active but migration took %d round(s)", res.Rounds)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge after the writer stopped")
+	}
+	var redirtied uint64
+	for _, rs := range res.RoundLog {
+		redirtied += rs.DirtyBytes
+	}
+	if redirtied == 0 {
+		t.Fatal("no dirty bytes recorded despite the writer")
+	}
+	if err := r.vm.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoConvergeRaisesThrottle(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	hot := r.alloc(t, 1*mem.GiB)
+	ticks := 0
+	r.sys.Sched.Every(50*sim.Millisecond, "writer", func() bool {
+		hot.Touch()
+		ticks++
+		return ticks < 40
+	})
+	_, res := r.migrate(t, migrate.Config{
+		DowntimeTarget: 1 * sim.Millisecond,
+		MaxRounds:      6,
+		AutoConverge:   true,
+	})
+	if res.Throttle == 0 {
+		t.Fatal("hot writer never triggered the auto-converge throttle")
+	}
+}
+
+// TestPostCopyDrainsResidual exhausts the round budget with a hot writer
+// and verifies the post-copy tail: immediate cut-over, demand fetches on
+// touch, background drain to completion.
+func TestPostCopyDrainsResidual(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	r.alloc(t, 1*mem.GiB)
+	hot := r.alloc(t, 128*mem.MiB)
+	ticks := 0
+	r.sys.Sched.Every(50*sim.Millisecond, "writer", func() bool {
+		hot.Touch()
+		ticks++
+		return ticks < 100
+	})
+	eng, res := r.migrate(t, migrate.Config{
+		DowntimeTarget: 1 * sim.Microsecond, // unreachable: MigRTT alone exceeds it
+		MaxRounds:      2,
+		PostCopy:       true,
+		Audit:          true,
+	})
+	if res.Converged {
+		t.Fatal("converged despite unreachable downtime target")
+	}
+	if res.PostCopyBytes == 0 {
+		t.Fatal("no post-copy transfer happened")
+	}
+	if res.PostCopyFaults == 0 {
+		t.Fatal("writer touched residual memory but no demand faults recorded")
+	}
+	if res.Downtime >= 1*sim.Millisecond {
+		t.Fatalf("post-copy blackout %v should be one round trip", res.Downtime)
+	}
+	if eng.Phase() != migrate.Done {
+		t.Fatalf("phase = %v, want done", eng.Phase())
+	}
+	if r.vm.Pool != r.dst {
+		t.Fatal("VM not on the destination host")
+	}
+	if err := r.vm.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVFIOForcesPrepopulatedCopyAll: a pinned guest demotes skip
+// strategies (device writes bypass dirty logging), refuses post-copy,
+// and rebuilds a fully populated, DMA-ready IOMMU inside the blackout.
+func TestVFIOForcesPrepopulatedCopyAll(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, true)
+	if _, err := migrate.New(r.vm.VM, r.sys.Sched, migrate.Config{
+		DestPool: r.dst, PostCopy: true,
+	}); err == nil {
+		t.Fatal("post-copy of a pinned guest was accepted")
+	}
+	eng, res := r.migrate(t, migrate.Config{Strategy: migrate.HyperAllocSkip, Audit: true})
+	if !res.PinnedForcedCopyAll {
+		t.Fatal("skip strategy not demoted for the pinned guest")
+	}
+	if res.Strategy != migrate.HyperAllocSkip {
+		t.Fatalf("result should report the requested strategy, got %s", res.Strategy)
+	}
+	if res.SkippedBytes != 0 {
+		t.Fatalf("pinned guest skipped %d bytes", res.SkippedBytes)
+	}
+	if r.vm.IOMMU == nil {
+		t.Fatal("destination has no IOMMU")
+	}
+	if got := r.vm.RSS(); got != 4*mem.GiB {
+		t.Fatalf("dest RSS = %d, want fully populated 4 GiB", got)
+	}
+	if err := r.vm.DeviceDMA(0, mem.FramesPerHuge); err != nil {
+		t.Fatalf("DMA after migration: %v", err)
+	}
+	if err := r.vm.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	_ = eng
+}
+
+func TestDoubleStartRefused(t *testing.T) {
+	r := newRig(t, hyperalloc.CandidateHyperAlloc, false)
+	eng, err := migrate.New(r.vm.VM, r.sys.Sched, migrate.Config{DestPool: r.dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+	r.sys.Run()
+}

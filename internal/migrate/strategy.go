@@ -1,0 +1,275 @@
+package migrate
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/ledger"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/vmm"
+)
+
+// llfreeReader is the monitor-side handle over a zone's shared LLFree
+// state (Alloc.Share — the paper's cloned-object-on-shared-memory).
+type llfreeReader = *llfree.Alloc
+
+// buddyZone pairs a guest zone with its buddy allocator for the
+// balloon-hint free-page walk.
+type buddyZone struct {
+	z *guest.Zone
+	a *buddy.Alloc
+}
+
+// bindStrategy resolves the configured strategy against the guest's
+// actual allocators. HyperAllocSkip needs at least one LLFree zone
+// (i.e. the hyperalloc candidate); BalloonHint needs buddy zones.
+func (e *Engine) bindStrategy() error {
+	switch e.cfg.Strategy {
+	case CopyAll:
+		return nil
+	case HyperAllocSkip:
+		e.llfree = make(map[*guest.Zone]llfreeReader)
+		for _, z := range e.vm.Guest.Zones() {
+			if ad, ok := z.Impl.(*guest.LLFreeAdapter); ok {
+				e.llfree[z] = ad.A.Share()
+			}
+		}
+		if len(e.llfree) == 0 {
+			return fmt.Errorf("migrate: %s: hyperalloc-skip needs a guest with shared LLFree state", e.vm.Name)
+		}
+		e.skipArea = e.skipFreeArea
+		return nil
+	case BalloonHint:
+		for _, z := range e.vm.Guest.Zones() {
+			if b, ok := z.Impl.(*buddy.Alloc); ok {
+				e.buddies = append(e.buddies, buddyZone{z: z, a: b})
+			}
+		}
+		if len(e.buddies) == 0 {
+			return fmt.Errorf("migrate: %s: balloon-hint needs a guest with buddy zones", e.vm.Name)
+		}
+		return nil
+	default:
+		return fmt.Errorf("migrate: unknown strategy %q", e.cfg.Strategy)
+	}
+}
+
+// skipFreeArea is the HyperAllocSkip send-time filter: one load of the
+// shared area entry, as fresh as the instant the chunk is assembled. A
+// fully free area's content is dead (any future allocation writes before
+// reading); an evicted area's backing is already discarded by the
+// monitor. A huge-allocated area is in use by definition, whatever its
+// counter says.
+func (e *Engine) skipFreeArea(gArea uint64) bool {
+	z, la, err := e.vm.GuestAreaZone(gArea)
+	if err != nil {
+		return false
+	}
+	a := e.llfree[z]
+	if a == nil {
+		return false
+	}
+	st := a.AreaState(la)
+	if st.Evicted {
+		return true
+	}
+	if st.HugeAllocated {
+		return false
+	}
+	return uint64(st.Free) == zoneAreaFrames(z, la)
+}
+
+// hintTick is the virtio-balloon free-page-report cycle: every HintDelay
+// the guest walks its free lists and reports fully free areas, which the
+// stream then drops from the pending and dirty sets. The knowledge is
+// correct at report time but decays until the next tick — frames freed
+// in between still cross the wire — and each report costs guest
+// allocator work, the two disadvantages HyperAllocSkip is free of.
+func (e *Engine) hintTick() {
+	if e.phase != PreCopy {
+		return
+	}
+	// The driver must drain per-CPU caches before the free-list walk can
+	// see block boundaries (same requirement as virtio-mem's unplug).
+	e.vm.Guest.DrainAllocatorCaches()
+	var blocks uint64
+	for _, bz := range e.buddies {
+		areas := (bz.z.Frames + mem.FramesPerHuge - 1) / mem.FramesPerHuge
+		for la := uint64(0); la < areas; la++ {
+			used, err := bz.a.UsedBlocksIn(la)
+			if err != nil || len(used) != 0 {
+				continue
+			}
+			gArea := vmm.ZoneArea(bz.z, la)
+			blocks++
+			start := gArea * mem.FramesPerHuge
+			dropped := bsClearRange(e.pending, start, e.areaFrames(gArea))
+			dropped += e.vm.EPT.ClearDirtyArea(gArea)
+			if dropped > 0 {
+				e.noteSkipped(dropped * mem.PageSize)
+			}
+		}
+	}
+	if blocks > 0 {
+		// Reporting allocates the free pages, hands them over in 32-area
+		// batches, and frees them back — all guest-side time.
+		work := sim.Duration(blocks)*(e.model.BalloonAllocHuge+e.model.BalloonFreeHuge) +
+			sim.Duration((blocks+31)/32)*e.model.Hypercall
+		e.vm.Meter.Work(ledger.Guest, work)
+	}
+	e.hintEvent = e.sched.After(e.cfg.HintDelay, e.vm.Name+"/migrate/hint", e.hintTick)
+}
+
+// zoneAreaFrames returns how many frames of zone z the zone-local area la
+// actually holds (short for a partial tail area).
+func zoneAreaFrames(z *guest.Zone, la uint64) uint64 {
+	start := la * mem.FramesPerHuge
+	if start+mem.FramesPerHuge > z.Frames {
+		return z.Frames - start
+	}
+	return mem.FramesPerHuge
+}
+
+// --- post-copy tail ---------------------------------------------------
+
+// enterPostCopy cuts over immediately when the round budget is exhausted:
+// the blackout is one round trip, the unsent frames become the residual
+// set, touches demand-fetch across the link, and a background drain
+// trickles the rest.
+func (e *Engine) enterPostCopy() {
+	e.harvest(func(uint64) {})
+	// The skip filter gets one last, freshest read before frames are
+	// declared residual.
+	if e.skipArea != nil {
+		cur := bsNext(e.pending, 0, e.frames)
+		for cur < e.frames {
+			area := cur / mem.FramesPerHuge
+			areaEnd := area*mem.FramesPerHuge + e.areaFrames(area)
+			if e.skipArea(area) {
+				if dropped := bsClearRange(e.pending, cur, areaEnd-cur); dropped > 0 {
+					e.noteSkipped(dropped * mem.PageSize)
+				}
+			}
+			cur = bsNext(e.pending, areaEnd, e.frames)
+		}
+	}
+	e.residual = e.pending
+	e.pending = nil
+	for _, w := range e.residual {
+		e.residualFrames += uint64(bits.OnesCount64(w))
+	}
+	downtime := sim.Duration(e.model.MigRTT)
+	e.finishTransfer()
+	e.phase = PostCopy
+	e.gPhase.Set(int64(e.phase))
+	e.res.Downtime = downtime
+	e.res.Converged = false
+	e.vm.Meter.Stall(ledger.StallCPU, downtime)
+	if e.track.Enabled() {
+		e.track.Instant("postcopy-cutover",
+			trace.Uint("residual_bytes", e.residualFrames*mem.PageSize),
+			trace.Int("downtime_ns", int64(downtime)))
+	}
+	e.origTouch = e.vm.Guest.TouchFn
+	e.vm.Guest.TouchFn = e.postCopyTouch
+	e.sched.After(downtime, e.vm.Name+"/migrate/drain", e.drainTick)
+}
+
+// postCopyTouch wraps the VMM's populate-on-touch: a touch that lands on
+// residual frames first fetches that whole area over the link (userfault
+// at huge granularity) — a synchronous remote stall — then falls through
+// to the normal populate path, which finds the frames already mapped.
+func (e *Engine) postCopyTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
+	if e.residualFrames > 0 && frames > 0 {
+		gfn := uint64(z.GFN(pfn))
+		last := (gfn + frames - 1) / mem.FramesPerHuge
+		for area := gfn / mem.FramesPerHuge; area <= last; area++ {
+			start := area * mem.FramesPerHuge
+			end := start + e.areaFrames(area)
+			if bsNext(e.residual, start, end) == end {
+				continue // nothing residual here
+			}
+			fetched := e.fetchResidual(start, end-start)
+			e.res.PostCopyFaults++
+			e.vm.Meter.Stall(ledger.StallMem,
+				sim.Duration(e.model.MigRTT+e.model.MigLinkCost(fetched)))
+		}
+	}
+	// The last residual frame can arrive via a demand fetch; the next
+	// drain tick observes the empty set and finishes the migration.
+	e.origTouch(z, pfn, frames)
+}
+
+// drainTick is the background stream: a quarter-chunk of residual frames
+// per tick, spaced by its own link time, until the residual set is empty.
+func (e *Engine) drainTick() {
+	if e.phase != PostCopy {
+		return
+	}
+	if e.residualFrames == 0 {
+		e.finishPostCopy()
+		return
+	}
+	budgetFrames := e.cfg.ChunkBytes / 4 / mem.PageSize
+	var sentFrames uint64
+	cur := bsNext(e.residual, 0, e.frames)
+	for cur < e.frames && sentFrames < budgetFrames {
+		q := cur
+		for q < e.frames && bsTest(e.residual, q) && sentFrames+(q-cur) < budgetFrames {
+			q++
+		}
+		sentFrames += e.fetchResidual(cur, q-cur)
+		cur = bsNext(e.residual, q, e.frames)
+	}
+	bytes := sentFrames * mem.PageSize
+	if bytes > 0 {
+		e.vm.Meter.Bus(bytes)
+	}
+	e.sched.After(e.model.MigLinkCost(bytes)+e.model.MigRTT,
+		e.vm.Name+"/migrate/drain", e.drainTick)
+}
+
+// fetchResidual lands [p, p+n)'s residual frames on the (now current)
+// destination EPT and accounts them; returns the frames fetched. A frame
+// already mapped (e.g. the area went huge during pre-copy) just refreshes
+// content — no accounting change.
+func (e *Engine) fetchResidual(p, n uint64) uint64 {
+	var newly uint64
+	for i := bsNext(e.residual, p, p+n); i < p+n; i = bsNext(e.residual, i+1, p+n) {
+		ok, err := e.vm.EPT.MapBase(mem.PFN(i))
+		if err != nil {
+			panic("migrate: " + err.Error())
+		}
+		if ok {
+			newly++
+		}
+	}
+	if newly > 0 {
+		e.accountDest(int64(newly * mem.PageSize))
+	}
+	fetched := bsClearRange(e.residual, p, n)
+	e.residualFrames -= fetched
+	b := fetched * mem.PageSize
+	e.res.PostCopyBytes += b
+	e.res.TransferredBytes += b
+	e.cPost.Add(b)
+	return fetched
+}
+
+// finishPostCopy unwinds the demand-fetch wrapper and completes.
+func (e *Engine) finishPostCopy() {
+	e.vm.Guest.TouchFn = e.origTouch
+	e.origTouch = nil
+	e.residual = nil
+	if e.track.Enabled() {
+		e.track.Instant("postcopy-drained",
+			trace.Uint("postcopy_bytes", e.res.PostCopyBytes),
+			trace.Uint("postcopy_faults", e.res.PostCopyFaults))
+	}
+	e.finish()
+}

@@ -329,6 +329,15 @@ func (vm *VM) populateOnTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
 			}
 			vm.adjustPool(newly)
 		}
+		if vm.EPT.DirtyTracking() {
+			// Dirty logging (pre-copy migration): the write-protect faults
+			// this write took on already-mapped clean frames are charged
+			// here; frames the fault paths above just populated are born
+			// dirty and already paid their populate fault.
+			if wp := vm.EPT.MarkDirty(gfn, uint64(chunkEnd-gfn)); wp > 0 {
+				vm.Meter.Work(ledger.Host, sim.Duration(wp)*vm.Model.EPTFaultExit)
+			}
+		}
 		gfn = chunkEnd
 	}
 }
@@ -363,6 +372,25 @@ func (vm *VM) prepopulateAll() {
 				panic("vmm: " + err.Error())
 			}
 		}
+	}
+}
+
+// AdoptPlacement switches the VM onto a new host placement — the cut-over
+// instant of a live migration: the destination EPT (repopulated by the
+// copy stream), the destination IOMMU (nil unless VFIO), and the
+// destination host's pool become the VM's own. The caller has already
+// moved the pool accounting (hostmem Rename/Remove); this call must keep
+// the conservation law intact, i.e. ept.MappedBytes() must equal the new
+// pool's RSS+Swapped under the VM's name at the moment of the switch.
+// Mechanisms and fault paths read vm.EPT/vm.Pool dynamically, so they
+// continue on the new host without reattachment; the EPT trace probe is
+// re-wired to the new table.
+func (vm *VM) AdoptPlacement(t *ept.Table, io *iommu.Table, pool *hostmem.Pool) {
+	vm.EPT = t
+	vm.IOMMU = io
+	vm.Pool = pool
+	if vm.Trace != nil {
+		vm.EPT.SetTrace(vm.Trace, vm.Name+"/ept")
 	}
 }
 

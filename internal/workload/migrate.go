@@ -1,0 +1,384 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/audit"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/runner"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/vmm"
+)
+
+// MigrateConfig parameterizes the live-migration experiment: one VM with
+// a resident working set plus allocate/hold/free churn workers (churn is
+// what creates mapped-but-free memory — the gap between what the EPT
+// holds and what the guest actually uses), migrated to a second host
+// mid-churn. The same scenario runs per free-page strategy so the
+// transferred-bytes comparison is the experiment.
+type MigrateConfig struct {
+	Memory    uint64 // VM size (default 12 GiB)
+	DestBytes uint64 // destination host capacity (default 0 = unlimited)
+	Churners  int    // churn workers (default 8)
+	Cycles    int    // alloc/hold/free cycles per worker (default 12)
+	// StartAfter delays the migration so churn has already retired a few
+	// generations of allocations (default 15 s).
+	StartAfter     sim.Duration
+	DowntimeTarget sim.Duration // default 100 ms
+	MaxRounds      int          // default 30
+	HintDelay      sim.Duration // balloon-hint report latency/period (default 500 ms)
+	// PostCopy switches to demand-fetch instead of a long blackout when
+	// pre-copy fails to converge within MaxRounds.
+	PostCopy bool
+	Seed     uint64
+	// Workers bounds the pool MigrateAll uses; ≤0 means GOMAXPROCS.
+	Workers int
+	// Audit runs the two-host conservation auditor at every migration
+	// round (migrate.Config.Audit) and once per simulated second.
+	Audit bool
+	// Trace is bound to this arm's System (MigrateAll attaches it to the
+	// first arm only).
+	Trace *trace.Tracer
+}
+
+func (c *MigrateConfig) defaults() {
+	if c.Memory == 0 {
+		c.Memory = 12 * mem.GiB
+	}
+	if c.Churners == 0 {
+		c.Churners = 8
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 12
+	}
+	if c.StartAfter == 0 {
+		c.StartAfter = 15 * sim.Second
+	}
+	if c.DowntimeTarget == 0 {
+		c.DowntimeTarget = 100 * sim.Millisecond
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 30
+	}
+	if c.HintDelay == 0 {
+		// Modeled as the report latency after the hypervisor requests
+		// free-page hints at migration start (QEMU's
+		// VIRTIO_BALLOON_F_FREE_PAGE_HINT flow), then the report period.
+		c.HintDelay = 500 * sim.Millisecond
+	}
+}
+
+// MigrateArm is one strategy under test. The candidate follows from the
+// strategy: allocator-state reads need an LLFree guest, balloon hints
+// need a buddy guest, and copy-all runs on the buddy guest so the
+// balloon comparison is same-guest.
+type MigrateArm struct {
+	Name      string
+	Candidate hyperalloc.Candidate
+	Strategy  migrate.Strategy
+}
+
+// MigrateArms returns the three-strategy comparison of EXPERIMENTS.md:
+// the no-knowledge baseline, stale-but-correct balloon hints, and
+// HyperAlloc's always-current shared allocator state.
+func MigrateArms() []MigrateArm {
+	return []MigrateArm{
+		{Name: "copy-all", Candidate: hyperalloc.CandidateBalloon, Strategy: migrate.CopyAll},
+		{Name: "balloon-hint", Candidate: hyperalloc.CandidateBalloon, Strategy: migrate.BalloonHint},
+		{Name: "hyperalloc-skip", Candidate: hyperalloc.CandidateHyperAlloc, Strategy: migrate.HyperAllocSkip},
+	}
+}
+
+// MigrateResult holds one arm's outcome.
+type MigrateResult struct {
+	Arm       string
+	Candidate string
+	Strategy  string
+
+	TransferredBytes uint64
+	SkippedBytes     uint64
+	PostCopyBytes    uint64
+	Rounds           int
+	Converged        bool
+	Downtime         sim.Duration
+	TotalTime        sim.Duration // Start() to completion
+	// FinalRSS is the VM's resident set on the destination at the end —
+	// the strategies must agree on guest-visible state, not on RSS:
+	// skipped free memory simply is not resident anymore.
+	FinalRSS uint64
+}
+
+// churnWorker cycles anonymous allocations: allocate 64–192 MiB, hold it
+// 2–6 s, free it, pause, repeat. Freed memory stays EPT-mapped (nothing
+// reclaims here), building exactly the dead-transfer opportunity the
+// skip strategies exploit.
+type churnWorker struct {
+	vm     *hyperalloc.VM
+	sys    *hyperalloc.System
+	rng    *sim.RNG
+	cpu    int
+	cycles int
+	done   bool
+	failed error
+}
+
+func (w *churnWorker) cycle() {
+	if w.cycles == 0 {
+		w.done = true
+		return
+	}
+	w.cycles--
+	size := uint64(64+w.rng.Intn(129)) * mem.MiB
+	reg, err := w.vm.Guest.AllocAnon(w.cpu, size)
+	if err != nil {
+		w.failed = fmt.Errorf("churn alloc: %w", err)
+		w.done = true
+		return
+	}
+	w.sys.Sched.After(w.rng.DurationRange(2*sim.Second, 6*sim.Second), "churn/free", func() {
+		reg.Free()
+		w.sys.Sched.After(w.rng.DurationRange(200*sim.Millisecond, 800*sim.Millisecond),
+			"churn/next", w.cycle)
+	})
+}
+
+// Migrate runs the scenario for one arm: boot, churn, live-migrate
+// mid-churn, keep churning on the destination until the workers retire.
+func Migrate(arm MigrateArm, cfg MigrateConfig) (MigrateResult, error) {
+	cfg.defaults()
+	res := MigrateResult{Arm: arm.Name, Candidate: string(arm.Candidate), Strategy: string(arm.Strategy)}
+	sys := hyperalloc.NewSystem(cfg.Seed*0x9e3779b97f4a7c15 + 23)
+	sys.SetTracer(cfg.Trace)
+	dst := hostmem.NewPool(cfg.DestBytes)
+	vm, err := sys.NewVM(hyperalloc.Options{
+		Name: "mig", Candidate: arm.Candidate, Memory: cfg.Memory, CPUs: 8,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Resident working set: a quarter of the VM stays allocated for the
+	// whole run — the bytes every strategy must genuinely move.
+	if _, err := vm.Guest.AllocAnon(0, cfg.Memory/4); err != nil {
+		return res, err
+	}
+
+	// A transient burst — another quarter of the VM allocated early and
+	// freed well before the migration — is the canonical dead-transfer
+	// case: gigabytes of EPT-mapped memory whose content no longer
+	// matters. Copy-all ships it anyway; the skip strategies drop
+	// whatever of it the guest has not reused by the time they look.
+	var burstErr error
+	sys.Sched.After(cfg.StartAfter/8, "burst/alloc", func() {
+		burst, err := vm.Guest.AllocAnon(1, cfg.Memory/4)
+		if err != nil {
+			burstErr = fmt.Errorf("burst alloc: %w", err)
+			return
+		}
+		sys.Sched.After(cfg.StartAfter/2, "burst/free", func() { burst.Free() })
+	})
+
+	workers := make([]*churnWorker, cfg.Churners)
+	for i := range workers {
+		w := &churnWorker{
+			vm: vm, sys: sys, rng: sys.RNG.Fork(),
+			cpu: i % vm.Guest.CPUs(), cycles: cfg.Cycles,
+		}
+		workers[i] = w
+		sys.Sched.After(sim.Duration(i+1)*250*sim.Millisecond, "churn/start", w.cycle)
+	}
+
+	eng, err := migrate.New(vm.VM, sys.Sched, migrate.Config{
+		Strategy:       arm.Strategy,
+		DestPool:       dst,
+		DowntimeTarget: cfg.DowntimeTarget,
+		MaxRounds:      cfg.MaxRounds,
+		HintDelay:      cfg.HintDelay,
+		PostCopy:       cfg.PostCopy,
+		Audit:          cfg.Audit,
+	})
+	if err != nil {
+		return res, err
+	}
+	var startErr error
+	sys.Sched.After(cfg.StartAfter, "migrate/start", func() {
+		if err := eng.Start(); err != nil {
+			startErr = err
+		}
+	})
+
+	// Periodic cross-host audit (the engine additionally audits the
+	// in-flight alias every round when cfg.Audit is set).
+	var auditErr error
+	if cfg.Audit {
+		var check func()
+		check = func() {
+			if auditErr == nil {
+				auditErr = audit.Hosts([]*hostmem.Pool{sys.Pool, dst}, vm.VM)
+			}
+			if auditErr == nil && eng.Phase() != migrate.Done {
+				sys.Sched.After(sim.Second, "migrate/audit", check)
+			}
+		}
+		sys.Sched.After(sim.Second, "migrate/audit", check)
+	}
+
+	finished := func() bool {
+		if eng.Phase() != migrate.Done {
+			return false
+		}
+		for _, w := range workers {
+			if !w.done {
+				return false
+			}
+		}
+		return true
+	}
+	for !finished() {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("migrate %s: deadlocked", arm.Name)
+		}
+		if startErr != nil {
+			return res, fmt.Errorf("migrate %s: %w", arm.Name, startErr)
+		}
+		if burstErr != nil {
+			return res, fmt.Errorf("migrate %s: %w", arm.Name, burstErr)
+		}
+		if auditErr != nil {
+			return res, fmt.Errorf("migrate %s: %w", arm.Name, auditErr)
+		}
+		for _, w := range workers {
+			if w.failed != nil {
+				return res, fmt.Errorf("migrate %s: %w", arm.Name, w.failed)
+			}
+		}
+	}
+	er := eng.Result()
+	if er.Err != "" {
+		return res, fmt.Errorf("migrate %s: engine audit: %s", arm.Name, er.Err)
+	}
+	if vm.Pool != dst {
+		return res, fmt.Errorf("migrate %s: VM not on the destination host", arm.Name)
+	}
+	if cfg.Audit {
+		if err := audit.Hosts([]*hostmem.Pool{sys.Pool, dst}, vm.VM); err != nil {
+			return res, fmt.Errorf("migrate %s: %w", arm.Name, err)
+		}
+	}
+	res.TransferredBytes = er.TransferredBytes
+	res.SkippedBytes = er.SkippedBytes
+	res.PostCopyBytes = er.PostCopyBytes
+	res.Rounds = er.Rounds
+	res.Converged = er.Converged
+	res.Downtime = er.Downtime
+	res.TotalTime = er.TotalTime
+	res.FinalRSS = dst.RSS(vm.Name)
+	return res, nil
+}
+
+// MigrateAll runs every arm through one worker pool; results come back
+// in MigrateArms order and are identical to a sequential loop.
+func MigrateAll(arms []MigrateArm, cfg MigrateConfig) ([]MigrateResult, error) {
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
+		func(i int) (MigrateResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+			}
+			return Migrate(arms[i], c)
+		})
+}
+
+// MigrateEvacuation is the broker-integration scenario: two finite hosts,
+// the source overcommitted until its free memory sits under the broker's
+// evacuation watermark; the broker's EvacuateFn hands the largest VM to
+// the migration engine, which moves it to the destination host. Returns
+// the evacuated VM's migration result.
+func MigrateEvacuation(cfg MigrateConfig) (MigrateResult, error) {
+	cfg.defaults()
+	res := MigrateResult{Arm: "evacuate", Candidate: string(hyperalloc.CandidateHyperAlloc),
+		Strategy: string(migrate.HyperAllocSkip)}
+	// Source host: 12 GiB capacity, two 8 GiB VMs that will populate
+	// ~10.5 GiB between them — sustained pressure reclamation cannot fix.
+	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+29, 12*mem.GiB)
+	sys.SetTracer(cfg.Trace)
+	dst := hostmem.NewPool(0)
+
+	var vms []*hyperalloc.VM
+	for i, load := range []uint64{6 * mem.GiB, 4*mem.GiB + 512*mem.MiB} {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name: fmt.Sprintf("ev%d", i), Candidate: hyperalloc.CandidateHyperAlloc,
+			Memory: 8 * mem.GiB, CPUs: 8,
+		})
+		if err != nil {
+			return res, err
+		}
+		load := load
+		sys.Sched.After(sim.Duration(i+1)*sim.Millisecond, "load", func() {
+			if _, err := vm.Guest.AllocAnon(0, load); err != nil {
+				panic("workload: " + err.Error())
+			}
+		})
+		vms = append(vms, vm)
+	}
+
+	var eng *migrate.Engine
+	var engErr error
+	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
+		Policy:        broker.StaticSplit{},
+		EvacuateBelow: 2 * mem.GiB,
+		EvacuateHold:  3,
+		EvacuateFn: func(v *vmm.VM) {
+			eng, engErr = migrate.New(v, sys.Sched, migrate.Config{
+				Strategy: migrate.HyperAllocSkip, DestPool: dst,
+				DowntimeTarget: cfg.DowntimeTarget, MaxRounds: cfg.MaxRounds,
+				Audit: cfg.Audit,
+			})
+			if engErr == nil {
+				engErr = eng.Start()
+			}
+		},
+		Trace: cfg.Trace,
+	})
+	for _, vm := range vms {
+		bk.Attach(vm.VM, 0)
+	}
+	bk.Start()
+
+	for eng == nil || eng.Phase() != migrate.Done {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("migrate evacuation: deadlocked")
+		}
+		if engErr != nil {
+			return res, fmt.Errorf("migrate evacuation: %w", engErr)
+		}
+	}
+	bk.Stop()
+	if bk.Evacuations() != 1 {
+		return res, fmt.Errorf("migrate evacuation: %d evacuations, want 1", bk.Evacuations())
+	}
+	er := eng.Result()
+	if er.Err != "" {
+		return res, fmt.Errorf("migrate evacuation: engine audit: %s", er.Err)
+	}
+	// The big VM must be the one that moved, and both hosts must conserve.
+	if dst.RSS(er.VM) == 0 || sys.Pool.RSS(er.VM) != 0 {
+		return res, fmt.Errorf("migrate evacuation: %s not fully moved", er.VM)
+	}
+	if err := audit.Hosts([]*hostmem.Pool{sys.Pool, dst}, vms[0].VM, vms[1].VM); err != nil {
+		return res, fmt.Errorf("migrate evacuation: %w", err)
+	}
+	res.TransferredBytes = er.TransferredBytes
+	res.SkippedBytes = er.SkippedBytes
+	res.Rounds = er.Rounds
+	res.Converged = er.Converged
+	res.Downtime = er.Downtime
+	res.TotalTime = er.TotalTime
+	res.FinalRSS = dst.RSS(er.VM)
+	return res, nil
+}

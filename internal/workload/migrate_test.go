@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// TestMigrateAllGolden pins the three-strategy live-migration matrix to
+// exact transferred-bytes values. The strict ordering is the experiment's
+// headline: reading shared LLFree state skips more than periodic balloon
+// free-page hints (which decay between reports and miss the churn), and
+// both beat copying everything. The simulation is deterministic end to
+// end, so any drift is a behavior change, not noise. Update the values
+// ONLY after explaining the delta.
+func TestMigrateAllGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("migration golden matrix is slow")
+	}
+	cfg := MigrateConfig{Seed: 42, Workers: 3, Audit: true}
+	results, err := MigrateAll(MigrateArms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	byName := map[string]MigrateResult{}
+	for _, r := range results {
+		t.Logf("%-15s transferred=%d skipped=%d rounds=%d downtime=%v converged=%v finalRSS=%d",
+			r.Arm, r.TransferredBytes, r.SkippedBytes, r.Rounds, r.Downtime, r.Converged, r.FinalRSS)
+		byName[r.Arm] = r
+		if !r.Converged {
+			t.Errorf("%s: did not converge", r.Arm)
+		}
+		if r.Downtime <= 0 || r.Downtime > 300*sim.Millisecond {
+			t.Errorf("%s: downtime %v outside (0, 300ms]", r.Arm, r.Downtime)
+		}
+		if r.PostCopyBytes != 0 {
+			t.Errorf("%s: unexpected post-copy bytes %d", r.Arm, r.PostCopyBytes)
+		}
+	}
+	all, hint, skip := byName["copy-all"], byName["balloon-hint"], byName["hyperalloc-skip"]
+	if !(skip.TransferredBytes < hint.TransferredBytes && hint.TransferredBytes < all.TransferredBytes) {
+		t.Errorf("transferred bytes not strictly ordered: hyperalloc %d, balloon %d, copy-all %d",
+			skip.TransferredBytes, hint.TransferredBytes, all.TransferredBytes)
+	}
+	if all.SkippedBytes != 0 {
+		t.Errorf("copy-all skipped %d bytes, want 0", all.SkippedBytes)
+	}
+	if hint.SkippedBytes == 0 || skip.SkippedBytes == 0 {
+		t.Errorf("skip strategies skipped nothing: balloon %d, hyperalloc %d",
+			hint.SkippedBytes, skip.SkippedBytes)
+	}
+	golden := map[string]uint64{
+		"copy-all":        8648654848,
+		"balloon-hint":    5865734144,
+		"hyperalloc-skip": 4492099584,
+	}
+	for arm, want := range golden {
+		if got := byName[arm].TransferredBytes; got != want {
+			t.Errorf("%s: TransferredBytes = %d, want %d", arm, got, want)
+		}
+	}
+}
+
+// TestMigrateEvacuation drives the broker→engine hand-off: a source host
+// whose free memory stays under the evacuation watermark hands its
+// largest VM to the migration engine, and both hosts conserve memory
+// through the move.
+func TestMigrateEvacuation(t *testing.T) {
+	res, err := MigrateEvacuation(MigrateConfig{Seed: 7, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("evacuation: transferred=%d skipped=%d rounds=%d downtime=%v converged=%v",
+		res.TransferredBytes, res.SkippedBytes, res.Rounds, res.Downtime, res.Converged)
+	if !res.Converged {
+		t.Error("evacuation migration did not converge")
+	}
+	if res.TransferredBytes == 0 || res.FinalRSS == 0 {
+		t.Errorf("nothing moved: transferred %d, final RSS %d", res.TransferredBytes, res.FinalRSS)
+	}
+}

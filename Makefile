@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench audit trace-smoke migrate-smoke
+.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke
 
 # The full pre-commit gate: everything CI runs.
 check: vet build test race migrate-smoke
@@ -21,6 +21,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Benchmark trajectory: capture the hot-path microbenchmarks (EPT range
+# ops, scheduler steady state, LLFree churn, batched charging) plus the
+# Fig. 4 matrix throughput, write the snapshot to BENCH_OUT, and gate the
+# dimensionless metrics (range-vs-per-frame speedups, allocs/op) against
+# the latest checked-in BENCH_<n>.json — >10% regression fails. CI runs
+# the short form and uploads BENCH_OUT as an artifact; to check in a new
+# trajectory point, run with BENCH_OUT=BENCH_<n+1>.json on a quiet
+# machine and commit the file. BENCH_FLAGS=-strict additionally gates
+# absolute ns/op and runs/s (same-machine comparisons only).
+BENCH_OUT ?= bench-snapshot.json
+BENCH_FLAGS ?=
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap $(BENCH_FLAGS) -compare -out $(BENCH_OUT)
 
 # The live-migration smoke test: the three-strategy matrix at reduced
 # scale with the two-host conservation auditor on, emitting both the

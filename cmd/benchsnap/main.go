@@ -1,0 +1,357 @@
+// Command benchsnap captures the repository's performance trajectory: it
+// runs the hot-path microbenchmarks (EPT range ops vs per-frame loops,
+// scheduler steady state and cancel storms, LLFree claim churn, batched
+// cost charging) plus the Fig. 4 matrix throughput in-process, writes the
+// numbers as a BENCH_<n>.json snapshot, and compares against the latest
+// checked-in snapshot.
+//
+// Two classes of metric get different treatment:
+//
+//   - Dimensionless gates (range-vs-per-frame speedups, allocs/op) are
+//     hardware-independent and are gated on every -compare run: speedups
+//     must not regress more than 10%, allocs/op must match exactly
+//     (steady-state scheduling is pinned to zero allocations).
+//   - Absolute numbers (ns/op, runs/s) are recorded for the trajectory
+//     but only gated under -strict, because CI hardware differs from the
+//     machine that produced the checked-in snapshot.
+//
+// Usage:
+//
+//	benchsnap -out BENCH_7.json            # capture a new snapshot
+//	benchsnap -compare                     # gate against latest BENCH_*.json
+//	benchsnap -short -compare              # CI: fewer fig4 reps, same gates
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"hyperalloc/internal/costmodel"
+	"hyperalloc/internal/ept"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/workload"
+)
+
+// Snapshot is the checked-in benchmark record.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Go     string `json:"go"`
+	CPUs   int    `json:"cpus"`
+	Short  bool   `json:"short"`
+	// Metrics are absolute, hardware-dependent numbers (ns/op, runs/s) —
+	// the trajectory. Gated only under -strict.
+	Metrics map[string]float64 `json:"metrics"`
+	// Gates are dimensionless, hardware-independent numbers (speedup
+	// ratios, allocs/op). Always gated by -compare.
+	Gates map[string]float64 `json:"gates"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the snapshot to this file (e.g. BENCH_7.json)")
+	compare := flag.Bool("compare", false, "compare against the latest checked-in BENCH_*.json and fail on >10% regression")
+	strict := flag.Bool("strict", false, "also gate absolute ns/op and runs/s (same-machine comparisons only)")
+	short := flag.Bool("short", false, "reduced Fig. 4 reps for CI")
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json snapshots")
+	flag.Parse()
+
+	snap := capture(*short)
+
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+
+	if *compare {
+		prev, name := latestSnapshot(*dir, *out)
+		if prev == nil {
+			fmt.Println("benchsnap: no previous snapshot to compare against")
+		} else {
+			fmt.Printf("benchsnap: comparing against %s\n", name)
+			if errs := compareSnapshots(prev, snap, *strict); len(errs) > 0 {
+				for _, e := range errs {
+					fmt.Fprintln(os.Stderr, "REGRESSION:", e)
+				}
+				os.Exit(1)
+			}
+			fmt.Println("benchsnap: no regressions")
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+// capture runs every benchmark and assembles the snapshot.
+func capture(short bool) *Snapshot {
+	s := &Snapshot{
+		Schema:  1,
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Short:   short,
+		Metrics: map[string]float64{},
+		Gates:   map[string]float64{},
+	}
+
+	for _, pages := range []uint64{1, 64, 512} {
+		rangeNs, _ := run(benchEPTRange(pages))
+		frameNs, _ := run(benchEPTPerFrame(pages))
+		s.Metrics[fmt.Sprintf("ept_range_%d_ns_op", pages)] = rangeNs
+		s.Metrics[fmt.Sprintf("ept_perframe_%d_ns_op", pages)] = frameNs
+		s.Gates[fmt.Sprintf("ept_speedup_%d", pages)] = frameNs / rangeNs
+	}
+
+	steadyNs, steadyAllocs := run(benchSchedulerSteady)
+	s.Metrics["sched_steady_ns_op"] = steadyNs
+	s.Gates["sched_steady_allocs_op"] = steadyAllocs
+	cancelNs, cancelAllocs := run(benchSchedulerCancelHeavy)
+	s.Metrics["sched_cancel_heavy_ns_op"] = cancelNs
+	s.Gates["sched_cancel_heavy_allocs_op"] = cancelAllocs
+
+	llNs, _ := run(benchLLFreeGetPut)
+	s.Metrics["llfree_getput_ns_op"] = llNs
+
+	crNs, crAllocs := run(benchChargeRange)
+	s.Metrics["chargerange_512_ns_op"] = crNs
+	s.Gates["chargerange_allocs_op"] = crAllocs
+
+	reps := 2
+	if short {
+		reps = 1
+	}
+	start := time.Now()
+	results, err := workload.InflateAll(workload.InflateConfig{Reps: reps, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	runs := len(results) * reps
+	s.Metrics["fig4_runs"] = float64(runs)
+	s.Metrics["fig4_wall_seconds"] = wall.Seconds()
+	s.Metrics["fig4_runs_per_sec"] = float64(runs) / wall.Seconds()
+	return s
+}
+
+// run measures f as best-of-three (minimum ns/op): the minimum is the
+// least noisy estimator of the true cost on a shared machine, and the
+// gated speedup ratios need stable numerators and denominators.
+func run(f func(b *testing.B)) (nsPerOp, allocsPerOp float64) {
+	best := -1.0
+	for i := 0; i < 3; i++ {
+		r := testing.Benchmark(f)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best < 0 || ns < best {
+			best = ns
+		}
+		allocsPerOp = float64(r.AllocsPerOp()) // deterministic across runs
+	}
+	return best, allocsPerOp
+}
+
+func benchEPTRange(pages uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		t := ept.New(1 << 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := t.MapRange(0, pages); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := t.UnmapRange(0, pages, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchEPTPerFrame(pages uint64) func(b *testing.B) {
+	return func(b *testing.B) {
+		t := ept.New(1 << 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := mem.PFN(0); p < mem.PFN(pages); p++ {
+				if _, err := t.MapBase(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for p := mem.PFN(0); p < mem.PFN(pages); p++ {
+				if _, err := t.UnmapBase(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// benchSchedulerSteady is the zero-alloc pin: one self-rescheduling timer,
+// one Step per iteration, arena-recycled records.
+func benchSchedulerSteady(b *testing.B) {
+	s := sim.NewScheduler()
+	var tick func()
+	tick = func() { s.After(sim.Millisecond, "tick", tick) }
+	s.After(sim.Millisecond, "tick", tick)
+	for i := 0; i < 64; i++ { // warm the free list
+		s.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func benchSchedulerCancelHeavy(b *testing.B) {
+	s := sim.NewScheduler()
+	noop := func() {}
+	for i := 0; i < 4096; i++ {
+		s.After(sim.Duration(i+1)*sim.Second, "standing", noop)
+	}
+	handles := make([]sim.Handle, 64)
+	// Warm the free list so the measured loop recycles records.
+	for i := range handles {
+		handles[i] = s.After(sim.Duration(i+1)*sim.Millisecond, "victim", noop)
+	}
+	for _, h := range handles {
+		s.Cancel(h)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range handles {
+			handles[j] = s.After(sim.Duration(j+1)*sim.Millisecond, "victim", noop)
+		}
+		for _, h := range handles {
+			s.Cancel(h)
+		}
+	}
+}
+
+func benchLLFreeGetPut(b *testing.B) {
+	a, err := llfree.New(llfree.Config{Frames: 64 * 512})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := a.Get(0, 0, mem.Movable)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Put(0, f.PFN, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchChargeRange(b *testing.B) {
+	m := costmodel.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink time.Duration
+	for i := 0; i < b.N; i++ {
+		sink += m.ChargeRange(512, costmodel.OpFaultBase)
+	}
+	_ = sink
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// latestSnapshot loads the highest-numbered BENCH_<n>.json in dir,
+// excluding the file being written this run.
+func latestSnapshot(dir, exclude string) (*Snapshot, string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type cand struct {
+		n    int
+		name string
+	}
+	var cands []cand
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil || e.Name() == filepath.Base(exclude) {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		cands = append(cands, cand{n, e.Name()})
+	}
+	if len(cands) == 0 {
+		return nil, ""
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+	name := cands[0].name
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		log.Fatalf("benchsnap: %s: %v", name, err)
+	}
+	return &s, name
+}
+
+// compareSnapshots applies the gates: allocs/op keys exactly, other gate
+// keys (speedups) within 10%, and — under strict — absolute metrics
+// within 10% in their respective better-direction.
+func compareSnapshots(prev, cur *Snapshot, strict bool) []string {
+	var errs []string
+	for k, old := range prev.Gates {
+		now, ok := cur.Gates[k]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("gate %s missing from current run", k))
+			continue
+		}
+		if isAllocsKey(k) {
+			if now != old {
+				errs = append(errs, fmt.Sprintf("%s: %v allocs/op, snapshot has %v (must match exactly)", k, now, old))
+			}
+			continue
+		}
+		if now < old*0.9 {
+			errs = append(errs, fmt.Sprintf("%s: %.2f, snapshot has %.2f (>10%% regression)", k, now, old))
+		}
+	}
+	if !strict {
+		return errs
+	}
+	for k, old := range prev.Metrics {
+		now, ok := cur.Metrics[k]
+		if !ok {
+			continue
+		}
+		switch {
+		case isNsKey(k):
+			if now > old*1.1 {
+				errs = append(errs, fmt.Sprintf("%s: %.1f ns/op, snapshot has %.1f (>10%% regression)", k, now, old))
+			}
+		case k == "fig4_runs_per_sec":
+			if now < old*0.9 {
+				errs = append(errs, fmt.Sprintf("%s: %.2f runs/s, snapshot has %.2f (>10%% regression)", k, now, old))
+			}
+		}
+	}
+	return errs
+}
+
+func isAllocsKey(k string) bool { return len(k) > 10 && k[len(k)-10:] == "_allocs_op" }
+func isNsKey(k string) bool     { return len(k) > 6 && k[len(k)-6:] == "_ns_op" }

@@ -30,6 +30,7 @@ import (
 
 	"hyperalloc"
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
@@ -81,7 +82,12 @@ func main() {
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor after every measured phase (slow)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first fig4 cell to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	tr := trace.FromFlags(*traceOut, *traceSummary)
 	out := &output{Seed: *seed, Workers: *parallel}

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/trace"
@@ -74,7 +75,12 @@ func main() {
 	auditRun := flag.Bool("audit", false, "audit both hosts' conservation invariants every round and every simulated second")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first arm to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	tr := trace.FromFlags(*traceOut, *traceSummary)
 	cfg := workload.MigrateConfig{

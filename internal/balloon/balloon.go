@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/costmodel"
 	"hyperalloc/internal/guest"
 	"hyperalloc/internal/ledger"
 	"hyperalloc/internal/mem"
@@ -299,11 +300,8 @@ func (m *Mechanism) discardReported(z *guest.Zone, blk buddy.FreeBlock) {
 		}
 		cost += model.TLBInvalidation
 	} else {
-		for i := uint64(0); i < blk.Order.Frames(); i++ {
-			if m.vm.DiscardBase(start + mem.PFN(i)) {
-				cost += model.EPTUnmapBase
-			}
-		}
+		was := m.vm.DiscardBaseRange(start, blk.Order.Frames())
+		cost += model.ChargeRange(was, costmodel.OpEPTUnmapBase)
 	}
 	m.vm.Meter.Work(ledger.Host, cost)
 	m.vm.Meter.Stall(ledger.StallCPU, model.StallPerUnmapSyscall)

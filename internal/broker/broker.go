@@ -120,7 +120,7 @@ type Broker struct {
 	sched *sim.Scheduler
 	pool  *hostmem.Pool
 	vms   []*managed // attach order; never iterated via maps
-	event *sim.Event
+	event sim.Handle
 
 	// Events is the structured decision log.
 	Events []Event
@@ -228,7 +228,7 @@ func (b *Broker) Start() {
 // Stop cancels the control loop.
 func (b *Broker) Stop() {
 	b.sched.Cancel(b.event)
-	b.event = nil
+	b.event = sim.Handle{}
 }
 
 // Tick runs one control cycle: sample signals, ask the policy for

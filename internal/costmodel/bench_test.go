@@ -1,0 +1,40 @@
+package costmodel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkChargeRange measures the batched charge against the per-op
+// summation loop it replaced, at the batch sizes the range APIs produce.
+func BenchmarkChargeRange(b *testing.B) {
+	m := Default()
+	for _, n := range []uint64{1, 64, 512} {
+		b.Run(fmt.Sprintf("pages=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink time.Duration
+			for i := 0; i < b.N; i++ {
+				sink += m.ChargeRange(n, OpFaultBase)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkChargePerOp is the per-frame reference: n OpCost calls summed.
+func BenchmarkChargePerOp(b *testing.B) {
+	m := Default()
+	for _, n := range []uint64{1, 64, 512} {
+		b.Run(fmt.Sprintf("pages=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink time.Duration
+			for i := 0; i < b.N; i++ {
+				for j := uint64(0); j < n; j++ {
+					sink += m.OpCost(OpFaultBase)
+				}
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package costmodel
+
+import (
+	"time"
+
+	"hyperalloc/internal/mem"
+)
+
+// Batched charging. Per-frame loops used to charge their meters once per
+// page; the range refactor charges n pages in one call. ChargeRange is
+// pinned to exact integer multiplication of the per-op cost — NOT a
+// recomputation from total bytes — so a batched charge is byte-identical
+// to the sum of n per-op charges (bandwidth-derived costs truncate
+// per-op, and n*cost(1) != cost(n) in general).
+
+// Op identifies a fixed-cost per-unit operation for batched charging.
+type Op int
+
+const (
+	// OpEPTMapBase is installing one 4 KiB EPT mapping.
+	OpEPTMapBase Op = iota
+	// OpEPTUnmapBase is removing one 4 KiB EPT mapping.
+	OpEPTUnmapBase
+	// OpEPTMapHuge is installing one 2 MiB EPT mapping.
+	OpEPTMapHuge
+	// OpEPTUnmapHuge is removing one 2 MiB EPT mapping.
+	OpEPTUnmapHuge
+	// OpFaultBase is one EPT violation resolved with a single 4 KiB
+	// mapping plus the population of its backing frame — the
+	// populate-on-touch path through a fragmented area.
+	OpFaultBase
+	// OpWPFault is one write-protect fault exit under dirty logging.
+	OpWPFault
+)
+
+// OpCost returns the virtual-time cost of one op.
+func (m *Model) OpCost(op Op) time.Duration {
+	switch op {
+	case OpEPTMapBase:
+		return m.EPTMapBase
+	case OpEPTUnmapBase:
+		return m.EPTUnmapBase
+	case OpEPTMapHuge:
+		return m.EPTMapHuge
+	case OpEPTUnmapHuge:
+		return m.EPTUnmapHuge
+	case OpFaultBase:
+		return m.EPTFaultExit + m.EPTMapBase + m.PopulateCost(mem.PageSize)
+	case OpWPFault:
+		return m.EPTFaultExit
+	default:
+		panic("costmodel: unknown op")
+	}
+}
+
+// ChargeRange returns the cost of n consecutive ops: exactly n times the
+// per-op cost, identical to summing n individual charges.
+func (m *Model) ChargeRange(n uint64, op Op) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(n) * m.OpCost(op)
+}

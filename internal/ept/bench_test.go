@@ -1,0 +1,71 @@
+package ept
+
+import (
+	"fmt"
+	"testing"
+
+	"hyperalloc/internal/mem"
+)
+
+// Range-vs-per-frame microbenchmarks at 1, 64, and 512 pages. Each op is
+// a map+unmap pair so the table returns to its start state and iterations
+// measure steady-state cost.
+
+func BenchmarkEPTRange(b *testing.B) {
+	for _, n := range []uint64{1, 64, 512} {
+		b.Run(fmt.Sprintf("pages=%d", n), func(b *testing.B) {
+			t := New(1 << 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := t.MapRange(0, n); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := t.UnmapRange(0, n, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEPTPerFrame(b *testing.B) {
+	for _, n := range []uint64{1, 64, 512} {
+		b.Run(fmt.Sprintf("pages=%d", n), func(b *testing.B) {
+			t := New(1 << 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for p := uint64(0); p < n; p++ {
+					if _, err := t.MapBase(mem.PFN(p)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for p := uint64(0); p < n; p++ {
+					if _, err := t.UnmapBase(mem.PFN(p)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEPTDirtyCycle measures one dirty-tracking round: mark a
+// scattered working set dirty, then harvest it (the pre-copy inner loop).
+func BenchmarkEPTDirtyCycle(b *testing.B) {
+	t := New(1 << 16)
+	if _, err := t.MapRange(0, 1<<16); err != nil {
+		b.Fatal(err)
+	}
+	t.StartDirtyTracking()
+	t.HarvestDirty(func(mem.PFN, uint64) {}) // start clean
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := uint64(0); p < 1<<16; p += 1024 {
+			t.MarkDirty(mem.PFN(p), 64)
+		}
+		t.HarvestDirty(func(mem.PFN, uint64) {})
+	}
+}

@@ -2,6 +2,7 @@ package ept
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hyperalloc/internal/mem"
 )
@@ -76,17 +77,27 @@ func (t *Table) MarkDirty(pfn mem.PFN, frames uint64) uint64 {
 			}
 			t.fillDirty(ai)
 		} else if a.mapped > 0 {
-			for q := p; q < aEnd; q++ {
-				w, b := (q%mem.FramesPerHuge)/64, q%64
-				if a.bitmap[w]&(1<<b) == 0 {
-					continue // unmapped: populates via a regular fault
+			forEachMaskedWord(p, aEnd, func(w, mask uint64) {
+				// Mapped frames take the write-protect fault; unmapped
+				// ones populate via a regular fault, already-dirty ones
+				// write straight through.
+				eligible := a.bitmap[w] & mask
+				if eligible == 0 {
+					return
 				}
-				if a.dirty != nil && a.dirty[w]&(1<<b) != 0 {
-					continue // already dirty: no fault, writes go through
+				if a.dirty == nil {
+					a.dirty = make([]uint64, mem.FramesPerHuge/64)
 				}
-				t.setDirty(a, q)
-				wpFaults++
-			}
+				dd := eligible &^ a.dirty[w]
+				if dd == 0 {
+					return
+				}
+				a.dirty[w] |= dd
+				c := uint64(bits.OnesCount64(dd))
+				a.dirtyCount += uint16(c)
+				t.dirtyFrames += c
+				wpFaults += c
+			})
 		}
 		p = aEnd
 	}
@@ -114,22 +125,18 @@ func (t *Table) HarvestDirty(fn func(pfn mem.PFN, frames uint64)) {
 		}
 		base := uint64(i) * mem.FramesPerHuge
 		for w, word := range a.dirty {
-			if word == 0 {
-				flush()
-				continue
-			}
-			for b := uint64(0); b < 64; b++ {
-				if word&(1<<b) == 0 {
-					flush()
-					continue
-				}
-				p := base + uint64(w)*64 + b
+			wordBase := base + uint64(w)*64
+			for word != 0 {
+				lo := uint64(bits.TrailingZeros64(word))
+				run := uint64(bits.TrailingZeros64(^(word >> lo)))
+				p := wordBase + lo
 				if runLen > 0 && runStart+runLen == p {
-					runLen++
+					runLen += run
 				} else {
 					flush()
-					runStart, runLen = p, 1
+					runStart, runLen = p, run
 				}
+				word &^= (1<<run - 1) << lo
 			}
 		}
 		t.dirtyFrames -= uint64(a.dirtyCount)
@@ -182,18 +189,18 @@ func (t *Table) ForEachMapped(fn func(pfn mem.PFN, frames uint64)) {
 			}
 		default:
 			for w, word := range a.bitmap {
-				for b := uint64(0); b < 64; b++ {
-					if word&(1<<b) == 0 {
-						flush()
-						continue
-					}
-					p := base + uint64(w)*64 + b
+				wordBase := base + uint64(w)*64
+				for word != 0 {
+					lo := uint64(bits.TrailingZeros64(word))
+					run := uint64(bits.TrailingZeros64(^(word >> lo)))
+					p := wordBase + lo
 					if runLen > 0 && runStart+runLen == p {
-						runLen++
+						runLen += run
 					} else {
 						flush()
-						runStart, runLen = p, 1
+						runStart, runLen = p, run
 					}
+					word &^= (1<<run - 1) << lo
 				}
 			}
 		}
@@ -238,9 +245,24 @@ func (t *Table) fillDirty(areaIdx uint64) {
 	if uint64(a.dirtyCount) == n {
 		return
 	}
-	for p := areaIdx * mem.FramesPerHuge; p < areaIdx*mem.FramesPerHuge+n; p++ {
-		t.setDirty(a, p)
+	if a.dirty == nil {
+		a.dirty = make([]uint64, mem.FramesPerHuge/64)
 	}
+	var added uint64
+	for w := uint64(0); w*64 < n; w++ {
+		full := ^uint64(0)
+		if rem := n - w*64; rem < 64 {
+			full = 1<<rem - 1
+		}
+		dd := full &^ a.dirty[w]
+		if dd == 0 {
+			continue
+		}
+		a.dirty[w] |= dd
+		added += uint64(bits.OnesCount64(dd))
+	}
+	a.dirtyCount += uint16(added)
+	t.dirtyFrames += added
 }
 
 // resetDirty drops all dirty state.

@@ -1,0 +1,298 @@
+package ept
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// run is one (pfn, frames) callback record.
+type run struct {
+	pfn    mem.PFN
+	frames uint64
+}
+
+func collectRuns(f func(func(mem.PFN, uint64))) []run {
+	var rs []run
+	f(func(p mem.PFN, n uint64) { rs = append(rs, run{p, n}) })
+	return rs
+}
+
+// refMapRange is the per-frame reference MapRange is pinned against.
+func refMapRange(t *Table, pfn mem.PFN, frames uint64) uint64 {
+	var newly uint64
+	for i := uint64(0); i < frames; i++ {
+		ok, err := t.MapBase(pfn + mem.PFN(i))
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			newly++
+		}
+	}
+	return newly
+}
+
+// refUnmapRange is the per-frame reference UnmapRange is pinned against;
+// cleared frames are recorded one by one.
+func refUnmapRange(t *Table, pfn mem.PFN, frames uint64, cleared func(mem.PFN, uint64)) uint64 {
+	var was uint64
+	for i := uint64(0); i < frames; i++ {
+		ok, err := t.UnmapBase(pfn + mem.PFN(i))
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			was++
+			if cleared != nil {
+				cleared(pfn+mem.PFN(i), 1)
+			}
+		}
+	}
+	return was
+}
+
+func refFaultRange(t *Table, pfn mem.PFN, frames uint64) uint64 {
+	var newly uint64
+	for i := uint64(0); i < frames; i++ {
+		ok, err := t.FaultBase(pfn + mem.PFN(i))
+		if err != nil {
+			panic(err)
+		}
+		if ok {
+			newly++
+		}
+	}
+	return newly
+}
+
+func refMarkDirty(t *Table, pfn mem.PFN, frames uint64) uint64 {
+	var wp uint64
+	for i := uint64(0); i < frames; i++ {
+		wp += t.MarkDirty(pfn+mem.PFN(i), 1)
+	}
+	return wp
+}
+
+// compareTables fails the test unless both tables are byte-identical:
+// every accounting field, every per-area bitmap, and the harvest /
+// enumeration callbacks they produce.
+func compareTables(t *testing.T, got, want *Table, step string) {
+	t.Helper()
+	if got.mappedFrames != want.mappedFrames || got.dirtyFrames != want.dirtyFrames ||
+		got.MapHugeOps != want.MapHugeOps || got.UnmapHugeOps != want.UnmapHugeOps ||
+		got.MapBaseOps != want.MapBaseOps || got.UnmapBaseOps != want.UnmapBaseOps ||
+		got.Faults != want.Faults {
+		t.Fatalf("%s: counters diverged:\n got %+v\nwant %+v", step,
+			[7]uint64{got.mappedFrames, got.dirtyFrames, got.MapHugeOps, got.UnmapHugeOps, got.MapBaseOps, got.UnmapBaseOps, got.Faults},
+			[7]uint64{want.mappedFrames, want.dirtyFrames, want.MapHugeOps, want.UnmapHugeOps, want.MapBaseOps, want.UnmapBaseOps, want.Faults})
+	}
+	for i := range got.areas {
+		if !reflect.DeepEqual(got.areas[i], want.areas[i]) {
+			t.Fatalf("%s: area %d diverged:\n got %+v\nwant %+v", step, i, got.areas[i], want.areas[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: range table invalid: %v", step, err)
+	}
+	if err := want.Validate(); err != nil {
+		t.Fatalf("%s: reference table invalid: %v", step, err)
+	}
+	gm := collectRuns(got.ForEachMapped)
+	wm := collectRuns(want.ForEachMapped)
+	if !reflect.DeepEqual(gm, wm) {
+		t.Fatalf("%s: ForEachMapped runs diverged:\n got %v\nwant %v", step, gm, wm)
+	}
+}
+
+// TestRangeEquivalenceRandomized drives a range-API table and a per-frame
+// reference table through the same random operation sequence and requires
+// identical state, counters, return values, and callback output at every
+// step — the identity proof for the batched hot paths.
+func TestRangeEquivalenceRandomized(t *testing.T) {
+	const frames = 3*mem.FramesPerHuge + 200 // includes a partial tail area
+	rng := rand.New(rand.NewSource(11))
+	a, b := New(frames), New(frames)
+	randRange := func() (mem.PFN, uint64) {
+		p := uint64(rng.Intn(frames))
+		n := uint64(rng.Intn(700)) // spans area boundaries
+		if p+n > frames {
+			n = frames - p
+		}
+		return mem.PFN(p), n
+	}
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); op {
+		case 0, 1: // map range
+			p, n := randRange()
+			got, err := a.MapRange(p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := refMapRange(b, p, n); got != want {
+				t.Fatalf("step %d: MapRange(%d,%d)=%d, per-frame %d", step, p, n, got, want)
+			}
+		case 2, 3: // unmap range, with cleared-run accounting
+			p, n := randRange()
+			gotCleared := map[mem.PFN]bool{}
+			wantCleared := map[mem.PFN]bool{}
+			got, err := a.UnmapRange(p, n, func(q mem.PFN, c uint64) {
+				for i := uint64(0); i < c; i++ {
+					gotCleared[q+mem.PFN(i)] = true
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refUnmapRange(b, p, n, func(q mem.PFN, c uint64) {
+				wantCleared[q] = true
+			})
+			if got != want {
+				t.Fatalf("step %d: UnmapRange(%d,%d)=%d, per-frame %d", step, p, n, got, want)
+			}
+			if !reflect.DeepEqual(gotCleared, wantCleared) {
+				t.Fatalf("step %d: cleared sets diverged (%d vs %d frames)", step, len(gotCleared), len(wantCleared))
+			}
+		case 4: // fault range (base-resolved)
+			p, n := randRange()
+			if n > 64 {
+				n = 64
+			}
+			got, err := a.FaultRange(p, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := refFaultRange(b, p, n); got != want {
+				t.Fatalf("step %d: FaultRange(%d,%d)=%d, per-frame %d", step, p, n, got, want)
+			}
+		case 5: // huge map / populate
+			area := uint64(rng.Intn(4))
+			if rng.Intn(2) == 0 {
+				n := uint64(rng.Intn(int(a.Areas()-area))) + 1
+				g, err1 := a.PopulateRange(area, n)
+				if err1 != nil {
+					t.Fatal(err1)
+				}
+				var w uint64
+				for i := uint64(0); i < n; i++ {
+					c, err2 := b.MapHuge(area + i)
+					if err2 != nil {
+						t.Fatal(err2)
+					}
+					w += c
+				}
+				if g != w {
+					t.Fatalf("step %d: PopulateRange(%d,%d)=%d, per-area %d", step, area, n, g, w)
+				}
+			} else {
+				g, _ := a.UnmapHuge(area)
+				w, _ := b.UnmapHuge(area)
+				if g != w {
+					t.Fatalf("step %d: UnmapHuge mismatch", step)
+				}
+			}
+		case 6: // dirty tracking on/off
+			if a.DirtyTracking() {
+				a.StopDirtyTracking()
+				b.StopDirtyTracking()
+			} else {
+				a.StartDirtyTracking()
+				b.StartDirtyTracking()
+			}
+		case 7, 8: // mark dirty
+			p, n := randRange()
+			got := a.MarkDirty(p, n)
+			if want := refMarkDirty(b, p, n); got != want {
+				t.Fatalf("step %d: MarkDirty(%d,%d)=%d wp faults, per-frame %d", step, p, n, got, want)
+			}
+		case 9: // harvest
+			gr := collectRuns(a.HarvestDirty)
+			wr := collectRuns(b.HarvestDirty)
+			if !reflect.DeepEqual(gr, wr) {
+				t.Fatalf("step %d: HarvestDirty runs diverged:\n got %v\nwant %v", step, gr, wr)
+			}
+		}
+		if step%200 == 0 {
+			compareTables(t, a, b, "mid-sequence")
+		}
+	}
+	compareTables(t, a, b, "final")
+}
+
+// TestRangeTraceEquivalence pins the trace output of the range ops to the
+// per-frame loops: same counter values and the same gauge series (per-call
+// gauge samples at one timestamp coalesce to the final value, so one Set
+// per range is byte-identical).
+func TestRangeTraceEquivalence(t *testing.T) {
+	mk := func() (*Table, *trace.Tracer) {
+		tr := trace.New()
+		tr.Bind(sim.NewClock())
+		tb := New(2*mem.FramesPerHuge + 100)
+		tb.SetTrace(tr, "vm/ept")
+		return tb, tr
+	}
+	a, atr := mk()
+	b, btr := mk()
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 500; step++ {
+		p := uint64(rng.Intn(int(a.Frames())))
+		n := uint64(rng.Intn(400))
+		if p+n > a.Frames() {
+			n = a.Frames() - p
+		}
+		if rng.Intn(2) == 0 {
+			if _, err := a.MapRange(mem.PFN(p), n); err != nil {
+				t.Fatal(err)
+			}
+			refMapRange(b, mem.PFN(p), n)
+		} else {
+			if _, err := a.UnmapRange(mem.PFN(p), n, nil); err != nil {
+				t.Fatal(err)
+			}
+			refUnmapRange(b, mem.PFN(p), n, nil)
+		}
+	}
+	var ga, gb bytes.Buffer
+	if err := atr.WriteChrome(&ga); err != nil {
+		t.Fatal(err)
+	}
+	if err := btr.WriteChrome(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga.Bytes(), gb.Bytes()) {
+		t.Fatalf("trace output diverged: %d vs %d bytes", ga.Len(), gb.Len())
+	}
+}
+
+// TestUnmapRangeSplitsHuge pins the huge-split semantics of UnmapRange.
+func TestUnmapRangeSplitsHuge(t *testing.T) {
+	tb := New(2 * mem.FramesPerHuge)
+	if _, err := tb.MapHuge(0); err != nil {
+		t.Fatal(err)
+	}
+	was, err := tb.UnmapRange(10, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if was != 20 {
+		t.Fatalf("was = %d, want 20", was)
+	}
+	if tb.AreaMapped(0) != mem.FramesPerHuge-20 || !tb.AreaFragmented(0) {
+		t.Fatalf("area 0: mapped=%d fragmented=%v", tb.AreaMapped(0), tb.AreaFragmented(0))
+	}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unmapping a never-populated area must not fragment it.
+	if was, _ := tb.UnmapRange(mem.FramesPerHuge, 64, nil); was != 0 {
+		t.Fatalf("was = %d, want 0", was)
+	}
+	if tb.AreaFragmented(1) {
+		t.Fatal("no-op unmap fragmented the area")
+	}
+}

@@ -119,6 +119,28 @@ func (t *Table) MarkStale(pfn mem.PFN) {
 	}
 }
 
+// MarkStaleRange marks the frames [pfn, pfn+n) stale where mapped — the
+// batched form of n MarkStale calls, one word-wise OR per 64 frames.
+func (t *Table) MarkStaleRange(pfn mem.PFN, n uint64) {
+	p := uint64(pfn)
+	if p >= t.frames {
+		return
+	}
+	end := p + n
+	if end > t.frames {
+		end = t.frames
+	}
+	for p < end {
+		w := p / 64
+		mask := ^uint64(0) << (p % 64)
+		if rem := end - w*64; rem < 64 {
+			mask &= 1<<rem - 1
+		}
+		t.stale[w] |= t.mapped[w] & mask
+		p = (w + 1) * 64
+	}
+}
+
 // IsStale reports whether the frame's mapping references discarded memory.
 func (t *Table) IsStale(pfn mem.PFN) bool {
 	p := uint64(pfn)

@@ -11,6 +11,28 @@ func (a *Alloc) areaLoad(area uint64) uint16 {
 	return uint16(word >> ((area % 4) * 16))
 }
 
+// forEachAreaEntry calls fn for every area entry in ascending order,
+// loading each packed areaIdx word once — one atomic load covers four
+// areas, instead of re-loading the shared word per area like areaLoad.
+// Stops early when fn returns false. Under concurrency the four entries
+// of a word form one snapshot; aggregations over the result are racy
+// snapshots either way (see stats.go).
+func (a *Alloc) forEachAreaEntry(fn func(area uint64, e uint16) bool) {
+	for wi := range a.areaIdx {
+		word := a.areaIdx[wi].Load()
+		base := uint64(wi) * 4
+		n := a.areas - base
+		if n > 4 {
+			n = 4
+		}
+		for j := uint64(0); j < n; j++ {
+			if !fn(base+j, uint16(word>>(j*16))) {
+				return
+			}
+		}
+	}
+}
+
 // areaStore unconditionally writes the entry. Only used during
 // initialization, before the allocator is shared.
 func (a *Alloc) areaStore(area uint64, v uint16) {

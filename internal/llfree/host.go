@@ -115,13 +115,10 @@ func (a *Alloc) Evicted(area uint64) bool {
 // scan (Sec. 3.3). The scan stops early when fn returns false. The
 // snapshot is racy by design; the subsequent Reclaim* CAS is what decides.
 func (a *Alloc) ScanFreeHuge(fn func(area uint64) bool) {
-	for area := uint64(0); area < a.areas; area++ {
-		e := a.areaLoad(area)
+	a.forEachAreaEntry(func(area uint64, e uint16) bool {
 		if !a.fullAreaFree(e, area) || areaEvicted(e) {
-			continue
+			return true
 		}
-		if !fn(area) {
-			return
-		}
-	}
+		return fn(area)
+	})
 }

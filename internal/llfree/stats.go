@@ -27,11 +27,12 @@ func (a *Alloc) AllocatedFrames() uint64 { return a.frames - a.FreeFrames() }
 // or not).
 func (a *Alloc) FreeHugeCount() uint64 {
 	var n uint64
-	for area := uint64(0); area < a.areas; area++ {
-		if a.fullAreaFree(a.areaLoad(area), area) {
+	a.forEachAreaEntry(func(area uint64, e uint16) bool {
+		if a.fullAreaFree(e, area) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -48,11 +49,12 @@ func (a *Alloc) FreeHugeNonEvicted() uint64 {
 // hint.
 func (a *Alloc) EvictedCount() uint64 {
 	var n uint64
-	for area := uint64(0); area < a.areas; area++ {
-		if areaEvicted(a.areaLoad(area)) {
+	a.forEachAreaEntry(func(_ uint64, e uint16) bool {
+		if areaEvicted(e) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -61,15 +63,15 @@ func (a *Alloc) EvictedCount() uint64 {
 // (partially) used huge pages).
 func (a *Alloc) UsedHugeBytes() uint64 {
 	var n uint64
-	for area := uint64(0); area < a.areas; area++ {
-		e := a.areaLoad(area)
+	a.forEachAreaEntry(func(area uint64, e uint16) bool {
 		if areaHuge(e) && areaEvicted(e) {
-			continue // hard/soft-reclaimed by the host, not guest-used
+			return true // hard/soft-reclaimed by the host, not guest-used
 		}
 		if areaHuge(e) || uint64(areaFree(e)) < a.tailFrames(area) {
 			n++
 		}
-	}
+		return true
+	})
 	return n * mem.HugeSize
 }
 
@@ -77,17 +79,16 @@ func (a *Alloc) UsedHugeBytes() uint64 {
 // "small" series of Fig. 8). Huge allocations count fully.
 func (a *Alloc) UsedBaseBytes() uint64 {
 	var frames uint64
-	for area := uint64(0); area < a.areas; area++ {
-		e := a.areaLoad(area)
+	a.forEachAreaEntry(func(area uint64, e uint16) bool {
 		if areaHuge(e) {
-			if areaEvicted(e) {
-				continue
+			if !areaEvicted(e) {
+				frames += 512
 			}
-			frames += 512
-			continue
+			return true
 		}
 		frames += a.tailFrames(area) - uint64(areaFree(e))
-	}
+		return true
+	})
 	return frames * mem.PageSize
 }
 

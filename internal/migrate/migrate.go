@@ -246,7 +246,7 @@ type Engine struct {
 	gDirty   *trace.Gauge
 	gPhase   *trace.Gauge
 
-	hintEvent *sim.Event
+	hintEvent sim.Handle
 }
 
 // New builds an engine for migrating vm (currently on its vm.Pool source
@@ -412,10 +412,7 @@ func (e *Engine) copyPending(budget uint64) uint64 {
 			e.cursor = areaEnd
 			continue
 		}
-		q := p
-		for q < areaEnd && bsTest(e.pending, q) {
-			q++
-		}
+		q := bsRunEnd(e.pending, p, areaEnd)
 		if budget != 0 && sent+(q-p)*mem.PageSize > budget {
 			q = p + (budget-sent)/mem.PageSize
 			if q == p {
@@ -444,15 +441,11 @@ func (e *Engine) copyRun(pfn, n uint64) {
 		}
 		newly = nn
 	} else {
-		for i := uint64(0); i < n; i++ {
-			ok, err := e.destEPT.MapBase(mem.PFN(pfn + i))
-			if err != nil {
-				panic("migrate: " + err.Error())
-			}
-			if ok {
-				newly++
-			}
+		nn, err := e.destEPT.MapRange(mem.PFN(pfn), n)
+		if err != nil {
+			panic("migrate: " + err.Error())
 		}
+		newly = nn
 	}
 	if newly > 0 {
 		e.accountDest(int64(newly * mem.PageSize))
@@ -602,10 +595,8 @@ func (e *Engine) rebuildPinned() sim.Duration {
 // dirty logging, rename the destination alias to the real name, drop the
 // source accounting, and switch the VM's placement.
 func (e *Engine) finishTransfer() {
-	if e.hintEvent != nil {
-		e.sched.Cancel(e.hintEvent)
-		e.hintEvent = nil
-	}
+	e.sched.Cancel(e.hintEvent)
+	e.hintEvent = sim.Handle{}
 	e.vm.EPT.StopDirtyTracking()
 	if err := e.dst.Rename(e.alias, e.vm.Name); err != nil {
 		panic("migrate: " + err.Error())
@@ -636,10 +627,8 @@ func (e *Engine) abort(err error) {
 	e.res.Err = err.Error()
 	e.phase = Done
 	e.gPhase.Set(int64(e.phase))
-	if e.hintEvent != nil {
-		e.sched.Cancel(e.hintEvent)
-		e.hintEvent = nil
-	}
+	e.sched.Cancel(e.hintEvent)
+	e.hintEvent = sim.Handle{}
 	e.vm.EPT.StopDirtyTracking()
 	e.dst.Remove(e.alias)
 	e.res.TotalTime = e.sched.Now().Sub(e.startT)
@@ -700,21 +689,50 @@ func scaleCost(perGiB sim.Duration, b uint64) sim.Duration {
 func bsTest(bs []uint64, p uint64) bool { return bs[p/64]&(1<<(p%64)) != 0 }
 
 func bsSetRange(bs []uint64, p, n uint64) {
-	for i := p; i < p+n; i++ {
-		bs[i/64] |= 1 << (i % 64)
+	end := p + n
+	for p < end {
+		w := p / 64
+		mask := ^uint64(0) << (p % 64)
+		if rem := end - w*64; rem < 64 {
+			mask &= 1<<rem - 1
+		}
+		bs[w] |= mask
+		p = (w + 1) * 64
 	}
 }
 
 // bsClearRange clears [p, p+n) and returns how many bits were set.
 func bsClearRange(bs []uint64, p, n uint64) uint64 {
 	var was uint64
-	for i := p; i < p+n; i++ {
-		if bs[i/64]&(1<<(i%64)) != 0 {
-			was++
-			bs[i/64] &^= 1 << (i % 64)
+	end := p + n
+	for p < end {
+		w := p / 64
+		mask := ^uint64(0) << (p % 64)
+		if rem := end - w*64; rem < 64 {
+			mask &= 1<<rem - 1
 		}
+		was += uint64(bits.OnesCount64(bs[w] & mask))
+		bs[w] &^= mask
+		p = (w + 1) * 64
 	}
 	return was
+}
+
+// bsRunEnd returns the end of the run of set bits starting at p: the
+// first clear bit at or after p, or limit.
+func bsRunEnd(bs []uint64, p, limit uint64) uint64 {
+	for p < limit {
+		inv := ^bs[p/64] >> (p % 64)
+		if inv != 0 {
+			q := p + uint64(bits.TrailingZeros64(inv))
+			if q > limit {
+				return limit
+			}
+			return q
+		}
+		p = (p/64 + 1) * 64
+	}
+	return limit
 }
 
 // bsNext returns the first set bit at or after p (limit if none).

@@ -219,9 +219,9 @@ func (e *Engine) drainTick() {
 	var sentFrames uint64
 	cur := bsNext(e.residual, 0, e.frames)
 	for cur < e.frames && sentFrames < budgetFrames {
-		q := cur
-		for q < e.frames && bsTest(e.residual, q) && sentFrames+(q-cur) < budgetFrames {
-			q++
+		q := bsRunEnd(e.residual, cur, e.frames)
+		if left := budgetFrames - sentFrames; q-cur > left {
+			q = cur + left
 		}
 		sentFrames += e.fetchResidual(cur, q-cur)
 		cur = bsNext(e.residual, q, e.frames)
@@ -240,14 +240,15 @@ func (e *Engine) drainTick() {
 // content — no accounting change.
 func (e *Engine) fetchResidual(p, n uint64) uint64 {
 	var newly uint64
-	for i := bsNext(e.residual, p, p+n); i < p+n; i = bsNext(e.residual, i+1, p+n) {
-		ok, err := e.vm.EPT.MapBase(mem.PFN(i))
+	end := p + n
+	for i := bsNext(e.residual, p, end); i < end; i = bsNext(e.residual, i, end) {
+		q := bsRunEnd(e.residual, i, end)
+		nn, err := e.vm.EPT.MapRange(mem.PFN(i), q-i)
 		if err != nil {
 			panic("migrate: " + err.Error())
 		}
-		if ok {
-			newly++
-		}
+		newly += nn
+		i = q // next bsNext resumes after the run
 	}
 	if newly > 0 {
 		e.accountDest(int64(newly * mem.PageSize))

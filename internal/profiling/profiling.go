@@ -1,0 +1,48 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the long-running experiment commands. The simulation is deterministic in
+// virtual time, so a wall-clock profile of one run is representative: use
+// it to find real-time hot spots (EPT walks, allocator scans, scheduler
+// churn) without perturbing any result.
+package profiling
+
+import (
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpu is non-empty) and returns a stop
+// function that finishes the CPU profile and writes a heap profile (when
+// memFile is non-empty). Callers must invoke stop on the normal exit path;
+// log.Fatal exits skip it, so profiles cover successful runs only.
+func Start(cpuFile, memFile string) (stop func()) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			log.Fatalf("profiling: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("profiling: %v", err)
+		}
+		cpuOut = f
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				log.Fatalf("profiling: %v", err)
+			}
+			runtime.GC() // materialize the retained heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("profiling: %v", err)
+			}
+			f.Close()
+		}
+	}
+}

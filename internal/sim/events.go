@@ -1,7 +1,9 @@
 package sim
 
 // Event is a scheduled callback. Callbacks run with the clock set to the
-// event's timestamp and may schedule further events.
+// event's timestamp and may schedule further events. Event records are
+// owned by the scheduler and recycled through a free list once they fire
+// or are cancelled; external code refers to them only through Handles.
 type Event struct {
 	At   Time
 	Name string
@@ -9,6 +11,21 @@ type Event struct {
 
 	seq   uint64 // tie-breaker for deterministic ordering
 	index int    // heap bookkeeping; -1 when not queued
+	gen   uint64 // bumped on recycle; stale Handles compare unequal
+}
+
+// Handle identifies a scheduled event for Cancel. The zero Handle is valid
+// and refers to nothing. Handles are generation-checked: once the event
+// fires or is cancelled, the record may be reused for a later event, and
+// old handles to it become inert rather than cancelling the newcomer.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
+
+// Pending reports whether the event is still queued.
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
 }
 
 // eventQueue is a concrete min-heap over (At, seq). It is hand-rolled
@@ -111,6 +128,10 @@ type Scheduler struct {
 	clock *Clock
 	queue eventQueue
 	seq   uint64
+	// free holds recycled Event records. Steady-state scheduling (the
+	// chained After pattern every workload uses) pops the record it just
+	// recycled, so the hot loop allocates nothing.
+	free []*Event
 }
 
 // NewScheduler returns a scheduler over a fresh clock.
@@ -124,21 +145,42 @@ func (s *Scheduler) Clock() *Clock { return s.clock }
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.clock.Now() }
 
+// alloc takes an Event record off the free list, or makes one.
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// recycle invalidates outstanding Handles to e and returns the record to
+// the free list.
+func (s *Scheduler) recycle(e *Event) {
+	e.gen++
+	e.Fn = nil
+	e.Name = ""
+	s.free = append(s.free, e)
+}
+
 // At schedules fn to run at time t. A time in the past is clamped to now:
 // callbacks may advance the clock while they run (long operations), so a
 // busy simulation legitimately schedules and fires events late.
-func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+func (s *Scheduler) At(t Time, name string, fn func()) Handle {
 	if t < s.clock.Now() {
 		t = s.clock.Now()
 	}
 	s.seq++
-	e := &Event{At: t, Name: name, Fn: fn, seq: s.seq}
+	e := s.alloc()
+	e.At, e.Name, e.Fn, e.seq = t, name, fn, s.seq
 	s.queue.push(e)
-	return e
+	return Handle{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+func (s *Scheduler) After(d Duration, name string, fn func()) Handle {
 	return s.At(s.clock.Now().Add(d), name, fn)
 }
 
@@ -154,13 +196,14 @@ func (s *Scheduler) Every(period Duration, name string, fn func() bool) {
 	s.After(period, name, tick)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired event is a
-// no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// Cancel removes a pending event. Cancelling an already-fired event, the
+// zero Handle, or a handle whose record was recycled is a no-op.
+func (s *Scheduler) Cancel(h Handle) {
+	if !h.Pending() {
 		return
 	}
-	s.queue.remove(e.index)
+	s.queue.remove(h.e.index)
+	s.recycle(h.e)
 }
 
 // Pending returns the number of queued events.
@@ -178,7 +221,11 @@ func (s *Scheduler) Step() bool {
 	if e.At > s.clock.Now() {
 		s.clock.AdvanceTo(e.At)
 	}
-	e.Fn()
+	// Recycle before invoking: a callback that reschedules (the chained
+	// After pattern) reuses this very record instead of allocating.
+	fn := e.Fn
+	s.recycle(e)
+	fn()
 	return true
 }
 

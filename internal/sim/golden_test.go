@@ -51,12 +51,14 @@ func TestSchedulerHeapRandomized(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		s := NewScheduler()
 		var got []int
-		var events []*Event
+		var events []Handle
+		var ats []Time
 		n := 2 + rng.Intn(64)
 		for i := 0; i < n; i++ {
 			i := i
 			at := Time(rng.Intn(8)) // heavy ties
 			events = append(events, s.At(at, "e", func() { got = append(got, i) }))
+			ats = append(ats, at)
 		}
 		// Cancel a random subset before running.
 		want := make([]int, 0, n)
@@ -71,9 +73,9 @@ func TestSchedulerHeapRandomized(t *testing.T) {
 			seq int
 		}
 		keys := make([]key, 0, n)
-		for i, e := range events {
+		for i := range events {
 			if !cancelled[i] {
-				keys = append(keys, key{e.At, i})
+				keys = append(keys, key{ats[i], i})
 			}
 		}
 		// Insertion order is seq order, so a stable sort by At is the oracle.

@@ -107,8 +107,8 @@ func TestSchedulerLateEvents(t *testing.T) {
 	}
 	// Scheduling in the past clamps to now.
 	e := s.At(Time(Second), "past", func() {})
-	if e.At != s.Now() {
-		t.Errorf("past event scheduled at %v, now %v", e.At, s.Now())
+	if e.e.At != s.Now() {
+		t.Errorf("past event scheduled at %v, now %v", e.e.At, s.Now())
 	}
 }
 
@@ -117,11 +117,47 @@ func TestSchedulerCancel(t *testing.T) {
 	ran := false
 	e := s.After(Second, "x", func() { ran = true })
 	s.Cancel(e)
-	s.Cancel(e) // double cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)        // double cancel is a no-op
+	s.Cancel(Handle{}) // zero handle is a no-op
 	s.Run()
 	if ran {
 		t.Error("cancelled event ran")
+	}
+}
+
+// TestSchedulerHandleReuse pins the generation check: a handle to a fired
+// or cancelled event must not cancel the event that later reuses its
+// record off the free list.
+func TestSchedulerHandleReuse(t *testing.T) {
+	s := NewScheduler()
+	fired := s.After(Second, "a", func() {})
+	s.Run()
+	if fired.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+	ran := false
+	fresh := s.After(Second, "b", func() { ran = true })
+	if fresh.e != fired.e {
+		t.Fatal("free list did not reuse the record") // the test's premise
+	}
+	s.Cancel(fired) // stale handle: must NOT cancel "b"
+	s.Run()
+	if !ran {
+		t.Error("stale handle cancelled a reused event")
+	}
+
+	// Same via Cancel: cancelling bumps the generation too.
+	old := s.After(Second, "c", func() {})
+	s.Cancel(old)
+	ran = false
+	reused := s.After(Second, "d", func() { ran = true })
+	if reused.e != old.e {
+		t.Fatal("free list did not reuse the cancelled record")
+	}
+	s.Cancel(old)
+	s.Run()
+	if !ran {
+		t.Error("stale cancelled handle cancelled a reused event")
 	}
 }
 

@@ -84,7 +84,7 @@ type VM struct {
 	autoPeriod sim.Duration
 
 	// autoEvent tracks the scheduled auto-reclamation tick.
-	autoEvent *sim.Event
+	autoEvent sim.Handle
 }
 
 // Config for NewVM.
@@ -223,7 +223,7 @@ func (vm *VM) StartAuto(sched *sim.Scheduler) {
 		return
 	}
 	sched.Cancel(vm.autoEvent)
-	vm.autoEvent = nil
+	vm.autoEvent = sim.Handle{}
 	delay := vm.Mech.AutoTick()
 	if delay <= 0 {
 		return
@@ -241,7 +241,7 @@ func (vm *VM) StartAuto(sched *sim.Scheduler) {
 // StopAuto cancels the automatic-reclamation cycle.
 func (vm *VM) StopAuto(sched *sim.Scheduler) {
 	sched.Cancel(vm.autoEvent)
-	vm.autoEvent = nil
+	vm.autoEvent = sim.Handle{}
 }
 
 // adjustPool reconciles the host pool with an RSS delta. When the host is
@@ -315,19 +315,13 @@ func (vm *VM) populateOnTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
 			// Already populated; nothing to do.
 		default:
 			// Partially populated area: fill the touched range with base
-			// mappings.
-			var newly int64
-			for p := gfn; p < chunkEnd; p++ {
-				ok, err := vm.EPT.FaultBase(p)
-				if err != nil {
-					panic("vmm: " + err.Error())
-				}
-				if ok {
-					newly++
-					vm.chargeFaultBase()
-				}
+			// mappings in one word-wise range fault.
+			newly, err := vm.EPT.FaultRange(gfn, uint64(chunkEnd-gfn))
+			if err != nil {
+				panic("vmm: " + err.Error())
 			}
-			vm.adjustPool(newly)
+			vm.chargeFaultBaseRange(newly)
+			vm.adjustPool(int64(newly))
 		}
 		if vm.EPT.DirtyTracking() {
 			// Dirty logging (pre-copy migration): the write-protect faults
@@ -335,7 +329,7 @@ func (vm *VM) populateOnTouch(z *guest.Zone, pfn mem.PFN, frames uint64) {
 			// here; frames the fault paths above just populated are born
 			// dirty and already paid their populate fault.
 			if wp := vm.EPT.MarkDirty(gfn, uint64(chunkEnd-gfn)); wp > 0 {
-				vm.Meter.Work(ledger.Host, sim.Duration(wp)*vm.Model.EPTFaultExit)
+				vm.Meter.Work(ledger.Host, vm.Model.ChargeRange(wp, costmodel.OpWPFault))
 			}
 		}
 		gfn = chunkEnd
@@ -356,6 +350,24 @@ func (vm *VM) chargeFaultBase() {
 	m, mod := vm.Meter, vm.Model
 	m.Work(ledger.Host, mod.EPTFaultExit+mod.EPTMapBase+mod.PopulateCost(mem.PageSize))
 	m.Bus(mem.PageSize)
+}
+
+// chargeFaultBaseRange accounts frames base-page EPT faults in three meter
+// calls. The split reproduces the per-page loop's ledger exactly: n
+// alternating Work/Bus pairs coalesce (ledger coalescing window) into one
+// Host entry starting at t0 and one Bus entry starting at t0+cost(1), so
+// the batch advances one fault of work first, books the whole transfer,
+// then the remaining n-1 faults.
+func (vm *VM) chargeFaultBaseRange(frames uint64) {
+	if frames == 0 {
+		return
+	}
+	m, mod := vm.Meter, vm.Model
+	m.Work(ledger.Host, mod.OpCost(costmodel.OpFaultBase))
+	m.Bus(frames * mem.PageSize)
+	if frames > 1 {
+		m.Work(ledger.Host, mod.ChargeRange(frames-1, costmodel.OpFaultBase))
+	}
 }
 
 // prepopulateAll maps and populates the whole guest (and pins it in the
@@ -424,9 +436,7 @@ func (vm *VM) DiscardArea(gArea uint64) uint64 {
 		// mapping; DMA-safe mechanisms unmap (or remap) the IOMMU right
 		// after, which clears the mark.
 		start := mem.PFN(gArea * mem.FramesPerHuge)
-		for i := uint64(0); i < mem.FramesPerHuge; i++ {
-			vm.IOMMU.MarkStale(start + mem.PFN(i))
-		}
+		vm.IOMMU.MarkStaleRange(start, mem.FramesPerHuge)
 	}
 	return was
 }
@@ -443,6 +453,26 @@ func (vm *VM) DiscardBase(gfn mem.PFN) bool {
 		if vm.IOMMU != nil {
 			vm.IOMMU.MarkStale(gfn)
 		}
+	}
+	return was
+}
+
+// DiscardBaseRange removes the host backing of the guest-physical base
+// frames [gfn, gfn+frames) — the batched form of per-frame DiscardBase
+// calls. Stale DMA marks are set for exactly the frames whose EPT mapping
+// was cleared, matching the per-frame loop. Returns how many frames were
+// populated.
+func (vm *VM) DiscardBaseRange(gfn mem.PFN, frames uint64) uint64 {
+	var cleared func(mem.PFN, uint64)
+	if vm.IOMMU != nil {
+		cleared = func(p mem.PFN, n uint64) { vm.IOMMU.MarkStaleRange(p, n) }
+	}
+	was, err := vm.EPT.UnmapRange(gfn, frames, cleared)
+	if err != nil {
+		panic("vmm: " + err.Error())
+	}
+	if was > 0 {
+		vm.adjustPool(-int64(was))
 	}
 	return was
 }

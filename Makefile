@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke
+.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke
 
 # The full pre-commit gate: everything CI runs.
-check: vet build test race migrate-smoke
+check: vet build test race migrate-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,18 @@ migrate-smoke:
 	$(GO) run ./cmd/migrate -churners 4 -cycles 4 -start 8 -audit \
 		-json $(MIGRATE_JSON) -trace $(MIGRATE_TRACE)
 	$(GO) run ./cmd/tracecheck $(MIGRATE_TRACE)
+
+# The fleet smoke test: the 3-scenario x 2-scorer cluster matrix at one
+# simulated day with the N-pool conservation auditor on, emitting the
+# result JSON and a Perfetto trace of the first arm, then structurally
+# validating the trace. CI uploads both files as artifacts. CLUSTER_JSON
+# and CLUSTER_TRACE override the output paths.
+CLUSTER_JSON ?= cluster-results.json
+CLUSTER_TRACE ?= cluster-trace.json
+cluster-smoke:
+	$(GO) run ./cmd/cluster -run 60 -audit \
+		-json $(CLUSTER_JSON) -trace $(CLUSTER_TRACE)
+	$(GO) run ./cmd/tracecheck $(CLUSTER_TRACE)
 
 # The tracing smoke test: capture the quickstart walkthrough as a
 # Chrome/Perfetto trace and structurally validate it (balanced nested

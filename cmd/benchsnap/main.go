@@ -1,7 +1,8 @@
 // Command benchsnap captures the repository's performance trajectory: it
 // runs the hot-path microbenchmarks (EPT range ops vs per-frame loops,
 // scheduler steady state and cancel storms, LLFree claim churn, batched
-// cost charging) plus the Fig. 4 matrix throughput in-process, writes the
+// cost charging, fleet epoch stepping) plus the Fig. 4 matrix throughput
+// in-process, writes the
 // numbers as a BENCH_<n>.json snapshot, and compares against the latest
 // checked-in snapshot.
 //
@@ -36,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"hyperalloc/internal/cluster"
 	"hyperalloc/internal/costmodel"
 	"hyperalloc/internal/ept"
 	"hyperalloc/internal/llfree"
@@ -130,6 +132,9 @@ func capture(short bool) *Snapshot {
 	crNs, crAllocs := run(benchChargeRange)
 	s.Metrics["chargerange_512_ns_op"] = crNs
 	s.Gates["chargerange_allocs_op"] = crAllocs
+
+	clNs, _ := run(benchClusterEpoch)
+	s.Metrics["cluster_epoch_ns_op"] = clNs
 
 	reps := 2
 	if short {
@@ -256,6 +261,40 @@ func benchLLFreeGetPut(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := a.Put(0, f.PFN, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClusterEpoch measures one bounded-lag fleet epoch in steady
+// state: two finite hosts with three resident VMs, per-host brokers
+// scanning the shared allocators every period, and the coordinator's
+// barrier pass (migration settlement, placement sampling, bill
+// integration) at every step. Workers is pinned to 1 so the number is a
+// per-epoch cost, not a goroutine-scheduling artifact.
+func benchClusterEpoch(b *testing.B) {
+	cl := cluster.New(cluster.Config{Hosts: 2, HostBytes: 8 * mem.GiB, Workers: 1, Seed: 42})
+	for i := 0; i < 3; i++ {
+		vm, _, err := cl.Admit(cluster.VMSpec{
+			Name:   fmt.Sprintf("vm%d", i),
+			Memory: 2*mem.GiB + 512*mem.MiB,
+			CPUs:   2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Guest.AllocAnon(0, 512*mem.MiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Let the brokers settle before measuring.
+	if err := cl.RunFor(8*sim.Second, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.RunFor(sim.Second, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

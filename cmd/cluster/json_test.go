@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+
+	"hyperalloc/internal/report"
+)
+
+// TestJSONSchemaGolden pins the -json output schema byte-for-byte: the
+// key order is the struct declaration order of `output` and `armJSON`,
+// and tools consuming these files (the CI smoke artifact, plotting
+// scripts reading the fleet summary) rely on it staying put. If this
+// test fails you changed the schema — update the golden string AND bump
+// the consumers.
+func TestJSONSchemaGolden(t *testing.T) {
+	out := &output{
+		Seed:    42,
+		Hosts:   4,
+		HostGiB: 9,
+		VMs:     8,
+		VMGiB:   3,
+		DaySec:  60,
+		RunSec:  120,
+		LagMs:   1000,
+		Arms: []armJSON{{
+			Arm:             "diurnal/allocator-aware",
+			Scenario:        "diurnal",
+			Scorer:          "allocator-aware",
+			HostGiBMin:      32.25,
+			RSSGiBMin:       22.5,
+			PeakActiveHosts: 2,
+			Admissions:      8,
+			Migrations:      4,
+			Evacuations:     4,
+			DrainMoves:      0,
+			MigratedGiB:     5.5,
+			MigratedBytes:   5905580032,
+			SkippedGiB:      1.75,
+			BlackoutMs:      210.5,
+			SLOViolations:   0,
+			SwapViolations:  0,
+			Forced:          1,
+		}},
+	}
+	const golden = `{
+  "seed": 42,
+  "hosts": 4,
+  "host_gib": 9,
+  "vms": 8,
+  "vm_gib": 3,
+  "day_seconds": 60,
+  "run_seconds": 120,
+  "lag_ms": 1000,
+  "arms": [
+    {
+      "arm": "diurnal/allocator-aware",
+      "scenario": "diurnal",
+      "scorer": "allocator-aware",
+      "host_gib_min": 32.25,
+      "rss_gib_min": 22.5,
+      "peak_active_hosts": 2,
+      "admissions": 8,
+      "migrations": 4,
+      "evacuations": 4,
+      "drain_moves": 0,
+      "migrated_gib": 5.5,
+      "migrated_bytes": 5905580032,
+      "skipped_gib": 1.75,
+      "blackout_ms": 210.5,
+      "slo_violations": 0,
+      "swap_violations": 0,
+      "forced_placements": 1
+    }
+  ]
+}
+`
+	buf, err := report.JSONBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != golden {
+		t.Errorf("-json schema drifted:\ngot:\n%s\nwant:\n%s", buf, golden)
+	}
+	// Marshalling twice yields identical bytes (no map iteration anywhere
+	// in the schema).
+	again, err := report.JSONBytes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(buf) {
+		t.Error("repeated marshal differs")
+	}
+}

@@ -49,14 +49,26 @@ func System(pool *hostmem.Pool, vms ...*vmm.VM) error {
 	return nil
 }
 
-// Hosts audits a multi-host topology — the live-migration case: every
-// pool's own accounting is validated, and every VM is audited against
-// whichever pool it currently calls home (vm.Pool moves from the source
-// to the destination host at cut-over, and vm.Audit follows it). A VM
-// whose accounting is mid-flight between two pools — resident on the
-// source while its copy builds up on the destination under a transfer
-// alias — still audits cleanly here, because the source side stays
-// conserved until cut-over and the alias is checked by the migration
+// Hosts audits a multi-host topology of any size — the live-migration
+// and fleet cases: every pool's own accounting is validated, and every VM
+// is audited against whichever pool it currently calls home (vm.Pool
+// moves from the source to the destination host at cut-over, and
+// vm.Audit follows it). On top of the per-host checks it enforces the
+// N-pool conservation rules a single pool cannot see:
+//
+//   - each VM's name is registered on exactly one pool, and that pool is
+//     vm.Pool — a migrated-away VM must not leak a stale source entry;
+//   - the VM's transfer alias ("<name>:in", registered by an in-flight
+//     migration on its destination) appears on at most one pool, and
+//     never on the VM's current home — before cut-over the home is the
+//     source, after cut-over the alias has been renamed away, so an
+//     alias sharing a pool with its VM means the accounting double
+//     counts.
+//
+// A VM whose accounting is mid-flight between two pools — resident on
+// the source while its copy builds up on the destination under the alias
+// — still audits cleanly here, because the source side stays conserved
+// until cut-over and the alias's byte count is checked by the migration
 // engine itself (migrate.Engine.Audit). Returns the first violation.
 func Hosts(pools []*hostmem.Pool, vms ...*vmm.VM) error {
 	for i, p := range pools {
@@ -67,6 +79,34 @@ func Hosts(pools []*hostmem.Pool, vms ...*vmm.VM) error {
 	for _, vm := range vms {
 		if err := vm.Audit(); err != nil {
 			return err
+		}
+		alias := vm.Name + ":in"
+		home, homes, aliases := -1, 0, 0
+		for i, p := range pools {
+			if p == vm.Pool {
+				home = i
+			}
+			if p.Registered(vm.Name) {
+				homes++
+				if p != vm.Pool {
+					return fmt.Errorf("audit: vm %s registered on host %d but lives elsewhere", vm.Name, i)
+				}
+			}
+			if p.Registered(alias) {
+				aliases++
+				if p == vm.Pool {
+					return fmt.Errorf("audit: vm %s: transfer alias %s on its own home host %d", vm.Name, alias, i)
+				}
+			}
+		}
+		if home == -1 {
+			return fmt.Errorf("audit: vm %s: home pool not among the %d audited hosts", vm.Name, len(pools))
+		}
+		if homes != 1 {
+			return fmt.Errorf("audit: vm %s registered on %d hosts, want exactly 1", vm.Name, homes)
+		}
+		if aliases > 1 {
+			return fmt.Errorf("audit: vm %s: transfer alias %s registered on %d hosts, want at most 1", vm.Name, alias, aliases)
 		}
 	}
 	return nil

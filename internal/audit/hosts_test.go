@@ -1,0 +1,101 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"hyperalloc"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/vmm"
+)
+
+// threeHosts builds a minimal three-host topology: one small HyperAlloc
+// VM per host, each on its own system/pool. The VMs are just big enough
+// to clear the DMA32 floor so the fixture stays fast.
+func threeHosts(t *testing.T) (pools []*hostmem.Pool, vms []*vmm.VM) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		sys := hyperalloc.NewSystem(uint64(7 + i))
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:   "vm" + string(rune('a'+i)),
+			Memory: 2*mem.GiB + 128*mem.MiB,
+			CPUs:   2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vm.Guest.AllocAnon(0, 64*mem.MiB); err != nil {
+			t.Fatal(err)
+		}
+		pools = append(pools, sys.Pool)
+		vms = append(vms, vm.VM)
+	}
+	return pools, vms
+}
+
+func TestHostsThreeHostsClean(t *testing.T) {
+	pools, vms := threeHosts(t)
+	if err := Hosts(pools, vms...); err != nil {
+		t.Fatalf("clean three-host topology: %v", err)
+	}
+}
+
+// TestHostsAliasCountsOnce covers the in-flight window: a transfer alias
+// registered on exactly one foreign pool is legal; on two pools, or on
+// the VM's own home pool, it double counts and must fail.
+func TestHostsAliasCountsOnce(t *testing.T) {
+	pools, vms := threeHosts(t)
+	alias := vms[0].Name + ":in"
+
+	// In-flight: alias building up on host 1 while vm lives on host 0.
+	if _, err := pools[1].Adjust(alias, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hosts(pools, vms...); err != nil {
+		t.Fatalf("single in-flight alias should audit clean: %v", err)
+	}
+
+	// The same alias appearing on a second destination is a double count.
+	if _, err := pools[2].Adjust(alias, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := Hosts(pools, vms...)
+	if err == nil || !strings.Contains(err.Error(), "at most 1") {
+		t.Fatalf("alias on two hosts: got %v, want at-most-1 violation", err)
+	}
+	pools[2].Remove(alias)
+
+	// An alias on the VM's own home pool means source and destination
+	// accounting share a pool — always a bug.
+	if _, err := pools[0].Adjust(alias, 0); err != nil {
+		t.Fatal(err)
+	}
+	err = Hosts(pools, vms...)
+	if err == nil || !strings.Contains(err.Error(), "home host") {
+		t.Fatalf("alias on home pool: got %v, want home-host violation", err)
+	}
+}
+
+// TestHostsStaleSourceEntry pins the migrated-away leak: a VM whose name
+// is still registered on a pool it no longer calls home must fail.
+func TestHostsStaleSourceEntry(t *testing.T) {
+	pools, vms := threeHosts(t)
+	if _, err := pools[2].Adjust(vms[0].Name, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := Hosts(pools, vms...)
+	if err == nil || !strings.Contains(err.Error(), "lives elsewhere") {
+		t.Fatalf("stale foreign entry: got %v, want lives-elsewhere violation", err)
+	}
+}
+
+// TestHostsHomeMustBeAudited: passing a VM whose home pool is not in the
+// pool set is a harness bug, not a silent skip.
+func TestHostsHomeMustBeAudited(t *testing.T) {
+	pools, vms := threeHosts(t)
+	err := Hosts(pools[:2], vms...)
+	if err == nil || !strings.Contains(err.Error(), "not among") {
+		t.Fatalf("missing home pool: got %v, want not-among violation", err)
+	}
+}

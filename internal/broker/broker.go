@@ -58,6 +58,14 @@ type Config struct {
 	// EvacuateFn receives the chosen VM after it is detached from the
 	// control loop (required when EvacuateBelow is set).
 	EvacuateFn func(vm *vmm.VM)
+	// VictimFn overrides evacuation victim selection: it receives the
+	// attached VMs in attach order and returns the one to hand to
+	// EvacuateFn, or nil to skip this opportunity (the hold counter
+	// re-arms). nil VictimFn means the default, LargestRSSVictim. A
+	// cluster scheduler uses this to evacuate the smallest expected
+	// transfer — computed from the shared LLFree free-page counts —
+	// instead of the biggest resident set.
+	VictimFn func(vms []*vmm.VM) *vmm.VM
 	// Trace records tick spans, decision instants, and the broker
 	// counters on the tracer (nil = off; the counters then live in a
 	// standalone registry so the accessors keep working).
@@ -287,29 +295,52 @@ func (b *Broker) maybeEvacuate(now sim.Time) {
 	if b.lowTicks < b.cfg.EvacuateHold {
 		return
 	}
-	victim := b.vms[0]
-	for _, m := range b.vms[1:] {
-		if m.vm.RSS() > victim.vm.RSS() {
-			victim = m
-		}
+	candidates := make([]*vmm.VM, len(b.vms))
+	for i, m := range b.vms {
+		candidates[i] = m.vm
 	}
-	rss := victim.vm.RSS()
+	pick := b.cfg.VictimFn
+	if pick == nil {
+		pick = LargestRSSVictim
+	}
+	victim := pick(candidates)
+	if victim == nil {
+		b.lowTicks = 0
+		return
+	}
+	rss := victim.RSS()
 	b.Events = append(b.Events, Event{
-		T: now, VM: victim.vm.Name, Policy: b.cfg.Policy.Name(),
+		T: now, VM: victim.Name, Policy: b.cfg.Policy.Name(),
 		Action: "evacuate", From: rss, Want: b.cfg.EvacuateBelow, To: rss,
 		Reason: "host free below evacuation watermark",
 	})
 	b.evacuations.Inc()
 	b.track.Instant("evacuate",
-		trace.String("vm", victim.vm.Name),
+		trace.String("vm", victim.Name),
 		trace.Uint("rss", rss),
 		trace.Uint("free", free),
 		trace.Uint("watermark", b.cfg.EvacuateBelow))
-	b.Detach(victim.vm.Name)
+	b.Detach(victim.Name)
 	b.lowTicks = 0
 	if b.cfg.EvacuateFn != nil {
-		b.cfg.EvacuateFn(victim.vm)
+		b.cfg.EvacuateFn(victim)
 	}
+}
+
+// LargestRSSVictim is the default evacuation victim policy: the VM with
+// the largest resident set, ties broken toward the earliest attach —
+// evacuating the biggest RSS frees the most host memory per migration.
+func LargestRSSVictim(vms []*vmm.VM) *vmm.VM {
+	if len(vms) == 0 {
+		return nil
+	}
+	victim := vms[0]
+	for _, vm := range vms[1:] {
+		if vm.RSS() > victim.RSS() {
+			victim = vm
+		}
+	}
+	return victim
 }
 
 // sample reads every VM's signals and the host aggregate, updating the

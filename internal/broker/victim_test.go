@@ -1,0 +1,118 @@
+package broker_test
+
+import (
+	"testing"
+
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/vmm"
+)
+
+// TestLargestRSSVictimDefault is the regression pin for the default
+// victim policy: nil VictimFn must behave exactly as before the hook
+// existed — largest RSS wins, ties break toward the earliest attach.
+func TestLargestRSSVictimDefault(t *testing.T) {
+	var evacuated []string
+	sys, vms, bk := newHost(t, 3, 12*mem.GiB, broker.Config{
+		Policy:        fixedPolicy{bytes: 8 * mem.GiB},
+		EvacuateBelow: 3 * mem.GiB,
+		EvacuateHold:  2,
+		EvacuateFn:    func(vm *vmm.VM) { evacuated = append(evacuated, vm.Name) },
+		// VictimFn deliberately nil: the default must kick in.
+	})
+	sizes := []uint64{2 * mem.GiB, 4 * mem.GiB, 4 * mem.GiB}
+	for i, vm := range vms {
+		if _, err := vm.Guest.AllocAnon(0, sizes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := sys.Now()
+	bk.Start()
+	sys.RunUntil(start.Add(3500 * sim.Millisecond))
+	// vm1 and vm2 tie on RSS; the earlier attach (vm1) must go, exactly
+	// as the pre-hook inline loop decided.
+	if len(evacuated) != 1 || evacuated[0] != "vm1" {
+		t.Fatalf("default victim = %v, want [vm1] (largest RSS, attach-order tie-break)", evacuated)
+	}
+
+	// The exported default agrees with what the broker just did.
+	raw := []*vmm.VM{vms[0].VM, vms[1].VM, vms[2].VM}
+	if got := broker.LargestRSSVictim(raw); got != vms[1].VM {
+		t.Errorf("LargestRSSVictim picked %s, want vm1", got.Name)
+	}
+	if got := broker.LargestRSSVictim(nil); got != nil {
+		t.Errorf("LargestRSSVictim(nil) = %v, want nil", got)
+	}
+}
+
+// TestVictimFnOverride: a custom VictimFn sees the attach-order candidate
+// list and its choice — not the largest RSS — is the one detached and
+// handed to EvacuateFn.
+func TestVictimFnOverride(t *testing.T) {
+	var evacuated []string
+	var sawOrder []string
+	sys, vms, bk := newHost(t, 3, 12*mem.GiB, broker.Config{
+		Policy:        fixedPolicy{bytes: 8 * mem.GiB},
+		EvacuateBelow: 3 * mem.GiB,
+		EvacuateHold:  2,
+		EvacuateFn:    func(vm *vmm.VM) { evacuated = append(evacuated, vm.Name) },
+		VictimFn: func(cands []*vmm.VM) *vmm.VM {
+			sawOrder = sawOrder[:0]
+			var smallest *vmm.VM
+			for _, v := range cands {
+				sawOrder = append(sawOrder, v.Name)
+				if smallest == nil || v.RSS() < smallest.RSS() {
+					smallest = v
+				}
+			}
+			return smallest
+		},
+	})
+	sizes := []uint64{4 * mem.GiB, 2 * mem.GiB, 4 * mem.GiB}
+	for i, vm := range vms {
+		if _, err := vm.Guest.AllocAnon(0, sizes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := sys.Now()
+	bk.Start()
+	sys.RunUntil(start.Add(3500 * sim.Millisecond))
+	if len(evacuated) != 1 || evacuated[0] != "vm1" {
+		t.Fatalf("override victim = %v, want [vm1] (smallest RSS)", evacuated)
+	}
+	if len(sawOrder) != 3 || sawOrder[0] != "vm0" || sawOrder[1] != "vm1" || sawOrder[2] != "vm2" {
+		t.Fatalf("VictimFn candidate order = %v, want attach order", sawOrder)
+	}
+	if bk.Evacuations() != 1 {
+		t.Fatalf("evacuations = %d, want 1", bk.Evacuations())
+	}
+}
+
+// TestVictimFnNilSkips: a VictimFn returning nil declines the evacuation;
+// nothing is detached and the hold counter re-arms for a full window.
+func TestVictimFnNilSkips(t *testing.T) {
+	calls := 0
+	sys, vms, bk := newHost(t, 2, 10*mem.GiB, broker.Config{
+		Policy:        fixedPolicy{bytes: 8 * mem.GiB},
+		EvacuateBelow: 3 * mem.GiB,
+		EvacuateHold:  2,
+		EvacuateFn:    func(vm *vmm.VM) { t.Errorf("EvacuateFn fired for %s despite nil victim", vm.Name) },
+		VictimFn:      func([]*vmm.VM) *vmm.VM { calls++; return nil },
+	})
+	for _, vm := range vms {
+		if _, err := vm.Guest.AllocAnon(0, 4*mem.GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := sys.Now()
+	bk.Start()
+	sys.RunUntil(start.Add(6500 * sim.Millisecond))
+	if bk.Evacuations() != 0 {
+		t.Fatalf("evacuations = %d, want 0 when VictimFn declines", bk.Evacuations())
+	}
+	// 6 ticks, hold 2, counter reset on each decline: 3 opportunities.
+	if calls != 3 {
+		t.Fatalf("VictimFn called %d times, want 3 (hold window re-arms after each decline)", calls)
+	}
+}

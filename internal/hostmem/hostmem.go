@@ -268,6 +268,18 @@ func (p *Pool) Rename(from, to string) error {
 // Swapped returns the VM's swapped-out bytes.
 func (p *Pool) Swapped(vm string) uint64 { return p.swapped[vm] }
 
+// Registered reports whether the pool carries an accounting entry
+// (resident or swapped, possibly zero-valued) under the name. Migration
+// transfer aliases register with a zero-byte Adjust before any bytes
+// arrive, so presence is not the same as RSS() > 0.
+func (p *Pool) Registered(vm string) bool {
+	if _, ok := p.rss[vm]; ok {
+		return true
+	}
+	_, ok := p.swapped[vm]
+	return ok
+}
+
 // TotalSwapped returns the swapped-out bytes across all VMs.
 func (p *Pool) TotalSwapped() uint64 {
 	var n uint64

@@ -143,6 +143,19 @@ func NewMeter(clock *sim.Clock) *Meter {
 // Clock returns the underlying clock.
 func (m *Meter) Clock() *sim.Clock { return m.clock }
 
+// SetClock rebinds the meter to a different clock. A live-migrated VM
+// carries its meter along, but the destination host's scheduler owns a
+// different clock; the cluster coordinator rebinds at the epoch barrier
+// after cut-over, when both hosts' clocks agree on the boundary time. The
+// ledger keeps accumulating into the same entries — record coalesces on
+// start times and tolerates the rebind.
+func (m *Meter) SetClock(clock *sim.Clock) {
+	if clock == nil {
+		panic("ledger: SetClock(nil)")
+	}
+	m.clock = clock
+}
+
 // Ledger returns the ledger for samplers.
 func (m *Meter) Ledger() *Ledger { return m.ledger }
 

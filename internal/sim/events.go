@@ -209,6 +209,17 @@ func (s *Scheduler) Cancel(h Handle) {
 // Pending returns the number of queued events.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// NextAt returns the timestamp of the earliest queued event; ok is false
+// when the queue is empty. Multi-scheduler coordinators (the cluster's
+// merged-clock group stepping) use it to decide which host's event runs
+// next without popping anything.
+func (s *Scheduler) NextAt() (t Time, ok bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].At, true
+}
+
 // Step runs the next event, if any, and reports whether one ran. An event
 // whose timestamp has already passed (the previous callback advanced the
 // clock beyond it) runs late, at the current time — the single-threaded

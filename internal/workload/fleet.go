@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/cluster"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/runner"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// FleetConfig parameterizes the fleet-scale experiment matrix: N finite
+// hosts under the cluster scheduler, VMs admitted on a staggered
+// schedule, and a diurnal demand wave with random flash crowds. Every
+// arm replays the exact same guest-side demand — allocation success
+// depends only on guest allocator state, never on placement — so the
+// scheduler signal (the Scorer) is the only thing that differs between
+// the naive-RSS baseline and the allocator-aware arm. The host bill
+// (host-GiB-minutes) is the paired comparison.
+type FleetConfig struct {
+	Hosts     int    // fleet size (default 4)
+	HostBytes uint64 // per-host capacity (default 9 GiB)
+	VMs       int    // admissions over the first half of the run (default 8)
+	VMMemory  uint64 // per-VM size (default 3 GiB)
+
+	// Day is the diurnal period; demand follows an integer triangle wave
+	// over it (default 60 s of simulated time).
+	Day sim.Duration
+	// RunFor is the experiment length (default 2*Day).
+	RunFor sim.Duration
+	// Lag is the cluster's bounded-lag epoch (default 1 s).
+	Lag sim.Duration
+
+	Seed    uint64
+	Workers int // worker pool for FleetAll and host-group advancement
+	// Audit runs the N-pool conservation auditor every simulated second
+	// plus per-round migration audits.
+	Audit bool
+	// Trace is bound to one arm's cluster (FleetAll gives it to arm 0).
+	Trace *trace.Tracer
+}
+
+func (c *FleetConfig) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 4
+	}
+	if c.HostBytes == 0 {
+		c.HostBytes = 9 * mem.GiB
+	}
+	if c.VMs == 0 {
+		c.VMs = 8
+	}
+	if c.VMMemory == 0 {
+		c.VMMemory = 3 * mem.GiB
+	}
+	if c.Day == 0 {
+		c.Day = 60 * sim.Second
+	}
+	if c.RunFor == 0 {
+		c.RunFor = 2 * c.Day
+	}
+	if c.Lag == 0 {
+		c.Lag = sim.Second
+	}
+}
+
+// FleetArm is one cell of the matrix: a scenario crossed with a
+// scheduler signal. The naive arm also migrates with copy-all — a fleet
+// without allocator visibility has no free-page knowledge anywhere —
+// while the aware arm uses hyperalloc-skip.
+type FleetArm struct {
+	Name     string
+	Scenario string // "diurnal" | "consolidate" | "drain"
+	Scorer   string // "naive-rss" | "allocator-aware"
+}
+
+// FleetArms returns the full matrix in scenario-major order.
+func FleetArms() []FleetArm {
+	scenarios := []string{"diurnal", "consolidate", "drain"}
+	scorers := []string{"naive-rss", "allocator-aware"}
+	var arms []FleetArm
+	for _, sc := range scenarios {
+		for _, s := range scorers {
+			arms = append(arms, FleetArm{Name: sc + "/" + s, Scenario: sc, Scorer: s})
+		}
+	}
+	return arms
+}
+
+// FleetResult is one arm's scoreboard.
+type FleetResult struct {
+	Arm      string
+	Scenario string
+	Scorer   string
+
+	HostGiBMin      float64 // the bill: active-host capacity integrated over time
+	RSSGiBMin       float64
+	PeakActiveHosts int
+
+	Admissions       uint64
+	ForcedPlacements uint64
+	Evacuations      uint64
+	DrainMoves       uint64
+	Migrations       uint64
+	MigratedBytes    uint64
+	SkippedBytes     uint64
+	Blackout         sim.Duration
+
+	SLOViolations      uint64
+	SwapViolations     uint64
+	DowntimeViolations uint64
+	AllocFailures      uint64
+}
+
+// fleetVM is the demand driver's per-VM state: a resident working set
+// plus a stack of churn regions grown and shrunk toward the diurnal
+// target. Freed churn stays EPT-mapped — the signal gap the scorers
+// disagree about.
+type fleetVM struct {
+	vm         *hyperalloc.VM
+	idx        int
+	churn      []*guest.Region
+	churnBytes uint64
+	burstUntil int // epoch the flash crowd ends (0 = none)
+}
+
+// adjust moves the VM's churn allocation toward target, freeing LIFO and
+// allocating the difference. Steps under 32 MiB are skipped to bound
+// event counts. Guest-side failures are tolerated and counted: a full
+// guest simply holds what it has.
+func (f *fleetVM) adjust(target uint64) (failures uint64) {
+	for f.churnBytes > target && len(f.churn) > 0 {
+		r := f.churn[len(f.churn)-1]
+		if f.churnBytes-r.Bytes() < target && target > 0 &&
+			f.churnBytes-target < 32*mem.MiB {
+			break
+		}
+		f.churn = f.churn[:len(f.churn)-1]
+		f.churnBytes -= r.Bytes()
+		r.Free()
+	}
+	if target > f.churnBytes && target-f.churnBytes >= 32*mem.MiB {
+		diff := target - f.churnBytes
+		r, err := f.vm.Guest.AllocAnon(f.idx%f.vm.Guest.CPUs(), diff)
+		if err != nil {
+			return 1
+		}
+		f.churn = append(f.churn, r)
+		f.churnBytes += diff
+	}
+	return 0
+}
+
+// Fleet runs one arm of the matrix.
+func Fleet(arm FleetArm, cfg FleetConfig) (FleetResult, error) {
+	cfg.defaults()
+	res := FleetResult{Arm: arm.Name, Scenario: arm.Scenario, Scorer: arm.Scorer}
+
+	var scorer cluster.Scorer
+	strategy := migrate.HyperAllocSkip
+	switch arm.Scorer {
+	case "naive-rss":
+		scorer, strategy = cluster.NaiveRSS{}, migrate.CopyAll
+	case "allocator-aware":
+		scorer = cluster.AllocatorAware{}
+	default:
+		return res, fmt.Errorf("fleet: unknown scorer %q", arm.Scorer)
+	}
+
+	cl := cluster.New(cluster.Config{
+		Hosts:     cfg.Hosts,
+		HostBytes: cfg.HostBytes,
+		Lag:       cfg.Lag,
+		Workers:   cfg.Workers,
+		Scorer:    scorer,
+		// StaticSplit never shrinks a limit: freed guest memory stays
+		// EPT-mapped for the rest of the run, which is exactly the world
+		// where the two scheduler signals diverge. The evacuation escape
+		// hatch stays armed in both arms.
+		Policy:   broker.StaticSplit{},
+		Strategy: strategy,
+		Audit:    cfg.Audit,
+		Seed:     cfg.Seed,
+		Trace:    cfg.Trace,
+	})
+
+	// Demand shape: a quarter of the VM always resident, a third churning
+	// with the day, a sixth more during a flash crowd. Peak stays well
+	// under VMMemory so guest-side allocation never depends on placement.
+	wsBytes := cfg.VMMemory / 4
+	ampBytes := cfg.VMMemory / 3
+	flashBytes := cfg.VMMemory / 6
+
+	epochs := int(cfg.RunFor / cfg.Lag)
+	period := int(cfg.Day / cfg.Lag)
+	half := period / 2
+	if half == 0 {
+		return res, fmt.Errorf("fleet: Day must span at least two epochs")
+	}
+	// Admissions stagger across the first half of the run, so late VMs
+	// arrive after early ones have already freed their first-day peak.
+	spacing := epochs / (2 * cfg.VMs)
+	if spacing == 0 {
+		spacing = 1
+	}
+
+	rng := sim.NewRNG(cfg.Seed*0x9e3779b97f4a7c15 + 97)
+	var fleet []*fleetVM
+	epoch := 0
+	drainNext, drainCur := 0, -1
+
+	runErr := cl.RunFor(cfg.RunFor, func(c *cluster.Cluster) error {
+		epoch++
+
+		// Admissions due this epoch.
+		for next := len(fleet); next < cfg.VMs && epoch >= 1+next*spacing; next = len(fleet) {
+			name := fmt.Sprintf("vm%02d", next)
+			vm, _, err := c.Admit(cluster.VMSpec{
+				Name:       name,
+				Memory:     cfg.VMMemory,
+				CPUs:       4,
+				DemandHint: wsBytes + ampBytes/2,
+			})
+			if err != nil {
+				return fmt.Errorf("fleet %s: admit %s: %w", arm.Name, name, err)
+			}
+			f := &fleetVM{vm: vm, idx: next}
+			if _, err := vm.Guest.AllocAnon(0, wsBytes); err != nil {
+				return fmt.Errorf("fleet %s: %s working set: %w", arm.Name, name, err)
+			}
+			fleet = append(fleet, f)
+		}
+
+		// Diurnal demand: integer triangle wave plus decaying flash
+		// crowds. One RNG draw per admitted VM per epoch, independent of
+		// placement, keeps every arm's demand stream identical.
+		phase := epoch % period
+		tri := phase
+		if phase > half {
+			tri = period - phase
+		}
+		for _, f := range fleet {
+			if rng.Intn(100) == 0 {
+				f.burstUntil = epoch + 8
+			}
+			target := wsBytes/4 + ampBytes*uint64(tri)/uint64(half)
+			if epoch < f.burstUntil {
+				target += flashBytes
+			}
+			res.AllocFailures += f.adjust(target)
+		}
+
+		switch arm.Scenario {
+		case "consolidate":
+			// Night: pack the fleet and power hosts down; morning: return
+			// drained hosts to the placement pool. Hosts drained empty
+			// park until demand wakes them again.
+			for i := 0; i < c.Hosts(); i++ {
+				h := c.Host(i)
+				if h.Draining() && len(h.VMs()) == 0 {
+					c.Undrain(i)
+				}
+			}
+			if tri*100 < half*35 {
+				c.ConsolidateOnce()
+			}
+		case "drain":
+			// Rolling maintenance across the fleet, one host at a time,
+			// once admissions have settled.
+			if epoch <= cfg.VMs*spacing+3 {
+				break
+			}
+			if drainCur >= 0 {
+				h := c.Host(drainCur)
+				if len(h.VMs()) == 0 && c.InFlight() == 0 {
+					c.Undrain(drainCur)
+					drainCur = -1
+				}
+			}
+			if drainCur < 0 && drainNext < c.Hosts() {
+				if h := c.Host(drainNext); len(h.VMs()) > 0 {
+					c.Drain(drainNext)
+					drainCur = drainNext
+				}
+				drainNext++
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+	if cfg.Audit {
+		if err := cl.AuditNow(); err != nil {
+			return res, fmt.Errorf("fleet %s: final audit: %w", arm.Name, err)
+		}
+	}
+
+	m := cl.Metrics()
+	res.HostGiBMin = m.HostGiBMin
+	res.RSSGiBMin = m.RSSGiBMin
+	res.PeakActiveHosts = m.PeakActiveHosts
+	res.Admissions = m.Admissions
+	res.ForcedPlacements = m.ForcedPlacements
+	res.Evacuations = m.Evacuations
+	res.DrainMoves = m.DrainMoves
+	res.Migrations = m.Migrations
+	res.MigratedBytes = m.MigratedBytes
+	res.SkippedBytes = m.SkippedBytes
+	res.Blackout = m.Blackout
+	res.SLOViolations = m.SLOViolations
+	res.SwapViolations = m.SwapViolations
+	res.DowntimeViolations = m.DowntimeViolations
+	return res, nil
+}
+
+// FleetAll runs the matrix through one worker pool; results come back in
+// FleetArms order, identical to a sequential loop.
+func FleetAll(arms []FleetArm, cfg FleetConfig) ([]FleetResult, error) {
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
+		func(i int) (FleetResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+			}
+			return Fleet(arms[i], c)
+		})
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// TestFleetMatrixGolden is the fleet-scale headline pin: on every
+// scenario, the allocator-aware scheduler ends the run with a strictly
+// smaller host bill (host-GiB-minutes) AND strictly fewer bytes on the
+// migration wire than the naive-RSS baseline, with the N-pool
+// conservation auditor running every simulated second.
+func TestFleetMatrixGolden(t *testing.T) {
+	cfg := FleetConfig{Seed: 11, Audit: true}
+	results, err := FleetAll(FleetArms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	for i := 0; i < len(results); i += 2 {
+		naive, aware := results[i], results[i+1]
+		if naive.Scenario != aware.Scenario || naive.Scorer != "naive-rss" || aware.Scorer != "allocator-aware" {
+			t.Fatalf("arm order broken: %s then %s", naive.Arm, aware.Arm)
+		}
+		if aware.HostGiBMin >= naive.HostGiBMin {
+			t.Errorf("%s: allocator-aware bill %.1f host-GiB-min >= naive %.1f — the paper's signal must win",
+				naive.Scenario, aware.HostGiBMin, naive.HostGiBMin)
+		}
+		if aware.MigratedBytes >= naive.MigratedBytes {
+			t.Errorf("%s: aware moved %d bytes >= naive %d", naive.Scenario, aware.MigratedBytes, naive.MigratedBytes)
+		}
+		// The naive fleet has no allocator visibility anywhere: its
+		// copy-all migrations can never skip a byte.
+		if naive.SkippedBytes != 0 {
+			t.Errorf("%s: naive skipped %d bytes, want 0", naive.Scenario, naive.SkippedBytes)
+		}
+		if aware.Migrations > 0 && aware.SkippedBytes == 0 {
+			t.Errorf("%s: aware migrated %d times but skipped nothing", aware.Scenario, aware.Migrations)
+		}
+		for _, r := range []FleetResult{naive, aware} {
+			if r.Admissions != 8 {
+				t.Errorf("%s: %d admissions, want 8", r.Arm, r.Admissions)
+			}
+			if r.Migrations == 0 {
+				t.Errorf("%s: no migrations — scenario exercised nothing", r.Arm)
+			}
+			if r.AllocFailures != 0 {
+				t.Errorf("%s: %d guest alloc failures — demand no longer placement-independent", r.Arm, r.AllocFailures)
+			}
+		}
+	}
+	// Scenario-specific mechanisms actually fired.
+	if aware := results[3]; aware.DrainMoves == 0 {
+		t.Error("consolidate/allocator-aware: night consolidation never drained a host")
+	}
+	if aware := results[5]; aware.DrainMoves == 0 {
+		t.Error("drain/allocator-aware: rolling maintenance never moved a VM")
+	}
+}
+
+// fleetIdentityRun drives one traced arm at the given worker count and
+// returns its JSON result and Chrome trace bytes.
+func fleetIdentityRun(t *testing.T, workers int) ([]byte, []byte) {
+	t.Helper()
+	tr := trace.New()
+	cfg := FleetConfig{Seed: 7, Audit: true, Workers: workers, Trace: tr}
+	res, err := Fleet(FleetArm{Name: "drain/allocator-aware", Scenario: "drain", Scorer: "allocator-aware"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := report.JSONBytes(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return js, buf.Bytes()
+}
+
+// TestFleetWorkerIdentity: the fleet's bounded-lag epoch protocol must
+// yield byte-identical JSON and trace output whether host groups advance
+// on one worker or four (the cross-host determinism contract).
+func TestFleetWorkerIdentity(t *testing.T) {
+	js1, tr1 := fleetIdentityRun(t, 1)
+	js4, tr4 := fleetIdentityRun(t, 4)
+	if !bytes.Equal(js1, js4) {
+		t.Fatalf("fleet JSON diverges across worker counts:\n  1: %s\n  4: %s", js1, js4)
+	}
+	if !bytes.Equal(tr1, tr4) {
+		t.Fatal("fleet Chrome traces differ between Workers=1 and Workers=4")
+	}
+}
+
+// TestFleetDayFloor pins the config validation: a Day shorter than two
+// epochs cannot express a triangle wave.
+func TestFleetDayFloor(t *testing.T) {
+	_, err := Fleet(FleetArms()[0], FleetConfig{Day: sim.Second, Lag: sim.Second})
+	if err == nil {
+		t.Fatal("sub-epoch Day accepted")
+	}
+}

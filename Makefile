@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke
+.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke tier-smoke
 
 # The full pre-commit gate: everything CI runs.
-check: vet build test race migrate-smoke cluster-smoke
+check: vet build test race migrate-smoke cluster-smoke tier-smoke
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +60,14 @@ cluster-smoke:
 		-json $(CLUSTER_JSON) -trace $(CLUSTER_TRACE)
 	$(GO) run ./cmd/tracecheck $(CLUSTER_TRACE)
 
+# The tiered-swapping smoke test: the tier-choice matrix (inflate vs
+# swap-per-backend, plus the two-host evacuation arms) with the
+# cross-layer auditor on, emitting the result JSON. CI uploads it as an
+# artifact. TIER_JSON overrides the output path.
+TIER_JSON ?= tier-results.json
+tier-smoke:
+	$(GO) run ./cmd/broker -tiering -audit -json $(TIER_JSON)
+
 # The tracing smoke test: capture the quickstart walkthrough as a
 # Chrome/Perfetto trace and structurally validate it (balanced nested
 # spans, monotonic timestamps per track, known phases only). CI uploads
@@ -70,7 +78,7 @@ trace-smoke:
 	$(GO) run ./examples/quickstart -trace $(TRACE_OUT) -trace-summary
 	$(GO) run ./cmd/tracecheck $(TRACE_OUT)
 
-# The deep invariant gate: long state-machine fuzz runs against all five
+# The deep invariant gate: long state-machine fuzz runs against all the
 # reference models, plus the paper-scale experiment drivers with the
 # cross-layer auditor enabled. `make check` already runs the short
 # versions; this scales them up (tune with AUDIT_FUZZ_OPS/AUDIT_FUZZ_SEEDS).

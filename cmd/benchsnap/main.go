@@ -40,6 +40,7 @@ import (
 	"hyperalloc/internal/cluster"
 	"hyperalloc/internal/costmodel"
 	"hyperalloc/internal/ept"
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/llfree"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/sim"
@@ -135,6 +136,11 @@ func capture(short bool) *Snapshot {
 
 	clNs, _ := run(benchClusterEpoch)
 	s.Metrics["cluster_epoch_ns_op"] = clNs
+
+	for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
+		swNs, _ := run(benchSwapIn(t))
+		s.Metrics[fmt.Sprintf("swapin_%s_ns_op", t)] = swNs
+	}
 
 	reps := 2
 	if short {
@@ -262,6 +268,36 @@ func benchLLFreeGetPut(b *testing.B) {
 		}
 		if err := a.Put(0, f.PFN, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSwapIn measures one evict-and-fault-back cycle through a hostmem
+// backend: a full pool, a neighbor's growth forcing an eviction, the
+// neighbor releasing, and the victim draining its debt back in. The
+// number is pure bookkeeping cost (entry updates, charge deltas, trace
+// counters) — simulated IO time is charged by the vmm, not here.
+func benchSwapIn(t hostmem.Tier) func(b *testing.B) {
+	return func(b *testing.B) {
+		const capacity int64 = 64 << 20
+		const chunk int64 = 8 << 20
+		p := hostmem.NewPool(uint64(capacity))
+		p.SetDefaultTier(t)
+		if _, err := p.Adjust("a", capacity); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Adjust("b", chunk); err != nil { // evicts a's chunk
+				b.Fatal(err)
+			}
+			if _, err := p.Adjust("b", -chunk); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.SwapIn("a", uint64(capacity)); err != nil { // full drain
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -11,6 +11,13 @@
 //
 //	broker [-vms N] [-memory GIB] [-host GIB] [-units N] [-builds N]
 //	       [-gap MIN] [-offset MIN] [-seed S] [-parallel N] [-json FILE]
+//	       [-backend nvme|zswap|far] [-tiering]
+//
+// -backend selects the hostmem tier that absorbs evictions (default
+// nvme, the classic swap device). -tiering switches to the tier-choice
+// matrix instead: the same overcommitted host run once per way out of
+// pressure (deflation vs. swapping to each backend), plus the two-host
+// evacuation scenario that adds migration as the third option.
 //
 // The candidate × policy matrix fans across -parallel workers (default:
 // all CPUs); all output is byte-identical to -parallel 1. The full-scale
@@ -23,6 +30,7 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
@@ -70,9 +78,38 @@ func main() {
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor during the experiment (slow)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix arm to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	backendName := flag.String("backend", "nvme", "swap tier for host evictions: nvme, zswap, or far")
+	tiering := flag.Bool("tiering", false, "run the tier-choice matrix (inflate vs swap-per-backend vs migrate) instead")
 	flag.Parse()
 
+	backend, err := hostmem.ParseTier(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tr := trace.FromFlags(*traceOut, *traceSummary)
+	if *tiering {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		tcfg := workload.TieringConfig{
+			Seed: *seed, Workers: *parallel, Audit: *auditRun, Trace: tr,
+		}
+		// The tiering scenario has its own reduced-scale defaults; only
+		// explicitly-set flags override them.
+		if set["vms"] {
+			tcfg.VMs = *vms
+		}
+		if set["memory"] {
+			tcfg.Memory = uint64(*memoryGiB * float64(mem.GiB))
+		}
+		if set["host"] {
+			tcfg.HostBytes = uint64(*hostGiB * float64(mem.GiB))
+		}
+		if set["offset"] {
+			tcfg.Offset = sim.Duration(*offsetMin) * 60 * sim.Second
+		}
+		runTiering(tcfg, *jsonPath, tr, *traceOut, *traceSummary)
+		return
+	}
 	cfg := workload.OvercommitConfig{
 		VMs:       *vms,
 		Memory:    uint64(*memoryGiB * float64(mem.GiB)),
@@ -81,6 +118,7 @@ func main() {
 		Gap:       sim.Duration(*gapMin) * 60 * sim.Second,
 		Offset:    sim.Duration(*offsetMin) * 60 * sim.Second,
 		Units:     *units,
+		Backend:   backend,
 		Seed:      *seed,
 		Workers:   *parallel,
 		Audit:     *auditRun,
@@ -157,6 +195,93 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+// tieringOutput is the -tiering -json schema.
+type tieringOutput struct {
+	Seed uint64           `json:"seed"`
+	Arms []tieringArmJSON `json:"arms"`
+}
+
+type tieringArmJSON struct {
+	Arm             string  `json:"arm"`
+	Scenario        string  `json:"scenario"`
+	Policy          string  `json:"policy"`
+	TierPolicy      string  `json:"tier_policy"`
+	FootprintGiBMin float64 `json:"footprint_gib_min"`
+	HostPeakGiB     float64 `json:"host_peak_gib"`
+	CompletionSec   float64 `json:"completion_seconds"`
+	SwapOutGiB      float64 `json:"swap_out_gib"`
+	SwapInGiB       float64 `json:"swap_in_gib"`
+	WireGiB         float64 `json:"wire_gib"`
+	SkippedGiB      float64 `json:"skipped_gib"`
+	TierMoves       uint64  `json:"tier_moves"`
+	Emergencies     uint64  `json:"emergencies"`
+}
+
+// runTiering drives the tier-choice matrix: the pressure scenario's
+// inflate-vs-swap arms, then the two-host evacuation scenario that adds
+// migration.
+func runTiering(cfg workload.TieringConfig, jsonPath string, tr *trace.Tracer, traceOut string, traceSummary bool) {
+	pressure, err := workload.TieringAll(workload.TieringArms(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecfg := cfg
+	ecfg.Trace = nil // one tracer, one simulation: the pressure matrix owns it
+	evac, err := workload.TieringEvacuationAll(workload.TieringEvacuationArms(), ecfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := tr.Emit(traceOut, traceSummary, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	out := &tieringOutput{Seed: cfg.Seed}
+	tierRows := func(results []workload.TieringResult) [][]string {
+		var rows [][]string
+		for _, r := range results {
+			rows = append(rows, []string{
+				r.Arm,
+				fmt.Sprintf("%.1f GiB·min", r.HostGiBMin),
+				fmt.Sprintf("%.2f GiB", float64(r.HostPeakBytes)/(1<<30)),
+				r.CompletionTime.String(),
+				mem.HumanBytes(r.SwapOutBytes),
+				mem.HumanBytes(r.SwapInBytes),
+				mem.HumanBytes(r.WireBytes),
+				fmt.Sprintf("%d", r.Emergencies),
+			})
+			out.Arms = append(out.Arms, tieringArmJSON{
+				Arm: r.Arm, Scenario: r.Scenario,
+				Policy: r.Policy, TierPolicy: r.TierPolicy,
+				FootprintGiBMin: r.HostGiBMin,
+				HostPeakGiB:     float64(r.HostPeakBytes) / (1 << 30),
+				CompletionSec:   r.CompletionTime.Seconds(),
+				SwapOutGiB:      float64(r.SwapOutBytes) / (1 << 30),
+				SwapInGiB:       float64(r.SwapInBytes) / (1 << 30),
+				WireGiB:         float64(r.WireBytes) / (1 << 30),
+				SkippedGiB:      float64(r.SkippedBytes) / (1 << 30),
+				TierMoves:       r.TierMoves,
+				Emergencies:     r.Emergencies,
+			})
+		}
+		return rows
+	}
+	hdr := []string{"arm", "footprint", "peak RSS", "completion", "swap out", "swap in", "wire", "emergencies"}
+	report.Table(os.Stdout, "Tier choice — overcommit pressure", hdr, tierRows(pressure))
+	report.Table(os.Stdout, "Tier choice — evacuation", hdr, tierRows(evac))
+	fmt.Println("\nunder sustained pressure the compressed in-RAM tier beats both active")
+	fmt.Println("  deflation and the swap device on host GiB·min; when a second host exists,")
+	fmt.Println("  migrating the big VM away (skipping allocator-free frames) beats all three.")
+
+	if jsonPath != "" {
+		if err := report.WriteJSON(jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", jsonPath)
 	}
 }
 

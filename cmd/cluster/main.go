@@ -13,7 +13,10 @@
 //	cluster [-hosts N] [-host-gib GIB] [-vms N] [-vm-gib GIB]
 //	        [-day SEC] [-run SEC] [-lag-ms MS] [-seed S]
 //	        [-parallel N] [-json FILE] [-audit] [-trace FILE]
-//	        [-trace-summary]
+//	        [-trace-summary] [-backend nvme|zswap|far]
+//
+// -backend selects the hostmem tier that absorbs every host's evictions
+// (default nvme, the pre-tier swap device).
 //
 // The six arms fan across -parallel workers (default: all CPUs); all
 // output is byte-identical to -parallel 1, and so is each arm's
@@ -26,6 +29,7 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
@@ -84,7 +88,13 @@ func main() {
 	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	backendName := flag.String("backend", "nvme", "swap tier for host evictions: nvme, zswap, or far")
 	flag.Parse()
+
+	backend, err := hostmem.ParseTier(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
 	defer stopProfiles()
@@ -98,6 +108,7 @@ func main() {
 		Day:       sim.Duration(*daySec * float64(sim.Second)),
 		RunFor:    sim.Duration(*runSec * float64(sim.Second)),
 		Lag:       sim.Duration(*lagMs * float64(sim.Millisecond)),
+		Backend:   backend,
 		Seed:      *seed,
 		Workers:   *parallel,
 		Audit:     *auditRun,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/sim"
 )
 
@@ -162,6 +163,9 @@ func Machines() []Machine {
 		NewLLFreeMachine(),
 		NewBuddyMachine(),
 		NewPoolMachine(),
+		NewBackendMachine(hostmem.TierNVMe),
+		NewBackendMachine(hostmem.TierZswap),
+		NewBackendMachine(hostmem.TierFar),
 		NewVMMachine(),
 		NewMechMachine(),
 	}

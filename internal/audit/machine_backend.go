@@ -1,0 +1,371 @@
+package audit
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"sort"
+
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/sim"
+)
+
+// bmCap is the fuzzed pool's capacity in (arbitrary) bytes.
+const bmCap = 1000
+
+// bmBase is the fixed VM universe. Each VM toggles between its base name
+// and base+"2" under the rename op, so the trace stays replayable: the
+// model tracks which name is current and the pool must agree.
+var bmBase = [...]string{"a", "b", "c"}
+
+// bmEntry mirrors one VM of hostmem's entry struct, plus the bookkeeping
+// the pool keeps implicitly: whether the VM is registered at all and
+// which of its two names is current.
+type bmEntry struct {
+	reg     bool
+	name    string
+	rss     uint64
+	tier    hostmem.Tier
+	swapped [hostmem.NumTiers]uint64
+}
+
+func (e *bmEntry) debt() uint64 {
+	var n uint64
+	for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
+		n += e.swapped[t]
+	}
+	return n
+}
+
+// backendMachine fuzzes the pool's tiered backend interface against an
+// exact reference model: grows, releases and paced swap-ins (with their
+// cross-tier eviction cascades), tier reassignment, rename and removal
+// are mirrored arithmetically — including the compressed tier's capacity
+// charges — and the full observable state (per-VM rss, per-tier swap
+// debt, tier assignment, registration, pool total/peak, tier-summed
+// traffic) is compared after every operation. One machine per home tier,
+// so every backend serves as the bulk target while settier ops still mix
+// the others in.
+type backendMachine struct {
+	home hostmem.Tier
+	p    *hostmem.Pool
+
+	vms         [len(bmBase)]bmEntry
+	total, peak uint64
+	out, in     uint64
+}
+
+// NewBackendMachine returns the tiered-backend fuzz machine with the
+// given home tier (the pool's default tier for the run).
+func NewBackendMachine(home hostmem.Tier) Machine {
+	return &backendMachine{home: home}
+}
+
+func (m *backendMachine) Name() string { return "backend-" + m.home.String() }
+
+func (m *backendMachine) Reset() {
+	home := m.home
+	*m = backendMachine{home: home, p: hostmem.NewPool(bmCap)}
+	m.p.SetDefaultTier(home)
+	for i, base := range bmBase {
+		m.vms[i] = bmEntry{name: base, tier: home}
+	}
+}
+
+// charge mirrors the backends' capacity charges: device tiers hold for
+// free, the compressed tier charges ceil(stored/ratio).
+func (m *backendMachine) charge(t hostmem.Tier, stored uint64) uint64 {
+	if t == hostmem.TierZswap {
+		return (stored + hostmem.DefaultZswapRatio - 1) / hostmem.DefaultZswapRatio
+	}
+	return 0
+}
+
+func (m *backendMachine) Gen(rng *sim.RNG) Op {
+	n := uint64(len(bmBase))
+	k := rng.Uint64n(100)
+	switch {
+	case k < 30:
+		return Op{Kind: "grow", A: rng.Uint64n(n), B: 1 + rng.Uint64n(bmCap/2)}
+	case k < 55:
+		return Op{Kind: "release", A: rng.Uint64n(n), B: 1 + rng.Uint64n(bmCap)}
+	case k < 75:
+		return Op{Kind: "swapin", A: rng.Uint64n(n), B: rng.Uint64n(3 * bmCap)}
+	case k < 85:
+		return Op{Kind: "settier", A: rng.Uint64n(n), B: rng.Uint64n(uint64(hostmem.NumTiers))}
+	case k < 90:
+		return Op{Kind: "rename", A: rng.Uint64n(n)}
+	case k < 95:
+		return Op{Kind: "remove", A: rng.Uint64n(n)}
+	default:
+		return Op{Kind: "resetpeak"}
+	}
+}
+
+func (m *backendMachine) Apply(op Op) error {
+	vi := int(op.A % uint64(len(bmBase)))
+	e := &m.vms[vi]
+	switch op.Kind {
+	case "grow":
+		io, err := m.p.Adjust(e.name, int64(op.B))
+		wantIO, ok := m.modelAdjust(vi, int64(op.B))
+		if err := m.judge(op, io, err, wantIO, ok); err != nil {
+			return err
+		}
+	case "release":
+		io, err := m.p.Adjust(e.name, -int64(op.B))
+		wantIO, ok := m.modelAdjust(vi, -int64(op.B))
+		if err := m.judge(op, io, err, wantIO, ok); err != nil {
+			return err
+		}
+	case "swapin":
+		io, err := m.p.SwapIn(e.name, op.B)
+		wantIO, ok := m.modelSwapIn(vi, op.B)
+		if err := m.judge(op, io, err, wantIO, ok); err != nil {
+			return err
+		}
+	case "settier":
+		t := hostmem.Tier(op.B % uint64(hostmem.NumTiers))
+		m.p.SetTier(e.name, t)
+		e.reg = true // SetTier registers unknown VMs
+		e.tier = t
+	case "rename":
+		next := bmBase[vi]
+		if e.name == next {
+			next += "2"
+		}
+		err := m.p.Rename(e.name, next)
+		if !e.reg {
+			if err == nil {
+				return fmt.Errorf("rename %s: accepted for unregistered vm", e.name)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("rename %s -> %s: %w", e.name, next, err)
+		}
+		e.name = next
+	case "remove":
+		rss, sw := m.p.Remove(e.name)
+		if rss != e.rss || sw != e.debt() {
+			return fmt.Errorf("remove %s = (%d, %d), model expects (%d, %d)",
+				e.name, rss, sw, e.rss, e.debt())
+		}
+		m.total -= e.rss
+		for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
+			m.total -= m.charge(t, e.swapped[t])
+		}
+		*e = bmEntry{name: e.name, tier: m.home}
+	case "resetpeak":
+		m.p.ResetPeak()
+		m.peak = m.total
+	default:
+		return fmt.Errorf("backend machine: unknown op %q", op.Kind)
+	}
+	return m.compareState()
+}
+
+// judge compares one call's per-tier IO and outcome with the model's.
+func (m *backendMachine) judge(op Op, io hostmem.IO, err error, wantIO hostmem.IO, ok bool) error {
+	name := m.vms[op.A%uint64(len(bmBase))].name
+	if ok && err != nil {
+		return fmt.Errorf("%s %s %d: unexpected error %w", op.Kind, name, op.B, err)
+	}
+	if !ok && err == nil {
+		return fmt.Errorf("%s %s %d: accepted, model expects an error", op.Kind, name, op.B)
+	}
+	if ok && io != wantIO {
+		return fmt.Errorf("%s %s %d: IO %+v, model expects %+v", op.Kind, name, op.B, io, wantIO)
+	}
+	return nil
+}
+
+// modelAdjust mirrors hostmem.Pool.Adjust across tiers, charges included.
+func (m *backendMachine) modelAdjust(vi int, delta int64) (hostmem.IO, bool) {
+	var io hostmem.IO
+	e := &m.vms[vi]
+	if delta < 0 {
+		d := uint64(-delta)
+		if d > e.rss+e.debt() {
+			return io, false
+		}
+		for t := hostmem.Tier(0); t < hostmem.NumTiers && d > 0; t++ {
+			take := minu(e.swapped[t], d)
+			if take == 0 {
+				continue
+			}
+			m.total -= m.charge(t, e.swapped[t]) - m.charge(t, e.swapped[t]-take)
+			e.swapped[t] -= take
+			d -= take
+		}
+		e.rss -= d
+		m.total -= d
+		return io, true
+	}
+	d := uint64(delta)
+	if m.total+d > bmCap {
+		need := m.total + d - bmCap
+		if need > m.maxFreeable() {
+			return io, false
+		}
+		m.modelSwapOut(vi, need, &io)
+	}
+	e.reg = true
+	e.rss += d
+	m.total += d
+	if m.total > m.peak {
+		m.peak = m.total
+	}
+	return io, true
+}
+
+// modelSwapIn mirrors hostmem.Pool.SwapIn: exact 128-bit pacing, the
+// eviction cascade, and the ascending-tier drain with charge refunds.
+func (m *backendMachine) modelSwapIn(vi int, limit uint64) (hostmem.IO, bool) {
+	var io hostmem.IO
+	e := &m.vms[vi]
+	if !e.reg || limit == 0 {
+		return io, true
+	}
+	debt := e.debt()
+	if debt == 0 {
+		return io, true
+	}
+	span := e.rss + debt
+	hi, lo := bits.Mul64(limit, debt)
+	back, _ := bits.Div64(hi, lo, span)
+	if back > debt {
+		back = debt
+	}
+	if back == 0 {
+		return io, true
+	}
+	if m.total+back > bmCap {
+		need := m.total + back - bmCap
+		if need > m.maxFreeable() {
+			return io, false
+		}
+		m.modelSwapOut(vi, need, &io)
+	}
+	rem := back
+	for t := hostmem.Tier(0); t < hostmem.NumTiers && rem > 0; t++ {
+		take := minu(e.swapped[t], rem)
+		if take == 0 {
+			continue
+		}
+		m.total -= m.charge(t, e.swapped[t]) - m.charge(t, e.swapped[t]-take)
+		e.swapped[t] -= take
+		m.in += take
+		io.In[t] += take
+		rem -= take
+	}
+	e.rss += back
+	m.total += back
+	if m.total > m.peak {
+		m.peak = m.total
+	}
+	return io, true
+}
+
+// modelSwapOut mirrors hostmem.Pool.swapOut: evict the largest-RSS VM
+// other than the faulter (ties on the smaller current name), falling back
+// to the faulter; the loop runs on freed capacity, so compressed-tier
+// charges make it move more bytes than it frees.
+func (m *backendMachine) modelSwapOut(faulter int, need uint64, io *hostmem.IO) {
+	var freed uint64
+	for freed < need {
+		victim := -1
+		for vi := range m.vms {
+			e := &m.vms[vi]
+			if vi == faulter || !e.reg || e.rss == 0 {
+				continue
+			}
+			if victim < 0 || e.rss > m.vms[victim].rss ||
+				(e.rss == m.vms[victim].rss && e.name < m.vms[victim].name) {
+				victim = vi
+			}
+		}
+		if victim < 0 {
+			victim = faulter
+		}
+		e := &m.vms[victim]
+		if !e.reg || e.rss == 0 {
+			break
+		}
+		take := minu(e.rss, need-freed)
+		t := e.tier
+		charged := m.charge(t, e.swapped[t]+take) - m.charge(t, e.swapped[t])
+		e.rss -= take
+		e.swapped[t] += take
+		m.total -= take - charged
+		m.out += take
+		io.Out[t] += take
+		freed += take - charged
+	}
+}
+
+// maxFreeable mirrors hostmem.Pool.maxFreeable: what full eviction of
+// every VM would free, net of the charges it would add.
+func (m *backendMachine) maxFreeable() uint64 {
+	var n uint64
+	for vi := range m.vms {
+		e := &m.vms[vi]
+		if !e.reg {
+			continue
+		}
+		t := e.tier
+		n += e.rss - (m.charge(t, e.swapped[t]+e.rss) - m.charge(t, e.swapped[t]))
+	}
+	return n
+}
+
+// compareState diffs every observable of the pool against the model.
+func (m *backendMachine) compareState() error {
+	if m.p.Total() != m.total {
+		return fmt.Errorf("pool total = %d, model %d", m.p.Total(), m.total)
+	}
+	if m.p.Peak() != m.peak {
+		return fmt.Errorf("pool peak = %d, model %d", m.p.Peak(), m.peak)
+	}
+	if m.p.SwapOutBytes != m.out || m.p.SwapInBytes != m.in {
+		return fmt.Errorf("pool swap traffic out/in = %d/%d, model %d/%d",
+			m.p.SwapOutBytes, m.p.SwapInBytes, m.out, m.in)
+	}
+	var names []string
+	for vi := range m.vms {
+		e := &m.vms[vi]
+		if m.p.Registered(e.name) != e.reg {
+			return fmt.Errorf("pool registered(%s) = %v, model %v", e.name, !e.reg, e.reg)
+		}
+		if m.p.RSS(e.name) != e.rss {
+			return fmt.Errorf("pool rss(%s) = %d, model %d", e.name, m.p.RSS(e.name), e.rss)
+		}
+		if m.p.Swapped(e.name) != e.debt() {
+			return fmt.Errorf("pool swapped(%s) = %d, model %d", e.name, m.p.Swapped(e.name), e.debt())
+		}
+		for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
+			if m.p.SwappedOn(e.name, t) != e.swapped[t] {
+				return fmt.Errorf("pool swapped(%s, %s) = %d, model %d",
+					e.name, t, m.p.SwappedOn(e.name, t), e.swapped[t])
+			}
+		}
+		if m.p.TierOf(e.name) != e.tier {
+			return fmt.Errorf("pool tier(%s) = %v, model %v", e.name, m.p.TierOf(e.name), e.tier)
+		}
+		if e.reg {
+			names = append(names, e.name)
+		}
+	}
+	sort.Strings(names)
+	if got := m.p.VMs(); !reflect.DeepEqual(got, names) && !(len(got) == 0 && len(names) == 0) {
+		return fmt.Errorf("pool vms = %v, model %v", got, names)
+	}
+	return nil
+}
+
+func (m *backendMachine) Check() error {
+	if err := m.p.Validate(); err != nil {
+		return err
+	}
+	return m.compareState()
+}

@@ -2,6 +2,7 @@ package audit
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/sim"
@@ -57,20 +58,23 @@ func (m *poolMachine) Apply(op Op) error {
 	name := poolVMs[vi]
 	switch op.Kind {
 	case "grow":
-		sw, err := m.p.Adjust(name, int64(op.B))
+		io, err := m.p.Adjust(name, int64(op.B))
 		wantSw, ok := m.modelAdjust(vi, int64(op.B))
+		sw := io.Bytes()
 		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
 			return err
 		}
 	case "release":
-		sw, err := m.p.Adjust(name, -int64(op.B))
+		io, err := m.p.Adjust(name, -int64(op.B))
 		wantSw, ok := m.modelAdjust(vi, -int64(op.B))
+		sw := io.Bytes()
 		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
 			return err
 		}
 	case "swapin":
-		sw, err := m.p.SwapIn(name, op.B)
+		io, err := m.p.SwapIn(name, op.B)
 		wantSw, ok := m.modelSwapIn(vi, op.B)
+		sw := io.Bytes()
 		if err := m.judge(op, sw, err, wantSw, ok); err != nil {
 			return err
 		}
@@ -131,14 +135,16 @@ func (m *poolMachine) modelAdjust(vi int, delta int64) (uint64, bool) {
 	return sw, true
 }
 
-// modelSwapIn mirrors hostmem.Pool.SwapIn, float arithmetic included.
+// modelSwapIn mirrors hostmem.Pool.SwapIn, exact integer scaling
+// included (limit·debt/span in 128-bit math).
 func (m *poolMachine) modelSwapIn(vi int, limit uint64) (uint64, bool) {
 	debt := m.swapped[vi]
 	if debt == 0 || limit == 0 {
 		return 0, true
 	}
 	span := m.rss[vi] + debt
-	back := uint64(float64(limit) * (float64(debt) / float64(span)))
+	hi, lo := bits.Mul64(limit, debt)
+	back, _ := bits.Div64(hi, lo, span)
 	if back > debt {
 		back = debt
 	}

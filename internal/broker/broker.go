@@ -58,6 +58,11 @@ type Config struct {
 	// EvacuateFn receives the chosen VM after it is detached from the
 	// control loop (required when EvacuateBelow is set).
 	EvacuateFn func(vm *vmm.VM)
+	// TierPolicy, when set, assigns each attached VM's eviction tier (the
+	// hostmem backend its swapped bytes land on) at attach time and on
+	// every tick — the fourth policy axis, inflate vs. swap-to-tier vs.
+	// migrate. nil leaves every VM on the pool's default tier (NVMe).
+	TierPolicy TierPolicy
 	// VictimFn overrides evacuation victim selection: it receives the
 	// attached VMs in attach order and returns the one to hand to
 	// EvacuateFn, or nil to skip this opportunity (the hold counter
@@ -147,6 +152,7 @@ type Broker struct {
 	emergencies *trace.Counter
 	errors      *trace.Counter
 	evacuations *trace.Counter
+	tierMoves   *trace.Counter
 }
 
 // New creates a broker on the host described by sched and pool.
@@ -168,6 +174,7 @@ func New(sched *sim.Scheduler, pool *hostmem.Pool, cfg Config) *Broker {
 		emergencies: reg.Counter("broker/emergencies"),
 		errors:      reg.Counter("broker/errors"),
 		evacuations: reg.Counter("broker/evacuations"),
+		tierMoves:   reg.Counter("broker/tier_moves"),
 	}
 }
 
@@ -189,6 +196,10 @@ func (b *Broker) Errors() uint64 { return b.errors.Value() }
 // Evacuations returns the number of VMs handed to EvacuateFn.
 func (b *Broker) Evacuations() uint64 { return b.evacuations.Value() }
 
+// TierMoves returns the number of eviction-tier reassignments the tier
+// policy made.
+func (b *Broker) TierMoves() uint64 { return b.tierMoves.Value() }
+
 // Policy returns the configured policy.
 func (b *Broker) Policy() Policy { return b.cfg.Policy }
 
@@ -205,6 +216,13 @@ func (b *Broker) Attach(vm *vmm.VM, priority int) {
 	})
 	if b.cfg.VMAutoPeriod > 0 {
 		vm.SetAutoPeriod(b.cfg.VMAutoPeriod)
+	}
+	if b.cfg.TierPolicy != nil {
+		// Place the tier choice before the VM's first eviction can happen.
+		// Only boot-time signals exist yet; adaptive policies refine the
+		// choice on the first tick.
+		b.applyTier(b.sched.Now(), HostSignals{Capacity: b.pool.Capacity(), Total: b.pool.Total()},
+			VMSignals{Name: vm.Name, InitialBytes: vm.InitialBytes, Limit: vm.Limit(), RSS: vm.RSS()})
 	}
 }
 
@@ -250,6 +268,11 @@ func (b *Broker) Tick() {
 		defer b.track.End()
 	}
 	host, vms := b.sample(now)
+	if b.cfg.TierPolicy != nil {
+		for _, v := range vms {
+			b.applyTier(now, host, v)
+		}
+	}
 	targets := b.cfg.Policy.Targets(now, host, vms)
 
 	// Two passes over the policy's (deterministic) target order.
@@ -374,6 +397,7 @@ func (b *Broker) sample(now sim.Time) (HostSignals, []VMSignals) {
 			InitialBytes: m.vm.InitialBytes,
 			Limit:        limit,
 			RSS:          m.vm.RSS(),
+			SwappedBytes: b.pool.Swapped(m.vm.Name),
 			FreeBytes:    free,
 			DemandBytes:  demand,
 			DemandEWMA:   m.ewma,

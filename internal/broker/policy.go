@@ -23,6 +23,7 @@ type VMSignals struct {
 	InitialBytes uint64 // boot-time size; limits never exceed it
 	Limit        uint64 // current hard limit
 	RSS          uint64 // host-resident bytes
+	SwappedBytes uint64 // bytes the host evicted to swap tiers
 	FreeBytes    uint64 // guest-allocatable bytes under the current limit
 	DemandBytes  uint64 // Limit - FreeBytes: memory in use right now
 

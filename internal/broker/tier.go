@@ -1,0 +1,90 @@
+// Tier-choice policies: the broker's fourth axis. Besides deciding how
+// much memory each VM keeps (Policy), the broker decides where a VM's
+// evicted bytes go when the host must swap anyway — local NVMe, the
+// compressed in-RAM tier, or far memory (hostmem backends). Inflation,
+// swap-to-tier and migration (EvacuateBelow) together form the
+// inflate-vs-swap-vs-migrate tradeoff the workload.Tiering matrix
+// measures.
+package broker
+
+import (
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// TierPolicy assigns each VM's eviction tier from the sampled signals.
+// Like Policy, implementations must be stateless and deterministic. The
+// broker applies the choice through hostmem.Pool.SetTier: already-swapped
+// bytes stay where they are, only future evictions move.
+type TierPolicy interface {
+	Name() string
+	Tier(host HostSignals, v VMSignals) hostmem.Tier
+}
+
+// StaticTier sends every VM's evictions to one fixed tier — the backend
+// selection knob on cmd drivers, and the per-arm setting of the tiering
+// matrix.
+type StaticTier struct {
+	T hostmem.Tier
+}
+
+// Name implements TierPolicy.
+func (p StaticTier) Name() string { return "static-" + p.T.String() }
+
+// Tier implements TierPolicy.
+func (p StaticTier) Tier(host HostSignals, v VMSignals) hostmem.Tier { return p.T }
+
+// ColdTier routes VMs by recent demand: a VM whose burst-window demand
+// stays under ColdBelow is cold — its evictions can ride a slower, denser
+// tier — while active VMs keep the fast tier so their refaults stay
+// cheap.
+type ColdTier struct {
+	// Cold is the tier for cold VMs (default TierFar).
+	Cold hostmem.Tier
+	// Hot is the tier for everyone else (default TierNVMe).
+	Hot hostmem.Tier
+	// ColdBelow is the recent-demand threshold (default 1 GiB).
+	ColdBelow uint64
+}
+
+// Name implements TierPolicy.
+func (p ColdTier) Name() string { return "cold-tier" }
+
+// Tier implements TierPolicy.
+func (p ColdTier) Tier(host HostSignals, v VMSignals) hostmem.Tier {
+	cold, hot, below := p.Cold, p.Hot, p.ColdBelow
+	if cold == 0 {
+		cold = hostmem.TierFar
+	}
+	if below == 0 {
+		below = 1 << 30
+	}
+	if v.DemandRecent < below && v.DemandBytes < below {
+		return cold
+	}
+	return hot
+}
+
+// applyTier runs the tier policy for one VM and records a "tier" event
+// when the assignment changes. From/To carry the tier ids (not bytes —
+// the action disambiguates).
+func (b *Broker) applyTier(now sim.Time, host HostSignals, v VMSignals) {
+	want := b.cfg.TierPolicy.Tier(host, v)
+	cur := b.pool.TierOf(v.Name)
+	if cur == want {
+		return
+	}
+	b.pool.SetTier(v.Name, want)
+	b.tierMoves.Inc()
+	b.Events = append(b.Events, Event{
+		T: now, VM: v.Name, Policy: b.cfg.TierPolicy.Name(),
+		Action: "tier", From: uint64(cur), Want: uint64(want), To: uint64(want),
+		Reason: "tier policy assignment",
+	})
+	b.track.Instant("tier",
+		trace.String("vm", v.Name),
+		trace.String("policy", b.cfg.TierPolicy.Name()),
+		trace.String("from", cur.String()),
+		trace.String("to", want.String()))
+}

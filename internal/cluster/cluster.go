@@ -67,6 +67,9 @@ type Config struct {
 	// Strategy is the free-page strategy for cluster migrations (default
 	// HyperAllocSkip).
 	Strategy migrate.Strategy
+	// Backend is the swap tier every host's evictions land on (default
+	// the NVMe tier, the pre-tier behaviour).
+	Backend hostmem.Tier
 	// DowntimeTarget is the migration blackout budget (default 300 ms);
 	// a completed migration exceeding it counts as an SLO violation.
 	DowntimeTarget sim.Duration
@@ -290,6 +293,7 @@ func New(cfg Config) *Cluster {
 			Name:  fmt.Sprintf("host%d", i),
 			Sys:   hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+uint64(i)*0x2545f4914f6cdd1d+41, cfg.HostBytes),
 		}
+		h.Sys.Pool.SetDefaultTier(cfg.Backend)
 		h.track = cfg.Trace.Track("cluster/" + h.Name)
 		pre := "cluster/" + h.Name + "/"
 		h.gRSS = reg.Gauge(pre + "rss_bytes")

@@ -1,0 +1,263 @@
+package hostmem
+
+import (
+	"testing"
+	"time"
+
+	"hyperalloc/internal/costmodel"
+)
+
+// Regression (bug sweep): a VM whose RSS is fully on swap is an entry
+// like any other — it shows up in VMs(), renames atomically with its
+// debt and tier assignment, and removes cleanly. Under the old split
+// rss/swapped maps the two could disagree about which VMs exist.
+func TestRenameWhileFullySwapped(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 40)
+	p.SetTier("a", TierFar)
+	adjust(t, p, "b", 100) // evicts all of a: rss 0, 40 bytes on far
+	if p.RSS("a") != 0 || p.SwappedOn("a", TierFar) != 40 {
+		t.Fatalf("setup: rss %d far %d", p.RSS("a"), p.SwappedOn("a", TierFar))
+	}
+	if got := p.VMs(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("fully-swapped VM missing from VMs(): %v", got)
+	}
+	if err := p.Rename("a", "a2"); err != nil {
+		t.Fatalf("rename of fully-swapped VM: %v", err)
+	}
+	if p.Registered("a") || !p.Registered("a2") {
+		t.Error("rename left the old name registered")
+	}
+	if p.Swapped("a2") != 40 || p.TierOf("a2") != TierFar {
+		t.Errorf("debt/tier did not follow the rename: swapped %d tier %v",
+			p.Swapped("a2"), p.TierOf("a2"))
+	}
+	if got := p.VMs(); len(got) != 2 || got[0] != "a2" || got[1] != "b" {
+		t.Errorf("VMs after rename: %v", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rss, sw := p.Remove("a2"); rss != 0 || sw != 40 {
+		t.Errorf("Remove = (%d, %d), want (0, 40)", rss, sw)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression (bug sweep): the swap-in fraction is computed in integer
+// math. At spans beyond 2^53 bytes the old float64 scaling lost
+// precision: touching the whole span must fault exactly the debt, and
+// two identical pools must fault identical amounts.
+func TestSwapInHugeSpanExact(t *testing.T) {
+	const cap = 1<<53 + 2
+	run := func() (*Pool, IO) {
+		p := NewPool(cap)
+		adjust(t, p, "a", cap)
+		adjust(t, p, "b", 1<<53+1) // evicts 2^53+1 of a, leaving 1 resident
+		if p.RSS("a") != 1 || p.Swapped("a") != 1<<53+1 {
+			t.Fatalf("setup: rss %d swapped %d", p.RSS("a"), p.Swapped("a"))
+		}
+		// a touches its whole span (2^53+2 bytes): back = limit·debt/span
+		// with limit == span is exactly the debt. float64 rounds the
+		// ratio and faults one byte short.
+		io, err := p.SwapIn("a", cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, io
+	}
+	p, io := run()
+	if p.Swapped("a") != 0 {
+		t.Errorf("debt not fully drained: %d bytes left (float rounding)", p.Swapped("a"))
+	}
+	if p.RSS("a") != cap {
+		t.Errorf("rss = %d, want %d", p.RSS("a"), uint64(cap))
+	}
+	if in := io.In[TierNVMe]; in != 1<<53+1 {
+		t.Errorf("faulted %d, want %d", in, uint64(1<<53+1))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p2, io2 := run()
+	if io != io2 || p.Swapped("a") != p2.Swapped("a") || p.Total() != p2.Total() {
+		t.Error("identical huge-span swap-ins diverged")
+	}
+}
+
+// Evicting to the compressed tier charges the pool for the stored copy:
+// freeing `need` bytes of capacity moves more than `need` bytes (the
+// eviction loop runs on freed capacity, not bytes moved).
+func TestZswapEvictionChargesPool(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	p.SetTier("a", TierZswap)
+	io, err := p.Adjust("b", 30) // need 10 bytes of capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ratio 3: moving 15 bytes stores ceil(15/3) = 5, freeing 10.
+	if io.Out[TierZswap] != 15 {
+		t.Errorf("evicted %d to zswap, want 15", io.Out[TierZswap])
+	}
+	if p.RSS("a") != 65 || p.SwappedOn("a", TierZswap) != 15 {
+		t.Errorf("a: rss %d zswap %d, want 65/15", p.RSS("a"), p.SwappedOn("a", TierZswap))
+	}
+	if p.Total() != 100 {
+		t.Errorf("total = %d, want at capacity (rss 95 + charge 5)", p.Total())
+	}
+	if st := p.Backend(TierZswap).Stored(); st != 15 {
+		t.Errorf("backend stored = %d", st)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Swap-in refunds the charge as the stored bytes drain.
+	adjust(t, p, "b", -30)
+	io, err = p.SwapIn("a", 80) // back = 80·15/80 = 15: full drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.In[TierZswap] != 15 || p.Swapped("a") != 0 {
+		t.Errorf("drain: in %d, debt %d", io.In[TierZswap], p.Swapped("a"))
+	}
+	if p.Total() != 80 || p.RSS("a") != 80 {
+		t.Errorf("after drain: total %d rss %d", p.Total(), p.RSS("a"))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The zswap charge shrinks what eviction can free: a grow that fits on
+// the NVMe tier is infeasible on the compressed tier, and fails without
+// mutating the pool.
+func TestZswapChargeLimitsFreeable(t *testing.T) {
+	tryGrow := func(tier Tier) error {
+		p := NewPool(100)
+		adjust(t, p, "a", 100)
+		p.SetTier("a", tier)
+		_, err := p.Adjust("a", 70)
+		if v := p.Validate(); v != nil {
+			t.Fatal(v)
+		}
+		return err
+	}
+	if err := tryGrow(TierNVMe); err != nil {
+		t.Errorf("nvme grow failed: %v", err)
+	}
+	// zswap: full self-eviction frees 100 - ceil(100/3) = 66 < 70.
+	if err := tryGrow(TierZswap); err == nil {
+		t.Error("zswap grow beyond freeable capacity accepted")
+	}
+}
+
+// Swap-in drains debt lowest-tier-first, deterministically.
+func TestSwapInDrainsTiersAscending(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	adjust(t, p, "b", 30) // 10 of a to nvme
+	p.SetTier("a", TierFar)
+	adjust(t, p, "b", 10) // 10 more of a, now to far
+	if p.SwappedOn("a", TierNVMe) != 10 || p.SwappedOn("a", TierFar) != 10 {
+		t.Fatalf("setup: nvme %d far %d", p.SwappedOn("a", TierNVMe), p.SwappedOn("a", TierFar))
+	}
+	adjust(t, p, "b", -40)
+	io, err := p.SwapIn("a", 40) // back = 40·20/80 = 10: nvme only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.In[TierNVMe] != 10 || io.In[TierFar] != 0 {
+		t.Errorf("first drain: nvme %d far %d, want 10/0", io.In[TierNVMe], io.In[TierFar])
+	}
+	io, err = p.SwapIn("a", 80) // remaining debt is on far
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io.In[TierFar] != 10 || p.Swapped("a") != 0 {
+		t.Errorf("second drain: far %d debt %d", io.In[TierFar], p.Swapped("a"))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOCostPerTier(t *testing.T) {
+	m := costmodel.Default()
+	p := NewPool(0)
+	var io IO
+	io.Out[TierNVMe], io.In[TierNVMe] = 1<<30, 1<<29
+	// NVMe prices out+in together — bit-identical to the pre-tier
+	// SwapCost charge.
+	if got, want := p.IOCost(m, io), m.SwapCost(1<<30+1<<29); got != want {
+		t.Errorf("nvme IOCost = %v, want %v", got, want)
+	}
+	io = IO{}
+	io.Out[TierZswap], io.In[TierZswap] = 1<<30, 1<<30
+	want := m.ZswapCompressCost(1<<30) + m.ZswapDecompressCost(1<<30)
+	if got := p.IOCost(m, io); got != want {
+		t.Errorf("zswap IOCost = %v, want %v", got, want)
+	}
+	if m.ZswapCompressCost(1<<30) >= m.SwapCost(1<<30) {
+		t.Error("zswap compression not cheaper than NVMe — the tier is pointless")
+	}
+	io = IO{}
+	io.Out[TierFar] = 1 << 30
+	if got, want := p.IOCost(m, io), m.MigLinkCost(1<<30)+m.MigRTT; got != want {
+		t.Errorf("far IOCost = %v, want %v (link + one RTT)", got, want)
+	}
+	io.In[TierFar] = 1 << 20
+	if got, want := p.IOCost(m, io), m.MigLinkCost(1<<30+1<<20)+2*m.MigRTT; got != want {
+		t.Errorf("far bidirectional IOCost = %v, want %v", got, want)
+	}
+	if got := p.IOCost(m, IO{}); got != time.Duration(0) {
+		t.Errorf("empty IOCost = %v", got)
+	}
+}
+
+func TestDefaultTierAndParse(t *testing.T) {
+	p := NewPool(0)
+	p.SetDefaultTier(TierZswap)
+	adjust(t, p, "a", 10)
+	if p.TierOf("a") != TierZswap {
+		t.Errorf("default tier not applied: %v", p.TierOf("a"))
+	}
+	if p.TierOf("unknown") != TierZswap {
+		t.Errorf("unknown VM tier = %v, want default", p.TierOf("unknown"))
+	}
+	for _, name := range TierNames() {
+		tier, err := ParseTier(name)
+		if err != nil {
+			t.Errorf("ParseTier(%q): %v", name, err)
+		}
+		if tier.String() != name {
+			t.Errorf("round trip %q -> %v", name, tier)
+		}
+	}
+	if _, err := ParseTier("tape"); err == nil {
+		t.Error("ParseTier accepted an unknown name")
+	}
+}
+
+func TestSetBackendRefusesNonEmptyTier(t *testing.T) {
+	p := NewPool(100)
+	adjust(t, p, "a", 80)
+	adjust(t, p, "b", 30) // 10 of a on nvme
+	defer func() {
+		if recover() == nil {
+			t.Error("SetBackend on a non-empty tier did not panic")
+		}
+	}()
+	p.SetBackend(TierNVMe, NewNVMe())
+}
+
+func TestZswapRatioGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZswap(1) did not panic")
+		}
+	}()
+	NewZswap(1)
+}

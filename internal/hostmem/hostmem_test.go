@@ -7,11 +7,11 @@ import (
 
 func adjust(t *testing.T, p *Pool, vm string, delta int64) uint64 {
 	t.Helper()
-	sw, err := p.Adjust(vm, delta)
+	io, err := p.Adjust(vm, delta)
 	if err != nil {
 		t.Fatalf("Adjust(%s, %d): %v", vm, delta, err)
 	}
-	return sw
+	return io.Bytes()
 }
 
 func TestAdjustAndPeak(t *testing.T) {
@@ -96,11 +96,11 @@ func TestSwapInFaultsDebtBackIn(t *testing.T) {
 	// by a's swapped fraction — touching 40 bytes with 10 of 80 on swap
 	// faults 40·10/80 = 5 back in, which evicts 5 from b on the full
 	// host, charging a for 5 out + 5 in = 10 bytes of IO.
-	sw, err := p.SwapIn("a", 40)
+	io, err := p.SwapIn("a", 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sw != 10 {
+	if sw := io.Bytes(); sw != 10 {
 		t.Errorf("swap IO = %d, want 10", sw)
 	}
 	if p.Swapped("a") != 5 || p.RSS("a") != 75 {
@@ -118,17 +118,17 @@ func TestSwapInFaultsDebtBackIn(t *testing.T) {
 	// Draining the rest: a touch far larger than the debt only faults the
 	// remaining 5, and with headroom (b shrank) no further eviction.
 	adjust(t, p, "b", -20)
-	sw, err = p.SwapIn("a", 1000)
+	io, err = p.SwapIn("a", 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sw != 5 || p.Swapped("a") != 0 || p.RSS("a") != 80 {
-		t.Errorf("drain: io %d rss %d swapped %d", sw, p.RSS("a"), p.Swapped("a"))
+	if io.Bytes() != 5 || p.Swapped("a") != 0 || p.RSS("a") != 80 {
+		t.Errorf("drain: io %d rss %d swapped %d", io.Bytes(), p.RSS("a"), p.Swapped("a"))
 	}
 	// No debt: SwapIn is a free no-op.
-	sw, err = p.SwapIn("a", 1000)
-	if err != nil || sw != 0 {
-		t.Errorf("no-debt SwapIn: io %d err %v", sw, err)
+	io, err = p.SwapIn("a", 1000)
+	if err != nil || io.Bytes() != 0 {
+		t.Errorf("no-debt SwapIn: io %d err %v", io.Bytes(), err)
 	}
 }
 

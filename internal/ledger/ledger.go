@@ -44,6 +44,11 @@ type entry struct {
 // Ledger records charges per kind, ordered by start time.
 type Ledger struct {
 	entries [numKinds][]entry
+	// maxDur tracks the longest single entry per kind (after coalescing),
+	// bounding how far back SumIn's predecessor scan must look. A fixed
+	// horizon silently dropped entries longer than it — a fleet-scale
+	// populate spanning minutes went uncounted.
+	maxDur [numKinds]sim.Duration
 }
 
 // coalesceWindow bounds ledger growth: charges landing within this window
@@ -52,18 +57,39 @@ type Ledger struct {
 const coalesceWindow = 10 * sim.Millisecond
 
 // record appends a charge, merging into the previous entry when it falls
-// in the same coalescing bucket. Starts are non-decreasing because the
-// clock is monotonic.
+// in the same coalescing bucket. Starts within one clock are monotonic,
+// but a meter rebound to a different clock (Meter.SetClock at a cluster
+// cut-over) can present an earlier time: those are clamped to the last
+// entry's start, keeping the slice sorted — SumIn's binary search
+// depends on that invariant.
 func (l *Ledger) record(k Kind, at sim.Time, amount int64) {
 	if amount <= 0 {
 		return
 	}
 	es := l.entries[k]
-	if n := len(es); n > 0 && at.Sub(es[n-1].start) < coalesceWindow {
-		es[n-1].amount += amount
-		return
+	if n := len(es); n > 0 {
+		if at < es[n-1].start {
+			at = es[n-1].start
+		}
+		if at.Sub(es[n-1].start) < coalesceWindow {
+			es[n-1].amount += amount
+			l.noteDur(k, es[n-1].amount)
+			return
+		}
 	}
 	l.entries[k] = append(es, entry{start: at, amount: amount})
+	l.noteDur(k, amount)
+}
+
+// noteDur keeps maxDur current for the duration-valued kinds (Bus amounts
+// are bytes, not time, and SumIn never scans Bus predecessors).
+func (l *Ledger) noteDur(k Kind, amount int64) {
+	if k == Bus {
+		return
+	}
+	if d := sim.Duration(amount); d > l.maxDur[k] {
+		l.maxDur[k] = d
+	}
 }
 
 // SumIn returns the total charge of kind k whose interval [start,
@@ -91,9 +117,9 @@ func (l *Ledger) SumIn(k Kind, t0, t1 sim.Time) int64 {
 		end := es[j].start.Add(sim.Duration(es[j].amount))
 		if end <= t0 {
 			// Earlier entries may still span if they are long; durations
-			// are not sorted, so keep scanning while within a generous
-			// horizon.
-			if t0.Sub(es[j].start) > 120*sim.Second {
+			// are not sorted, so keep scanning while an entry of the
+			// longest recorded duration could still reach into the window.
+			if t0.Sub(es[j].start) > l.maxDur[k] {
 				break
 			}
 			continue
@@ -111,6 +137,7 @@ func (l *Ledger) SumIn(k Kind, t0, t1 sim.Time) int64 {
 func (l *Ledger) Reset() {
 	for k := range l.entries {
 		l.entries[k] = nil
+		l.maxDur[k] = 0
 	}
 }
 
@@ -147,8 +174,9 @@ func (m *Meter) Clock() *sim.Clock { return m.clock }
 // carries its meter along, but the destination host's scheduler owns a
 // different clock; the cluster coordinator rebinds at the epoch barrier
 // after cut-over, when both hosts' clocks agree on the boundary time. The
-// ledger keeps accumulating into the same entries — record coalesces on
-// start times and tolerates the rebind.
+// ledger keeps accumulating into the same entries — record clamps any
+// earlier-than-last start the new clock presents, so the sorted invariant
+// survives the rebind.
 func (m *Meter) SetClock(clock *sim.Clock) {
 	if clock == nil {
 		panic("ledger: SetClock(nil)")

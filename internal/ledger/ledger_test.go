@@ -154,6 +154,70 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// A single entry much longer than SumIn's old hard-coded 120 s
+// predecessor horizon (a fleet-scale populate spanning minutes) must
+// still be counted by windows deep inside it. The trap needs a short
+// entry between the long one and the window: the scan hits the short
+// entry first (ended long before the window) and, before the fix, gave
+// up at the fixed horizon without ever reaching the long entry.
+func TestSumInCountsEntryLongerThanHorizon(t *testing.T) {
+	m := NewMeter(sim.NewClock())
+	m.Work(Host, 600*sim.Second) // 10 minutes, spans [0, 600 s)
+	mid := sim.NewClock()
+	mid.Advance(200 * sim.Second)
+	m.SetClock(mid)
+	m.Work(Host, sim.Second) // short entry at 200 s, ends 201 s
+	l := m.Ledger()
+	t0, t1 := sim.Time(500*sim.Second), sim.Time(510*sim.Second)
+	if got := l.SumIn(Host, t0, t1); got != int64(10*sim.Second) {
+		t.Errorf("SumIn[%v,%v) = %d, want %d (long entry dropped)", t0, t1, got, int64(10*sim.Second))
+	}
+	// The whole run still adds up.
+	if got := l.SumIn(Host, 0, sim.Time(3600*sim.Second)); got != int64(601*sim.Second) {
+		t.Errorf("full window = %d", got)
+	}
+}
+
+// Meter.SetClock rebinds a migrated VM's meter to the destination host's
+// clock, which can sit earlier than the last recorded start. record must
+// clamp such starts: SumIn's binary search requires the entries sorted,
+// and before the fix the rebound meter appended an out-of-order entry.
+func TestRecordClampsRebindToEarlierClock(t *testing.T) {
+	src := sim.NewClock()
+	src.Advance(1000 * sim.Second)
+	m := NewMeter(src)
+	m.Work(Host, sim.Second) // entry at 1000 s
+	src.Advance(499 * sim.Second)
+	m.Work(Host, sim.Second) // entry at 1500 s
+
+	dst := sim.NewClock()
+	dst.Advance(500 * sim.Second)
+	m.SetClock(dst) // cut-over: destination clock lags the source
+	m.Work(Host, sim.Second)
+
+	l := m.Ledger()
+	es := l.entries[Host]
+	for i := 1; i < len(es); i++ {
+		if es[i].start < es[i-1].start {
+			t.Fatalf("entries unsorted after rebind: start[%d]=%v < start[%d]=%v",
+				i, es[i].start, i-1, es[i-1].start)
+		}
+	}
+	// Nothing is lost: a partition of the timeline sums to everything
+	// recorded.
+	var total int64
+	for _, w := range [][2]sim.Duration{
+		{0, 600 * sim.Second},
+		{600 * sim.Second, 1200 * sim.Second},
+		{1200 * sim.Second, 3600 * sim.Second},
+	} {
+		total += l.SumIn(Host, sim.Time(w[0]), sim.Time(w[1]))
+	}
+	if total != int64(3*sim.Second) {
+		t.Errorf("partitioned sum = %d, want %d", total, int64(3*sim.Second))
+	}
+}
+
 func TestEntrySpanningWindowBoundary(t *testing.T) {
 	m := NewMeter(sim.NewClock())
 	m.Clock().Advance(500 * sim.Millisecond)

@@ -465,13 +465,13 @@ func (e *Engine) accountDest(delta int64) {
 	if e.phase == PostCopy || e.phase == Done {
 		name = e.vm.Name
 	}
-	swapped, err := e.dst.Adjust(name, delta)
+	io, err := e.dst.Adjust(name, delta)
 	if err != nil {
 		panic("migrate: " + err.Error())
 	}
-	if swapped > 0 {
-		e.vm.Meter.Work(ledger.Host, e.model.SwapCost(swapped))
-		e.vm.Meter.Bus(swapped)
+	if io != (hostmem.IO{}) {
+		e.vm.Meter.Work(ledger.Host, e.dst.IOCost(e.model, io))
+		e.vm.Meter.Bus(io.Bytes())
 	}
 }
 

@@ -253,17 +253,27 @@ func (vm *VM) adjustPool(deltaFrames int64) {
 	if deltaFrames == 0 {
 		return
 	}
-	swapped, err := vm.Pool.Adjust(vm.Name, deltaFrames*mem.PageSize)
+	io, err := vm.Pool.Adjust(vm.Name, deltaFrames*mem.PageSize)
 	if err != nil {
 		// Swap space is unbounded in this model; only accounting bugs land
 		// here.
 		panic("vmm: " + err.Error())
 	}
-	if swapped > 0 {
-		vm.Meter.Work(ledger.Host, vm.Model.SwapCost(swapped))
-		vm.Meter.Stall(ledger.StallMem, vm.Model.SwapCost(swapped)/4)
-		vm.Meter.Bus(swapped)
+	vm.chargeSwapIO(io)
+}
+
+// chargeSwapIO bills one pool operation's per-tier swap traffic to this
+// VM: the backend-priced IO as host work, a quarter of it as a
+// memory-subsystem stall (direct reclaim contends with the workload),
+// and the moved bytes as bus traffic.
+func (vm *VM) chargeSwapIO(io hostmem.IO) {
+	if io == (hostmem.IO{}) {
+		return
 	}
+	cost := vm.Pool.IOCost(vm.Model, io)
+	vm.Meter.Work(ledger.Host, cost)
+	vm.Meter.Stall(ledger.StallMem, cost/4)
+	vm.Meter.Bus(io.Bytes())
 }
 
 // swapInOnTouch models major faults on host-swapped memory: while the VM
@@ -275,15 +285,11 @@ func (vm *VM) swapInOnTouch(bytes uint64) {
 	if vm.Pool.Swapped(vm.Name) == 0 {
 		return
 	}
-	swapped, err := vm.Pool.SwapIn(vm.Name, bytes)
+	io, err := vm.Pool.SwapIn(vm.Name, bytes)
 	if err != nil {
 		panic("vmm: " + err.Error())
 	}
-	if swapped > 0 {
-		vm.Meter.Work(ledger.Host, vm.Model.SwapCost(swapped))
-		vm.Meter.Stall(ledger.StallMem, vm.Model.SwapCost(swapped)/4)
-		vm.Meter.Bus(swapped)
-	}
+	vm.chargeSwapIO(io)
 }
 
 // populateOnTouch is installed as the guest's TouchFn: writing unpopulated

@@ -7,6 +7,7 @@ import (
 	"hyperalloc/internal/broker"
 	"hyperalloc/internal/cluster"
 	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/migrate"
 	"hyperalloc/internal/runner"
@@ -35,6 +36,9 @@ type FleetConfig struct {
 	RunFor sim.Duration
 	// Lag is the cluster's bounded-lag epoch (default 1 s).
 	Lag sim.Duration
+	// Backend is the swap tier every host's evictions land on (default
+	// the NVMe tier).
+	Backend hostmem.Tier
 
 	Seed    uint64
 	Workers int // worker pool for FleetAll and host-group advancement
@@ -175,6 +179,7 @@ func Fleet(arm FleetArm, cfg FleetConfig) (FleetResult, error) {
 	cl := cluster.New(cluster.Config{
 		Hosts:     cfg.Hosts,
 		HostBytes: cfg.HostBytes,
+		Backend:   cfg.Backend,
 		Lag:       cfg.Lag,
 		Workers:   cfg.Workers,
 		Scorer:    scorer,

@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"hyperalloc"
 	"hyperalloc/internal/audit"
 	"hyperalloc/internal/broker"
+	"hyperalloc/internal/guest"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
@@ -335,15 +337,35 @@ func (b *inlineBuild) alloc(slot int, bytes uint64, then func(*hyperalloc.Region
 	b.sys.Sched.After(500*sim.Millisecond, "oom-retry", func() { b.alloc(slot, bytes, then) })
 }
 
+// cacheIO runs a page-cache operation, backing off on OOM like alloc: a
+// real process blocks in reclaim rather than dying when the balloon
+// briefly squeezes the guest below its file working set. Non-OOM errors
+// stay fatal. On the success path then() runs synchronously, so runs
+// that never hit OOM are event-for-event identical to a direct call.
+func (b *inlineBuild) cacheIO(op func() error, then func()) {
+	err := op()
+	if err == nil {
+		then()
+		return
+	}
+	if !errors.Is(err, guest.ErrOOM) {
+		b.onFail(err)
+		return
+	}
+	b.oomRetries++
+	if b.oomRetries > 5000 {
+		b.onFail(fmt.Errorf("multivm cache: persistent OOM: %w", err))
+		return
+	}
+	b.sys.Sched.After(500*sim.Millisecond, "oom-retry", func() { b.cacheIO(op, then) })
+}
+
 func (b *inlineBuild) compile(slot, id int) {
 	b.active++
 	rng := b.rng
 	duration := rng.DurationRange(4*sim.Second, 18*sim.Second)
 	peak := uint64(rng.Intn(448)+160) * mem.MiB
-	if err := b.vm.Guest.Cache().Read(slot, fmt.Sprintf("src/u-%d.cpp", id%2048), uint64(rng.Intn(1536)+512)*mem.KiB); err != nil {
-		b.onFail(err)
-		return
-	}
+	rsize := uint64(rng.Intn(1536)+512) * mem.KiB
 	var held []*hyperalloc.Region
 	var step func(i int)
 	step = func(i int) {
@@ -354,17 +376,20 @@ func (b *inlineBuild) compile(slot, id int) {
 			})
 			return
 		}
-		if err := b.vm.Guest.Cache().Write(slot, fmt.Sprintf("obj/u-%d.o", id), uint64(rng.Intn(2048)+256)*mem.KiB); err != nil {
-			b.onFail(err)
-			return
-		}
-		for _, r := range held {
-			r.Free()
-		}
-		b.active--
-		b.nextJob(slot)
+		wsize := uint64(rng.Intn(2048)+256) * mem.KiB
+		b.cacheIO(func() error {
+			return b.vm.Guest.Cache().Write(slot, fmt.Sprintf("obj/u-%d.o", id), wsize)
+		}, func() {
+			for _, r := range held {
+				r.Free()
+			}
+			b.active--
+			b.nextJob(slot)
+		})
 	}
-	step(0)
+	b.cacheIO(func() error {
+		return b.vm.Guest.Cache().Read(slot, fmt.Sprintf("src/u-%d.cpp", id%2048), rsize)
+	}, func() { step(0) })
 }
 
 func (b *inlineBuild) link(slot, id int) {
@@ -382,15 +407,16 @@ func (b *inlineBuild) link(slot, id int) {
 			})
 			return
 		}
-		if err := b.vm.Guest.Cache().Write(slot, fmt.Sprintf("bin/out-%d", id), uint64(rng.Intn(768)+512)*mem.MiB); err != nil {
-			b.onFail(err)
-			return
-		}
-		for _, r := range held {
-			r.Free()
-		}
-		b.active--
-		b.nextJob(slot)
+		wsize := uint64(rng.Intn(768)+512) * mem.MiB
+		b.cacheIO(func() error {
+			return b.vm.Guest.Cache().Write(slot, fmt.Sprintf("bin/out-%d", id), wsize)
+		}, func() {
+			for _, r := range held {
+				r.Free()
+			}
+			b.active--
+			b.nextJob(slot)
+		})
 	}
 	step(0)
 }

@@ -6,6 +6,7 @@ import (
 	"hyperalloc"
 	"hyperalloc/internal/audit"
 	"hyperalloc/internal/broker"
+	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/runner"
@@ -21,13 +22,16 @@ import (
 // scenario is run per mechanism candidate and per broker policy so the
 // policies can be compared on equal ground.
 type OvercommitConfig struct {
-	VMs          int          // default 3
-	Memory       uint64       // per VM (default 16 GiB)
-	HostBytes    uint64       // physical memory (default VMs×Memory×3/4)
-	Builds       int          // builds per VM (default 2)
-	Gap          sim.Duration // pause between a VM's builds (default 20 min)
-	Offset       sim.Duration // start offset between VMs (default 10 min)
-	Units        int          // compile units per build (default 1800)
+	VMs       int          // default 3
+	Memory    uint64       // per VM (default 16 GiB)
+	HostBytes uint64       // physical memory (default VMs×Memory×3/4)
+	Builds    int          // builds per VM (default 2)
+	Gap       sim.Duration // pause between a VM's builds (default 20 min)
+	Offset    sim.Duration // start offset between VMs (default 10 min)
+	Units     int          // compile units per build (default 1800)
+	// Backend is the swap tier host evictions land on (default the NVMe
+	// tier, which is the pre-tier cost model bit for bit).
+	Backend      hostmem.Tier
 	Seed         uint64
 	SamplePeriod sim.Duration // default 10 s
 	BrokerPeriod sim.Duration // control-loop interval (default 1 s)
@@ -147,9 +151,12 @@ func Overcommit(cand ClangCandidate, pol broker.Policy, cfg OvercommitConfig) (O
 	}
 	var drivers []*multiBuildDriver
 	var vms []*vmm.VM
-	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
-		Policy: pol, Period: cfg.BrokerPeriod, Trace: cfg.Trace,
-	})
+	sys.Pool.SetDefaultTier(cfg.Backend)
+	bcfg := broker.Config{Policy: pol, Period: cfg.BrokerPeriod, Trace: cfg.Trace}
+	if cfg.Backend != hostmem.TierNVMe {
+		bcfg.TierPolicy = broker.StaticTier{T: cfg.Backend}
+	}
+	bk := broker.New(sys.Sched, sys.Pool, bcfg)
 	for i := 0; i < cfg.VMs; i++ {
 		opts := cand.Opts
 		opts.Name = fmt.Sprintf("vm%d", i)

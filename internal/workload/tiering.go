@@ -1,0 +1,522 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/audit"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/metrics"
+	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/runner"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/vmm"
+)
+
+// TieringConfig parameterizes the tier-choice experiment: an
+// overcommitted host running in-memory services, with the candidate
+// fixed (HyperAlloc) and the arms varying what the host does about
+// pressure — deflate the VMs, or swap to one of the hostmem backends.
+// Each VM loads a hot dataset and then keeps touching all of it, so
+// combined live demand exceeds physical memory for the whole run and
+// there is no idle memory for deflation to harvest: the balloon can only
+// reclaim free frames, and the guests have none to spare. That is the
+// regime the tier matrix is about — when inflation cannot create memory,
+// the host must evict, and the backend's fault cost decides the bill. A
+// second, two-host scenario (TieringEvacuation) adds migration as the
+// third way out.
+type TieringConfig struct {
+	VMs       int          // default 3
+	Memory    uint64       // per VM (default 12 GiB)
+	HostBytes uint64       // physical memory (default VMs×Resident×3/4)
+	Offset    sim.Duration // start offset between VMs (default 2 s)
+	// Resident is the hot in-memory dataset each VM loads and then keeps
+	// touching (default Memory×3/4). With VMs×Resident above HostBytes
+	// the overflow must live on a tier in every arm.
+	Resident     uint64
+	Seed         uint64
+	SamplePeriod sim.Duration // default 5 s
+	BrokerPeriod sim.Duration // default 1 s
+	// Touches is the number of service-phase touch rounds (default 3):
+	// each VM re-walks its dataset, faulting back whatever the host
+	// evicted — the phase that makes tier fault cost visible.
+	Touches int
+	// Tail is how long the evacuation scenario keeps observing the hosts
+	// after the workload settles (default 60 s): the footprint relief of
+	// having migrated a VM away only shows up over time.
+	Tail sim.Duration
+	// Workers bounds the pool the *All drivers use; ≤0 means GOMAXPROCS.
+	Workers int
+	// Audit runs the cross-layer invariant auditor periodically and at
+	// the end.
+	Audit bool
+	// Trace is bound to this arm's System (the *All drivers attach it to
+	// the first arm only).
+	Trace *trace.Tracer
+}
+
+func (c *TieringConfig) defaults() {
+	if c.VMs == 0 {
+		c.VMs = 3
+	}
+	if c.Memory == 0 {
+		c.Memory = 12 * mem.GiB
+	}
+	if c.Resident == 0 {
+		c.Resident = c.Memory * 3 / 4
+	}
+	if c.HostBytes == 0 {
+		c.HostBytes = uint64(c.VMs) * c.Resident * 3 / 4
+	}
+	if c.Offset == 0 {
+		c.Offset = 2 * sim.Second
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 5 * sim.Second
+	}
+	if c.BrokerPeriod == 0 {
+		c.BrokerPeriod = sim.Second
+	}
+	if c.Touches == 0 {
+		c.Touches = 3
+	}
+	if c.Tail == 0 {
+		c.Tail = 60 * sim.Second
+	}
+}
+
+// TieringArm is one way out of host memory pressure: a broker policy
+// (inflate keeps limits at demand; swap arms hold the static split and
+// let the host evict) plus the tier its evictions land on, and — in the
+// evacuation scenario — whether the broker may migrate a VM away
+// instead.
+type TieringArm struct {
+	Name       string
+	Policy     broker.Policy
+	TierPolicy broker.TierPolicy
+	// Evacuate arms the broker's migration escape hatch (evacuation
+	// scenario only).
+	Evacuate bool
+}
+
+// TieringArms returns the pressure-scenario arms: active deflation vs.
+// host swapping to each backend. The inflate arm runs the watermark
+// balancer — it answers guest pressure at broker latency and reclaims
+// whatever free memory the guests accumulate; with the dataset fully
+// hot that is next to nothing, so the arm measures what de/inflation
+// buys when there is no idle memory to move.
+func TieringArms() []TieringArm {
+	return []TieringArm{
+		{Name: "inflate", Policy: broker.Watermark{},
+			TierPolicy: broker.StaticTier{T: hostmem.TierNVMe}},
+		{Name: "swap-nvme", Policy: broker.StaticSplit{},
+			TierPolicy: broker.StaticTier{T: hostmem.TierNVMe}},
+		{Name: "swap-zswap", Policy: broker.StaticSplit{},
+			TierPolicy: broker.StaticTier{T: hostmem.TierZswap}},
+		{Name: "swap-far", Policy: broker.StaticSplit{},
+			TierPolicy: broker.StaticTier{T: hostmem.TierFar}},
+	}
+}
+
+// TieringEvacuationArms returns the evacuation-scenario arms: swapping
+// to each backend vs. migrating the biggest VM to a second host.
+func TieringEvacuationArms() []TieringArm {
+	arms := []TieringArm{}
+	for _, t := range []hostmem.Tier{hostmem.TierNVMe, hostmem.TierZswap, hostmem.TierFar} {
+		arms = append(arms, TieringArm{
+			Name: "swap-" + t.String(), Policy: broker.StaticSplit{},
+			TierPolicy: broker.StaticTier{T: t},
+		})
+	}
+	arms = append(arms, TieringArm{
+		Name: "migrate", Policy: broker.StaticSplit{},
+		TierPolicy: broker.StaticTier{T: hostmem.TierNVMe}, Evacuate: true,
+	})
+	return arms
+}
+
+// TieringResult holds one arm's metrics.
+type TieringResult struct {
+	Arm        string
+	Scenario   string // "pressure" or "evacuate"
+	Policy     string
+	TierPolicy string
+
+	HostPeakBytes  uint64       // peak pool footprint (RSS + zswap charge)
+	HostGiBMin     float64      // pool footprint integral — the cost to minimize
+	CompletionTime sim.Duration // when the workload finished
+
+	// Per-tier lifetime traffic of the source host's backends.
+	TierOut [hostmem.NumTiers]uint64
+	TierIn  [hostmem.NumTiers]uint64
+
+	SwapOutBytes uint64 // aggregate eviction traffic
+	SwapInBytes  uint64 // aggregate fault-back traffic
+	TierMoves    uint64 // tier reassignments by the tier policy
+	Emergencies  uint64
+
+	// Evacuation-scenario extras: bytes over the migration wire and bytes
+	// the allocator-aware strategy skipped (0 for swap arms).
+	WireBytes    uint64
+	SkippedBytes uint64
+
+	// HostRSS is the sampled pool footprint series.
+	HostRSS *metrics.Series
+}
+
+func (r *TieringResult) captureTiers(pool *hostmem.Pool) {
+	for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
+		tr := pool.Backend(t).Traffic()
+		r.TierOut[t] = tr.OutBytes
+		r.TierIn[t] = tr.InBytes
+	}
+	r.SwapOutBytes = pool.SwapOutBytes
+	r.SwapInBytes = pool.SwapInBytes
+}
+
+// Tiering runs the pressure scenario for one arm: every VM loads a hot
+// dataset in steps, then keeps walking all of it. Combined demand
+// exceeds the host, so the overflow lives on the arm's tier — or, in
+// the inflate arm, wherever the watermark balancer can put it.
+func Tiering(arm TieringArm, cfg TieringConfig) (TieringResult, error) {
+	cfg.defaults()
+	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+31, cfg.HostBytes)
+	sys.SetTracer(cfg.Trace)
+	res := TieringResult{
+		Arm: arm.Name, Scenario: "pressure",
+		Policy: arm.Policy.Name(), TierPolicy: arm.TierPolicy.Name(),
+		HostRSS: &metrics.Series{Name: arm.Name + "/host"},
+	}
+
+	type service struct {
+		vm      *hyperalloc.VM
+		regions []*guest.Region
+		left    uint64
+		touches int
+		retries int
+		done    bool
+	}
+	var svcs []*service
+	var vms []*vmm.VM
+	var runErr error
+	bk := broker.New(sys.Sched, sys.Pool, broker.Config{
+		Policy: arm.Policy, TierPolicy: arm.TierPolicy,
+		Period: cfg.BrokerPeriod, Trace: cfg.Trace,
+	})
+	for i := 0; i < cfg.VMs; i++ {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:      fmt.Sprintf("vm%d", i),
+			Candidate: hyperalloc.CandidateHyperAlloc,
+			Memory:    cfg.Memory, CPUs: 12,
+		})
+		if err != nil {
+			return res, err
+		}
+		bk.Attach(vm.VM, 0)
+		svcs = append(svcs, &service{vm: vm, left: cfg.Resident, touches: cfg.Touches})
+		vms = append(vms, vm.VM)
+	}
+	const step = 512 * mem.MiB
+	var run func(s *service)
+	run = func(s *service) {
+		if runErr != nil {
+			return
+		}
+		switch {
+		case s.left > 0:
+			n := step
+			if n > s.left {
+				n = s.left
+			}
+			reg, err := s.vm.Guest.AllocAnon(0, n)
+			if err != nil {
+				// The inflate arm's balloon grows at broker latency; a
+				// real service blocks in reclaim until the grant lands.
+				if !errors.Is(err, guest.ErrOOM) || s.retries > 2000 {
+					runErr = fmt.Errorf("load %s: %w", s.vm.Name, err)
+					return
+				}
+				s.retries++
+				sys.Sched.After(500*sim.Millisecond, s.vm.Name+"/oom-retry", func() { run(s) })
+				return
+			}
+			s.left -= n
+			s.regions = append(s.regions, reg)
+			sys.Sched.After(500*sim.Millisecond, s.vm.Name+"/load", func() { run(s) })
+		case s.touches > 0:
+			// Service phase: walk the whole dataset, faulting back
+			// anything the host evicted.
+			s.touches--
+			for _, r := range s.regions {
+				r.Touch()
+			}
+			sys.Sched.After(2*sim.Second, s.vm.Name+"/touch", func() { run(s) })
+		default:
+			s.done = true
+		}
+	}
+	for i, s := range svcs {
+		s := s
+		start := sim.Duration(i)*cfg.Offset + sim.Millisecond
+		sys.Sched.After(start, s.vm.Name+"/start", func() { run(s) })
+	}
+	bk.Start()
+
+	finished := func() bool {
+		for _, s := range svcs {
+			if !s.done {
+				return false
+			}
+		}
+		return true
+	}
+	var samples int
+	var auditErr error
+	var sample func()
+	sample = func() {
+		res.HostRSS.Add(sys.Now(), float64(sys.Pool.Total()))
+		samples++
+		if cfg.Audit && auditErr == nil && samples%auditEvery == 0 {
+			auditErr = audit.System(sys.Pool, vms...)
+		}
+		if !finished() {
+			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
+		}
+	}
+	sample()
+
+	for !finished() {
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("tiering %s: deadlocked", arm.Name)
+		}
+		if auditErr != nil {
+			return res, fmt.Errorf("tiering %s: %w", arm.Name, auditErr)
+		}
+		if runErr != nil {
+			return res, fmt.Errorf("tiering %s: %w", arm.Name, runErr)
+		}
+	}
+	bk.Stop()
+	if cfg.Audit {
+		if err := audit.System(sys.Pool, vms...); err != nil {
+			return res, fmt.Errorf("tiering %s: %w", arm.Name, err)
+		}
+	}
+	res.CompletionTime = sim.Duration(sys.Now())
+	res.HostPeakBytes = sys.Pool.Peak()
+	res.HostGiBMin = res.HostRSS.IntegralGiBMin()
+	res.TierMoves = bk.TierMoves()
+	res.Emergencies = bk.Emergencies()
+	res.captureTiers(sys.Pool)
+	return res, nil
+}
+
+// TieringEvacuation runs the two-host scenario for one arm: two VMs
+// whose loads grow past the source host's capacity in steps, then
+// re-touch their memory (the running service). Swap arms ride it out on
+// a backend; the migrate arm hands the big VM to the migration engine.
+func TieringEvacuation(arm TieringArm, cfg TieringConfig) (TieringResult, error) {
+	cfg.defaults()
+	res := TieringResult{
+		Arm: arm.Name, Scenario: "evacuate",
+		Policy: arm.Policy.Name(), TierPolicy: arm.TierPolicy.Name(),
+		HostRSS: &metrics.Series{Name: arm.Name + "/host"},
+	}
+	sys := hyperalloc.NewSystemWithMemory(cfg.Seed*0x9e3779b97f4a7c15+37, 12*mem.GiB)
+	sys.SetTracer(cfg.Trace)
+	dst := hostmem.NewPool(0)
+
+	// Two 8 GiB VMs loading 6.5 GiB and 5.5 GiB in 512 MiB steps while
+	// each holds a 1 GiB transient burst: combined demand passes the
+	// host's 12 GiB well before the loads finish.
+	type loader struct {
+		vm      *hyperalloc.VM
+		regions []*guest.Region
+		burst   *guest.Region
+		left    uint64
+		burstAt uint64 // free the burst when left drops to this
+		touches int
+		done    bool
+	}
+	var loaders []*loader
+	var loadErr error
+	for i, load := range []uint64{6*mem.GiB + 512*mem.MiB, 5*mem.GiB + 512*mem.MiB} {
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name: fmt.Sprintf("ev%d", i), Candidate: hyperalloc.CandidateHyperAlloc,
+			Memory: 8 * mem.GiB, CPUs: 8,
+		})
+		if err != nil {
+			return res, err
+		}
+		// A transient burst freed once the load completes — mid-migration
+		// for the migrate arm — leaves mapped-but-allocator-free memory
+		// behind: the dead transfer the skip strategy drops (same shape as
+		// the Migrate scenario's burst).
+		burst, err := vm.Guest.AllocAnon(1, mem.GiB)
+		if err != nil {
+			return res, err
+		}
+		ld := &loader{vm: vm, left: load, burst: burst, touches: cfg.Touches}
+		loaders = append(loaders, ld)
+	}
+	const step = 512 * mem.MiB
+	var run func(ld *loader)
+	run = func(ld *loader) {
+		if loadErr != nil {
+			return
+		}
+		switch {
+		case ld.left > 0:
+			n := step
+			if n > ld.left {
+				n = ld.left
+			}
+			ld.left -= n
+			reg, err := ld.vm.Guest.AllocAnon(0, n)
+			if err != nil {
+				loadErr = fmt.Errorf("load %s: %w", ld.vm.Name, err)
+				return
+			}
+			ld.regions = append(ld.regions, reg)
+			if ld.burst != nil && ld.left <= ld.burstAt {
+				ld.burst.Free()
+				ld.burst = nil
+			}
+			sys.Sched.After(500*sim.Millisecond, ld.vm.Name+"/load", func() { run(ld) })
+		case ld.touches > 0:
+			// Service phase: walk the whole load, faulting back anything
+			// the host evicted.
+			ld.touches--
+			for _, r := range ld.regions {
+				r.Touch()
+			}
+			sys.Sched.After(2*sim.Second, ld.vm.Name+"/touch", func() { run(ld) })
+		default:
+			ld.done = true
+		}
+	}
+
+	var eng *migrate.Engine
+	var engErr error
+	bcfg := broker.Config{
+		Policy: arm.Policy, TierPolicy: arm.TierPolicy,
+		Period: cfg.BrokerPeriod, Trace: cfg.Trace,
+	}
+	if arm.Evacuate {
+		bcfg.EvacuateBelow = 2 * mem.GiB
+		bcfg.EvacuateHold = 3
+		bcfg.EvacuateFn = func(v *vmm.VM) {
+			eng, engErr = migrate.New(v, sys.Sched, migrate.Config{
+				Strategy: migrate.HyperAllocSkip, DestPool: dst,
+				DowntimeTarget: 100 * sim.Millisecond, MaxRounds: 30,
+				Audit: cfg.Audit,
+			})
+			if engErr == nil {
+				engErr = eng.Start()
+			}
+		}
+	}
+	bk := broker.New(sys.Sched, sys.Pool, bcfg)
+	for i, ld := range loaders {
+		bk.Attach(ld.vm.VM, 0)
+		ld := ld
+		sys.Sched.After(sim.Duration(i+1)*sim.Millisecond, ld.vm.Name+"/load", func() { run(ld) })
+	}
+	bk.Start()
+
+	sampleDone := false
+	var sample func()
+	sample = func() {
+		res.HostRSS.Add(sys.Now(), float64(sys.Pool.Total()))
+		if !sampleDone {
+			sys.Sched.After(cfg.SamplePeriod, "sample", sample)
+		}
+	}
+	sample()
+
+	finished := func() bool {
+		for _, ld := range loaders {
+			if !ld.done {
+				return false
+			}
+		}
+		// The migrate arm is only done once the engine has finished, so
+		// wire-byte accounting is complete.
+		return !arm.Evacuate || (eng != nil && eng.Phase() == migrate.Done)
+	}
+	// Run to completion, then keep the hosts under observation for the
+	// tail window: the sampler keeps firing, so the footprint integral
+	// sees the settled state (with or without the evacuated VM).
+	settled := false
+	var settledAt sim.Time
+	for {
+		if !settled && finished() {
+			settled, settledAt = true, sys.Now()
+			res.CompletionTime = sim.Duration(settledAt)
+		}
+		if settled && sys.Now().Sub(settledAt) >= cfg.Tail {
+			break
+		}
+		if !sys.Sched.Step() {
+			return res, fmt.Errorf("tiering evacuation %s: deadlocked", arm.Name)
+		}
+		if loadErr != nil {
+			return res, fmt.Errorf("tiering evacuation %s: %w", arm.Name, loadErr)
+		}
+		if engErr != nil {
+			return res, fmt.Errorf("tiering evacuation %s: %w", arm.Name, engErr)
+		}
+	}
+	sampleDone = true
+	bk.Stop()
+	if cfg.Audit {
+		vms := []*vmm.VM{loaders[0].vm.VM, loaders[1].vm.VM}
+		if err := audit.Hosts([]*hostmem.Pool{sys.Pool, dst}, vms...); err != nil {
+			return res, fmt.Errorf("tiering evacuation %s: %w", arm.Name, err)
+		}
+	}
+	res.HostPeakBytes = sys.Pool.Peak()
+	res.HostGiBMin = res.HostRSS.IntegralGiBMin()
+	res.TierMoves = bk.TierMoves()
+	res.Emergencies = bk.Emergencies()
+	res.captureTiers(sys.Pool)
+	if eng != nil {
+		er := eng.Result()
+		if er.Err != "" {
+			return res, fmt.Errorf("tiering evacuation %s: engine audit: %s", arm.Name, er.Err)
+		}
+		res.WireBytes = er.TransferredBytes
+		res.SkippedBytes = er.SkippedBytes
+	}
+	return res, nil
+}
+
+// TieringAll runs the pressure arms through one worker pool; results
+// come back in arm order and are identical to a sequential loop.
+func TieringAll(arms []TieringArm, cfg TieringConfig) ([]TieringResult, error) {
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
+		func(i int) (TieringResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+			}
+			return Tiering(arms[i], c)
+		})
+}
+
+// TieringEvacuationAll runs the evacuation arms through one worker pool.
+func TieringEvacuationAll(arms []TieringArm, cfg TieringConfig) ([]TieringResult, error) {
+	return runner.Map(runner.Runner{Workers: cfg.Workers}, len(arms),
+		func(i int) (TieringResult, error) {
+			c := cfg
+			if i != 0 {
+				c.Trace = nil
+			}
+			return TieringEvacuation(arms[i], c)
+		})
+}

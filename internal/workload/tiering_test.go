@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+)
+
+// tieringTestConfig is the pressure scenario at its default shape:
+// 3×12 GiB VMs on a 20 GiB host, each loading a 9 GiB hot dataset and
+// then walking all of it — live demand (27 GiB) exceeds capacity for
+// the whole run and none of it is free, so the balloon has nothing to
+// harvest and the overflow must live on a tier in every arm.
+func tieringTestConfig() TieringConfig {
+	return TieringConfig{
+		VMs:          3,
+		Memory:       12 * mem.GiB,
+		HostBytes:    20 * mem.GiB,
+		Touches:      3,
+		Seed:         42,
+		SamplePeriod: 5 * sim.Second,
+	}
+}
+
+// TestTieringPressureOrdering is the tier matrix's headline claim: when
+// the host is overcommitted past what deflation can absorb, swapping to
+// the compressed in-RAM tier beats both active inflation and NVMe swap
+// on host footprint over time.
+func TestTieringPressureOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiering scenario is slow")
+	}
+	cfg := tieringTestConfig()
+	cfg.Audit = true
+	byArm := map[string]TieringResult{}
+	for _, arm := range TieringArms() {
+		res, err := Tiering(arm, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", arm.Name, err)
+		}
+		byArm[res.Arm] = res
+		t.Logf("%-12s footprint %8.1f GiB·min  peak %s  completion %v  out %s in %s  (emerg %d)",
+			res.Arm, res.HostGiBMin, mem.HumanBytes(res.HostPeakBytes),
+			res.CompletionTime, mem.HumanBytes(res.SwapOutBytes),
+			mem.HumanBytes(res.SwapInBytes), res.Emergencies)
+	}
+
+	zswap := byArm["swap-zswap"]
+	if inflate := byArm["inflate"]; zswap.HostGiBMin >= inflate.HostGiBMin {
+		t.Errorf("zswap footprint %.1f GiB·min not below inflate's %.1f",
+			zswap.HostGiBMin, inflate.HostGiBMin)
+	}
+	if nvme := byArm["swap-nvme"]; zswap.HostGiBMin >= nvme.HostGiBMin {
+		t.Errorf("zswap footprint %.1f GiB·min not below nvme's %.1f",
+			zswap.HostGiBMin, nvme.HostGiBMin)
+	}
+
+	// Each swap arm's traffic lands on its own tier only.
+	for _, arm := range []string{"swap-nvme", "swap-zswap", "swap-far"} {
+		r := byArm[arm]
+		want, err := hostmem.ParseTier(arm[len("swap-"):])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TierOut[want] == 0 {
+			t.Errorf("%s: no eviction traffic on its tier", arm)
+		}
+		for tier := hostmem.Tier(0); tier < hostmem.NumTiers; tier++ {
+			if tier != want && (r.TierOut[tier] != 0 || r.TierIn[tier] != 0) {
+				t.Errorf("%s: stray traffic on tier %v (out %d in %d)",
+					arm, tier, r.TierOut[tier], r.TierIn[tier])
+			}
+		}
+		if got := r.TierOut[want]; got != r.SwapOutBytes {
+			t.Errorf("%s: tier out %d != aggregate swap-out %d", arm, got, r.SwapOutBytes)
+		}
+	}
+}
+
+// TestTieringEvacuation compares riding out pressure on a swap tier
+// against migrating the big VM to a second host.
+func TestTieringEvacuation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiering scenario is slow")
+	}
+	cfg := tieringTestConfig()
+	cfg.Audit = true
+	byArm := map[string]TieringResult{}
+	for _, arm := range TieringEvacuationArms() {
+		res, err := TieringEvacuation(arm, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", arm.Name, err)
+		}
+		byArm[res.Arm] = res
+		t.Logf("%-12s footprint %8.1f GiB·min  completion %v  out %s in %s  wire %s (skipped %s)",
+			res.Arm, res.HostGiBMin, res.CompletionTime,
+			mem.HumanBytes(res.SwapOutBytes), mem.HumanBytes(res.SwapInBytes),
+			mem.HumanBytes(res.WireBytes), mem.HumanBytes(res.SkippedBytes))
+	}
+
+	// Only the migrate arm moves bytes over the wire, and it must have
+	// actually migrated (with allocator-aware skipping active).
+	for name, r := range byArm {
+		if name == "migrate" {
+			if r.WireBytes == 0 {
+				t.Error("migrate arm moved no bytes over the wire")
+			}
+			if r.SkippedBytes == 0 {
+				t.Error("migrate arm skipped nothing: allocator state unused")
+			}
+			continue
+		}
+		if r.WireBytes != 0 {
+			t.Errorf("%s: unexpected wire traffic %d", name, r.WireBytes)
+		}
+		if r.SwapOutBytes == 0 {
+			t.Errorf("%s: no swap traffic — the host never came under pressure", name)
+		}
+	}
+
+	// The cheap-fault tier rides out the touch phases at least as fast as
+	// the device tier.
+	if z, n := byArm["swap-zswap"], byArm["swap-nvme"]; z.CompletionTime > n.CompletionTime {
+		t.Errorf("zswap completion %v worse than nvme's %v", z.CompletionTime, n.CompletionTime)
+	}
+	// Migrating away relieves the source host: its footprint integral ends
+	// below every stay-and-swap arm's.
+	mig := byArm["migrate"]
+	for _, name := range []string{"swap-nvme", "swap-zswap", "swap-far"} {
+		if r := byArm[name]; mig.HostGiBMin >= r.HostGiBMin {
+			t.Errorf("migrate footprint %.1f GiB·min not below %s's %.1f",
+				mig.HostGiBMin, name, r.HostGiBMin)
+		}
+	}
+}
+
+// TestTieringParallelGolden: the arm matrix is byte-identical run
+// sequentially, on 8 workers, and across repeated runs.
+func TestTieringParallelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiering scenario is slow")
+	}
+	cfg := tieringTestConfig()
+	arms := TieringArms()[1:3] // nvme + zswap keep the matrix small
+
+	cfg.Workers = 1
+	seq, err := TieringAll(arms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	par, err := TieringAll(arms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("parallel results differ from sequential")
+	}
+	evac, err := TieringEvacuationAll(TieringEvacuationArms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evac2, err := TieringEvacuationAll(TieringEvacuationArms(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evac, evac2) {
+		t.Fatal("repeated evacuation run differs")
+	}
+}

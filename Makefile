@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke tier-smoke
+.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke tier-smoke obs-smoke
 
 # The full pre-commit gate: everything CI runs.
-check: vet build test race migrate-smoke cluster-smoke tier-smoke
+check: vet build test race migrate-smoke cluster-smoke tier-smoke obs-smoke
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +67,19 @@ cluster-smoke:
 TIER_JSON ?= tier-results.json
 tier-smoke:
 	$(GO) run ./cmd/broker -tiering -audit -json $(TIER_JSON)
+
+# The observability smoke test: a 128-host x 8-VM cascading-evacuation
+# fleet run with the obs pipeline attached, emitting the Prometheus text
+# snapshot and the self-contained HTML dashboard, then structurally
+# validating both (sorted parseable samples; single-file HTML with
+# inline SVG only — no scripts, stylesheets, or external references).
+# CI uploads the dashboard as an artifact — download OBS_PREFIX.html and
+# open it in any browser. OBS_PREFIX overrides the output paths.
+OBS_PREFIX ?= obs-report
+obs-smoke:
+	$(GO) run ./cmd/cluster -cascade -hosts 128 -vms-per-host 8 \
+		-host-gib 3 -report $(OBS_PREFIX) -json $(OBS_PREFIX).json
+	$(GO) run ./cmd/obscheck $(OBS_PREFIX).prom $(OBS_PREFIX).html
 
 # The tracing smoke test: capture the quickstart walkthrough as a
 # Chrome/Perfetto trace and structurally validate it (balanced nested

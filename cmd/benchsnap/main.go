@@ -43,6 +43,7 @@ import (
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/llfree"
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/workload"
 )
@@ -136,6 +137,12 @@ func capture(short bool) *Snapshot {
 
 	clNs, _ := run(benchClusterEpoch)
 	s.Metrics["cluster_epoch_ns_op"] = clNs
+
+	orNs, orAllocs := run(benchObsRollup)
+	s.Metrics["obs_rollup_ns_op"] = orNs
+	s.Gates["obs_rollup_allocs_op"] = orAllocs
+	oaNs, _ := run(benchObsAlertScan)
+	s.Metrics["obs_alert_scan_ns_op"] = oaNs
 
 	for t := hostmem.Tier(0); t < hostmem.NumTiers; t++ {
 		swNs, _ := run(benchSwapIn(t))
@@ -333,6 +340,47 @@ func benchClusterEpoch(b *testing.B) {
 		if err := cl.RunFor(sim.Second, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchObsRollup is the observability zero-alloc pin: one Observe
+// rolling a sample through a host series into its fleet parent, steady
+// state (both rings warm). Mirrors internal/obs BenchmarkObsRollup;
+// obs_rollup_allocs_op is gated at an exact match (zero).
+func benchObsRollup(b *testing.B) {
+	p := obs.NewPipeline(obs.Config{Resolution: sim.Second, Window: 120})
+	fleet := p.Gauge("fleet/rss_bytes", nil)
+	sr := p.Gauge("host0/rss_bytes", fleet)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr.Observe(sim.Time(i)*sim.Time(sim.Millisecond), float64(i))
+	}
+}
+
+// benchObsAlertScan measures a full alert-rule sweep at fleet scale:
+// 128 hosts, each with a burn-rate and a thrash rule, plus one cascade
+// rule, over rings carrying below-threshold background traffic.
+func benchObsAlertScan(b *testing.B) {
+	p := obs.NewPipeline(obs.Config{Resolution: sim.Second, Window: 120})
+	at := func(sec int64) sim.Time { return sim.Time(sec * int64(sim.Second)) }
+	for h := 0; h < 128; h++ {
+		slo := p.Counter(fmt.Sprintf("host%d/slo_violations", h), nil)
+		in := p.Counter(fmt.Sprintf("host%d/swap_in_bytes", h), nil)
+		out := p.Counter(fmt.Sprintf("host%d/swap_out_bytes", h), nil)
+		host := fmt.Sprintf("host%d", h)
+		p.AddBurnRate(&obs.BurnRateRule{Series: slo, Host: host, Budget: 1, FastN: 5, SlowN: 60, FastBurn: 14, SlowBurn: 6})
+		p.AddThrash(&obs.ThrashRule{In: in, Out: out, Host: host, MinBytes: 1 << 20, Hold: 3})
+		for sec := int64(0); sec < 120; sec++ {
+			slo.Observe(at(sec), 1)
+			out.Observe(at(sec), 1<<19)
+		}
+	}
+	p.AddCascade(&obs.CascadeRule{Count: 8, WindowN: 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Scan(at(119))
 	}
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/obs"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+	"hyperalloc/internal/workload"
+)
+
+// cascadeFlags is the -cascade slice of the flag set, bundled so main
+// stays a straight flag-to-config translation.
+type cascadeFlags struct {
+	hosts, vmsPerHost int
+	hostGiB, vmGiB    float64
+	lagMs             float64
+	epochs, surgeAt   int
+	seed              uint64
+	parallel          int
+	audit             bool
+	jsonPath          string
+	reportPrefix      string
+	traceOut          string
+	traceSummary      bool
+}
+
+// cascadeJSON is the -json schema for the cascade scenario.
+type cascadeJSON struct {
+	Seed            uint64         `json:"seed"`
+	Hosts           int            `json:"hosts"`
+	VMsPerHost      int            `json:"vms_per_host"`
+	Epochs          int            `json:"epochs"`
+	SurgeAt         int            `json:"surge_at"`
+	Admissions      uint64         `json:"admissions"`
+	Evacuations     uint64         `json:"evacuations"`
+	Migrations      uint64         `json:"migrations"`
+	Forced          uint64         `json:"forced_placements"`
+	SwapViolations  uint64         `json:"swap_violations"`
+	SLOViolations   uint64         `json:"slo_violations"`
+	PeakActiveHosts int            `json:"peak_active_hosts"`
+	AllocFailures   uint64         `json:"alloc_failures"`
+	Alerts          map[string]int `json:"alerts,omitempty"`
+}
+
+// runCascade drives the cascading-evacuation scenario and renders its
+// scoreboard, alert summary, and (with -report) the obs snapshots.
+func runCascade(f cascadeFlags, tr *trace.Tracer, pipe *obs.Pipeline) {
+	cfg := workload.CascadeConfig{
+		Hosts:      f.hosts,
+		VMsPerHost: f.vmsPerHost,
+		HostBytes:  uint64(f.hostGiB * float64(mem.GiB)),
+		VMMemory:   uint64(f.vmGiB * float64(mem.GiB)),
+		Lag:        sim.Duration(f.lagMs * float64(sim.Millisecond)),
+		Epochs:     f.epochs,
+		SurgeAt:    f.surgeAt,
+		Seed:       f.seed,
+		Workers:    f.parallel,
+		Audit:      f.audit,
+		Trace:      tr,
+		Obs:        pipe,
+	}
+	res, err := workload.FleetCascade(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Emit(f.traceOut, f.traceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	hosts, perHost := pick(f.hosts, 16), pick(f.vmsPerHost, 8)
+	nEpochs, surge := pick(f.epochs, 48), pick(f.surgeAt, 12)
+	report.Table(os.Stdout,
+		fmt.Sprintf("Cascading evacuation — %d hosts x %d VMs, surge at epoch %d of %d",
+			hosts, perHost, surge, nEpochs),
+		[]string{"admitted", "evacuations", "migrations", "forced", "swap SLO", "burned", "peak hosts"},
+		[][]string{{
+			fmt.Sprintf("%d", res.Admissions),
+			fmt.Sprintf("%d", res.Evacuations),
+			fmt.Sprintf("%d", res.Migrations),
+			fmt.Sprintf("%d", res.ForcedPlacement),
+			fmt.Sprintf("%d", res.SwapViolations),
+			fmt.Sprintf("%d", res.SLOViolations),
+			fmt.Sprintf("%d", res.PeakActiveHosts),
+		}})
+
+	out := &cascadeJSON{
+		Seed: f.seed, Hosts: hosts, VMsPerHost: perHost,
+		Epochs: nEpochs, SurgeAt: surge,
+		Admissions: res.Admissions, Evacuations: res.Evacuations,
+		Migrations: res.Migrations, Forced: res.ForcedPlacement,
+		SwapViolations: res.SwapViolations, SLOViolations: res.SLOViolations,
+		PeakActiveHosts: res.PeakActiveHosts, AllocFailures: res.AllocFailures,
+	}
+	if pipe != nil {
+		out.Alerts = pipe.AlertCounts()
+	}
+
+	lag := sim.Duration(f.lagMs * float64(sim.Millisecond))
+	if lag == 0 {
+		lag = sim.Second
+	}
+	writeObsReport(pipe, sim.Time(sim.Duration(nEpochs)*lag), f.reportPrefix, "cascade")
+
+	if f.jsonPath != "" {
+		if err := report.WriteJSON(f.jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", f.jsonPath)
+	}
+}
+
+// writeObsReport renders the pipeline into PREFIX.prom and PREFIX.html
+// and prints the alert tally. A nil pipeline (no -report) is a no-op.
+func writeObsReport(p *obs.Pipeline, now sim.Time, prefix, title string) {
+	if p == nil || prefix == "" {
+		return
+	}
+	prom, err := os.Create(prefix + ".prom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteProm(prom, p, now); err != nil {
+		log.Fatal(err)
+	}
+	prom.Close()
+	html, err := os.Create(prefix + ".html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteHTML(html, p, now, title); err != nil {
+		log.Fatal(err)
+	}
+	html.Close()
+
+	total := 0
+	for _, n := range p.AlertCounts() {
+		total += n
+	}
+	fmt.Printf("wrote %s.prom and %s.html (%d series, %d alerts)\n",
+		prefix, prefix, p.SeriesCount(), total)
+	for _, a := range p.Alerts() {
+		fmt.Printf("  alert %-16s t=%-6v host=%-8s vm=%-8s %s\n",
+			a.Kind, sim.Duration(a.At), a.Host, a.VM, a.Msg)
+	}
+}

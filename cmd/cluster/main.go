@@ -13,10 +13,26 @@
 //	cluster [-hosts N] [-host-gib GIB] [-vms N] [-vm-gib GIB]
 //	        [-day SEC] [-run SEC] [-lag-ms MS] [-seed S]
 //	        [-parallel N] [-json FILE] [-audit] [-trace FILE]
-//	        [-trace-summary] [-backend nvme|zswap|far]
+//	        [-trace-summary] [-trace-sample F] [-backend nvme|zswap|far]
+//	        [-report PREFIX] [-cascade] [-vms-per-host N]
+//	        [-epochs N] [-surge-at N]
 //
 // -backend selects the hostmem tier that absorbs every host's evictions
 // (default nvme, the pre-tier swap device).
+//
+// -report attaches the observability pipeline to the first arm and
+// writes PREFIX.prom (a Prometheus text snapshot) and PREFIX.html (a
+// self-contained dashboard, no external assets) after the run.
+// Observing never changes results or traces. -trace-sample F
+// head-samples trace tracks deterministically by hash of (seed, track
+// name); 0 or 1 keeps everything.
+//
+// -cascade switches to the cascading-evacuation scenario: a fleet
+// loaded to ~50%, then surged to 110% of aggregate capacity so
+// evacuations chain across hosts — the stress scenario the obs alert
+// rules (SLO burn rate, swap thrash, evacuation cascades, migration
+// stalls) are demonstrated against. `make obs-smoke` runs a 128-host
+// cascade with -report and validates both snapshots in CI.
 //
 // The six arms fan across -parallel workers (default: all CPUs); all
 // output is byte-identical to -parallel 1, and so is each arm's
@@ -31,6 +47,7 @@ import (
 
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
@@ -86,9 +103,17 @@ func main() {
 	auditRun := flag.Bool("audit", false, "run the N-pool conservation auditor every simulated second and every migration round")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first arm to this file")
 	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	traceSample := flag.Float64("trace-sample", 0, "head-sample trace tracks: keep this fraction, hashed on (seed, track name); 0 or 1 = keep all")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProfile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file at exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex contention profile to this file at exit")
 	backendName := flag.String("backend", "nvme", "swap tier for host evictions: nvme, zswap, or far")
+	reportPrefix := flag.String("report", "", "attach the obs pipeline and write PREFIX.prom and PREFIX.html after the run")
+	cascade := flag.Bool("cascade", false, "run the cascading-evacuation scenario instead of the scheduling matrix")
+	vmsPerHost := flag.Int("vms-per-host", 0, "cascade: VMs per host (0 = default 8)")
+	epochs := flag.Int("epochs", 0, "cascade: run length in epochs (0 = default 48)")
+	surgeAt := flag.Int("surge-at", 0, "cascade: epoch the demand surge lands (0 = default 12)")
 	flag.Parse()
 
 	backend, err := hostmem.ParseTier(*backendName)
@@ -96,10 +121,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles := profiling.Options{
+		CPU: *cpuProfile, Mem: *memProfile,
+		Block: *blockProfile, Mutex: *mutexProfile,
+	}.Start()
 	defer stopProfiles()
 
 	tr := trace.FromFlags(*traceOut, *traceSummary)
+	if tr != nil && *traceSample > 0 && *traceSample < 1 {
+		tr.SetTrackFilter(obs.Sampler{Seed: *seed, Keep: *traceSample}.KeepTrack)
+	}
+	var pipe *obs.Pipeline
+	if *reportPrefix != "" {
+		pipe = obs.NewPipeline(obs.Config{})
+	}
+
+	if *cascade {
+		runCascade(cascadeFlags{
+			hosts: *hosts, vmsPerHost: *vmsPerHost,
+			hostGiB: *hostGiB, vmGiB: *vmGiB,
+			lagMs: *lagMs, epochs: *epochs, surgeAt: *surgeAt,
+			seed: *seed, parallel: *parallel, audit: *auditRun,
+			jsonPath: *jsonPath, reportPrefix: *reportPrefix,
+			traceOut: *traceOut, traceSummary: *traceSummary,
+		}, tr, pipe)
+		return
+	}
+
 	cfg := workload.FleetConfig{
 		Hosts:     *hosts,
 		HostBytes: uint64(*hostGiB * float64(mem.GiB)),
@@ -113,6 +161,7 @@ func main() {
 		Workers:   *parallel,
 		Audit:     *auditRun,
 		Trace:     tr,
+		Obs:       pipe,
 	}
 	arms := workload.FleetArms()
 	results, err := workload.FleetAll(arms, cfg)
@@ -124,6 +173,9 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+	runFor := sim.Duration(pickF(*runSec, pickF(*daySec, 60)*2) * float64(sim.Second))
+	writeObsReport(pipe, sim.Time(runFor), *reportPrefix,
+		fmt.Sprintf("fleet %s", arms[0].Name))
 
 	out := &output{
 		Seed:    *seed,

@@ -1,0 +1,52 @@
+// Command obscheck structurally validates observability snapshots
+// written by the -report flag of cmd/cluster: Prometheus text files
+// (.prom — sorted, parseable, finite-or-labelled values) and the
+// self-contained HTML dashboard (.html — single file, inline SVG only,
+// no scripts, stylesheets, iframes, or external references of any
+// kind). `make obs-smoke` runs it against a fresh cascade report in CI.
+//
+// Usage:
+//
+//	obscheck FILE...
+//
+// The format is chosen by extension. Exits nonzero on the first invalid
+// file: 1 for usage or unreadable files, 2 for an invalid snapshot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyperalloc/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: obscheck FILE...")
+		os.Exit(1)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch {
+		case strings.HasSuffix(path, ".prom"):
+			err = obs.ValidateProm(data)
+		case strings.HasSuffix(path, ".html"):
+			err = obs.ValidateHTML(data)
+		default:
+			fmt.Fprintf(os.Stderr, "%s: unknown extension (want .prom or .html)\n", path)
+			os.Exit(1)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+}

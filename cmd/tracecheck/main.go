@@ -1,20 +1,31 @@
-// Command tracecheck validates a Chrome trace-event JSON file produced by
-// the -trace flag of the drivers: well-formed JSON, balanced and properly
-// nested B/E spans per track, non-decreasing timestamps per track, and
-// only known event phases. `make trace-smoke` runs it against a fresh
-// quickstart trace in CI.
+// Command tracecheck validates Chrome trace-event JSON files produced by
+// the -trace flag of the drivers: well-formed JSON, per-(pid,tid) track
+// sanity (declared process and thread names, stable track identity),
+// balanced and properly nested B/E spans per track, non-decreasing
+// timestamps per track, monotone counter series, and only known event
+// phases. Multi-host cluster traces interleave one track per host plus
+// per-VM tracks; tracecheck validates them all in one pass. `make
+// trace-smoke` runs it against a fresh quickstart trace in CI.
 //
 // Usage:
 //
 //	tracecheck FILE...
 //
-// Exits non-zero on the first invalid file.
+// Exits nonzero on the first invalid file, with a distinct code per
+// failure class so CI can tell a truncated download from a malformed
+// trace:
+//
+//	1  usage or unreadable file
+//	2  malformed JSON
+//	3  structural damage (unknown phase, bad metadata, track identity)
+//	4  unbalanced or improperly nested spans
+//	5  time running backwards within a track
+//	6  counter series out of order
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"hyperalloc/internal/trace"
@@ -23,15 +34,18 @@ import (
 func main() {
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: tracecheck FILE...")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE...")
+		os.Exit(1)
 	}
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		if err := trace.ValidateChrome(data); err != nil {
-			log.Fatalf("%s: %v", path, err)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(int(trace.ClassOf(err)))
 		}
 		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
 	}

@@ -33,6 +33,7 @@ import (
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/trace"
@@ -90,6 +91,12 @@ type Config struct {
 	// tracer binds to the cluster's own clock, which advances only at
 	// epoch barriers (nil = off).
 	Trace *trace.Tracer
+	// Obs attaches a fleet observability pipeline (nil = off): per-host
+	// and fleet rollup series fed at every epoch barrier, plus
+	// burn-rate / thrash / cascade / stall alert rules (observe.go).
+	// Feeding is read-only against the simulation, so attaching a
+	// pipeline cannot change results or traces.
+	Obs *obs.Pipeline
 }
 
 func (c Config) withDefaults() Config {
@@ -201,7 +208,8 @@ type flight struct {
 	eng      *migrate.Engine
 	vm       *hyperalloc.VM
 	src, dst int
-	reason   string // "evacuate" | "drain"
+	reason   string   // "evacuate" | "drain"
+	started  sim.Time // barrier the flight was armed at (stall detection)
 }
 
 // Metrics is the cluster scoreboard, accumulated at epoch barriers.
@@ -246,6 +254,7 @@ type Cluster struct {
 	prio   map[string]int
 
 	flights []*flight
+	obs     *observer
 
 	m          Metrics
 	lastSample sim.Time
@@ -314,6 +323,9 @@ func New(cfg Config) *Cluster {
 		})
 		h.Broker.Start()
 		c.hosts = append(c.hosts, h)
+	}
+	if cfg.Obs != nil {
+		c.obs = newObserver(cfg.Obs, c)
 	}
 	return c
 }
@@ -575,6 +587,7 @@ func (c *Cluster) epoch(next sim.Time, onEpoch func(*Cluster) error) error {
 		}
 	}
 	c.sample(next)
+	c.obs.observe(c, next)
 	if c.cfg.Audit && next.Sub(c.lastAudit) >= c.cfg.AuditEvery {
 		c.lastAudit = next
 		if err := c.AuditNow(); err != nil {
@@ -789,7 +802,7 @@ func (c *Cluster) beginMigration(src *Host, vm *hyperalloc.VM, reason string) {
 	if err := eng.Start(); err != nil {
 		panic("cluster: " + err.Error())
 	}
-	c.flights = append(c.flights, &flight{eng: eng, vm: vm, src: src.Index, dst: dst, reason: reason})
+	c.flights = append(c.flights, &flight{eng: eng, vm: vm, src: src.Index, dst: dst, reason: reason, started: c.clock.Now()})
 	if forced {
 		c.m.ForcedPlacements++
 	}
@@ -797,6 +810,7 @@ func (c *Cluster) beginMigration(src *Host, vm *hyperalloc.VM, reason string) {
 	case "evacuate":
 		c.m.Evacuations++
 		c.cEvacs.Inc()
+		c.cfg.Obs.NoteEvacuation(c.clock.Now(), vm.Name, src.Name)
 	case "drain":
 		c.m.DrainMoves++
 	}

@@ -1,0 +1,163 @@
+// Observability wiring: feeds the obs.Pipeline from epoch barriers.
+//
+// Everything here is coordinator-side and read-only with respect to the
+// simulation: the observer reads pool accounting and scorer signals
+// after the hosts have parked at the barrier, writes only into the
+// pipeline's rollup rings, and never touches the tracer, the RNGs, or
+// the clocks — so a run with Config.Obs attached produces byte-identical
+// workload results and traces to a run without it
+// (internal/workload/obs_identity_test.go pins this).
+//
+// Per-VM signals (swap debt, SLO violations) are summed into per-host
+// series by the observer rather than via series parents: VMs migrate
+// between hosts, so a static parent chain would keep attributing a
+// moved VM to its old host. Per-host series chain to fleet series via
+// parents, keeping pipeline memory O(hosts × series × window)
+// regardless of VM count or run length.
+package cluster
+
+import (
+	"hyperalloc/internal/obs"
+	"hyperalloc/internal/sim"
+)
+
+// Alert-rule parameters. Fixed rather than configurable: they encode
+// what "unhealthy" means for this simulation's SLOs, and the smoke
+// scenarios are tuned against them.
+const (
+	// Burn rate: per-host SLO-violation budget of half a violation per
+	// bucket; alert when the last 5 buckets burned 4x budget AND the
+	// last 30 burned 2x (fast window reacts, slow window de-blips).
+	obsBurnBudget   = 0.5
+	obsBurnFastN    = 5
+	obsBurnSlowN    = 30
+	obsBurnFastRate = 4
+	obsBurnSlowRate = 2
+	// Swap thrash: at least 1 MiB of swap-in AND swap-out traffic per
+	// bucket for 3 consecutive buckets.
+	obsThrashMinBytes = 1 << 20
+	obsThrashHold     = 3
+	// Evacuation cascade: 3 or more evacuations within 5 buckets.
+	obsCascadeCount  = 3
+	obsCascadeWindow = 5
+	// Migration stall: a flight older than 10 epochs.
+	obsStallEpochs = 10
+)
+
+// obsHost holds one host's series handles plus the cumulative swap
+// counters the observer differentiates into per-epoch deltas.
+type obsHost struct {
+	rss, used, vms, swapped *obs.Series
+	slo, swapIn, swapOut    *obs.Series
+	lastIn, lastOut         uint64
+}
+
+// observer is the cluster-side face of the obs pipeline.
+type observer struct {
+	p                *obs.Pipeline
+	hosts            []obsHost
+	active, inFlight *obs.Series
+	flights          []obs.FlightInfo // reused scratch
+}
+
+// newObserver builds the per-host and fleet series and installs the
+// alert rules. Rules are registered in host-index order, so the alert
+// stream is deterministic.
+func newObserver(p *obs.Pipeline, c *Cluster) *observer {
+	o := &observer{p: p}
+	fleetRSS := p.Gauge("fleet/rss_bytes", nil)
+	fleetUsed := p.Gauge("fleet/used_bytes", nil)
+	fleetVMs := p.Gauge("fleet/vms", nil)
+	fleetSwapped := p.Gauge("fleet/swapped_bytes", nil)
+	fleetSLO := p.Counter("fleet/slo_violations", nil)
+	fleetIn := p.Counter("fleet/swap_in_bytes", nil)
+	fleetOut := p.Counter("fleet/swap_out_bytes", nil)
+	o.active = p.Gauge("fleet/active_hosts", nil)
+	o.inFlight = p.Gauge("fleet/in_flight", nil)
+	for _, h := range c.hosts {
+		pre := h.Name + "/"
+		oh := obsHost{
+			rss:     p.Gauge(pre+"rss_bytes", fleetRSS),
+			used:    p.Gauge(pre+"used_bytes", fleetUsed),
+			vms:     p.Gauge(pre+"vms", fleetVMs),
+			swapped: p.Gauge(pre+"swapped_bytes", fleetSwapped),
+			slo:     p.Counter(pre+"slo_violations", fleetSLO),
+			swapIn:  p.Counter(pre+"swap_in_bytes", fleetIn),
+			swapOut: p.Counter(pre+"swap_out_bytes", fleetOut),
+		}
+		host := h
+		attr := func() string { return worstSwapVM(host) }
+		p.AddBurnRate(&obs.BurnRateRule{
+			Series: oh.slo, Host: h.Name, Budget: obsBurnBudget,
+			FastN: obsBurnFastN, SlowN: obsBurnSlowN,
+			FastBurn: obsBurnFastRate, SlowBurn: obsBurnSlowRate,
+			Attribute: attr,
+		})
+		p.AddThrash(&obs.ThrashRule{
+			In: oh.swapIn, Out: oh.swapOut, Host: h.Name,
+			MinBytes: obsThrashMinBytes, Hold: obsThrashHold,
+			Attribute: attr,
+		})
+		o.hosts = append(o.hosts, oh)
+	}
+	p.AddCascade(&obs.CascadeRule{Count: obsCascadeCount, WindowN: obsCascadeWindow})
+	return o
+}
+
+// worstSwapVM names the resident VM carrying the most swap debt (the
+// one a burn-rate or thrash alert should blame); "" on an empty host.
+func worstSwapVM(h *Host) string {
+	name, worst := "", uint64(0)
+	for _, vm := range h.vms {
+		if s := h.Sys.Pool.Swapped(vm.Name); name == "" || s > worst {
+			name, worst = vm.Name, s
+		}
+	}
+	return name
+}
+
+// observe samples every host into the rollup rings and runs the alert
+// scan. Called once per epoch, from the coordinator, after migrations
+// and messages have settled. Nil-safe: a cluster without Config.Obs has
+// a nil observer.
+func (o *observer) observe(c *Cluster, now sim.Time) {
+	if o == nil {
+		return
+	}
+	for i, h := range c.hosts {
+		oh := &o.hosts[i]
+		pool := h.Sys.Pool
+		oh.rss.Observe(now, float64(pool.Total()))
+		oh.used.Observe(now, float64(c.cfg.Scorer.UsedBytes(h)))
+		oh.vms.Observe(now, float64(len(h.vms)))
+		var swapped float64
+		slo := 0
+		for _, vm := range h.vms {
+			debt := pool.Swapped(vm.Name)
+			swapped += float64(debt)
+			if debt > c.cfg.SLOSwapBytes {
+				slo++
+			}
+		}
+		oh.swapped.Observe(now, swapped)
+		oh.slo.Observe(now, float64(slo))
+		in, out := pool.SwapInBytes, pool.SwapOutBytes
+		oh.swapIn.Observe(now, float64(in-oh.lastIn))
+		oh.swapOut.Observe(now, float64(out-oh.lastOut))
+		oh.lastIn, oh.lastOut = in, out
+	}
+	o.active.Observe(now, float64(c.ActiveHosts()))
+	o.inFlight.Observe(now, float64(len(c.flights)))
+
+	o.flights = o.flights[:0]
+	for _, f := range c.flights {
+		o.flights = append(o.flights, obs.FlightInfo{
+			VM:      f.vm.Name,
+			Src:     c.hosts[f.src].Name,
+			Dst:     c.hosts[f.dst].Name,
+			Started: f.started,
+		})
+	}
+	o.p.ScanStalls(now, o.flights, obsStallEpochs*c.cfg.Lag)
+	o.p.Scan(now)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// The statistics helpers feed report tables and the obs dashboard; a
+// stray NaN or an empty repetition list must degrade to a well-defined
+// value, never to garbage ordering or a poisoned sum.
+
+func TestPercentileEdges(t *testing.T) {
+	if v := Percentile(nil, 50); !math.IsNaN(v) {
+		t.Errorf("Percentile(nil) = %v, want NaN", v)
+	}
+	if v := Percentile([]float64{}, 99); !math.IsNaN(v) {
+		t.Errorf("Percentile(empty) = %v, want NaN", v)
+	}
+	// A single sample is every percentile.
+	for _, p := range []float64{-10, 0, 50, 100, 200} {
+		if v := Percentile([]float64{7.5}, p); v != 7.5 {
+			t.Errorf("Percentile([7.5], %v) = %v, want 7.5", p, v)
+		}
+	}
+	// Unsorted input: sorted internally, caller's slice untouched.
+	in := []float64{9, 1, 5, 3, 7}
+	want := append([]float64(nil), in...)
+	if v := Percentile(in, 50); v != 5 {
+		t.Errorf("median of unsorted = %v, want 5", v)
+	}
+	if v := Percentile(in, 0); v != 1 {
+		t.Errorf("p0 of unsorted = %v, want 1", v)
+	}
+	if v := Percentile(in, 100); v != 9 {
+		t.Errorf("p100 of unsorted = %v, want 9", v)
+	}
+	if !reflect.DeepEqual(in, want) {
+		t.Errorf("Percentile mutated its input: %v", in)
+	}
+}
+
+func TestPercentileNaNGuard(t *testing.T) {
+	// NaN samples are missing data, not values: they must not leak into
+	// the result or scramble the sort order.
+	in := []float64{3, math.NaN(), 1, math.NaN(), 2}
+	if v := Percentile(in, 50); v != 2 {
+		t.Errorf("median ignoring NaN = %v, want 2", v)
+	}
+	if v := Percentile(in, 100); v != 3 {
+		t.Errorf("p100 ignoring NaN = %v, want 3", v)
+	}
+	if v := Percentile([]float64{math.NaN(), math.NaN()}, 50); !math.IsNaN(v) {
+		t.Errorf("Percentile(all-NaN) = %v, want NaN", v)
+	}
+}
+
+func TestMeanEdges(t *testing.T) {
+	if v := Mean(nil); !math.IsNaN(v) {
+		t.Errorf("Mean(nil) = %v, want NaN", v)
+	}
+	if v := Mean([]float64{42}); v != 42 {
+		t.Errorf("Mean([42]) = %v, want 42", v)
+	}
+	if v := Mean([]float64{1, math.NaN(), 3}); v != 2 {
+		t.Errorf("Mean ignoring NaN = %v, want 2", v)
+	}
+	if v := Mean([]float64{math.NaN()}); !math.IsNaN(v) {
+		t.Errorf("Mean(all-NaN) = %v, want NaN", v)
+	}
+}
+
+func TestStddevCIEdges(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Stddev": Stddev, "CI95": CI95} {
+		if v := f(nil); v != 0 {
+			t.Errorf("%s(nil) = %v, want 0", name, v)
+		}
+		if v := f([]float64{5}); v != 0 {
+			t.Errorf("%s(single) = %v, want 0", name, v)
+		}
+		// One real sample plus NaNs is still a single sample.
+		if v := f([]float64{5, math.NaN(), math.NaN()}); v != 0 {
+			t.Errorf("%s(single+NaN) = %v, want 0", name, v)
+		}
+		if v := f([]float64{1, math.NaN(), 3}); v <= 0 || math.IsNaN(v) {
+			t.Errorf("%s ignoring NaN = %v, want finite positive", name, v)
+		}
+	}
+	// The NaN-filtered spread matches the clean computation exactly.
+	clean := []float64{2, 4, 6, 8}
+	dirty := []float64{2, math.NaN(), 4, 6, math.NaN(), 8}
+	if Stddev(clean) != Stddev(dirty) {
+		t.Errorf("Stddev(dirty) = %v, want %v", Stddev(dirty), Stddev(clean))
+	}
+	if CI95(clean) != CI95(dirty) {
+		t.Errorf("CI95(dirty) = %v, want %v", CI95(dirty), CI95(clean))
+	}
+}
+
+func TestDropNaNNoCopyWhenClean(t *testing.T) {
+	// The guard only copies when a NaN is actually present — the hot
+	// paths hand in clean slices and must not allocate.
+	in := []float64{1, 2, 3}
+	if out := dropNaN(in); &out[0] != &in[0] {
+		t.Error("dropNaN copied a NaN-free slice")
+	}
+}

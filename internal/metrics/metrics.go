@@ -119,9 +119,30 @@ func (s *Series) Downsample(n int) []Point {
 	return out
 }
 
+// dropNaN returns vals with NaN entries removed, copying only when a
+// NaN is actually present. NaN samples are treated as missing data: a
+// sensor that failed to read must not poison the percentile sort order
+// or the mean of the samples that did arrive.
+func dropNaN(vals []float64) []float64 {
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			out := append([]float64(nil), vals[:i]...)
+			for _, v := range vals[i+1:] {
+				if !math.IsNaN(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+	}
+	return vals
+}
+
 // Percentile returns the p-th percentile (0..100) via linear
-// interpolation of the sorted values.
+// interpolation of the sorted values. NaN samples are ignored; the
+// input slice is never mutated.
 func Percentile(vals []float64, p float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) == 0 {
 		return math.NaN()
 	}
@@ -142,8 +163,9 @@ func Percentile(vals []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// Mean returns the arithmetic mean.
+// Mean returns the arithmetic mean, ignoring NaN samples.
 func Mean(vals []float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) == 0 {
 		return math.NaN()
 	}
@@ -154,8 +176,9 @@ func Mean(vals []float64) float64 {
 	return sum / float64(len(vals))
 }
 
-// Stddev returns the sample standard deviation.
+// Stddev returns the sample standard deviation, ignoring NaN samples.
 func Stddev(vals []float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) < 2 {
 		return 0
 	}
@@ -168,8 +191,10 @@ func Stddev(vals []float64) float64 {
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean
-// (normal approximation, like the paper's error bars).
+// (normal approximation, like the paper's error bars). NaN samples are
+// ignored, consistent with Mean and Stddev.
 func CI95(vals []float64) float64 {
+	vals = dropNaN(vals)
 	if len(vals) < 2 {
 		return 0
 	}

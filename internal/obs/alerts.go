@@ -1,0 +1,312 @@
+// SLO burn-rate windows and anomaly detectors. Rules are evaluated by
+// Pipeline.Scan at coordinator barriers against the rollup rings —
+// never from inside a host's event loop — and fire typed, timestamped
+// Alert events with the triggering series and the attributed VM/host.
+// Alerts are pipeline state only: they deliberately do NOT write trace
+// instants, so an observed run's trace stays byte-identical to an
+// unobserved run's.
+package obs
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/sim"
+)
+
+// Alert kinds.
+const (
+	AlertBurnRate       = "burn_rate"       // SLO error budget burning too fast
+	AlertSwapThrash     = "swap_thrash"     // sustained swap-in AND swap-out traffic
+	AlertEvacCascade    = "evac_cascade"    // evacuations chaining across hosts
+	AlertMigrationStall = "migration_stall" // a migration failing to converge
+)
+
+// Alert is one typed, timestamped alert event.
+type Alert struct {
+	At        sim.Time `json:"at_ns"`
+	Kind      string   `json:"kind"`
+	VM        string   `json:"vm,omitempty"`
+	Host      string   `json:"host,omitempty"`
+	Series    string   `json:"series,omitempty"`
+	Value     float64  `json:"value"`
+	Threshold float64  `json:"threshold"`
+	Msg       string   `json:"msg"`
+}
+
+// Alerts returns the alerts emitted so far, in emission order (which is
+// deterministic: rules are scanned in registration order at barriers).
+func (p *Pipeline) Alerts() []Alert {
+	if p == nil {
+		return nil
+	}
+	return append([]Alert(nil), p.alerts...)
+}
+
+// AlertCounts returns the number of alerts per kind.
+func (p *Pipeline) AlertCounts() map[string]int {
+	if p == nil {
+		return nil
+	}
+	m := make(map[string]int)
+	for _, a := range p.alerts {
+		m[a.Kind]++
+	}
+	return m
+}
+
+// BurnRateRule is a classic multi-window SLO burn-rate alert: the
+// watched Counter series accumulates SLO-violation deltas, Budget is
+// the tolerated violations per bucket, and the rule fires when BOTH the
+// fast and the slow window burn their budget faster than their
+// thresholds — the fast window gives reaction speed, the slow window
+// suppresses blips. Hysteresis: once fired, the rule re-arms only after
+// the fast-window burn drops back below FastBurn.
+type BurnRateRule struct {
+	Series *Series
+	Host   string
+	// Budget is the tolerated violation count per bucket (> 0).
+	Budget float64
+	// FastN/SlowN are the window lengths in buckets.
+	FastN, SlowN int
+	// FastBurn/SlowBurn are the burn-rate thresholds (1.0 = burning
+	// exactly the budget).
+	FastBurn, SlowBurn float64
+	// Attribute (optional) names the VM to blame at fire time — the
+	// cluster observer returns the resident VM with the worst swap debt.
+	Attribute func() string
+
+	firing bool
+}
+
+// AddBurnRate registers a burn-rate rule.
+func (p *Pipeline) AddBurnRate(r *BurnRateRule) {
+	if p == nil || r == nil || r.Series == nil {
+		return
+	}
+	p.burn = append(p.burn, r)
+}
+
+// ThrashRule detects swap thrash: a host whose swap-in AND swap-out
+// delta series both carry at least MinBytes per bucket for Hold
+// consecutive buckets is paging the same memory in and out — inflation
+// took memory the guest still needed. Hysteresis as in BurnRateRule.
+type ThrashRule struct {
+	In, Out  *Series
+	Host     string
+	MinBytes float64
+	Hold     int
+	// Attribute (optional) names the VM to blame at fire time.
+	Attribute func() string
+
+	firing bool
+}
+
+// AddThrash registers a swap-thrash rule.
+func (p *Pipeline) AddThrash(r *ThrashRule) {
+	if p == nil || r == nil || r.In == nil || r.Out == nil {
+		return
+	}
+	p.thrash = append(p.thrash, r)
+}
+
+// CascadeRule detects evacuation cascades: Count or more evacuations
+// noted (NoteEvacuation) within a WindowN-bucket window means watermark
+// pressure is chaining across hosts — each evacuation lands load on a
+// neighbour and tips it over in turn.
+type CascadeRule struct {
+	Count   int
+	WindowN int
+
+	firing bool
+}
+
+// AddCascade registers an evacuation-cascade rule.
+func (p *Pipeline) AddCascade(r *CascadeRule) {
+	if p == nil || r == nil {
+		return
+	}
+	p.cascade = append(p.cascade, r)
+}
+
+// evacNote is one observed evacuation start.
+type evacNote struct {
+	at       sim.Time
+	vm, host string
+}
+
+// NoteEvacuation records an evacuation start (the cluster coordinator
+// calls this when a watermark migration begins) for cascade detection.
+func (p *Pipeline) NoteEvacuation(t sim.Time, vm, host string) {
+	if p == nil {
+		return
+	}
+	p.evacs = append(p.evacs, evacNote{at: t, vm: vm, host: host})
+}
+
+// stallKey identifies one migration attempt (a VM can migrate more than
+// once; each attempt alerts at most once).
+type stallKey struct {
+	vm      string
+	started sim.Time
+}
+
+// FlightInfo describes one in-flight migration for stall scanning.
+type FlightInfo struct {
+	VM       string
+	Src, Dst string
+	Started  sim.Time
+}
+
+// ScanStalls fires a migration_stall alert for every flight older than
+// maxAge that has not been alerted yet — a migration that cannot
+// converge (dirty rate outrunning pre-copy) hangs in the flight list
+// while its downtime budget decays.
+func (p *Pipeline) ScanStalls(now sim.Time, flights []FlightInfo, maxAge sim.Duration) {
+	if p == nil || maxAge <= 0 {
+		return
+	}
+	for _, f := range flights {
+		age := now.Sub(f.Started)
+		if age < maxAge {
+			continue
+		}
+		k := stallKey{vm: f.VM, started: f.Started}
+		if p.stallFired[k] {
+			continue
+		}
+		p.stallFired[k] = true
+		p.alerts = append(p.alerts, Alert{
+			At:        now,
+			Kind:      AlertMigrationStall,
+			VM:        f.VM,
+			Host:      f.Src,
+			Value:     age.Seconds(),
+			Threshold: maxAge.Seconds(),
+			Msg: fmt.Sprintf("migration of %s (%s -> %s) in flight for %.1fs (budget %.1fs): convergence stall",
+				f.VM, f.Src, f.Dst, age.Seconds(), maxAge.Seconds()),
+		})
+	}
+}
+
+// Scan evaluates every registered rule against the rollup state at now.
+// Call it once per epoch barrier; rules are evaluated in registration
+// order, so for a deterministic feed the alert stream is deterministic.
+func (p *Pipeline) Scan(now sim.Time) {
+	if p == nil {
+		return
+	}
+	idx := p.Index(now)
+	for _, r := range p.burn {
+		fast := r.Series.WindowSum(idx, r.FastN) / (r.Budget * float64(r.FastN))
+		slow := r.Series.WindowSum(idx, r.SlowN) / (r.Budget * float64(r.SlowN))
+		switch {
+		case fast >= r.FastBurn && slow >= r.SlowBurn:
+			if !r.firing {
+				r.firing = true
+				vm := ""
+				if r.Attribute != nil {
+					vm = r.Attribute()
+				}
+				p.alerts = append(p.alerts, Alert{
+					At:        now,
+					Kind:      AlertBurnRate,
+					VM:        vm,
+					Host:      r.Host,
+					Series:    r.Series.Name(),
+					Value:     fast,
+					Threshold: r.FastBurn,
+					Msg: fmt.Sprintf("%s burning SLO budget at %.2fx over %d buckets (%.2fx over %d): threshold %.2fx/%.2fx",
+						r.Host, fast, r.FastN, slow, r.SlowN, r.FastBurn, r.SlowBurn),
+				})
+			}
+		case fast < r.FastBurn:
+			r.firing = false
+		}
+	}
+	for _, r := range p.thrash {
+		hot := r.Hold > 0
+		var worst float64
+		for k := 0; k < r.Hold; k++ {
+			i := idx - int64(k)
+			in, okIn := r.In.Bucket(i)
+			out, okOut := r.Out.Bucket(i)
+			if !okIn || !okOut || in.Sum < r.MinBytes || out.Sum < r.MinBytes {
+				hot = false
+				break
+			}
+			low := in.Sum
+			if out.Sum < low {
+				low = out.Sum
+			}
+			if k == 0 || low < worst {
+				worst = low
+			}
+		}
+		if hot {
+			if !r.firing {
+				r.firing = true
+				vm := ""
+				if r.Attribute != nil {
+					vm = r.Attribute()
+				}
+				p.alerts = append(p.alerts, Alert{
+					At:        now,
+					Kind:      AlertSwapThrash,
+					VM:        vm,
+					Host:      r.Host,
+					Series:    r.In.Name(),
+					Value:     worst,
+					Threshold: r.MinBytes,
+					Msg: fmt.Sprintf("%s swapping in and out >= %.0f B/bucket for %d buckets: thrash",
+						r.Host, r.MinBytes, r.Hold),
+				})
+			}
+		} else {
+			r.firing = false
+		}
+	}
+	if len(p.cascade) > 0 {
+		// Prune notes older than the longest cascade window so the note
+		// list stays bounded on long runs.
+		maxW := 0
+		for _, r := range p.cascade {
+			if r.WindowN > maxW {
+				maxW = r.WindowN
+			}
+		}
+		keep := p.evacs[:0]
+		for _, e := range p.evacs {
+			if p.Index(e.at) > idx-int64(maxW) {
+				keep = append(keep, e)
+			}
+		}
+		p.evacs = keep
+		for _, r := range p.cascade {
+			n := 0
+			var last evacNote
+			for _, e := range p.evacs {
+				if p.Index(e.at) > idx-int64(r.WindowN) {
+					n++
+					last = e
+				}
+			}
+			if n >= r.Count {
+				if !r.firing {
+					r.firing = true
+					p.alerts = append(p.alerts, Alert{
+						At:        now,
+						Kind:      AlertEvacCascade,
+						VM:        last.vm,
+						Host:      last.host,
+						Value:     float64(n),
+						Threshold: float64(r.Count),
+						Msg: fmt.Sprintf("%d evacuations within %d buckets (last: %s off %s): cascade",
+							n, r.WindowN, last.vm, last.host),
+					})
+				}
+			} else {
+				r.firing = false
+			}
+		}
+	}
+}

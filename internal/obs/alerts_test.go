@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// TestBurnRateFiresAndRearms pins the multi-window semantics: the rule
+// fires only when BOTH windows exceed their thresholds, fires once per
+// excursion (hysteresis), and re-arms after the fast window clears.
+func TestBurnRateFiresAndRearms(t *testing.T) {
+	p := NewPipeline(Config{Window: 32})
+	s := p.Counter("host0/slo_violations", nil)
+	p.AddBurnRate(&BurnRateRule{
+		Series: s, Host: "host0", Budget: 1,
+		FastN: 2, SlowN: 8, FastBurn: 2, SlowBurn: 1,
+		Attribute: func() string { return "vm3" },
+	})
+
+	// Fast window hot but slow window still cold: no alert.
+	s.Observe(at(1), 4)
+	p.Scan(at(1))
+	if n := len(p.Alerts()); n != 0 {
+		t.Fatalf("fired with cold slow window: %d alerts", n)
+	}
+	// Keep burning: slow window catches up, rule fires exactly once.
+	for sec := int64(2); sec <= 6; sec++ {
+		s.Observe(at(sec), 4)
+		p.Scan(at(sec))
+	}
+	alerts := p.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1 (hysteresis)", len(alerts))
+	}
+	a := alerts[0]
+	if a.Kind != AlertBurnRate || a.Host != "host0" || a.VM != "vm3" || a.Series != "host0/slo_violations" {
+		t.Fatalf("bad attribution: %+v", a)
+	}
+	if a.Value < a.Threshold {
+		t.Fatalf("alert value %v below threshold %v", a.Value, a.Threshold)
+	}
+	// Quiet period clears the fast window: rule re-arms and fires again
+	// on the next excursion.
+	for sec := int64(7); sec <= 10; sec++ {
+		p.Scan(at(sec))
+	}
+	for sec := int64(11); sec <= 16; sec++ {
+		s.Observe(at(sec), 4)
+		p.Scan(at(sec))
+	}
+	if n := len(p.Alerts()); n != 2 {
+		t.Fatalf("got %d alerts after re-arm, want 2", n)
+	}
+}
+
+// TestThrashRequiresBothDirections: swap-out alone (normal reclaim
+// pressure) must not alert; sustained in+out traffic must.
+func TestThrashRequiresBothDirections(t *testing.T) {
+	p := NewPipeline(Config{Window: 16})
+	in := p.Counter("host1/swap_in_bytes", nil)
+	out := p.Counter("host1/swap_out_bytes", nil)
+	p.AddThrash(&ThrashRule{
+		In: in, Out: out, Host: "host1", MinBytes: 1 << 20, Hold: 3,
+		Attribute: func() string { return "vm7" },
+	})
+	for sec := int64(1); sec <= 5; sec++ {
+		out.Observe(at(sec), 4<<20) // evictions only
+		p.Scan(at(sec))
+	}
+	if n := len(p.Alerts()); n != 0 {
+		t.Fatalf("one-directional swap traffic alerted: %d", n)
+	}
+	for sec := int64(6); sec <= 7; sec++ {
+		in.Observe(at(sec), 2<<20)
+		out.Observe(at(sec), 4<<20)
+		p.Scan(at(sec))
+	}
+	if n := len(p.Alerts()); n != 0 {
+		t.Fatalf("alerted before Hold buckets elapsed: %d", n)
+	}
+	in.Observe(at(8), 2<<20)
+	out.Observe(at(8), 4<<20)
+	p.Scan(at(8))
+	alerts := p.Alerts()
+	if len(alerts) != 1 || alerts[0].Kind != AlertSwapThrash || alerts[0].VM != "vm7" || alerts[0].Host != "host1" {
+		t.Fatalf("want one attributed swap_thrash alert, got %+v", alerts)
+	}
+}
+
+// TestCascadeWindow: evacuations must cluster inside the window to
+// alert, and the alert attributes the latest evacuation.
+func TestCascadeWindow(t *testing.T) {
+	p := NewPipeline(Config{Window: 64})
+	p.AddCascade(&CascadeRule{Count: 3, WindowN: 5})
+	p.NoteEvacuation(at(1), "vm0", "host0")
+	p.NoteEvacuation(at(20), "vm1", "host1")
+	p.Scan(at(20))
+	if n := len(p.Alerts()); n != 0 {
+		t.Fatalf("sparse evacuations alerted: %d", n)
+	}
+	p.NoteEvacuation(at(21), "vm2", "host2")
+	p.NoteEvacuation(at(22), "vm3", "host3")
+	p.Scan(at(22))
+	alerts := p.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("got %d alerts, want 1", len(alerts))
+	}
+	if a := alerts[0]; a.Kind != AlertEvacCascade || a.VM != "vm3" || a.Host != "host3" || a.Value != 3 {
+		t.Fatalf("bad cascade alert: %+v", a)
+	}
+	// Still firing inside the same excursion: no duplicate.
+	p.NoteEvacuation(at(23), "vm4", "host4")
+	p.Scan(at(23))
+	if n := len(p.Alerts()); n != 1 {
+		t.Fatalf("duplicate cascade alert: %d", n)
+	}
+}
+
+// TestStallScan: flights age into stall alerts exactly once per
+// attempt, keyed on (vm, start time).
+func TestStallScan(t *testing.T) {
+	p := NewPipeline(Config{})
+	flights := []FlightInfo{
+		{VM: "vm0", Src: "host0", Dst: "host1", Started: at(0)},
+		{VM: "vm1", Src: "host2", Dst: "host3", Started: at(9)},
+	}
+	p.ScanStalls(at(10), flights, 5*sim.Second)
+	alerts := p.Alerts()
+	if len(alerts) != 1 || alerts[0].VM != "vm0" || alerts[0].Kind != AlertMigrationStall {
+		t.Fatalf("want one vm0 stall, got %+v", alerts)
+	}
+	// Same flight again: no duplicate. vm1 ages past budget: fires.
+	p.ScanStalls(at(20), flights, 5*sim.Second)
+	alerts = p.Alerts()
+	if len(alerts) != 2 || alerts[1].VM != "vm1" {
+		t.Fatalf("want vm0+vm1 stalls, got %+v", alerts)
+	}
+	// A NEW attempt by vm0 (different start) alerts independently.
+	p.ScanStalls(at(40), []FlightInfo{{VM: "vm0", Src: "host1", Dst: "host0", Started: at(30)}}, 5*sim.Second)
+	if n := len(p.Alerts()); n != 3 {
+		t.Fatalf("re-attempt not re-alerted: %d alerts", n)
+	}
+}
+
+// TestAlertCounts sanity-checks the per-kind tally the renderers use.
+func TestAlertCounts(t *testing.T) {
+	p := NewPipeline(Config{})
+	p.ScanStalls(at(10), []FlightInfo{{VM: "a", Started: at(0)}, {VM: "b", Started: at(1)}}, sim.Second)
+	c := p.AlertCounts()
+	if c[AlertMigrationStall] != 2 || c[AlertBurnRate] != 0 {
+		t.Fatalf("AlertCounts = %v", c)
+	}
+}

@@ -1,0 +1,204 @@
+// Self-contained single-file HTML dashboard: inline CSS, inline SVG
+// sparklines per series, a host × time heatmap, and the alert table.
+// No external assets, no scripts, no network references — the file
+// opens identically offline, and ValidateHTML enforces that. All
+// iteration is over name-sorted series and fixed-point coordinate
+// formatting, so the bytes are deterministic.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"hyperalloc/internal/sim"
+)
+
+const (
+	sparkW, sparkH = 240, 40
+	// heatSuffix selects the per-host series family for the heatmap.
+	heatSuffix = "/rss_bytes"
+)
+
+// value returns the bucket's rendering value per the series kind.
+func (s *Series) value(st BucketStat) float64 {
+	if s.kind == Counter {
+		return st.Sum
+	}
+	return st.Last
+}
+
+// windowValues collects the per-bucket rendering values over the full
+// retained window ending at endIdx; ok[i] marks live buckets.
+func (s *Series) windowValues(endIdx int64) (vals []float64, ok []bool) {
+	n := len(s.ring)
+	vals = make([]float64, n)
+	ok = make([]bool, n)
+	for i := 0; i < n; i++ {
+		idx := endIdx - int64(n-1-i)
+		if st, live := s.Bucket(idx); live {
+			vals[i], ok[i] = s.value(st), true
+		}
+	}
+	return vals, ok
+}
+
+func sparkline(s *Series, endIdx int64) string {
+	vals, ok := s.windowValues(endIdx)
+	lo, hi, any := 0.0, 0.0, false
+	for i, v := range vals {
+		if !ok[i] {
+			continue
+		}
+		if !any || v < lo {
+			lo = v
+		}
+		if !any || v > hi {
+			hi = v
+		}
+		any = true
+	}
+	if !any {
+		return ""
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var pts strings.Builder
+	for i, v := range vals {
+		if !ok[i] {
+			continue
+		}
+		x := float64(i) / float64(len(vals)-1) * sparkW
+		y := sparkH - 2 - (v-lo)/span*(sparkH-4)
+		if pts.Len() > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", x, y)
+	}
+	return fmt.Sprintf(
+		`<svg width="%d" height="%d" viewBox="0 0 %d %d"><polyline fill="none" stroke="#2a6fb0" stroke-width="1.5" points="%s"/></svg>`,
+		sparkW, sparkH, sparkW, sparkH, pts.String())
+}
+
+// heatmap renders a host × time grid over every leaf series ending in
+// heatSuffix (one row per host, one cell per bucket, intensity scaled
+// to the global maximum). Aggregation parents (the fleet roll-up) are
+// skipped — a fleet-wide row would set the scale and wash out the
+// per-host cells. Empty string when fewer than two such series exist.
+func heatmap(p *Pipeline, endIdx int64) string {
+	parents := make(map[*Series]bool)
+	for _, s := range p.ordered {
+		if s.parent != nil {
+			parents[s.parent] = true
+		}
+	}
+	var rows []*Series
+	for _, s := range p.ordered {
+		if strings.HasSuffix(s.name, heatSuffix) && !parents[s] {
+			rows = append(rows, s)
+		}
+	}
+	if len(rows) < 2 {
+		return ""
+	}
+	var max float64
+	for _, s := range rows {
+		vals, ok := s.windowValues(endIdx)
+		for i, v := range vals {
+			if ok[i] && v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	cell, gap := 6, 1
+	w := len(rows[0].ring)*(cell+gap) + gap
+	h := len(rows)*(cell+gap) + gap
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	for r, s := range rows {
+		vals, ok := s.windowValues(endIdx)
+		for i, v := range vals {
+			if !ok[i] {
+				continue
+			}
+			// White → deep blue ramp.
+			t := v / max
+			red := int(255 - t*213)
+			grn := int(255 - t*144)
+			blu := int(255 - t*79)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`,
+				gap+i*(cell+gap), gap+r*(cell+gap), cell, cell, red, grn, blu)
+		}
+	}
+	b.WriteString(`</svg>`)
+	var legend strings.Builder
+	for _, s := range rows {
+		fmt.Fprintf(&legend, `<li>%s</li>`, html.EscapeString(strings.TrimSuffix(s.name, heatSuffix)))
+	}
+	return fmt.Sprintf(`<div class="heat">%s<ol class="hosts">%s</ol></div>`, b.String(), legend.String())
+}
+
+// WriteHTML writes the dashboard for the pipeline state at now.
+func WriteHTML(w io.Writer, p *Pipeline, now sim.Time, title string) error {
+	if p == nil {
+		p = NewPipeline(Config{})
+	}
+	if title == "" {
+		title = "hyperalloc observability"
+	}
+	idx := p.Index(now)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>%s</title><style>
+body{font:14px/1.4 system-ui,sans-serif;margin:24px;color:#1b2733}
+h1{font-size:20px}h2{font-size:16px;margin-top:28px;border-bottom:1px solid #d6dde4}
+table{border-collapse:collapse}td,th{border:1px solid #d6dde4;padding:3px 8px;text-align:left}
+.meta{color:#5b6b7b}.card{display:inline-block;margin:6px;padding:6px 10px;border:1px solid #d6dde4;border-radius:4px;vertical-align:top}
+.card h3{font-size:12px;margin:0 0 4px;font-weight:600}.card .stats{font-size:11px;color:#5b6b7b}
+.alert-burn_rate{background:#fde8e8}.alert-swap_thrash{background:#fdf3e0}
+.alert-evac_cascade{background:#fde8f4}.alert-migration_stall{background:#e8effd}
+.hosts{font-size:11px;color:#5b6b7b;margin:4px 0;padding-left:20px}
+</style></head><body>
+<h1>%s</h1>
+`, html.EscapeString(title), html.EscapeString(title))
+	fmt.Fprintf(bw, `<p class="meta">epoch %d · %v · %d series · %d buckets · %d alerts</p>
+`, idx, now, p.SeriesCount(), p.BucketCount(), len(p.alerts))
+
+	bw.WriteString("<h2>Alerts</h2>\n")
+	if len(p.alerts) == 0 {
+		bw.WriteString("<p class=\"meta\">none</p>\n")
+	} else {
+		bw.WriteString("<table><tr><th>at</th><th>kind</th><th>host</th><th>vm</th><th>series</th><th>value</th><th>threshold</th><th>message</th></tr>\n")
+		for _, a := range p.alerts {
+			fmt.Fprintf(bw, `<tr class="alert-%s"><td>%v</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+				a.Kind, a.At, a.Kind,
+				html.EscapeString(a.Host), html.EscapeString(a.VM), html.EscapeString(a.Series),
+				formatValue(a.Value), formatValue(a.Threshold), html.EscapeString(a.Msg))
+		}
+		bw.WriteString("</table>\n")
+	}
+
+	if hm := heatmap(p, idx); hm != "" {
+		fmt.Fprintf(bw, "<h2>Host memory heatmap (rss, %d buckets)</h2>\n%s\n", p.cfg.Window, hm)
+	}
+
+	bw.WriteString("<h2>Series</h2>\n")
+	for _, s := range p.ordered {
+		st, ok := s.Latest(idx)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(bw, `<div class="card"><h3>%s</h3>%s<div class="stats">%s · last %s · min %s · max %s</div></div>`+"\n",
+			html.EscapeString(s.name), sparkline(s, idx), s.kind,
+			formatValue(s.value(st)), formatValue(st.Min), formatValue(st.Max))
+	}
+	bw.WriteString("</body></html>\n")
+	return bw.Flush()
+}

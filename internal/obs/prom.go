@@ -1,0 +1,74 @@
+// Prometheus text snapshot of the pipeline: one gauge sample per series
+// (last live bucket), one windowed sum per counter series, per-kind
+// alert totals, and the epoch index. Rendering goes through
+// internal/report's stable-key writer, so the bytes are deterministic
+// and diff cleanly between runs.
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+)
+
+// formatValue renders a sample value deterministically: exact integers
+// as integers, everything else in shortest round-trip form (both are
+// platform-stable for identical bit patterns).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot renders the pipeline state at now as Prometheus samples.
+func Snapshot(p *Pipeline, now sim.Time) []report.PromSample {
+	if p == nil {
+		return nil
+	}
+	idx := p.Index(now)
+	var out []report.PromSample
+	out = append(out,
+		report.PromSample{Name: "hyperalloc_obs_epoch", Value: strconv.FormatInt(idx, 10)},
+		report.PromSample{Name: "hyperalloc_obs_series", Value: strconv.Itoa(p.SeriesCount())},
+		report.PromSample{Name: "hyperalloc_obs_buckets", Value: strconv.Itoa(p.BucketCount())},
+	)
+	for _, s := range p.ordered {
+		labels := [][2]string{{"series", s.name}}
+		switch s.kind {
+		case Counter:
+			out = append(out, report.PromSample{
+				Name:   "hyperalloc_obs_window_total",
+				Labels: append(labels, [2]string{"buckets", strconv.Itoa(len(s.ring))}),
+				Value:  formatValue(s.WindowSum(idx, len(s.ring))),
+			})
+		default:
+			st, ok := s.Latest(idx)
+			if !ok {
+				continue
+			}
+			out = append(out, report.PromSample{
+				Name:   "hyperalloc_obs_gauge",
+				Labels: labels,
+				Value:  formatValue(st.Last),
+			})
+		}
+	}
+	counts := p.AlertCounts()
+	for _, kind := range []string{AlertBurnRate, AlertEvacCascade, AlertMigrationStall, AlertSwapThrash} {
+		out = append(out, report.PromSample{
+			Name:   "hyperalloc_obs_alerts_total",
+			Labels: [][2]string{{"kind", kind}},
+			Value:  strconv.Itoa(counts[kind]),
+		})
+	}
+	return out
+}
+
+// WriteProm writes the Snapshot in Prometheus text exposition format
+// (lines sorted, byte-stable).
+func WriteProm(w io.Writer, p *Pipeline, now sim.Time) error {
+	return report.WriteProm(w, Snapshot(p, now))
+}

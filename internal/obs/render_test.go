@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// populated builds a pipeline with host gauges (for the heatmap), a
+// counter, and one alert of each scanned kind.
+func populated() (*Pipeline, sim.Time) {
+	p := NewPipeline(Config{Resolution: sim.Second, Window: 16})
+	fleet := p.Gauge("fleet/rss_bytes", nil)
+	for h := 0; h < 4; h++ {
+		s := p.Gauge(fmt.Sprintf("host%d/rss_bytes", h), fleet)
+		for sec := int64(0); sec < 12; sec++ {
+			s.Observe(at(sec), float64((h+1)*1000+int(sec)*17))
+		}
+	}
+	evac := p.Counter("fleet/evacuations", nil)
+	evac.Observe(at(3), 1)
+	evac.Observe(at(4), 2)
+	p.ScanStalls(at(11), []FlightInfo{{VM: "vm9", Src: "host1", Dst: "host2", Started: at(2)}}, 5*sim.Second)
+	return p, at(11)
+}
+
+// TestPromSnapshotStableAndValid: byte-identical across renders, passes
+// the structural validator, and carries the expected sample families.
+func TestPromSnapshotStableAndValid(t *testing.T) {
+	p, now := populated()
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, p, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, p, now); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("prom snapshot not byte-stable")
+	}
+	if err := ValidateProm(a.Bytes()); err != nil {
+		t.Fatalf("snapshot fails own validator: %v\n%s", err, a.String())
+	}
+	for _, want := range []string{
+		"hyperalloc_obs_epoch 11",
+		`hyperalloc_obs_gauge{series="host0/rss_bytes"}`,
+		`hyperalloc_obs_window_total{series="fleet/evacuations"`,
+		`hyperalloc_obs_alerts_total{kind="migration_stall"} 1`,
+		`hyperalloc_obs_alerts_total{kind="burn_rate"} 0`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("snapshot missing %q:\n%s", want, a.String())
+		}
+	}
+}
+
+// TestValidatePromRejects: corruption classes the validator must catch.
+func TestValidatePromRejects(t *testing.T) {
+	for name, data := range map[string]string{
+		"empty":       "",
+		"unsorted":    "b_metric 1\na_metric 2\n",
+		"no value":    "metric_alone\n",
+		"bad value":   "metric one\n",
+		"open labels": `metric{k="v" 3` + "\n",
+	} {
+		if err := ValidateProm([]byte(data)); err == nil {
+			t.Errorf("%s: ValidateProm accepted %q", name, data)
+		}
+	}
+}
+
+// TestHTMLDashboardStableAndValid: byte-identical, self-contained, and
+// structurally complete (sparklines, heatmap, alert row).
+func TestHTMLDashboardStableAndValid(t *testing.T) {
+	p, now := populated()
+	var a, b bytes.Buffer
+	if err := WriteHTML(&a, p, now, "test fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTML(&b, p, now, "test fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("dashboard not byte-stable")
+	}
+	if err := ValidateHTML(a.Bytes()); err != nil {
+		t.Fatalf("dashboard fails own validator: %v", err)
+	}
+	s := a.String()
+	for _, want := range []string{
+		"<polyline",             // sparkline
+		"<rect",                 // heatmap cells
+		"alert-migration_stall", // alert row class
+		"host3/rss_bytes",       // series card
+		"Host memory heatmap",   // heatmap section present
+		"convergence stall",     // alert message escaped through
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}
+
+// TestValidateHTMLRejects: non-self-contained documents must fail.
+func TestValidateHTMLRejects(t *testing.T) {
+	p, now := populated()
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, p, now, ""); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	for name, bad := range map[string]string{
+		"no doctype": strings.TrimPrefix(good, "<!DOCTYPE html>"),
+		"script":     strings.Replace(good, "<body>", `<body><script>x()</script>`, 1),
+		"ext asset":  strings.Replace(good, "<body>", `<body><img src="https://cdn.example/x.png">`, 1),
+		"truncated":  good[:len(good)/2],
+	} {
+		if err := ValidateHTML([]byte(bad)); err == nil {
+			t.Errorf("%s: ValidateHTML accepted corrupted dashboard", name)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Deterministic head-sampling for traces. The decision is a pure hash
+// of (run seed, track name): no RNG draw, no global state, no ordering
+// dependence — so a sampled trace is byte-identical at any `-parallel`
+// worker count, and two runs with the same seed keep exactly the same
+// tracks. Dropping happens at the source via trace.SetTrackFilter: a
+// rejected track records nothing, while registry counters, gauges, and
+// rollups stay exact (they are not sampled).
+package obs
+
+// Sampler decides, per track name, whether the track's timeline is
+// recorded. The zero value keeps everything.
+type Sampler struct {
+	// Seed is the run seed the decision is keyed on.
+	Seed uint64
+	// Keep is the fraction of tracks to keep in [0, 1]; 0 means keep
+	// all (a zero-value Sampler is a no-op, matching "sampling off").
+	Keep float64
+}
+
+// fnv1a64 hashes a string (FNV-1a, 64-bit).
+func fnv1a64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// splitmix64 finalizes a hash; its avalanche decorrelates adjacent
+// seeds and near-identical names.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// KeepTrack reports whether the named track is kept. Usable directly as
+// a trace.SetTrackFilter predicate via s.KeepTrack.
+func (s Sampler) KeepTrack(name string) bool {
+	if s.Keep <= 0 || s.Keep >= 1 {
+		return true
+	}
+	h := splitmix64(s.Seed ^ fnv1a64(name))
+	// Compare in fixed-point 1/2^32 units: deterministic, no float
+	// rounding at the boundary.
+	return h>>32 < uint64(s.Keep*(1<<32))
+}

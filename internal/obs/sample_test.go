@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSamplerDeterministic: the keep decision is a pure function of
+// (seed, name) — same inputs, same answer, forever.
+func TestSamplerDeterministic(t *testing.T) {
+	s := Sampler{Seed: 42, Keep: 0.5}
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("vm%d/mech", i)
+		first := s.KeepTrack(name)
+		for r := 0; r < 3; r++ {
+			if s.KeepTrack(name) != first {
+				t.Fatalf("KeepTrack(%q) not stable", name)
+			}
+		}
+	}
+}
+
+// TestSamplerFraction: the kept fraction approximates Keep, and the
+// edges keep everything.
+func TestSamplerFraction(t *testing.T) {
+	for _, keep := range []float64{0.1, 0.5, 0.9} {
+		s := Sampler{Seed: 7, Keep: keep}
+		const n = 4000
+		kept := 0
+		for i := 0; i < n; i++ {
+			if s.KeepTrack(fmt.Sprintf("host%d/track%d", i%128, i)) {
+				kept++
+			}
+		}
+		got := float64(kept) / n
+		if got < keep-0.05 || got > keep+0.05 {
+			t.Errorf("Keep=%v kept %.3f of tracks", keep, got)
+		}
+	}
+	for _, s := range []Sampler{{}, {Seed: 1, Keep: 1}, {Seed: 1, Keep: -0.5}, {Seed: 1, Keep: 2}} {
+		if !s.KeepTrack("anything") {
+			t.Errorf("edge sampler %+v dropped a track", s)
+		}
+	}
+}
+
+// TestSamplerSeedSensitivity: different seeds pick different track
+// subsets (the decision is keyed on the run seed, not just the name).
+func TestSamplerSeedSensitivity(t *testing.T) {
+	a, b := Sampler{Seed: 1, Keep: 0.5}, Sampler{Seed: 2, Keep: 0.5}
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("vm%d/virtio", i)
+		if a.KeepTrack(name) != b.KeepTrack(name) {
+			diff++
+		}
+	}
+	if diff < 300 {
+		t.Fatalf("seeds 1 and 2 differ on only %d/1000 tracks", diff)
+	}
+}

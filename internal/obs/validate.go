@@ -1,0 +1,74 @@
+// Structural validators for the two rendered artifacts. `make
+// obs-smoke` runs driver output through these (via cmd/obscheck): the
+// Prometheus snapshot must be sorted, parseable text exposition, and
+// the dashboard must be a genuinely self-contained HTML document — SVG
+// present, no scripts, no references to anything outside the file.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm checks Prometheus text-exposition output: non-empty,
+// lines sorted (the writer sorts, so unsorted output means corruption),
+// and every line of the form `name{labels} value` with a parseable
+// value.
+func ValidateProm(data []byte) error {
+	text := strings.TrimRight(string(data), "\n")
+	if text == "" {
+		return fmt.Errorf("obs: empty prom snapshot")
+	}
+	lines := strings.Split(text, "\n")
+	prev := ""
+	for i, l := range lines {
+		if l < prev {
+			return fmt.Errorf("obs: prom line %d: %q sorts before %q (output must be sorted)", i+1, l, prev)
+		}
+		prev = l
+		sp := strings.LastIndexByte(l, ' ')
+		if sp <= 0 || sp == len(l)-1 {
+			return fmt.Errorf("obs: prom line %d: no value in %q", i+1, l)
+		}
+		name := l[:sp]
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("obs: prom line %d: unterminated label set in %q", i+1, l)
+			}
+			name = name[:j]
+		}
+		if name == "" || strings.ContainsAny(name, "\t ") {
+			return fmt.Errorf("obs: prom line %d: bad metric name in %q", i+1, l)
+		}
+		if _, err := strconv.ParseFloat(l[sp+1:], 64); err != nil {
+			return fmt.Errorf("obs: prom line %d: bad value %q: %v", i+1, l[sp+1:], err)
+		}
+	}
+	return nil
+}
+
+// ValidateHTML checks that data is a self-contained dashboard: an HTML
+// document with inline SVG and zero external references (no scripts, no
+// URLs — the file must render identically offline).
+func ValidateHTML(data []byte) error {
+	s := string(data)
+	if !strings.HasPrefix(s, "<!DOCTYPE html>") {
+		return fmt.Errorf("obs: dashboard missing <!DOCTYPE html> prefix")
+	}
+	for _, want := range []string{"<html", "</html>", "<body", "</body>", "<style"} {
+		if !strings.Contains(s, want) {
+			return fmt.Errorf("obs: dashboard missing %s", want)
+		}
+	}
+	lower := strings.ToLower(s)
+	for _, banned := range []string{"<script", "<link", "<iframe", "://", "src=", "@import"} {
+		if strings.Contains(lower, banned) {
+			return fmt.Errorf("obs: dashboard is not self-contained: contains %q", banned)
+		}
+	}
+	if !strings.Contains(s, "<svg") {
+		return fmt.Errorf("obs: dashboard has no inline SVG")
+	}
+	return nil
+}

@@ -1,8 +1,10 @@
 // Package profiling wires the standard -cpuprofile/-memprofile flags into
-// the long-running experiment commands. The simulation is deterministic in
-// virtual time, so a wall-clock profile of one run is representative: use
-// it to find real-time hot spots (EPT walks, allocator scans, scheduler
-// churn) without perturbing any result.
+// the long-running experiment commands, plus block and mutex profiles
+// for the worker-pool paths (bounded-lag barriers, runner fan-out). The
+// simulation is deterministic in virtual time, so a wall-clock profile
+// of one run is representative: use it to find real-time hot spots (EPT
+// walks, allocator scans, scheduler churn) without perturbing any
+// result.
 package profiling
 
 import (
@@ -12,14 +14,25 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling (when cpu is non-empty) and returns a stop
-// function that finishes the CPU profile and writes a heap profile (when
-// memFile is non-empty). Callers must invoke stop on the normal exit path;
+// Options names the profile outputs a command wants; empty fields are
+// off. Block and Mutex sample at full rate/fraction for the run — the
+// worker-pool experiments are short, and a partial sample of a
+// bounded-lag barrier stall is not worth the determinism-sounding but
+// wrong conclusions it invites.
+type Options struct {
+	CPU   string // pprof CPU profile, written while running
+	Mem   string // heap profile, written at stop after a GC
+	Block string // goroutine blocking profile (channel/barrier waits)
+	Mutex string // mutex contention profile
+}
+
+// Start begins the requested profiles and returns a stop function that
+// finishes them. Callers must invoke stop on the normal exit path;
 // log.Fatal exits skip it, so profiles cover successful runs only.
-func Start(cpuFile, memFile string) (stop func()) {
+func (o Options) Start() (stop func()) {
 	var cpuOut *os.File
-	if cpuFile != "" {
-		f, err := os.Create(cpuFile)
+	if o.CPU != "" {
+		f, err := os.Create(o.CPU)
 		if err != nil {
 			log.Fatalf("profiling: %v", err)
 		}
@@ -28,13 +41,19 @@ func Start(cpuFile, memFile string) (stop func()) {
 		}
 		cpuOut = f
 	}
+	if o.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if o.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
 	return func() {
 		if cpuOut != nil {
 			pprof.StopCPUProfile()
 			cpuOut.Close()
 		}
-		if memFile != "" {
-			f, err := os.Create(memFile)
+		if o.Mem != "" {
+			f, err := os.Create(o.Mem)
 			if err != nil {
 				log.Fatalf("profiling: %v", err)
 			}
@@ -44,5 +63,31 @@ func Start(cpuFile, memFile string) (stop func()) {
 			}
 			f.Close()
 		}
+		writeLookup("block", o.Block)
+		writeLookup("mutex", o.Mutex)
 	}
+}
+
+// writeLookup dumps a named runtime/pprof profile to path ("" = off).
+func writeLookup(name, path string) {
+	if path == "" {
+		return
+	}
+	p := pprof.Lookup(name)
+	if p == nil {
+		log.Fatalf("profiling: no %s profile in this runtime", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("profiling: %v", err)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		log.Fatalf("profiling: %v", err)
+	}
+	f.Close()
+}
+
+// Start is the two-profile shorthand the older drivers use.
+func Start(cpuFile, memFile string) (stop func()) {
+	return Options{CPU: cpuFile, Mem: memFile}.Start()
 }

@@ -113,6 +113,63 @@ func (t *Tracer) WriteChromeFile(path string) error {
 	return f.Close()
 }
 
+// ValidateClass partitions validation failures so callers (cmd/tracecheck)
+// can exit with a distinct nonzero code per failure class. The values are
+// the exit codes; 0 and 1 are reserved (success, usage/IO errors).
+type ValidateClass int
+
+// Validation failure classes.
+const (
+	ClassNone      ValidateClass = 0 // valid trace
+	ClassJSON      ValidateClass = 2 // malformed or empty JSON
+	ClassStructure ValidateClass = 3 // unknown phase, pid/tid track sanity, bad metadata
+	ClassNesting   ValidateClass = 4 // unbalanced or improperly nested B/E spans
+	ClassTime      ValidateClass = 5 // non-monotonic timestamps within a track
+	ClassCounter   ValidateClass = 6 // counter series regression
+)
+
+func (c ValidateClass) String() string {
+	switch c {
+	case ClassNone:
+		return "ok"
+	case ClassJSON:
+		return "json"
+	case ClassStructure:
+		return "structure"
+	case ClassNesting:
+		return "nesting"
+	case ClassTime:
+		return "time"
+	case ClassCounter:
+		return "counter"
+	}
+	return "unknown"
+}
+
+// ValidateError is a classified validation failure.
+type ValidateError struct {
+	Class ValidateClass
+	Msg   string
+}
+
+func (e *ValidateError) Error() string { return e.Msg }
+
+// ClassOf extracts the failure class from a ValidateChrome error
+// (ClassNone for nil, ClassJSON for unclassified errors).
+func ClassOf(err error) ValidateClass {
+	if err == nil {
+		return ClassNone
+	}
+	if ve, ok := err.(*ValidateError); ok {
+		return ve.Class
+	}
+	return ClassJSON
+}
+
+func validateErrf(class ValidateClass, format string, args ...any) error {
+	return &ValidateError{Class: class, Msg: fmt.Sprintf(format, args...)}
+}
+
 // chromeEvent is the subset of the trace-event schema the validator
 // inspects.
 type chromeEvent struct {
@@ -129,74 +186,109 @@ type chromeFile struct {
 }
 
 // ValidateChrome checks that data is well-formed Chrome trace-event JSON
-// with balanced, properly nested B/E spans per thread and non-decreasing
-// timestamps per thread. This is what `make trace-smoke` runs against
-// driver output.
+// with balanced, properly nested B/E spans per (pid, tid) track,
+// non-decreasing timestamps per track, per-(pid, name) counter-series
+// monotonicity (the per-host counter tracks of a multi-host cluster
+// trace validate independently), and per-(pid, tid) track sanity: every
+// timeline event's pid must belong to a declared process and its tid to
+// a named thread, and no tid may be renamed mid-trace. This is what
+// `make trace-smoke` runs against driver output. Errors are
+// *ValidateError values; cmd/tracecheck turns their class into a
+// distinct exit code.
 func ValidateChrome(data []byte) error {
 	var f chromeFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return fmt.Errorf("trace: invalid JSON: %w", err)
+		return validateErrf(ClassJSON, "trace: invalid JSON: %v", err)
 	}
 	if len(f.TraceEvents) == 0 {
-		return fmt.Errorf("trace: no traceEvents")
+		return validateErrf(ClassJSON, "trace: no traceEvents")
 	}
-	stacks := make(map[int][]string)    // tid -> open span names
-	lastTs := make(map[int]float64)     // tid -> last timeline timestamp
-	lastCtr := make(map[string]float64) // "tid/name" -> last counter timestamp
-	threads := make(map[int]string)     // tid -> thread_name metadata
+	type track struct{ pid, tid int }
+	stacks := make(map[track][]string)  // track -> open span names
+	lastTs := make(map[track]float64)   // track -> last timeline timestamp
+	lastCtr := make(map[string]float64) // "pid/tid/name" -> last counter timestamp
+	threads := make(map[track]string)   // track -> thread_name metadata
+	pids := make(map[int]bool)          // pids with process_name metadata
+	used := make(map[track]int)         // timeline tracks -> first event index
 	for i, ev := range f.TraceEvents {
+		tr := track{ev.Pid, ev.Tid}
 		switch ev.Ph {
 		case "M":
-			if ev.Name == "thread_name" {
+			switch ev.Name {
+			case "process_name":
+				pids[ev.Pid] = true
+			case "thread_name":
 				var args struct {
 					Name string `json:"name"`
 				}
 				if err := json.Unmarshal(ev.Args, &args); err != nil {
-					return fmt.Errorf("trace: event %d: bad thread_name args: %w", i, err)
+					return validateErrf(ClassStructure, "trace: event %d: bad thread_name args: %v", i, err)
 				}
-				threads[ev.Tid] = args.Name
+				if prev, ok := threads[tr]; ok && prev != args.Name {
+					return validateErrf(ClassStructure,
+						"trace: event %d: tid %d renamed %q -> %q (track identity must be stable)",
+						i, ev.Tid, prev, args.Name)
+				}
+				threads[tr] = args.Name
 			}
 			continue
 		case "C":
 			// Counter tracks are keyed by (pid, name), not thread order:
 			// each counter's own series must be monotone, independent of
 			// the timeline threads and of other counters.
-			key := fmt.Sprintf("%d/%s", ev.Tid, ev.Name)
+			key := fmt.Sprintf("%d/%d/%s", ev.Pid, ev.Tid, ev.Name)
 			if prev, ok := lastCtr[key]; ok && ev.Ts < prev {
-				return fmt.Errorf("trace: event %d (counter %q): timestamp %.3f before %.3f",
+				return validateErrf(ClassCounter, "trace: event %d (counter %q): timestamp %.3f before %.3f",
 					i, ev.Name, ev.Ts, prev)
 			}
 			lastCtr[key] = ev.Ts
 			continue
 		case "B", "E", "i":
+			if _, ok := used[tr]; !ok {
+				used[tr] = i
+			}
 		default:
-			return fmt.Errorf("trace: event %d: unknown phase %q", i, ev.Ph)
+			return validateErrf(ClassStructure, "trace: event %d: unknown phase %q", i, ev.Ph)
 		}
-		if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
-			return fmt.Errorf("trace: event %d (tid %d %q): timestamp %.3f before %.3f",
+		if prev, ok := lastTs[tr]; ok && ev.Ts < prev {
+			return validateErrf(ClassTime, "trace: event %d (tid %d %q): timestamp %.3f before %.3f",
 				i, ev.Tid, ev.Name, ev.Ts, prev)
 		}
-		lastTs[ev.Tid] = ev.Ts
+		lastTs[tr] = ev.Ts
 		switch ev.Ph {
 		case "B":
-			stacks[ev.Tid] = append(stacks[ev.Tid], ev.Name)
+			stacks[tr] = append(stacks[tr], ev.Name)
 		case "E":
-			st := stacks[ev.Tid]
+			st := stacks[tr]
 			if len(st) == 0 {
-				return fmt.Errorf("trace: event %d: E %q on tid %d without matching B", i, ev.Name, ev.Tid)
+				return validateErrf(ClassNesting, "trace: event %d: E %q on tid %d without matching B", i, ev.Name, ev.Tid)
 			}
 			if top := st[len(st)-1]; top != ev.Name {
-				return fmt.Errorf("trace: event %d: E %q on tid %d, expected E %q (improper nesting)",
+				return validateErrf(ClassNesting, "trace: event %d: E %q on tid %d, expected E %q (improper nesting)",
 					i, ev.Name, ev.Tid, top)
 			}
-			stacks[ev.Tid] = st[:len(st)-1]
+			stacks[tr] = st[:len(st)-1]
 		}
 	}
-	for tid, st := range stacks {
+	for tr, st := range stacks {
 		if len(st) > 0 {
-			return fmt.Errorf("trace: tid %d (%s): %d unclosed span(s), innermost %q",
-				tid, threads[tid], len(st), st[len(st)-1])
+			return validateErrf(ClassNesting, "trace: tid %d (%s): %d unclosed span(s), innermost %q",
+				tr.tid, threads[tr], len(st), st[len(st)-1])
 		}
+	}
+	// Track sanity: every timeline event rode a declared process and a
+	// named thread. Reported deterministically for the earliest offender.
+	badIdx, badTr := -1, track{}
+	for tr, idx := range used {
+		if (!pids[tr.pid] || threads[tr] == "") && (badIdx == -1 || idx < badIdx) {
+			badIdx, badTr = idx, tr
+		}
+	}
+	if badIdx >= 0 {
+		if !pids[badTr.pid] {
+			return validateErrf(ClassStructure, "trace: event %d: pid %d has no process_name metadata", badIdx, badTr.pid)
+		}
+		return validateErrf(ClassStructure, "trace: event %d: tid %d has no thread_name metadata", badIdx, badTr.tid)
 	}
 	return nil
 }

@@ -93,6 +93,7 @@ func TestValidateChromeAcceptsSameTimestamp(t *testing.T) {
 	// Equal timestamps are legal (instantaneous spans happen when no
 	// simulated time is charged inside).
 	data := `{"traceEvents":[
+		{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"p"}},
 		{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"t"}},
 		{"ph":"B","pid":1,"tid":1,"ts":1,"name":"x"},
 		{"ph":"E","pid":1,"tid":1,"ts":1,"name":"x"}]}`

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// TestTrackFilterDropsAtSource: a filtered track is a nil (disabled)
+// track — its spans and instants never enter the event stream — while
+// kept tracks and registry instruments are untouched. The decision is
+// cached per name, so a later filter change does not resurrect a track.
+func TestTrackFilterDropsAtSource(t *testing.T) {
+	tr := New()
+	tr.SetTrackFilter(func(name string) bool { return name != "dropped" })
+	tr.Bind(sim.NewClock())
+
+	kept := tr.Track("kept")
+	dropped := tr.Track("dropped")
+	if dropped != nil {
+		t.Fatal("filtered track is not nil")
+	}
+	if dropped.Enabled() {
+		t.Fatal("filtered track claims to be enabled")
+	}
+	kept.Begin("work")
+	dropped.Begin("work") // no-op, must not panic
+	dropped.Instant("evt")
+	kept.End()
+	dropped.End()
+
+	tr.Registry().Counter("c").Inc()
+	if got := tr.Registry().Counter("c").Value(); got != 1 {
+		t.Fatalf("registry counter affected by track filter: %d", got)
+	}
+	if tr.Events() != 2 {
+		t.Fatalf("got %d events, want 2 (kept Begin+End only)", tr.Events())
+	}
+	// Cached decision: clearing the filter does not re-admit the name.
+	tr.SetTrackFilter(nil)
+	if tr.Track("dropped") != nil {
+		t.Fatal("filtered decision not cached per name")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("dropped")) {
+		t.Fatal("filtered track leaked into the Chrome export")
+	}
+}

@@ -72,6 +72,29 @@ func (h *Histogram) Observe(d sim.Duration) {
 	h.buckets[bucketIndex(v)]++
 }
 
+// Merge folds o's observations into h. Because both histograms share the
+// same log-linear bucket layout, merging is exact: bucket counts add, and
+// every quantile of the merged histogram equals the quantile computed
+// over the concatenation of the two sample streams (to the histogram's
+// bucket resolution — merge_test.go pins this property). The per-host →
+// fleet rollup path uses it to fold per-host span latency distributions
+// into one fleet distribution without keeping raw samples. Nil-safe on
+// both sides; merging a histogram into itself double-counts and is a
+// caller bug.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+}
+
 // Name returns the histogram's registry key.
 func (h *Histogram) Name() string {
 	if h == nil {

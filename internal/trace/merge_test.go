@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"sort"
+	"testing"
+
+	"hyperalloc/internal/sim"
+)
+
+// TestHistogramMergeProperty is the merge correctness pin: for random
+// sample streams split across two histograms, merge-then-quantile must
+// equal quantile over the concatenated stream exactly (both sides
+// quantize into the same log-linear buckets, so the merged counts are
+// identical to direct observation), and the merged quantile must bracket
+// the true sample quantile within one bucket.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := sim.NewRNG(1234)
+	for trial := 0; trial < 50; trial++ {
+		var a, b, direct Histogram
+		var samples []int64
+		na, nb := 1+rng.Intn(200), 1+rng.Intn(200)
+		draw := func() int64 {
+			// Mix magnitudes: sub-linear values, mid-range, and large
+			// 2^40-scale outliers all land in different octaves.
+			switch rng.Intn(3) {
+			case 0:
+				return int64(rng.Intn(subBuckets))
+			case 1:
+				return int64(rng.Intn(1 << 20))
+			default:
+				return int64(rng.Intn(1<<30))<<10 + int64(rng.Intn(1024))
+			}
+		}
+		for i := 0; i < na; i++ {
+			v := draw()
+			a.Observe(sim.Duration(v))
+			direct.Observe(sim.Duration(v))
+			samples = append(samples, v)
+		}
+		for i := 0; i < nb; i++ {
+			v := draw()
+			b.Observe(sim.Duration(v))
+			direct.Observe(sim.Duration(v))
+			samples = append(samples, v)
+		}
+		merged := a // copy (Histogram is a value: fixed bucket array)
+		merged.Merge(&b)
+
+		if merged.Count() != direct.Count() || merged.Sum() != direct.Sum() || merged.Max() != direct.Max() {
+			t.Fatalf("trial %d: merged count/sum/max (%d/%d/%d) != direct (%d/%d/%d)",
+				trial, merged.Count(), merged.Sum(), merged.Max(),
+				direct.Count(), direct.Sum(), direct.Max())
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 1} {
+			mq, dq := merged.Quantile(q), direct.Quantile(q)
+			if mq != dq {
+				t.Fatalf("trial %d q=%v: merged quantile %d != direct %d", trial, q, mq, dq)
+			}
+			// The true sample quantile must land in the reported bucket:
+			// bucketLow <= sample < next octave step (within one log-linear
+			// bucket, ~3% relative error; the max is exact).
+			rank := int(q * float64(len(samples)))
+			if rank < 1 {
+				rank = 1
+			}
+			sample := samples[rank-1]
+			if q >= 1 {
+				if int64(mq) != sample {
+					t.Fatalf("trial %d: q=1 reported %d, true max %d", trial, mq, sample)
+				}
+				continue
+			}
+			lo := int64(mq)
+			hi := bucketLow(bucketIndex(lo) + 1)
+			if sample < lo || (sample >= hi && sample != lo) {
+				t.Fatalf("trial %d q=%v: true sample quantile %d outside reported bucket [%d, %d)",
+					trial, q, sample, lo, hi)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeNilAndEmpty pins the nil/empty semantics: merging
+// nil or an empty histogram is a no-op, and nil receivers do not panic.
+func TestHistogramMergeNilAndEmpty(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	var empty Histogram
+	h.Merge(&empty)
+	h.Merge(nil)
+	if h.Count() != 1 || h.Max() != 100 {
+		t.Fatalf("no-op merges changed the histogram: count %d max %d", h.Count(), h.Max())
+	}
+	var nilH *Histogram
+	nilH.Merge(&h) // must not panic
+}

@@ -174,6 +174,7 @@ type Tracer struct {
 	reg    *Registry
 	tracks []*Track
 	byName map[string]*Track
+	filter func(name string) bool
 	events []event
 }
 
@@ -201,14 +202,35 @@ func (t *Tracer) Bind(clock *sim.Clock) {
 // Enabled reports whether the tracer records. Nil-safe.
 func (t *Tracer) Enabled() bool { return t != nil && t.clock != nil }
 
+// SetTrackFilter installs a head-sampling predicate: Track(name) returns
+// a disabled (nil) track for every name keep rejects, so the whole span
+// timeline of a rejected track is dropped at source while counters,
+// gauges, and rollups — which live in the registry, not on tracks — stay
+// exact. The decision is taken once, at first Track(name) lookup, and
+// cached; a deterministic keep function (internal/obs.Sampler hashes the
+// run seed and track name) therefore yields byte-identical traces at any
+// worker count. Install the filter before the first Track call; changing
+// it later does not re-evaluate tracks already created.
+func (t *Tracer) SetTrackFilter(keep func(name string) bool) {
+	if t == nil {
+		return
+	}
+	t.filter = keep
+}
+
 // Track returns the named track, creating it on first use. Returns nil on
-// a nil tracer, so callers can wire probes unconditionally.
+// a nil tracer, so callers can wire probes unconditionally. Names the
+// track filter rejects return nil too (a valid, disabled track).
 func (t *Tracer) Track(name string) *Track {
 	if t == nil {
 		return nil
 	}
 	if tr, ok := t.byName[name]; ok {
 		return tr
+	}
+	if t.filter != nil && !t.filter(name) {
+		t.byName[name] = nil
+		return nil
 	}
 	tr := &Track{t: t, id: int32(len(t.tracks)), name: name}
 	t.tracks = append(t.tracks, tr)

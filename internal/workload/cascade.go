@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/cluster"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/obs"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// CascadeConfig parameterizes the cascading-evacuation scenario: a fleet
+// loaded to a comfortable ~50% of capacity, then hit by a synchronized
+// demand surge that takes aggregate demand to ~110% of fleet capacity.
+// Loaded hosts blow through their evacuation watermark and hand VMs to
+// the broker's escape hatch; the receiving hosts tip over in turn, and
+// evacuations chain across the fleet while local evictions pile
+// persistent swap debt onto resident VMs. This is the scenario the obs
+// pipeline's alert rules are demonstrated against: sustained per-host
+// SLO burn (swap debt above the violation threshold epoch after epoch),
+// evacuation cascades, swap thrash from the rotating re-touch of surged
+// memory, and migration stalls when flights outlive their epoch budget.
+type CascadeConfig struct {
+	Hosts      int    // fleet size (default 16)
+	VMsPerHost int    // VM count = Hosts × VMsPerHost (default 8)
+	HostBytes  uint64 // per-host capacity (default 8 GiB)
+	VMMemory   uint64 // per-VM size (default 3 GiB)
+
+	Lag     sim.Duration // cluster epoch (default 1 s)
+	Epochs  int          // run length in epochs (default 48)
+	SurgeAt int          // epoch the surge lands (default 12)
+
+	Seed    uint64
+	Workers int
+	Audit   bool
+	// Trace records the cluster timeline (nil = off).
+	Trace *trace.Tracer
+	// Obs attaches the observability pipeline; the caller reads alerts
+	// and renders dashboards from it after the run (nil = off).
+	Obs *obs.Pipeline
+}
+
+func (c *CascadeConfig) defaults() {
+	if c.Hosts == 0 {
+		c.Hosts = 16
+	}
+	if c.VMsPerHost == 0 {
+		c.VMsPerHost = 8
+	}
+	if c.HostBytes == 0 {
+		c.HostBytes = 8 * mem.GiB
+	}
+	if c.VMMemory == 0 {
+		c.VMMemory = 3 * mem.GiB
+	}
+	if c.Lag == 0 {
+		c.Lag = sim.Second
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 48
+	}
+	if c.SurgeAt == 0 {
+		c.SurgeAt = 12
+	}
+}
+
+// CascadeResult is the scenario scoreboard: the cluster metrics that
+// prove the cascade happened, plus guest-side allocation failures (a
+// full guest holds what it has — failures are tolerated and counted).
+type CascadeResult struct {
+	Admissions      uint64
+	Evacuations     uint64
+	Migrations      uint64
+	ForcedPlacement uint64
+	SwapViolations  uint64
+	SLOViolations   uint64
+	PeakActiveHosts int
+	AllocFailures   uint64
+}
+
+// cascadeVM is one VM's demand state: the steady working set plus the
+// surge region it re-touches on rotation after the surge lands.
+type cascadeVM struct {
+	vm    *hyperalloc.VM
+	idx   int
+	ws    *guest.Region
+	surge *guest.Region
+}
+
+// FleetCascade runs the cascading-evacuation scenario. Deterministic at
+// any worker count (the cluster's bounded-lag protocol guarantees it),
+// and observing via cfg.Obs cannot change the result.
+func FleetCascade(cfg CascadeConfig) (CascadeResult, error) {
+	cfg.defaults()
+	var res CascadeResult
+
+	total := cfg.Hosts * cfg.VMsPerHost
+	share := cfg.HostBytes / uint64(cfg.VMsPerHost)
+	ws := share / 2
+	surge := share*11/10 - ws // post-surge demand: 110% of fleet capacity
+
+	cl := cluster.New(cluster.Config{
+		Hosts:     cfg.Hosts,
+		HostBytes: cfg.HostBytes,
+		Lag:       cfg.Lag,
+		Workers:   cfg.Workers,
+		Scorer:    cluster.AllocatorAware{},
+		// StaticSplit never deflates: surged demand stays resident and
+		// the host's only ways out are eviction and evacuation — exactly
+		// the pressure the alerts are about.
+		Policy: broker.StaticSplit{},
+		// Tight watermark so the pre-surge fleet is quiet and the surge
+		// is what trips it.
+		EvacuateBelow: cfg.HostBytes / 16,
+		EvacuateHold:  2,
+		// Low violation threshold, scaled to the per-VM share (32 MiB at
+		// the default 1 GiB share): eviction spreads debt across the
+		// host's VMs, and each indebted VM burns budget every epoch.
+		SLOSwapBytes: share / 32,
+		Audit:        cfg.Audit,
+		Seed:         cfg.Seed,
+		Trace:        cfg.Trace,
+		Obs:          cfg.Obs,
+	})
+
+	admitEpochs := cfg.SurgeAt - 2
+	if admitEpochs < 1 {
+		admitEpochs = 1
+	}
+	batch := (total + admitEpochs - 1) / admitEpochs
+
+	var fleet []*cascadeVM
+	epoch := 0
+	runErr := cl.RunFor(sim.Duration(cfg.Epochs)*cfg.Lag, func(c *cluster.Cluster) error {
+		epoch++
+
+		for next := len(fleet); next < total && next < epoch*batch; next = len(fleet) {
+			name := fmt.Sprintf("vm%04d", next)
+			vm, _, err := c.Admit(cluster.VMSpec{
+				Name: name, Memory: cfg.VMMemory, CPUs: 4, DemandHint: share,
+			})
+			if err != nil {
+				return fmt.Errorf("cascade: admit %s: %w", name, err)
+			}
+			f := &cascadeVM{vm: vm, idx: next}
+			if f.ws, err = vm.Guest.AllocAnon(0, ws); err != nil {
+				return fmt.Errorf("cascade: %s working set: %w", name, err)
+			}
+			fleet = append(fleet, f)
+		}
+
+		switch {
+		case epoch == cfg.SurgeAt:
+			// The synchronized surge: every VM claims its slice at once.
+			for _, f := range fleet {
+				r, err := f.vm.Guest.AllocAnon(f.idx%f.vm.Guest.CPUs(), surge)
+				if err != nil {
+					res.AllocFailures++
+					continue
+				}
+				f.surge = r
+			}
+		case epoch > cfg.SurgeAt:
+			// Rotating re-touch: an eighth of the fleet faults its surged
+			// memory back each epoch, generating the swap-in traffic the
+			// thrash detector keys on (and re-dirtying pages under any
+			// in-flight migration).
+			for _, f := range fleet {
+				if f.surge != nil && (f.idx+epoch)%8 == 0 {
+					f.surge.Touch()
+				}
+			}
+		}
+		return nil
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+	if cfg.Audit {
+		if err := cl.AuditNow(); err != nil {
+			return res, fmt.Errorf("cascade: final audit: %w", err)
+		}
+	}
+
+	m := cl.Metrics()
+	res.Admissions = m.Admissions
+	res.Evacuations = m.Evacuations
+	res.Migrations = m.Migrations
+	res.ForcedPlacement = m.ForcedPlacements
+	res.SwapViolations = m.SwapViolations
+	res.SLOViolations = m.SLOViolations
+	res.PeakActiveHosts = m.PeakActiveHosts
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/obs"
+	"hyperalloc/internal/sim"
+)
+
+// smallCascade is a fast cascading-evacuation configuration: 8 hosts of
+// 2 GiB, 32 VMs with a 256 MiB steady working set each, surge at epoch
+// 10 of 40. Aggregate post-surge demand is 110% of fleet capacity, the
+// same ratio as the full-size scenario — only the touched bytes shrink.
+func smallCascade() CascadeConfig {
+	return CascadeConfig{
+		Hosts:      8,
+		VMsPerHost: 4,
+		HostBytes:  2 * mem.GiB,
+		VMMemory:   3 * mem.GiB,
+		Lag:        sim.Second,
+		Epochs:     40,
+		SurgeAt:    10,
+		Seed:       3,
+		Audit:      true,
+	}
+}
+
+// TestFleetCascadeAlerts runs the cascading-evacuation scenario with the
+// obs pipeline attached and checks the whole alerting chain end to end:
+// the overload actually cascades (evacuations, swap violations), the
+// burn-rate rule fires with VM and host attribution, and pipeline memory
+// stays inside the O(hosts × series × window) cap regardless of how
+// long the run was or how many VMs churned through each host.
+func TestFleetCascadeAlerts(t *testing.T) {
+	p := obs.NewPipeline(obs.Config{})
+	cfg := smallCascade()
+	cfg.Obs = p
+	res, err := FleetCascade(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := uint64(cfg.Hosts * cfg.VMsPerHost); res.Admissions != want {
+		t.Errorf("admissions = %d, want %d", res.Admissions, want)
+	}
+	if res.Evacuations == 0 {
+		t.Error("surge produced no evacuations — the cascade never happened")
+	}
+	if res.SwapViolations == 0 && res.SLOViolations == 0 {
+		t.Error("surge produced no SLO pressure")
+	}
+
+	counts := p.AlertCounts()
+	if counts[obs.AlertBurnRate] == 0 {
+		t.Fatalf("no burn-rate alert fired; alert counts: %v", counts)
+	}
+	attributed := false
+	for _, a := range p.Alerts() {
+		if a.Kind == obs.AlertBurnRate {
+			if a.Host == "" || a.Series == "" {
+				t.Fatalf("burn-rate alert missing attribution: %+v", a)
+			}
+			if a.VM != "" {
+				attributed = true
+			}
+		}
+	}
+	if !attributed {
+		t.Error("no burn-rate alert named a culprit VM")
+	}
+
+	// The memory bound: 7 per-host series + 9 fleet series, one ring of
+	// Window buckets each, no matter the VM count or epoch count.
+	window := p.Config().Window
+	maxSeries := 7*cfg.Hosts + 9
+	if p.SeriesCount() != maxSeries {
+		t.Errorf("series count = %d, want %d", p.SeriesCount(), maxSeries)
+	}
+	if got, cap := p.BucketCount(), maxSeries*window; got > cap {
+		t.Errorf("bucket count %d exceeds O(hosts × series × window) cap %d", got, cap)
+	}
+
+	// The dashboards render from a real run and pass their validators.
+	now := sim.Time(sim.Duration(cfg.Epochs) * cfg.Lag)
+	var prom, html bytes.Buffer
+	if err := obs.WriteProm(&prom, p, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateProm(prom.Bytes()); err != nil {
+		t.Fatalf("prom snapshot invalid: %v", err)
+	}
+	if err := obs.WriteHTML(&html, p, now, "cascade"); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateHTML(html.Bytes()); err != nil {
+		t.Fatalf("html dashboard invalid: %v", err)
+	}
+}
+
+// TestFleetCascadeDeterministic pins that the scenario scoreboard is
+// identical across worker counts and unchanged by observation.
+func TestFleetCascadeDeterministic(t *testing.T) {
+	base, err := FleetCascade(smallCascade())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := smallCascade()
+		cfg.Workers = workers
+		cfg.Obs = obs.NewPipeline(obs.Config{})
+		got, err := FleetCascade(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != base {
+			t.Errorf("workers=%d+obs changed results:\n  base: %+v\n  got:  %+v", workers, base, got)
+		}
+	}
+}

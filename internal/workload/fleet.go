@@ -10,6 +10,7 @@ import (
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/trace"
@@ -47,6 +48,11 @@ type FleetConfig struct {
 	Audit bool
 	// Trace is bound to one arm's cluster (FleetAll gives it to arm 0).
 	Trace *trace.Tracer
+	// Obs attaches a fleet observability pipeline to this arm's cluster
+	// (FleetAll gives it to arm 0 only, like Trace). Observing is
+	// read-only: results and traces are byte-identical with or without
+	// it (obs_identity_test.go pins this).
+	Obs *obs.Pipeline
 }
 
 func (c *FleetConfig) defaults() {
@@ -192,6 +198,7 @@ func Fleet(arm FleetArm, cfg FleetConfig) (FleetResult, error) {
 		Audit:    cfg.Audit,
 		Seed:     cfg.Seed,
 		Trace:    cfg.Trace,
+		Obs:      cfg.Obs,
 	})
 
 	// Demand shape: a quarter of the VM always resident, a third churning
@@ -332,6 +339,7 @@ func FleetAll(arms []FleetArm, cfg FleetConfig) ([]FleetResult, error) {
 			c := cfg
 			if i != 0 {
 				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+				c.Obs = nil   // likewise one pipeline, fed by arm 0
 			}
 			return Fleet(arms[i], c)
 		})

@@ -9,6 +9,7 @@ import (
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/trace"
@@ -44,6 +45,10 @@ type MigrateConfig struct {
 	// Trace is bound to this arm's System (MigrateAll attaches it to the
 	// first arm only).
 	Trace *trace.Tracer
+	// Obs receives per-arm rollup series (source/destination RSS and
+	// swap debt), sampled from the driver loop at the pipeline's
+	// resolution. Read-only against the simulation (nil = off).
+	Obs *obs.Pipeline
 }
 
 func (c *MigrateConfig) defaults() {
@@ -239,9 +244,25 @@ func Migrate(arm MigrateArm, cfg MigrateConfig) (MigrateResult, error) {
 		}
 		return true
 	}
+	// Observability: source/destination footprint and the VM's swap
+	// debt, sampled from the driver loop once per pipeline bucket.
+	// Read-only, so attaching a pipeline cannot change the arm's result.
+	oSrc := cfg.Obs.Gauge("migrate/"+arm.Name+"/src_rss_bytes", nil)
+	oDst := cfg.Obs.Gauge("migrate/"+arm.Name+"/dst_rss_bytes", nil)
+	oSwap := cfg.Obs.Gauge("migrate/"+arm.Name+"/swapped_bytes", nil)
+	lastObs := int64(-1)
+
 	for !finished() {
 		if !sys.Sched.Step() {
 			return res, fmt.Errorf("migrate %s: deadlocked", arm.Name)
+		}
+		if cfg.Obs != nil {
+			if now := sys.Now(); cfg.Obs.Index(now) != lastObs {
+				lastObs = cfg.Obs.Index(now)
+				oSrc.Observe(now, float64(sys.Pool.Total()))
+				oDst.Observe(now, float64(dst.Total()))
+				oSwap.Observe(now, float64(sys.Pool.Swapped(vm.Name)+dst.Swapped(vm.Name)))
+			}
 		}
 		if startErr != nil {
 			return res, fmt.Errorf("migrate %s: %w", arm.Name, startErr)
@@ -289,6 +310,7 @@ func MigrateAll(arms []MigrateArm, cfg MigrateConfig) ([]MigrateResult, error) {
 			c := cfg
 			if i != 0 {
 				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+				c.Obs = nil   // pipeline is not worker-safe: arm 0 owns it
 			}
 			return Migrate(arms[i], c)
 		})

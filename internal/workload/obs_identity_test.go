@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hyperalloc/internal/obs"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// obsFleetArm is the matrix cell the obs identity tests pin against: the
+// drain scenario exercises admissions, rolling evacuations, and
+// migrations — every seam the observer reads.
+func obsFleetArm() FleetArm {
+	return FleetArm{Name: "drain/allocator-aware", Scenario: "drain", Scorer: "allocator-aware"}
+}
+
+// obsFleetConfig is a fast fleet configuration for the identity goldens:
+// 3 hosts, 6 VMs, 40 one-second epochs.
+func obsFleetConfig(workers int) FleetConfig {
+	return FleetConfig{
+		Seed:    7,
+		Audit:   true,
+		Hosts:   3,
+		VMs:     6,
+		Day:     20 * sim.Second,
+		Workers: workers,
+	}
+}
+
+// runObsFleet runs the golden arm with a fresh tracer and, optionally, a
+// fresh obs pipeline, returning the result, exported trace bytes, and
+// the pipeline (nil when withObs is false).
+func runObsFleet(t *testing.T, workers int, withObs bool) (FleetResult, []byte, *obs.Pipeline) {
+	t.Helper()
+	cfg := obsFleetConfig(workers)
+	cfg.Trace = trace.New()
+	var p *obs.Pipeline
+	if withObs {
+		p = obs.NewPipeline(obs.Config{})
+		cfg.Obs = p
+	}
+	res, err := Fleet(obsFleetArm(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes(), p
+}
+
+// TestObsIdentity is the golden for the observability pipeline's core
+// promise: a fleet run with full obs attached (rollups, alert rules,
+// stall scans) produces byte-identical workload results and traces to a
+// run without it, at Workers=1 and Workers=4. The observer reads pool
+// accounting at epoch barriers and writes only into its own rings — this
+// test is what keeps that read-only.
+func TestObsIdentity(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		base, baseTrace, _ := runObsFleet(t, workers, false)
+		got, gotTrace, p := runObsFleet(t, workers, true)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: obs changed results:\n  off: %+v\n  on:  %+v", workers, base, got)
+		}
+		if !bytes.Equal(baseTrace, gotTrace) {
+			t.Errorf("workers=%d: obs changed trace bytes", workers)
+		}
+		// The pipeline must actually have observed the run — an identity
+		// test against a disconnected pipeline proves nothing.
+		if p.SeriesCount() == 0 || p.BucketCount() == 0 {
+			t.Fatalf("workers=%d: pipeline recorded nothing", workers)
+		}
+		rss := p.Gauge("fleet/rss_bytes", nil)
+		if _, ok := rss.Latest(p.Index(sim.Time(40 * sim.Second))); !ok {
+			t.Errorf("workers=%d: fleet/rss_bytes never observed", workers)
+		}
+	}
+
+	// And the observed trace is itself reproducible across worker counts.
+	_, w1, _ := runObsFleet(t, 1, true)
+	_, w4, _ := runObsFleet(t, 4, true)
+	if !bytes.Equal(w1, w4) {
+		t.Error("observed trace bytes differ between Workers=1 and Workers=4")
+	}
+}
+
+// chromeThreadEvents parses an exported Chrome trace into per-thread
+// event streams keyed by thread *name* (tids shift when tracks are
+// head-sampled away, names do not). Counter tracks — which the sampler
+// never filters — are keyed "counter/<name>".
+func chromeThreadEvents(t *testing.T, data []byte) map[string][]string {
+	t.Helper()
+	var file struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Tid  int             `json:"tid"`
+			Ts   float64         `json:"ts"`
+			Name string          `json:"name"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	threads := make(map[int]string)
+	out := make(map[string][]string)
+	for _, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var args struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &args); err != nil {
+					t.Fatal(err)
+				}
+				threads[ev.Tid] = args.Name
+			}
+		case "C":
+			key := "counter/" + ev.Name
+			out[key] = append(out[key], fmt.Sprintf("%s|%.3f|%s", ev.Ph, ev.Ts, ev.Args))
+		default:
+			name, ok := threads[ev.Tid]
+			if !ok {
+				t.Fatalf("event on tid %d before its thread_name", ev.Tid)
+			}
+			out[name] = append(out[name], fmt.Sprintf("%s|%.3f|%s|%s", ev.Ph, ev.Ts, ev.Name, ev.Args))
+		}
+	}
+	return out
+}
+
+// TestObsTraceSampling pins "traces modulo sampling": head-sampling with
+// a deterministic obs.Sampler keeps exactly the tracks the sampler's
+// hash admits, drops the rest at the source, leaves every kept track's
+// event stream byte-for-byte what the full trace recorded, and produces
+// identical bytes at any worker count.
+func TestObsTraceSampling(t *testing.T) {
+	smp := obs.Sampler{Seed: 42, Keep: 0.5}
+	run := func(workers int, sample bool) []byte {
+		cfg := obsFleetConfig(workers)
+		cfg.Trace = trace.New()
+		if sample {
+			cfg.Trace.SetTrackFilter(smp.KeepTrack)
+		}
+		if _, err := Fleet(obsFleetArm(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.Trace.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	full := run(1, false)
+	sampled := run(1, true)
+	if err := trace.ValidateChrome(sampled); err != nil {
+		t.Fatalf("sampled trace invalid: %v", err)
+	}
+	if bytes.Equal(full, sampled) {
+		t.Fatal("sampling at Keep=0.5 dropped nothing")
+	}
+
+	fullEvents := chromeThreadEvents(t, full)
+	sampledEvents := chromeThreadEvents(t, sampled)
+	kept, dropped := 0, 0
+	for name, evs := range fullEvents {
+		isCounter := len(name) > 8 && name[:8] == "counter/"
+		want := isCounter || smp.KeepTrack(name)
+		got, present := sampledEvents[name]
+		if present != want {
+			t.Errorf("track %q: present=%v, sampler says keep=%v", name, present, want)
+			continue
+		}
+		if !present {
+			dropped++
+			continue
+		}
+		kept++
+		if !reflect.DeepEqual(evs, got) {
+			t.Errorf("track %q: kept stream differs from full trace", name)
+		}
+	}
+	for name := range sampledEvents {
+		if _, ok := fullEvents[name]; !ok {
+			t.Errorf("sampled trace has track %q absent from full trace", name)
+		}
+	}
+	if kept == 0 || dropped == 0 {
+		t.Fatalf("degenerate sample: kept=%d dropped=%d (want both nonzero)", kept, dropped)
+	}
+
+	// Sampling is keyed on (seed, name) only, so the sampled trace is as
+	// reproducible across worker counts as the full one.
+	if par := run(4, true); !bytes.Equal(sampled, par) {
+		t.Error("sampled trace bytes differ between Workers=1 and Workers=4")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/migrate"
+	"hyperalloc/internal/obs"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
 	"hyperalloc/internal/trace"
@@ -58,6 +59,10 @@ type TieringConfig struct {
 	// Trace is bound to this arm's System (the *All drivers attach it to
 	// the first arm only).
 	Trace *trace.Tracer
+	// Obs receives per-arm rollup series (host footprint and swap
+	// traffic deltas), fed from the existing sample event. Read-only
+	// against the simulation (nil = off).
+	Obs *obs.Pipeline
 }
 
 func (c *TieringConfig) defaults() {
@@ -275,11 +280,25 @@ func Tiering(arm TieringArm, cfg TieringConfig) (TieringResult, error) {
 		}
 		return true
 	}
+	// Observability: footprint gauge plus swap traffic differentiated
+	// into deltas, fed from the sample event already on the schedule —
+	// no new events, so the arm's timeline is unchanged.
+	oRSS := cfg.Obs.Gauge("tiering/"+arm.Name+"/host_rss_bytes", nil)
+	oOut := cfg.Obs.Counter("tiering/"+arm.Name+"/swap_out_bytes", nil)
+	oIn := cfg.Obs.Counter("tiering/"+arm.Name+"/swap_in_bytes", nil)
+	var lastOut, lastIn uint64
+
 	var samples int
 	var auditErr error
 	var sample func()
 	sample = func() {
 		res.HostRSS.Add(sys.Now(), float64(sys.Pool.Total()))
+		if cfg.Obs != nil {
+			oRSS.Observe(sys.Now(), float64(sys.Pool.Total()))
+			oOut.Observe(sys.Now(), float64(sys.Pool.SwapOutBytes-lastOut))
+			oIn.Observe(sys.Now(), float64(sys.Pool.SwapInBytes-lastIn))
+			lastOut, lastIn = sys.Pool.SwapOutBytes, sys.Pool.SwapInBytes
+		}
 		samples++
 		if cfg.Audit && auditErr == nil && samples%auditEvery == 0 {
 			auditErr = audit.System(sys.Pool, vms...)
@@ -504,6 +523,7 @@ func TieringAll(arms []TieringArm, cfg TieringConfig) ([]TieringResult, error) {
 			c := cfg
 			if i != 0 {
 				c.Trace = nil // one tracer, one simulation: arm 0 owns it
+				c.Obs = nil   // pipeline is not worker-safe: arm 0 owns it
 			}
 			return Tiering(arms[i], c)
 		})
@@ -516,6 +536,7 @@ func TieringEvacuationAll(arms []TieringArm, cfg TieringConfig) ([]TieringResult
 			c := cfg
 			if i != 0 {
 				c.Trace = nil
+				c.Obs = nil
 			}
 			return TieringEvacuation(arms[i], c)
 		})

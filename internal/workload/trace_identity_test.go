@@ -182,5 +182,7 @@ func benchInflateRep(b *testing.B, mk func() *trace.Tracer) {
 	}
 }
 
-func BenchmarkInflateRepNoTrace(b *testing.B) { benchInflateRep(b, func() *trace.Tracer { return nil }) }
-func BenchmarkInflateRepTraced(b *testing.B)  { benchInflateRep(b, trace.New) }
+func BenchmarkInflateRepNoTrace(b *testing.B) {
+	benchInflateRep(b, func() *trace.Tracer { return nil })
+}
+func BenchmarkInflateRepTraced(b *testing.B) { benchInflateRep(b, trace.New) }

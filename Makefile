@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke tier-smoke obs-smoke
+.PHONY: check vet build test race bench bench-snapshot audit trace-smoke migrate-smoke cluster-smoke tier-smoke obs-smoke spec-smoke
 
 # The full pre-commit gate: everything CI runs.
-check: vet build test race migrate-smoke cluster-smoke tier-smoke obs-smoke
+check: vet build test race migrate-smoke cluster-smoke tier-smoke obs-smoke spec-smoke
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +90,30 @@ TRACE_OUT ?= trace.json
 trace-smoke:
 	$(GO) run ./examples/quickstart -trace $(TRACE_OUT) -trace-summary
 	$(GO) run ./cmd/tracecheck $(TRACE_OUT)
+
+# The declarative-spec smoke test: validate every checked-in spec file
+# through typed admission (and print the failure-ID catalogue), run the
+# demo scenario with a mid-run checkpoint, restore from that checkpoint,
+# and assert the two result JSONs are byte-identical — the
+# checkpoint/restore guarantee, exercised end to end through the CLI.
+# The saved checkpoint is itself re-validated (full in-memory restore +
+# cross-layer audit) and uploaded by CI as an artifact. SPEC_PREFIX
+# overrides the output paths.
+SPEC_PREFIX ?= spec-smoke
+spec-smoke:
+	$(GO) run ./cmd/speccheck $(filter-out specs/fleet.json,$(wildcard specs/*.json))
+	$(GO) run ./cmd/speccheck -hosts 12 specs/fleet.json
+	$(GO) run ./cmd/speccheck -ids
+	$(GO) run ./cmd/broker -spec specs/demo.json \
+		-checkpoint $(SPEC_PREFIX).ckpt -checkpoint-at 4.075 \
+		-json $(SPEC_PREFIX)-full.json
+	$(GO) run ./cmd/speccheck -checkpoint $(SPEC_PREFIX).ckpt
+	$(GO) run ./cmd/broker -restore $(SPEC_PREFIX).ckpt \
+		-json $(SPEC_PREFIX)-restored.json
+	cmp $(SPEC_PREFIX)-full.json $(SPEC_PREFIX)-restored.json
+	$(GO) run ./cmd/cluster -spec specs/demo.json \
+		-checkpoint $(SPEC_PREFIX)-fleet.ckpt -checkpoint-epoch 3
+	$(GO) run ./cmd/cluster -restore $(SPEC_PREFIX)-fleet.ckpt -run 5
 
 # The deep invariant gate: long state-machine fuzz runs against all the
 # reference models, plus the paper-scale experiment drivers with the

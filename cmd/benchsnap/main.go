@@ -45,6 +45,7 @@ import (
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/obs"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/spec"
 	"hyperalloc/internal/workload"
 )
 
@@ -148,6 +149,11 @@ func capture(short bool) *Snapshot {
 		swNs, _ := run(benchSwapIn(t))
 		s.Metrics[fmt.Sprintf("swapin_%s_ns_op", t)] = swNs
 	}
+
+	csNs, _ := run(benchCheckpointSave)
+	s.Metrics["checkpoint_save_ns_op"] = csNs
+	rsNs, _ := run(benchCheckpointRestore)
+	s.Metrics["checkpoint_restore_ns_op"] = rsNs
 
 	reps := 2
 	if short {
@@ -381,6 +387,81 @@ func benchObsAlertScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Scan(at(119))
+	}
+}
+
+// checkpointScenario is the spec scenario behind the checkpoint
+// benchmarks: a brokered two-VM host with spec-driven demand, stepped
+// two virtual seconds in so the captured state is warm (armed events,
+// sampled series, populated regions).
+func checkpointScenario() *spec.Scenario {
+	wl := func(period sim.Duration, lo, hi uint64) spec.WorkloadSpec {
+		return spec.WorkloadSpec{
+			TickPeriod: period,
+			DemandMin:  lo, DemandMax: hi,
+			CacheBytes: 8 * mem.MiB,
+		}
+	}
+	return &spec.Scenario{
+		Version:    spec.FormatVersion,
+		Name:       "benchsnap",
+		Seed:       42,
+		HostMemory: 8 * mem.GiB,
+		Duration:   10 * sim.Second,
+		Broker:     &spec.BrokerSpec{Policy: "watermark", Period: sim.Second},
+		VMs: []spec.VMSpec{
+			{Name: "ha0", Mechanism: "HyperAlloc", MemoryMin: 2*mem.GiB + 512*mem.MiB,
+				MemoryMax: 3 * mem.GiB, CPUs: 4, Priority: 2,
+				Workload: wl(100*sim.Millisecond, 256*mem.MiB, 768*mem.MiB)},
+			{Name: "vmem0", Mechanism: "virtio-mem", MemoryMin: 2*mem.GiB + 512*mem.MiB,
+				MemoryMax: 3 * mem.GiB, CPUs: 2, Priority: 1,
+				Workload: wl(150*sim.Millisecond, 256*mem.MiB, 640*mem.MiB)},
+		},
+	}
+}
+
+func warmCheckpointSim(b *testing.B) *spec.Sim {
+	s, err := spec.Build(checkpointScenario(), spec.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	s.StepUntil(sim.Time(2 * sim.Second))
+	return s
+}
+
+// benchCheckpointSave measures Capture plus stable-key serialization —
+// the cost a mid-run checkpoint adds to a simulation.
+func benchCheckpointSave(b *testing.B) {
+	s := warmCheckpointSim(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp, err := s.Capture()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cp.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCheckpointRestore measures a full restore: deterministic rebuild
+// from the embedded scenario, state overwrite across every layer, event
+// re-arming, and the closing audit pass.
+func benchCheckpointRestore(b *testing.B) {
+	s := warmCheckpointSim(b)
+	cp, err := s.Capture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Restore(cp, spec.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

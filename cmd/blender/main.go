@@ -18,27 +18,24 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
-	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
 func main() {
 	runs := flag.Int("runs", 3, "blender runs")
-	seed := flag.Uint64("seed", 42, "simulation seed")
 	csv := flag.String("csv", "", "optional CSV output path")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first candidate to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	common := cmdutil.Flags("first candidate", "")
 	flag.Parse()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	cands := workload.BlenderCandidates()
-	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(cands),
+	results, err := runner.Map(common.Runner(), len(cands),
 		func(i int) (workload.BlenderResult, error) {
-			cfg := workload.BlenderConfig{Runs: *runs, Seed: *seed}
+			cfg := workload.BlenderConfig{Runs: *runs, Seed: common.Seed}
 			if i == 0 {
 				cfg.Trace = tr // one tracer, one simulation: candidate 0 owns it
 			}
@@ -47,11 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 
 	var rows [][]string
 	var series []*metrics.Series

@@ -12,12 +12,21 @@
 //	broker [-vms N] [-memory GIB] [-host GIB] [-units N] [-builds N]
 //	       [-gap MIN] [-offset MIN] [-seed S] [-parallel N] [-json FILE]
 //	       [-backend nvme|zswap|far] [-tiering]
+//	broker -spec FILE [-checkpoint FILE -checkpoint-at SEC] [-json FILE]
+//	broker -restore FILE [-json FILE]
 //
 // -backend selects the hostmem tier that absorbs evictions (default
 // nvme, the classic swap device). -tiering switches to the tier-choice
 // matrix instead: the same overcommitted host run once per way out of
 // pressure (deflation vs. swapping to each backend), plus the two-host
 // evacuation scenario that adds migration as the third option.
+//
+// -spec runs a declarative scenario file (internal/spec) instead of the
+// built-in matrix: the spec is admitted first (typed failures abort the
+// run), then simulated to its Duration. -checkpoint/-checkpoint-at save
+// the full simulation state at SEC of virtual time before continuing;
+// -restore resumes from such a checkpoint and runs to the scenario's
+// end, producing byte-identical results to the uninterrupted run.
 //
 // The candidate × policy matrix fans across -parallel workers (default:
 // all CPUs); all output is byte-identical to -parallel 1. The full-scale
@@ -30,10 +39,12 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
+	"hyperalloc/internal/spec"
 	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
@@ -72,21 +83,26 @@ func main() {
 	builds := flag.Int("builds", 2, "builds per VM")
 	gapMin := flag.Int("gap", 20, "gap between a VM's builds (minutes)")
 	offsetMin := flag.Int("offset", 10, "start offset between VMs (minutes)")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
+	common := cmdutil.Flags("first matrix arm", "optional JSON output path for the result matrix")
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor during the experiment (slow)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix arm to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	backendName := flag.String("backend", "nvme", "swap tier for host evictions: nvme, zswap, or far")
 	tiering := flag.Bool("tiering", false, "run the tier-choice matrix (inflate vs swap-per-backend vs migrate) instead")
+	specPath := flag.String("spec", "", "run a declarative scenario spec file instead of the built-in matrix")
+	checkpointPath := flag.String("checkpoint", "", "with -spec: save a full-state checkpoint to this file")
+	checkpointAt := flag.Float64("checkpoint-at", 0, "with -checkpoint: virtual time of the snapshot (seconds)")
+	restorePath := flag.String("restore", "", "resume from a checkpoint file and run to the scenario's end")
 	flag.Parse()
 
+	seed, parallel, jsonPath := &common.Seed, &common.Parallel, &common.JSON
+	if *specPath != "" || *restorePath != "" {
+		runSpec(*specPath, *restorePath, *checkpointPath, *checkpointAt, *jsonPath)
+		return
+	}
 	backend, err := hostmem.ParseTier(*backendName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	if *tiering {
 		set := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
@@ -107,7 +123,7 @@ func main() {
 		if set["offset"] {
 			tcfg.Offset = sim.Duration(*offsetMin) * 60 * sim.Second
 		}
-		runTiering(tcfg, *jsonPath, tr, *traceOut, *traceSummary)
+		runTiering(tcfg, *jsonPath, tr, common.TraceOut, common.TraceSummary)
 		return
 	}
 	cfg := workload.OvercommitConfig{
@@ -130,11 +146,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 
 	out := &output{
 		Seed: *seed, VMs: *vms,
@@ -279,6 +291,78 @@ func runTiering(cfg workload.TieringConfig, jsonPath string, tr *trace.Tracer, t
 
 	if jsonPath != "" {
 		if err := report.WriteJSON(jsonPath, out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+}
+
+// runSpec drives the declarative path: admit and run a scenario file,
+// optionally saving a mid-run checkpoint, or resume from one. Either
+// way the run ends at the scenario's Duration and prints the same
+// summary — restored runs are byte-identical to uninterrupted ones.
+func runSpec(specPath, restorePath, checkpointPath string, checkpointAt float64, jsonPath string) {
+	var s *spec.Sim
+	switch {
+	case restorePath != "":
+		cp, err := spec.LoadCheckpoint(restorePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s, err = spec.Restore(cp, spec.BuildOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restored %q at t=%s\n", s.Scenario.Name, cp.At)
+	default:
+		sc, err := spec.Load(specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fs := spec.Admit(sc); len(fs) > 0 {
+			for _, f := range fs {
+				fmt.Fprintln(os.Stderr, "admission:", f.Error())
+			}
+			os.Exit(1)
+		}
+		if s, err = spec.Build(sc, spec.BuildOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		s.Start()
+		if checkpointPath != "" {
+			at := sim.Time(checkpointAt * float64(sim.Second))
+			s.StepUntil(at)
+			cp, err := s.Capture()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := cp.Save(checkpointPath); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("checkpointed %q at t=%s to %s\n", s.Scenario.Name, cp.At, checkpointPath)
+		}
+	}
+	s.Run()
+	res := s.Result()
+
+	var rows [][]string
+	for _, v := range res.VMs {
+		rows = append(rows, []string{
+			v.Name, v.Mechanism,
+			mem.HumanBytes(v.RSS), mem.HumanBytes(v.Limit),
+			mem.HumanBytes(v.FreeBytes), mem.HumanBytes(v.Swapped),
+			fmt.Sprintf("%d", v.Ticks),
+		})
+	}
+	report.Table(os.Stdout,
+		fmt.Sprintf("Spec %q — end of run at %s (pool peak %s)",
+			res.Scenario, res.End, mem.HumanBytes(res.PoolPeak)),
+		[]string{"vm", "mechanism", "RSS", "limit", "free", "swapped", "ticks"}, rows)
+	if res.Broker != nil {
+		fmt.Printf("broker: %d ticks, %d grows, %d shrinks, %d errors\n",
+			res.Broker.Ticks, res.Broker.Grows, res.Broker.Shrinks, res.Broker.Errors)
+	}
+	if jsonPath != "" {
+		if err := report.WriteJSON(jsonPath, res); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", jsonPath)

@@ -16,6 +16,15 @@
 //	        [-trace-summary] [-trace-sample F] [-backend nvme|zswap|far]
 //	        [-report PREFIX] [-cascade] [-vms-per-host N]
 //	        [-epochs N] [-surge-at N]
+//	cluster -spec FILE [-hosts N] [-checkpoint FILE -checkpoint-epoch N]
+//	cluster -restore FILE [-run SEC]
+//
+// -spec admits a declarative scenario file's VMs (internal/spec typed
+// admission — infeasible specs are rejected before placement) onto a
+// fresh fleet and runs it for the spec's Duration; -checkpoint saves a
+// fleet checkpoint at the named epoch barrier. -restore validates such
+// a checkpoint, re-admits its recorded VMs, and runs on for -run
+// seconds.
 //
 // -backend selects the hostmem tier that absorbs every host's evictions
 // (default nvme, the pre-tier swap device).
@@ -45,13 +54,15 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/cluster"
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/hostmem"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/obs"
 	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
-	"hyperalloc/internal/trace"
+	"hyperalloc/internal/spec"
 	"hyperalloc/internal/workload"
 )
 
@@ -97,12 +108,8 @@ func main() {
 	daySec := flag.Float64("day", 0, "diurnal period in simulated seconds (0 = default 60)")
 	runSec := flag.Float64("run", 0, "experiment length in simulated seconds (0 = default 2 days)")
 	lagMs := flag.Float64("lag-ms", 0, "bounded-lag epoch in milliseconds (0 = default 1000)")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
+	common := cmdutil.Flags("first arm", "optional JSON output path for the result matrix")
 	auditRun := flag.Bool("audit", false, "run the N-pool conservation auditor every simulated second and every migration round")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first arm to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	traceSample := flag.Float64("trace-sample", 0, "head-sample trace tracks: keep this fraction, hashed on (seed, track name); 0 or 1 = keep all")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -114,8 +121,18 @@ func main() {
 	vmsPerHost := flag.Int("vms-per-host", 0, "cascade: VMs per host (0 = default 8)")
 	epochs := flag.Int("epochs", 0, "cascade: run length in epochs (0 = default 48)")
 	surgeAt := flag.Int("surge-at", 0, "cascade: epoch the demand surge lands (0 = default 12)")
+	specPath := flag.String("spec", "", "admit a declarative scenario spec into a fleet and run it instead of the matrix")
+	checkpointPath := flag.String("checkpoint", "", "with -spec: save a fleet checkpoint to this file at an epoch barrier")
+	checkpointEpoch := flag.Int("checkpoint-epoch", 3, "with -checkpoint: the epoch barrier the snapshot lands on")
+	restorePath := flag.String("restore", "", "validate a fleet checkpoint and re-admit its VMs onto a fresh fleet")
 	flag.Parse()
 
+	seed, parallel, jsonPath := &common.Seed, &common.Parallel, &common.JSON
+	if *specPath != "" || *restorePath != "" {
+		runFleetSpec(*specPath, *restorePath, *checkpointPath, *checkpointEpoch,
+			*hosts, *runSec, *jsonPath, *seed)
+		return
+	}
 	backend, err := hostmem.ParseTier(*backendName)
 	if err != nil {
 		log.Fatal(err)
@@ -127,7 +144,7 @@ func main() {
 	}.Start()
 	defer stopProfiles()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	if tr != nil && *traceSample > 0 && *traceSample < 1 {
 		tr.SetTrackFilter(obs.Sampler{Seed: *seed, Keep: *traceSample}.KeepTrack)
 	}
@@ -143,7 +160,7 @@ func main() {
 			lagMs: *lagMs, epochs: *epochs, surgeAt: *surgeAt,
 			seed: *seed, parallel: *parallel, audit: *auditRun,
 			jsonPath: *jsonPath, reportPrefix: *reportPrefix,
-			traceOut: *traceOut, traceSummary: *traceSummary,
+			traceOut: common.TraceOut, traceSummary: common.TraceSummary,
 		}, tr, pipe)
 		return
 	}
@@ -168,11 +185,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 	runFor := sim.Duration(pickF(*runSec, pickF(*daySec, 60)*2) * float64(sim.Second))
 	writeObsReport(pipe, sim.Time(runFor), *reportPrefix,
 		fmt.Sprintf("fleet %s", arms[0].Name))
@@ -245,6 +258,97 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+// runFleetSpec drives the declarative fleet path: admit a scenario
+// file's VMs through typed admission onto a fresh fleet and run it,
+// optionally saving a fleet checkpoint at an epoch barrier — or load a
+// checkpoint (validated on load), re-admit its recorded VMs, and run on
+// from there.
+func runFleetSpec(specPath, restorePath, checkpointPath string, checkpointEpoch,
+	hosts int, runSec float64, jsonPath string, seed uint64) {
+	var c *cluster.Cluster
+	var duration sim.Duration
+	switch {
+	case restorePath != "":
+		cp, err := cluster.LoadFleetCheckpoint(restorePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fleet checkpoint valid: epoch %d at t=%s, %d hosts, %d VMs, %d in flight\n",
+			cp.Epoch, cp.At, len(cp.Hosts), len(cp.VMs), cp.InFlight)
+		c = cluster.New(cluster.Config{
+			Hosts:     len(cp.Hosts),
+			HostBytes: cp.Hosts[0].Capacity,
+			Seed:      seed,
+		})
+		for _, v := range cp.SpecVMs() {
+			if _, _, err := c.AdmitSpec(v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		duration = sim.Duration(pickF(runSec, 10) * float64(sim.Second))
+	default:
+		sc, err := spec.Load(specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := pick(hosts, 4)
+		// Scenario-level admission with the fleet's aggregate capacity:
+		// the spec's HostMemory is per-host here, and VMs spread across
+		// hosts (AdmitSpec re-checks the per-host fit VM by VM below).
+		fleet := *sc
+		fleet.HostMemory = sc.HostMemory * uint64(n)
+		if fs := spec.Admit(&fleet); len(fs) > 0 {
+			for _, f := range fs {
+				fmt.Fprintln(os.Stderr, "admission:", f.Error())
+			}
+			os.Exit(1)
+		}
+		cfg := cluster.Config{
+			Hosts:     n,
+			HostBytes: sc.HostMemory,
+			Seed:      sc.Seed,
+		}
+		if sc.Broker != nil {
+			cfg.Policy = spec.PolicyByName(sc.Broker.Policy)
+			cfg.BrokerPeriod = sc.Broker.Period
+			cfg.MinLimit = sc.Broker.MinLimit
+		}
+		c = cluster.New(cfg)
+		for i := range sc.VMs {
+			if _, idx, err := c.AdmitSpec(sc.VMs[i]); err != nil {
+				log.Fatal(err)
+			} else {
+				fmt.Printf("admitted %s -> host %d\n", sc.VMs[i].Name, idx)
+			}
+		}
+		duration = sc.Duration
+	}
+
+	epoch := 0
+	err := c.RunFor(duration, func(c *cluster.Cluster) error {
+		epoch++
+		if checkpointPath != "" && restorePath == "" && epoch == checkpointEpoch {
+			if err := c.SaveCheckpoint(checkpointPath); err != nil {
+				return err
+			}
+			fmt.Printf("fleet checkpoint at epoch %d -> %s\n", epoch, checkpointPath)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := c.Metrics()
+	fmt.Printf("fleet run done: %d epochs, %.1f host-GiB-min, %d admissions, %d migrations, peak %d hosts\n",
+		m.Epochs, m.HostGiBMin, m.Admissions, m.Migrations, m.PeakActiveHosts)
+	if jsonPath != "" {
+		if err := report.WriteJSON(jsonPath, &m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", jsonPath)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 
 	"hyperalloc"
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
@@ -37,26 +38,21 @@ func main() {
 	extra := flag.Bool("extra", false, "add the virtio-balloon parameter sweep (Fig. 7 bold rows)")
 	indepth := flag.Bool("indepth", false, "run the Fig. 8 in-depth pair with clean/drop phases")
 	vfio := flag.Bool("vfio", false, "run the Fig. 9 DMA-safe pair (VFIO)")
-	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	common := cmdutil.Flags("first matrix cell", "")
 	flag.Parse()
 
-	tracer = trace.FromFlags(*traceOut, *traceSummary)
-	pool := runner.Runner{Workers: *parallel}
+	tracer = common.Tracer()
+	pool := common.Runner()
 	switch {
 	case *indepth:
-		runInDepth(pool, *units, *seed, *csvDir)
+		runInDepth(pool, *units, common.Seed, *csvDir)
 	case *vfio:
-		runVFIO(pool, *units, *runs, *seed)
+		runVFIO(pool, *units, *runs, common.Seed)
 	default:
-		runFig7(pool, *units, *runs, *extra, *seed)
+		runFig7(pool, *units, *runs, *extra, common.Seed)
 	}
-	if err := tracer.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	common.EmitTrace(tracer)
 }
 
 // clangMatrix runs every (candidate, rep) build through the pool and

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"hyperalloc"
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
@@ -76,20 +77,17 @@ type speedupJSON struct {
 func main() {
 	exp := flag.String("exp", "quick", "table1|fig4|ablation|speedup|quick")
 	reps := flag.Int("reps", 3, "repetitions for fig4/speedup")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	jsonPath := flag.String("json", "", "optional JSON output path for headline metrics")
+	common := cmdutil.Flags("first fig4 cell", "optional JSON output path for headline metrics")
 	auditRun := flag.Bool("audit", false, "run the cross-layer invariant auditor after every measured phase (slow)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first fig4 cell to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	seed, parallel, jsonPath := &common.Seed, &common.Parallel, &common.JSON
 
 	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	out := &output{Seed: *seed, Workers: *parallel}
 	switch *exp {
 	case "table1":
@@ -109,9 +107,7 @@ func main() {
 	default:
 		log.Fatalf("unknown -exp %q", *exp)
 	}
-	if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	common.EmitTrace(tr)
 
 	if *jsonPath != "" {
 		if err := report.WriteJSON(*jsonPath, out); err != nil {

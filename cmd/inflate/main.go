@@ -16,41 +16,34 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
-	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
 func main() {
 	reps := flag.Int("reps", 10, "repetitions per candidate (paper: 10)")
 	memGiB := flag.Uint64("mem", 20, "VM size in GiB")
-	seed := flag.Uint64("seed", 42, "simulation seed")
 	csv := flag.String("csv", "", "optional CSV output path")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	common := cmdutil.Flags("first matrix cell", "")
 	flag.Parse()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	cfg := workload.InflateConfig{
 		Reps:    *reps,
 		Memory:  *memGiB * mem.GiB,
 		Touched: (*memGiB - 1) * mem.GiB,
-		Seed:    *seed,
-		Workers: *parallel,
+		Seed:    common.Seed,
+		Workers: common.Parallel,
 		Trace:   tr,
 	}
 	results, err := workload.InflateAll(cfg)
 	if err != nil {
 		log.Fatalf("inflate: %v", err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 
 	fmtRate := func(r metrics.Rate) string { return r.String() }
 	var rows [][]string

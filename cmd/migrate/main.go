@@ -25,11 +25,11 @@ import (
 	"log"
 	"os"
 
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/mem"
 	"hyperalloc/internal/profiling"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/sim"
-	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -69,20 +69,17 @@ func main() {
 	downtimeMs := flag.Float64("downtime-ms", 0, "downtime target in milliseconds (0 = default 100)")
 	rounds := flag.Int("rounds", 0, "max pre-copy rounds (0 = default 30)")
 	postCopy := flag.Bool("postcopy", false, "fall back to post-copy demand fetch when pre-copy does not converge")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	jsonPath := flag.String("json", "", "optional JSON output path for the result matrix")
+	common := cmdutil.Flags("first arm", "optional JSON output path for the result matrix")
 	auditRun := flag.Bool("audit", false, "audit both hosts' conservation invariants every round and every simulated second")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first arm to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	seed, parallel, jsonPath := &common.Seed, &common.Parallel, &common.JSON
 
 	stopProfiles := profiling.Start(*cpuProfile, *memProfile)
 	defer stopProfiles()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	tr := common.Tracer()
 	cfg := workload.MigrateConfig{
 		Memory:         uint64(*memoryGiB * float64(mem.GiB)),
 		Churners:       *churners,
@@ -101,11 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 
 	out := &output{
 		Seed: *seed, MemoryGiB: *memoryGiB,

@@ -21,10 +21,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
-	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
@@ -33,14 +33,12 @@ func main() {
 	builds := flag.Int("builds", 3, "builds per VM")
 	gapMin := flag.Int("gap", 120, "gap between a VM's builds (minutes)")
 	offsetMin := flag.Int("offset", 40, "offset between VMs in the offset scenario (minutes)")
-	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	common := cmdutil.Flags("first matrix cell", "")
 	flag.Parse()
 
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	seed := &common.Seed
+	tr := common.Tracer()
 	scenarios := []struct {
 		name   string
 		offset sim.Duration
@@ -52,7 +50,7 @@ func main() {
 	// cell is a self-contained simulation, so the reduction below prints
 	// exactly what the sequential loops printed.
 	cands := workload.MultiVMCandidates()
-	results, err := runner.Map(runner.Runner{Workers: *parallel}, len(scenarios)*len(cands),
+	results, err := runner.Map(common.Runner(), len(scenarios)*len(cands),
 		func(i int) (workload.MultiVMResult, error) {
 			cfg := workload.MultiVMConfig{
 				Units:  *units,
@@ -69,11 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer func() {
-		if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-	}()
+	defer common.EmitTrace(tr)
 	for si, sc := range scenarios {
 		var rows [][]string
 		for ci, cand := range cands {

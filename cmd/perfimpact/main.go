@@ -21,26 +21,24 @@ import (
 	"strings"
 
 	"hyperalloc"
+	"hyperalloc/internal/cmdutil"
 	"hyperalloc/internal/metrics"
 	"hyperalloc/internal/report"
 	"hyperalloc/internal/runner"
 	"hyperalloc/internal/sim"
-	"hyperalloc/internal/trace"
 	"hyperalloc/internal/workload"
 )
 
 func main() {
 	bench := flag.String("bench", "both", "stream, ftq, or both")
 	threadsFlag := flag.String("threads", "1,4,12", "comma-separated thread counts")
-	seed := flag.Uint64("seed", 42, "simulation seed")
 	csvDir := flag.String("csv", "", "optional directory for CSV series dumps")
 	plot := flag.Bool("plot", true, "render ASCII time-series plots")
-	parallel := flag.Int("parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the first matrix cell to this file")
-	traceSummary := flag.Bool("trace-summary", false, "print trace counters and span latencies after the run")
+	common := cmdutil.Flags("first matrix cell", "")
 	flag.Parse()
-	pool := runner.Runner{Workers: *parallel}
-	tr := trace.FromFlags(*traceOut, *traceSummary)
+	seed := &common.Seed
+	pool := common.Runner()
+	tr := common.Tracer()
 	traced := false // the tracer attaches to the first cell of the first bench
 
 	var threads []int
@@ -126,9 +124,7 @@ func main() {
 		fmt.Println("  balloon-huge 9.5/10.1/30.1; virtio-mem 9.5/8.6/28.7; +VFIO 9.4/8.4/28.3;")
 		fmt.Println("  HyperAlloc 9.5/10.2/30.7; +VFIO 9.5/10.2/30.7")
 	}
-	if err := tr.Emit(*traceOut, *traceSummary, os.Stdout); err != nil {
-		log.Fatal(err)
-	}
+	common.EmitTrace(tr)
 	_ = sim.Second
 }
 

@@ -1,0 +1,109 @@
+// Command speccheck validates declarative scenario spec files without
+// running anything: each file is parsed (unknown fields are errors) and
+// run through the admission validators, and every failure is printed
+// with its stable ID — the same IDs the broker and cluster admission
+// paths return, so a spec that passes here is a spec they will accept.
+//
+// Usage:
+//
+//	speccheck FILE...        # validate each file; exit 1 if any fails
+//	speccheck -hosts N FILE  # validate a fleet spec against N hosts
+//	speccheck -ids           # print the failure-ID catalogue
+//
+// -hosts scales the aggregate capacity check the same way the cluster
+// driver does when it places one spec across N hosts: the sum of memory
+// floors is admitted against N x HostMemory instead of a single host.
+// Per-VM fit against one host is still enforced.
+//
+// With -checkpoint, each FILE is loaded as a simulation checkpoint
+// instead: the embedded scenario is re-admitted and the full state is
+// restored in memory (running the cross-layer auditor), which catches
+// truncated or hand-edited checkpoint files before a -restore run does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperalloc/internal/spec"
+)
+
+func main() {
+	ids := flag.Bool("ids", false, "print the catalogue of stable admission failure IDs and exit")
+	checkpoint := flag.Bool("checkpoint", false, "treat the files as simulation checkpoints: validate and restore them in memory")
+	hosts := flag.Int("hosts", 1, "admit fleet specs against this many hosts of HostMemory each")
+	flag.Parse()
+
+	if *ids {
+		for _, id := range spec.FailureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: speccheck [-checkpoint] FILE...  |  speccheck -ids")
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, path := range flag.Args() {
+		if err := check(path, *checkpoint, *hosts); err != nil {
+			bad++
+			if fe, ok := err.(*spec.FailureError); ok {
+				for _, f := range fe.Failures {
+					fmt.Printf("%s: FAIL %s\n", path, f.Error())
+				}
+			} else {
+				fmt.Printf("%s: FAIL %v\n", path, err)
+			}
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func check(path string, checkpoint bool, hosts int) error {
+	if checkpoint {
+		cp, err := spec.LoadCheckpoint(path)
+		if err != nil {
+			return err
+		}
+		if fs := spec.Admit(cp.Scenario); len(fs) > 0 {
+			return spec.AsError(fs)
+		}
+		// A full in-memory restore runs the auditor over the rebuilt
+		// state — the strongest check short of running the scenario.
+		_, err = spec.Restore(cp, spec.BuildOptions{})
+		return err
+	}
+	sc, err := spec.Load(path)
+	if err != nil {
+		return err
+	}
+	if hosts > 1 && sc.HostMemory != 0 {
+		// Fleet admission, exactly as the cluster driver performs it:
+		// the aggregate floors are checked against hosts x HostMemory,
+		// and each VM must still fit a single host on its own.
+		fleet := *sc
+		fleet.HostMemory = sc.HostMemory * uint64(hosts)
+		if fs := spec.Admit(&fleet); len(fs) > 0 {
+			return spec.AsError(fs)
+		}
+		var fs []spec.Failure
+		for _, v := range sc.VMs {
+			fs = append(fs, spec.AdmitVM(v, sc.HostMemory)...)
+		}
+		if len(fs) > 0 {
+			return spec.AsError(fs)
+		}
+		return nil
+	}
+	if fs := spec.Admit(sc); len(fs) > 0 {
+		return spec.AsError(fs)
+	}
+	return nil
+}

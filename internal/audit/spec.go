@@ -1,0 +1,55 @@
+package audit
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/vmm"
+)
+
+// Spec is the contract a declarative scenario (internal/spec.Scenario)
+// satisfies so a restored simulation can be checked against the spec it
+// was built from. audit owns the interface — not the spec package — so
+// the dependency points the right way: spec imports audit, never the
+// reverse.
+type Spec interface {
+	// SpecName identifies the scenario in error messages.
+	SpecName() string
+	// SpecVMs returns the expected VM names in construction order.
+	SpecVMs() []string
+	// SpecHostMemory returns the expected host pool capacity (0 =
+	// unlimited).
+	SpecHostMemory() uint64
+}
+
+// ValidateSpec invariant-checks a (possibly just-restored) simulation
+// against its spec before the first event fires: the VM topology must
+// match the spec exactly (names, order, count), the pool capacity must
+// match, and every System invariant — EPT/pool RSS agreement, guest/EPT
+// conservation, per-VM mechanism audits — must hold. A restore that
+// deserialized into an inconsistent state fails here instead of
+// producing silently-diverging results later.
+func ValidateSpec(sp Spec, pool *hostmem.Pool, vms ...*vmm.VM) error {
+	if sp != nil {
+		want := sp.SpecVMs()
+		if len(vms) != len(want) {
+			return fmt.Errorf("audit: spec %q declares %d VMs, system has %d",
+				sp.SpecName(), len(want), len(vms))
+		}
+		for i, vm := range vms {
+			if vm.Name != want[i] {
+				return fmt.Errorf("audit: spec %q VM %d is %q, system has %q (order differs)",
+					sp.SpecName(), i, want[i], vm.Name)
+			}
+			if !pool.Registered(vm.Name) {
+				return fmt.Errorf("audit: spec %q VM %q not registered on the host pool",
+					sp.SpecName(), vm.Name)
+			}
+		}
+		if got := pool.Capacity(); got != sp.SpecHostMemory() {
+			return fmt.Errorf("audit: spec %q host memory %d, pool capacity %d",
+				sp.SpecName(), sp.SpecHostMemory(), got)
+		}
+	}
+	return System(pool, vms...)
+}

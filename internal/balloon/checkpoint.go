@@ -1,0 +1,82 @@
+package balloon
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/mem"
+)
+
+// DescState is one driver-held (inflated) frame descriptor.
+type DescState struct {
+	Zone  int
+	PFN   mem.PFN
+	Order mem.Order
+}
+
+// MechanismState is the serializable state of a balloon: the per-zone
+// inflated LIFO stacks, the limit, and the counters.
+type MechanismState struct {
+	Limit    uint64
+	Inflated [][]DescState `json:",omitempty"`
+
+	Inflations  uint64 `json:",omitempty"`
+	Deflations  uint64 `json:",omitempty"`
+	Reports     uint64 `json:",omitempty"`
+	ReportedOps uint64 `json:",omitempty"`
+	Hypercalls  uint64 `json:",omitempty"`
+	Madvises    uint64 `json:",omitempty"`
+
+	QueueKicks     uint64 `json:",omitempty"`
+	QueueDelivered uint64 `json:",omitempty"`
+}
+
+// State captures the balloon. Checkpoints are taken between events, where
+// the virtio ring is drained (inflate batches kick within Shrink).
+func (m *Mechanism) State() (*MechanismState, error) {
+	if n := m.queue.Len(); n != 0 {
+		return nil, fmt.Errorf("balloon: checkpoint with %d pending descriptors", n)
+	}
+	st := &MechanismState{
+		Limit:          m.limit,
+		Inflations:     m.Inflations,
+		Deflations:     m.Deflations,
+		Reports:        m.Reports,
+		ReportedOps:    m.ReportedOps,
+		Hypercalls:     m.Hypercalls,
+		Madvises:       m.Madvises,
+		QueueKicks:     m.queue.Kicks,
+		QueueDelivered: m.queue.Delivered,
+	}
+	st.Inflated = make([][]DescState, len(m.inflated))
+	for z, ds := range m.inflated {
+		for _, d := range ds {
+			st.Inflated[z] = append(st.Inflated[z], DescState{Zone: d.zone, PFN: d.pfn, Order: d.order})
+		}
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the balloon with a checkpointed state. The
+// guest's allocator state (which holds the inflated frames as allocated)
+// is restored separately.
+func (m *Mechanism) RestoreState(st *MechanismState) error {
+	if len(st.Inflated) != len(m.inflated) {
+		return fmt.Errorf("balloon: restore: %d zones, checkpoint %d", len(m.inflated), len(st.Inflated))
+	}
+	for z := range m.inflated {
+		m.inflated[z] = m.inflated[z][:0]
+		for _, d := range st.Inflated[z] {
+			m.inflated[z] = append(m.inflated[z], desc{zone: d.Zone, pfn: d.PFN, order: d.Order})
+		}
+	}
+	m.limit = st.Limit
+	m.Inflations = st.Inflations
+	m.Deflations = st.Deflations
+	m.Reports = st.Reports
+	m.ReportedOps = st.ReportedOps
+	m.Hypercalls = st.Hypercalls
+	m.Madvises = st.Madvises
+	m.queue.Kicks = st.QueueKicks
+	m.queue.Delivered = st.QueueDelivered
+	return nil
+}

@@ -1,0 +1,80 @@
+package buddy
+
+import "fmt"
+
+// AllocState is the serializable state of a buddy allocator: the raw
+// intrusive-list arrays plus the accounting sums. Geometry and pcp tuning
+// come from the Config the allocator is rebuilt with; only the mutable
+// arrays are stored. The []uint8 arrays marshal as base64, keeping the
+// JSON compact; next/prev are numeric.
+type AllocState struct {
+	Frames    uint64
+	Next      []uint32 `json:",omitempty"`
+	Prev      []uint32 `json:",omitempty"`
+	Hdr       []uint8  `json:",omitempty"`
+	FreeCount [maxOrder + 1][numLists]uint64
+	FreeTotal uint64
+	Isolated  uint64   `json:",omitempty"`
+	AreaUsed  []uint16 `json:",omitempty"`
+	BlockMT   []uint8  `json:",omitempty"`
+	Offline   uint64   `json:",omitempty"`
+	// PCP holds each cpu's per-migratetype cached frame lists, flattened in
+	// cpu-major order.
+	PCP [][numMT][]uint32 `json:",omitempty"`
+}
+
+// State captures the allocator.
+func (a *Alloc) State() *AllocState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := &AllocState{
+		Frames:    a.frames,
+		Next:      append([]uint32(nil), a.next...),
+		Prev:      append([]uint32(nil), a.prev...),
+		Hdr:       append([]uint8(nil), a.hdr...),
+		FreeCount: a.freeCount,
+		FreeTotal: a.freeTotal,
+		Isolated:  a.isolated,
+		AreaUsed:  append([]uint16(nil), a.areaUsed...),
+		BlockMT:   append([]uint8(nil), a.pageblockMT...),
+		Offline:   a.offline,
+	}
+	st.PCP = make([][numMT][]uint32, len(a.pcps))
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			st.PCP[i][mt] = append([]uint32(nil), a.pcps[i].lists[mt]...)
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the allocator with a checkpointed state. The
+// allocator must have been rebuilt with the same Config (frame count, cpu
+// count, pcp tuning).
+func (a *Alloc) RestoreState(st *AllocState) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st.Frames != a.frames {
+		return fmt.Errorf("buddy: restore: %d frames, checkpoint %d", a.frames, st.Frames)
+	}
+	if len(st.Next) != len(a.next) || len(st.Prev) != len(a.prev) ||
+		len(st.Hdr) != len(a.hdr) || len(st.AreaUsed) != len(a.areaUsed) ||
+		len(st.BlockMT) != len(a.pageblockMT) || len(st.PCP) != len(a.pcps) {
+		return fmt.Errorf("buddy: restore: geometry mismatch (rebuild used a different Config)")
+	}
+	copy(a.next, st.Next)
+	copy(a.prev, st.Prev)
+	copy(a.hdr, st.Hdr)
+	a.freeCount = st.FreeCount
+	a.freeTotal = st.FreeTotal
+	a.isolated = st.Isolated
+	copy(a.areaUsed, st.AreaUsed)
+	copy(a.pageblockMT, st.BlockMT)
+	a.offline = st.Offline
+	for i := range a.pcps {
+		for mt := 0; mt < numMT; mt++ {
+			a.pcps[i].lists[mt] = append(a.pcps[i].lists[mt][:0], st.PCP[i][mt]...)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Declarative-spec integration: typed admission ahead of best-fit
+// scoring, and fleet checkpoints at epoch barriers. The full
+// byte-identity checkpoint lives in internal/spec (single host); a
+// fleet checkpoint is save-only — a consistent cross-host snapshot
+// taken while every host is parked at the barrier, restored by
+// re-admitting the recorded VMs and validated on load.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hyperalloc"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/spec"
+)
+
+// specVM maps a declarative spec.VMSpec onto the cluster's admission
+// parameters: the packer admits against the floor the broker can
+// actually shrink the VM to, not the boot size.
+func specVM(v spec.VMSpec) VMSpec {
+	return VMSpec{
+		Name:       v.Name,
+		Memory:     v.MemoryMax,
+		CPUs:       v.CPUs,
+		DemandHint: v.MemoryMin,
+		Priority:   v.Priority,
+		Candidate:  hyperalloc.Candidate(v.Mechanism),
+	}
+}
+
+// AdmitSpec admits a declaratively-specified VM: the spec admission
+// table runs first — rejecting infeasible or conflicting specs with
+// typed failures before any placement scoring happens — and only a
+// clean spec reaches the best-fit packer. The error from a rejected
+// spec wraps *spec.FailureError, so callers can branch on
+// failures[0].ID.
+func (c *Cluster) AdmitSpec(v spec.VMSpec) (*hyperalloc.VM, int, error) {
+	// Admission is host-capacity aware: validate against the largest
+	// host, since the packer may place anywhere.
+	var capacity uint64
+	for _, h := range c.hosts {
+		if cap := h.Sys.Pool.Capacity(); cap > capacity {
+			capacity = cap
+		}
+	}
+	if fs := spec.AdmitVM(v, capacity); len(fs) > 0 {
+		return nil, -1, fmt.Errorf("cluster: spec %q rejected: %w", v.Name, spec.AsError(fs))
+	}
+	return c.Admit(specVM(v))
+}
+
+// FleetVMState is one VM's row in a fleet checkpoint.
+type FleetVMState struct {
+	Name      string
+	Host      string
+	Mechanism string
+	Memory    uint64
+	Limit     uint64
+	RSS       uint64
+	Swapped   uint64 `json:",omitempty"`
+	Priority  int    `json:",omitempty"`
+}
+
+// HostCheckpoint is one host's row: capacity, accounting, and the pool
+// state (the authoritative RSS/tier/swap ledger for validation).
+type HostCheckpoint struct {
+	Name     string
+	Capacity uint64
+	Draining bool `json:",omitempty"`
+	Pool     *hostmem.PoolState
+}
+
+// FleetCheckpoint is a consistent fleet snapshot taken at an epoch
+// barrier, while every host group is parked and no migration is
+// mid-copy. It is save-only: restore means re-admitting the recorded
+// VMs through AdmitSpec on a fresh cluster, not byte-identical
+// continuation (that guarantee is single-host, internal/spec).
+type FleetCheckpoint struct {
+	Version int
+	At      sim.Time
+	Epoch   uint64
+	Metrics Metrics
+	Hosts   []HostCheckpoint
+	VMs     []FleetVMState
+	// InFlight counts migrations armed at the barrier; a checkpoint
+	// with in-flight state cannot be re-admitted losslessly, so loaders
+	// surface it.
+	InFlight int `json:",omitempty"`
+}
+
+// Checkpoint snapshots the fleet. Call it only from an epoch barrier
+// (the onEpoch callback, or before/after RunFor) — the same contract as
+// every other Cluster method.
+func (c *Cluster) Checkpoint() *FleetCheckpoint {
+	cp := &FleetCheckpoint{
+		Version:  spec.CheckpointVersion,
+		At:       c.Now(),
+		Epoch:    c.m.Epochs,
+		Metrics:  c.m,
+		InFlight: len(c.flights),
+	}
+	for _, h := range c.hosts {
+		cp.Hosts = append(cp.Hosts, HostCheckpoint{
+			Name:     h.Name,
+			Capacity: h.Sys.Pool.Capacity(),
+			Draining: h.draining,
+			Pool:     h.Sys.Pool.State(),
+		})
+		for _, vm := range h.vms {
+			cp.VMs = append(cp.VMs, FleetVMState{
+				Name:      vm.Name,
+				Host:      h.Name,
+				Mechanism: vm.MechanismName(),
+				Memory:    vm.Guest.TotalBytes(),
+				Limit:     vm.Limit(),
+				RSS:       vm.RSS(),
+				Swapped:   h.Sys.Pool.Swapped(vm.Name),
+				Priority:  c.prio[vm.Name],
+			})
+		}
+	}
+	return cp
+}
+
+// SaveCheckpoint writes a fleet checkpoint to path.
+func (c *Cluster) SaveCheckpoint(path string) error {
+	return report.WriteJSON(path, c.Checkpoint())
+}
+
+// LoadFleetCheckpoint reads a fleet checkpoint and validates it: every
+// VM's host must exist, per-host RSS must agree between the VM rows and
+// the pool ledger, and no host may exceed its capacity. This is the
+// restore-side ValidateSpec analogue — a corrupted or hand-edited
+// checkpoint fails here, before anything is re-admitted from it.
+func LoadFleetCheckpoint(path string) (*FleetCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp := &FleetCheckpoint{}
+	if err := json.Unmarshal(data, cp); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if cp.Version > spec.CheckpointVersion {
+		return nil, fmt.Errorf("%s: fleet checkpoint version %d newer than supported %d",
+			path, cp.Version, spec.CheckpointVersion)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// Validate cross-checks the checkpoint's accounting.
+func (cp *FleetCheckpoint) Validate() error {
+	hosts := map[string]*HostCheckpoint{}
+	for i := range cp.Hosts {
+		h := &cp.Hosts[i]
+		if _, dup := hosts[h.Name]; dup {
+			return fmt.Errorf("fleet checkpoint: duplicate host %q", h.Name)
+		}
+		hosts[h.Name] = h
+		if h.Capacity > 0 && h.Pool != nil && h.Pool.Total > h.Capacity {
+			return fmt.Errorf("fleet checkpoint: host %q total %d exceeds capacity %d",
+				h.Name, h.Pool.Total, h.Capacity)
+		}
+	}
+	rss := map[string]uint64{}
+	seen := map[string]bool{}
+	for _, v := range cp.VMs {
+		if seen[v.Name] {
+			return fmt.Errorf("fleet checkpoint: duplicate VM %q", v.Name)
+		}
+		seen[v.Name] = true
+		if _, ok := hosts[v.Host]; !ok {
+			return fmt.Errorf("fleet checkpoint: VM %q on unknown host %q", v.Name, v.Host)
+		}
+		rss[v.Host] += v.RSS
+	}
+	for name, h := range hosts {
+		if h.Pool == nil {
+			continue
+		}
+		var poolRSS uint64
+		for _, e := range h.Pool.VMs {
+			poolRSS += e.RSS
+		}
+		if poolRSS != rss[name] {
+			return fmt.Errorf("fleet checkpoint: host %q pool RSS %d disagrees with VM rows %d",
+				name, poolRSS, rss[name])
+		}
+	}
+	return nil
+}
+
+// SpecVMs converts the checkpoint's VM rows back into declarative specs
+// (re-admission order = checkpoint order). MemoryMin falls back to the
+// recorded limit — the floor the broker had squeezed the VM to.
+func (cp *FleetCheckpoint) SpecVMs() []spec.VMSpec {
+	out := make([]spec.VMSpec, 0, len(cp.VMs))
+	for _, v := range cp.VMs {
+		out = append(out, spec.VMSpec{
+			Name:      v.Name,
+			Mechanism: v.Mechanism,
+			MemoryMin: v.Limit,
+			MemoryMax: v.Memory,
+			Priority:  v.Priority,
+		})
+	}
+	return out
+}

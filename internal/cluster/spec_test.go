@@ -1,0 +1,124 @@
+package cluster_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"hyperalloc/internal/cluster"
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	vmspec "hyperalloc/internal/spec"
+)
+
+func specVM(name string) vmspec.VMSpec {
+	return vmspec.VMSpec{
+		Name:      name,
+		Mechanism: "HyperAlloc",
+		MemoryMin: vmBytes,
+		MemoryMax: vmBytes,
+		CPUs:      2,
+	}
+}
+
+// TestAdmitSpec: declarative admission runs before placement — valid
+// specs place like plain Admit, infeasible ones are rejected with the
+// typed failure and never reach the packer.
+func TestAdmitSpec(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Hosts:     2,
+		HostBytes: 8 * mem.GiB,
+		Policy:    pinPolicy{},
+		Seed:      1,
+	})
+	vm, idx, err := c.AdmitSpec(specVM("vm0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Name != "vm0" || idx != 0 {
+		t.Fatalf("admitted %q to host %d", vm.Name, idx)
+	}
+
+	bad := specVM("vm1")
+	bad.VFIO = true
+	bad.Postcopy = true
+	if _, _, err := c.AdmitSpec(bad); err == nil {
+		t.Fatal("VFIO+postcopy spec admitted")
+	} else {
+		var fe *vmspec.FailureError
+		if !errors.As(err, &fe) || fe.Failures[0].ID != vmspec.SpecVFIOPostcopyID {
+			t.Fatalf("want typed %s failure, got %v", vmspec.SpecVFIOPostcopyID, err)
+		}
+	}
+
+	huge := specVM("vm2")
+	huge.MemoryMin = 16 * mem.GiB
+	huge.MemoryMax = 16 * mem.GiB
+	if _, _, err := c.AdmitSpec(huge); err == nil {
+		t.Fatal("spec exceeding every host's capacity admitted")
+	} else {
+		var fe *vmspec.FailureError
+		if !errors.As(err, &fe) || fe.Failures[0].ID != vmspec.SpecHostCapacityID {
+			t.Fatalf("want typed %s failure, got %v", vmspec.SpecHostCapacityID, err)
+		}
+	}
+}
+
+// TestFleetCheckpoint: epoch-barrier snapshots validate on load, detect
+// tampering, and convert back into admissible specs.
+func TestFleetCheckpoint(t *testing.T) {
+	c := cluster.New(cluster.Config{
+		Hosts:     2,
+		HostBytes: 8 * mem.GiB,
+		Policy:    pinPolicy{},
+		Seed:      1,
+	})
+	for _, name := range []string{"vm0", "vm1", "vm2"} {
+		if _, _, err := c.AdmitSpec(specVM(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint at an epoch barrier mid-run.
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	epochs := 0
+	err := c.RunFor(5*sim.Second, func(c *cluster.Cluster) error {
+		epochs++
+		if epochs == 3 {
+			return c.SaveCheckpoint(path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := cluster.LoadFleetCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epoch == 0 || len(cp.VMs) != 3 || len(cp.Hosts) != 2 {
+		t.Fatalf("checkpoint shape: epoch %d, %d VMs, %d hosts", cp.Epoch, len(cp.VMs), len(cp.Hosts))
+	}
+
+	// Restore = re-admit the recorded VMs on a fresh fleet.
+	c2 := cluster.New(cluster.Config{
+		Hosts:     2,
+		HostBytes: 8 * mem.GiB,
+		Policy:    pinPolicy{},
+		Seed:      2,
+	})
+	for _, v := range cp.SpecVMs() {
+		if _, _, err := c2.AdmitSpec(v); err != nil {
+			t.Fatalf("re-admitting %q: %v", v.Name, err)
+		}
+	}
+	if c2.Metrics().Admissions != 3 {
+		t.Fatalf("re-admissions = %d, want 3", c2.Metrics().Admissions)
+	}
+
+	// Tampered accounting fails validation.
+	cp.VMs[0].RSS += mem.GiB
+	if err := cp.Validate(); err == nil {
+		t.Fatal("tampered fleet checkpoint validated")
+	}
+}

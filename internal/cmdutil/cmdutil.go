@@ -1,0 +1,71 @@
+// Package cmdutil centralizes the flag plumbing every simulation driver
+// repeats: the seed, the -parallel worker pool, the optional -json
+// output path, and the -trace/-trace-summary pair. One Flags call
+// replaces the four-to-five identical flag declarations each cmd/ main
+// used to carry, and the accessors materialize the tracer and runner
+// exactly the way the drivers did by hand — so the byte-identity
+// contract (-parallel N equals -parallel 1, tracing on equals tracing
+// off) is wired once.
+package cmdutil
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"hyperalloc/internal/runner"
+	"hyperalloc/internal/trace"
+)
+
+// Common is the shared driver flag set, populated by flag.Parse.
+type Common struct {
+	// Seed is the -seed value (default 42, the repo-wide convention).
+	Seed uint64
+	// Parallel is the -parallel worker count (0 = all CPUs).
+	Parallel int
+	// JSON is the -json output path ("" = off; only registered when
+	// Flags is asked for it).
+	JSON string
+	// TraceOut and TraceSummary are the -trace/-trace-summary pair.
+	TraceOut     string
+	TraceSummary bool
+}
+
+// Flags registers the shared flags on the default flag set and returns
+// the struct they fill. `traced` names what the tracer attaches to in
+// this driver's matrix ("first matrix cell", "first arm", ...), and
+// jsonHelp — when non-empty — also registers -json with that help text.
+// Call before flag.Parse.
+func Flags(traced string, jsonHelp string) *Common {
+	c := &Common{}
+	flag.Uint64Var(&c.Seed, "seed", 42, "simulation seed")
+	flag.IntVar(&c.Parallel, "parallel", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+	if jsonHelp != "" {
+		flag.StringVar(&c.JSON, "json", "", jsonHelp)
+	}
+	flag.StringVar(&c.TraceOut, "trace", "",
+		"write a Chrome/Perfetto trace of the "+traced+" to this file")
+	flag.BoolVar(&c.TraceSummary, "trace-summary", false,
+		"print trace counters and span latencies after the run")
+	return c
+}
+
+// Tracer materializes the trace flags: a fresh unbound tracer when
+// either output was requested, nil otherwise.
+func (c *Common) Tracer() *trace.Tracer {
+	return trace.FromFlags(c.TraceOut, c.TraceSummary)
+}
+
+// Runner materializes the -parallel flag.
+func (c *Common) Runner() runner.Runner {
+	return runner.Runner{Workers: c.Parallel}
+}
+
+// EmitTrace writes the requested trace outputs to stdout/the -trace
+// file, exiting on error — the epilogue every driver shares. Safe on a
+// nil tracer.
+func (c *Common) EmitTrace(tr *trace.Tracer) {
+	if err := tr.Emit(c.TraceOut, c.TraceSummary, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

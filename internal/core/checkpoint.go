@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/sim"
+)
+
+// MechanismState is the serializable state of a HyperAlloc monitor: the
+// per-zone reclamation-state arrays R, the hard limit, and the counters.
+// The shared allocator words are part of the guest zone state (the
+// monitor's Share()d handles alias the same arrays, so restoring the
+// guest restores the monitor's view too).
+type MechanismState struct {
+	Limit      uint64
+	AutoPeriod sim.Duration
+	// R holds each zone's reclamation-state array ([]uint8 marshals as
+	// base64).
+	R [][]uint8 `json:",omitempty"`
+
+	HardReclaims   uint64 `json:",omitempty"`
+	SoftReclaims   uint64 `json:",omitempty"`
+	Returns        uint64 `json:",omitempty"`
+	Installs       uint64 `json:",omitempty"`
+	Scans          uint64 `json:",omitempty"`
+	CachePurges    uint64 `json:",omitempty"`
+	UnmapCalls     uint64 `json:",omitempty"`
+	GuestAnomalies uint64 `json:",omitempty"`
+	CacheShrinks   uint64 `json:",omitempty"`
+
+	QueueKicks     uint64 `json:",omitempty"`
+	QueueDelivered uint64 `json:",omitempty"`
+}
+
+// State captures the monitor. Checkpoints are taken between events, where
+// the install queue is drained (installs kick synchronously), so a
+// non-empty queue is an error.
+func (m *Mechanism) Snapshot() (*MechanismState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := m.queue.Len(); n != 0 {
+		return nil, fmt.Errorf("core: checkpoint with %d pending install descriptors", n)
+	}
+	st := &MechanismState{
+		Limit:          m.limit,
+		AutoPeriod:     m.AutoPeriod,
+		HardReclaims:   m.HardReclaims,
+		SoftReclaims:   m.SoftReclaims,
+		Returns:        m.Returns,
+		Installs:       m.Installs,
+		Scans:          m.Scans,
+		CachePurges:    m.CachePurges,
+		UnmapCalls:     m.UnmapCalls,
+		GuestAnomalies: m.GuestAnomalies,
+		CacheShrinks:   m.CacheShrinks,
+		QueueKicks:     m.queue.Kicks,
+		QueueDelivered: m.queue.Delivered,
+	}
+	for _, zs := range m.zones {
+		st.R = append(st.R, append([]uint8(nil), asBytes(zs.r)...))
+	}
+	return st, nil
+}
+
+func asBytes(r []ReclaimState) []uint8 {
+	out := make([]uint8, len(r))
+	for i, v := range r {
+		out[i] = uint8(v)
+	}
+	return out
+}
+
+// RestoreState overwrites the monitor with a checkpointed state. The
+// guest's allocator state must be restored first (shared handles alias
+// it).
+func (m *Mechanism) RestoreState(st *MechanismState) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(st.R) != len(m.zones) {
+		return fmt.Errorf("core: restore: %d zones, checkpoint %d", len(m.zones), len(st.R))
+	}
+	for i, zs := range m.zones {
+		if len(st.R[i]) != len(zs.r) {
+			return fmt.Errorf("core: restore: zone %d has %d areas, checkpoint %d",
+				i, len(zs.r), len(st.R[i]))
+		}
+		for j, v := range st.R[i] {
+			if ReclaimState(v) > HardReclaimed {
+				return fmt.Errorf("core: restore: zone %d area %d: unknown state %d", i, j, v)
+			}
+			zs.r[j] = ReclaimState(v)
+		}
+	}
+	m.limit = st.Limit
+	m.AutoPeriod = st.AutoPeriod
+	m.HardReclaims = st.HardReclaims
+	m.SoftReclaims = st.SoftReclaims
+	m.Returns = st.Returns
+	m.Installs = st.Installs
+	m.Scans = st.Scans
+	m.CachePurges = st.CachePurges
+	m.UnmapCalls = st.UnmapCalls
+	m.GuestAnomalies = st.GuestAnomalies
+	m.CacheShrinks = st.CacheShrinks
+	m.queue.Kicks = st.QueueKicks
+	m.queue.Delivered = st.QueueDelivered
+	return nil
+}

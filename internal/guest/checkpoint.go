@@ -1,0 +1,188 @@
+package guest
+
+import (
+	"fmt"
+
+	"hyperalloc/internal/buddy"
+	"hyperalloc/internal/llfree"
+	"hyperalloc/internal/mem"
+)
+
+// ChunkState is one allocated block: the owning zone by index into
+// Guest.Zones(), the zone-relative frame, and the order.
+type ChunkState struct {
+	Zone  int
+	PFN   mem.PFN
+	Order mem.Order
+}
+
+// RegionState is a serialized Region. Regions are owned by the workload
+// (the guest holds no region list), so the checkpointing scenario captures
+// and restores each region it holds via Region.State / Guest.RestoreRegion
+// and keeps them in its own deterministic order.
+type RegionState struct {
+	Chunks []ChunkState `json:",omitempty"`
+	Bytes  uint64
+	Freed  bool `json:",omitempty"`
+}
+
+// FileState is one cached file, in LRU position order.
+type FileState struct {
+	Name   string
+	Pages  []ChunkState `json:",omitempty"`
+	Bytes  uint64
+	LastAt uint64
+}
+
+// ZoneAllocState is one zone's allocator state; exactly one of LLFree and
+// Buddy is set, matching the zone's adapter.
+type ZoneAllocState struct {
+	Kind     mem.ZoneKind
+	LLFree   *llfree.AllocState `json:",omitempty"`
+	Buddy    *buddy.AllocState  `json:",omitempty"`
+	Installs uint64             `json:",omitempty"` // LLFreeAdapter install count
+}
+
+// GuestState is the serializable state of a Guest: per-zone allocator
+// words, the page cache, and the pressure counters. Region contents are
+// captured separately by their owner (see RegionState).
+type GuestState struct {
+	Zones         []ZoneAllocState `json:",omitempty"`
+	Files         []FileState      `json:",omitempty"`
+	CacheBytes    uint64           `json:",omitempty"`
+	CacheClock    uint64           `json:",omitempty"`
+	Evictions     uint64           `json:",omitempty"`
+	OOMKills      uint64           `json:",omitempty"`
+	CacheReclaims uint64           `json:",omitempty"`
+	Migrations    uint64           `json:",omitempty"`
+}
+
+// State captures the region (for the workload that owns it).
+func (r *Region) State() RegionState {
+	st := RegionState{Bytes: r.bytes, Freed: r.freed}
+	for _, c := range r.chunks {
+		st.Chunks = append(st.Chunks, r.guest.chunkState(c))
+	}
+	return st
+}
+
+func (g *Guest) chunkState(c chunk) ChunkState {
+	for i, z := range g.zones {
+		if z == c.zone {
+			return ChunkState{Zone: i, PFN: c.pfn, Order: c.order}
+		}
+	}
+	panic("guest: chunk in unknown zone")
+}
+
+func (g *Guest) chunkOf(cs ChunkState) (chunk, error) {
+	if cs.Zone < 0 || cs.Zone >= len(g.zones) {
+		return chunk{}, fmt.Errorf("guest: restore: zone %d out of range", cs.Zone)
+	}
+	return chunk{zone: g.zones[cs.Zone], pfn: cs.PFN, order: cs.Order}, nil
+}
+
+// RestoreRegion reconstructs a region from its checkpointed state,
+// re-linking the rmap entries. The underlying frames must already be
+// allocated (the zone allocator state is restored first).
+func (g *Guest) RestoreRegion(st RegionState) (*Region, error) {
+	r := &Region{guest: g, bytes: st.Bytes, freed: st.Freed}
+	for _, cs := range st.Chunks {
+		c, err := g.chunkOf(cs)
+		if err != nil {
+			return nil, err
+		}
+		r.chunks = append(r.chunks, c)
+		g.rmapSet(c.zone, c.pfn, rmapOwner{region: r, idx: int32(len(r.chunks) - 1)})
+	}
+	return r, nil
+}
+
+// State captures the guest (allocators, cache, counters).
+func (g *Guest) State() (*GuestState, error) {
+	st := &GuestState{
+		CacheBytes:    g.cache.bytes,
+		CacheClock:    g.cache.clock,
+		Evictions:     g.cache.Evictions,
+		OOMKills:      g.OOMKills,
+		CacheReclaims: g.CacheReclaims,
+		Migrations:    g.Migrations,
+	}
+	for _, z := range g.zones {
+		zs := ZoneAllocState{Kind: z.Kind}
+		switch impl := z.Impl.(type) {
+		case *LLFreeAdapter:
+			zs.LLFree = impl.A.State()
+			zs.Installs = impl.Installs
+		case *buddy.Alloc:
+			zs.Buddy = impl.State()
+		default:
+			return nil, fmt.Errorf("guest: zone %v allocator %T cannot be checkpointed", z.Kind, z.Impl)
+		}
+		st.Zones = append(st.Zones, zs)
+	}
+	for _, f := range g.cache.lru {
+		fs := FileState{Name: f.name, Bytes: f.bytes, LastAt: f.lastAt}
+		for _, p := range f.pages {
+			fs.Pages = append(fs.Pages, g.chunkState(p))
+		}
+		st.Files = append(st.Files, fs)
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the guest with a checkpointed state. Regions are
+// restored separately by their owners after this call.
+func (g *Guest) RestoreState(st *GuestState) error {
+	if len(st.Zones) != len(g.zones) {
+		return fmt.Errorf("guest: restore: %d zones, checkpoint %d", len(g.zones), len(st.Zones))
+	}
+	for i, zs := range st.Zones {
+		z := g.zones[i]
+		if z.Kind != zs.Kind {
+			return fmt.Errorf("guest: restore: zone %d is %v, checkpoint %v", i, z.Kind, zs.Kind)
+		}
+		switch impl := z.Impl.(type) {
+		case *LLFreeAdapter:
+			if zs.LLFree == nil {
+				return fmt.Errorf("guest: restore: zone %d has no llfree state", i)
+			}
+			if err := impl.A.RestoreState(zs.LLFree); err != nil {
+				return err
+			}
+			impl.Installs = zs.Installs
+		case *buddy.Alloc:
+			if zs.Buddy == nil {
+				return fmt.Errorf("guest: restore: zone %d has no buddy state", i)
+			}
+			if err := impl.RestoreState(zs.Buddy); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("guest: zone %v allocator %T cannot be restored", z.Kind, z.Impl)
+		}
+	}
+	g.rmap = nil
+	g.cache.files = make(map[string]*cachedFile, len(st.Files))
+	g.cache.lru = g.cache.lru[:0]
+	for _, fs := range st.Files {
+		f := &cachedFile{name: fs.Name, bytes: fs.Bytes, lastAt: fs.LastAt}
+		for _, ps := range fs.Pages {
+			c, err := g.chunkOf(ps)
+			if err != nil {
+				return err
+			}
+			f.pages = append(f.pages, c)
+			g.rmapSet(c.zone, c.pfn, rmapOwner{file: f, idx: int32(len(f.pages) - 1)})
+		}
+		g.cache.files[f.name] = f
+		g.cache.lru = append(g.cache.lru, f)
+	}
+	g.cache.bytes = st.CacheBytes
+	g.cache.clock = st.CacheClock
+	g.cache.Evictions = st.Evictions
+	g.OOMKills = st.OOMKills
+	g.CacheReclaims = st.CacheReclaims
+	g.Migrations = st.Migrations
+	return nil
+}

@@ -1,0 +1,63 @@
+package llfree
+
+import "fmt"
+
+// AllocState is the serializable state of an Alloc: the raw shared-memory
+// words. Geometry (frames, tree layout, policy) is not serialized — the
+// allocator is rebuilt from the same Config and the words are stored back
+// into the existing atomic arrays, which keeps every Share()d monitor
+// handle aliased to the restored state.
+type AllocState struct {
+	Frames       uint64
+	Bitfield     []uint64 `json:",omitempty"`
+	AreaIdx      []uint64 `json:",omitempty"`
+	TreeIdx      []uint32 `json:",omitempty"`
+	Reservations []uint64 `json:",omitempty"`
+}
+
+// State captures the allocator's shared words.
+func (a *Alloc) State() *AllocState {
+	st := &AllocState{Frames: a.frames}
+	st.Bitfield = make([]uint64, len(a.bitfield))
+	for i := range a.bitfield {
+		st.Bitfield[i] = a.bitfield[i].Load()
+	}
+	st.AreaIdx = make([]uint64, len(a.areaIdx))
+	for i := range a.areaIdx {
+		st.AreaIdx[i] = a.areaIdx[i].Load()
+	}
+	st.TreeIdx = make([]uint32, len(a.treeIdx))
+	for i := range a.treeIdx {
+		st.TreeIdx[i] = a.treeIdx[i].Load()
+	}
+	st.Reservations = make([]uint64, len(a.reservations))
+	for i := range a.reservations {
+		st.Reservations[i] = a.reservations[i].Load()
+	}
+	return st
+}
+
+// RestoreState stores checkpointed words into the allocator's existing
+// atomic arrays (never replacing the slices: Share()d handles alias them).
+func (a *Alloc) RestoreState(st *AllocState) error {
+	if st.Frames != a.frames {
+		return fmt.Errorf("llfree: restore: %d frames, checkpoint %d", a.frames, st.Frames)
+	}
+	if len(st.Bitfield) != len(a.bitfield) || len(st.AreaIdx) != len(a.areaIdx) ||
+		len(st.TreeIdx) != len(a.treeIdx) || len(st.Reservations) != len(a.reservations) {
+		return fmt.Errorf("llfree: restore: geometry mismatch (rebuild used a different Config)")
+	}
+	for i := range a.bitfield {
+		a.bitfield[i].Store(st.Bitfield[i])
+	}
+	for i := range a.areaIdx {
+		a.areaIdx[i].Store(st.AreaIdx[i])
+	}
+	for i := range a.treeIdx {
+		a.treeIdx[i].Store(st.TreeIdx[i])
+	}
+	for i := range a.reservations {
+		a.reservations[i].Store(st.Reservations[i])
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "sort"
+
+// Checkpoint support. Closures cannot be serialized, so a checkpoint
+// records each pending event as (At, seq, Name) and the restorer — which
+// reconstructed the simulation's actors from the spec — re-registers the
+// callback for each name through a factory, preserving the exact (At, seq)
+// total order. Correctness rests on the seq counter: every event pending
+// at checkpoint time was assigned its seq before the checkpoint, so
+// restoring the counter afterwards guarantees post-restore events sort
+// after restored ones exactly as they would have in the uninterrupted run.
+
+// PendingEvent is the serializable identity of one queued event.
+type PendingEvent struct {
+	At   Time
+	Seq  uint64
+	Name string
+}
+
+// CheckpointEvents returns the pending events sorted by (At, Seq) — the
+// order they would fire in. The callbacks themselves are not included;
+// restore re-creates them by Name.
+func (s *Scheduler) CheckpointEvents() []PendingEvent {
+	out := make([]PendingEvent, len(s.queue))
+	for i, e := range s.queue {
+		out[i] = PendingEvent{At: e.At, Seq: e.seq, Name: e.Name}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Seq returns the scheduler's monotonic tie-break counter (the seq of the
+// most recently scheduled event).
+func (s *Scheduler) Seq() uint64 { return s.seq }
+
+// RestoreAt re-registers a checkpointed event with its original timestamp
+// and seq. Unlike At it does not clamp past times — a queued event may
+// legitimately carry At < now when the checkpoint was taken after a
+// callback advanced the clock beyond it — and it does not consume a new
+// seq. Call RestoreSeq once after all events are re-registered.
+func (s *Scheduler) RestoreAt(at Time, seq uint64, name string, fn func()) Handle {
+	e := s.alloc()
+	e.At, e.Name, e.Fn, e.seq = at, name, fn, seq
+	s.queue.push(e)
+	return Handle{e: e, gen: e.gen}
+}
+
+// RestoreSeq restores the tie-break counter captured by Seq at checkpoint
+// time, so events scheduled after the restore order exactly as they would
+// have in the uninterrupted run.
+func (s *Scheduler) RestoreSeq(seq uint64) { s.seq = seq }
+
+// RestoreClock sets the clock to the checkpointed time. The clock of a
+// freshly built simulation is behind the checkpoint (construction costs
+// nothing compared to the run), so this only ever moves forward.
+func (s *Scheduler) RestoreClock(t Time) {
+	if s.clock.Now() < t {
+		s.clock.AdvanceTo(t)
+	}
+}
+
+// State returns the RNG's internal xoshiro256** state for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// RestoreState overwrites the RNG state with a checkpointed one.
+func (r *RNG) RestoreState(s [4]uint64) { r.s = s }

@@ -1,0 +1,196 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/guest"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/trace"
+)
+
+// BuildOptions tune Build.
+type BuildOptions struct {
+	// Trace attaches a tracer to the system (required for trace-level
+	// byte-identity checks; results are identical either way).
+	Trace bool
+}
+
+// Sim is one built simulation: the host system, its VMs (spec order),
+// the broker, and the per-VM workload drivers. Build leaves it cold —
+// no events armed — so a restore can overwrite state before anything
+// fires; Start arms the broker, auto-reclamation, and workload ticks.
+type Sim struct {
+	Scenario *Scenario
+	Sys      *hyperalloc.System
+	Tracer   *trace.Tracer
+	Broker   *broker.Broker
+	VMs      []*hyperalloc.VM
+
+	workloads []*workload
+	started   bool
+}
+
+// PolicyByName resolves a BrokerSpec.Policy (admission guarantees the
+// name is known; anything else falls back to the static split).
+func PolicyByName(name string) broker.Policy {
+	switch name {
+	case "watermark":
+		return broker.Watermark{}
+	case "proportional-share":
+		return broker.ProportionalShare{}
+	default:
+		return broker.StaticSplit{}
+	}
+}
+
+// TierPolicyByName resolves a BrokerSpec.TierPolicy ("" and unknown
+// names yield nil, the pool default).
+func TierPolicyByName(name string) broker.TierPolicy {
+	if name == "" {
+		return nil
+	}
+	if name == "cold-tier" {
+		return broker.ColdTier{}
+	}
+	t, err := hostmem.ParseTier(strings.TrimPrefix(name, "static-"))
+	if err != nil {
+		return nil
+	}
+	return broker.StaticTier{T: t}
+}
+
+// Build admits the scenario and constructs the simulation from it. The
+// construction path is fully deterministic — same spec, same seed, same
+// tracer setting ⇒ identical track order, instrument keys, and VM
+// layout — which is what lets Restore rebuild from the spec and then
+// overwrite only the mutable state.
+func Build(sc *Scenario, opts BuildOptions) (*Sim, error) {
+	if err := AsError(Admit(sc)); err != nil {
+		return nil, err
+	}
+	sys := hyperalloc.NewSystemWithMemory(sc.Seed, sc.HostMemory)
+	s := &Sim{Scenario: sc, Sys: sys}
+	if opts.Trace {
+		s.Tracer = trace.New()
+		sys.SetTracer(s.Tracer)
+	}
+	for i := range sc.VMs {
+		v := &sc.VMs[i]
+		vm, err := sys.NewVM(hyperalloc.Options{
+			Name:        v.Name,
+			Candidate:   hyperalloc.Candidate(v.Mechanism),
+			Memory:      v.MemoryMax,
+			CPUs:        v.CPUs,
+			VFIO:        v.VFIO,
+			AutoReclaim: v.AutoReclaim,
+			AutoPeriod:  v.AutoPeriod,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spec: building VM %q: %w", v.Name, err)
+		}
+		if v.Tier != "" {
+			t, _ := hostmem.ParseTier(v.Tier)
+			sys.Pool.SetTier(v.Name, t)
+		}
+		s.VMs = append(s.VMs, vm)
+		if v.Workload.TickPeriod > 0 {
+			s.workloads = append(s.workloads, &workload{sim: s, vm: vm, sp: v})
+		}
+	}
+	if sc.Broker != nil {
+		s.Broker = broker.New(sys.Sched, sys.Pool, broker.Config{
+			Policy:     PolicyByName(sc.Broker.Policy),
+			Period:     sc.Broker.Period,
+			MinLimit:   sc.Broker.MinLimit,
+			TierPolicy: TierPolicyByName(sc.Broker.TierPolicy),
+			Trace:      s.Tracer,
+		})
+		for _, vm := range s.VMs {
+			// Baseline VMs have no mechanism to drive; they consume
+			// their boot allocation outside the control loop.
+			if vm.Candidate == hyperalloc.CandidateBaseline {
+				continue
+			}
+			var prio int
+			for i := range sc.VMs {
+				if sc.VMs[i].Name == vm.Name {
+					prio = sc.VMs[i].Priority
+				}
+			}
+			s.Broker.Attach(vm.VM, prio)
+		}
+	}
+	return s, nil
+}
+
+// Start arms the event sources: the broker control loop, each VM's
+// automatic reclamation, and the workload drivers. Idempotent.
+func (s *Sim) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.Broker != nil {
+		s.Broker.Start()
+	}
+	for i := range s.Scenario.VMs {
+		if s.Scenario.VMs[i].AutoReclaim && s.Scenario.VMs[i].AutoPeriod > 0 {
+			s.VMs[i].StartAuto()
+		}
+	}
+	for _, w := range s.workloads {
+		w.arm()
+	}
+}
+
+// RunUntil drives the simulation up to the deadline (starting it if
+// needed).
+func (s *Sim) RunUntil(t sim.Time) {
+	s.Start()
+	s.Sys.RunUntil(t)
+}
+
+// Run drives the simulation to the scenario's Duration.
+func (s *Sim) Run() { s.RunUntil(sim.Time(s.Scenario.Duration)) }
+
+// StepUntil executes events strictly before t, stopping with the clock
+// still behind the next event — the quiescent point Capture requires
+// (no half-delivered virtio batches, no open spans).
+func (s *Sim) StepUntil(t sim.Time) {
+	s.Start()
+	for {
+		at, ok := s.Sys.Sched.NextAt()
+		if !ok || at >= t {
+			return
+		}
+		s.Sys.Sched.Step()
+	}
+}
+
+// workloadFor finds the driver for a VM name (nil if the VM has no
+// workload).
+func (s *Sim) workloadFor(name string) *workload {
+	for _, w := range s.workloads {
+		if w.vm.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// vmByName finds a VM (nil if absent).
+func (s *Sim) vmByName(name string) *hyperalloc.VM {
+	for _, vm := range s.VMs {
+		if vm.Name == name {
+			return vm
+		}
+	}
+	return nil
+}
+
+// guestOf is a shorthand used by the workload driver and checkpoint.
+func guestOf(vm *hyperalloc.VM) *guest.Guest { return vm.Guest }

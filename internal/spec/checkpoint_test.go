@@ -1,0 +1,198 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+)
+
+func unmarshalCheckpoint(data []byte, cp *Checkpoint) error {
+	return json.Unmarshal(data, cp)
+}
+
+// runBytes serializes a finished simulation's observable output: the
+// result summary plus the full trace state (every event, counter,
+// gauge series, and histogram). Byte equality on this pair is the
+// checkpoint guarantee.
+func runBytes(t *testing.T, s *Sim) []byte {
+	t.Helper()
+	res, err := report.JSONBytes(s.Result())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.Tracer.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := report.JSONBytes(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(res, tb...)
+}
+
+// uninterrupted runs the scenario start to finish.
+func uninterrupted(t *testing.T, sc *Scenario) []byte {
+	t.Helper()
+	s, err := Build(sc, BuildOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if err := s.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	return runBytes(t, s)
+}
+
+// interrupted runs to T, checkpoints through a full JSON round trip,
+// restores, and finishes the run on the restored simulation.
+func interrupted(t *testing.T, sc *Scenario, at sim.Time) []byte {
+	t.Helper()
+	s, err := Build(sc, BuildOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepUntil(at)
+	cp, err := s.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the serialized form so the test covers the
+	// file format, not just the in-memory structs.
+	data, err := cp.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2 := &Checkpoint{}
+	if err := unmarshalCheckpoint(data, cp2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(cp2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run()
+	if err := r.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	return runBytes(t, r)
+}
+
+// TestCheckpointByteIdentity is the tentpole guarantee: checkpoint at
+// sim-time T, restore, continue ⇒ results and traces byte-for-byte
+// equal to the uninterrupted run, at several cut points including ones
+// that land between broker ticks and mid-workload.
+func TestCheckpointByteIdentity(t *testing.T) {
+	sc := testScenario(42)
+	want := uninterrupted(t, sc)
+	for _, at := range []sim.Time{
+		sim.Time(250 * sim.Millisecond),
+		sim.Time(1500 * sim.Millisecond),
+		sim.Time(4*sim.Second + 75*sim.Millisecond),
+	} {
+		got := interrupted(t, sc, at)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("restore at %d diverged from uninterrupted run (%d vs %d bytes)",
+				at, len(want), len(got))
+		}
+	}
+}
+
+// TestCheckpointByteIdentityParallel re-runs the identity check on
+// several goroutines at once (the -parallel axis): simulations share no
+// state, so worker count must not affect a single run's bytes.
+func TestCheckpointByteIdentityParallel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			sc := testScenario(42)
+			want := uninterrupted(t, sc)
+			var wg sync.WaitGroup
+			got := make([][]byte, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					got[w] = interrupted(t, testScenario(42), sim.Time(1500*sim.Millisecond))
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				if !bytes.Equal(want, got[w]) {
+					t.Fatalf("worker %d/%d diverged", w, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRoundTrip pins the checkpoint file format: capture →
+// bytes → load → bytes must be byte-stable.
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := Build(testScenario(3), BuildOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepUntil(sim.Time(2 * sim.Second))
+	cp, err := s.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cp.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2 := &Checkpoint{}
+	if err := unmarshalCheckpoint(data, cp2); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := cp2.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("checkpoint JSON round trip is not byte-stable")
+	}
+}
+
+// TestRestoreRejectsTampering: a checkpoint whose state sections were
+// corrupted must fail the restore-time audit (audit.ValidateSpec), not
+// continue silently.
+func TestRestoreRejectsTampering(t *testing.T) {
+	s, err := Build(testScenario(5), BuildOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepUntil(sim.Time(sim.Second))
+	cp, err := s.Capture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Desync host accounting from the EPT: the pool thinks the first VM
+	// is one huge frame lighter than its mapped state.
+	cp.Pool.VMs[0].RSS -= 2 << 20
+	cp.Pool.Total -= 2 << 20
+	if _, err := Restore(cp, BuildOptions{}); err == nil {
+		t.Fatal("tampered checkpoint restored without error")
+	}
+}
+
+// TestCaptureRejectsVFIO: VFIO runs have no IOMMU serialization and
+// must fail politely.
+func TestCaptureRejectsVFIO(t *testing.T) {
+	sc := testScenario(6)
+	sc.VMs[1].VFIO = true // virtio-mem is DMA-safe, so admission passes
+	s, err := Build(sc, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.StepUntil(sim.Time(sim.Second))
+	if _, err := s.Capture(); err == nil {
+		t.Fatal("VFIO checkpoint did not fail")
+	}
+}

@@ -1,0 +1,171 @@
+// Package spec is the declarative scenario layer: a VM/scenario spec
+// type with stable-key JSON load/save, a table-driven admission layer
+// that rejects infeasible or conflicting specs with typed failures
+// (stable IDs, kubevirt failures[0].ID style), and checkpoint/restore
+// of the full simulation state with a byte-identity guarantee —
+// checkpoint at sim-time T, restore, continue, and the results and
+// traces are byte-for-byte equal to the uninterrupted run.
+//
+// The spec is the admission-control boundary the paper's host-side
+// management needs: mechanisms de/inflate fast, the broker decides who
+// gets memory, and the spec layer decides which VM configurations are
+// allowed to exist on a host at all (VFIO pinning vs. postcopy
+// migration, hugepage demand vs. host areas, memory bounds vs. the
+// DMA32 floor).
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hyperalloc/internal/report"
+	"hyperalloc/internal/sim"
+)
+
+// FormatVersion is the spec schema version; Load rejects files written
+// by a newer schema.
+const FormatVersion = 1
+
+// WorkloadSpec parameterizes a VM's deterministic demand driver: every
+// TickPeriod the driver samples a new anonymous-memory demand target in
+// [DemandMin, DemandMax] from the scenario RNG, allocates or frees
+// regions to meet it, and optionally churns CacheBytes of page cache.
+type WorkloadSpec struct {
+	// TickPeriod is the driver interval; 0 disables the workload (the
+	// VM idles at its boot allocation).
+	TickPeriod sim.Duration `json:",omitempty"`
+	// DemandMin/DemandMax bound the anonymous working set in bytes.
+	DemandMin uint64 `json:",omitempty"`
+	DemandMax uint64 `json:",omitempty"`
+	// CacheBytes, when non-zero, is written to a rotating set of page
+	// cache files each tick (exercises cache eviction under shrink).
+	CacheBytes uint64 `json:",omitempty"`
+}
+
+// VMSpec declares one VM: its identity, mechanism, memory bounds, and
+// host-facing constraints. The admission layer (Admit) decides whether
+// a set of VMSpecs is feasible on the declared host before anything is
+// built.
+type VMSpec struct {
+	// Name is the VM's unique identity on the host.
+	Name string
+	// Mechanism is the reclamation candidate: "baseline",
+	// "virtio-balloon", "virtio-balloon-huge", "virtio-mem", or
+	// "HyperAlloc".
+	Mechanism string
+	// MemoryMin is the floor the broker may never shrink the VM below.
+	MemoryMin uint64
+	// MemoryMax is the boot (and maximum) memory size.
+	MemoryMax uint64
+	// CPUs is the vCPU count (0 = the hyperalloc default, 12).
+	CPUs int `json:",omitempty"`
+	// VFIO marks the VM as having a passthrough device: its pages are
+	// DMA-pinned, which conflicts with postcopy migration and with
+	// non-DMA-safe balloon mechanisms.
+	VFIO bool `json:",omitempty"`
+	// Postcopy marks the VM as migratable via postcopy.
+	Postcopy bool `json:",omitempty"`
+	// HugepageBytes is the VM's reserved 2 MiB hugepage demand; it must
+	// fit in the VM's movable area above the DMA32 split, and the sum
+	// across VMs must fit the host.
+	HugepageBytes uint64 `json:",omitempty"`
+	// Priority is the broker share weight (higher = more memory under
+	// pressure).
+	Priority int `json:",omitempty"`
+	// AutoReclaim enables the mechanism's automatic reclamation.
+	AutoReclaim bool `json:",omitempty"`
+	// AutoPeriod is the auto-reclamation tick period (0 = mechanism
+	// default).
+	AutoPeriod sim.Duration `json:",omitempty"`
+	// Tier is the eviction tier the VM's swapped bytes land on: "",
+	// "nvme", "zswap", or "far".
+	Tier string `json:",omitempty"`
+	// Workload is the VM's demand driver.
+	Workload WorkloadSpec
+}
+
+// BrokerSpec declares the host's memory broker (nil = no broker; VMs
+// keep their boot limits unless auto-reclaim moves them).
+type BrokerSpec struct {
+	// Policy is "static-split", "watermark", or "proportional-share".
+	Policy string
+	// Period is the control-loop interval (0 = broker default, 1 s).
+	Period sim.Duration `json:",omitempty"`
+	// MinLimit floors every broker target (0 = broker default, 1 GiB).
+	MinLimit uint64 `json:",omitempty"`
+	// TierPolicy is "", "cold-tier", or "static-<tier>".
+	TierPolicy string `json:",omitempty"`
+}
+
+// Scenario is a complete declarative simulation: one host, its VMs,
+// the broker, and the run length. Scenarios serialize via
+// internal/report so the bytes are stable (struct-declaration-order
+// keys, two-space indent, trailing newline).
+type Scenario struct {
+	// Version is the spec schema version (FormatVersion).
+	Version int
+	// Name identifies the scenario in results and error messages.
+	Name string
+	// Seed seeds the scenario RNG.
+	Seed uint64
+	// HostMemory is the host pool capacity in bytes (0 = unlimited).
+	HostMemory uint64 `json:",omitempty"`
+	// Duration is the simulated run length.
+	Duration sim.Duration
+	// Broker declares the host broker (nil = none).
+	Broker *BrokerSpec `json:",omitempty"`
+	// VMs declares the host's VMs in construction order.
+	VMs []VMSpec
+}
+
+// SpecName implements audit.Spec.
+func (sc *Scenario) SpecName() string { return sc.Name }
+
+// SpecVMs implements audit.Spec: the expected VM names in construction
+// order.
+func (sc *Scenario) SpecVMs() []string {
+	names := make([]string, len(sc.VMs))
+	for i, v := range sc.VMs {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// SpecHostMemory implements audit.Spec.
+func (sc *Scenario) SpecHostMemory() uint64 { return sc.HostMemory }
+
+// Parse decodes a scenario from stable-key JSON. Unknown fields are
+// rejected — a typo'd constraint silently ignored is an admission hole.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	sc := &Scenario{}
+	if err := dec.Decode(sc); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if sc.Version > FormatVersion {
+		return nil, fmt.Errorf("spec: version %d newer than supported %d", sc.Version, FormatVersion)
+	}
+	return sc, nil
+}
+
+// Load reads a scenario spec file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Bytes serializes the scenario as stable-key JSON.
+func (sc *Scenario) Bytes() ([]byte, error) { return report.JSONBytes(sc) }
+
+// Save writes the scenario spec to path.
+func (sc *Scenario) Save(path string) error { return report.WriteJSON(path, sc) }

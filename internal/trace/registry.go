@@ -63,6 +63,13 @@ func (c *Counter) Value() uint64 {
 	return c.v
 }
 
+// RestoreValue overwrites the count with a checkpointed value.
+func (c *Counter) RestoreValue(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
 // Name returns the registry key.
 func (c *Counter) Name() string {
 	if c == nil {

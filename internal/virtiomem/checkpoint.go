@@ -1,0 +1,48 @@
+package virtiomem
+
+import "fmt"
+
+// MechanismState is the serializable state of a virtio-mem device: the
+// per-area plugged bitmap, the limit, and the counters. The movable
+// zone's buddy state is part of the guest checkpoint.
+type MechanismState struct {
+	Limit   uint64
+	Plugged []bool `json:",omitempty"`
+
+	Plugs            uint64 `json:",omitempty"`
+	Unplugs          uint64 `json:",omitempty"`
+	MigratedBytes    uint64 `json:",omitempty"`
+	SkippedUnplugs   uint64 `json:",omitempty"`
+	AutoTicks        uint64 `json:",omitempty"`
+	PrepopulatedHuge uint64 `json:",omitempty"`
+}
+
+// State captures the device.
+func (m *Mechanism) State() *MechanismState {
+	return &MechanismState{
+		Limit:            m.limit,
+		Plugged:          append([]bool(nil), m.plugged...),
+		Plugs:            m.Plugs,
+		Unplugs:          m.Unplugs,
+		MigratedBytes:    m.MigratedBytes,
+		SkippedUnplugs:   m.SkippedUnplugs,
+		AutoTicks:        m.AutoTicks,
+		PrepopulatedHuge: m.PrepopulatedHuge,
+	}
+}
+
+// RestoreState overwrites the device with a checkpointed state.
+func (m *Mechanism) RestoreState(st *MechanismState) error {
+	if len(st.Plugged) != len(m.plugged) {
+		return fmt.Errorf("virtiomem: restore: %d areas, checkpoint %d", len(m.plugged), len(st.Plugged))
+	}
+	copy(m.plugged, st.Plugged)
+	m.limit = st.Limit
+	m.Plugs = st.Plugs
+	m.Unplugs = st.Unplugs
+	m.MigratedBytes = st.MigratedBytes
+	m.SkippedUnplugs = st.SkippedUnplugs
+	m.AutoTicks = st.AutoTicks
+	m.PrepopulatedHuge = st.PrepopulatedHuge
+	return nil
+}

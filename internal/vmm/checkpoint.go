@@ -1,0 +1,24 @@
+package vmm
+
+import "hyperalloc/internal/sim"
+
+// RestoreAuto re-arms the automatic-reclamation tick chain from a
+// checkpoint: the pending event recorded under "<name>/auto" is
+// re-registered with its original (at, seq) so it fires exactly when the
+// uninterrupted run's would have. Subsequent ticks reschedule through the
+// normal After path.
+func (vm *VM) RestoreAuto(sched *sim.Scheduler, at sim.Time, seq uint64) {
+	sched.Cancel(vm.autoEvent)
+	var tick func()
+	tick = func() {
+		d := vm.Mech.AutoTick()
+		if d > 0 {
+			vm.autoEvent = sched.After(d, vm.Name+"/auto", tick)
+		}
+	}
+	vm.autoEvent = sched.RestoreAt(at, seq, vm.Name+"/auto", tick)
+}
+
+// AutoArmed reports whether the auto-reclamation chain has a pending tick
+// (checkpointed so restore only re-arms chains that were running).
+func (vm *VM) AutoArmed() bool { return vm.autoEvent.Pending() }

@@ -1,0 +1,119 @@
+// Spec-file front end: the overcommit and tiering scenario topologies
+// can be expressed as declarative spec.Scenario files (specs/*.json),
+// loaded, admitted, and mapped onto the existing configs. The spec
+// carries what an operator declares — VM count, sizes, mechanism, host
+// capacity, broker policy, seed — while the scenario-specific intensity
+// knobs (compile units, touch rounds, sample periods) stay on the base
+// config the caller passes in. Admission runs before any mapping, so an
+// infeasible file is rejected with typed failures, not a mid-run error.
+package workload
+
+import (
+	"fmt"
+
+	"hyperalloc"
+	"hyperalloc/internal/broker"
+	"hyperalloc/internal/hostmem"
+	"hyperalloc/internal/spec"
+)
+
+// homogeneous checks the scenario's VMs share one mechanism and size
+// (the matrix scenarios sweep candidates externally, so a spec file
+// declares one arm).
+func homogeneous(sc *spec.Scenario) (spec.VMSpec, error) {
+	v := sc.VMs[0]
+	for _, o := range sc.VMs[1:] {
+		if o.Mechanism != v.Mechanism || o.MemoryMax != v.MemoryMax {
+			return v, fmt.Errorf("workload: spec %q mixes VM shapes (%s/%d vs %s/%d); matrix scenarios need one arm per file",
+				sc.Name, v.Mechanism, v.MemoryMax, o.Mechanism, o.MemoryMax)
+		}
+	}
+	return v, nil
+}
+
+// OvercommitFromSpec admits the scenario and maps its topology onto an
+// overcommit run: the spec declares the host and VMs, base supplies the
+// intensity knobs (Units, Builds, Gap, Offset, sample periods).
+func OvercommitFromSpec(sc *spec.Scenario, base OvercommitConfig) (ClangCandidate, broker.Policy, OvercommitConfig, error) {
+	var cand ClangCandidate
+	if err := spec.AsError(spec.Admit(sc)); err != nil {
+		return cand, nil, base, err
+	}
+	if sc.Broker == nil {
+		return cand, nil, base, fmt.Errorf("workload: spec %q declares no broker; overcommit is a broker scenario", sc.Name)
+	}
+	v, err := homogeneous(sc)
+	if err != nil {
+		return cand, nil, base, err
+	}
+	cfg := base
+	cfg.VMs = len(sc.VMs)
+	cfg.Memory = v.MemoryMax
+	cfg.HostBytes = sc.HostMemory
+	cfg.Seed = sc.Seed
+	if sc.Broker.Period > 0 {
+		cfg.BrokerPeriod = sc.Broker.Period
+	}
+	if v.Tier != "" {
+		t, _ := hostmem.ParseTier(v.Tier)
+		cfg.Backend = t
+	}
+	cand = ClangCandidate{Name: v.Mechanism, Opts: hyperalloc.Options{
+		Candidate: hyperalloc.Candidate(v.Mechanism)}}
+	return cand, spec.PolicyByName(sc.Broker.Policy), cfg, nil
+}
+
+// TieringFromSpec admits the scenario and maps it onto a tiering arm:
+// the VMs' demand ceiling becomes the hot resident dataset, and the
+// broker's policy/tier-policy pair becomes the arm.
+func TieringFromSpec(sc *spec.Scenario, base TieringConfig) (TieringArm, TieringConfig, error) {
+	var arm TieringArm
+	if err := spec.AsError(spec.Admit(sc)); err != nil {
+		return arm, base, err
+	}
+	if sc.Broker == nil {
+		return arm, base, fmt.Errorf("workload: spec %q declares no broker; tiering is a broker scenario", sc.Name)
+	}
+	v, err := homogeneous(sc)
+	if err != nil {
+		return arm, base, err
+	}
+	cfg := base
+	cfg.VMs = len(sc.VMs)
+	cfg.Memory = v.MemoryMax
+	cfg.HostBytes = sc.HostMemory
+	cfg.Seed = sc.Seed
+	if sc.Broker.Period > 0 {
+		cfg.BrokerPeriod = sc.Broker.Period
+	}
+	if v.Workload.DemandMax > 0 {
+		cfg.Resident = v.Workload.DemandMax
+	}
+	arm = TieringArm{
+		Name:       sc.Name,
+		Policy:     spec.PolicyByName(sc.Broker.Policy),
+		TierPolicy: spec.TierPolicyByName(sc.Broker.TierPolicy),
+	}
+	if arm.TierPolicy == nil {
+		arm.TierPolicy = broker.StaticTier{T: hostmem.TierNVMe}
+	}
+	return arm, cfg, nil
+}
+
+// LoadOvercommitSpec loads a checked-in overcommit spec file.
+func LoadOvercommitSpec(path string, base OvercommitConfig) (ClangCandidate, broker.Policy, OvercommitConfig, error) {
+	sc, err := spec.Load(path)
+	if err != nil {
+		return ClangCandidate{}, nil, base, err
+	}
+	return OvercommitFromSpec(sc, base)
+}
+
+// LoadTieringSpec loads a checked-in tiering spec file.
+func LoadTieringSpec(path string, base TieringConfig) (TieringArm, TieringConfig, error) {
+	sc, err := spec.Load(path)
+	if err != nil {
+		return TieringArm{}, base, err
+	}
+	return TieringFromSpec(sc, base)
+}

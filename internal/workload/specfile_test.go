@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"hyperalloc/internal/mem"
+	"hyperalloc/internal/sim"
+	"hyperalloc/internal/spec"
+)
+
+// TestOvercommitSpecFile loads the checked-in overcommit spec, checks
+// the mapping, and runs the scenario from it (reduced intensity knobs;
+// the topology — VM count, sizes, host, broker — comes from the file).
+func TestOvercommitSpecFile(t *testing.T) {
+	cand, pol, cfg, err := LoadOvercommitSpec("../../specs/overcommit.json", OvercommitConfig{
+		Units:        120,
+		Builds:       1,
+		Gap:          5 * 60 * sim.Second,
+		Offset:       3 * 60 * sim.Second,
+		SamplePeriod: 5 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VMs != 3 || cfg.Memory != 16*mem.GiB || cfg.HostBytes != 36*mem.GiB {
+		t.Fatalf("spec topology mapped wrong: %d VMs, %d memory, %d host",
+			cfg.VMs, cfg.Memory, cfg.HostBytes)
+	}
+	if pol.Name() != "watermark" || cand.Name != "HyperAlloc" {
+		t.Fatalf("spec arm mapped wrong: policy %q candidate %q", pol.Name(), cand.Name)
+	}
+	if cfg.Units != 120 || cfg.Builds != 1 {
+		t.Fatalf("base intensity knobs lost: units %d builds %d", cfg.Units, cfg.Builds)
+	}
+	if testing.Short() {
+		t.Skip("overcommit scenario is slow")
+	}
+	res, err := Overcommit(cand, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime <= 0 || res.Ticks == 0 {
+		t.Fatalf("spec-driven overcommit run did not progress: %+v", res)
+	}
+}
+
+// TestTieringSpecFile loads the checked-in tiering spec and runs the
+// swap-zswap arm from it.
+func TestTieringSpecFile(t *testing.T) {
+	arm, cfg, err := LoadTieringSpec("../../specs/tiering.json", TieringConfig{
+		Touches:      2,
+		SamplePeriod: 5 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VMs != 3 || cfg.Memory != 12*mem.GiB || cfg.Resident != 9*mem.GiB {
+		t.Fatalf("spec topology mapped wrong: %d VMs, %d memory, %d resident",
+			cfg.VMs, cfg.Memory, cfg.Resident)
+	}
+	if arm.Name != "swap-zswap" || arm.Policy.Name() != "static-split" ||
+		arm.TierPolicy.Name() != "static-zswap" {
+		t.Fatalf("spec arm mapped wrong: %q %q %q",
+			arm.Name, arm.Policy.Name(), arm.TierPolicy.Name())
+	}
+	if testing.Short() {
+		t.Skip("tiering scenario is slow")
+	}
+	res, err := Tiering(arm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime <= 0 {
+		t.Fatalf("spec-driven tiering run did not progress: %+v", res)
+	}
+}
+
+// TestSpecFileRejection: an infeasible edit to a checked-in spec must
+// be rejected with a typed failure before any simulation is built.
+func TestSpecFileRejection(t *testing.T) {
+	sc, err := spec.Load("../../specs/overcommit.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.VMs[0].VFIO = true
+	sc.VMs[0].Postcopy = true
+	_, _, _, err = OvercommitFromSpec(sc, OvercommitConfig{})
+	fe, ok := err.(*spec.FailureError)
+	if !ok {
+		t.Fatalf("want *spec.FailureError, got %v", err)
+	}
+	if fe.Failures[0].ID != spec.SpecVFIOPostcopyID {
+		t.Fatalf("want %s, got %s", spec.SpecVFIOPostcopyID, fe.Failures[0].ID)
+	}
+}
